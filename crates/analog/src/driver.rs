@@ -1,0 +1,86 @@
+//! Column drivers: input decoder/DAC and level shifters.
+//!
+//! The search side needs a small DAC per column to produce the discrete
+//! search-line voltages, and a drain-voltage selector per column for the
+//! quantized DL levels (paper Fig. 2(a)). The write side needs level
+//! shifters to reach the ±4 V programming voltages from the core supply.
+//! Architecturally (NeuroSim-style), their costs are dynamic `C·V²` charging
+//! energies on the driven lines plus a fixed per-conversion overhead.
+
+use crate::parasitics::WireParams;
+use ferex_fefet::units::{Joule, Volt};
+
+/// Driver energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriverParams {
+    /// Fixed energy per DAC conversion (decode + switch).
+    pub e_dac: Joule,
+    /// Fixed energy per level-shifter activation (write path only).
+    pub e_level_shifter: Joule,
+}
+
+impl Default for DriverParams {
+    fn default() -> Self {
+        DriverParams { e_dac: Joule(0.5e-15), e_level_shifter: Joule(5.0e-15) }
+    }
+}
+
+impl DriverParams {
+    /// Dynamic energy to drive one column line of `n_cells` from 0 to `v`:
+    /// `C_line·V²` plus the DAC overhead.
+    pub fn column_drive_energy(&self, wire: &WireParams, n_cells: usize, v: Volt) -> Joule {
+        let c = wire.line_capacitance(n_cells);
+        Joule(c.value() * v.value() * v.value()) + self.e_dac
+    }
+
+    /// Energy to drive the search stimulus onto one column: SL (gate) and DL
+    /// (drain) both switch.
+    pub fn search_drive_energy(
+        &self,
+        wire: &WireParams,
+        rows: usize,
+        v_gate: Volt,
+        v_dl: Volt,
+    ) -> Joule {
+        // SL and DL span all rows of the column.
+        self.column_drive_energy(wire, rows, v_gate)
+            + self.column_drive_energy(wire, rows, v_dl)
+    }
+
+    /// Energy for one write pulse on a column (level-shifted to `v_write`).
+    pub fn write_drive_energy(&self, wire: &WireParams, rows: usize, v_write: Volt) -> Joule {
+        self.column_drive_energy(wire, rows, v_write) + self.e_level_shifter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_voltage_squared() {
+        let d = DriverParams::default();
+        let w = WireParams::default();
+        let e1 = d.column_drive_energy(&w, 64, Volt(0.5)).value() - d.e_dac.value();
+        let e2 = d.column_drive_energy(&w, 64, Volt(1.0)).value() - d.e_dac.value();
+        assert!((e2 / e1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_rows() {
+        let d = DriverParams::default();
+        let w = WireParams::default();
+        let e64 = d.search_drive_energy(&w, 64, Volt(0.5), Volt(0.1)).value();
+        let e256 = d.search_drive_energy(&w, 256, Volt(0.5), Volt(0.1)).value();
+        assert!(e256 > e64);
+    }
+
+    #[test]
+    fn write_path_costs_more_than_search_path() {
+        let d = DriverParams::default();
+        let w = WireParams::default();
+        let write = d.write_drive_energy(&w, 64, Volt(4.0)).value();
+        let search = d.search_drive_energy(&w, 64, Volt(0.5), Volt(0.1)).value();
+        assert!(write > search, "write {write} should exceed search {search}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-row interface circuit (paper Fig. 2(c)).
+//!
+//! Each row's source line terminates in a MUX that selects between two
+//! modes:
+//!
+//! * **Write/erase** — the ScL follows the row line (RL): 0 V on the
+//!   selected row, `V_write/2` on unselected rows (the inhibition bias).
+//! * **Search** — the ScL is clamped to the sense reference by the row's
+//!   op-amp so the cell `V_ds` stays constant while current is sensed.
+//!
+//! The type is a small mode state machine whose outputs feed the crossbar
+//! and energy models; its value is making illegal mode/voltage combinations
+//! unrepresentable.
+
+use crate::opamp::OpAmpParams;
+use ferex_fefet::units::Volt;
+
+/// Operating mode of one row interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowMode {
+    /// Row selected for writing: ScL grounded, full write voltage across
+    /// selected cells.
+    WriteSelected,
+    /// Row not selected while another row is written: ScL at `V_write/2`.
+    WriteInhibited,
+    /// Search phase: ScL clamped by the op-amp.
+    Search,
+}
+
+/// One row's ScL interface: mode MUX plus clamp op-amp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowInterface {
+    mode: RowMode,
+    opamp: OpAmpParams,
+    v_write: Volt,
+    v_sense: Volt,
+}
+
+impl RowInterface {
+    /// Creates an interface in search mode.
+    pub fn new(opamp: OpAmpParams, v_write: Volt, v_sense: Volt) -> Self {
+        RowInterface { mode: RowMode::Search, opamp, v_write, v_sense }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> RowMode {
+        self.mode
+    }
+
+    /// Switches the row into the given mode.
+    pub fn set_mode(&mut self, mode: RowMode) {
+        self.mode = mode;
+    }
+
+    /// The op-amp parameters of this row.
+    pub fn opamp(&self) -> &OpAmpParams {
+        &self.opamp
+    }
+
+    /// The voltage this interface presents on the ScL in its current mode.
+    ///
+    /// In search mode this is the clamp's held voltage including the finite
+    /// gain error; in write modes it is the RL bias.
+    pub fn scl_voltage(&self) -> Volt {
+        match self.mode {
+            RowMode::WriteSelected => Volt(0.0),
+            RowMode::WriteInhibited => self.v_write * 0.5,
+            RowMode::Search => self.opamp.clamped_voltage(self.v_sense),
+        }
+    }
+
+    /// `true` if the op-amp is powered in the current mode (it only burns
+    /// power during search).
+    pub fn opamp_active(&self) -> bool {
+        self.mode == RowMode::Search
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iface() -> RowInterface {
+        RowInterface::new(OpAmpParams::default(), Volt(4.0), Volt(0.0))
+    }
+
+    #[test]
+    fn search_mode_clamps_to_sense_reference() {
+        let i = iface();
+        assert_eq!(i.mode(), RowMode::Search);
+        assert_eq!(i.scl_voltage(), Volt(0.0));
+        assert!(i.opamp_active());
+    }
+
+    #[test]
+    fn write_selected_grounds_the_row() {
+        let mut i = iface();
+        i.set_mode(RowMode::WriteSelected);
+        assert_eq!(i.scl_voltage(), Volt(0.0));
+        assert!(!i.opamp_active());
+    }
+
+    #[test]
+    fn write_inhibited_uses_half_voltage() {
+        let mut i = iface();
+        i.set_mode(RowMode::WriteInhibited);
+        assert_eq!(i.scl_voltage(), Volt(2.0));
+        assert!(!i.opamp_active());
+    }
+
+    #[test]
+    fn nonzero_sense_reference_includes_gain_error() {
+        let i = RowInterface::new(OpAmpParams::default(), Volt(4.0), Volt(0.2));
+        let held = i.scl_voltage().value();
+        assert!(held < 0.2 && held > 0.199);
+    }
+}

@@ -1,0 +1,140 @@
+//! Monte-Carlo harness for variation studies (paper Fig. 7).
+//!
+//! The paper runs 100 Monte-Carlo instances of the array with fresh
+//! device-to-device variation samples each run and reports search accuracy.
+//! This harness runs an arbitrary trial closure with a per-run seeded RNG
+//! and aggregates pass/fail statistics with a Wilson confidence interval.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarlo {
+    /// Number of independent runs (the paper uses 100).
+    pub runs: usize,
+    /// Base seed; run `k` uses `seed + k` so runs are independent but the
+    /// whole campaign is reproducible.
+    pub seed: u64,
+}
+
+impl Default for MonteCarlo {
+    fn default() -> Self {
+        MonteCarlo { runs: 100, seed: 0xD1CE }
+    }
+}
+
+/// Aggregated Monte-Carlo outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McResult {
+    /// Number of successful trials.
+    pub successes: usize,
+    /// Total trials.
+    pub runs: usize,
+}
+
+impl McResult {
+    /// Empirical success rate.
+    pub fn accuracy(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.runs as f64
+        }
+    }
+
+    /// 95 % Wilson score interval for the success probability.
+    pub fn wilson_95(&self) -> (f64, f64) {
+        if self.runs == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.runs as f64;
+        let p = self.accuracy();
+        let z = 1.96f64;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) + z2 / (4.0 * n)) / n).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+impl MonteCarlo {
+    /// Runs `trial` once per configured run with an independent seeded RNG
+    /// and tallies the boolean outcomes.
+    pub fn run<F: FnMut(&mut StdRng) -> bool>(&self, mut trial: F) -> McResult {
+        let mut successes = 0;
+        for k in 0..self.runs {
+            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(k as u64));
+            if trial(&mut rng) {
+                successes += 1;
+            }
+        }
+        McResult { successes, runs: self.runs }
+    }
+
+    /// Runs a trial that yields a scalar and returns all samples (for
+    /// distribution plots rather than pass/fail accuracy).
+    pub fn sample<F: FnMut(&mut StdRng) -> f64>(&self, mut trial: F) -> Vec<f64> {
+        (0..self.runs)
+            .map(|k| {
+                let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(k as u64));
+                trial(&mut rng)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mc = MonteCarlo { runs: 50, seed: 7 };
+        let a = mc.run(|rng| rng.gen::<f64>() > 0.5);
+        let b = mc.run(|rng| rng.gen::<f64>() > 0.5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accuracy_matches_bias() {
+        let mc = MonteCarlo { runs: 10_000, seed: 3 };
+        let r = mc.run(|rng| rng.gen::<f64>() < 0.9);
+        assert!((r.accuracy() - 0.9).abs() < 0.02, "accuracy {}", r.accuracy());
+        let (lo, hi) = r.wilson_95();
+        assert!(lo < 0.9 && 0.9 < hi);
+    }
+
+    #[test]
+    fn wilson_interval_is_ordered_and_bounded() {
+        let r = McResult { successes: 95, runs: 100 };
+        let (lo, hi) = r.wilson_95();
+        assert!(0.0 <= lo && lo < hi && hi <= 1.0);
+        assert!(lo > 0.85 && hi < 1.0);
+    }
+
+    #[test]
+    fn all_or_nothing_extremes() {
+        let mc = MonteCarlo { runs: 100, seed: 1 };
+        assert_eq!(mc.run(|_| true).accuracy(), 1.0);
+        assert_eq!(mc.run(|_| false).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn sample_collects_per_run_values() {
+        let mc = MonteCarlo { runs: 10, seed: 5 };
+        let xs = mc.sample(|rng| rng.gen::<f64>());
+        assert_eq!(xs.len(), 10);
+        // Distinct seeds → (almost surely) distinct values.
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let r = McResult { successes: 0, runs: 0 };
+        assert_eq!(r.accuracy(), 0.0);
+        assert_eq!(r.wilson_95(), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Physical current-noise models.
+//!
+//! The LTA's input-referred offset (the calibrated accuracy knob of the
+//! Fig. 7 study) has three physical contributors at the sense node:
+//! comparator mismatch, thermal (Johnson) noise of the MΩ cell resistors,
+//! and shot noise of the aggregated row current. This module computes the
+//! physical floor from first principles, so the calibrated offset can be
+//! sanity-checked against physics (it must exceed the floor — mismatch
+//! dominates in practice).
+
+use ferex_fefet::units::{Amp, Ohm};
+
+/// Boltzmann constant (J/K).
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+/// Elementary charge (C).
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+
+/// Noise-floor calculator for a current-mode sense node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Temperature in kelvin.
+    pub temperature: f64,
+    /// Effective noise bandwidth of the sense path in hertz (set by the
+    /// LTA decision time: `B ≈ 1/(2·t_decide)`).
+    pub bandwidth: f64,
+}
+
+impl Default for NoiseModel {
+    /// 300 K, 125 MHz (a ~4 ns decision window).
+    fn default() -> Self {
+        NoiseModel { temperature: 300.0, bandwidth: 125.0e6 }
+    }
+}
+
+impl NoiseModel {
+    /// RMS thermal current noise of `n_cells` parallel resistors of value
+    /// `r` each: `σ² = n·4kT·B/R`.
+    pub fn thermal_rms(&self, r: Ohm, n_cells: usize) -> Amp {
+        let var = n_cells as f64 * 4.0 * BOLTZMANN * self.temperature * self.bandwidth
+            / r.value();
+        Amp(var.sqrt())
+    }
+
+    /// RMS shot noise of a DC row current: `σ² = 2qI·B`.
+    pub fn shot_rms(&self, dc: Amp) -> Amp {
+        Amp((2.0 * ELEMENTARY_CHARGE * dc.value() * self.bandwidth).sqrt())
+    }
+
+    /// Total physical noise floor at a row sense node carrying `dc` through
+    /// `n_cells` resistors of `r` (uncorrelated sources add in quadrature).
+    pub fn floor_rms(&self, dc: Amp, r: Ohm, n_cells: usize) -> Amp {
+        let t = self.thermal_rms(r, n_cells).value();
+        let s = self.shot_rms(dc).value();
+        Amp((t * t + s * s).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_noise_magnitude() {
+        // One 1 MΩ resistor at 300 K over 125 MHz: σ = √(4kT·B/R) ≈ 1.4 nA.
+        let m = NoiseModel::default();
+        let rms = m.thermal_rms(Ohm(1.0e6), 1).value();
+        assert!((1.0e-9..2.0e-9).contains(&rms), "thermal rms {rms}");
+    }
+
+    #[test]
+    fn shot_noise_magnitude() {
+        // 1 µA DC over 125 MHz: σ = √(2qI·B) ≈ 6.3 nA.
+        let m = NoiseModel::default();
+        let rms = m.shot_rms(Amp(1.0e-6)).value();
+        assert!((5.0e-9..8.0e-9).contains(&rms), "shot rms {rms}");
+    }
+
+    #[test]
+    fn noise_grows_with_cells_and_current() {
+        let m = NoiseModel::default();
+        assert!(m.thermal_rms(Ohm(1e6), 64) > m.thermal_rms(Ohm(1e6), 16));
+        assert!(m.shot_rms(Amp(4e-6)) > m.shot_rms(Amp(1e-6)));
+    }
+
+    #[test]
+    fn quadrature_sum_dominated_by_larger_term() {
+        let m = NoiseModel::default();
+        let total = m.floor_rms(Amp(1e-6), Ohm(1e6), 64);
+        let thermal = m.thermal_rms(Ohm(1e6), 64);
+        let shot = m.shot_rms(Amp(1e-6));
+        assert!(total >= thermal.max(shot));
+        assert!(total.value() <= thermal.value() + shot.value());
+    }
+
+    #[test]
+    fn calibrated_lta_offset_exceeds_the_physical_floor() {
+        // The Fig. 7 calibration (25 nA input-referred) must sit above the
+        // physics floor of a typical row (64 cells, ~1 µA aggregate),
+        // because mismatch — not fundamental noise — dominates.
+        let m = NoiseModel::default();
+        let floor = m.floor_rms(Amp(1.0e-6), Ohm(1.0e6), 64).value();
+        let calibrated = crate::lta::LtaParams::default().offset_sigma.value();
+        assert!(
+            calibrated > floor,
+            "calibrated offset {calibrated} below physical floor {floor}"
+        );
+        assert!(calibrated < 20.0 * floor, "offset implausibly far above the floor");
+    }
+}

@@ -1,0 +1,114 @@
+//! Behavioral model of the per-row interface op-amp.
+//!
+//! Each FeReX row ends in an op-amp that clamps the source line (ScL) to the
+//! reference voltage `V_s` during search (paper Fig. 2(c)): without the
+//! clamp, row current flowing into the line's finite impedance would raise
+//! the ScL, shrink every cell's `V_ds`, and corrupt the current-domain LTA
+//! comparison. The paper builds on the two-stage amplifier of Kassiri &
+//! Moradi (ISCAS 2013), scaled to 45nm, and reports that its slew-limited
+//! settling accounts for roughly 60 % of the total search delay.
+
+use crate::parasitics::WireParams;
+use ferex_fefet::units::{Second, Volt, Watt};
+
+/// Two-stage op-amp behavioral parameters (45nm-class defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpAmpParams {
+    /// Slew rate in V/s.
+    pub slew_rate: f64,
+    /// Unity-gain bandwidth in Hz.
+    pub gbw: f64,
+    /// Static power draw while enabled.
+    pub power: Watt,
+    /// Residual clamp error: the ScL settles to within this fraction of the
+    /// commanded step (models finite loop gain).
+    pub gain_error: f64,
+}
+
+impl Default for OpAmpParams {
+    fn default() -> Self {
+        OpAmpParams {
+            slew_rate: 120.0e6, // 120 V/µs
+            gbw: 1.2e9,
+            power: Watt(2.0e-6),
+            gain_error: 1.0e-3,
+        }
+    }
+}
+
+impl OpAmpParams {
+    /// Time to settle the ScL within `accuracy` after a step of `step`
+    /// volts, driving a line of `n_cells` with parasitics `wire`.
+    ///
+    /// The model is the standard two-phase settling decomposition:
+    /// slewing (`|step|/SR`) followed by linear settling
+    /// (`ln(1/accuracy)/(2π·GBW)`), plus the wire's own RC settling in
+    /// series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is not in `(0, 1)`.
+    pub fn settle_time(
+        &self,
+        step: Volt,
+        wire: &WireParams,
+        n_cells: usize,
+        accuracy: f64,
+    ) -> Second {
+        assert!(accuracy > 0.0 && accuracy < 1.0, "accuracy must be in (0, 1)");
+        let t_slew = step.value().abs() / self.slew_rate;
+        let t_linear = (1.0 / accuracy).ln() / (std::f64::consts::TAU * self.gbw);
+        let t_wire = wire.settle_time(n_cells, accuracy).value();
+        Second(t_slew + t_linear + t_wire)
+    }
+
+    /// The voltage the clamp actually holds given a commanded `target`
+    /// (finite-gain error pulls it fractionally toward zero).
+    pub fn clamped_voltage(&self, target: Volt) -> Volt {
+        target * (1.0 - self.gain_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settle_dominated_by_slew_for_big_steps() {
+        let amp = OpAmpParams::default();
+        let wire = WireParams::default();
+        let t = amp.settle_time(Volt(0.6), &wire, 64, 0.01).value();
+        let slew_part = 0.6 / amp.slew_rate;
+        assert!(slew_part / t > 0.5, "slew {} of total {}", slew_part, t);
+    }
+
+    #[test]
+    fn settle_time_in_nanosecond_range() {
+        let amp = OpAmpParams::default();
+        let wire = WireParams::default();
+        let t = amp.settle_time(Volt(0.5), &wire, 128, 0.01).value();
+        assert!((1e-9..20e-9).contains(&t), "settle {t} s out of expected range");
+    }
+
+    #[test]
+    fn settle_grows_with_step_and_cells() {
+        let amp = OpAmpParams::default();
+        let wire = WireParams::default();
+        assert!(
+            amp.settle_time(Volt(1.0), &wire, 64, 0.01)
+                > amp.settle_time(Volt(0.2), &wire, 64, 0.01)
+        );
+        assert!(
+            amp.settle_time(Volt(0.5), &wire, 512, 0.01)
+                > amp.settle_time(Volt(0.5), &wire, 32, 0.01)
+        );
+    }
+
+    #[test]
+    fn clamp_error_is_fractional() {
+        let amp = OpAmpParams::default();
+        let held = amp.clamped_voltage(Volt(1.0));
+        assert!((held.value() - 0.999).abs() < 1e-12);
+        assert_eq!(amp.clamped_voltage(Volt(0.0)), Volt(0.0));
+    }
+}

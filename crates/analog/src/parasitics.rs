@@ -1,0 +1,106 @@
+//! Wiring parasitics of the crossbar, DESTINY-style.
+//!
+//! The paper extracts 45nm wiring parasitics from DESTINY (Poremba et al.,
+//! DATE 2015). We model each array line as a distributed RC built from
+//! per-cell-pitch segment resistance and capacitance, plus a per-cell device
+//! loading capacitance, and expose the two quantities the timing and energy
+//! models need: the Elmore settling constant of a line and its total
+//! capacitance.
+
+use ferex_fefet::units::{Farad, Ohm, Second};
+
+/// Per-cell-pitch wire parasitics for a 45nm-class metal line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireParams {
+    /// Wire resistance per cell pitch.
+    pub r_per_cell: Ohm,
+    /// Wire capacitance per cell pitch.
+    pub c_per_cell: Farad,
+    /// Device loading (junction + gate overlap) per attached cell.
+    pub c_device: Farad,
+}
+
+impl Default for WireParams {
+    /// 45nm intermediate-metal ballpark: ~3 Ω and ~0.2 fF per 0.2 µm-class
+    /// cell pitch, ~0.1 fF device loading per cell.
+    fn default() -> Self {
+        WireParams {
+            r_per_cell: Ohm(3.0),
+            c_per_cell: Farad(0.2e-15),
+            c_device: Farad(0.1e-15),
+        }
+    }
+}
+
+impl WireParams {
+    /// Total series resistance of a line spanning `n_cells`.
+    pub fn line_resistance(&self, n_cells: usize) -> Ohm {
+        self.r_per_cell * n_cells as f64
+    }
+
+    /// Total capacitance of a line spanning `n_cells` (wire + device
+    /// loading).
+    pub fn line_capacitance(&self, n_cells: usize) -> Farad {
+        (self.c_per_cell + self.c_device) * n_cells as f64
+    }
+
+    /// Elmore delay constant of the distributed line: `0.5·R·C` (the
+    /// standard distributed-RC first moment).
+    pub fn elmore_delay(&self, n_cells: usize) -> Second {
+        let r = self.line_resistance(n_cells);
+        let c = self.line_capacitance(n_cells);
+        Second(0.5 * r.value() * c.value())
+    }
+
+    /// Time for the line to settle within `accuracy` (e.g. `0.01` for 1 %)
+    /// of its final value, treating the Elmore constant as a single pole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is not in `(0, 1)`.
+    pub fn settle_time(&self, n_cells: usize, accuracy: f64) -> Second {
+        assert!(accuracy > 0.0 && accuracy < 1.0, "accuracy must be in (0, 1)");
+        self.elmore_delay(n_cells) * (1.0 / accuracy).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_quantities_scale_linearly() {
+        let w = WireParams::default();
+        assert_eq!(w.line_resistance(100).value(), 300.0);
+        let c = w.line_capacitance(100).value();
+        assert!((c - 30.0e-15).abs() < 1e-20);
+    }
+
+    #[test]
+    fn elmore_grows_quadratically() {
+        let w = WireParams::default();
+        let d1 = w.elmore_delay(64).value();
+        let d2 = w.elmore_delay(128).value();
+        assert!((d2 / d1 - 4.0).abs() < 1e-9, "ratio {}", d2 / d1);
+    }
+
+    #[test]
+    fn settle_time_increases_with_accuracy() {
+        let w = WireParams::default();
+        assert!(w.settle_time(64, 0.001) > w.settle_time(64, 0.01));
+    }
+
+    #[test]
+    fn wire_delay_is_subnanosecond_at_realistic_sizes() {
+        // The paper attributes delay to the op-amp and LTA, not the wires;
+        // our parasitics must be consistent with that.
+        let w = WireParams::default();
+        assert!(w.settle_time(256, 0.01).value() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy")]
+    fn settle_time_validates_accuracy() {
+        let _ = WireParams::default().settle_time(10, 1.5);
+    }
+}

@@ -1,0 +1,232 @@
+//! Numerical transient simulation of the ScL settling.
+//!
+//! The Fig. 6 delay numbers come from the *analytical* two-phase settling
+//! model in [`crate::opamp`] (slew + single-pole linear settling + wire RC).
+//! This module integrates the same circuit numerically — a forward-Euler
+//! time-march of the ScL node capacitance driven by the slew/bandwidth-
+//! limited op-amp output against the injected array current — so the
+//! analytical model can be cross-validated instead of trusted blindly
+//! (`tests`: the two agree within tens of percent across the geometry
+//! sweep, and the numerical settle is never *faster* than slew physics
+//! allows).
+
+use crate::opamp::OpAmpParams;
+use crate::parasitics::WireParams;
+use ferex_fefet::units::{Amp, Second, Volt};
+
+/// One transient settling run's configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientConfig {
+    /// Op-amp behavioral parameters.
+    pub opamp: OpAmpParams,
+    /// Wire parasitics of the settled line.
+    pub wire: WireParams,
+    /// Number of cells loading the line.
+    pub n_cells: usize,
+    /// Aggregate array current injected into the line (disturbs the clamp).
+    pub injected: Amp,
+    /// Initial line voltage (the disturbance the clamp must absorb).
+    pub v_start: Volt,
+    /// Clamp target voltage.
+    pub v_target: Volt,
+    /// Integration timestep.
+    pub dt: Second,
+    /// Hard stop for the march.
+    pub t_max: Second,
+}
+
+impl Default for TransientConfig {
+    fn default() -> Self {
+        TransientConfig {
+            opamp: OpAmpParams::default(),
+            wire: WireParams::default(),
+            n_cells: 64,
+            injected: Amp(1.0e-6),
+            v_start: Volt(0.5),
+            v_target: Volt(0.0),
+            dt: Second(10.0e-12),
+            t_max: Second(100.0e-9),
+        }
+    }
+}
+
+/// Result of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientResult {
+    /// Time to first enter (and stay within) the accuracy band.
+    pub settle_time: Option<Second>,
+    /// Sampled waveform `(t, v)` (decimated).
+    pub waveform: Vec<(Second, Volt)>,
+    /// Final line voltage at the end of the march.
+    pub v_final: Volt,
+}
+
+/// Integrates the clamp loop: the op-amp drives the line through its output
+/// conductance toward `v_target`, with its drive limited by slew rate and a
+/// single-pole bandwidth; the array current keeps pushing the node away.
+///
+/// Settling is declared when `|v − v_final_dc|` stays within
+/// `accuracy · |v_start − v_final_dc|` for the rest of the run (checked
+/// retrospectively).
+///
+/// # Panics
+///
+/// Panics if `accuracy` is not in `(0, 1)` or the timestep is not positive.
+pub fn simulate_settle(config: &TransientConfig, accuracy: f64) -> TransientResult {
+    assert!(accuracy > 0.0 && accuracy < 1.0, "accuracy must be in (0, 1)");
+    assert!(config.dt.value() > 0.0, "timestep must be positive");
+    let c_line = config.wire.line_capacitance(config.n_cells).value().max(1e-18);
+    // Effective output conductance: sized so the closed-loop linear pole
+    // matches the op-amp GBW (g/C = 2π·GBW).
+    let g_out = std::f64::consts::TAU * config.opamp.gbw * c_line;
+    let i_slew_limit = config.opamp.slew_rate * c_line;
+    let i_inject = config.injected.value();
+    // DC endpoint: clamp holds target plus the residual from finite gain.
+    // At DC the loop stiffness is the unity-gain conductance boosted by the
+    // DC loop gain (≈ 1/gain_error), so the injected-current residual is
+    // `I·gain_error/g_out` — µV-class for array currents.
+    let v_dc = config.opamp.clamped_voltage(config.v_target).value()
+        + i_inject * config.opamp.gain_error / g_out;
+
+    let dt = config.dt.value();
+    let steps = (config.t_max.value() / dt).ceil() as usize;
+    let mut v = config.v_start.value();
+    let mut trace: Vec<f64> = Vec::with_capacity(steps + 1);
+    trace.push(v);
+    for _ in 0..steps {
+        // Op-amp correction current (bandwidth-limited), clipped by slew.
+        let i_amp = (g_out * (v_dc - v)).clamp(-i_slew_limit, i_slew_limit);
+        let dv = i_amp / c_line * dt;
+        v += dv;
+        trace.push(v);
+    }
+    let v_final = *trace.last().expect("non-empty trace");
+
+    // Retrospective settling detection against the DC endpoint.
+    let band = accuracy * (config.v_start.value() - v_dc).abs();
+    let mut settle_idx = None;
+    for (i, &vi) in trace.iter().enumerate() {
+        if (vi - v_dc).abs() <= band {
+            if settle_idx.is_none() {
+                settle_idx = Some(i);
+            }
+        } else {
+            settle_idx = None;
+        }
+    }
+    let decimate = (trace.len() / 256).max(1);
+    let waveform = trace
+        .iter()
+        .enumerate()
+        .step_by(decimate)
+        .map(|(i, &vi)| (Second(i as f64 * dt), Volt(vi)))
+        .collect();
+    TransientResult {
+        settle_time: settle_idx.map(|i| Second(i as f64 * dt)),
+        waveform,
+        v_final: Volt(v_final),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_to_the_clamp_target() {
+        let cfg = TransientConfig::default();
+        let r = simulate_settle(&cfg, 0.01);
+        let t = r.settle_time.expect("must settle within 100 ns");
+        assert!(t.value() > 0.0);
+        // Final voltage near target plus the injected-current residual.
+        assert!(r.v_final.value().abs() < 0.05, "final {:?}", r.v_final);
+    }
+
+    #[test]
+    fn numerical_settle_not_faster_than_slew_physics() {
+        let cfg = TransientConfig::default();
+        let r = simulate_settle(&cfg, 0.01);
+        let t = r.settle_time.expect("settles");
+        // Pure slew time for the initial step is a hard lower bound (minus
+        // the last band fraction that the linear phase covers).
+        let slew_floor = cfg.v_start.value() * (1.0 - 0.01) / cfg.opamp.slew_rate;
+        assert!(
+            t.value() >= 0.8 * slew_floor,
+            "numerical settle {t:?} beats the slew floor {slew_floor}"
+        );
+    }
+
+    #[test]
+    fn analytical_model_agrees_with_numerical() {
+        // The Fig. 6 analytical settle time must track the numerical one
+        // within a modest factor across the column sweep.
+        for &n_cells in &[16usize, 64, 256] {
+            let cfg = TransientConfig { n_cells, ..Default::default() };
+            let numerical = simulate_settle(&cfg, 0.01)
+                .settle_time
+                .expect("settles")
+                .value();
+            let analytical = cfg
+                .opamp
+                .settle_time(cfg.v_start, &cfg.wire, n_cells, 0.01)
+                .value();
+            let ratio = analytical / numerical;
+            assert!(
+                (0.5..2.5).contains(&ratio),
+                "cols {n_cells}: analytical {analytical} vs numerical {numerical}"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_step_takes_longer() {
+        let small = simulate_settle(
+            &TransientConfig { v_start: Volt(0.1), ..Default::default() },
+            0.01,
+        );
+        let large = simulate_settle(
+            &TransientConfig { v_start: Volt(0.8), ..Default::default() },
+            0.01,
+        );
+        assert!(large.settle_time.unwrap() > small.settle_time.unwrap());
+    }
+
+    #[test]
+    fn injected_current_shifts_the_endpoint() {
+        let quiet = simulate_settle(
+            &TransientConfig { injected: Amp(0.0), ..Default::default() },
+            0.01,
+        );
+        let loaded = simulate_settle(
+            &TransientConfig { injected: Amp(5.0e-6), ..Default::default() },
+            0.01,
+        );
+        assert!(
+            loaded.v_final.value() > quiet.v_final.value(),
+            "array current must lift the clamped node"
+        );
+        // But the op-amp keeps the lift small (mV regime).
+        assert!(loaded.v_final.value() < 0.01, "clamp too weak: {:?}", loaded.v_final);
+    }
+
+    #[test]
+    fn waveform_is_monotone_decay_for_this_topology() {
+        let r = simulate_settle(&TransientConfig::default(), 0.01);
+        for w in r.waveform.windows(2) {
+            assert!(w[1].1.value() <= w[0].1.value() + 1e-12, "waveform not monotone");
+        }
+    }
+
+    #[test]
+    fn never_settling_is_reported_as_none() {
+        // An absurdly tight accuracy with a huge injected current and a
+        // short run cannot settle.
+        let cfg = TransientConfig {
+            injected: Amp(1.0),
+            t_max: Second(1.0e-9),
+            ..Default::default()
+        };
+        let r = simulate_settle(&cfg, 0.001);
+        assert_eq!(r.settle_time, None);
+    }
+}

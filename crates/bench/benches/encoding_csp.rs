@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: cost of the CSP encoding pipeline — the
+//! price of one metric reconfiguration (sizing + feasibility + encoding).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferex_core::{
+    detect_feasibility, find_minimal_cell, DistanceMatrix, DistanceMetric, FeasibilityConfig,
+    SizingOptions,
+};
+use std::hint::black_box;
+
+fn bench_sizing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sizing_pipeline");
+    for metric in DistanceMetric::ALL {
+        let dm = DistanceMatrix::from_metric(metric, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(metric.to_string()),
+            &dm,
+            |b, dm| {
+                b.iter(|| {
+                    black_box(
+                        find_minimal_cell(black_box(dm), &SizingOptions::default())
+                            .expect("encodable"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_feasibility_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasibility_detection");
+    let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+    for k in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    detect_feasibility(&dm, k, &[1, 2], &FeasibilityConfig::default())
+                        .expect("within caps"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing, bench_feasibility_only);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmark: end-to-end HDC stages — encoding, training,
+//! and AM-backed inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ferex_bench::{experiment_dataset, train_hdc};
+use ferex_datasets::spec::UCIHAR;
+use ferex_hdc::am::{AmClassifier, AmConfig};
+use std::hint::black_box;
+
+fn bench_hdc(c: &mut Criterion) {
+    let data = experiment_dataset(&UCIHAR, 0.01);
+    let model = train_hdc(&data, 1024, 7);
+    let sample = &data.test[0];
+
+    c.bench_function("hdc_encode_1024", |b| {
+        b.iter(|| black_box(model.encoder().encode(black_box(&sample.features))));
+    });
+
+    c.bench_function("hdc_software_classify", |b| {
+        b.iter(|| black_box(model.classify(black_box(&sample.features))));
+    });
+
+    let mut am = AmClassifier::from_model(&model, &AmConfig::default()).expect("builds");
+    let hv = model.encoder().encode(&sample.features);
+    c.bench_function("hdc_am_classify", |b| {
+        b.iter(|| black_box(am.classify_hv(black_box(&hv)).expect("searches")));
+    });
+
+    let mut group = c.benchmark_group("hdc_training");
+    group.sample_size(10);
+    group.bench_function("single_pass", |b| {
+        b.iter(|| {
+            black_box(ferex_hdc::model::HdcModel::train_single_pass(
+                model.encoder().clone(),
+                black_box(&data.train),
+                data.n_classes(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hdc);
+criterion_main!(benches);

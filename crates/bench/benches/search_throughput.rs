@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark: simulated search throughput vs array
+//! geometry — the software-performance counterpart of the Fig. 6 sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ferex_bench::{noisy_backend, random_filled_engine, random_query};
+use ferex_core::Backend;
+use std::hint::black_box;
+
+fn bench_ideal_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ideal_search");
+    for &rows in &[16usize, 64, 256] {
+        let dim = 64;
+        let mut engine =
+            random_filled_engine(rows, dim, Backend::Ideal, 1).expect("builds");
+        let query = random_query(dim, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| black_box(engine.search(black_box(&query)).expect("searches")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_search");
+    for &dim in &[32usize, 128, 512] {
+        let rows = 32;
+        let mut engine =
+            random_filled_engine(rows, dim, noisy_backend(3), 1).expect("builds");
+        let query = random_query(dim, 2);
+        // Warm the lazy programming outside the timed loop.
+        engine.search(&query).expect("programs");
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| black_box(engine.search(black_box(&query)).expect("searches")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_circuit_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuit_search");
+    group.sample_size(10);
+    let rows = 8;
+    let dim = 16;
+    let mut engine = random_filled_engine(
+        rows,
+        dim,
+        ferex_core::Backend::Circuit(Box::default()),
+        1,
+    )
+    .expect("builds");
+    let query = random_query(dim, 2);
+    engine.search(&query).expect("programs");
+    group.bench_function("8x16_device_level", |b| {
+        b.iter(|| black_box(engine.search(black_box(&query)).expect("searches")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ideal_search, bench_noisy_search, bench_circuit_search);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Fig. 8(b) and 8(c): FeReX speedup and energy-efficiency improvement over
+//! the GPU baseline for HDC inference on the three Table III datasets.
+//!
+//! The GPU side is the analytical RTX 3090 roofline model (DESIGN.md §3,
+//! substitution 4): per-query latency = kernel-launch overhead + roofline
+//! time; energy = busy power × time (nvidia-smi-style accounting, as in the
+//! paper). The FeReX side uses the Fig. 6 delay/energy models on the actual
+//! inference array (one row per class, D hypervector symbols per row).
+//!
+//! The paper reports *up to 250× speedup and 10⁴ energy savings*; the
+//! mechanism is that online (batch-1) HDC inference is launch-overhead-bound
+//! on a GPU while it is a single array operation on FeReX.
+//!
+//! Run with: `cargo run --release -p ferex-bench --bin fig8bc_gpu`
+
+use ferex_core::{Backend, DistanceMetric, Ferex};
+use ferex_datasets::spec::TABLE_III;
+use ferex_gpu_model::{DistanceKernel, GpuSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const HV_DIM: usize = 2048;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuSpec::RTX_3090;
+    println!("# GPU baseline: {} ({} TFLOP/s, {} GB/s, {} W, {} µs dispatch)", gpu.name,
+        gpu.fp32_flops / 1e12, gpu.mem_bandwidth / 1e9, gpu.busy_power_w,
+        gpu.launch_overhead_s * 1e6);
+    println!("# HDC inference: query hypervector (D = {HV_DIM}) vs K class vectors\n");
+    println!(
+        "{:<8} {:>4} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>10}",
+        "dataset", "K", "GPU lat", "FeReX lat", "speedup", "GPU E/q", "FeReX E/q", "E ratio"
+    );
+
+    let mut rng = StdRng::seed_from_u64(0x8BC);
+    for spec in TABLE_III {
+        // FeReX inference array: one row per class.
+        let mut engine = Ferex::builder()
+            .metric(DistanceMetric::Manhattan)
+            .bits(2)
+            .dim(HV_DIM)
+            .backend(Backend::Ideal)
+            .build()?;
+        for _ in 0..spec.n_classes {
+            engine.store((0..HV_DIM).map(|_| rng.gen_range(0..4u32)).collect())?;
+        }
+        let query: Vec<u32> = (0..HV_DIM).map(|_| rng.gen_range(0..4u32)).collect();
+        let ferex_cost = engine.cost_report(&query)?;
+        let f_lat = ferex_cost.delay.total().value();
+        let f_energy = ferex_cost.energy.total().value();
+
+        // GPU: one online (batch-1) inference.
+        let kernel = DistanceKernel { n_vectors: spec.n_classes, dim: HV_DIM, batch: 1 };
+        let g = gpu.latency(&kernel);
+
+        println!(
+            "{:<8} {:>4} | {:>10.2}µs {:>10.1}ns {:>8.0}x | {:>10.1}mJ {:>10.2}nJ {:>9.0e}",
+            spec.name,
+            spec.n_classes,
+            g.seconds * 1e6,
+            f_lat * 1e9,
+            g.seconds / f_lat,
+            g.joules * 1e3,
+            f_energy * 1e9,
+            g.joules / f_energy,
+        );
+    }
+
+    println!("\n# batched GPU (batch = 64, launch overhead amortized — fair-to-GPU):");
+    for spec in TABLE_III {
+        let kernel = DistanceKernel { n_vectors: spec.n_classes, dim: HV_DIM, batch: 64 };
+        let g = gpu.latency_per_query(&kernel);
+        println!(
+            "  {:<8} GPU {:.2} µs/query, {:.1} µJ/query",
+            spec.name,
+            g.seconds * 1e6,
+            g.joules * 1e6
+        );
+    }
+    println!("\npaper reference: up to 250x speedup and 1e4 energy savings (batch-1");
+    println!("GPU). Our speedup lands in the same regime; the energy ratio exceeds");
+    println!("1e4 because the analytical FeReX energy model excludes system-level");
+    println!("overheads the paper's measurement includes (see EXPERIMENTS.md).");
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Reliability study (supplementary): how long a programmed FeReX array
+//! stays correct (retention) and how many reconfiguration cycles the cells
+//! survive (endurance).
+//!
+//! The paper evaluates instantaneous variation (Fig. 7); a deployable
+//! reconfigurable AM also needs lifetime numbers, which the device layer
+//! provides.
+//!
+//! Run with: `cargo run --release -p ferex-bench --bin reliability`
+
+use ferex_fefet::retention::TEN_YEARS;
+use ferex_fefet::units::Volt;
+use ferex_fefet::{EnduranceModel, FeFet, RetentionModel, Technology};
+
+fn main() {
+    let tech = Technology::default();
+    let retention = RetentionModel::default();
+    let endurance = EnduranceModel::default();
+
+    println!("# Retention: V_th drift of each stored level (log-time model,");
+    println!("# {:.0} %/decade toward the window center)", retention.rate_per_decade * 100.0);
+    println!(
+        "{:>6} | {:>10} | {:>12} | {:>12} | {:>12} | {:>10}",
+        "level", "fresh (V)", "1 day (mV)", "1 year (mV)", "10 yr (mV)", "readable?"
+    );
+    for level in 0..tech.n_vth_levels {
+        let vth = tech.vth_level(level);
+        let drift = |t: f64| (retention.drifted_vth(&tech, vth, t) - vth).value() * 1e3;
+        let mut fet = FeFet::new(&tech);
+        fet.set_level(&tech, level);
+        retention.age(&mut fet, &tech, TEN_YEARS);
+        println!(
+            "{:>6} | {:>10.3} | {:>12.1} | {:>12.1} | {:>12.1} | {:>10}",
+            level,
+            vth.value(),
+            drift(86_400.0),
+            drift(3.156e7),
+            drift(TEN_YEARS),
+            if fet.level(&tech) == Some(level) { "yes" } else { "NO" }
+        );
+    }
+    for level in [0usize, tech.n_vth_levels - 1] {
+        let margin = tech.on_off_margin() * 0.5; // half margin budgeted to drift
+        match retention.time_to_margin(&tech, tech.vth_level(level), margin) {
+            Some(t) => println!(
+                "level {level}: {:.0} mV drift budget consumed after {:.1e} s ({:.0} years)",
+                margin.value() * 1e3,
+                t,
+                t / (365.25 * 24.0 * 3600.0)
+            ),
+            None => println!("level {level}: drift never consumes the budget"),
+        }
+    }
+
+    println!("\n# Endurance: memory window vs program/erase cycles");
+    println!("{:>12} | {:>10} | {:>16}", "cycles", "window", "eff. margin (mV)");
+    for exp in [0, 2, 3, 4, 6, 7, 8, 9] {
+        let cycles = 10f64.powi(exp);
+        let f = endurance.window_fraction(cycles);
+        println!(
+            "{:>12.0} | {:>9.1}% | {:>16.1}",
+            cycles,
+            f * 100.0,
+            endurance.effective_step(&tech, cycles).value() * 0.5 * 1e3
+        );
+    }
+    // Margin needed to absorb 3σ of device variation.
+    let needed = Volt(0.054 * 3.0);
+    match endurance.cycle_budget(&tech, needed) {
+        Some(budget) => println!(
+            "\nreconfiguration budget at a 3σ-variation margin ({:.0} mV): {:.1e} cycles",
+            needed.value() * 1e3,
+            budget
+        ),
+        None => println!("\nfresh device cannot meet the 3σ margin"),
+    }
+    println!("(every metric reconfiguration costs one program/erase cycle per cell)");
+}

@@ -1,0 +1,337 @@
+//! Minimal dependency-free argument parsing for the `ferex` binary.
+
+use ferex_core::DistanceMetric;
+use std::error::Error;
+use std::fmt;
+
+/// Which array backend a command simulates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Exact functional model.
+    Ideal,
+    /// Statistical variation model.
+    Noisy,
+    /// Device-level model.
+    Circuit,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run the encoding pipeline and print the result.
+    Encode {
+        /// Target metric.
+        metric: DistanceMetric,
+        /// Symbol bit width.
+        bits: u32,
+    },
+    /// One associative search.
+    Search {
+        /// Target metric.
+        metric: DistanceMetric,
+        /// Symbol bit width.
+        bits: u32,
+        /// Stored vectors.
+        stored: Vec<Vec<u32>>,
+        /// Query vector.
+        query: Vec<u32>,
+        /// Simulation backend.
+        backend: BackendKind,
+        /// RNG seed for stochastic backends.
+        seed: u64,
+    },
+    /// Fig. 7-style Monte-Carlo campaign.
+    MonteCarlo {
+        /// Number of runs.
+        runs: usize,
+        /// Distance of the true nearest vector.
+        near: usize,
+        /// Distance of the competitors.
+        far: usize,
+        /// Simulation backend.
+        backend: BackendKind,
+    },
+    /// Co-simulate an encoding on the device-level array.
+    Verify {
+        /// Target metric.
+        metric: DistanceMetric,
+        /// Symbol bit width.
+        bits: u32,
+    },
+    /// Print the technology card.
+    Info,
+    /// Print usage.
+    Help,
+}
+
+/// Argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for ParseArgsError {}
+
+fn err(msg: impl Into<String>) -> ParseArgsError {
+    ParseArgsError(msg.into())
+}
+
+fn parse_metric(s: &str) -> Result<DistanceMetric, ParseArgsError> {
+    match s.to_ascii_lowercase().as_str() {
+        "hamming" | "hd" => Ok(DistanceMetric::Hamming),
+        "manhattan" | "l1" => Ok(DistanceMetric::Manhattan),
+        "euclidean" | "l2" | "euclidean2" => Ok(DistanceMetric::EuclideanSquared),
+        other => Err(err(format!("unknown metric '{other}' (hamming|manhattan|euclidean)"))),
+    }
+}
+
+fn parse_backend(s: &str) -> Result<BackendKind, ParseArgsError> {
+    match s.to_ascii_lowercase().as_str() {
+        "ideal" => Ok(BackendKind::Ideal),
+        "noisy" => Ok(BackendKind::Noisy),
+        "circuit" => Ok(BackendKind::Circuit),
+        other => Err(err(format!("unknown backend '{other}' (ideal|noisy|circuit)"))),
+    }
+}
+
+/// Parses one vector given as comma-separated symbol values.
+fn parse_vector(s: &str) -> Result<Vec<u32>, ParseArgsError> {
+    s.split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map_err(|_| err(format!("invalid symbol '{tok}' in vector '{s}'")))
+        })
+        .collect()
+}
+
+/// Parses semicolon-separated vectors.
+fn parse_vectors(s: &str) -> Result<Vec<Vec<u32>>, ParseArgsError> {
+    s.split(';').map(parse_vector).collect()
+}
+
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Result<Self, ParseArgsError> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if !flag.starts_with("--") {
+                return Err(err(format!("expected a --flag, found '{flag}'")));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| err(format!("flag '{flag}' is missing its value")))?;
+            pairs.push((&flag[2..], value.as_str()));
+            i += 2;
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, ParseArgsError> {
+        self.get(name).ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+
+    fn ensure_known(&self, known: &[&str]) -> Result<(), ParseArgsError> {
+        for (name, _) in &self.pairs {
+            if !known.contains(name) {
+                return Err(err(format!("unknown flag --{name}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a full argument list (excluding the program name).
+///
+/// # Errors
+///
+/// [`ParseArgsError`] with a user-facing message on any malformed input.
+pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "info" => {
+            if rest.is_empty() {
+                Ok(Command::Info)
+            } else {
+                Err(err("'info' takes no arguments"))
+            }
+        }
+        "verify" => {
+            let flags = Flags::new(rest)?;
+            flags.ensure_known(&["metric", "bits"])?;
+            let metric = parse_metric(flags.require("metric")?)?;
+            let bits = flags
+                .get("bits")
+                .map(|b| b.parse::<u32>().map_err(|_| err("invalid --bits")))
+                .transpose()?
+                .unwrap_or(2);
+            Ok(Command::Verify { metric, bits })
+        }
+        "encode" => {
+            let flags = Flags::new(rest)?;
+            flags.ensure_known(&["metric", "bits"])?;
+            let metric = parse_metric(flags.require("metric")?)?;
+            let bits = flags
+                .get("bits")
+                .map(|b| b.parse::<u32>().map_err(|_| err("invalid --bits")))
+                .transpose()?
+                .unwrap_or(2);
+            Ok(Command::Encode { metric, bits })
+        }
+        "search" => {
+            let flags = Flags::new(rest)?;
+            flags.ensure_known(&["metric", "bits", "store", "query", "backend", "seed"])?;
+            let metric = parse_metric(flags.require("metric")?)?;
+            let bits = flags
+                .get("bits")
+                .map(|b| b.parse::<u32>().map_err(|_| err("invalid --bits")))
+                .transpose()?
+                .unwrap_or(2);
+            let stored = parse_vectors(flags.require("store")?)?;
+            let query = parse_vector(flags.require("query")?)?;
+            let backend = flags.get("backend").map(parse_backend).transpose()?
+                .unwrap_or(BackendKind::Ideal);
+            let seed = flags
+                .get("seed")
+                .map(|s| s.parse::<u64>().map_err(|_| err("invalid --seed")))
+                .transpose()?
+                .unwrap_or(0);
+            Ok(Command::Search { metric, bits, stored, query, backend, seed })
+        }
+        "montecarlo" | "mc" => {
+            let flags = Flags::new(rest)?;
+            flags.ensure_known(&["runs", "near", "far", "backend"])?;
+            let parse_usize = |name: &str, default: usize| -> Result<usize, ParseArgsError> {
+                flags
+                    .get(name)
+                    .map(|v| v.parse::<usize>().map_err(|_| err(format!("invalid --{name}"))))
+                    .transpose()
+                    .map(|o| o.unwrap_or(default))
+            };
+            let runs = parse_usize("runs", 100)?;
+            let near = parse_usize("near", 5)?;
+            let far = parse_usize("far", 6)?;
+            let backend = flags.get("backend").map(parse_backend).transpose()?
+                .unwrap_or(BackendKind::Noisy);
+            if near >= far {
+                return Err(err("--near must be smaller than --far"));
+            }
+            Ok(Command::MonteCarlo { runs, near, far, backend })
+        }
+        other => Err(err(format!("unknown subcommand '{other}' (try 'ferex help')"))),
+    }
+}
+
+/// The usage text printed by `ferex help`.
+pub const USAGE: &str = "\
+ferex — reconfigurable ferroelectric compute-in-memory simulator
+
+USAGE:
+  ferex encode --metric <hamming|manhattan|euclidean> [--bits N]
+  ferex search --metric <m> --store \"0,1,2;3,2,1\" --query \"0,1,2\"
+               [--bits N] [--backend ideal|noisy|circuit] [--seed N]
+  ferex verify --metric <m> [--bits N]
+  ferex montecarlo [--runs N] [--near D] [--far D]
+               [--backend noisy|circuit]
+  ferex info
+  ferex help
+
+EXAMPLES:
+  ferex encode --metric hamming
+  ferex search --metric manhattan --store \"0,0;3,3\" --query \"1,0\"
+  ferex montecarlo --runs 200 --backend circuit
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_encode() {
+        let cmd = parse(&argv("encode --metric hamming --bits 2")).unwrap();
+        assert_eq!(cmd, Command::Encode { metric: DistanceMetric::Hamming, bits: 2 });
+        // Default bits.
+        let cmd = parse(&argv("encode --metric l1")).unwrap();
+        assert_eq!(cmd, Command::Encode { metric: DistanceMetric::Manhattan, bits: 2 });
+    }
+
+    #[test]
+    fn parses_search_with_vectors() {
+        let cmd = parse(&argv(
+            "search --metric euclidean --store 0,1;2,3 --query 1,1 --backend noisy --seed 7",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Search { metric, stored, query, backend, seed, bits } => {
+                assert_eq!(metric, DistanceMetric::EuclideanSquared);
+                assert_eq!(stored, vec![vec![0, 1], vec![2, 3]]);
+                assert_eq!(query, vec![1, 1]);
+                assert_eq!(backend, BackendKind::Noisy);
+                assert_eq!(seed, 7);
+                assert_eq!(bits, 2);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_montecarlo_defaults() {
+        let cmd = parse(&argv("montecarlo")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::MonteCarlo { runs: 100, near: 5, far: 6, backend: BackendKind::Noisy }
+        );
+        let cmd = parse(&argv("mc --runs 10 --near 3 --far 9 --backend circuit")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::MonteCarlo { runs: 10, near: 3, far: 9, backend: BackendKind::Circuit }
+        );
+    }
+
+    #[test]
+    fn help_and_info() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("info")).unwrap(), Command::Info);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(&argv("bogus")).is_err());
+        assert!(parse(&argv("encode")).is_err()); // missing --metric
+        assert!(parse(&argv("encode --metric fancy")).is_err());
+        assert!(parse(&argv("search --metric hd --store 0,x --query 0")).is_err());
+        assert!(parse(&argv("montecarlo --near 6 --far 6")).is_err());
+        assert!(parse(&argv("encode --metric")).is_err()); // dangling flag
+        assert!(parse(&argv("encode --metric hd --bogus 1")).is_err());
+        assert!(parse(&argv("info extra")).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        for sub in ["encode", "search", "verify", "montecarlo", "info", "help"] {
+            assert!(USAGE.contains(sub), "usage missing {sub}");
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Command execution: each subcommand renders its output to a `String`
+//! (testable) which `main` prints.
+
+use crate::args::{BackendKind, Command};
+use ferex_analog::montecarlo::MonteCarlo;
+use ferex_core::{
+    cosimulate, find_minimal_cell, sizing_for, Backend, CircuitConfig, DistanceMatrix,
+    DistanceMetric, Ferex, FerexError,
+};
+use ferex_fefet::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Command-execution failure (already user-facing).
+#[derive(Debug)]
+pub struct CommandError(pub String);
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for CommandError {}
+
+impl From<FerexError> for CommandError {
+    fn from(e: FerexError) -> Self {
+        CommandError(e.to_string())
+    }
+}
+
+fn backend_of(kind: BackendKind, seed: u64) -> Backend {
+    match kind {
+        BackendKind::Ideal => Backend::Ideal,
+        BackendKind::Noisy => {
+            Backend::Noisy(Box::new(CircuitConfig { seed, ..Default::default() }))
+        }
+        BackendKind::Circuit => {
+            Backend::Circuit(Box::new(CircuitConfig { seed, ..Default::default() }))
+        }
+    }
+}
+
+/// Executes a parsed command and returns its rendered output.
+///
+/// # Errors
+///
+/// [`CommandError`] with a user-facing message.
+pub fn run(command: &Command) -> Result<String, CommandError> {
+    match command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Info => Ok(render_info(&Technology::default())),
+        Command::Encode { metric, bits } => render_encode(*metric, *bits),
+        Command::Search { metric, bits, stored, query, backend, seed } => {
+            render_search(*metric, *bits, stored, query, *backend, *seed)
+        }
+        Command::MonteCarlo { runs, near, far, backend } => {
+            render_montecarlo(*runs, *near, *far, *backend)
+        }
+        Command::Verify { metric, bits } => render_verify(*metric, *bits),
+    }
+}
+
+fn render_verify(metric: DistanceMetric, bits: u32) -> Result<String, CommandError> {
+    if !(1..=6).contains(&bits) {
+        return Err(CommandError("--bits must be in 1..=6".into()));
+    }
+    let tech = Technology::default();
+    let dm = DistanceMatrix::from_metric(metric, bits);
+    let report = find_minimal_cell(&dm, &sizing_for(&tech))
+        .map_err(|e| CommandError(format!("encoding failed: {e}")))?;
+    let cosim = cosimulate(&report.encoding, &dm, &tech, 0.15);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{bits}-bit {metric}: {}FeFET{}R encoding, {} (search,stored) pairs co-simulated",
+        report.encoding.k,
+        report.encoding.k,
+        cosim.measurements.len()
+    );
+    let _ = writeln!(out, "worst deviation: {:.3} I_unit", cosim.max_error());
+    if cosim.passed() {
+        let _ = writeln!(out, "PASS: device-level array reproduces the distance matrix");
+    } else {
+        let _ = writeln!(out, "FAIL: {} pairs out of tolerance", cosim.failures().len());
+        for m in cosim.failures().iter().take(8) {
+            let _ = writeln!(
+                out,
+                "  search {} / stored {}: sensed {:.2}, expected {}",
+                m.search, m.stored, m.sensed, m.expected
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn render_info(tech: &Technology) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "technology card (45nm-class defaults):");
+    let _ = writeln!(
+        out,
+        "  stored V_th levels : {} ({})",
+        tech.n_vth_levels,
+        (0..tech.n_vth_levels)
+            .map(|i| format!("{:.1} V", tech.vth_level(i).value()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "  search V_gs levels : {} ({})",
+        tech.n_vth_levels + 1,
+        (0..=tech.n_vth_levels)
+            .map(|j| format!("{:.1} V", tech.search_voltage(j).value()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out, "  cell resistor      : {:.1} MΩ", tech.r_cell.value() / 1e6);
+    let _ = writeln!(
+        out,
+        "  V_ds unit / I_unit : {:.2} V / {:.0} nA (up to {}x)",
+        tech.vds_unit.value(),
+        tech.i_unit().value() * 1e9,
+        tech.max_vds_multiple
+    );
+    let _ = writeln!(out, "  ON/OFF margin      : {:.0} mV", tech.on_off_margin().value() * 1e3);
+    out
+}
+
+fn render_encode(metric: DistanceMetric, bits: u32) -> Result<String, CommandError> {
+    if !(1..=6).contains(&bits) {
+        return Err(CommandError("--bits must be in 1..=6".into()));
+    }
+    let tech = Technology::default();
+    let dm = DistanceMatrix::from_metric(metric, bits);
+    let mut out = String::new();
+    let _ = writeln!(out, "{bits}-bit {metric} distance matrix:");
+    let _ = write!(out, "{dm}");
+    let report = find_minimal_cell(&dm, &sizing_for(&tech))
+        .map_err(|e| CommandError(format!("encoding failed: {e}")))?;
+    let _ = writeln!(out);
+    for a in &report.attempts {
+        let _ = writeln!(
+            out,
+            "K = {}: {}",
+            a.k,
+            if a.feasible { "feasible" } else { "infeasible" }
+        );
+    }
+    let _ = write!(out, "{}", report.encoding);
+    match report.encoding.verify(&dm) {
+        Ok(()) => {
+            let _ = writeln!(out, "verification: OK (encoding reproduces the DM exactly)");
+        }
+        Err((i, j, want, got)) => {
+            return Err(CommandError(format!(
+                "internal verification failure at ({i},{j}): want {want}, got {got}"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+fn render_search(
+    metric: DistanceMetric,
+    bits: u32,
+    stored: &[Vec<u32>],
+    query: &[u32],
+    backend: BackendKind,
+    seed: u64,
+) -> Result<String, CommandError> {
+    if stored.is_empty() {
+        return Err(CommandError("--store must contain at least one vector".into()));
+    }
+    let dim = query.len();
+    if dim == 0 {
+        return Err(CommandError("--query must not be empty".into()));
+    }
+    let mut engine = Ferex::builder()
+        .metric(metric)
+        .bits(bits)
+        .dim(dim)
+        .backend(backend_of(backend, seed))
+        .build()
+        .map_err(|e| CommandError(e.to_string()))?;
+    for v in stored {
+        engine.store(v.clone())?;
+    }
+    let result = engine.search(query)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{metric} search over {} stored vectors ({} symbols, {} backend):",
+        stored.len(),
+        dim,
+        match backend {
+            BackendKind::Ideal => "ideal",
+            BackendKind::Noisy => "noisy",
+            BackendKind::Circuit => "circuit",
+        }
+    );
+    for (r, d) in result.distances.iter().enumerate() {
+        let marker = if r == result.nearest { "  <-- nearest" } else { "" };
+        let _ = writeln!(out, "  row {r}: distance {d:.2}{marker}");
+    }
+    Ok(out)
+}
+
+fn render_montecarlo(
+    runs: usize,
+    near: usize,
+    far: usize,
+    backend: BackendKind,
+) -> Result<String, CommandError> {
+    const DIM: usize = 48;
+    let mc = MonteCarlo { runs, seed: 0xC11 };
+    let mut k = 0u64;
+    let result = mc.run(|_| {
+        k += 1;
+        let mut rng = StdRng::seed_from_u64(k);
+        let query: Vec<u32> = (0..DIM).map(|_| rng.gen_range(0..4u32)).collect();
+        let flip = |v: &[u32], n: usize, rng: &mut StdRng| -> Vec<u32> {
+            let mut out = v.to_vec();
+            let mut seen = std::collections::HashSet::new();
+            while seen.len() < n {
+                let pos = rng.gen_range(0..out.len() * 2);
+                if seen.insert(pos) {
+                    out[pos / 2] ^= 1 << (pos % 2);
+                }
+            }
+            out
+        };
+        let mut engine = Ferex::builder()
+            .metric(DistanceMetric::Hamming)
+            .bits(2)
+            .dim(DIM)
+            .backend(backend_of(backend, k))
+            .build()
+            .expect("2-bit Hamming encodes");
+        engine.store(flip(&query, near, &mut rng)).expect("stores");
+        for _ in 0..8 {
+            engine.store(flip(&query, far, &mut rng)).expect("stores");
+        }
+        engine.search(&query).expect("searches").nearest == 0
+    });
+    let (lo, hi) = result.wilson_95();
+    Ok(format!(
+        "worst-case search accuracy (HD {near} vs {far}, {runs} runs): {:.1}% \
+         (95% CI {:.1}-{:.1}%)\n",
+        result.accuracy() * 100.0,
+        lo * 100.0,
+        hi * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run_line(line: &str) -> Result<String, CommandError> {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        run(&parse(&argv).expect("parses"))
+    }
+
+    #[test]
+    fn info_renders_technology() {
+        let out = run_line("info").unwrap();
+        assert!(out.contains("stored V_th levels"));
+        assert!(out.contains("1.0 MΩ"));
+    }
+
+    #[test]
+    fn encode_hamming_prints_table_and_verifies() {
+        let out = run_line("encode --metric hamming").unwrap();
+        assert!(out.contains("3FeFET3R"));
+        assert!(out.contains("K = 1: infeasible"));
+        assert!(out.contains("verification: OK"));
+    }
+
+    #[test]
+    fn search_reports_nearest() {
+        let out = run_line("search --metric manhattan --store 0,0;3,3 --query 1,0").unwrap();
+        assert!(out.contains("row 0: distance 1.00  <-- nearest"), "{out}");
+        assert!(out.contains("row 1: distance 5.00"));
+    }
+
+    #[test]
+    fn search_on_noisy_backend_runs() {
+        let out =
+            run_line("search --metric hamming --store 0,0,0,0;3,3,3,3 --query 0,0,0,0 --backend noisy")
+                .unwrap();
+        assert!(out.contains("<-- nearest"));
+    }
+
+    #[test]
+    fn montecarlo_reports_accuracy() {
+        let out = run_line("montecarlo --runs 10 --near 5 --far 9").unwrap();
+        assert!(out.contains("worst-case search accuracy"));
+        assert!(out.contains("10 runs"));
+    }
+
+    #[test]
+    fn errors_are_user_facing() {
+        let err = run_line("encode --metric hamming --bits 9").unwrap_err();
+        assert!(err.to_string().contains("--bits"));
+        let err = run_line("search --metric hamming --store 0,4 --query 0,0").unwrap_err();
+        assert!(err.to_string().contains("symbol"), "{err}");
+    }
+}

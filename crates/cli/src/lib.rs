@@ -1,0 +1,22 @@
+//! # ferex-cli — command-line interface library
+//!
+//! Argument parsing and command execution for the `ferex` binary. Kept as a
+//! library so the parsing and the commands are unit-testable without
+//! spawning processes.
+//!
+//! Subcommands:
+//!
+//! * `ferex encode --metric <hamming|manhattan|euclidean> [--bits N]` —
+//!   run the CSP pipeline and print the sizing trail + voltage table.
+//! * `ferex search --metric <m> --store "v;v;…" --query "v"
+//!   [--backend <ideal|noisy|circuit>] [--seed N]` — one associative
+//!   search over vectors given as comma-separated symbols.
+//! * `ferex montecarlo [--runs N] [--near D] [--far D] [--backend …]` —
+//!   the Fig. 7 worst-case campaign.
+//! * `ferex info` — print the technology card.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseArgsError};
+pub use commands::{run, CommandError};

@@ -1,0 +1,672 @@
+//! The FeReX associative-memory array: stored symbol vectors, searched in
+//! one shot, nearest row reported by the LTA.
+//!
+//! A *logical* vector of `dim` b-bit symbols occupies one array row of
+//! `dim × K` physical FeFET columns (K FeFETs per AM cell, from the sizing
+//! step). Three backends expose the same API:
+//!
+//! * [`Backend::Ideal`] — noiseless functional model: cell currents are the
+//!   encoding's exact integer units and the LTA is an exact argmin. This is
+//!   the "software-based implementation" the paper compares accuracy
+//!   against.
+//! * [`Backend::Circuit`] — device-level model: a [`Crossbar`] of
+//!   [`ferex_fefet::Cell`]s with device-to-device variation, IR drop and an
+//!   offset-afflicted LTA. This is the Monte-Carlo subject of Fig. 7.
+//! * [`Backend::Noisy`] — statistical variation model with the same error
+//!   mechanisms but no per-cell device objects; tractable at
+//!   application scale (HDC/KNN) and cross-validated against `Circuit`.
+
+use crate::encoding::CellEncoding;
+use crate::error::FerexError;
+use ferex_analog::crossbar::{ArrayOptions, ColumnDrive, Crossbar};
+use ferex_analog::lta::LtaParams;
+use ferex_analog::parasitics::WireParams;
+use ferex_fefet::units::{Amp, Volt};
+use ferex_fefet::{Technology, VariationModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Circuit-backend configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitConfig {
+    /// Device-to-device variation model.
+    pub variation: VariationModel,
+    /// LTA comparator parameters.
+    pub lta: LtaParams,
+    /// Array electrical options (IR drop, exact solve, ScL bias).
+    pub options: ArrayOptions,
+    /// Wire parasitics.
+    pub wire: WireParams,
+    /// Seed for variation sampling and LTA offset noise.
+    pub seed: u64,
+}
+
+impl Default for CircuitConfig {
+    fn default() -> Self {
+        CircuitConfig {
+            variation: VariationModel::default(),
+            lta: LtaParams::default(),
+            options: ArrayOptions::default(),
+            wire: WireParams::default(),
+            seed: 0xFE12EC5,
+        }
+    }
+}
+
+/// Which physical fidelity the array simulates at.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Backend {
+    /// Exact integer currents, exact argmin.
+    Ideal,
+    /// Device-level crossbar with variation and sensing offset: every cell
+    /// is a full FeFET (Preisach ensemble + transistor + resistor). Highest
+    /// fidelity, heavy — use for arrays up to a few thousand cells.
+    Circuit(Box<CircuitConfig>),
+    /// Statistical variation model without device objects: per-cell
+    /// threshold shifts flip marginal ON/OFF decisions and per-cell resistor
+    /// deviations scale ON currents, with the same LTA offset model.
+    /// Memory-light — use for application-scale arrays (HDC, KNN). Validated
+    /// against `Circuit` in the Fig. 7 cross-check.
+    Noisy(Box<CircuitConfig>),
+}
+
+/// Result of one search operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Sensed row distances in `I_unit` multiples (circuit backends include
+    /// analog error).
+    pub distances: Vec<f64>,
+    /// Row index the LTA reported as nearest.
+    pub nearest: usize,
+}
+
+/// A FeReX associative-memory array.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_core::array::{Backend, FerexArray};
+/// use ferex_core::sizing::{find_minimal_cell, SizingOptions};
+/// use ferex_core::{DistanceMatrix, DistanceMetric};
+/// use ferex_fefet::Technology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+/// let report = find_minimal_cell(&dm, &SizingOptions::default())?;
+/// let mut array = FerexArray::new(Technology::default(), report.encoding, 4, Backend::Ideal);
+/// array.store(vec![0, 1, 2, 3])?;
+/// array.store(vec![3, 2, 1, 0])?;
+/// let out = array.search(&[0, 1, 2, 2])?;
+/// assert_eq!(out.nearest, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FerexArray {
+    tech: Technology,
+    encoding: CellEncoding,
+    dim: usize,
+    backend: Backend,
+    stored: Vec<Vec<u32>>,
+    crossbar: Option<Crossbar>,
+    /// Per-cell variation samples of the `Noisy` backend (row-major).
+    noisy_samples: Option<Vec<ferex_fefet::DeviceSample>>,
+    rng: StdRng,
+}
+
+impl FerexArray {
+    /// Creates an empty array for vectors of `dim` symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(tech: Technology, encoding: CellEncoding, dim: usize, backend: Backend) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        let seed = match &backend {
+            Backend::Ideal => 0,
+            Backend::Circuit(c) | Backend::Noisy(c) => c.seed,
+        };
+        FerexArray {
+            tech,
+            encoding,
+            dim,
+            backend,
+            stored: Vec::new(),
+            crossbar: None,
+            noisy_samples: None,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of stored vectors (array rows in use).
+    pub fn len(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// `true` if no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.stored.is_empty()
+    }
+
+    /// Symbols per stored vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Physical FeFET columns per row (`dim × K`).
+    pub fn physical_cols(&self) -> usize {
+        self.dim * self.encoding.k
+    }
+
+    /// The cell encoding this array is programmed with.
+    pub fn encoding(&self) -> &CellEncoding {
+        &self.encoding
+    }
+
+    /// The stored vectors, in row order.
+    pub fn stored(&self) -> &[Vec<u32>] {
+        &self.stored
+    }
+
+    /// Swaps in a new encoding (reconfiguration to another distance
+    /// function). Stored data is kept; the physical array will be
+    /// re-programmed on the next search.
+    pub fn reconfigure(&mut self, encoding: CellEncoding) -> Result<(), FerexError> {
+        for v in &self.stored {
+            for &s in v {
+                if s as usize >= encoding.n_stored() {
+                    return Err(FerexError::SymbolOutOfRange {
+                        value: s,
+                        n_values: encoding.n_stored(),
+                    });
+                }
+            }
+        }
+        self.encoding = encoding;
+        self.crossbar = None;
+        self.noisy_samples = None;
+        Ok(())
+    }
+
+    fn validate(&self, vector: &[u32]) -> Result<(), FerexError> {
+        if vector.len() != self.dim {
+            return Err(FerexError::DimensionMismatch { expected: self.dim, got: vector.len() });
+        }
+        for &s in vector {
+            if s as usize >= self.encoding.n_stored() {
+                return Err(FerexError::SymbolOutOfRange {
+                    value: s,
+                    n_values: self.encoding.n_stored(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Stores one vector into the next free row.
+    ///
+    /// # Errors
+    ///
+    /// Dimension or symbol-range violations.
+    pub fn store(&mut self, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.validate(&vector)?;
+        self.stored.push(vector);
+        self.crossbar = None; // re-program lazily
+        self.noisy_samples = None;
+        Ok(())
+    }
+
+    /// Stores many vectors.
+    pub fn store_all<I: IntoIterator<Item = Vec<u32>>>(
+        &mut self,
+        vectors: I,
+    ) -> Result<(), FerexError> {
+        for v in vectors {
+            self.store(v)?;
+        }
+        Ok(())
+    }
+
+    /// Clears all stored vectors.
+    pub fn clear(&mut self) {
+        self.stored.clear();
+        self.crossbar = None;
+        self.noisy_samples = None;
+    }
+
+    /// Removes the vector at `row` (later rows shift up — the physical
+    /// analogue is erasing the row and compacting the row map). Returns the
+    /// removed vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn remove(&mut self, row: usize) -> Vec<u32> {
+        assert!(row < self.stored.len(), "row {row} out of range");
+        let removed = self.stored.remove(row);
+        self.crossbar = None;
+        self.noisy_samples = None;
+        removed
+    }
+
+    /// Replaces the vector at `row` in place (a row re-program).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors; the array is unchanged on error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn update(&mut self, row: usize, vector: Vec<u32>) -> Result<(), FerexError> {
+        assert!(row < self.stored.len(), "row {row} out of range");
+        self.validate(&vector)?;
+        self.stored[row] = vector;
+        self.crossbar = None;
+        self.noisy_samples = None;
+        Ok(())
+    }
+
+    /// Builds the column drives for a query (shared by search and the cost
+    /// models).
+    pub fn drives_for(&self, query: &[u32]) -> Result<Vec<ColumnDrive>, FerexError> {
+        self.validate(query)?;
+        let k = self.encoding.k;
+        let mut drives = Vec::with_capacity(self.dim * k);
+        for &q in query {
+            let se = &self.encoding.search[q as usize];
+            for f in 0..k {
+                let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
+                let m = se.vds_multiples[f];
+                let v_dl =
+                    if m == 0 { Volt(0.0) } else { self.tech.vds_for_multiple(m as usize) };
+                drives.push(ColumnDrive { v_gate, v_dl });
+            }
+        }
+        Ok(drives)
+    }
+
+    /// Programs (or re-programs) the physical crossbar for the circuit
+    /// backend. Called lazily by [`FerexArray::search`]; exposed for cost
+    /// accounting.
+    pub fn program(&mut self) {
+        match &self.backend {
+            Backend::Ideal => {}
+            Backend::Circuit(cfg) => {
+                if self.crossbar.is_some() || self.stored.is_empty() {
+                    return;
+                }
+                let rows = self.stored.len();
+                let cols = self.physical_cols();
+                let mut xb = Crossbar::with_variation(
+                    self.tech.clone(),
+                    cfg.wire,
+                    rows,
+                    cols,
+                    &cfg.variation,
+                    &mut self.rng,
+                );
+                let k = self.encoding.k;
+                for (r, vector) in self.stored.iter().enumerate() {
+                    for (d, &s) in vector.iter().enumerate() {
+                        let st = &self.encoding.stored[s as usize];
+                        for f in 0..k {
+                            xb.program(r, d * k + f, st.vth_levels[f]);
+                        }
+                    }
+                }
+                self.crossbar = Some(xb);
+            }
+            Backend::Noisy(cfg) => {
+                if self.noisy_samples.is_some() || self.stored.is_empty() {
+                    return;
+                }
+                let n = self.stored.len() * self.physical_cols();
+                let variation = cfg.variation;
+                let samples = (0..n)
+                    .map(|_| {
+                        if variation.is_nominal() {
+                            ferex_fefet::DeviceSample::NOMINAL
+                        } else {
+                            variation.sample(&mut self.rng)
+                        }
+                    })
+                    .collect();
+                self.noisy_samples = Some(samples);
+            }
+        }
+    }
+
+    /// Raw sensed row distances (in `I_unit` multiples) for a query,
+    /// without the LTA decision.
+    pub fn distances(&mut self, query: &[u32]) -> Result<Vec<f64>, FerexError> {
+        self.validate(query)?;
+        if self.stored.is_empty() {
+            return Err(FerexError::Empty);
+        }
+        match &self.backend {
+            Backend::Ideal => Ok(self
+                .stored
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .zip(query)
+                        .map(|(&s, &q)| self.encoding.cell_current(q as usize, s as usize) as f64)
+                        .sum()
+                })
+                .collect()),
+            Backend::Circuit(cfg) => {
+                let options = cfg.options;
+                self.program();
+                let drives = self.drives_for(query)?;
+                let xb = self.crossbar.as_ref().expect("programmed above");
+                let i_unit = self.tech.i_unit().value();
+                Ok(xb
+                    .search(&drives, &options)
+                    .into_iter()
+                    .map(|i| i.value() / i_unit)
+                    .collect())
+            }
+            Backend::Noisy(_) => {
+                self.program();
+                let samples = self.noisy_samples.as_ref().expect("programmed above");
+                let k = self.encoding.k;
+                let cols = self.physical_cols();
+                let mut out = Vec::with_capacity(self.stored.len());
+                for (r, row) in self.stored.iter().enumerate() {
+                    let mut units = 0.0f64;
+                    for (d, (&s, &q)) in row.iter().zip(query).enumerate() {
+                        let st = &self.encoding.stored[s as usize];
+                        let se = &self.encoding.search[q as usize];
+                        for f in 0..k {
+                            let m = se.vds_multiples[f];
+                            if m == 0 {
+                                continue;
+                            }
+                            let sample = &samples[r * cols + d * k + f];
+                            let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
+                            let vth =
+                                self.tech.vth_level(st.vth_levels[f]) + sample.dvth;
+                            if v_gate > vth {
+                                // Resistor clamp: I = V_ds / (R·r_factor).
+                                units += m as f64 / sample.r_factor;
+                            }
+                        }
+                    }
+                    out.push(units);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// One associative search: senses all rows and reports the LTA's
+    /// nearest row.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::Empty`] if nothing is stored; validation errors for a
+    /// malformed query.
+    pub fn search(&mut self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+        let distances = self.distances(query)?;
+        let i_unit = self.tech.i_unit().value();
+        let currents: Vec<Amp> = distances.iter().map(|&d| Amp(d * i_unit)).collect();
+        let lta = match &self.backend {
+            Backend::Ideal => LtaParams::ideal(),
+            Backend::Circuit(cfg) | Backend::Noisy(cfg) => cfg.lta,
+        };
+        let decision = lta.sense(&currents, &mut self.rng);
+        Ok(SearchOutcome { distances, nearest: decision.loser })
+    }
+
+    /// Digital distance readout: senses all rows and digitizes the row
+    /// currents with the given ADC (full scale auto-ranged to the encoding
+    /// maximum if `adc.full_scale` is zero). Returns per-row distance
+    /// *codes* plus the conversion cost — the readout mode used when the
+    /// application needs distance values rather than just the argmin
+    /// (e.g. cross-tile accumulation or confidence scores).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::distances`].
+    pub fn read_digital(
+        &mut self,
+        query: &[u32],
+        adc: &ferex_analog::adc::AdcParams,
+        parallelism: usize,
+    ) -> Result<ferex_analog::adc::AdcReadout, FerexError> {
+        let distances = self.distances(query)?;
+        let i_unit = self.tech.i_unit().value();
+        let currents: Vec<Amp> = distances.iter().map(|&d| Amp(d * i_unit)).collect();
+        let adc = if adc.full_scale.value() > 0.0 {
+            *adc
+        } else {
+            // Auto-range: the worst-case row distance is max-DM-entry per
+            // symbol across the whole vector.
+            let max_units = (self.encoding.max_vds_multiple as usize
+                * self.encoding.k
+                * self.dim) as f64;
+            ferex_analog::adc::AdcParams {
+                full_scale: Amp(max_units * i_unit),
+                ..*adc
+            }
+        };
+        Ok(adc.read_out(&currents, parallelism))
+    }
+
+    /// k-nearest search via iterative LTA masking.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::search`]; additionally if `k` exceeds the number of
+    /// stored vectors.
+    pub fn search_k(&mut self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
+        let distances = self.distances(query)?;
+        if k == 0 || k > distances.len() {
+            return Err(FerexError::Empty);
+        }
+        let i_unit = self.tech.i_unit().value();
+        let currents: Vec<Amp> = distances.iter().map(|&d| Amp(d * i_unit)).collect();
+        let lta = match &self.backend {
+            Backend::Ideal => LtaParams::ideal(),
+            Backend::Circuit(cfg) | Backend::Noisy(cfg) => cfg.lta,
+        };
+        Ok(lta.sense_k(&currents, k, &mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMetric;
+    use crate::dm::DistanceMatrix;
+    use crate::sizing::{find_minimal_cell, SizingOptions};
+
+    fn hamming_array(dim: usize, backend: Backend) -> FerexArray {
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+        let report = find_minimal_cell(&dm, &SizingOptions::default()).expect("sizes");
+        FerexArray::new(Technology::default(), report.encoding, dim, backend)
+    }
+
+    #[test]
+    fn ideal_search_matches_metric() {
+        let mut a = hamming_array(4, Backend::Ideal);
+        a.store(vec![0, 1, 2, 3]).unwrap();
+        a.store(vec![3, 2, 1, 0]).unwrap();
+        a.store(vec![0, 0, 0, 0]).unwrap();
+        let q = [0, 1, 2, 0];
+        let out = a.search(&q).unwrap();
+        let m = DistanceMetric::Hamming;
+        for (r, stored) in a.stored().iter().enumerate() {
+            let expected = m.vector_distance(&q, stored) as f64;
+            assert_eq!(out.distances[r], expected, "row {r}");
+        }
+        assert_eq!(out.nearest, 0);
+    }
+
+    #[test]
+    fn circuit_search_agrees_with_ideal_when_nominal() {
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            ..Default::default()
+        };
+        let mut ideal = hamming_array(6, Backend::Ideal);
+        let mut circuit = hamming_array(6, Backend::Circuit(Box::new(cfg)));
+        let vectors = [vec![0, 1, 2, 3, 0, 1], vec![3, 3, 3, 3, 3, 3], vec![0, 0, 1, 1, 2, 2]];
+        for v in &vectors {
+            ideal.store(v.clone()).unwrap();
+            circuit.store(v.clone()).unwrap();
+        }
+        let q = [0, 1, 2, 3, 1, 1];
+        let oi = ideal.search(&q).unwrap();
+        let oc = circuit.search(&q).unwrap();
+        assert_eq!(oi.nearest, oc.nearest);
+        for (a, b) in oi.distances.iter().zip(&oc.distances) {
+            assert!((a - b).abs() < 0.1, "ideal {a} vs circuit {b}");
+        }
+    }
+
+    #[test]
+    fn search_k_orders_by_distance() {
+        let mut a = hamming_array(4, Backend::Ideal);
+        a.store(vec![0, 0, 0, 0]).unwrap(); // d = 4 from q
+        a.store(vec![1, 1, 1, 1]).unwrap(); // d = 0
+        a.store(vec![1, 1, 0, 0]).unwrap(); // d = 2
+        let top = a.search_k(&[1, 1, 1, 1], 3).unwrap();
+        assert_eq!(top, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn reconfigure_keeps_stored_data() {
+        let mut a = hamming_array(3, Backend::Ideal);
+        a.store(vec![0, 3, 1]).unwrap();
+        a.store(vec![2, 2, 2]).unwrap();
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Manhattan, 2);
+        let enc = find_minimal_cell(&dm, &SizingOptions::default()).unwrap().encoding;
+        a.reconfigure(enc).unwrap();
+        let q = [0, 3, 0];
+        let out = a.search(&q).unwrap();
+        let m = DistanceMetric::Manhattan;
+        for (r, stored) in a.stored().iter().enumerate() {
+            assert_eq!(out.distances[r], m.vector_distance(&q, stored) as f64);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut a = hamming_array(3, Backend::Ideal);
+        assert!(matches!(
+            a.store(vec![0, 1]),
+            Err(FerexError::DimensionMismatch { expected: 3, got: 2 })
+        ));
+        assert!(matches!(
+            a.store(vec![0, 1, 4]),
+            Err(FerexError::SymbolOutOfRange { value: 4, .. })
+        ));
+        assert!(matches!(a.search(&[0, 0, 0]), Err(FerexError::Empty)));
+    }
+
+    #[test]
+    fn noisy_backend_matches_ideal_when_nominal() {
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            ..Default::default()
+        };
+        let mut ideal = hamming_array(8, Backend::Ideal);
+        let mut noisy = hamming_array(8, Backend::Noisy(Box::new(cfg)));
+        for v in [vec![0u32; 8], vec![3; 8], vec![0, 1, 2, 3, 0, 1, 2, 3]] {
+            ideal.store(v.clone()).unwrap();
+            noisy.store(v).unwrap();
+        }
+        let q = [0, 1, 2, 3, 3, 2, 1, 0];
+        let oi = ideal.search(&q).unwrap();
+        let on = noisy.search(&q).unwrap();
+        assert_eq!(oi.distances, on.distances);
+        assert_eq!(oi.nearest, on.nearest);
+    }
+
+    #[test]
+    fn noisy_and_circuit_statistics_agree() {
+        // The fast statistical backend must reproduce the device-level
+        // backend's current statistics on the same workload: identical ON
+        // counts in the nominal part, comparable spread under variation.
+        let stored = vec![vec![0u32; 12], vec![1; 12]];
+        let q = vec![3u32; 12]; // every cell conducts per the ladder
+        let run = |backend: Backend| -> Vec<f64> {
+            let mut a = hamming_array(12, backend);
+            a.store_all(stored.clone()).unwrap();
+            a.distances(&q).unwrap()
+        };
+        let mut noisy_spread = Vec::new();
+        let mut circuit_spread = Vec::new();
+        for seed in 0..6 {
+            let cfg = CircuitConfig { seed, ..Default::default() };
+            let n = run(Backend::Noisy(Box::new(cfg.clone())));
+            let c = run(Backend::Circuit(Box::new(cfg)));
+            for (dn, dc) in n.iter().zip(&c) {
+                noisy_spread.push(*dn);
+                circuit_spread.push(*dc);
+                // Same workload, same error mechanisms: within a few
+                // percent of each other on aggregate row current.
+                assert!(
+                    (dn - dc).abs() / dc < 0.15,
+                    "noisy {dn} vs circuit {dc} diverge"
+                );
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!((mean(&noisy_spread) - mean(&circuit_spread)).abs() < 1.0);
+    }
+
+    #[test]
+    fn digital_readout_codes_track_distances() {
+        use ferex_analog::adc::AdcParams;
+        let mut a = hamming_array(8, Backend::Ideal);
+        a.store(vec![0; 8]).unwrap();
+        a.store(vec![1; 8]).unwrap();
+        a.store(vec![3; 8]).unwrap();
+        let q = vec![0u32; 8];
+        // 10-bit ADC auto-ranged: integer distances must come back as
+        // proportional codes preserving the ordering.
+        let adc = AdcParams { bits: 10, full_scale: ferex_fefet::units::Amp(0.0), ..Default::default() };
+        let readout = a.read_digital(&q, &adc, 1).unwrap();
+        assert_eq!(readout.codes.len(), 3);
+        assert!(readout.codes[0] < readout.codes[1]);
+        assert!(readout.codes[1] < readout.codes[2]);
+        assert!(readout.time.value() > 0.0);
+        assert!(readout.energy.value() > 0.0);
+    }
+
+    #[test]
+    fn remove_and_update_rows() {
+        let mut a = hamming_array(2, Backend::Ideal);
+        a.store(vec![0, 0]).unwrap();
+        a.store(vec![1, 1]).unwrap();
+        a.store(vec![2, 2]).unwrap();
+        let removed = a.remove(1);
+        assert_eq!(removed, vec![1, 1]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.stored()[1], vec![2, 2]);
+        a.update(0, vec![3, 3]).unwrap();
+        let out = a.search(&[3, 3]).unwrap();
+        assert_eq!(out.nearest, 0);
+        assert_eq!(out.distances[0], 0.0);
+        // Invalid update leaves the array unchanged.
+        assert!(a.update(0, vec![9, 9]).is_err());
+        assert_eq!(a.stored()[0], vec![3, 3]);
+    }
+
+    #[test]
+    fn circuit_with_variation_is_deterministic_per_seed() {
+        let mk = || {
+            let cfg = CircuitConfig { seed: 42, ..Default::default() };
+            let mut a = hamming_array(8, Backend::Circuit(Box::new(cfg)));
+            a.store(vec![0; 8]).unwrap();
+            a.store(vec![1; 8]).unwrap();
+            a.search(&[0, 0, 0, 0, 1, 1, 1, 1]).unwrap()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

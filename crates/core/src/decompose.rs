@@ -1,0 +1,172 @@
+//! `DecomposeDM` — distance-matrix element decomposition (paper Fig. 4(c),
+//! constraint 1).
+//!
+//! A DM entry is realized as the sum of the currents of the cell's K
+//! FeFETs; each FeFET contributes either 0 (OFF) or one value from the
+//! allowed current range CR (ON at a quantized `V_ds`). This module
+//! enumerates all ordered K-tuples over `{0} ∪ CR` with the target sum —
+//! the initial candidate set `DMCurs[i, j]` that the row backtracking then
+//! filters.
+
+/// All ordered `k`-tuples from `{0} ∪ levels` summing to `target`.
+///
+/// Tuples are ordered because the K FeFETs of a cell are physically
+/// distinct devices tied to per-FeFET threshold and drive encodings.
+///
+/// # Panics
+///
+/// Panics if `levels` contains 0 or duplicates (0 is implicit; duplicates
+/// would duplicate tuples).
+///
+/// # Examples
+///
+/// ```
+/// use ferex_core::decompose::decompose;
+///
+/// // '2' with three FeFETs and currents {1, 2}: 2 = 2+0+0 = 1+1+0 (ordered).
+/// let tuples = decompose(3, 2, &[1, 2]);
+/// assert!(tuples.contains(&vec![2, 0, 0]));
+/// assert!(tuples.contains(&vec![0, 1, 1]));
+/// assert_eq!(tuples.len(), 6); // 3 placements of '2' + 3 placements of (1,1)
+/// ```
+pub fn decompose(k: usize, target: u32, levels: &[u32]) -> Vec<Vec<u32>> {
+    validate_levels(levels);
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    recurse(k, target, levels, max_level, &mut current, &mut out);
+    out
+}
+
+/// The number of tuples [`decompose`] would return, without materializing
+/// them (used to bound enumeration up front).
+pub fn count_decompositions(k: usize, target: u32, levels: &[u32]) -> u64 {
+    validate_levels(levels);
+    // DP over slots: ways[s] = number of (slots used) suffix decompositions.
+    let mut ways = vec![0u64; target as usize + 1];
+    ways[0] = 1;
+    for _ in 0..k {
+        let mut next = vec![0u64; target as usize + 1];
+        for (sum, &w) in ways.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            next[sum] += w; // slot OFF
+            for &l in levels {
+                let s = sum + l as usize;
+                if s <= target as usize {
+                    next[s] += w;
+                }
+            }
+        }
+        ways = next;
+    }
+    ways[target as usize]
+}
+
+fn validate_levels(levels: &[u32]) {
+    assert!(!levels.contains(&0), "0 is implicit in the current range");
+    for (i, l) in levels.iter().enumerate() {
+        assert!(!levels[..i].contains(l), "duplicate current level {l}");
+    }
+}
+
+fn recurse(
+    slots_left: usize,
+    remaining: u32,
+    levels: &[u32],
+    max_level: u32,
+    current: &mut Vec<u32>,
+    out: &mut Vec<Vec<u32>>,
+) {
+    if slots_left == 0 {
+        if remaining == 0 {
+            out.push(current.clone());
+        }
+        return;
+    }
+    // Prune: the remaining slots cannot reach the remaining sum.
+    if remaining > max_level * slots_left as u32 {
+        return;
+    }
+    // Slot OFF.
+    current.push(0);
+    recurse(slots_left - 1, remaining, levels, max_level, current, out);
+    current.pop();
+    // Slot ON at each allowed level.
+    for &l in levels {
+        if l <= remaining {
+            current.push(l);
+            recurse(slots_left - 1, remaining - l, levels, max_level, current, out);
+            current.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_target_is_all_off() {
+        assert_eq!(decompose(3, 0, &[1, 2]), vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn paper_example_three_fefets_value_two() {
+        // Fig. 4(c): '2' decomposed over 3 FeFETs with levels {1, 2}.
+        let tuples = decompose(3, 2, &[1, 2]);
+        assert_eq!(tuples.len(), 6);
+        for t in &tuples {
+            assert_eq!(t.iter().sum::<u32>(), 2);
+            assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_empty() {
+        assert!(decompose(2, 5, &[1, 2]).is_empty());
+        assert!(decompose(0, 1, &[1]).is_empty());
+    }
+
+    #[test]
+    fn zero_slots_zero_target() {
+        assert_eq!(decompose(0, 0, &[1]), vec![Vec::<u32>::new()]);
+    }
+
+    #[test]
+    fn count_matches_enumeration() {
+        for k in 0..5 {
+            for target in 0..8 {
+                let levels = [1, 2, 4];
+                assert_eq!(
+                    count_decompositions(k, target, &levels),
+                    decompose(k, target, &levels).len() as u64,
+                    "k={k} target={target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tuples_are_distinct() {
+        let tuples = decompose(4, 4, &[1, 2, 3]);
+        for i in 0..tuples.len() {
+            for j in (i + 1)..tuples.len() {
+                assert_ne!(tuples[i], tuples[j]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit")]
+    fn zero_level_rejected() {
+        let _ = decompose(2, 1, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_level_rejected() {
+        let _ = decompose(2, 1, &[1, 1]);
+    }
+}

@@ -1,0 +1,354 @@
+//! The high-level FeReX engine: configure a metric, store vectors, search.
+//!
+//! [`Ferex`] ties the whole pipeline together: distance-matrix construction
+//! → CSP sizing/encoding → array programming → search, plus the Fig. 6
+//! energy/delay cost reporting and live reconfiguration between distance
+//! functions — the capability that distinguishes FeReX from fixed-function
+//! AMs (paper Table I).
+
+use crate::array::{Backend, FerexArray, SearchOutcome};
+use crate::distance::DistanceMetric;
+use crate::dm::DistanceMatrix;
+use crate::encoding::{CellEncoding, EncodingLimits};
+use crate::error::FerexError;
+use crate::sizing::{find_minimal_cell, SizingOptions, SizingReport};
+use ferex_analog::delay::{DelayBreakdown, DelayModel};
+use ferex_analog::energy::{EnergyBreakdown, EnergyModel};
+use ferex_fefet::units::Amp;
+use ferex_fefet::Technology;
+
+/// Builder for a [`Ferex`] engine.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_core::{DistanceMetric, Ferex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ferex = Ferex::builder()
+///     .metric(DistanceMetric::Hamming)
+///     .bits(2)
+///     .dim(8)
+///     .build()?;
+/// ferex.store(vec![0, 1, 2, 3, 3, 2, 1, 0])?;
+/// let result = ferex.search(&[0, 1, 2, 3, 3, 2, 1, 0])?;
+/// assert_eq!(result.nearest, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FerexBuilder {
+    metric: DistanceMetric,
+    bits: u32,
+    dim: usize,
+    tech: Technology,
+    backend: Backend,
+    sizing: Option<SizingOptions>,
+}
+
+impl Default for FerexBuilder {
+    fn default() -> Self {
+        FerexBuilder {
+            metric: DistanceMetric::Hamming,
+            bits: 2,
+            dim: 16,
+            tech: Technology::default(),
+            backend: Backend::Ideal,
+            sizing: None,
+        }
+    }
+}
+
+impl FerexBuilder {
+    /// Sets the distance metric (default: Hamming).
+    pub fn metric(mut self, metric: DistanceMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the per-symbol bit width (default: 2).
+    pub fn bits(mut self, bits: u32) -> Self {
+        self.bits = bits;
+        self
+    }
+
+    /// Sets the vector dimension in symbols (default: 16).
+    pub fn dim(mut self, dim: usize) -> Self {
+        self.dim = dim;
+        self
+    }
+
+    /// Sets the technology card (default: [`Technology::default`]).
+    pub fn technology(mut self, tech: Technology) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Sets the simulation backend (default: ideal).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the sizing options (default: derived from the technology).
+    pub fn sizing(mut self, sizing: SizingOptions) -> Self {
+        self.sizing = Some(sizing);
+        self
+    }
+
+    /// Runs the encoding pipeline and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures ([`crate::error::EncodeError`]) wrapped in
+    /// [`FerexError`].
+    pub fn build(self) -> Result<Ferex, FerexError> {
+        let sizing = self.sizing.unwrap_or_else(|| sizing_for(&self.tech));
+        let dm = DistanceMatrix::from_metric(self.metric, self.bits);
+        let report = find_minimal_cell(&dm, &sizing)?;
+        let array =
+            FerexArray::new(self.tech.clone(), report.encoding.clone(), self.dim, self.backend);
+        Ok(Ferex {
+            tech: self.tech,
+            metric: self.metric,
+            bits: self.bits,
+            dm,
+            sizing,
+            report,
+            array,
+        })
+    }
+}
+
+/// Sizing options consistent with a technology card.
+pub fn sizing_for(tech: &Technology) -> SizingOptions {
+    SizingOptions {
+        limits: EncodingLimits {
+            max_vth_levels: tech.n_vth_levels,
+            max_search_levels: tech.n_vth_levels + 1,
+            max_vds_multiple: tech.max_vds_multiple as u32,
+        },
+        ..Default::default()
+    }
+}
+
+/// Per-search cost report (the Fig. 6 quantities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// Delay breakdown of the search.
+    pub delay: DelayBreakdown,
+    /// Energy breakdown of the search.
+    pub energy: EnergyBreakdown,
+}
+
+/// The reconfigurable in-memory search engine.
+#[derive(Debug, Clone)]
+pub struct Ferex {
+    tech: Technology,
+    metric: DistanceMetric,
+    bits: u32,
+    dm: DistanceMatrix,
+    sizing: SizingOptions,
+    report: SizingReport,
+    array: FerexArray,
+}
+
+impl Ferex {
+    /// Starts building an engine.
+    pub fn builder() -> FerexBuilder {
+        FerexBuilder::default()
+    }
+
+    /// The currently configured metric.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// Per-symbol bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The active distance matrix.
+    pub fn distance_matrix(&self) -> &DistanceMatrix {
+        &self.dm
+    }
+
+    /// The sizing report (attempt trail + encoding) of the current metric.
+    pub fn sizing_report(&self) -> &SizingReport {
+        &self.report
+    }
+
+    /// The active cell encoding.
+    pub fn encoding(&self) -> &CellEncoding {
+        &self.report.encoding
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &FerexArray {
+        &self.array
+    }
+
+    /// Mutable access to the underlying array (e.g. to clear it).
+    pub fn array_mut(&mut self) -> &mut FerexArray {
+        &mut self.array
+    }
+
+    /// Stores one vector.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors from the array.
+    pub fn store(&mut self, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.array.store(vector)
+    }
+
+    /// Stores many vectors.
+    pub fn store_all<I: IntoIterator<Item = Vec<u32>>>(
+        &mut self,
+        vectors: I,
+    ) -> Result<(), FerexError> {
+        self.array.store_all(vectors)
+    }
+
+    /// One associative search.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::Empty`] if nothing is stored; validation errors.
+    pub fn search(&mut self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+        self.array.search(query)
+    }
+
+    /// k-nearest rows by iterative LTA masking.
+    pub fn search_k(&mut self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
+        self.array.search_k(query, k)
+    }
+
+    /// Reconfigures the engine to a different distance metric, keeping all
+    /// stored vectors. This re-runs the CSP encoding pipeline and marks the
+    /// array for re-programming — the paper's headline capability.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures for the new metric; the engine is left unchanged
+    /// on error.
+    pub fn reconfigure(&mut self, metric: DistanceMetric) -> Result<(), FerexError> {
+        let dm = DistanceMatrix::from_metric(metric, self.bits);
+        let report = find_minimal_cell(&dm, &self.sizing)?;
+        self.array.reconfigure(report.encoding.clone())?;
+        self.metric = metric;
+        self.dm = dm;
+        self.report = report;
+        Ok(())
+    }
+
+    /// Computes the delay and energy of searching `query` against the
+    /// current contents, using the analog cost models on the actual drive
+    /// pattern and sensed currents.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ferex::search`].
+    pub fn cost_report(&mut self, query: &[u32]) -> Result<CostReport, FerexError> {
+        let distances = self.array.distances(query)?;
+        let drives = self.array.drives_for(query)?;
+        let rows = self.array.len();
+        let i_unit = self.tech.i_unit().value();
+        let currents: Vec<Amp> = distances.iter().map(|&d| Amp(d * i_unit)).collect();
+        let delay_model = DelayModel::default();
+        let energy_model = EnergyModel { delay: delay_model.clone(), ..Default::default() };
+        Ok(CostReport {
+            delay: delay_model.search_delay(rows, drives.len()),
+            energy: energy_model.search_energy(rows, &drives, &currents),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::CircuitConfig;
+
+    #[test]
+    fn builder_defaults_produce_working_engine() {
+        let mut ferex = Ferex::builder().dim(4).build().expect("builds");
+        assert_eq!(ferex.metric(), DistanceMetric::Hamming);
+        assert_eq!(ferex.bits(), 2);
+        assert_eq!(ferex.encoding().k, 3);
+        ferex.store(vec![0, 1, 2, 3]).unwrap();
+        let r = ferex.search(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(r.nearest, 0);
+        assert_eq!(r.distances[0], 0.0);
+    }
+
+    #[test]
+    fn reconfiguration_changes_distance_semantics() {
+        let mut ferex = Ferex::builder().dim(2).build().expect("builds");
+        ferex.store(vec![0, 0]).unwrap(); // A
+        ferex.store(vec![3, 0]).unwrap(); // B
+        // Query (1, 0): Hamming d(1,0)=1, d(1,3)=1 → tie; Manhattan
+        // d=1 vs d=2 → A; Euclidean² d=1 vs 4 → A. Use query 2:
+        // Hamming: d(2,0)=1, d(2,3)=1 (10 vs 11 → 1 bit) tie again.
+        // Choose query (1,0): check distances directly per metric.
+        let q = [1, 0];
+        let r = ferex.search(&q).unwrap();
+        assert_eq!(r.distances, vec![1.0, 1.0]); // Hamming tie
+
+        ferex.reconfigure(DistanceMetric::Manhattan).unwrap();
+        let r = ferex.search(&q).unwrap();
+        assert_eq!(r.distances, vec![1.0, 2.0]);
+        assert_eq!(r.nearest, 0);
+
+        ferex.reconfigure(DistanceMetric::EuclideanSquared).unwrap();
+        let r = ferex.search(&q).unwrap();
+        assert_eq!(r.distances, vec![1.0, 4.0]);
+        assert_eq!(r.nearest, 0);
+    }
+
+    #[test]
+    fn reconfigure_failure_leaves_engine_unchanged() {
+        let mut ferex = Ferex::builder()
+            .dim(2)
+            .sizing(SizingOptions { max_k: 3, ..sizing_for(&Technology::default()) })
+            .build()
+            .expect("hamming fits in k=3");
+        ferex.store(vec![0, 3]).unwrap();
+        // Euclidean² at 2 bits needs k > 3 — reconfiguration must fail…
+        let before_metric = ferex.metric();
+        let err = ferex.reconfigure(DistanceMetric::EuclideanSquared);
+        assert!(err.is_err());
+        // …and the engine still answers Hamming queries.
+        assert_eq!(ferex.metric(), before_metric);
+        let r = ferex.search(&[0, 3]).unwrap();
+        assert_eq!(r.distances[0], 0.0);
+    }
+
+    #[test]
+    fn cost_report_is_positive_and_consistent() {
+        let mut ferex = Ferex::builder().dim(8).build().expect("builds");
+        for i in 0..16 {
+            ferex.store(vec![i % 4; 8]).unwrap();
+        }
+        let cost = ferex.cost_report(&[0; 8]).unwrap();
+        assert!(cost.delay.total().value() > 0.0);
+        assert!(cost.energy.total().value() > 0.0);
+        let frac = cost.delay.scl_fraction();
+        assert!((0.3..0.9).contains(&frac));
+    }
+
+    #[test]
+    fn circuit_backend_through_engine() {
+        let cfg = CircuitConfig::default();
+        let mut ferex = Ferex::builder()
+            .dim(16)
+            .backend(Backend::Circuit(Box::new(cfg)))
+            .build()
+            .expect("builds");
+        ferex.store(vec![0; 16]).unwrap();
+        ferex.store(vec![3; 16]).unwrap();
+        // Query matching row 0 exactly: variation cannot flip a 32-unit gap.
+        let r = ferex.search(&[0; 16]).unwrap();
+        assert_eq!(r.nearest, 0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Error types of the FeReX core.
+
+use crate::feasibility::FeasibilityError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors of the encoding pipeline (feasibility → voltage encoding →
+/// cell sizing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// No chain-consistent configuration exists up to the sizing limit.
+    NoFeasibleCell {
+        /// Largest cell size tried.
+        max_k: usize,
+    },
+    /// A FeFET of the solution needs more distinct threshold levels than the
+    /// technology provides.
+    VthLevelsExceeded {
+        /// Levels the solution requires.
+        needed: usize,
+        /// Levels the technology offers.
+        available: usize,
+    },
+    /// A search line needs more gate-voltage levels than the ladder offers.
+    SearchLevelsExceeded {
+        /// Levels the solution requires.
+        needed: usize,
+        /// Levels the ladder offers.
+        available: usize,
+    },
+    /// A configuration requires a drain-voltage multiple beyond the driver.
+    VdsRangeExceeded {
+        /// Multiple the solution requires.
+        needed: u32,
+        /// Largest multiple the driver produces.
+        available: u32,
+    },
+    /// A resource cap was hit before feasibility could be decided.
+    Resource(FeasibilityError),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::NoFeasibleCell { max_k } => {
+                write!(f, "no feasible cell configuration up to {max_k} FeFETs per cell")
+            }
+            EncodeError::VthLevelsExceeded { needed, available } => {
+                write!(f, "encoding needs {needed} threshold levels, technology has {available}")
+            }
+            EncodeError::SearchLevelsExceeded { needed, available } => {
+                write!(f, "encoding needs {needed} search levels, ladder has {available}")
+            }
+            EncodeError::VdsRangeExceeded { needed, available } => {
+                write!(f, "encoding needs V_ds multiple {needed}, driver maxes at {available}")
+            }
+            EncodeError::Resource(e) => write!(f, "resource limit: {e}"),
+        }
+    }
+}
+
+impl Error for EncodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EncodeError::Resource(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FeasibilityError> for EncodeError {
+    fn from(e: FeasibilityError) -> Self {
+        EncodeError::Resource(e)
+    }
+}
+
+/// Errors of the array / engine layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FerexError {
+    /// Encoding pipeline failure.
+    Encode(EncodeError),
+    /// A stored or query vector has the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected symbol count.
+        expected: usize,
+        /// Provided symbol count.
+        got: usize,
+    },
+    /// A symbol value does not fit in the configured bit width.
+    SymbolOutOfRange {
+        /// The offending value.
+        value: u32,
+        /// Number of representable values.
+        n_values: usize,
+    },
+    /// The array holds no vectors, so there is no nearest neighbor.
+    Empty,
+}
+
+impl fmt::Display for FerexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FerexError::Encode(e) => write!(f, "{e}"),
+            FerexError::DimensionMismatch { expected, got } => {
+                write!(f, "vector has {got} symbols, array is configured for {expected}")
+            }
+            FerexError::SymbolOutOfRange { value, n_values } => {
+                write!(f, "symbol value {value} outside the {n_values} representable values")
+            }
+            FerexError::Empty => write!(f, "the array holds no stored vectors"),
+        }
+    }
+}
+
+impl Error for FerexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FerexError::Encode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for FerexError {
+    fn from(e: EncodeError) -> Self {
+        FerexError::Encode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = EncodeError::VthLevelsExceeded { needed: 5, available: 4 };
+        assert_eq!(e.to_string(), "encoding needs 5 threshold levels, technology has 4");
+        let e = FerexError::DimensionMismatch { expected: 8, got: 7 };
+        assert!(e.to_string().contains("7 symbols"));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        let inner = FeasibilityError::SearchAborted;
+        let e = EncodeError::Resource(inner);
+        assert!(e.source().is_some());
+        let f = FerexError::Encode(e);
+        assert!(f.source().is_some());
+    }
+}

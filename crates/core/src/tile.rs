@@ -1,0 +1,379 @@
+//! Tiled arrays: vectors wider than one physical crossbar.
+//!
+//! A practical FeReX macro is bounded to a few hundred physical columns by
+//! ScL settling and IR drop, but application vectors (HDC hypervectors,
+//! image features) span thousands of symbols. The standard CiM answer is
+//! tiling: the vector is split across several arrays operating in parallel;
+//! each tile senses its partial row currents, a per-tile ADC digitizes
+//! them, and a digital accumulator sums partial distances before the final
+//! argmin. This module implements that organization on top of
+//! [`FerexArray`], preserving the per-tile analog error behavior of
+//! whichever backend the tiles use.
+
+use crate::array::{Backend, FerexArray, SearchOutcome};
+use crate::distance::DistanceMetric;
+use crate::dm::DistanceMatrix;
+use crate::encoding::CellEncoding;
+use crate::engine::sizing_for;
+use crate::error::FerexError;
+use crate::sizing::find_minimal_cell;
+use ferex_fefet::Technology;
+
+/// A logical array built from several physical tiles.
+///
+/// Vectors of `dim` symbols are split into `ceil(dim / tile_dim)` tiles;
+/// the last tile is zero-padded (symbol 0 against symbol 0 contributes zero
+/// distance under any metric-like DM, so padding is free).
+///
+/// # Examples
+///
+/// ```
+/// use ferex_core::tile::TiledArray;
+/// use ferex_core::sizing::{find_minimal_cell, SizingOptions};
+/// use ferex_core::{Backend, DistanceMatrix, DistanceMetric};
+/// use ferex_fefet::Technology;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+/// let enc = find_minimal_cell(&dm, &SizingOptions::default())?.encoding;
+/// let mut tiled = TiledArray::new(Technology::default(), enc, 10, 4, Backend::Ideal);
+/// tiled.store(vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1])?;
+/// let out = tiled.search(&[0, 1, 2, 3, 0, 1, 2, 3, 0, 1])?;
+/// assert_eq!(out.distances[0], 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TiledArray {
+    tiles: Vec<FerexArray>,
+    dim: usize,
+    tile_dim: usize,
+}
+
+impl TiledArray {
+    /// Creates an empty tiled array.
+    ///
+    /// Each tile gets its own backend instance; for stochastic backends the
+    /// seed is perturbed per tile so tiles carry independent variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `tile_dim == 0`.
+    pub fn new(
+        tech: Technology,
+        encoding: CellEncoding,
+        dim: usize,
+        tile_dim: usize,
+        backend: Backend,
+    ) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(tile_dim > 0, "tile dimension must be positive");
+        let n_tiles = dim.div_ceil(tile_dim);
+        let tiles = (0..n_tiles)
+            .map(|t| {
+                let tile_backend = match &backend {
+                    Backend::Ideal => Backend::Ideal,
+                    Backend::Circuit(c) => {
+                        let mut c = c.clone();
+                        c.seed = c.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9);
+                        Backend::Circuit(c)
+                    }
+                    Backend::Noisy(c) => {
+                        let mut c = c.clone();
+                        c.seed = c.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9);
+                        Backend::Noisy(c)
+                    }
+                };
+                FerexArray::new(tech.clone(), encoding.clone(), tile_dim, tile_backend)
+            })
+            .collect();
+        TiledArray { tiles, dim, tile_dim }
+    }
+
+    /// Convenience constructor: runs the CSP sizing pipeline for `metric`
+    /// over `bits`-bit symbols and builds the tiled array from the derived
+    /// encoding.
+    ///
+    /// # Errors
+    ///
+    /// Encoding-pipeline failures.
+    pub fn for_metric(
+        metric: DistanceMetric,
+        bits: u32,
+        dim: usize,
+        tile_dim: usize,
+        backend: Backend,
+        tech: Technology,
+    ) -> Result<Self, FerexError> {
+        let dm = DistanceMatrix::from_metric(metric, bits);
+        let report = find_minimal_cell(&dm, &sizing_for(&tech))?;
+        Ok(TiledArray::new(tech, report.encoding, dim, tile_dim, backend))
+    }
+
+    /// Reconfigures every tile to a new encoding (metric switch), keeping
+    /// stored data.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors if stored symbols exceed the new encoding's range;
+    /// tiles already reconfigured are rolled back is NOT attempted — the
+    /// first failing tile aborts, but since all tiles hold the same symbol
+    /// alphabet a failure can only occur on the first tile.
+    pub fn reconfigure(&mut self, encoding: CellEncoding) -> Result<(), FerexError> {
+        for tile in &mut self.tiles {
+            tile.reconfigure(encoding.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Total logical dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Symbols per tile.
+    pub fn tile_dim(&self) -> usize {
+        self.tile_dim
+    }
+
+    /// Number of physical tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.tiles[0].len()
+    }
+
+    /// `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.tiles[0].is_empty()
+    }
+
+    /// Read-only access to the tiles (for cost accounting).
+    pub fn tiles(&self) -> &[FerexArray] {
+        &self.tiles
+    }
+
+    fn split(&self, vector: &[u32]) -> Vec<Vec<u32>> {
+        let mut out = Vec::with_capacity(self.tiles.len());
+        for t in 0..self.tiles.len() {
+            let start = t * self.tile_dim;
+            let end = ((t + 1) * self.tile_dim).min(vector.len());
+            let mut chunk = vector[start..end].to_vec();
+            chunk.resize(self.tile_dim, 0); // zero-pad the last tile
+            out.push(chunk);
+        }
+        out
+    }
+
+    /// Stores one vector, one slice per tile.
+    ///
+    /// # Errors
+    ///
+    /// Dimension/symbol validation errors.
+    pub fn store(&mut self, vector: Vec<u32>) -> Result<(), FerexError> {
+        if vector.len() != self.dim {
+            return Err(FerexError::DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        let chunks = self.split(&vector);
+        for (tile, chunk) in self.tiles.iter_mut().zip(chunks) {
+            tile.store(chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Per-row total distances: per-tile sensed partials, digitally
+    /// accumulated.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::distances`].
+    pub fn distances(&mut self, query: &[u32]) -> Result<Vec<f64>, FerexError> {
+        if query.len() != self.dim {
+            return Err(FerexError::DimensionMismatch {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        if self.is_empty() {
+            return Err(FerexError::Empty);
+        }
+        let chunks = self.split(query);
+        let mut totals = vec![0.0f64; self.len()];
+        for (tile, chunk) in self.tiles.iter_mut().zip(chunks) {
+            for (total, partial) in totals.iter_mut().zip(tile.distances(&chunk)?) {
+                *total += partial;
+            }
+        }
+        Ok(totals)
+    }
+
+    /// One search: accumulated distances plus a digital argmin (after the
+    /// per-tile ADCs, the final comparison is digital and exact; analog
+    /// error lives in the per-tile partials).
+    ///
+    /// # Errors
+    ///
+    /// As [`TiledArray::distances`].
+    pub fn search(&mut self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+        let distances = self.distances(query)?;
+        let nearest = distances
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        Ok(SearchOutcome { distances, nearest })
+    }
+
+    /// The `k` nearest rows by accumulated distance.
+    ///
+    /// # Errors
+    ///
+    /// As [`TiledArray::search`]; `Empty` if `k` is zero or exceeds the
+    /// stored count.
+    pub fn search_k(&mut self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
+        let distances = self.distances(query)?;
+        if k == 0 || k > distances.len() {
+            return Err(FerexError::Empty);
+        }
+        let mut order: Vec<usize> = (0..distances.len()).collect();
+        order.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]).then(a.cmp(&b)));
+        order.truncate(k);
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::CircuitConfig;
+    use crate::distance::DistanceMetric;
+    use crate::dm::DistanceMatrix;
+    use crate::sizing::{find_minimal_cell, SizingOptions};
+
+    fn encoding() -> CellEncoding {
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+        find_minimal_cell(&dm, &SizingOptions::default()).expect("sizes").encoding
+    }
+
+    fn data(dim: usize) -> Vec<Vec<u32>> {
+        (0..4).map(|r| (0..dim).map(|d| ((r + d) % 4) as u32).collect()).collect()
+    }
+
+    #[test]
+    fn tiled_ideal_matches_monolithic() {
+        let dim = 13; // deliberately not a multiple of the tile size
+        let enc = encoding();
+        let mut mono = FerexArray::new(Technology::default(), enc.clone(), dim, Backend::Ideal);
+        let mut tiled = TiledArray::new(Technology::default(), enc, dim, 4, Backend::Ideal);
+        for v in data(dim) {
+            mono.store(v.clone()).unwrap();
+            tiled.store(v).unwrap();
+        }
+        let q: Vec<u32> = (0..dim).map(|d| (d % 3) as u32).collect();
+        let dm = mono.search(&q).unwrap();
+        let dt = tiled.search(&q).unwrap();
+        assert_eq!(dm.distances, dt.distances);
+        assert_eq!(dm.nearest, dt.nearest);
+    }
+
+    #[test]
+    fn tile_count_and_padding() {
+        let enc = encoding();
+        let tiled = TiledArray::new(Technology::default(), enc, 10, 4, Backend::Ideal);
+        assert_eq!(tiled.n_tiles(), 3);
+        assert_eq!(tiled.dim(), 10);
+        assert_eq!(tiled.tile_dim(), 4);
+    }
+
+    #[test]
+    fn search_k_is_distance_ordered() {
+        let dim = 8;
+        let enc = encoding();
+        let mut tiled = TiledArray::new(Technology::default(), enc, dim, 3, Backend::Ideal);
+        tiled.store(vec![0; 8]).unwrap();
+        tiled.store(vec![1; 8]).unwrap();
+        tiled.store(vec![3; 8]).unwrap();
+        let top = tiled.search_k(&[1; 8], 3).unwrap();
+        assert_eq!(top[0], 1);
+        // Hamming: d(1,0) = 1 per symbol (8 total), d(1,3) = 1 per symbol
+        // (8 total) — tie breaks to the lower row.
+        assert_eq!(top[1], 0);
+        assert_eq!(top[2], 2);
+    }
+
+    #[test]
+    fn noisy_tiles_carry_independent_variation() {
+        let dim = 12;
+        let enc = encoding();
+        let cfg = CircuitConfig::default();
+        let mut tiled = TiledArray::new(
+            Technology::default(),
+            enc,
+            dim,
+            4,
+            Backend::Noisy(Box::new(cfg)),
+        );
+        tiled.store(vec![0; 12]).unwrap();
+        // Query that turns every cell on: per-tile partials should differ
+        // slightly (independent variation draws), never exactly match.
+        let d = tiled.distances(&[3; 12]).unwrap();
+        assert!(d[0] > 0.0);
+        // Aggregate stays close to the ideal total (resistor clamp).
+        let ideal = 12.0 * 2.0; // d(3,0) = 2 per symbol under 2-bit Hamming
+        assert!((d[0] - ideal).abs() / ideal < 0.1, "total {d:?} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn for_metric_and_reconfigure() {
+        let mut tiled = TiledArray::for_metric(
+            DistanceMetric::Hamming,
+            2,
+            9,
+            4,
+            Backend::Ideal,
+            Technology::default(),
+        )
+        .expect("sizes");
+        tiled.store(vec![0, 1, 2, 3, 0, 1, 2, 3, 0]).unwrap();
+        tiled.store(vec![3, 2, 1, 0, 3, 2, 1, 0, 3]).unwrap();
+        let q = vec![0u32, 1, 2, 3, 0, 1, 2, 3, 1];
+        let hd = tiled.search(&q).unwrap();
+        assert_eq!(hd.nearest, 0);
+        // Switch to Manhattan in place.
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Manhattan, 2);
+        let enc = find_minimal_cell(&dm, &crate::SizingOptions::default()).unwrap().encoding;
+        tiled.reconfigure(enc).unwrap();
+        let l1 = tiled.search(&q).unwrap();
+        assert_eq!(l1.nearest, 0);
+        // Manhattan distances differ from Hamming on this data.
+        assert_ne!(hd.distances, l1.distances);
+        // And both match the software metric exactly (ideal backend).
+        let m = DistanceMetric::Manhattan;
+        let expected: Vec<f64> = [
+            vec![0u32, 1, 2, 3, 0, 1, 2, 3, 0],
+            vec![3, 2, 1, 0, 3, 2, 1, 0, 3],
+        ]
+        .iter()
+        .map(|s| m.vector_distance(&q, s) as f64)
+        .collect();
+        assert_eq!(l1.distances, expected);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let enc = encoding();
+        let mut tiled = TiledArray::new(Technology::default(), enc, 10, 4, Backend::Ideal);
+        assert!(matches!(
+            tiled.store(vec![0; 9]),
+            Err(FerexError::DimensionMismatch { expected: 10, got: 9 })
+        ));
+        assert!(matches!(tiled.search(&[0; 10]), Err(FerexError::Empty)));
+    }
+}

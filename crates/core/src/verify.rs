@@ -1,0 +1,154 @@
+//! Device-circuit co-simulation verification as a public API.
+//!
+//! "Device-circuit co-simulations first validate the effectiveness of the
+//! proposed FeReX methodology" (paper Sec. IV). [`CellEncoding::verify`]
+//! checks the *logical* ladder rule; this module closes the physical loop:
+//! program a device-level crossbar with the encoding, sweep every
+//! (search, stored) pair, and compare the sensed currents against the
+//! distance matrix. Used by the test suite, the `table2_encoding` harness
+//! and the `ferex verify` CLI.
+
+use crate::dm::DistanceMatrix;
+use crate::encoding::CellEncoding;
+use ferex_analog::crossbar::{ArrayOptions, ColumnDrive, Crossbar};
+use ferex_analog::parasitics::WireParams;
+use ferex_fefet::units::Volt;
+use ferex_fefet::Technology;
+
+/// One (search, stored) pair's physical measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairMeasurement {
+    /// Search symbol value.
+    pub search: usize,
+    /// Stored symbol value.
+    pub stored: usize,
+    /// Target DM entry.
+    pub expected: u32,
+    /// Sensed cell current in `I_unit` multiples.
+    pub sensed: f64,
+}
+
+impl PairMeasurement {
+    /// Absolute deviation from the target, in current units.
+    pub fn error(&self) -> f64 {
+        (self.sensed - self.expected as f64).abs()
+    }
+}
+
+/// Result of a full co-simulation sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimReport {
+    /// Every pair's measurement, row-major (search-major).
+    pub measurements: Vec<PairMeasurement>,
+    /// The tolerance used, in current units (scaled per entry).
+    pub tolerance: f64,
+}
+
+impl CosimReport {
+    /// The worst absolute deviation across all pairs.
+    pub fn max_error(&self) -> f64 {
+        self.measurements.iter().map(PairMeasurement::error).fold(0.0, f64::max)
+    }
+
+    /// Pairs whose deviation exceeds the tolerance (scaled by magnitude:
+    /// `tol + 2 %·expected`).
+    pub fn failures(&self) -> Vec<&PairMeasurement> {
+        self.measurements
+            .iter()
+            .filter(|m| m.error() > self.tolerance + 0.02 * m.expected as f64)
+            .collect()
+    }
+
+    /// `true` if the physical array reproduces the DM within tolerance.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+}
+
+/// Programs one device-level AM cell per stored value and sweeps every
+/// search stimulus, sensing the cell currents.
+///
+/// `tolerance` is the allowed absolute deviation in `I_unit` multiples
+/// (0.15 is a sensible default: well below half a unit, above the exact
+/// solve's device nonidealities).
+///
+/// # Panics
+///
+/// Panics if the encoding's value counts disagree with the DM shape.
+pub fn cosimulate(
+    encoding: &CellEncoding,
+    dm: &DistanceMatrix,
+    tech: &Technology,
+    tolerance: f64,
+) -> CosimReport {
+    assert_eq!(encoding.n_stored(), dm.n_stored(), "stored-value count mismatch");
+    assert_eq!(encoding.n_search(), dm.n_search(), "search-value count mismatch");
+    let k = encoding.k;
+    let mut xb = Crossbar::new(tech.clone(), WireParams::default(), dm.n_stored(), k);
+    for (s, st) in encoding.stored.iter().enumerate() {
+        for (f, &lvl) in st.vth_levels.iter().enumerate() {
+            xb.program(s, f, lvl);
+        }
+    }
+    let options = ArrayOptions { exact_cell_solve: true, ..Default::default() };
+    let i_unit = tech.i_unit().value();
+    let mut measurements = Vec::with_capacity(dm.n_search() * dm.n_stored());
+    for (q, se) in encoding.search.iter().enumerate() {
+        let drives: Vec<ColumnDrive> = (0..k)
+            .map(|f| ColumnDrive {
+                v_gate: tech.search_voltage(se.vgs_levels[f]),
+                v_dl: if se.vds_multiples[f] == 0 {
+                    Volt(0.0)
+                } else {
+                    tech.vds_for_multiple(se.vds_multiples[f] as usize)
+                },
+            })
+            .collect();
+        for (s, current) in xb.search(&drives, &options).into_iter().enumerate() {
+            measurements.push(PairMeasurement {
+                search: q,
+                stored: s,
+                expected: dm.get(q, s),
+                sensed: current.value() / i_unit,
+            });
+        }
+    }
+    CosimReport { measurements, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMetric;
+    use crate::sizing::{find_minimal_cell, SizingOptions};
+
+    #[test]
+    fn hamming_encoding_passes_cosimulation() {
+        let tech = Technology::default();
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+        let enc = find_minimal_cell(&dm, &SizingOptions::default()).expect("sizes").encoding;
+        let report = cosimulate(&enc, &dm, &tech, 0.15);
+        assert!(report.passed(), "failures: {:?}", report.failures());
+        assert_eq!(report.measurements.len(), 16);
+        assert!(report.max_error() < 0.15);
+    }
+
+    #[test]
+    fn corrupted_encoding_fails_cosimulation() {
+        let tech = Technology::default();
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+        let mut enc =
+            find_minimal_cell(&dm, &SizingOptions::default()).expect("sizes").encoding;
+        // Swap one stored threshold level to break a pair.
+        enc.stored[0].vth_levels[0] = (enc.stored[0].vth_levels[0] + 1) % 3;
+        let report = cosimulate(&enc, &dm, &tech, 0.15);
+        assert!(!report.passed(), "corruption must be detected");
+        assert!(!report.failures().is_empty());
+    }
+
+    #[test]
+    fn measurement_error_accessor() {
+        let m = PairMeasurement { search: 0, stored: 1, expected: 2, sensed: 1.9 };
+        assert!((m.error() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests for the encoding pipeline invariants.
+
+use ferex_core::decompose::{count_decompositions, decompose};
+use ferex_core::feasibility::{
+    chain_compatible, detect_feasibility, enumerate_row_configs, FeasibilityConfig,
+};
+use ferex_core::{
+    find_minimal_cell, sizing_for, Backend, DistanceMatrix, DistanceMetric, FerexArray,
+    SizingOptions,
+};
+use ferex_fefet::Technology;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every decomposition sums to the target, has the right arity, and
+    /// draws only from {0} ∪ levels.
+    #[test]
+    fn decompositions_are_valid(k in 1usize..5, target in 0u32..10) {
+        let levels = [1u32, 2, 3];
+        for t in decompose(k, target, &levels) {
+            prop_assert_eq!(t.len(), k);
+            prop_assert_eq!(t.iter().sum::<u32>(), target);
+            for &v in &t {
+                prop_assert!(v == 0 || levels.contains(&v));
+            }
+        }
+    }
+
+    /// The counting DP matches materialized enumeration for arbitrary level
+    /// sets.
+    #[test]
+    fn count_equals_enumeration(k in 0usize..5, target in 0u32..9, mask in 1u8..16) {
+        let levels: Vec<u32> = (1..=4u32).filter(|&l| mask >> (l - 1) & 1 == 1).collect();
+        prop_assert_eq!(
+            count_decompositions(k, target, &levels),
+            decompose(k, target, &levels).len() as u64
+        );
+    }
+
+    /// Chain compatibility is symmetric and reflexive.
+    #[test]
+    fn chain_compat_symmetric(
+        masks_a in prop::collection::vec(0u64..16, 1..4),
+        masks_b in prop::collection::vec(0u64..16, 1..4),
+    ) {
+        use ferex_core::{FetRow, RowConfig};
+        let n = masks_a.len().min(masks_b.len());
+        let a = RowConfig {
+            fets: masks_a[..n].iter().map(|&m| FetRow { level: 1, on_mask: m }).collect(),
+        };
+        let b = RowConfig {
+            fets: masks_b[..n].iter().map(|&m| FetRow { level: 1, on_mask: m }).collect(),
+        };
+        prop_assert_eq!(chain_compatible(&a, &b), chain_compatible(&b, &a));
+        prop_assert!(chain_compatible(&a, &a));
+    }
+
+    /// Every enumerated row configuration reproduces its DM row exactly —
+    /// for random small DM rows.
+    #[test]
+    fn row_configs_reproduce_rows(row in prop::collection::vec(0u32..5, 2..5)) {
+        let levels = [1u32, 2, 3, 4];
+        let configs = enumerate_row_configs(&row, 3, &levels, 50_000, false)
+            .expect("cap large enough");
+        for c in &configs {
+            for (j, &target) in row.iter().enumerate() {
+                prop_assert_eq!(c.current_for(j), target);
+            }
+        }
+    }
+
+    /// If a DM is feasible at K it stays feasible at K+1 (monotonicity of
+    /// cell sizing — a FeFET can always be left permanently off).
+    #[test]
+    #[allow(clippy::needless_range_loop)] // symmetric matrix fill is clearest with indices
+    fn feasibility_is_monotone_in_k(seed in 0u64..50) {
+        // Small random symmetric DMs with zero diagonal.
+        let n = 3usize;
+        let mut vals = [[0u32; 3]; 3];
+        let mut s = seed;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = (s >> 33) % 4;
+                vals[i][j] = v as u32;
+                vals[j][i] = v as u32;
+            }
+        }
+        let dm = DistanceMatrix::from_table(vals.iter().map(|r| r.to_vec()).collect());
+        let levels = [1u32, 2, 3];
+        let cfg = FeasibilityConfig::default();
+        for k in 1..4usize {
+            let fk = detect_feasibility(&dm, k, &levels, &cfg).expect("caps");
+            if fk.is_feasible() {
+                let fk1 = detect_feasibility(&dm, k + 1, &levels, &cfg).expect("caps");
+                prop_assert!(fk1.is_feasible(), "feasible at {} but not {}", k, k + 1);
+            }
+        }
+    }
+
+    /// Ideal-array distances always equal the metric's vector distance, for
+    /// random stored/query data.
+    #[test]
+    fn ideal_array_is_metric_exact(
+        data in prop::collection::vec(prop::collection::vec(0u32..4, 6), 1..6),
+        query in prop::collection::vec(0u32..4, 6),
+    ) {
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+        let enc = find_minimal_cell(&dm, &SizingOptions::default()).unwrap().encoding;
+        let mut array = FerexArray::new(Technology::default(), enc, 6, Backend::Ideal);
+        for v in &data {
+            array.store(v.clone()).unwrap();
+        }
+        let out = array.search(&query).unwrap();
+        let m = DistanceMetric::Hamming;
+        for (r, stored) in data.iter().enumerate() {
+            prop_assert_eq!(out.distances[r], m.vector_distance(&query, stored) as f64);
+        }
+        // The reported nearest is a true argmin.
+        let min = out.distances.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert_eq!(out.distances[out.nearest], min);
+    }
+
+    /// Sized encodings verify against their DM for every metric and small
+    /// bit width (exhaustive over the supported configuration space).
+    #[test]
+    fn sized_encodings_always_verify(metric_idx in 0usize..3, bits in 1u32..3) {
+        let metric = DistanceMetric::ALL[metric_idx];
+        let dm = DistanceMatrix::from_metric(metric, bits);
+        let report = find_minimal_cell(&dm, &sizing_for(&Technology::default()))
+            .expect("paper metrics must be encodable at 1-2 bits");
+        prop_assert!(report.encoding.verify(&dm).is_ok());
+    }
+}

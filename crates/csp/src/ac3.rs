@@ -1,0 +1,184 @@
+//! AC-3 arc-consistency propagation (Mackworth, 1977).
+//!
+//! AC-3 repeatedly *revises* arcs `(x, c)` — removing from `x`'s domain every
+//! value with no support under constraint `c` in the other endpoint's domain
+//! — until a fixed point. It is sound (never removes a value that appears in
+//! any solution) and detects many infeasibilities outright when a domain
+//! wipes out. The FeReX encoding algorithm uses it to prune search-line
+//! assignments that violate the threshold-ordering constraint (paper
+//! constraint 3) before or instead of full backtracking.
+
+use crate::problem::{Problem, VarId};
+use std::collections::VecDeque;
+
+/// Statistics of one AC-3 run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Ac3Stats {
+    /// Number of arc revisions performed.
+    pub revisions: usize,
+    /// Number of domain values removed.
+    pub removals: usize,
+}
+
+/// Outcome of AC-3: either the arc-consistent domains or the variable whose
+/// domain wiped out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ac3Outcome {
+    /// Every domain is non-empty and arc-consistent.
+    Consistent(Ac3Stats),
+    /// The given variable's domain became empty: the problem is infeasible.
+    WipedOut(VarId, Ac3Stats),
+}
+
+impl Ac3Outcome {
+    /// `true` if AC-3 finished without wiping out a domain.
+    pub fn is_consistent(&self) -> bool {
+        matches!(self, Ac3Outcome::Consistent(_))
+    }
+
+    /// The run statistics regardless of outcome.
+    pub fn stats(&self) -> Ac3Stats {
+        match self {
+            Ac3Outcome::Consistent(s) | Ac3Outcome::WipedOut(_, s) => *s,
+        }
+    }
+}
+
+/// Runs AC-3 on `domains` (indexed by variable) under the constraints of
+/// `problem`, mutating the domains toward arc consistency.
+///
+/// `domains` usually starts as [`Problem::domains`] but may already be
+/// partially pruned by a search in progress.
+///
+/// # Panics
+///
+/// Panics if `domains.len() != problem.n_vars()`.
+pub fn ac3<V: Clone>(problem: &Problem<V>, domains: &mut [Vec<V>]) -> Ac3Outcome {
+    assert_eq!(domains.len(), problem.n_vars(), "domain set does not match problem");
+    let mut stats = Ac3Stats::default();
+    // Work queue of (variable to revise, constraint index).
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    for (ci, c) in problem.constraints().iter().enumerate() {
+        queue.push_back((c.a.index(), ci));
+        queue.push_back((c.b.index(), ci));
+    }
+    while let Some((var, ci)) = queue.pop_front() {
+        let c = &problem.constraints()[ci];
+        let other = if c.a.index() == var { c.b.index() } else { c.a.index() };
+        stats.revisions += 1;
+        let before = domains[var].len();
+        // Split-borrow the two domains.
+        let (dom_var, dom_other) = index_two(domains, var, other);
+        dom_var.retain(|v| {
+            dom_other.iter().any(|w| {
+                if c.a.index() == var {
+                    c.check(v, w)
+                } else {
+                    c.check(w, v)
+                }
+            })
+        });
+        let removed = before - domains[var].len();
+        if removed > 0 {
+            stats.removals += removed;
+            if domains[var].is_empty() {
+                return Ac3Outcome::WipedOut(
+                    problem.variables().nth(var).expect("var index valid"),
+                    stats,
+                );
+            }
+            // Re-enqueue every other arc pointing at `var`'s neighbors.
+            for &cj in problem.incident(problem.variables().nth(var).expect("valid")) {
+                if cj == ci {
+                    continue;
+                }
+                let cc = &problem.constraints()[cj];
+                let neighbor =
+                    if cc.a.index() == var { cc.b.index() } else { cc.a.index() };
+                queue.push_back((neighbor, cj));
+            }
+        }
+    }
+    Ac3Outcome::Consistent(stats)
+}
+
+/// Borrows two distinct elements of a slice mutably/immutably.
+fn index_two<T>(slice: &mut [T], a: usize, b: usize) -> (&mut T, &T) {
+    assert_ne!(a, b, "cannot split-borrow the same index");
+    if a < b {
+        let (lo, hi) = slice.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn prunes_unsupported_values() {
+        // x < y with x,y in 0..=2: AC-3 must drop x=2 and y=0.
+        let mut p = Problem::new();
+        let x = p.add_variable("x", vec![0, 1, 2]);
+        let y = p.add_variable("y", vec![0, 1, 2]);
+        p.add_binary(x, y, "lt", |a, b| a < b);
+        let mut d = p.domains();
+        let outcome = ac3(&p, &mut d);
+        assert!(outcome.is_consistent());
+        assert_eq!(d[0], vec![0, 1]);
+        assert_eq!(d[1], vec![1, 2]);
+        assert!(outcome.stats().removals == 2);
+    }
+
+    #[test]
+    fn detects_wipeout() {
+        let mut p = Problem::new();
+        let x = p.add_variable("x", vec![5]);
+        let y = p.add_variable("y", vec![1, 2]);
+        p.add_binary(x, y, "lt", |a, b| a < b);
+        let mut d = p.domains();
+        match ac3(&p, &mut d) {
+            Ac3Outcome::WipedOut(var, _) => assert_eq!(var, x),
+            other => panic!("expected wipeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn propagates_through_chains() {
+        // x < y < z over 0..=2 forces x=0, y=1, z=2.
+        let mut p = Problem::new();
+        let x = p.add_variable("x", vec![0, 1, 2]);
+        let y = p.add_variable("y", vec![0, 1, 2]);
+        let z = p.add_variable("z", vec![0, 1, 2]);
+        p.add_binary(x, y, "lt", |a, b| a < b);
+        p.add_binary(y, z, "lt", |a, b| a < b);
+        let mut d = p.domains();
+        assert!(ac3(&p, &mut d).is_consistent());
+        assert_eq!(d, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn already_consistent_is_untouched() {
+        let mut p = Problem::new();
+        let x = p.add_variable("x", vec![0, 1]);
+        let y = p.add_variable("y", vec![0, 1]);
+        p.add_binary(x, y, "any", |_, _| true);
+        let mut d = p.domains();
+        let outcome = ac3(&p, &mut d);
+        assert!(outcome.is_consistent());
+        assert_eq!(outcome.stats().removals, 0);
+        assert_eq!(d[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn no_constraints_is_trivially_consistent() {
+        let mut p: Problem<i32> = Problem::new();
+        p.add_variable("x", vec![1, 2, 3]);
+        let mut d = p.domains();
+        assert!(ac3(&p, &mut d).is_consistent());
+    }
+}

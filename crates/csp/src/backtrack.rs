@@ -1,0 +1,429 @@
+//! Chronological backtracking search with MRV ordering and forward checking.
+//!
+//! This is the "Backtracking" half of the FeReX Algorithm 1 (Bitner &
+//! Reingold's classic formulation): depth-first assignment of variables,
+//! undoing on dead ends. The implementation adds the standard
+//! minimum-remaining-values (MRV) variable order and forward checking, and
+//! can optionally run [AC-3](mod@crate::ac3) once as a preprocessing step.
+
+use crate::ac3::ac3;
+use crate::problem::Problem;
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Nodes expanded (value assignments tried).
+    pub nodes: usize,
+    /// Dead ends hit (assignments undone).
+    pub backtracks: usize,
+    /// Whether the node limit aborted the search.
+    pub aborted: bool,
+}
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome<V> {
+    /// A satisfying assignment in variable order, if one exists (and the
+    /// search was not aborted before finding it).
+    pub solution: Option<Vec<V>>,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+/// Configurable backtracking solver.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_csp::{Problem, Solver};
+///
+/// // 4-queens: one queen per column, rows as values.
+/// let mut p = Problem::new();
+/// let cols: Vec<_> = (0..4).map(|c| p.add_variable(format!("q{c}"), (0..4).collect())).collect();
+/// for i in 0..4 {
+///     for j in (i + 1)..4 {
+///         let dist = (j - i) as i32;
+///         p.add_binary(cols[i], cols[j], "no-attack", move |a: &i32, b: &i32| {
+///             a != b && (a - b).abs() != dist
+///         });
+///     }
+/// }
+/// let outcome = Solver::new().solve(&p);
+/// assert!(outcome.solution.is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    /// Run AC-3 before searching (prunes domains, often decisive).
+    pub preprocess_ac3: bool,
+    /// Maintain forward checking during search.
+    pub forward_check: bool,
+    /// Order candidate values least-constraining-first (LCV): try the value
+    /// that eliminates the fewest options in unassigned neighbors. Helps
+    /// find-one-solution searches; useless for exhaustive enumeration.
+    pub value_order_lcv: bool,
+    /// Abort after this many nodes (None = unlimited).
+    pub node_limit: Option<usize>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            preprocess_ac3: true,
+            forward_check: true,
+            value_order_lcv: false,
+            node_limit: None,
+        }
+    }
+}
+
+impl Solver {
+    /// A solver with the default configuration (AC-3 preprocessing and
+    /// forward checking on).
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// A plain chronological backtracker with no propagation — the baseline
+    /// configuration used by the ablation study.
+    pub fn plain() -> Self {
+        Solver {
+            preprocess_ac3: false,
+            forward_check: false,
+            value_order_lcv: false,
+            node_limit: None,
+        }
+    }
+
+    /// Finds one solution, or proves none exists.
+    pub fn solve<V: Clone>(&self, problem: &Problem<V>) -> SolveOutcome<V> {
+        let mut found = None;
+        let stats = self.run(problem, &mut |sol| {
+            found = Some(sol.to_vec());
+            false // stop at the first solution
+        });
+        SolveOutcome { solution: found, stats }
+    }
+
+    /// Enumerates up to `limit` solutions.
+    pub fn enumerate<V: Clone>(
+        &self,
+        problem: &Problem<V>,
+        limit: usize,
+    ) -> (Vec<Vec<V>>, SolveStats) {
+        let mut out = Vec::new();
+        let stats = self.run(problem, &mut |sol| {
+            out.push(sol.to_vec());
+            out.len() < limit
+        });
+        (out, stats)
+    }
+
+    /// Counts all solutions (subject to the node limit).
+    pub fn count_solutions<V: Clone>(&self, problem: &Problem<V>) -> (usize, SolveStats) {
+        let mut n = 0;
+        let stats = self.run(problem, &mut |_| {
+            n += 1;
+            true
+        });
+        (n, stats)
+    }
+
+    /// Core search loop. `on_solution` returns `true` to continue
+    /// enumerating.
+    fn run<V: Clone>(
+        &self,
+        problem: &Problem<V>,
+        on_solution: &mut dyn FnMut(&[V]) -> bool,
+    ) -> SolveStats {
+        let mut stats = SolveStats::default();
+        let mut domains = problem.domains();
+        if self.preprocess_ac3 && !ac3(problem, &mut domains).is_consistent() {
+            return stats;
+        }
+        if domains.iter().any(|d| d.is_empty()) {
+            return stats;
+        }
+        let mut assignment: Vec<Option<V>> = vec![None; problem.n_vars()];
+        self.search(problem, &mut domains, &mut assignment, &mut stats, on_solution);
+        stats
+    }
+
+    /// Recursive depth-first search. Returns `false` to abort enumeration.
+    fn search<V: Clone>(
+        &self,
+        problem: &Problem<V>,
+        domains: &mut Vec<Vec<V>>,
+        assignment: &mut Vec<Option<V>>,
+        stats: &mut SolveStats,
+        on_solution: &mut dyn FnMut(&[V]) -> bool,
+    ) -> bool {
+        if let Some(limit) = self.node_limit {
+            if stats.nodes >= limit {
+                stats.aborted = true;
+                return false;
+            }
+        }
+        // MRV: pick the unassigned variable with the smallest live domain.
+        let next = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .min_by_key(|(i, _)| domains[*i].len())
+            .map(|(i, _)| i);
+        let Some(var) = next else {
+            let complete: Vec<V> =
+                assignment.iter().map(|a| a.clone().expect("complete")).collect();
+            debug_assert!(problem.is_satisfied(&complete));
+            return on_solution(&complete);
+        };
+        let mut candidates = domains[var].clone();
+        if self.value_order_lcv {
+            // LCV: sort by how many neighbor-domain values each candidate
+            // keeps alive (most first).
+            let var_id = problem.variables().nth(var).expect("valid var");
+            let mut scored: Vec<(usize, V)> = candidates
+                .into_iter()
+                .map(|value| {
+                    let mut kept = 0usize;
+                    for &ci in problem.incident(var_id) {
+                        let c = &problem.constraints()[ci];
+                        let (other, var_is_a) = if c.a.index() == var {
+                            (c.b.index(), true)
+                        } else {
+                            (c.a.index(), false)
+                        };
+                        if assignment[other].is_some() {
+                            continue;
+                        }
+                        kept += domains[other]
+                            .iter()
+                            .filter(|w| {
+                                if var_is_a {
+                                    c.check(&value, w)
+                                } else {
+                                    c.check(w, &value)
+                                }
+                            })
+                            .count();
+                    }
+                    (kept, value)
+                })
+                .collect();
+            scored.sort_by_key(|(kept, _)| std::cmp::Reverse(*kept));
+            candidates = scored.into_iter().map(|(_, v)| v).collect();
+        }
+        for value in candidates {
+            stats.nodes += 1;
+            if !self.consistent_with_assigned(problem, assignment, var, &value) {
+                stats.backtracks += 1;
+                continue;
+            }
+            assignment[var] = Some(value.clone());
+            let saved = if self.forward_check {
+                match self.forward_check_prune(problem, domains, assignment, var, &value) {
+                    Some(saved) => saved,
+                    None => {
+                        // A neighbor's domain wiped out.
+                        assignment[var] = None;
+                        stats.backtracks += 1;
+                        continue;
+                    }
+                }
+            } else {
+                Vec::new()
+            };
+            if !self.search(problem, domains, assignment, stats, on_solution) {
+                return false;
+            }
+            for (i, dom) in saved {
+                domains[i] = dom;
+            }
+            assignment[var] = None;
+            stats.backtracks += 1;
+        }
+        true
+    }
+
+    /// Checks `value` for `var` against all constraints whose other endpoint
+    /// is already assigned.
+    fn consistent_with_assigned<V: Clone>(
+        &self,
+        problem: &Problem<V>,
+        assignment: &[Option<V>],
+        var: usize,
+        value: &V,
+    ) -> bool {
+        let var_id = problem.variables().nth(var).expect("valid var");
+        for &ci in problem.incident(var_id) {
+            let c = &problem.constraints()[ci];
+            let (other, var_is_a) =
+                if c.a.index() == var { (c.b.index(), true) } else { (c.a.index(), false) };
+            if let Some(w) = &assignment[other] {
+                let ok = if var_is_a { c.check(value, w) } else { c.check(w, value) };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Prunes neighbors' domains to values consistent with `var = value`.
+    /// Returns the saved domains for restoration, or `None` on wipeout.
+    #[allow(clippy::type_complexity)]
+    fn forward_check_prune<V: Clone>(
+        &self,
+        problem: &Problem<V>,
+        domains: &mut [Vec<V>],
+        assignment: &[Option<V>],
+        var: usize,
+        value: &V,
+    ) -> Option<Vec<(usize, Vec<V>)>> {
+        let var_id = problem.variables().nth(var).expect("valid var");
+        let mut saved = Vec::new();
+        for &ci in problem.incident(var_id) {
+            let c = &problem.constraints()[ci];
+            let (other, var_is_a) =
+                if c.a.index() == var { (c.b.index(), true) } else { (c.a.index(), false) };
+            if assignment[other].is_some() {
+                continue;
+            }
+            let before = domains[other].len();
+            let filtered: Vec<V> = domains[other]
+                .iter()
+                .filter(|w| if var_is_a { c.check(value, w) } else { c.check(w, value) })
+                .cloned()
+                .collect();
+            if filtered.len() != before {
+                saved.push((other, std::mem::replace(&mut domains[other], filtered)));
+                if domains[other].is_empty() {
+                    for (i, dom) in saved {
+                        domains[i] = dom;
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(saved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    fn n_queens(n: usize) -> Problem<i32> {
+        let mut p = Problem::new();
+        let cols: Vec<_> =
+            (0..n).map(|c| p.add_variable(format!("q{c}"), (0..n as i32).collect())).collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dist = (j - i) as i32;
+                p.add_binary(cols[i], cols[j], "no-attack", move |a: &i32, b: &i32| {
+                    a != b && (a - b).abs() != dist
+                });
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn solves_eight_queens() {
+        let p = n_queens(8);
+        let outcome = Solver::new().solve(&p);
+        let sol = outcome.solution.expect("8-queens is satisfiable");
+        assert!(p.is_satisfied(&sol));
+    }
+
+    #[test]
+    fn three_queens_is_infeasible() {
+        let p = n_queens(3);
+        let outcome = Solver::new().solve(&p);
+        assert!(outcome.solution.is_none());
+    }
+
+    #[test]
+    fn counts_all_four_queens_solutions() {
+        let p = n_queens(4);
+        let (n, _) = Solver::new().count_solutions(&p);
+        assert_eq!(n, 2);
+        // The plain backtracker must agree.
+        let (n_plain, _) = Solver::plain().count_solutions(&p);
+        assert_eq!(n_plain, 2);
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let p = n_queens(6);
+        let (sols, _) = Solver::new().enumerate(&p, 3);
+        assert_eq!(sols.len(), 3);
+        for s in &sols {
+            assert!(p.is_satisfied(s));
+        }
+    }
+
+    #[test]
+    fn propagation_reduces_nodes() {
+        let p = n_queens(8);
+        let smart = Solver::new().solve(&p).stats;
+        let plain = Solver::plain().solve(&p).stats;
+        assert!(
+            smart.nodes < plain.nodes,
+            "AC-3 + forward checking ({}) should beat plain backtracking ({})",
+            smart.nodes,
+            plain.nodes
+        );
+    }
+
+    #[test]
+    fn lcv_finds_same_solutions() {
+        let p = n_queens(8);
+        let lcv = Solver { value_order_lcv: true, ..Solver::new() };
+        let sol = lcv.solve(&p).solution.expect("satisfiable");
+        assert!(p.is_satisfied(&sol));
+        // Exhaustive enumeration is order-independent.
+        let (n_lcv, _) = lcv.count_solutions(&p);
+        let (n_default, _) = Solver::new().count_solutions(&p);
+        assert_eq!(n_lcv, n_default);
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        let p = n_queens(10);
+        let solver = Solver { node_limit: Some(5), ..Solver::new() };
+        let outcome = solver.solve(&p);
+        assert!(outcome.stats.aborted);
+        assert!(outcome.solution.is_none());
+    }
+
+    #[test]
+    fn pigeonhole_infeasible() {
+        // 4 pigeons, 3 holes, all-different: infeasible.
+        let mut p = Problem::new();
+        let vars: Vec<_> =
+            (0..4).map(|i| p.add_variable(format!("p{i}"), vec![0, 1, 2])).collect();
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                p.add_binary(vars[i], vars[j], "neq", |a: &i32, b: &i32| a != b);
+            }
+        }
+        assert!(Solver::new().solve(&p).solution.is_none());
+        assert!(Solver::plain().solve(&p).solution.is_none());
+    }
+
+    #[test]
+    fn empty_problem_has_empty_solution() {
+        let p: Problem<i32> = Problem::new();
+        let outcome = Solver::new().solve(&p);
+        assert_eq!(outcome.solution, Some(vec![]));
+    }
+
+    #[test]
+    fn variable_with_empty_domain_is_infeasible() {
+        let mut p: Problem<i32> = Problem::new();
+        p.add_variable("x", vec![]);
+        assert!(Solver::new().solve(&p).solution.is_none());
+        assert!(Solver::plain().solve(&p).solution.is_none());
+    }
+}

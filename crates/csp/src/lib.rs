@@ -1,0 +1,42 @@
+//! # ferex-csp — constraint-satisfaction solving
+//!
+//! A small, dependency-free finite-domain binary-CSP library providing the
+//! two algorithms the FeReX encoding scheme (Algorithm 1 of the paper) is
+//! built on:
+//!
+//! * [`backtrack::Solver`] — chronological backtracking (Bitner & Reingold,
+//!   CACM 1975) with MRV variable ordering and forward checking;
+//! * [`ac3::ac3`](fn@ac3::ac3) — AC-3 arc consistency (Mackworth, AIJ 1977).
+//!
+//! The library is generic over the domain value type, which lets the FeReX
+//! core use entire candidate search-line configurations as domain values
+//! while the test suite exercises the solver on classic benchmarks (queens,
+//! Sudoku, graph coloring).
+//!
+//! # Examples
+//!
+//! ```
+//! use ferex_csp::{Problem, Solver};
+//!
+//! // Australia map coloring with 3 colors.
+//! let mut p = Problem::new();
+//! let wa = p.add_variable("WA", vec![0, 1, 2]);
+//! let nt = p.add_variable("NT", vec![0, 1, 2]);
+//! let sa = p.add_variable("SA", vec![0, 1, 2]);
+//! let q = p.add_variable("Q", vec![0, 1, 2]);
+//! let nsw = p.add_variable("NSW", vec![0, 1, 2]);
+//! let v = p.add_variable("V", vec![0, 1, 2]);
+//! for (a, b) in [(wa, nt), (wa, sa), (nt, sa), (nt, q), (sa, q), (sa, nsw), (sa, v), (q, nsw), (nsw, v)] {
+//!     p.add_binary(a, b, "neq", |x, y| x != y);
+//! }
+//! let sol = Solver::new().solve(&p).solution.expect("3-colorable");
+//! assert_ne!(sol[wa.index()], sol[sa.index()]);
+//! ```
+
+pub mod ac3;
+pub mod backtrack;
+pub mod problem;
+
+pub use ac3::{ac3, Ac3Outcome, Ac3Stats};
+pub use backtrack::{SolveOutcome, SolveStats, Solver};
+pub use problem::{BinaryConstraint, Problem, VarId};

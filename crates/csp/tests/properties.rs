@@ -1,0 +1,149 @@
+//! Property tests for solver soundness and AC-3 correctness on random
+//! binary CSPs, cross-checked against brute-force enumeration.
+
+use ferex_csp::{ac3, Problem, Solver};
+use proptest::prelude::*;
+
+/// A randomly generated binary CSP instance: `n` variables over `0..d`,
+/// with a relation table per constraint edge.
+#[derive(Debug, Clone)]
+struct RandomCsp {
+    n: usize,
+    d: usize,
+    /// (a, b, allowed pairs encoded as a×d + b indices into a bool table)
+    edges: Vec<(usize, usize, Vec<bool>)>,
+}
+
+fn random_csp() -> impl Strategy<Value = RandomCsp> {
+    (2usize..5, 2usize..4).prop_flat_map(|(n, d)| {
+        let n_pairs = n * (n - 1) / 2;
+        proptest::collection::vec(proptest::collection::vec(any::<bool>(), d * d), 0..=n_pairs)
+            .prop_map(move |tables| {
+                let mut pairs = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        pairs.push((i, j));
+                    }
+                }
+                let edges = tables
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, t)| (pairs[k].0, pairs[k].1, t))
+                    .collect();
+                RandomCsp { n, d, edges }
+            })
+    })
+}
+
+fn build(instance: &RandomCsp) -> Problem<usize> {
+    let mut p = Problem::new();
+    let vars: Vec<_> = (0..instance.n)
+        .map(|i| p.add_variable(format!("v{i}"), (0..instance.d).collect()))
+        .collect();
+    for (a, b, table) in &instance.edges {
+        let table = table.clone();
+        let d = instance.d;
+        p.add_binary(vars[*a], vars[*b], "table", move |x: &usize, y: &usize| table[x * d + y]);
+    }
+    p
+}
+
+/// Brute-force enumeration of all solutions.
+fn brute_force(instance: &RandomCsp) -> Vec<Vec<usize>> {
+    let mut sols = Vec::new();
+    let total = instance.d.pow(instance.n as u32);
+    for code in 0..total {
+        let mut assign = Vec::with_capacity(instance.n);
+        let mut c = code;
+        for _ in 0..instance.n {
+            assign.push(c % instance.d);
+            c /= instance.d;
+        }
+        let ok = instance
+            .edges
+            .iter()
+            .all(|(a, b, t)| t[assign[*a] * instance.d + assign[*b]]);
+        if ok {
+            sols.push(assign);
+        }
+    }
+    sols
+}
+
+proptest! {
+    /// The solver finds a solution exactly when brute force does, and the
+    /// solution it returns satisfies every constraint.
+    #[test]
+    fn solver_agrees_with_brute_force(instance in random_csp()) {
+        let p = build(&instance);
+        let expected = brute_force(&instance);
+        let outcome = Solver::new().solve(&p);
+        prop_assert_eq!(outcome.solution.is_some(), !expected.is_empty());
+        if let Some(sol) = outcome.solution {
+            prop_assert!(p.is_satisfied(&sol));
+        }
+    }
+
+    /// Solution counting matches brute force (complete enumeration).
+    #[test]
+    fn count_matches_brute_force(instance in random_csp()) {
+        let p = build(&instance);
+        let expected = brute_force(&instance).len();
+        let (n, _) = Solver::new().count_solutions(&p);
+        prop_assert_eq!(n, expected);
+        let (n_plain, _) = Solver::plain().count_solutions(&p);
+        prop_assert_eq!(n_plain, expected);
+    }
+
+    /// AC-3 soundness: it never removes a value that occurs in some solution.
+    #[test]
+    fn ac3_is_sound(instance in random_csp()) {
+        let p = build(&instance);
+        let mut domains = p.domains();
+        let outcome = ac3(&p, &mut domains);
+        let sols = brute_force(&instance);
+        if !sols.is_empty() {
+            prop_assert!(outcome.is_consistent(),
+                "AC-3 wiped out a domain on a satisfiable instance");
+        }
+        for sol in &sols {
+            for (var, &val) in sol.iter().enumerate() {
+                prop_assert!(
+                    domains[var].contains(&val),
+                    "AC-3 removed value {} of variable {} present in solution {:?}",
+                    val, var, sol
+                );
+            }
+        }
+    }
+
+    /// AC-3 is idempotent: a second run removes nothing.
+    #[test]
+    fn ac3_idempotent(instance in random_csp()) {
+        let p = build(&instance);
+        let mut domains = p.domains();
+        let first = ac3(&p, &mut domains);
+        if first.is_consistent() {
+            let snapshot = domains.clone();
+            let second = ac3(&p, &mut domains);
+            prop_assert!(second.is_consistent());
+            prop_assert_eq!(second.stats().removals, 0);
+            prop_assert_eq!(domains, snapshot);
+        }
+    }
+
+    /// Every enumerated solution is valid and they are pairwise distinct.
+    #[test]
+    fn enumeration_is_valid_and_distinct(instance in random_csp()) {
+        let p = build(&instance);
+        let (sols, _) = Solver::new().enumerate(&p, 1000);
+        for s in &sols {
+            prop_assert!(p.is_satisfied(s));
+        }
+        for i in 0..sols.len() {
+            for j in (i + 1)..sols.len() {
+                prop_assert_ne!(&sols[i], &sols[j]);
+            }
+        }
+    }
+}

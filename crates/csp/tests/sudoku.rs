@@ -1,0 +1,145 @@
+#![allow(clippy::needless_range_loop)] // grid code is clearest with indices
+
+//! Sudoku as a binary CSP — the reference workload of the hybrid
+//! AC-3 + backtracking approach the paper cites (Soto et al., ESWA 2013).
+
+use ferex_csp::{ac3, Problem, Solver, VarId};
+
+/// Builds the Sudoku CSP: 81 variables, all-different on rows, columns and
+/// boxes, with given clues pinned by singleton domains.
+fn sudoku_problem(grid: &[[u8; 9]; 9]) -> (Problem<u8>, Vec<VarId>) {
+    let mut p = Problem::new();
+    let mut vars = Vec::with_capacity(81);
+    for r in 0..9 {
+        for c in 0..9 {
+            let domain = if grid[r][c] == 0 {
+                (1..=9).collect()
+            } else {
+                vec![grid[r][c]]
+            };
+            vars.push(p.add_variable(format!("r{r}c{c}"), domain));
+        }
+    }
+    let add_diff = |p: &mut Problem<u8>, a: usize, b: usize| {
+        p.add_binary(vars[a], vars[b], "neq", |x, y| x != y);
+    };
+    for r in 0..9 {
+        for c1 in 0..9 {
+            for c2 in (c1 + 1)..9 {
+                add_diff(&mut p, r * 9 + c1, r * 9 + c2); // row
+                add_diff(&mut p, c1 * 9 + r, c2 * 9 + r); // column (r as col idx)
+            }
+        }
+    }
+    for br in 0..3 {
+        for bc in 0..3 {
+            let cells: Vec<usize> = (0..9)
+                .map(|k| (br * 3 + k / 3) * 9 + (bc * 3 + k % 3))
+                .collect();
+            for i in 0..9 {
+                for j in (i + 1)..9 {
+                    // Skip pairs already constrained by row/col.
+                    let (a, b) = (cells[i], cells[j]);
+                    if a / 9 != b / 9 && a % 9 != b % 9 {
+                        add_diff(&mut p, a, b);
+                    }
+                }
+            }
+        }
+    }
+    (p, vars)
+}
+
+fn assert_valid_sudoku(sol: &[u8]) {
+    for r in 0..9 {
+        let mut row = [false; 10];
+        let mut col = [false; 10];
+        for c in 0..9 {
+            assert!(!row[sol[r * 9 + c] as usize], "row {r} repeats");
+            row[sol[r * 9 + c] as usize] = true;
+            assert!(!col[sol[c * 9 + r] as usize], "col {r} repeats");
+            col[sol[c * 9 + r] as usize] = true;
+        }
+    }
+    for br in 0..3 {
+        for bc in 0..3 {
+            let mut seen = [false; 10];
+            for k in 0..9 {
+                let v = sol[(br * 3 + k / 3) * 9 + (bc * 3 + k % 3)] as usize;
+                assert!(!seen[v], "box repeats");
+                seen[v] = true;
+            }
+        }
+    }
+}
+
+/// A standard easy puzzle: AC-3 alone should nearly finish it.
+const EASY: [[u8; 9]; 9] = [
+    [5, 3, 0, 0, 7, 0, 0, 0, 0],
+    [6, 0, 0, 1, 9, 5, 0, 0, 0],
+    [0, 9, 8, 0, 0, 0, 0, 6, 0],
+    [8, 0, 0, 0, 6, 0, 0, 0, 3],
+    [4, 0, 0, 8, 0, 3, 0, 0, 1],
+    [7, 0, 0, 0, 2, 0, 0, 0, 6],
+    [0, 6, 0, 0, 0, 0, 2, 8, 0],
+    [0, 0, 0, 4, 1, 9, 0, 0, 5],
+    [0, 0, 0, 0, 8, 0, 0, 7, 9],
+];
+
+/// A hard puzzle that genuinely requires search on top of propagation.
+const HARD: [[u8; 9]; 9] = [
+    [0, 0, 0, 0, 0, 0, 0, 1, 2],
+    [0, 0, 0, 0, 0, 0, 0, 0, 3],
+    [0, 0, 2, 3, 0, 0, 4, 0, 0],
+    [0, 0, 1, 8, 0, 0, 0, 0, 5],
+    [0, 6, 0, 0, 7, 0, 8, 0, 0],
+    [0, 0, 0, 0, 0, 9, 0, 0, 0],
+    [0, 0, 8, 5, 0, 0, 0, 0, 0],
+    [9, 0, 0, 0, 4, 0, 5, 0, 0],
+    [4, 7, 0, 0, 0, 6, 0, 0, 0],
+];
+
+#[test]
+fn solves_easy_sudoku() {
+    let (p, _) = sudoku_problem(&EASY);
+    let sol = Solver::new().solve(&p).solution.expect("easy sudoku is solvable");
+    assert_valid_sudoku(&sol);
+    assert_eq!(sol[0], 5);
+    assert_eq!(sol[1], 3);
+}
+
+#[test]
+fn solves_hard_sudoku() {
+    let (p, _) = sudoku_problem(&HARD);
+    let sol = Solver::new().solve(&p).solution.expect("hard sudoku is solvable");
+    assert_valid_sudoku(&sol);
+}
+
+#[test]
+fn ac3_propagation_shrinks_domains_substantially() {
+    let (p, _) = sudoku_problem(&EASY);
+    let mut d = p.domains();
+    let before: usize = d.iter().map(Vec::len).sum();
+    assert!(ac3(&p, &mut d).is_consistent());
+    let after: usize = d.iter().map(Vec::len).sum();
+    assert!(after < before / 2, "AC-3 only shrank {before} → {after}");
+    // On this easy puzzle, AC-3 actually solves every cell.
+    assert!(d.iter().all(|dom| dom.len() == 1), "easy puzzle should be AC-3-complete");
+}
+
+#[test]
+fn contradictory_clues_detected() {
+    let mut grid = EASY;
+    grid[0][2] = 5; // duplicate 5 in the first row
+    let (p, _) = sudoku_problem(&grid);
+    let mut d = p.domains();
+    assert!(!ac3(&p, &mut d).is_consistent());
+    assert!(Solver::new().solve(&p).solution.is_none());
+}
+
+#[test]
+fn unique_solution_for_easy_puzzle() {
+    let (p, _) = sudoku_problem(&EASY);
+    let (sols, _) = Solver::new().enumerate(&p, 3);
+    assert_eq!(sols.len(), 1, "well-posed puzzle must have exactly one solution");
+}

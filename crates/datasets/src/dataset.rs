@@ -1,0 +1,128 @@
+//! In-memory labeled dataset containers.
+
+use crate::spec::DatasetSpec;
+
+/// One labeled sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Feature vector.
+    pub features: Vec<f32>,
+    /// Class label in `0..n_classes`.
+    pub label: usize,
+}
+
+/// A train/test split of labeled samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// The spec this dataset realizes.
+    pub spec: DatasetSpec,
+    /// Training samples.
+    pub train: Vec<Sample>,
+    /// Held-out test samples.
+    pub test: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.spec.n_features
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.spec.n_classes
+    }
+
+    /// Checks structural invariants: sizes match the spec, every sample has
+    /// the right arity, labels are in range, and every class occurs in the
+    /// training set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.train.len() != self.spec.train_size {
+            return Err(format!(
+                "train size {} != spec {}",
+                self.train.len(),
+                self.spec.train_size
+            ));
+        }
+        if self.test.len() != self.spec.test_size {
+            return Err(format!("test size {} != spec {}", self.test.len(), self.spec.test_size));
+        }
+        let mut seen = vec![false; self.spec.n_classes];
+        for (which, set) in [("train", &self.train), ("test", &self.test)] {
+            for (i, s) in set.iter().enumerate() {
+                if s.features.len() != self.spec.n_features {
+                    return Err(format!("{which}[{i}] has {} features", s.features.len()));
+                }
+                if s.label >= self.spec.n_classes {
+                    return Err(format!("{which}[{i}] label {} out of range", s.label));
+                }
+                if which == "train" {
+                    seen[s.label] = true;
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("class {missing} absent from the training set"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec {
+            name: "tiny",
+            n_features: 2,
+            n_classes: 2,
+            train_size: 2,
+            test_size: 1,
+            description: "test",
+        }
+    }
+
+    fn sample(label: usize) -> Sample {
+        Sample { features: vec![0.0, 1.0], label }
+    }
+
+    #[test]
+    fn valid_dataset_passes() {
+        let d = Dataset {
+            spec: tiny_spec(),
+            train: vec![sample(0), sample(1)],
+            test: vec![sample(0)],
+        };
+        assert!(d.validate().is_ok());
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let d = Dataset { spec: tiny_spec(), train: vec![sample(0)], test: vec![sample(0)] };
+        assert!(d.validate().unwrap_err().contains("train size"));
+    }
+
+    #[test]
+    fn label_range_detected() {
+        let d = Dataset {
+            spec: tiny_spec(),
+            train: vec![sample(0), sample(7)],
+            test: vec![sample(0)],
+        };
+        assert!(d.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn missing_class_detected() {
+        let d = Dataset {
+            spec: tiny_spec(),
+            train: vec![sample(0), sample(0)],
+            test: vec![sample(1)],
+        };
+        assert!(d.validate().unwrap_err().contains("absent"));
+    }
+}

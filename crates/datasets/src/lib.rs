@@ -1,0 +1,33 @@
+//! # ferex-datasets — benchmark dataset substrates
+//!
+//! Synthetic replacements for the paper's Table III datasets (ISOLET,
+//! UCIHAR, MNIST), plus the uniform feature quantization FeReX's multi-bit
+//! cells require.
+//!
+//! The real UCI archives are unavailable offline; [`synth::generate`]
+//! produces class-conditional Gaussian data with the same feature counts,
+//! class counts and split sizes (see DESIGN.md §3 for why the substitution
+//! preserves the paper's comparisons).
+//!
+//! # Examples
+//!
+//! ```
+//! use ferex_datasets::quantize::Quantizer;
+//! use ferex_datasets::spec::UCIHAR;
+//! use ferex_datasets::synth::{generate, SynthOptions};
+//!
+//! let data = generate(&UCIHAR.scaled(0.01), &SynthOptions::default());
+//! let quantizer = Quantizer::fit_samples(2, &data.train);
+//! let symbols = quantizer.transform(&data.test[0].features);
+//! assert!(symbols.iter().all(|&s| s < 4));
+//! ```
+
+pub mod dataset;
+pub mod quantize;
+pub mod spec;
+pub mod synth;
+
+pub use dataset::{Dataset, Sample};
+pub use quantize::Quantizer;
+pub use spec::{DatasetSpec, ISOLET, MNIST, TABLE_III, UCIHAR};
+pub use synth::{generate, perturb, SynthOptions};

@@ -1,0 +1,139 @@
+//! Feature quantization to b-bit symbols.
+//!
+//! FeReX stores multi-bit symbols, so real-valued features (raw or HDC
+//! class-vector components) must be quantized. The [`Quantizer`] fits
+//! per-feature min/max ranges on training data and maps values linearly
+//! onto `0..2^bits`, clamping out-of-range test values — the standard
+//! uniform quantization used by multi-bit CiM work.
+
+use crate::dataset::Sample;
+
+/// Per-feature uniform quantizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantizer {
+    bits: u32,
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl Quantizer {
+    /// Fits quantization ranges on an iterator of feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no vectors are provided, vectors are ragged, or
+    /// `bits == 0` / `bits > 6`.
+    pub fn fit<'a, I: IntoIterator<Item = &'a [f32]>>(bits: u32, vectors: I) -> Self {
+        assert!((1..=6).contains(&bits), "bits must be in 1..=6");
+        let mut iter = vectors.into_iter();
+        let first = iter.next().expect("at least one vector required");
+        let mut mins = first.to_vec();
+        let mut maxs = first.to_vec();
+        for v in iter {
+            assert_eq!(v.len(), mins.len(), "ragged feature vectors");
+            for ((mn, mx), &x) in mins.iter_mut().zip(maxs.iter_mut()).zip(v) {
+                if x < *mn {
+                    *mn = x;
+                }
+                if x > *mx {
+                    *mx = x;
+                }
+            }
+        }
+        Quantizer { bits, mins, maxs }
+    }
+
+    /// Convenience: fit on the feature vectors of labeled samples.
+    pub fn fit_samples(bits: u32, samples: &[Sample]) -> Self {
+        Self::fit(bits, samples.iter().map(|s| s.features.as_slice()))
+    }
+
+    /// Number of quantization levels (`2^bits`).
+    pub fn n_levels(&self) -> u32 {
+        1 << self.bits
+    }
+
+    /// Symbol bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Quantizes one vector; out-of-range values clamp to the extreme
+    /// symbols. Constant features map to symbol 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn transform(&self, features: &[f32]) -> Vec<u32> {
+        assert_eq!(features.len(), self.mins.len(), "dimension mismatch");
+        let top = (self.n_levels() - 1) as f32;
+        features
+            .iter()
+            .zip(self.mins.iter().zip(&self.maxs))
+            .map(|(&x, (&mn, &mx))| {
+                if mx <= mn {
+                    return 0;
+                }
+                let t = ((x - mn) / (mx - mn)).clamp(0.0, 1.0);
+                (t * top).round() as u32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantizes_to_full_range() {
+        let train = [vec![0.0f32, -1.0], vec![1.0, 1.0]];
+        let q = Quantizer::fit(2, train.iter().map(|v| v.as_slice()));
+        assert_eq!(q.n_levels(), 4);
+        assert_eq!(q.transform(&[0.0, -1.0]), vec![0, 0]);
+        assert_eq!(q.transform(&[1.0, 1.0]), vec![3, 3]);
+        assert_eq!(q.transform(&[0.5, 0.0]), vec![2, 2]); // rounds up at 1.5
+    }
+
+    #[test]
+    fn clamps_out_of_range_values() {
+        let train = [vec![0.0f32], vec![1.0]];
+        let q = Quantizer::fit(3, train.iter().map(|v| v.as_slice()));
+        assert_eq!(q.transform(&[-5.0]), vec![0]);
+        assert_eq!(q.transform(&[9.0]), vec![7]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let train = [vec![2.5f32], vec![2.5]];
+        let q = Quantizer::fit(2, train.iter().map(|v| v.as_slice()));
+        assert_eq!(q.transform(&[2.5]), vec![0]);
+        assert_eq!(q.transform(&[100.0]), vec![0]);
+    }
+
+    #[test]
+    fn quantization_is_monotone() {
+        let train = [vec![0.0f32], vec![10.0]];
+        let q = Quantizer::fit(2, train.iter().map(|v| v.as_slice()));
+        let mut last = 0;
+        for i in 0..=100 {
+            let s = q.transform(&[i as f32 / 10.0])[0];
+            assert!(s >= last, "non-monotone at {i}");
+            last = s;
+        }
+        assert_eq!(last, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn transform_checks_arity() {
+        let train = [vec![0.0f32, 1.0]];
+        let q = Quantizer::fit(2, train.iter().map(|v| v.as_slice()));
+        let _ = q.transform(&[0.0]);
+    }
+}

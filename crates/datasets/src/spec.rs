@@ -1,0 +1,116 @@
+//! Dataset specifications from Table III of the paper.
+//!
+//! The real UCI/MNIST archives are not available in this offline
+//! environment; the generators in [`crate::synth`] produce class-conditional
+//! Gaussian data *statistically matched* to these specs (same feature count,
+//! class count and split sizes), which preserves every relative comparison
+//! the paper reports (metric vs metric, hardware vs software).
+
+/// Static description of one benchmark dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Short name as used in the paper.
+    pub name: &'static str,
+    /// Feature count `n`.
+    pub n_features: usize,
+    /// Class count `K`.
+    pub n_classes: usize,
+    /// Training-set size.
+    pub train_size: usize,
+    /// Test-set size.
+    pub test_size: usize,
+    /// Task description from Table III.
+    pub description: &'static str,
+}
+
+/// ISOLET: voice recognition (617 features, 26 classes).
+pub const ISOLET: DatasetSpec = DatasetSpec {
+    name: "ISOLET",
+    n_features: 617,
+    n_classes: 26,
+    train_size: 6238,
+    test_size: 1559,
+    description: "Voice Recognition",
+};
+
+/// UCIHAR: physical activity monitoring (561 features, 12 classes).
+pub const UCIHAR: DatasetSpec = DatasetSpec {
+    name: "UCIHAR",
+    n_features: 561,
+    n_classes: 12,
+    train_size: 6213,
+    test_size: 1554,
+    description: "Physical Activity Monitoring",
+};
+
+/// MNIST: handwritten digit recognition (784 features, 10 classes).
+pub const MNIST: DatasetSpec = DatasetSpec {
+    name: "MNIST",
+    n_features: 784,
+    n_classes: 10,
+    train_size: 60_000,
+    test_size: 10_000,
+    description: "Handwritten Recognition",
+};
+
+/// The three Table III datasets, in paper order.
+pub const TABLE_III: [DatasetSpec; 3] = [ISOLET, UCIHAR, MNIST];
+
+impl DatasetSpec {
+    /// A proportionally scaled copy of this spec, used to keep experiment
+    /// runtimes tractable while preserving the feature/class structure.
+    /// Sizes are floored at `n_classes` samples so every class can appear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn scaled(&self, fraction: f64) -> DatasetSpec {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+        DatasetSpec {
+            train_size: ((self.train_size as f64 * fraction) as usize).max(self.n_classes),
+            test_size: ((self.test_size as f64 * fraction) as usize).max(self.n_classes),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_matches_the_paper() {
+        assert_eq!(ISOLET.n_features, 617);
+        assert_eq!(ISOLET.n_classes, 26);
+        assert_eq!(ISOLET.train_size, 6238);
+        assert_eq!(ISOLET.test_size, 1559);
+        assert_eq!(UCIHAR.n_features, 561);
+        assert_eq!(UCIHAR.n_classes, 12);
+        assert_eq!(MNIST.n_features, 784);
+        assert_eq!(MNIST.n_classes, 10);
+        assert_eq!(MNIST.train_size, 60_000);
+        assert_eq!(MNIST.test_size, 10_000);
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let s = MNIST.scaled(0.01);
+        assert_eq!(s.n_features, 784);
+        assert_eq!(s.n_classes, 10);
+        assert_eq!(s.train_size, 600);
+        assert_eq!(s.test_size, 100);
+    }
+
+    #[test]
+    fn scaling_floors_at_class_count() {
+        let s = ISOLET.scaled(0.0001);
+        assert_eq!(s.train_size, 26);
+        assert_eq!(s.test_size, 26);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn zero_fraction_rejected() {
+        let _ = MNIST.scaled(0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The 1FeFET-1R multi-level cell (paper Fig. 1).
+//!
+//! A MΩ-class resistor in series with the FeFET source clamps the ON current
+//! to `V_ds/R`, making it independent of the stored threshold (and of its
+//! variation) as long as the transistor's saturation current is far above the
+//! clamp — the key device trick from Soliman (IEDM 2020) / Saito (VLSI 2021)
+//! that FeReX builds on. Quantized drain voltages then give quantized ON
+//! currents: `I = m · I_unit`.
+
+use crate::device::FeFet;
+use crate::math::bisect;
+use crate::params::Technology;
+use crate::units::{Amp, Ohm, Volt};
+use crate::variation::DeviceSample;
+
+/// One 1FeFET-1R cell: FeFET with a series source resistor.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_fefet::{Cell, Technology};
+/// use ferex_fefet::units::Volt;
+///
+/// let tech = Technology::default();
+/// let mut cell = Cell::new(&tech);
+/// cell.fefet_mut().set_level(&tech, 0);
+/// // Search level 1 turns on a level-0 cell; current ≈ V_ds/R.
+/// let i = cell.current(&tech, tech.search_voltage(1), tech.vds_for_multiple(1), Volt(0.0));
+/// assert!((i.value() / tech.i_unit().value() - 1.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    fefet: FeFet,
+    resistance: Ohm,
+}
+
+impl Cell {
+    /// Creates a nominal cell (erased FeFET, nominal resistor).
+    pub fn new(tech: &Technology) -> Self {
+        Cell { fefet: FeFet::new(tech), resistance: tech.r_cell }
+    }
+
+    /// Creates a cell with a device-variation sample applied to both the
+    /// FeFET threshold and the resistor.
+    pub fn with_variation(tech: &Technology, sample: DeviceSample) -> Self {
+        Cell {
+            fefet: FeFet::new(tech).with_variation(sample),
+            resistance: tech.r_cell * sample.r_factor,
+        }
+    }
+
+    /// The FeFET inside the cell.
+    pub fn fefet(&self) -> &FeFet {
+        &self.fefet
+    }
+
+    /// Mutable access to the FeFET (for programming).
+    pub fn fefet_mut(&mut self) -> &mut FeFet {
+        &mut self.fefet
+    }
+
+    /// The series resistance of this cell (after variation).
+    pub fn resistance(&self) -> Ohm {
+        self.resistance
+    }
+
+    /// Exact series solve of the cell current.
+    ///
+    /// Topology: the resistor sits between the drain line at `v_dl` and the
+    /// FeFET drain (the paper notes source- and drain-side placement are
+    /// equivalent for the clamp; drain-side placement avoids source
+    /// degeneration eating the limited gate overdrive of the voltage
+    /// ladder). The FeFET source connects to the source line held at `v_scl`
+    /// by the interface op-amp, so `V_gs = V_gate − V_scl` is explicit and
+    /// only the internal drain node is implicit. We solve the monotone KCL
+    /// residual `f(I) = I_fet(V_gs, V_total − I·R) − I` by bisection on
+    /// `I ∈ [0, (V_dl − V_scl)/R]`.
+    pub fn current(&self, tech: &Technology, v_gate: Volt, v_dl: Volt, v_scl: Volt) -> Amp {
+        let v_total = (v_dl - v_scl).value();
+        if v_total <= 0.0 {
+            return Amp(0.0);
+        }
+        let r = self.resistance.value();
+        let i_max = v_total / r;
+        let vgs = v_gate - v_scl;
+        let residual = |i: f64| {
+            let vds = Volt(v_total - i * r);
+            self.fefet.drain_current(tech, vgs, vds).value() - i
+        };
+        // f(0) = I_fet(...) ≥ 0 and f(i_max) = I_fet(vgs_min, 0) − i_max ≤ 0,
+        // so a root is bracketed; tolerance is a millionth of the clamp.
+        Amp(bisect(residual, 0.0, i_max, i_max * 1e-6))
+    }
+
+    /// The idealized cell current used throughout the paper's analysis:
+    /// `min(I_sat, V_ds/R)` when the gate voltage exceeds the stored
+    /// threshold, 0 otherwise.
+    pub fn current_approx(&self, tech: &Technology, v_gate: Volt, v_dl: Volt, v_scl: Volt) -> Amp {
+        let v_total = v_dl - v_scl;
+        if v_total.value() <= 0.0 || !self.fefet.is_on(tech, v_gate - v_scl) {
+            return Amp(0.0);
+        }
+        let clamp = v_total / self.resistance;
+        let sat = tech.fet.saturation_current(v_gate - v_scl - self.fefet.vth(tech));
+        clamp.min(sat)
+    }
+
+    /// `true` if the cell conducts under gate voltage `v_gate` with the
+    /// source line at `v_scl`.
+    pub fn is_on(&self, tech: &Technology, v_gate: Volt, v_scl: Volt) -> bool {
+        self.fefet.is_on(tech, v_gate - v_scl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on_cell(tech: &Technology, level: usize) -> Cell {
+        let mut c = Cell::new(tech);
+        c.fefet_mut().set_level(tech, level);
+        c
+    }
+
+    #[test]
+    fn on_current_clamped_by_resistor() {
+        let tech = Technology::default();
+        let cell = on_cell(&tech, 0);
+        for m in 1..=4 {
+            let i = cell.current(
+                &tech,
+                tech.search_voltage(tech.n_vth_levels),
+                tech.vds_for_multiple(m),
+                Volt(0.0),
+            );
+            let ratio = i.value() / tech.i_unit().value();
+            assert!(
+                (ratio - m as f64).abs() < 0.05 * m as f64,
+                "multiple {m}: got {ratio} units"
+            );
+        }
+    }
+
+    #[test]
+    fn off_cell_conducts_negligibly() {
+        let tech = Technology::default();
+        let cell = on_cell(&tech, 2); // stored level 2
+        let i = cell.current(&tech, tech.search_voltage(1), tech.vds_for_multiple(1), Volt(0.0));
+        assert!(i.value() < 0.01 * tech.i_unit().value(), "off leakage {}", i);
+    }
+
+    #[test]
+    fn on_current_independent_of_stored_level() {
+        // The resistor clamp is the whole point: ON current must not depend
+        // on which (conducting) V_th the FeFET stores.
+        let tech = Technology::default();
+        let v_gate = tech.search_voltage(tech.n_vth_levels); // turns on every level
+        let vds = tech.vds_for_multiple(2);
+        let currents: Vec<f64> = (0..tech.n_vth_levels)
+            .map(|lvl| on_cell(&tech, lvl).current(&tech, v_gate, vds, Volt(0.0)).value())
+            .collect();
+        let max = currents.iter().cloned().fold(f64::MIN, f64::max);
+        let min = currents.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - min) / max < 0.02, "ON current spreads {min}..{max}");
+    }
+
+    #[test]
+    fn exact_solve_matches_min_approximation() {
+        let tech = Technology::default();
+        for lvl in 0..tech.n_vth_levels {
+            let cell = on_cell(&tech, lvl);
+            for j in 0..=tech.n_vth_levels {
+                for m in 1..=3 {
+                    let vg = tech.search_voltage(j);
+                    let vds = tech.vds_for_multiple(m);
+                    let exact = cell.current(&tech, vg, vds, Volt(0.0)).value();
+                    let approx = cell.current_approx(&tech, vg, vds, Volt(0.0)).value();
+                    let scale = tech.i_unit().value() * m as f64;
+                    assert!(
+                        (exact - approx).abs() < 0.08 * scale,
+                        "lvl {lvl} search {j} m {m}: exact {exact}, approx {approx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nonpositive_vds_yields_zero() {
+        let tech = Technology::default();
+        let cell = on_cell(&tech, 0);
+        let vg = tech.search_voltage(2);
+        assert_eq!(cell.current(&tech, vg, Volt(0.0), Volt(0.0)), Amp(0.0));
+        assert_eq!(cell.current(&tech, vg, Volt(0.1), Volt(0.2)), Amp(0.0));
+        assert_eq!(cell.current_approx(&tech, vg, Volt(0.0), Volt(0.0)), Amp(0.0));
+    }
+
+    #[test]
+    fn scl_bias_shifts_operating_point() {
+        // Raising ScL by the same amount as DL and gate leaves current
+        // unchanged (only differences matter).
+        let tech = Technology::default();
+        let cell = on_cell(&tech, 0);
+        let base = cell.current(&tech, tech.search_voltage(1), Volt(0.2), Volt(0.0));
+        let shifted =
+            cell.current(&tech, tech.search_voltage(1) + Volt(0.3), Volt(0.5), Volt(0.3));
+        assert!((base.value() - shifted.value()).abs() < 1e-3 * base.value().max(1e-12));
+    }
+
+    #[test]
+    fn resistor_variation_scales_current() {
+        let tech = Technology::default();
+        let sample = DeviceSample { dvth: Volt(0.0), r_factor: 1.1 };
+        let mut varied = Cell::with_variation(&tech, sample);
+        varied.fefet_mut().set_level(&tech, 0);
+        let nominal = on_cell(&tech, 0);
+        let vg = tech.search_voltage(1);
+        let vds = tech.vds_for_multiple(1);
+        let iv = varied.current(&tech, vg, vds, Volt(0.0)).value();
+        let inom = nominal.current(&tech, vg, vds, Volt(0.0)).value();
+        let ratio = inom / iv;
+        assert!((ratio - 1.1).abs() < 0.02, "expected ~1.1× lower current, ratio {ratio}");
+    }
+}

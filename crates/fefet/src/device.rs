@@ -1,0 +1,165 @@
+//! The FeFET device: a transistor whose threshold voltage is set by the
+//! polarization state of a [`PreisachModel`] ferroelectric gate stack.
+
+use crate::params::Technology;
+use crate::preisach::PreisachModel;
+use crate::units::{Amp, Volt};
+use crate::variation::DeviceSample;
+
+/// One ferroelectric field-effect transistor.
+///
+/// The stored value is the threshold voltage `V_th`, moved by gate pulses
+/// through the ferroelectric polarization (paper Sec. II-A). A per-device
+/// variation sample (ΔV_th) can be attached for Monte-Carlo analysis.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_fefet::{FeFet, Technology};
+///
+/// let tech = Technology::default();
+/// let mut fet = FeFet::new(&tech);
+/// fet.set_level(&tech, 1);
+/// assert_eq!(fet.level(&tech), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeFet {
+    ferroelectric: PreisachModel,
+    dvth: Volt,
+}
+
+impl FeFet {
+    /// Creates a device in the fully erased (highest `V_th`) state.
+    pub fn new(tech: &Technology) -> Self {
+        let mut ferroelectric = PreisachModel::new(tech.preisach.clone());
+        ferroelectric.saturate_down();
+        FeFet { ferroelectric, dvth: Volt::ZERO }
+    }
+
+    /// Attaches a device-to-device variation sample (threshold shift).
+    pub fn with_variation(mut self, sample: DeviceSample) -> Self {
+        self.dvth = sample.dvth;
+        self
+    }
+
+    /// Direct access to the ferroelectric ensemble (for pulse programming).
+    pub fn ferroelectric_mut(&mut self) -> &mut PreisachModel {
+        &mut self.ferroelectric
+    }
+
+    /// Read-only access to the ferroelectric ensemble.
+    pub fn ferroelectric(&self) -> &PreisachModel {
+        &self.ferroelectric
+    }
+
+    /// Effective threshold voltage, including the variation shift.
+    pub fn vth(&self, tech: &Technology) -> Volt {
+        tech.vth_from_polarization(self.ferroelectric.polarization()) + self.dvth
+    }
+
+    /// Programs the device *ideally* to threshold level `i` by setting the
+    /// polarization directly. Pulse-based programming with verify lives in
+    /// [`crate::programming`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= tech.n_vth_levels`.
+    pub fn set_level(&mut self, tech: &Technology, i: usize) {
+        let target = tech.vth_level(i);
+        self.ferroelectric.set_polarization(tech.polarization_for_vth(target));
+    }
+
+    /// The threshold level this device currently stores, or `None` if the
+    /// threshold sits closer to no level than half the programming tolerance
+    /// (a quarter of the level step).
+    pub fn level(&self, tech: &Technology) -> Option<usize> {
+        let vth = self.vth(tech).value();
+        let step = tech.vth_step.value();
+        let idx = ((vth - tech.vth_low.value()) / step).round();
+        if idx < 0.0 || idx >= tech.n_vth_levels as f64 {
+            return None;
+        }
+        let nearest = tech.vth_low.value() + idx * step;
+        if (vth - nearest).abs() <= 0.25 * step {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Drain current for the given gate-source and drain-source voltages.
+    pub fn drain_current(&self, tech: &Technology, vgs: Volt, vds: Volt) -> Amp {
+        tech.fet.drain_current(vgs, vds, self.vth(tech))
+    }
+
+    /// `true` if the device conducts (gate voltage above threshold).
+    pub fn is_on(&self, tech: &Technology, vgs: Volt) -> bool {
+        vgs > self.vth(tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variation::DeviceSample;
+
+    #[test]
+    fn fresh_device_is_erased() {
+        let tech = Technology::default();
+        let fet = FeFet::new(&tech);
+        // Fully down polarization → top of the window, above every level.
+        assert!(fet.vth(&tech) > tech.vth_level(tech.n_vth_levels - 1));
+        assert_eq!(fet.level(&tech), None);
+    }
+
+    #[test]
+    fn set_level_round_trips_all_levels() {
+        let tech = Technology::default();
+        let mut fet = FeFet::new(&tech);
+        for i in 0..tech.n_vth_levels {
+            fet.set_level(&tech, i);
+            assert_eq!(fet.level(&tech), Some(i));
+            let err = (fet.vth(&tech).value() - tech.vth_level(i).value()).abs();
+            assert!(err < 0.02, "level {i} programmed {err} V off target");
+        }
+    }
+
+    #[test]
+    fn on_off_follows_ladder() {
+        let tech = Technology::default();
+        let mut fet = FeFet::new(&tech);
+        for i in 0..tech.n_vth_levels {
+            fet.set_level(&tech, i);
+            for j in 0..=tech.n_vth_levels {
+                assert_eq!(
+                    fet.is_on(&tech, tech.search_voltage(j)),
+                    i < j,
+                    "stored {i}, search {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variation_shifts_threshold() {
+        let tech = Technology::default();
+        let mut nominal = FeFet::new(&tech);
+        nominal.set_level(&tech, 1);
+        let shifted = nominal.clone().with_variation(DeviceSample {
+            dvth: Volt(0.05),
+            r_factor: 1.0,
+        });
+        let dv = shifted.vth(&tech).value() - nominal.vth(&tech).value();
+        assert!((dv - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_current_is_far_above_off_current() {
+        let tech = Technology::default();
+        let mut fet = FeFet::new(&tech);
+        fet.set_level(&tech, 0);
+        let on = fet.drain_current(&tech, tech.search_voltage(1), Volt(0.1));
+        let off = fet.drain_current(&tech, tech.search_voltage(0), Volt(0.1));
+        assert!(on.value() > 1e3 * off.value(), "on {on} off {off}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Endurance: memory-window evolution over program/erase cycling.
+//!
+//! HfO₂ FeFETs show the classic three-phase endurance signature: *wake-up*
+//! (window widens over the first 10²–10³ cycles as domains de-pin),
+//! a stable plateau, then *fatigue* (window closes as charge trapping and
+//! pinning accumulate, typically beyond 10⁵–10⁷ cycles). Reconfigurable
+//! AMs re-program on every metric switch, so cycle budgets matter: this
+//! model answers "how many reconfigurations until the level margins
+//! collapse?".
+
+use crate::params::Technology;
+use crate::units::Volt;
+
+/// Three-phase endurance model of the memory window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnduranceModel {
+    /// Fresh-device window as a fraction of the nominal window (wake-up
+    /// starts slightly closed; typical 0.9).
+    pub initial_fraction: f64,
+    /// Cycles to complete wake-up (window reaches 1.0).
+    pub wakeup_cycles: f64,
+    /// Cycle count where fatigue onset begins.
+    pub fatigue_onset: f64,
+    /// Window-closing rate per decade beyond fatigue onset.
+    pub fatigue_per_decade: f64,
+}
+
+impl Default for EnduranceModel {
+    fn default() -> Self {
+        EnduranceModel {
+            initial_fraction: 0.9,
+            wakeup_cycles: 1.0e3,
+            fatigue_onset: 1.0e6,
+            fatigue_per_decade: 0.15,
+        }
+    }
+}
+
+impl EnduranceModel {
+    /// The usable window fraction after `cycles` program/erase cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative.
+    pub fn window_fraction(&self, cycles: f64) -> f64 {
+        assert!(cycles >= 0.0, "cycle count must be non-negative");
+        // Wake-up: log-linear rise from initial_fraction to 1.0.
+        let wake = if cycles >= self.wakeup_cycles {
+            1.0
+        } else {
+            let progress = (1.0 + cycles).log10() / (1.0 + self.wakeup_cycles).log10();
+            self.initial_fraction + (1.0 - self.initial_fraction) * progress
+        };
+        // Fatigue: log-linear fall beyond onset.
+        let fatigue = if cycles <= self.fatigue_onset {
+            1.0
+        } else {
+            let decades = (cycles / self.fatigue_onset).log10();
+            (1.0 - self.fatigue_per_decade * decades).max(0.0)
+        };
+        wake * fatigue
+    }
+
+    /// The effective level step after cycling (level spacing scales with
+    /// the window).
+    pub fn effective_step(&self, tech: &Technology, cycles: f64) -> Volt {
+        tech.vth_step * self.window_fraction(cycles)
+    }
+
+    /// Maximum cycles while the ON/OFF margin stays above `min_margin`.
+    ///
+    /// The margin is half the effective step; returns the largest cycle
+    /// count (by bisection over decades) where it still holds, or `None`
+    /// if even a fresh device fails.
+    pub fn cycle_budget(&self, tech: &Technology, min_margin: Volt) -> Option<f64> {
+        let margin_at = |cycles: f64| self.effective_step(tech, cycles).value() * 0.5;
+        if margin_at(0.0) < min_margin.value() {
+            return None;
+        }
+        // Search up to 10^12 cycles.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0e12;
+        if margin_at(hi) >= min_margin.value() {
+            return Some(hi);
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if margin_at(mid) >= min_margin.value() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_then_plateau_then_fatigue() {
+        let m = EnduranceModel::default();
+        let fresh = m.window_fraction(0.0);
+        let awake = m.window_fraction(1.0e4);
+        let fatigued = m.window_fraction(1.0e9);
+        assert!(fresh < awake, "wake-up must widen the window");
+        assert!((awake - 1.0).abs() < 1e-9, "plateau should be the full window");
+        assert!(fatigued < awake, "fatigue must close the window");
+    }
+
+    #[test]
+    fn window_fraction_bounded() {
+        let m = EnduranceModel::default();
+        for exp in 0..12 {
+            let f = m.window_fraction(10f64.powi(exp));
+            assert!((0.0..=1.0).contains(&f), "fraction {f} at 1e{exp}");
+        }
+        // Extreme cycling floors at zero, never negative.
+        assert_eq!(m.window_fraction(1.0e30), 0.0);
+    }
+
+    #[test]
+    fn cycle_budget_is_generous_for_reasonable_margins() {
+        // 2-bit FeReX needs ~half the nominal margin to survive variation;
+        // the budget should exceed millions of reconfigurations.
+        let tech = Technology::default();
+        let m = EnduranceModel::default();
+        let budget = m.cycle_budget(&tech, Volt(0.1)).expect("fresh device passes");
+        assert!(budget > 1.0e6, "budget only {budget} cycles");
+    }
+
+    #[test]
+    fn impossible_margin_reports_none() {
+        let tech = Technology::default();
+        let m = EnduranceModel::default();
+        // Fresh margin is 0.5·0.9·step = 0.18 V; ask for more.
+        assert_eq!(m.cycle_budget(&tech, Volt(0.5)), None);
+    }
+
+    #[test]
+    fn budget_is_tight() {
+        // At the returned budget the margin holds; one decade later it
+        // does not (for a margin inside the fatigue regime).
+        let tech = Technology::default();
+        let m = EnduranceModel::default();
+        let margin = Volt(0.15);
+        let budget = m.cycle_budget(&tech, margin).expect("achievable");
+        assert!(m.effective_step(&tech, budget).value() * 0.5 >= margin.value() - 1e-9);
+        assert!(m.effective_step(&tech, budget * 10.0).value() * 0.5 < margin.value());
+    }
+}

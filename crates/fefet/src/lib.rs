@@ -1,0 +1,57 @@
+//! # ferex-fefet — ferroelectric FET device substrate
+//!
+//! Device-physics layer of the FeReX reproduction (Xu et al., DATE 2024):
+//! everything below the circuit level.
+//!
+//! * [`preisach`] — Preisach hysteresis model of the HfO₂ ferroelectric gate
+//!   stack (stand-in for the Ni et al. compact model used in the paper's
+//!   Virtuoso testbench), with quasi-static and kinetic (Merz-law) drive.
+//! * [`transistor`] — simplified 45nm-class MOSFET I-V (stand-in for PTM).
+//! * [`device`] — the [`FeFet`]: transistor + ferroelectric `V_th` state.
+//! * [`cell`] — the [`Cell`]: 1FeFET-1R multi-level cell whose ON current is
+//!   resistor-clamped to `V_ds/R` (paper Fig. 1).
+//! * [`programming`] — write/erase pulse schemes, ISPP program-and-verify,
+//!   half-voltage write-inhibit disturb analysis.
+//! * [`variation`] — device-to-device variation (σ_Vth = 54 mV, σ_R = 8 %).
+//! * [`retention`], [`endurance`] — V_th drift over time and memory-window
+//!   evolution over program/erase cycling.
+//! * [`params`] — the [`Technology`] card tying the voltage ladder together.
+//! * [`units`], [`math`] — SI-unit newtypes and numeric helpers.
+//!
+//! # Quick example
+//!
+//! ```
+//! use ferex_fefet::{Cell, Technology};
+//! use ferex_fefet::units::Volt;
+//!
+//! let tech = Technology::default();
+//! let mut cell = Cell::new(&tech);
+//! cell.fefet_mut().set_level(&tech, 1);
+//!
+//! // Search level 2 exceeds stored level 1 → the cell conducts one
+//! // current unit per V_ds unit.
+//! let i = cell.current(&tech, tech.search_voltage(2), tech.vds_for_multiple(1), Volt(0.0));
+//! assert!(i.value() > 0.9 * tech.i_unit().value());
+//! ```
+
+pub mod cell;
+pub mod device;
+pub mod endurance;
+pub mod math;
+pub mod params;
+pub mod preisach;
+pub mod programming;
+pub mod retention;
+pub mod transistor;
+pub mod units;
+pub mod variation;
+
+pub use cell::Cell;
+pub use device::FeFet;
+pub use endurance::EnduranceModel;
+pub use params::Technology;
+pub use preisach::{PreisachModel, PreisachParams};
+pub use programming::{ProgramReport, ProgramVthError, Pulse, WriteScheme};
+pub use retention::{RetentionModel, TEN_YEARS};
+pub use transistor::FetParams;
+pub use variation::{DeviceSample, VariationModel};

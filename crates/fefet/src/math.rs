@@ -1,0 +1,177 @@
+//! Small numeric utilities shared by the device and circuit substrates.
+//!
+//! We deliberately avoid pulling `rand_distr` into the dependency set: the
+//! only distribution the FeReX models need is the Gaussian, implemented here
+//! via the Box–Muller transform, plus a scalar bisection root finder used by
+//! the series FeFET-resistor solve.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample (mean 0, variance 1) using the
+/// Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = ferex_fefet::math::standard_normal(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0): u1 is drawn from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal sample with the given `mean` and standard deviation
+/// `sigma`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(sigma >= 0.0, "standard deviation must be non-negative");
+    mean + sigma * standard_normal(rng)
+}
+
+/// Finds a root of a monotone function `f` on `[lo, hi]` by bisection.
+///
+/// Returns the abscissa where `f` crosses zero, to within `tol`. The caller
+/// must ensure `f(lo)` and `f(hi)` bracket a root; if they have the same
+/// sign, the endpoint with the smaller `|f|` is returned (this happens in
+/// device solves when the current saturates at one end of the interval, and
+/// returning the clamp endpoint is the physically correct answer).
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> f64 {
+    assert!(lo <= hi, "invalid bracket: lo > hi");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let mut a = lo;
+    let mut b = hi;
+    let fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return a;
+    }
+    if fb == 0.0 {
+        return b;
+    }
+    if fa.signum() == fb.signum() {
+        return if fa.abs() <= fb.abs() { a } else { b };
+    }
+    let mut fa = fa;
+    while b - a > tol {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 {
+            return mid;
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+            fa = fm;
+        } else {
+            b = mid;
+        }
+    }
+    0.5 * (a + b)
+}
+
+/// Population mean and standard deviation of a slice.
+///
+/// Returns `(0.0, 0.0)` for an empty slice.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Linearly spaced grid of `n` points from `start` to `end` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn linspace(start: f64, end: f64, n: usize) -> Vec<f64> {
+    assert!(n > 0, "linspace requires at least one point");
+    if n == 1 {
+        return vec![start];
+    }
+    let step = (end - start) / (n - 1) as f64;
+    (0..n).map(|i| start + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..200_000).map(|_| normal(&mut rng, 1.5, 0.3)).collect();
+        let (mean, std) = mean_std(&samples);
+        assert!((mean - 1.5).abs() < 0.01, "mean {mean}");
+        assert!((std - 0.3).abs() < 0.01, "std {std}");
+    }
+
+    #[test]
+    fn normal_zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(normal(&mut rng, 2.0, 0.0), 2.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn normal_rejects_negative_sigma() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt_two() {
+        let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12);
+        assert!((root - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_handles_decreasing_function() {
+        let root = bisect(|x| 1.0 - x, 0.0, 5.0, 1e-12);
+        assert!((root - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_returns_clamp_endpoint_without_bracket() {
+        // f > 0 everywhere on the interval; the lower endpoint is closer to 0.
+        let root = bisect(|x| x + 1.0, 0.0, 1.0, 1e-9);
+        assert_eq!(root, 0.0);
+    }
+
+    #[test]
+    fn mean_std_of_constant_slice() {
+        let (m, s) = mean_std(&[3.0, 3.0, 3.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn mean_std_empty() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let g = linspace(0.0, 1.0, 5);
+        assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        assert_eq!(linspace(2.0, 9.0, 1), vec![2.0]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Technology parameters shared by the whole FeReX stack.
+//!
+//! A [`Technology`] bundles the discrete voltage ladder used by the encoding
+//! scheme (stored `V_th` levels interleaved with search `V_gs` levels), the
+//! 1FeFET1R cell resistor, the drain-voltage unit that quantizes ON currents,
+//! and the underlying transistor/ferroelectric parameters.
+//!
+//! The ladder convention follows Table II of the paper: a FeFET storing level
+//! `i` conducts under search level `j` **iff `i < j`**, which we realize by
+//! placing each search voltage between two adjacent threshold levels:
+//!
+//! ```text
+//! Vs0 < Vt0 < Vs1 < Vt1 < Vs2 < Vt2 < ...
+//! ```
+
+use crate::preisach::PreisachParams;
+use crate::transistor::FetParams;
+use crate::units::{Amp, Ohm, Volt};
+
+/// Technology card: voltage ladder, cell resistor, device parameters.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_fefet::params::Technology;
+///
+/// let tech = Technology::default();
+/// // Search level j turns on stored level i iff i < j.
+/// assert!(tech.search_voltage(1) > tech.vth_level(0));
+/// assert!(tech.search_voltage(1) < tech.vth_level(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Lowest stored threshold level `Vt0` (volts).
+    pub vth_low: Volt,
+    /// Spacing between adjacent threshold levels (volts).
+    pub vth_step: Volt,
+    /// Number of programmable threshold levels per FeFET.
+    pub n_vth_levels: usize,
+    /// Series resistor of the 1FeFET1R cell (BEOL MΩ-class resistor,
+    /// Saito et al. VLSI 2021).
+    pub r_cell: Ohm,
+    /// Minimum drain-line voltage; all `V_ds` values are integer multiples of
+    /// this, so all ON currents are integer multiples of
+    /// [`Technology::i_unit`].
+    pub vds_unit: Volt,
+    /// Maximum `V_ds` multiple the drain-voltage selector can produce.
+    pub max_vds_multiple: usize,
+    /// Transistor parameters.
+    pub fet: FetParams,
+    /// Ferroelectric-layer parameters.
+    pub preisach: PreisachParams,
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology {
+            vth_low: Volt(0.3),
+            vth_step: Volt(0.4),
+            n_vth_levels: 4,
+            r_cell: Ohm(1.0e6),
+            vds_unit: Volt(0.1),
+            max_vds_multiple: 9,
+            fet: FetParams::default(),
+            preisach: PreisachParams::default(),
+        }
+    }
+}
+
+impl Technology {
+    /// Stored threshold voltage of level `i`: `Vt_i = Vt0 + i·step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_vth_levels`.
+    pub fn vth_level(&self, i: usize) -> Volt {
+        assert!(i < self.n_vth_levels, "vth level {i} out of range");
+        self.vth_low + self.vth_step * i as f64
+    }
+
+    /// Search gate voltage of level `j`, placed midway between `Vt_{j-1}`
+    /// and `Vt_j` so that it turns on exactly the stored levels `i < j`.
+    ///
+    /// Level 0 sits half a step below `Vt0` and therefore turns on nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j > n_vth_levels` (one extra level above the top threshold
+    /// is allowed: it turns on everything).
+    pub fn search_voltage(&self, j: usize) -> Volt {
+        assert!(j <= self.n_vth_levels, "search level {j} out of range");
+        self.vth_low + self.vth_step * (j as f64 - 0.5)
+    }
+
+    /// The quantum of cell ON current: `I_unit = V_ds,unit / R`.
+    pub fn i_unit(&self) -> Amp {
+        self.vds_unit / self.r_cell
+    }
+
+    /// Drain-line voltage producing `m` units of ON current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m > max_vds_multiple`.
+    pub fn vds_for_multiple(&self, m: usize) -> Volt {
+        assert!(m > 0, "V_ds multiple must be positive");
+        assert!(m <= self.max_vds_multiple, "V_ds multiple {m} exceeds driver range");
+        self.vds_unit * m as f64
+    }
+
+    /// Half-step noise margin between a search voltage and the nearest
+    /// threshold level. Device V_th variation must stay well below this for
+    /// reliable ON/OFF decisions.
+    pub fn on_off_margin(&self) -> Volt {
+        self.vth_step * 0.5
+    }
+
+    /// Center of the programmable threshold window.
+    pub fn vth_mid(&self) -> Volt {
+        let span = self.vth_step * (self.n_vth_levels as f64 - 1.0);
+        self.vth_low + span * 0.5
+    }
+
+    /// Full programmable threshold window width, with half a step of guard
+    /// band on each side so the extreme levels are comfortably reachable.
+    pub fn vth_window(&self) -> Volt {
+        self.vth_step * self.n_vth_levels as f64
+    }
+
+    /// Maps a normalized polarization `p ∈ [-1, 1]` to a threshold voltage.
+    ///
+    /// Full *up* polarization (after a positive gate pulse) gives the lowest
+    /// threshold; full *down* gives the highest.
+    pub fn vth_from_polarization(&self, p: f64) -> Volt {
+        self.vth_mid() - self.vth_window() * (0.5 * p)
+    }
+
+    /// Inverse of [`Technology::vth_from_polarization`], clamped to
+    /// `[-1, 1]`.
+    pub fn polarization_for_vth(&self, vth: Volt) -> f64 {
+        let p = (self.vth_mid().value() - vth.value()) / (0.5 * self.vth_window().value());
+        p.clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_interleaves() {
+        let t = Technology::default();
+        for j in 1..=t.n_vth_levels {
+            assert!(t.search_voltage(j) > t.vth_level(j - 1));
+            if j < t.n_vth_levels {
+                assert!(t.search_voltage(j) < t.vth_level(j));
+            }
+        }
+        // Level-0 search voltage turns nothing on.
+        assert!(t.search_voltage(0) < t.vth_level(0));
+    }
+
+    #[test]
+    fn on_condition_is_i_less_than_j() {
+        let t = Technology::default();
+        for i in 0..t.n_vth_levels {
+            for j in 0..=t.n_vth_levels {
+                let on = t.search_voltage(j) > t.vth_level(i);
+                assert_eq!(on, i < j, "ladder violates ON rule at i={i}, j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn i_unit_value() {
+        let t = Technology::default();
+        // 0.1 V across 1 MΩ → 100 nA.
+        assert!((t.i_unit().value() - 1.0e-7).abs() < 1e-18);
+        assert!((t.vds_for_multiple(3).value() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polarization_vth_round_trip() {
+        let t = Technology::default();
+        for i in 0..t.n_vth_levels {
+            let vth = t.vth_level(i);
+            let p = t.polarization_for_vth(vth);
+            let back = t.vth_from_polarization(p);
+            assert!((back.value() - vth.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn window_covers_all_levels() {
+        let t = Technology::default();
+        let lo = t.vth_from_polarization(1.0);
+        let hi = t.vth_from_polarization(-1.0);
+        assert!(lo < t.vth_level(0));
+        assert!(hi > t.vth_level(t.n_vth_levels - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vth_level_bounds_checked() {
+        let t = Technology::default();
+        let _ = t.vth_level(t.n_vth_levels);
+    }
+
+    #[test]
+    #[should_panic(expected = "driver range")]
+    fn vds_multiple_bounds_checked() {
+        let t = Technology::default();
+        let _ = t.vds_for_multiple(t.max_vds_multiple + 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Preisach hysteresis model of the ferroelectric gate stack.
+//!
+//! The FeReX paper simulates FeFETs with the Ni et al. "circuit compatible
+//! accurate compact model for ferroelectric FETs" (VLSI 2018), which is a
+//! Preisach-type model: the ferroelectric layer is an ensemble of elementary
+//! bistable switching units ("hysterons"), each with its own up- and
+//! down-switching threshold, and the macroscopic polarization is the ensemble
+//! average of their states. Partial-polarization states — the basis of
+//! multi-level V_th storage — fall out naturally from partially switching the
+//! ensemble.
+//!
+//! Two excitation modes are provided:
+//!
+//! * [`PreisachModel::apply_voltage`] — quasi-static: a hysteron flips as soon
+//!   as the input crosses its threshold. This reproduces the classical
+//!   Preisach properties (return-point memory / wiping-out).
+//! * [`PreisachModel::apply_pulse`] — kinetic: a finite-width pulse flips a
+//!   hysteron only if the pulse is longer than its Merz-law switching time
+//!   `τ = τ₀·exp(a·V_c/|V|)`. This captures the pulse-amplitude *and*
+//!   pulse-width programming dependence the paper relies on ("if the duration
+//!   of a given positive voltage pulse increases, the V_th will shift lower").
+
+use crate::math::standard_normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One elementary bistable switching unit of the Preisach ensemble.
+///
+/// The hysteron is *up* (+1) once the input has exceeded `alpha` and *down*
+/// (−1) once the input has dropped below `beta`; between the two thresholds it
+/// remembers its previous state. `beta <= alpha` always holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hysteron {
+    /// Up-switching threshold (volts at the gate).
+    pub alpha: f64,
+    /// Down-switching threshold (volts at the gate).
+    pub beta: f64,
+    /// Current state: `true` = polarization up.
+    pub up: bool,
+}
+
+impl Hysteron {
+    /// Creates a hysteron with the given thresholds, initially down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta > alpha`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(beta <= alpha, "hysteron thresholds must satisfy beta <= alpha");
+        Hysteron { alpha, beta, up: false }
+    }
+
+    /// Quasi-static update for input voltage `v`.
+    pub fn drive(&mut self, v: f64) {
+        if v >= self.alpha {
+            self.up = true;
+        } else if v <= self.beta {
+            self.up = false;
+        }
+    }
+
+    /// Signed contribution to polarization.
+    pub fn signum(&self) -> f64 {
+        if self.up {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// Parameters of the Preisach ensemble.
+///
+/// Defaults model an HfO₂ ferroelectric gate stack of a 45nm-class FeFET with
+/// a ≈1 V memory window and coercive gate voltage around ±1.8 V, in line with
+/// the device literature the paper cites.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreisachParams {
+    /// Number of hysterons in the ensemble. More hysterons → smoother
+    /// polarization staircase; 512 is plenty for 4-level cells.
+    pub n_hysterons: usize,
+    /// Mean coercive (half-loop) gate voltage in volts.
+    pub mean_coercive: f64,
+    /// Spread of the coercive voltage across hysterons (volts).
+    pub sigma_coercive: f64,
+    /// Spread of the loop center (interaction/bias field) across hysterons
+    /// (volts).
+    pub sigma_bias: f64,
+    /// Merz-law attempt time τ₀ in seconds.
+    pub tau0: f64,
+    /// Merz-law activation factor `a` (dimensionless): `τ = τ₀·exp(a·V_c/|V|)`.
+    pub activation: f64,
+    /// Seed for the deterministic hysteron placement. Two models built with
+    /// the same parameters are identical.
+    pub seed: u64,
+}
+
+impl Default for PreisachParams {
+    fn default() -> Self {
+        PreisachParams {
+            n_hysterons: 512,
+            mean_coercive: 1.8,
+            sigma_coercive: 0.25,
+            sigma_bias: 0.15,
+            tau0: 1.0e-10,
+            activation: 9.0,
+            seed: 0xFE_FE7,
+        }
+    }
+}
+
+/// Preisach ensemble model of one ferroelectric layer.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_fefet::preisach::{PreisachModel, PreisachParams};
+///
+/// let mut fe = PreisachModel::new(PreisachParams::default());
+/// fe.saturate_down();
+/// assert!((fe.polarization() + 1.0).abs() < 1e-12);
+/// fe.saturate_up();
+/// assert!((fe.polarization() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreisachModel {
+    params: PreisachParams,
+    hysterons: Vec<Hysteron>,
+}
+
+impl PreisachModel {
+    /// Builds the hysteron ensemble from `params`.
+    ///
+    /// Hysteron thresholds are drawn from a Gaussian Preisach density
+    /// (coercivity ~ N(mean_coercive, sigma_coercive), bias ~ N(0,
+    /// sigma_bias)) with a deterministic seed, then sorted by up-threshold so
+    /// that partial polarization states are reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.n_hysterons == 0`.
+    pub fn new(params: PreisachParams) -> Self {
+        assert!(params.n_hysterons > 0, "ensemble must contain at least one hysteron");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut hysterons = Vec::with_capacity(params.n_hysterons);
+        for _ in 0..params.n_hysterons {
+            let coercive =
+                (params.mean_coercive + params.sigma_coercive * standard_normal(&mut rng)).abs();
+            let bias = params.sigma_bias * standard_normal(&mut rng);
+            hysterons.push(Hysteron::new(bias + coercive, bias - coercive));
+        }
+        hysterons.sort_by(|a, b| a.alpha.total_cmp(&b.alpha));
+        PreisachModel { params, hysterons }
+    }
+
+    /// The parameters this ensemble was built from.
+    pub fn params(&self) -> &PreisachParams {
+        &self.params
+    }
+
+    /// Number of hysterons.
+    pub fn len(&self) -> usize {
+        self.hysterons.len()
+    }
+
+    /// Returns `true` if the ensemble is empty (never true for a constructed
+    /// model; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.hysterons.is_empty()
+    }
+
+    /// Normalized remnant polarization in `[-1, 1]`.
+    pub fn polarization(&self) -> f64 {
+        let up = self.hysterons.iter().filter(|h| h.up).count() as f64;
+        2.0 * up / self.hysterons.len() as f64 - 1.0
+    }
+
+    /// Quasi-static drive: every hysteron whose threshold is crossed flips.
+    pub fn apply_voltage(&mut self, v: f64) {
+        for h in &mut self.hysterons {
+            h.drive(v);
+        }
+    }
+
+    /// Kinetic drive: a gate pulse of `amplitude` volts and `width` seconds.
+    ///
+    /// A hysteron flips up under a positive pulse if the pulse outlasts its
+    /// Merz-law switching time `τ₀·exp(a·max(α,0)/V)`; symmetrically for
+    /// down-switching under negative pulses. Zero-amplitude pulses are
+    /// no-ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is negative.
+    pub fn apply_pulse(&mut self, amplitude: f64, width: f64) {
+        assert!(width >= 0.0, "pulse width must be non-negative");
+        if amplitude == 0.0 || width == 0.0 {
+            return;
+        }
+        let tau0 = self.params.tau0;
+        let a = self.params.activation;
+        if amplitude > 0.0 {
+            for h in &mut self.hysterons {
+                if h.up {
+                    continue;
+                }
+                let barrier = h.alpha.max(0.0);
+                let tau = tau0 * (a * barrier / amplitude).exp();
+                if width >= tau {
+                    h.up = true;
+                }
+            }
+        } else {
+            let v = -amplitude;
+            for h in &mut self.hysterons {
+                if !h.up {
+                    continue;
+                }
+                let barrier = (-h.beta).max(0.0);
+                let tau = tau0 * (a * barrier / v).exp();
+                if width >= tau {
+                    h.up = false;
+                }
+            }
+        }
+    }
+
+    /// Fully polarizes the ensemble up (large positive drive).
+    pub fn saturate_up(&mut self) {
+        for h in &mut self.hysterons {
+            h.up = true;
+        }
+    }
+
+    /// Fully polarizes the ensemble down (large negative drive).
+    pub fn saturate_down(&mut self) {
+        for h in &mut self.hysterons {
+            h.up = false;
+        }
+    }
+
+    /// Directly sets the polarization to the closest achievable value.
+    ///
+    /// The hysterons with the lowest up-thresholds are switched up first —
+    /// the same ones a real staircase programming pulse train would switch —
+    /// so states set this way are consistent with pulse-programmed states.
+    /// Returns the actually realized polarization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[-1, 1]`.
+    pub fn set_polarization(&mut self, p: f64) -> f64 {
+        assert!((-1.0..=1.0).contains(&p), "polarization must lie in [-1, 1]");
+        let n = self.hysterons.len();
+        let up_count = (((p + 1.0) / 2.0) * n as f64).round() as usize;
+        for (i, h) in self.hysterons.iter_mut().enumerate() {
+            h.up = i < up_count.min(n);
+        }
+        self.polarization()
+    }
+
+    /// The smallest polarization step the ensemble can resolve.
+    pub fn polarization_resolution(&self) -> f64 {
+        2.0 / self.hysterons.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PreisachModel {
+        PreisachModel::new(PreisachParams::default())
+    }
+
+    #[test]
+    fn saturation_reaches_extremes() {
+        let mut m = model();
+        m.saturate_up();
+        assert_eq!(m.polarization(), 1.0);
+        m.saturate_down();
+        assert_eq!(m.polarization(), -1.0);
+    }
+
+    #[test]
+    fn quasi_static_loop_is_hysteretic() {
+        let mut m = model();
+        m.saturate_down();
+        m.apply_voltage(4.0);
+        let p_up = m.polarization();
+        m.apply_voltage(0.0); // removing the field keeps remnant polarization
+        assert_eq!(m.polarization(), p_up);
+        m.apply_voltage(-4.0);
+        assert!(m.polarization() < p_up);
+    }
+
+    #[test]
+    fn partial_switching_is_monotone_in_amplitude() {
+        let amps = [1.0, 1.4, 1.8, 2.2, 2.6, 3.0];
+        let mut last = -1.0;
+        for &a in &amps {
+            let mut m = model();
+            m.saturate_down();
+            m.apply_voltage(a);
+            let p = m.polarization();
+            assert!(p >= last, "polarization not monotone at amplitude {a}");
+            last = p;
+        }
+        assert!(last > 0.9, "3 V should nearly saturate the ensemble");
+    }
+
+    #[test]
+    fn pulse_width_dependence() {
+        // Same amplitude, longer pulse → more switching (paper Sec. II-A).
+        let widths = [1e-9, 1e-8, 1e-7, 1e-6];
+        let mut last = -1.0;
+        for &w in &widths {
+            let mut m = model();
+            m.saturate_down();
+            m.apply_pulse(2.0, w);
+            let p = m.polarization();
+            assert!(p >= last, "polarization not monotone in width at {w}");
+            last = p;
+        }
+        assert!(last > -1.0, "microsecond pulse at 2 V must switch something");
+    }
+
+    #[test]
+    fn pulse_amplitude_dependence() {
+        let mut weak = model();
+        weak.saturate_down();
+        weak.apply_pulse(1.2, 1e-7);
+        let mut strong = model();
+        strong.saturate_down();
+        strong.apply_pulse(3.0, 1e-7);
+        assert!(strong.polarization() > weak.polarization());
+    }
+
+    #[test]
+    fn negative_pulse_erases() {
+        let mut m = model();
+        m.saturate_up();
+        m.apply_pulse(-4.0, 1e-5);
+        assert!(m.polarization() < -0.9);
+    }
+
+    #[test]
+    fn zero_pulse_is_noop() {
+        let mut m = model();
+        m.set_polarization(0.25);
+        let p = m.polarization();
+        m.apply_pulse(0.0, 1e-6);
+        m.apply_pulse(2.0, 0.0);
+        assert_eq!(m.polarization(), p);
+    }
+
+    #[test]
+    fn wiping_out_property() {
+        // Return-point memory: a minor excursion that is later dominated by a
+        // larger excursion leaves no trace (classical Preisach property).
+        let mut a = model();
+        a.saturate_down();
+        a.apply_voltage(2.5);
+        a.apply_voltage(-1.0);
+        a.apply_voltage(2.5); // wipes out the -1.0 excursion
+        let mut b = model();
+        b.saturate_down();
+        b.apply_voltage(2.5);
+        assert_eq!(a.polarization(), b.polarization());
+    }
+
+    #[test]
+    fn set_polarization_round_trip() {
+        let mut m = model();
+        for target in [-1.0, -0.5, 0.0, 0.33, 1.0] {
+            let realized = m.set_polarization(target);
+            assert!((realized - target).abs() <= m.polarization_resolution());
+            assert_eq!(m.polarization(), realized);
+        }
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = PreisachModel::new(PreisachParams::default());
+        let b = PreisachModel::new(PreisachParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hysteron")]
+    fn zero_hysterons_rejected() {
+        let _ = PreisachModel::new(PreisachParams { n_hysterons: 0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "beta <= alpha")]
+    fn invalid_hysteron_rejected() {
+        let _ = Hysteron::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Retention: threshold-voltage drift of stored states over time.
+//!
+//! HfO₂ FeFET retention loss is well described by logarithmic-in-time
+//! depolarization: a fraction of the switched polarization relaxes back,
+//! pulling every programmed `V_th` toward the window center. Multi-level
+//! cells are the sensitive case — the FeReX ON/OFF margin is only half a
+//! level step — so the library quantifies how long stored levels stay
+//! readable (the usual 10-year NVM criterion).
+
+use crate::device::FeFet;
+use crate::params::Technology;
+use crate::units::Volt;
+
+/// Log-time retention model: `ΔV_th(t) = −r·(V_th − V_mid)·log10(1 + t/t0)`.
+///
+/// `r` is the per-decade relaxation fraction toward the window center
+/// (typical HfO₂ MLC: 1–3 %/decade; the default 1 %/decade leaves all four
+/// levels readable at the 10-year mark, the usual design point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetentionModel {
+    /// Fractional relaxation toward the window center per decade of time.
+    pub rate_per_decade: f64,
+    /// Reference time in seconds (drift is negligible below this).
+    pub t0: f64,
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        RetentionModel { rate_per_decade: 0.01, t0: 1.0 }
+    }
+}
+
+impl RetentionModel {
+    /// The threshold a stored `vth` drifts to after `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative.
+    pub fn drifted_vth(&self, tech: &Technology, vth: Volt, seconds: f64) -> Volt {
+        assert!(seconds >= 0.0, "time must be non-negative");
+        let decades = (1.0 + seconds / self.t0).log10();
+        let offset = vth - tech.vth_mid();
+        vth - offset * (self.rate_per_decade * decades).min(1.0)
+    }
+
+    /// Applies the drift to a device in place (moves the polarization to
+    /// the drifted value) and returns the drift magnitude.
+    pub fn age(&self, fefet: &mut FeFet, tech: &Technology, seconds: f64) -> Volt {
+        let before = fefet.vth(tech);
+        let after = self.drifted_vth(tech, before, seconds);
+        fefet
+            .ferroelectric_mut()
+            .set_polarization(tech.polarization_for_vth(after));
+        fefet.vth(tech) - before
+    }
+
+    /// The time (seconds) until a level programmed at `vth` drifts by
+    /// `margin` — i.e. until its ON/OFF decision against the nearest search
+    /// voltage can flip. Returns `None` if the margin is never consumed
+    /// (drift saturates at the window center first).
+    pub fn time_to_margin(&self, tech: &Technology, vth: Volt, margin: Volt) -> Option<f64> {
+        let offset = (vth - tech.vth_mid()).abs();
+        if offset.value() == 0.0 {
+            return None; // the center level never drifts
+        }
+        let frac = margin.value() / offset.value();
+        if frac >= 1.0 {
+            return None; // would have to drift past the center
+        }
+        // margin = offset · r · log10(1 + t/t0)
+        let decades = frac / self.rate_per_decade;
+        Some(self.t0 * (10f64.powf(decades) - 1.0))
+    }
+}
+
+/// Ten years in seconds — the standard NVM retention target.
+pub const TEN_YEARS: f64 = 10.0 * 365.25 * 24.0 * 3600.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_moves_toward_window_center_only() {
+        let tech = Technology::default();
+        let m = RetentionModel::default();
+        let mid = tech.vth_mid();
+        for level in 0..tech.n_vth_levels {
+            let vth = tech.vth_level(level);
+            let aged = m.drifted_vth(&tech, vth, TEN_YEARS);
+            if vth < mid {
+                assert!(aged >= vth && aged <= mid, "level {level} drifted wrong way");
+            } else {
+                assert!(aged <= vth && aged >= mid, "level {level} drifted wrong way");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_is_log_time() {
+        let tech = Technology::default();
+        let m = RetentionModel::default();
+        let vth = tech.vth_level(0);
+        let d1 = (m.drifted_vth(&tech, vth, 1e3) - vth).abs();
+        let d2 = (m.drifted_vth(&tech, vth, 1e6) - vth).abs();
+        let d3 = (m.drifted_vth(&tech, vth, 1e9) - vth).abs();
+        // Equal decade steps → equal drift increments (within t0 rounding).
+        let step_a = d2.value() - d1.value();
+        let step_b = d3.value() - d2.value();
+        assert!((step_a - step_b).abs() / step_a < 0.01, "{step_a} vs {step_b}");
+    }
+
+    #[test]
+    fn ten_year_retention_preserves_levels() {
+        // The design-level claim worth testing: after 10 years at the
+        // default 1 %/decade rate, every level still reads back correctly.
+        let tech = Technology::default();
+        let m = RetentionModel::default();
+        for level in 0..tech.n_vth_levels {
+            let mut fet = FeFet::new(&tech);
+            fet.set_level(&tech, level);
+            m.age(&mut fet, &tech, TEN_YEARS);
+            assert_eq!(fet.level(&tech), Some(level), "level {level} lost after 10 years");
+        }
+    }
+
+    #[test]
+    fn excessive_rate_destroys_levels() {
+        // Sanity check that the test above is non-trivial: a 20 %/decade
+        // device would lose the extreme levels.
+        let tech = Technology::default();
+        let m = RetentionModel { rate_per_decade: 0.20, ..Default::default() };
+        let mut fet = FeFet::new(&tech);
+        fet.set_level(&tech, 0);
+        m.age(&mut fet, &tech, TEN_YEARS);
+        assert_ne!(fet.level(&tech), Some(0), "drift should have destroyed level 0");
+    }
+
+    #[test]
+    fn time_to_margin_is_consistent_with_drift() {
+        let tech = Technology::default();
+        let m = RetentionModel::default();
+        let vth = tech.vth_level(0);
+        let margin = Volt(0.05);
+        let t = m.time_to_margin(&tech, vth, margin).expect("finite");
+        let drifted = m.drifted_vth(&tech, vth, t);
+        assert!(((drifted - vth).abs().value() - margin.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn center_level_never_drifts() {
+        let tech = Technology::default();
+        let m = RetentionModel::default();
+        let mid = tech.vth_mid();
+        assert_eq!(m.drifted_vth(&tech, mid, TEN_YEARS), mid);
+        assert_eq!(m.time_to_margin(&tech, mid, Volt(0.01)), None);
+    }
+
+    #[test]
+    fn zero_time_is_identity() {
+        let tech = Technology::default();
+        let m = RetentionModel::default();
+        let vth = tech.vth_level(1);
+        assert_eq!(m.drifted_vth(&tech, vth, 0.0), vth);
+    }
+}

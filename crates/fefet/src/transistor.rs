@@ -1,0 +1,169 @@
+//! Simplified 45nm-class MOSFET I-V model.
+//!
+//! The paper's Virtuoso testbench uses PTM 45nm transistor models. For the
+//! behaviors FeReX depends on — a sharp ON/OFF transition at `V_gs = V_th`,
+//! a linear region where the series resistor dominates, and a saturation
+//! current far above the resistor-limited current — a level-1 square-law
+//! model with an exponential subthreshold tail is sufficient and is standard
+//! practice in architecture-level CiM simulators (NeuroSim, DESTINY).
+
+use crate::units::{Amp, Volt};
+
+/// Boltzmann thermal voltage at temperature `t_kelvin`, in volts.
+pub fn thermal_voltage(t_kelvin: f64) -> f64 {
+    const K_OVER_Q: f64 = 8.617_333e-5; // V/K
+    K_OVER_Q * t_kelvin
+}
+
+/// Square-law transistor parameters (45nm-class NMOS defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetParams {
+    /// Transconductance factor `k' = µ·C_ox·W/L` in A/V².
+    pub kp: f64,
+    /// Channel-length modulation coefficient in 1/V.
+    pub lambda: f64,
+    /// Subthreshold ideality factor `n` (SS = n·U_T·ln10).
+    pub ideality: f64,
+    /// Operating temperature in kelvin.
+    pub temperature: f64,
+}
+
+impl Default for FetParams {
+    fn default() -> Self {
+        FetParams { kp: 2.0e-4, lambda: 0.05, ideality: 1.3, temperature: 300.0 }
+    }
+}
+
+impl FetParams {
+    /// Subthreshold swing in mV/decade implied by the parameters.
+    pub fn subthreshold_swing_mv_per_dec(&self) -> f64 {
+        self.ideality * thermal_voltage(self.temperature) * std::f64::consts::LN_10 * 1e3
+    }
+
+    /// Specific current at the threshold crossover, used to stitch the
+    /// subthreshold exponential to the strong-inversion square law
+    /// continuously.
+    fn i_spec(&self) -> f64 {
+        2.0 * self.ideality * self.kp * thermal_voltage(self.temperature).powi(2)
+    }
+
+    /// Drain current for the given terminal voltages and threshold voltage.
+    ///
+    /// Piecewise level-1 model:
+    /// * `V_gs ≤ V_th` — exponential subthreshold conduction,
+    ///   `I = I_spec · e^((V_gs−V_th)/(n·U_T)) · (1 − e^(−V_ds/U_T))`;
+    /// * triode (`V_ds < V_ov`) — `k'·(V_ov·V_ds − V_ds²/2)`;
+    /// * saturation — `k'/2·V_ov²·(1+λ·V_ds)`.
+    ///
+    /// Negative `V_ds` is clamped to zero (the 1FeFET1R cell never reverses).
+    pub fn drain_current(&self, vgs: Volt, vds: Volt, vth: Volt) -> Amp {
+        let ut = thermal_voltage(self.temperature);
+        let vds = vds.value().max(0.0);
+        let vov = vgs.value() - vth.value();
+        let sat_factor = 1.0 - (-vds / ut).exp();
+        if vov <= 0.0 {
+            let i = self.i_spec() * (vov / (self.ideality * ut)).exp() * sat_factor;
+            return Amp(i);
+        }
+        let i = if vds < vov {
+            self.kp * (vov * vds - 0.5 * vds * vds)
+        } else {
+            0.5 * self.kp * vov * vov * (1.0 + self.lambda * (vds - vov))
+        };
+        // The subthreshold branch approaches i_spec·sat_factor at vov = 0;
+        // adding it keeps the current continuous across the threshold.
+        Amp(i + self.i_spec() * sat_factor)
+    }
+
+    /// Saturation current for the given overdrive (`V_gs − V_th`), ignoring
+    /// channel-length modulation. Zero for non-positive overdrive.
+    pub fn saturation_current(&self, overdrive: Volt) -> Amp {
+        let vov = overdrive.value();
+        if vov <= 0.0 {
+            Amp(0.0)
+        } else {
+            Amp(0.5 * self.kp * vov * vov)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VTH: Volt = Volt(0.5);
+
+    #[test]
+    fn off_state_current_is_tiny() {
+        let fet = FetParams::default();
+        // 0.4 V below threshold: many decades of suppression.
+        let i = fet.drain_current(Volt(0.1), Volt(0.1), VTH);
+        let i_on = fet.drain_current(Volt(1.0), Volt(0.1), VTH);
+        assert!(i.value() < 1e-4 * i_on.value(), "off {} on {}", i, i_on);
+    }
+
+    #[test]
+    fn monotone_in_vgs() {
+        let fet = FetParams::default();
+        let mut last = -1.0;
+        for mv in (0..2000).step_by(25) {
+            let i = fet.drain_current(Volt(mv as f64 * 1e-3), Volt(0.1), VTH);
+            assert!(i.value() >= last, "non-monotone at vgs = {mv} mV");
+            last = i.value();
+        }
+    }
+
+    #[test]
+    fn monotone_in_vds() {
+        let fet = FetParams::default();
+        let mut last = -1.0;
+        for mv in (0..1500).step_by(10) {
+            let i = fet.drain_current(Volt(1.2), Volt(mv as f64 * 1e-3), VTH);
+            assert!(i.value() >= last - 1e-18, "non-monotone at vds = {mv} mV");
+            last = i.value();
+        }
+    }
+
+    #[test]
+    fn continuous_across_threshold() {
+        let fet = FetParams::default();
+        let below = fet.drain_current(Volt(0.4999), Volt(0.5), VTH);
+        let above = fet.drain_current(Volt(0.5001), Volt(0.5), VTH);
+        let rel = (above.value() - below.value()).abs() / above.value();
+        assert!(rel < 0.05, "discontinuity at threshold: {rel}");
+    }
+
+    #[test]
+    fn continuous_across_triode_saturation_boundary() {
+        let fet = FetParams::default();
+        // vov = 0.5; boundary at vds = 0.5.
+        let triode = fet.drain_current(Volt(1.0), Volt(0.4999), VTH);
+        let sat = fet.drain_current(Volt(1.0), Volt(0.5001), VTH);
+        let rel = (sat.value() - triode.value()).abs() / sat.value();
+        assert!(rel < 0.01, "discontinuity at pinch-off: {rel}");
+    }
+
+    #[test]
+    fn zero_vds_zero_current() {
+        let fet = FetParams::default();
+        assert_eq!(fet.drain_current(Volt(1.5), Volt(0.0), VTH), Amp(0.0));
+        // Reverse vds clamps to zero.
+        assert_eq!(fet.drain_current(Volt(1.5), Volt(-0.3), VTH), Amp(0.0));
+    }
+
+    #[test]
+    fn saturation_current_scale() {
+        let fet = FetParams::default();
+        // 1 V overdrive with kp = 200 µA/V² → 100 µA, far above the ~µA
+        // resistor-limited cell currents: the resistor clamp regime holds.
+        let i = fet.saturation_current(Volt(1.0));
+        assert!((i.value() - 1.0e-4).abs() < 1e-12);
+        assert_eq!(fet.saturation_current(Volt(-0.1)), Amp(0.0));
+    }
+
+    #[test]
+    fn subthreshold_swing_is_reasonable() {
+        let ss = FetParams::default().subthreshold_swing_mv_per_dec();
+        assert!((60.0..120.0).contains(&ss), "SS = {ss} mV/dec");
+    }
+}

@@ -1,0 +1,352 @@
+//! Minimal electrical-unit newtypes.
+//!
+//! Device and circuit code in this workspace manipulates voltages, currents,
+//! resistances, charges and energies together; mixing them up silently is the
+//! classic bug in hand-rolled SPICE-like models. These newtypes give static
+//! distinction ([C-NEWTYPE]) while staying `Copy` and cheap. Only the
+//! physically meaningful cross-type operators are provided (Ohm's law, power,
+//! energy, RC time constants); anything else must go through `.value()`.
+//!
+//! All units are SI base quantities stored as `f64`:
+//! [`Volt`], [`Amp`], [`Ohm`], [`Farad`], [`Second`], [`Watt`], [`Joule`],
+//! [`Coulomb`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ferex_fefet::units::{Volt, Ohm};
+//!
+//! let v = Volt(1.2);
+//! let r = Ohm(1.0e6);
+//! let i = v / r; // Amp
+//! assert!((i.value() - 1.2e-6).abs() < 1e-15);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $symbol:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Returns the raw `f64` value in SI base units.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the larger of two quantities.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of two quantities.
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|x| x.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $symbol)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Electric potential in volts.
+    Volt, "V"
+);
+unit!(
+    /// Electric current in amperes.
+    Amp, "A"
+);
+unit!(
+    /// Resistance in ohms.
+    Ohm, "Ω"
+);
+unit!(
+    /// Capacitance in farads.
+    Farad, "F"
+);
+unit!(
+    /// Time in seconds.
+    Second, "s"
+);
+unit!(
+    /// Power in watts.
+    Watt, "W"
+);
+unit!(
+    /// Energy in joules.
+    Joule, "J"
+);
+unit!(
+    /// Charge in coulombs.
+    Coulomb, "C"
+);
+
+// --- Ohm's law ---
+
+impl Div<Ohm> for Volt {
+    type Output = Amp;
+    fn div(self, rhs: Ohm) -> Amp {
+        Amp(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Ohm> for Amp {
+    type Output = Volt;
+    fn mul(self, rhs: Ohm) -> Volt {
+        Volt(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Amp> for Ohm {
+    type Output = Volt;
+    fn mul(self, rhs: Amp) -> Volt {
+        Volt(self.0 * rhs.0)
+    }
+}
+
+impl Div<Amp> for Volt {
+    type Output = Ohm;
+    fn div(self, rhs: Amp) -> Ohm {
+        Ohm(self.0 / rhs.0)
+    }
+}
+
+// --- Power and energy ---
+
+impl Mul<Amp> for Volt {
+    type Output = Watt;
+    fn mul(self, rhs: Amp) -> Watt {
+        Watt(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volt> for Amp {
+    type Output = Watt;
+    fn mul(self, rhs: Volt) -> Watt {
+        Watt(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Second> for Watt {
+    type Output = Joule;
+    fn mul(self, rhs: Second) -> Joule {
+        Joule(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watt> for Second {
+    type Output = Joule;
+    fn mul(self, rhs: Watt) -> Joule {
+        Joule(self.0 * rhs.0)
+    }
+}
+
+impl Div<Second> for Joule {
+    type Output = Watt;
+    fn div(self, rhs: Second) -> Watt {
+        Watt(self.0 / rhs.0)
+    }
+}
+
+// --- Charge ---
+
+impl Mul<Second> for Amp {
+    type Output = Coulomb;
+    fn mul(self, rhs: Second) -> Coulomb {
+        Coulomb(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volt> for Farad {
+    type Output = Coulomb;
+    fn mul(self, rhs: Volt) -> Coulomb {
+        Coulomb(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volt> for Coulomb {
+    /// Charging a capacitance through a voltage swing stores `Q·V` of energy
+    /// drawn from the supply (half dissipated, half stored; callers decide
+    /// which bookkeeping they want).
+    type Output = Joule;
+    fn mul(self, rhs: Volt) -> Joule {
+        Joule(self.0 * rhs.0)
+    }
+}
+
+// --- Time constants ---
+
+impl Mul<Farad> for Ohm {
+    type Output = Second;
+    fn mul(self, rhs: Farad) -> Second {
+        Second(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohm> for Farad {
+    type Output = Second;
+    fn mul(self, rhs: Ohm) -> Second {
+        Second(self.0 * rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let v = Volt(2.0);
+        let r = Ohm(1.0e6);
+        let i = v / r;
+        assert_eq!(i, Amp(2.0e-6));
+        assert_eq!(i * r, v);
+        assert_eq!(v / i, r);
+    }
+
+    #[test]
+    fn power_energy_chain() {
+        let p = Volt(1.0) * Amp(2.0);
+        assert_eq!(p, Watt(2.0));
+        let e = p * Second(3.0);
+        assert_eq!(e, Joule(6.0));
+        assert_eq!(e / Second(3.0), p);
+    }
+
+    #[test]
+    fn rc_time_constant() {
+        let tau = Ohm(1.0e3) * Farad(1.0e-9);
+        assert!((tau.value() - 1.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn capacitor_charge_energy() {
+        let q = Farad(1.0e-12) * Volt(1.0);
+        assert_eq!(q, Coulomb(1.0e-12));
+        assert_eq!(q * Volt(1.0), Joule(1.0e-12));
+    }
+
+    #[test]
+    fn dimensionless_ratio() {
+        assert_eq!(Volt(3.0) / Volt(1.5), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let mut v = Volt(1.0);
+        v += Volt(0.5);
+        v -= Volt(0.25);
+        assert_eq!(v, Volt(1.25));
+        assert!(Volt(1.0) < Volt(2.0));
+        assert_eq!(-Volt(1.0), Volt(-1.0));
+        assert_eq!(Volt(2.0) * 0.5, Volt(1.0));
+        assert_eq!(Volt(2.0) / 2.0, Volt(1.0));
+        assert_eq!(Volt(-3.0).abs(), Volt(3.0));
+        assert_eq!(Volt(1.0).max(Volt(2.0)), Volt(2.0));
+        assert_eq!(Volt(1.0).min(Volt(2.0)), Volt(1.0));
+    }
+
+    #[test]
+    fn sum_of_currents() {
+        let total: Amp = [Amp(1e-6), Amp(2e-6), Amp(3e-6)].into_iter().sum();
+        assert!((total.value() - 6e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn display_includes_symbol() {
+        assert_eq!(format!("{}", Volt(1.5)), "1.5 V");
+        assert_eq!(format!("{}", Amp(2.0)), "2 A");
+    }
+}

@@ -1,0 +1,129 @@
+//! Device-to-device variation models.
+//!
+//! The paper's Monte-Carlo study (Fig. 7) uses a FeFET threshold-voltage
+//! variation of **σ = 54 mV** (from Soliman et al., IEDM 2020) and a series
+//! resistor variation of **8 %** extracted from the fabricated BEOL 1FeFET1R
+//! data of Saito et al. (VLSI 2021). These are the defaults here.
+
+use crate::math::normal;
+use crate::units::Volt;
+use rand::Rng;
+
+/// Statistical description of device-to-device variation.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_fefet::variation::VariationModel;
+/// use rand::SeedableRng;
+///
+/// let model = VariationModel::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = model.sample(&mut rng);
+/// assert!(s.r_factor > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Standard deviation of the FeFET threshold voltage.
+    pub sigma_vth: Volt,
+    /// Relative standard deviation of the cell resistor.
+    pub sigma_r_rel: f64,
+}
+
+impl Default for VariationModel {
+    /// Paper values: σ_Vth = 54 mV, σ_R/R = 8 %.
+    fn default() -> Self {
+        VariationModel { sigma_vth: Volt(0.054), sigma_r_rel: 0.08 }
+    }
+}
+
+impl VariationModel {
+    /// A variation model with no variation at all (nominal corner).
+    pub fn none() -> Self {
+        VariationModel { sigma_vth: Volt::ZERO, sigma_r_rel: 0.0 }
+    }
+
+    /// Returns `true` if this model introduces no randomness.
+    pub fn is_nominal(&self) -> bool {
+        self.sigma_vth == Volt::ZERO && self.sigma_r_rel == 0.0
+    }
+
+    /// Draws one per-device sample.
+    ///
+    /// The resistor factor is clamped to a minimum of 0.5 so that extreme
+    /// tail draws cannot produce non-physical (negative or near-zero)
+    /// resistance.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> DeviceSample {
+        DeviceSample {
+            dvth: Volt(normal(rng, 0.0, self.sigma_vth.value())),
+            r_factor: normal(rng, 1.0, self.sigma_r_rel).max(0.5),
+        }
+    }
+}
+
+/// One device's deviation from nominal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSample {
+    /// Threshold-voltage shift.
+    pub dvth: Volt,
+    /// Multiplicative resistor deviation (nominal = 1.0).
+    pub r_factor: f64,
+}
+
+impl Default for DeviceSample {
+    fn default() -> Self {
+        DeviceSample::NOMINAL
+    }
+}
+
+impl DeviceSample {
+    /// The nominal (no-variation) sample.
+    pub const NOMINAL: DeviceSample = DeviceSample { dvth: Volt(0.0), r_factor: 1.0 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::mean_std;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_matches_paper_values() {
+        let m = VariationModel::default();
+        assert_eq!(m.sigma_vth, Volt(0.054));
+        assert_eq!(m.sigma_r_rel, 0.08);
+    }
+
+    #[test]
+    fn sample_statistics_match_model() {
+        let m = VariationModel::default();
+        let mut rng = StdRng::seed_from_u64(99);
+        let dvths: Vec<f64> = (0..100_000).map(|_| m.sample(&mut rng).dvth.value()).collect();
+        let (mean, std) = mean_std(&dvths);
+        assert!(mean.abs() < 1e-3, "mean {mean}");
+        assert!((std - 0.054).abs() < 2e-3, "std {std}");
+    }
+
+    #[test]
+    fn nominal_model_is_deterministic() {
+        let m = VariationModel::none();
+        assert!(m.is_nominal());
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let s = m.sample(&mut rng);
+            assert_eq!(s.dvth, Volt::ZERO);
+            assert_eq!(s.r_factor, 1.0);
+        }
+    }
+
+    #[test]
+    fn resistor_factor_is_clamped_positive() {
+        // Absurdly wide resistor spread still yields physical samples.
+        let m = VariationModel { sigma_vth: Volt(0.0), sigma_r_rel: 5.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(m.sample(&mut rng).r_factor >= 0.5);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the device substrate invariants.
+
+use ferex_fefet::math::{bisect, linspace, mean_std};
+use ferex_fefet::preisach::{PreisachModel, PreisachParams};
+use ferex_fefet::units::{Amp, Volt};
+use ferex_fefet::{Cell, FeFet, Technology, VariationModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Polarization is always confined to [-1, 1] regardless of drive
+    /// history.
+    #[test]
+    fn polarization_bounded(voltages in prop::collection::vec(-5.0f64..5.0, 0..40)) {
+        let mut m = PreisachModel::new(PreisachParams { n_hysterons: 64, ..Default::default() });
+        for v in voltages {
+            m.apply_voltage(v);
+            let p = m.polarization();
+            prop_assert!((-1.0..=1.0).contains(&p));
+        }
+    }
+
+    /// Quasi-static drive is idempotent: applying the same voltage twice
+    /// changes nothing the second time.
+    #[test]
+    fn quasi_static_idempotent(
+        history in prop::collection::vec(-4.0f64..4.0, 1..20),
+        v in -4.0f64..4.0,
+    ) {
+        let mut m = PreisachModel::new(PreisachParams { n_hysterons: 64, ..Default::default() });
+        for h in history {
+            m.apply_voltage(h);
+        }
+        m.apply_voltage(v);
+        let p1 = m.polarization();
+        m.apply_voltage(v);
+        prop_assert_eq!(m.polarization(), p1);
+    }
+
+    /// Kinetic pulses are monotone: from the same initial state, a stronger
+    /// or longer positive pulse never switches fewer hysterons.
+    #[test]
+    fn pulse_monotone_in_amplitude(
+        a1 in 0.5f64..3.0,
+        delta in 0.0f64..1.5,
+        log_width in -9.0f64..-5.0,
+    ) {
+        let width = 10f64.powf(log_width);
+        let mut weak = PreisachModel::new(PreisachParams { n_hysterons: 128, ..Default::default() });
+        weak.saturate_down();
+        weak.apply_pulse(a1, width);
+        let mut strong = PreisachModel::new(PreisachParams { n_hysterons: 128, ..Default::default() });
+        strong.saturate_down();
+        strong.apply_pulse(a1 + delta, width);
+        prop_assert!(strong.polarization() >= weak.polarization());
+    }
+
+    /// Return-point memory (wiping-out) holds for arbitrary nested minor
+    /// loops driven quasi-statically.
+    #[test]
+    fn wiping_out_general(major in 1.5f64..3.5, minor in 0.0f64..1.4) {
+        let params = PreisachParams { n_hysterons: 128, ..Default::default() };
+        let mut a = PreisachModel::new(params.clone());
+        a.saturate_down();
+        a.apply_voltage(major);
+        a.apply_voltage(-minor);
+        a.apply_voltage(major); // wipe the minor excursion
+        let mut b = PreisachModel::new(params);
+        b.saturate_down();
+        b.apply_voltage(major);
+        prop_assert_eq!(a.polarization(), b.polarization());
+    }
+
+    /// The FeFET drain current is monotone non-decreasing in gate voltage for
+    /// any stored level.
+    #[test]
+    fn fefet_current_monotone_in_vgs(level in 0usize..4, base_mv in 0u32..1500) {
+        let tech = Technology::default();
+        let mut fet = FeFet::new(&tech);
+        fet.set_level(&tech, level);
+        let v1 = Volt(base_mv as f64 * 1e-3);
+        let v2 = v1 + Volt(0.05);
+        let i1 = fet.drain_current(&tech, v1, Volt(0.1));
+        let i2 = fet.drain_current(&tech, v2, Volt(0.1));
+        prop_assert!(i2.value() >= i1.value());
+    }
+
+    /// Cell current never exceeds the resistor clamp V/R and is never
+    /// negative.
+    #[test]
+    fn cell_current_within_clamp(
+        level in 0usize..4,
+        search in 0usize..5,
+        m in 1usize..5,
+    ) {
+        let tech = Technology::default();
+        let mut cell = Cell::new(&tech);
+        cell.fefet_mut().set_level(&tech, level);
+        let i = cell.current(
+            &tech,
+            tech.search_voltage(search),
+            tech.vds_for_multiple(m),
+            Volt(0.0),
+        );
+        let clamp = tech.vds_for_multiple(m) / cell.resistance();
+        prop_assert!(i >= Amp(0.0));
+        prop_assert!(i.value() <= clamp.value() * (1.0 + 1e-9));
+    }
+
+    /// The ON/OFF decision of a cell matches the ladder rule `stored < search`
+    /// for every nominal (variation-free) level pair.
+    #[test]
+    fn cell_on_off_matches_ladder(level in 0usize..4, search in 0usize..5) {
+        let tech = Technology::default();
+        let mut cell = Cell::new(&tech);
+        cell.fefet_mut().set_level(&tech, level);
+        prop_assert_eq!(
+            cell.is_on(&tech, tech.search_voltage(search), Volt(0.0)),
+            level < search
+        );
+    }
+
+    /// Variation sampling is reproducible from the seed.
+    #[test]
+    fn variation_reproducible(seed in any::<u64>()) {
+        let model = VariationModel::default();
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(model.sample(&mut r1), model.sample(&mut r2));
+        }
+    }
+
+    /// Bisection finds the root of any monotone affine function to tolerance.
+    #[test]
+    fn bisect_affine(slope in 0.1f64..10.0, root in -5.0f64..5.0) {
+        let found = bisect(|x| slope * (x - root), -10.0, 10.0, 1e-9);
+        prop_assert!((found - root).abs() < 1e-8);
+    }
+
+    /// linspace returns exactly n points with the requested endpoints.
+    #[test]
+    fn linspace_shape(start in -10.0f64..10.0, span in 0.1f64..10.0, n in 2usize..50) {
+        let g = linspace(start, start + span, n);
+        prop_assert_eq!(g.len(), n);
+        prop_assert!((g[0] - start).abs() < 1e-12);
+        prop_assert!((g[n - 1] - (start + span)).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn mean_std_of_seeded_normals_is_stable() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let xs: Vec<f64> =
+        (0..10_000).map(|_| ferex_fefet::math::normal(&mut rng, 0.0, 1.0)).collect();
+    let (m, s) = mean_std(&xs);
+    assert!(m.abs() < 0.05);
+    assert!((s - 1.0).abs() < 0.05);
+}

@@ -1,0 +1,184 @@
+//! # ferex-gpu-model — the GPU comparison baseline
+//!
+//! The paper benchmarks FeReX against an Nvidia RTX 3090 running HDC
+//! inference under PyTorch, measuring latency with the PyTorch profiler and
+//! energy with `nvidia-smi`. Neither the GPU nor those tools exist in this
+//! environment, so this crate provides an analytical roofline cost model
+//! from public 3090 specifications (see DESIGN.md §3, substitution 4).
+//!
+//! The model captures the mechanism behind the paper's 250× / 10⁴ results:
+//! HDC inference is a *tiny* kernel (tens of class vectors × a few thousand
+//! dimensions), so GPU latency is dominated by fixed kernel-launch and
+//! framework overheads while the whole workload fits in one FeReX search.
+//!
+//! # Examples
+//!
+//! ```
+//! use ferex_gpu_model::{DistanceKernel, GpuSpec};
+//!
+//! let gpu = GpuSpec::RTX_3090;
+//! let kernel = DistanceKernel { n_vectors: 26, dim: 2048, batch: 1 };
+//! let lat = gpu.latency(&kernel);
+//! // Dominated by launch overhead, not compute.
+//! assert!(lat.seconds > gpu.launch_overhead_s * 0.9);
+//! ```
+
+use std::fmt;
+
+/// Analytical GPU specification (roofline + overhead model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak FP32 throughput in FLOP/s.
+    pub fp32_flops: f64,
+    /// Peak DRAM bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Board power while busy, in watts (nvidia-smi-style accounting).
+    pub busy_power_w: f64,
+    /// Fixed per-inference overhead: kernel launches, framework dispatch,
+    /// result readback. PyTorch eager-mode inference of a small model
+    /// costs tens of microseconds regardless of size.
+    pub launch_overhead_s: f64,
+    /// Achievable fraction of peak on small, launch-bound kernels.
+    pub efficiency: f64,
+}
+
+impl GpuSpec {
+    /// Nvidia RTX 3090 (Ampere GA102): 35.6 TFLOP/s FP32, 936 GB/s GDDR6X,
+    /// 350 W TGP; ~20 µs end-to-end dispatch for a small eager-mode
+    /// PyTorch op sequence.
+    pub const RTX_3090: GpuSpec = GpuSpec {
+        name: "RTX 3090",
+        fp32_flops: 35.6e12,
+        mem_bandwidth: 936.0e9,
+        busy_power_w: 350.0,
+        launch_overhead_s: 20.0e-6,
+        efficiency: 0.25,
+    };
+
+    /// Time to run `kernel`, per query batch.
+    pub fn latency(&self, kernel: &DistanceKernel) -> GpuCost {
+        let flops = kernel.flops();
+        let bytes = kernel.bytes();
+        let t_compute = flops / (self.fp32_flops * self.efficiency);
+        let t_memory = bytes / (self.mem_bandwidth * self.efficiency);
+        let seconds = self.launch_overhead_s + t_compute.max(t_memory);
+        GpuCost { seconds, joules: seconds * self.busy_power_w }
+    }
+
+    /// Per-query cost when `kernel.batch` queries are processed in one
+    /// dispatch (amortizes the launch overhead — the fair-to-the-GPU
+    /// configuration).
+    pub fn latency_per_query(&self, kernel: &DistanceKernel) -> GpuCost {
+        let total = self.latency(kernel);
+        GpuCost {
+            seconds: total.seconds / kernel.batch as f64,
+            joules: total.joules / kernel.batch as f64,
+        }
+    }
+}
+
+/// One distance-computation workload: `batch` queries against `n_vectors`
+/// stored vectors of `dim` components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistanceKernel {
+    /// Stored vectors compared against (e.g. HDC class count or KNN
+    /// reference count).
+    pub n_vectors: usize,
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Queries per dispatch.
+    pub batch: usize,
+}
+
+impl DistanceKernel {
+    /// Floating-point operations: distance computation is ~3 ops per
+    /// element (diff, abs-or-square, accumulate) plus the argmin reduction.
+    pub fn flops(&self) -> f64 {
+        let per_pair = 3.0 * self.dim as f64;
+        self.batch as f64 * (self.n_vectors as f64 * per_pair + self.n_vectors as f64)
+    }
+
+    /// Bytes moved: stored matrix once per dispatch plus queries and
+    /// outputs (FP32).
+    pub fn bytes(&self) -> f64 {
+        let stored = (self.n_vectors * self.dim * 4) as f64;
+        let queries = (self.batch * self.dim * 4) as f64;
+        let outputs = (self.batch * self.n_vectors * 4) as f64;
+        stored + queries + outputs
+    }
+}
+
+/// Latency and energy of one GPU dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCost {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Energy in joules (busy power × time).
+    pub joules: f64,
+}
+
+impl fmt::Display for GpuCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} µs, {:.3} µJ", self.seconds * 1e6, self.joules * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_kernels_are_launch_bound() {
+        let gpu = GpuSpec::RTX_3090;
+        let k = DistanceKernel { n_vectors: 26, dim: 2048, batch: 1 };
+        let cost = gpu.latency(&k);
+        // Compute time for ~160k FLOPs at ~9 TFLOP/s effective: ~18 ns.
+        // Launch overhead: 20 µs. The overhead dominates by 1000×.
+        assert!(cost.seconds > 0.99 * gpu.launch_overhead_s);
+        assert!(cost.seconds < 1.1 * gpu.launch_overhead_s);
+    }
+
+    #[test]
+    fn large_kernels_escape_the_launch_floor() {
+        let gpu = GpuSpec::RTX_3090;
+        let k = DistanceKernel { n_vectors: 60_000, dim: 784, batch: 256 };
+        let cost = gpu.latency(&k);
+        assert!(cost.seconds > 3.0 * gpu.launch_overhead_s, "cost {}", cost);
+    }
+
+    #[test]
+    fn batching_amortizes_overhead() {
+        let gpu = GpuSpec::RTX_3090;
+        let single = DistanceKernel { n_vectors: 26, dim: 2048, batch: 1 };
+        let batched = DistanceKernel { n_vectors: 26, dim: 2048, batch: 64 };
+        let per_q_single = gpu.latency_per_query(&single);
+        let per_q_batched = gpu.latency_per_query(&batched);
+        assert!(per_q_batched.seconds < per_q_single.seconds / 10.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let gpu = GpuSpec::RTX_3090;
+        let k = DistanceKernel { n_vectors: 100, dim: 1000, batch: 1 };
+        let cost = gpu.latency(&k);
+        assert!((cost.joules - cost.seconds * 350.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flops_and_bytes_scale_linearly() {
+        let a = DistanceKernel { n_vectors: 10, dim: 100, batch: 1 };
+        let b = DistanceKernel { n_vectors: 20, dim: 100, batch: 1 };
+        assert!((b.flops() / a.flops() - 2.0).abs() < 0.01);
+        let c = DistanceKernel { n_vectors: 10, dim: 100, batch: 2 };
+        assert!(c.flops() / a.flops() > 1.9);
+        assert!(c.bytes() > a.bytes());
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        let cost = GpuCost { seconds: 2.5e-5, joules: 8.75e-3 };
+        assert_eq!(cost.to_string(), "25.000 µs, 8750.000 µJ");
+    }
+}

@@ -1,0 +1,167 @@
+//! Feature encoding into hyperdimensional space.
+//!
+//! "In HDC, low dimensional features are initially projected to high
+//! dimensional representations randomly, enabling holographicness across
+//! the high dimensional feature vectors" (paper Sec. IV-B). We implement
+//! the standard random signed projection: a fixed ±1 matrix `P` (seeded,
+//! never stored on disk) maps a feature vector `x` to `sign(P·x)`.
+
+use crate::hypervector::Hypervector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Anything that maps feature vectors into hyperspace.
+///
+/// The HDC model and AM classifier are generic over this trait, so the
+/// projection encoder (this module) and the record-based ID–level encoder
+/// ([`crate::level`]) are interchangeable.
+pub trait FeatureEncoder {
+    /// Input feature dimensionality.
+    fn n_features(&self) -> usize;
+
+    /// Output hypervector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Encodes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on feature-count mismatch.
+    fn encode(&self, features: &[f32]) -> Hypervector;
+}
+
+/// Random signed-projection encoder.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_hdc::encoder::ProjectionEncoder;
+///
+/// let enc = ProjectionEncoder::new(16, 512, 7);
+/// let hv = enc.encode(&[0.5; 16]);
+/// assert_eq!(hv.dim(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectionEncoder {
+    n_features: usize,
+    dim: usize,
+    /// Row-major ±1 projection, `dim` rows × `n_features` columns.
+    projection: Vec<i8>,
+}
+
+impl ProjectionEncoder {
+    /// Builds the encoder with a deterministic projection from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0` or `dim == 0`.
+    pub fn new(n_features: usize, dim: usize, seed: u64) -> Self {
+        assert!(n_features > 0 && dim > 0, "encoder dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let projection =
+            (0..n_features * dim).map(|_| if rng.gen::<bool>() { 1i8 } else { -1 }).collect();
+        ProjectionEncoder { n_features, dim, projection }
+    }
+
+    /// Input feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Output hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes a feature vector: `sign(P·x)` (ties break to +1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-count mismatch.
+    pub fn encode(&self, features: &[f32]) -> Hypervector {
+        FeatureEncoder::encode(self, features)
+    }
+}
+
+impl FeatureEncoder for ProjectionEncoder {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Hypervector {
+        assert_eq!(features.len(), self.n_features, "feature count mismatch");
+        let comps: Vec<i8> = (0..self.dim)
+            .map(|d| {
+                let row = &self.projection[d * self.n_features..(d + 1) * self.n_features];
+                let dot: f64 = row
+                    .iter()
+                    .zip(features)
+                    .map(|(&p, &x)| p as f64 * x as f64)
+                    .sum();
+                if dot >= 0.0 {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect();
+        Hypervector::from_components(comps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let a = ProjectionEncoder::new(8, 256, 3);
+        let b = ProjectionEncoder::new(8, 256, 3);
+        let x = [0.1f32, -0.5, 2.0, 0.0, 1.0, -1.0, 0.25, 3.0];
+        assert_eq!(a.encode(&x), b.encode(&x));
+    }
+
+    #[test]
+    fn different_seeds_give_different_projections() {
+        let a = ProjectionEncoder::new(8, 256, 3);
+        let b = ProjectionEncoder::new(8, 256, 4);
+        let x = [1.0f32; 8];
+        assert_ne!(a.encode(&x), b.encode(&x));
+    }
+
+    #[test]
+    fn similar_inputs_encode_similarly() {
+        // Locality: small perturbations flip few signs; distant inputs flip
+        // about half (the property nearest-neighbor search relies on).
+        let enc = ProjectionEncoder::new(32, 2048, 9);
+        let x: Vec<f32> = (0..32).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut near = x.clone();
+        near[0] += 0.01;
+        let far: Vec<f32> = x.iter().map(|v| -v).collect();
+        let hx = enc.encode(&x);
+        let d_near = hx.hamming(&enc.encode(&near));
+        let d_far = hx.hamming(&enc.encode(&far));
+        assert!(d_near < 100, "near perturbation flipped {d_near}");
+        assert!(d_far > 1800, "negation flipped only {d_far}");
+    }
+
+    #[test]
+    fn scaling_input_preserves_encoding() {
+        // sign(P·(c·x)) = sign(P·x) for c > 0.
+        let enc = ProjectionEncoder::new(16, 512, 1);
+        let x: Vec<f32> = (0..16).map(|i| i as f32 - 8.0).collect();
+        let scaled: Vec<f32> = x.iter().map(|v| v * 3.5).collect();
+        assert_eq!(enc.encode(&x), enc.encode(&scaled));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn arity_checked() {
+        let enc = ProjectionEncoder::new(4, 64, 0);
+        let _ = enc.encode(&[1.0, 2.0]);
+    }
+}

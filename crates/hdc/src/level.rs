@@ -1,0 +1,190 @@
+//! Record-based (ID–level) hypervector encoding.
+//!
+//! The classical alternative to random projection (and the scheme used by
+//! several FeFET HDC encoders the paper cites, e.g. Huang et al. TCAD'23):
+//! each feature index gets a random *item* hypervector, each quantized
+//! feature magnitude gets a *level* hypervector from a correlated chain
+//! (adjacent levels nearly identical, extreme levels quasi-orthogonal), and
+//! a sample is encoded as the bundle of `item ⊛ level` bindings.
+
+use crate::encoder::FeatureEncoder;
+use crate::hypervector::{Accumulator, Hypervector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Record-based encoder with per-feature value ranges fit on training data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordEncoder {
+    dim: usize,
+    n_levels: usize,
+    items: Vec<Hypervector>,
+    levels: Vec<Hypervector>,
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl RecordEncoder {
+    /// Builds the encoder: random item memory, flip-interpolated level
+    /// chain, and per-feature ranges fit on `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `n_levels < 2`, or `samples` is empty/ragged.
+    pub fn fit<'a, I>(dim: usize, n_levels: usize, seed: u64, samples: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(n_levels >= 2, "need at least two levels");
+        let mut iter = samples.into_iter();
+        let first = iter.next().expect("at least one sample required");
+        let n_features = first.len();
+        let mut mins = first.to_vec();
+        let mut maxs = first.to_vec();
+        for s in iter {
+            assert_eq!(s.len(), n_features, "ragged samples");
+            for ((mn, mx), &x) in mins.iter_mut().zip(maxs.iter_mut()).zip(s) {
+                if x < *mn {
+                    *mn = x;
+                }
+                if x > *mx {
+                    *mx = x;
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items = (0..n_features).map(|_| Hypervector::random(dim, &mut rng)).collect();
+        // Level chain: start random; per step flip a fresh slice of
+        // dim/(2(L-1)) positions so level 0 and level L-1 differ in half the
+        // positions (quasi-orthogonal) while neighbors stay similar.
+        let mut levels: Vec<Hypervector> = Vec::with_capacity(n_levels);
+        let mut current: Vec<i8> = Hypervector::random(dim, &mut rng).components().to_vec();
+        levels.push(Hypervector::from_components(current.clone()));
+        let per_step = dim / (2 * (n_levels - 1));
+        let mut order: Vec<usize> = (0..dim).collect();
+        // Fisher-Yates with the seeded rng for a deterministic flip order.
+        for i in (1..dim).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for step in 1..n_levels {
+            for &pos in &order[(step - 1) * per_step..step * per_step] {
+                current[pos] = -current[pos];
+            }
+            levels.push(Hypervector::from_components(current.clone()));
+        }
+        RecordEncoder { dim, n_levels, items, levels, mins, maxs }
+    }
+
+    /// Number of quantization levels.
+    pub fn n_levels(&self) -> usize {
+        self.n_levels
+    }
+
+    /// The level index a raw feature value maps to.
+    pub fn level_of(&self, feature: usize, value: f32) -> usize {
+        let (mn, mx) = (self.mins[feature], self.maxs[feature]);
+        if mx <= mn {
+            return 0;
+        }
+        let t = ((value - mn) / (mx - mn)).clamp(0.0, 1.0);
+        ((t * (self.n_levels - 1) as f32).round() as usize).min(self.n_levels - 1)
+    }
+}
+
+impl FeatureEncoder for RecordEncoder {
+    fn n_features(&self) -> usize {
+        self.items.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, features: &[f32]) -> Hypervector {
+        assert_eq!(features.len(), self.items.len(), "feature count mismatch");
+        let mut acc = Accumulator::new(self.dim);
+        for (f, &x) in features.iter().enumerate() {
+            let level = &self.levels[self.level_of(f, x)];
+            acc.add(&self.items[f].bind(level), 1);
+        }
+        acc.to_hypervector()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_samples() -> Vec<Vec<f32>> {
+        (0..20)
+            .map(|i| (0..8).map(|f| ((i * 7 + f * 3) % 11) as f32 / 10.0).collect())
+            .collect()
+    }
+
+    fn fit() -> RecordEncoder {
+        let samples = toy_samples();
+        RecordEncoder::fit(2048, 8, 5, samples.iter().map(|v| v.as_slice()))
+    }
+
+    #[test]
+    fn level_chain_is_correlated() {
+        let enc = fit();
+        let l = &enc.levels;
+        // Adjacent levels: small Hamming distance; extremes: ~dim/2.
+        let near = l[0].hamming(&l[1]);
+        let far = l[0].hamming(&l[7]);
+        assert!(near < enc.dim / 8, "adjacent levels too different: {near}");
+        assert!(
+            (enc.dim / 3..2 * enc.dim / 3).contains(&far),
+            "extreme levels not quasi-orthogonal: {far}"
+        );
+        // Monotone: distance from level 0 grows along the chain.
+        let mut last = 0;
+        for k in 1..8 {
+            let d = l[0].hamming(&l[k]);
+            assert!(d >= last, "level chain not monotone at {k}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic_and_local() {
+        let enc = fit();
+        let samples = toy_samples();
+        let a = enc.encode(&samples[0]);
+        let b = enc.encode(&samples[0]);
+        assert_eq!(a, b);
+        // Perturbing one feature slightly changes few components.
+        let mut near_input = samples[0].clone();
+        near_input[0] += 0.05;
+        let c = enc.encode(&near_input);
+        assert!(a.hamming(&c) < enc.dim() / 4, "tiny change flipped {}", a.hamming(&c));
+    }
+
+    #[test]
+    fn distinct_inputs_encode_distinctly() {
+        let enc = fit();
+        let samples = toy_samples();
+        let a = enc.encode(&samples[0]);
+        let far: Vec<f32> = samples[0].iter().map(|v| 1.0 - v).collect();
+        let b = enc.encode(&far);
+        assert!(a.hamming(&b) > enc.dim() / 8);
+    }
+
+    #[test]
+    fn level_quantization_covers_range() {
+        let enc = fit();
+        assert_eq!(enc.level_of(0, -100.0), 0);
+        assert_eq!(enc.level_of(0, 100.0), enc.n_levels() - 1);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let enc = fit();
+        let dynamic: &dyn FeatureEncoder = &enc;
+        let samples = toy_samples();
+        assert_eq!(dynamic.encode(&samples[0]).dim(), 2048);
+        assert_eq!(dynamic.n_features(), 8);
+    }
+}

@@ -1,0 +1,193 @@
+//! HDC classification model: single-pass and iterative training, software
+//! inference.
+//!
+//! "Second, single-pass training is performed, where the encoded
+//! high-dimensional vectors of a certain class are aggregated. Iterative
+//! training \[is\] conducted for higher algorithmic accuracy. Finally, during
+//! the inference phase of classification, the predicted class vector that
+//! has closest distance to the query vector is output" (paper Sec. IV-B).
+
+use crate::encoder::{FeatureEncoder, ProjectionEncoder};
+use crate::hypervector::{Accumulator, Hypervector};
+use ferex_datasets::dataset::Sample;
+
+/// A trained HDC classifier: one accumulated prototype per class.
+///
+/// Generic over the [`FeatureEncoder`]; defaults to the paper's random
+/// projection, with the record-based [`crate::level::RecordEncoder`] as the
+/// drop-in alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcModel<E = ProjectionEncoder> {
+    encoder: E,
+    classes: Vec<Accumulator>,
+}
+
+/// Training statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Misclassified-sample count per retraining epoch (empty for pure
+    /// single-pass training).
+    pub epoch_errors: Vec<usize>,
+}
+
+impl<E: FeatureEncoder> HdcModel<E> {
+    /// Single-pass training: bundle every sample's hypervector into its
+    /// class accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes == 0`, `samples` is empty, or a label is out of
+    /// range.
+    pub fn train_single_pass(encoder: E, samples: &[Sample], n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        assert!(!samples.is_empty(), "need at least one training sample");
+        let mut classes = vec![Accumulator::new(encoder.dim()); n_classes];
+        for s in samples {
+            assert!(s.label < n_classes, "label {} out of range", s.label);
+            let hv = encoder.encode(&s.features);
+            classes[s.label].add(&hv, 1);
+        }
+        HdcModel { encoder, classes }
+    }
+
+    /// Iterative (perceptron-style) retraining: for each misclassified
+    /// sample, reinforce the true class and penalize the predicted one.
+    /// Returns per-epoch error counts; stops early once an epoch is
+    /// error-free.
+    pub fn retrain(&mut self, samples: &[Sample], epochs: usize) -> TrainReport {
+        let mut epoch_errors = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut errors = 0;
+            for s in samples {
+                let hv = self.encoder.encode(&s.features);
+                let pred = self.classify_hv(&hv);
+                if pred != s.label {
+                    self.classes[s.label].add(&hv, 1);
+                    self.classes[pred].add(&hv, -1);
+                    errors += 1;
+                }
+            }
+            epoch_errors.push(errors);
+            if errors == 0 {
+                break;
+            }
+        }
+        TrainReport { epoch_errors }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The encoder used by this model.
+    pub fn encoder(&self) -> &E {
+        &self.encoder
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.encoder.dim()
+    }
+
+    /// The bipolar class prototypes (collapsed accumulators) — what gets
+    /// quantized and stored into the FeReX array.
+    pub fn class_prototypes(&self) -> Vec<Hypervector> {
+        self.classes.iter().map(Accumulator::to_hypervector).collect()
+    }
+
+    /// The raw accumulator sums per class (for value-quantized AM storage).
+    pub fn class_sums(&self) -> Vec<&[i64]> {
+        self.classes.iter().map(Accumulator::sums).collect()
+    }
+
+    /// Classifies an already-encoded hypervector with full-precision
+    /// accumulator similarity (the "software-based implementation" of the
+    /// paper's comparisons).
+    pub fn classify_hv(&self, hv: &Hypervector) -> usize {
+        self.classes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, acc)| acc.similarity(hv))
+            .map(|(i, _)| i)
+            .expect("at least one class")
+    }
+
+    /// Encodes and classifies a raw feature vector.
+    pub fn classify(&self, features: &[f32]) -> usize {
+        self.classify_hv(&self.encoder.encode(features))
+    }
+
+    /// Accuracy over a labeled set.
+    pub fn accuracy(&self, samples: &[Sample]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct =
+            samples.iter().filter(|s| self.classify(&s.features) == s.label).count();
+        correct as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ferex_datasets::spec::UCIHAR;
+    use ferex_datasets::synth::{generate, SynthOptions};
+
+    fn small_setup() -> (ferex_datasets::Dataset, HdcModel) {
+        let spec = UCIHAR.scaled(0.03);
+        let data = generate(&spec, &SynthOptions::default());
+        let encoder = ProjectionEncoder::new(spec.n_features, 2048, 11);
+        let model = HdcModel::train_single_pass(encoder, &data.train, spec.n_classes);
+        (data, model)
+    }
+
+    #[test]
+    fn single_pass_training_classifies_well() {
+        let (data, model) = small_setup();
+        let acc = model.accuracy(&data.test);
+        assert!(acc > 0.85, "single-pass accuracy only {acc}");
+    }
+
+    #[test]
+    fn retraining_does_not_hurt() {
+        let (data, mut model) = small_setup();
+        let before = model.accuracy(&data.test);
+        let report = model.retrain(&data.train, 5);
+        let after = model.accuracy(&data.test);
+        assert!(!report.epoch_errors.is_empty());
+        assert!(after >= before - 0.03, "retraining regressed {before} → {after}");
+    }
+
+    #[test]
+    fn retraining_errors_decrease_on_train_set() {
+        let (data, mut model) = small_setup();
+        let report = model.retrain(&data.train, 8);
+        let first = report.epoch_errors[0];
+        let last = *report.epoch_errors.last().unwrap();
+        assert!(last <= first, "train errors grew: {:?}", report.epoch_errors);
+    }
+
+    #[test]
+    fn prototypes_have_model_dimension() {
+        let (_, model) = small_setup();
+        let protos = model.class_prototypes();
+        assert_eq!(protos.len(), model.n_classes());
+        assert!(protos.iter().all(|p| p.dim() == model.dim()));
+    }
+
+    #[test]
+    fn classify_hv_agrees_with_classify() {
+        let (data, model) = small_setup();
+        let s = &data.test[0];
+        let hv = model.encoder().encode(&s.features);
+        assert_eq!(model.classify_hv(&hv), model.classify(&s.features));
+    }
+
+    #[test]
+    fn empty_test_set_scores_zero() {
+        let (_, model) = small_setup();
+        assert_eq!(model.accuracy(&[]), 0.0);
+    }
+}

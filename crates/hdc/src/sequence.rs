@@ -1,0 +1,111 @@
+//! Sequence encoding with permutation — the n-gram construction used by
+//! HDC language/signal pipelines (VSA framework, paper ref \[37\]).
+//!
+//! Order matters: the i-th item of a window is rotated `n−1−i` times before
+//! binding, so `(a, b)` and `(b, a)` encode to quasi-orthogonal vectors.
+
+use crate::hypervector::{Accumulator, Hypervector};
+
+/// Encodes one n-gram: `ρ^{n−1}(x₀) ⊛ ρ^{n−2}(x₁) ⊛ … ⊛ ρ⁰(x_{n−1})`.
+///
+/// # Panics
+///
+/// Panics if `items` is empty or dimensions mismatch.
+pub fn ngram(items: &[&Hypervector]) -> Hypervector {
+    assert!(!items.is_empty(), "n-gram needs at least one item");
+    let n = items.len();
+    let mut acc = items[0].permute(n - 1);
+    for (i, item) in items.iter().enumerate().skip(1) {
+        acc = acc.bind(&item.permute(n - 1 - i));
+    }
+    acc
+}
+
+/// Encodes a whole sequence as the bundle of its sliding n-grams.
+///
+/// # Panics
+///
+/// Panics if `window == 0` or the sequence is shorter than the window.
+pub fn encode_sequence(sequence: &[&Hypervector], window: usize) -> Hypervector {
+    assert!(window > 0, "window must be positive");
+    assert!(sequence.len() >= window, "sequence shorter than the window");
+    let dim = sequence[0].dim();
+    let mut acc = Accumulator::new(dim);
+    for chunk in sequence.windows(window) {
+        acc.add(&ngram(chunk), 1);
+    }
+    acc.to_hypervector()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn items(n: usize, dim: usize) -> Vec<Hypervector> {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| Hypervector::random(dim, &mut rng)).collect()
+    }
+
+    #[test]
+    fn permutation_round_trip_and_orthogonality() {
+        let v = items(1, 2048).remove(0);
+        let p = v.permute(13);
+        assert_eq!(p.permute(2048 - 13), v);
+        assert!(v.similarity(&p).abs() < 300, "permuted vector not orthogonal");
+        // Full rotation is identity.
+        assert_eq!(v.permute(2048), v);
+    }
+
+    #[test]
+    fn ngram_is_order_sensitive() {
+        let its = items(2, 2048);
+        let ab = ngram(&[&its[0], &its[1]]);
+        let ba = ngram(&[&its[1], &its[0]]);
+        assert!(ab.similarity(&ba).abs() < 300, "order should matter");
+    }
+
+    #[test]
+    fn identical_sequences_encode_identically() {
+        let its = items(5, 1024);
+        let refs: Vec<&Hypervector> = its.iter().collect();
+        assert_eq!(encode_sequence(&refs, 3), encode_sequence(&refs, 3));
+    }
+
+    #[test]
+    fn similar_sequences_encode_similarly() {
+        let its = items(8, 4096);
+        let seq_a: Vec<&Hypervector> = its[..6].iter().collect();
+        // Same sequence with the last element replaced: shares most n-grams.
+        let mut seq_b = seq_a.clone();
+        seq_b[5] = &its[7];
+        let unrelated: Vec<&Hypervector> = its[2..8].iter().collect();
+        let a = encode_sequence(&seq_a, 2);
+        let b = encode_sequence(&seq_b, 2);
+        let c = encode_sequence(&unrelated, 2);
+        assert!(
+            a.similarity(&b) > a.similarity(&c),
+            "one-item edit should stay closer than a shifted sequence"
+        );
+    }
+
+    #[test]
+    fn unigram_window_is_a_plain_bundle() {
+        let its = items(3, 1024);
+        let refs: Vec<&Hypervector> = its.iter().collect();
+        let seq = encode_sequence(&refs, 1);
+        // Every member stays similar to the bundle.
+        for it in &its {
+            assert!(seq.similarity(it) > 100, "bundle lost a member");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the window")]
+    fn short_sequence_rejected() {
+        let its = items(2, 64);
+        let refs: Vec<&Hypervector> = its.iter().collect();
+        let _ = encode_sequence(&refs, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration tests: both hypervector encoders drive the full
+//! train → AM-inference pipeline.
+
+use ferex_datasets::spec::UCIHAR;
+use ferex_datasets::synth::{generate, SynthOptions};
+use ferex_hdc::am::{AmClassifier, AmConfig};
+use ferex_hdc::encoder::{FeatureEncoder, ProjectionEncoder};
+use ferex_hdc::level::RecordEncoder;
+use ferex_hdc::model::HdcModel;
+
+fn dataset() -> ferex_datasets::Dataset {
+    generate(&UCIHAR.scaled(0.02), &SynthOptions::default())
+}
+
+#[test]
+fn record_encoder_full_pipeline() {
+    let data = dataset();
+    let encoder = RecordEncoder::fit(
+        2048,
+        16,
+        3,
+        data.train.iter().map(|s| s.features.as_slice()),
+    );
+    let mut model = HdcModel::train_single_pass(encoder, &data.train, data.n_classes());
+    model.retrain(&data.train, 3);
+    let software = model.accuracy(&data.test);
+    // The record encoder is legitimately weaker than random projection on
+    // isotropic Gaussian data (its per-feature level signal is small
+    // relative to the global feature range); functional means far above
+    // the 1/12 chance level.
+    assert!(software > 0.30, "record-encoder software accuracy only {software}");
+
+    let mut am = AmClassifier::from_model(&model, &AmConfig::default()).expect("builds");
+    let hw = am.accuracy(&model, &data.test).expect("searches");
+    assert!(hw > software - 0.15, "AM accuracy {hw} vs software {software}");
+}
+
+#[test]
+fn encoders_are_comparable_on_the_same_data() {
+    let data = dataset();
+    let proj = ProjectionEncoder::new(data.n_features(), 2048, 9);
+    let record = RecordEncoder::fit(
+        2048,
+        16,
+        9,
+        data.train.iter().map(|s| s.features.as_slice()),
+    );
+    let m_proj = HdcModel::train_single_pass(proj, &data.train, data.n_classes());
+    let m_record = HdcModel::train_single_pass(record, &data.train, data.n_classes());
+    let a_proj = m_proj.accuracy(&data.test);
+    let a_record = m_record.accuracy(&data.test);
+    // Both encoders must be functional (chance = 1/12); projection is
+    // expected to dominate on this data.
+    assert!(a_proj > 0.8, "projection {a_proj}");
+    assert!(a_record > 0.25, "record {a_record}");
+    assert!(a_proj >= a_record);
+}
+
+#[test]
+fn trait_objects_allow_runtime_encoder_choice() {
+    let data = dataset();
+    let encoders: Vec<Box<dyn FeatureEncoder>> = vec![
+        Box::new(ProjectionEncoder::new(data.n_features(), 512, 1)),
+        Box::new(RecordEncoder::fit(
+            512,
+            8,
+            1,
+            data.train.iter().map(|s| s.features.as_slice()),
+        )),
+    ];
+    for enc in &encoders {
+        let hv = enc.encode(&data.test[0].features);
+        assert_eq!(hv.dim(), 512);
+    }
+}

@@ -1,0 +1,60 @@
+//! KNN classification on a synthetic UCIHAR-like dataset: exact software
+//! KNN vs the FeReX associative-memory KNN on the ideal and the
+//! variation-afflicted backends.
+//!
+//! Run with: `cargo run --release --example knn_search`
+
+use ferex::core::{Backend, CircuitConfig, DistanceMetric};
+use ferex::datasets::quantize::Quantizer;
+use ferex::datasets::spec::UCIHAR;
+use ferex::datasets::synth::{generate, SynthOptions};
+use ferex::fefet::Technology;
+use ferex::knn::am::AmKnn;
+use ferex::knn::eval::{am_accuracy, exact_accuracy, quantize_set};
+use ferex::knn::exact::ExactKnn;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = UCIHAR.scaled(0.03);
+    let data = generate(&spec, &SynthOptions::default());
+    println!(
+        "dataset: {} ({} features, {} classes, {} train / {} test)",
+        spec.name, spec.n_features, spec.n_classes, spec.train_size, spec.test_size
+    );
+
+    let bits = 2;
+    let k = 3;
+    let quantizer = Quantizer::fit_samples(bits, &data.train);
+    let train = quantize_set(&quantizer, &data.train);
+    let test = quantize_set(&quantizer, &data.test);
+
+    for metric in [DistanceMetric::Manhattan, DistanceMetric::EuclideanSquared] {
+        // Software reference.
+        let mut exact = ExactKnn::new(metric, k);
+        for (sym, label) in &train {
+            exact.insert(sym.clone(), *label);
+        }
+        let sw = exact_accuracy(&exact, &test);
+
+        // AM-backed, ideal array.
+        let mut ideal = AmKnn::new(metric, bits, spec.n_features, k, Backend::Ideal,
+            Technology::default())?;
+        // AM-backed, with device variation + LTA offset.
+        let noisy_cfg = CircuitConfig { seed: 7, ..Default::default() };
+        let mut noisy = AmKnn::new(metric, bits, spec.n_features, k,
+            Backend::Noisy(Box::new(noisy_cfg)), Technology::default())?;
+        for (sym, label) in &train {
+            ideal.insert(sym.clone(), *label)?;
+            noisy.insert(sym.clone(), *label)?;
+        }
+        let hw_ideal = am_accuracy(&mut ideal, &test)?;
+        let hw_noisy = am_accuracy(&mut noisy, &test)?;
+
+        println!(
+            "{metric:>11}: software {:.1}%  | FeReX ideal {:.1}%  | FeReX with variation {:.1}%",
+            sw * 100.0,
+            hw_ideal * 100.0,
+            hw_noisy * 100.0
+        );
+    }
+    Ok(())
+}
