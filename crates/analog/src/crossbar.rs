@@ -99,11 +99,8 @@ impl Crossbar {
         assert!(rows > 0 && cols > 0, "array dimensions must be positive");
         let mut cells = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
-            let sample = if variation.is_nominal() {
-                DeviceSample::NOMINAL
-            } else {
-                variation.sample(rng)
-            };
+            let sample =
+                if variation.is_nominal() { DeviceSample::NOMINAL } else { variation.sample(rng) };
             cells.push(Cell::with_variation(&tech, sample));
         }
         Crossbar { tech, wire, rows, cols, cells }
@@ -333,10 +330,8 @@ mod tests {
         }
         let drives = vec![unit_drive(&tech); 8];
         let approx = xb.search(&drives, &ArrayOptions::default());
-        let exact = xb.search(
-            &drives,
-            &ArrayOptions { exact_cell_solve: true, ..Default::default() },
-        );
+        let exact =
+            xb.search(&drives, &ArrayOptions { exact_cell_solve: true, ..Default::default() });
         for (a, e) in approx.iter().zip(&exact) {
             let rel = (a.value() - e.value()).abs() / e.value().max(1e-12);
             assert!(rel < 0.1, "approx {a:?} vs exact {e:?}");

@@ -75,11 +75,7 @@ impl DelayModel {
     /// than the sum.
     pub fn throughput(&self, rows: usize, cols: usize, pipelined: bool) -> f64 {
         let d = self.search_delay(rows, cols);
-        let cycle = if pipelined {
-            d.scl_settle.max(d.lta_compare)
-        } else {
-            d.total()
-        };
+        let cycle = if pipelined { d.scl_settle.max(d.lta_compare) } else { d.total() };
         1.0 / cycle.value()
     }
 }

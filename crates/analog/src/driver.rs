@@ -43,8 +43,7 @@ impl DriverParams {
         v_dl: Volt,
     ) -> Joule {
         // SL and DL span all rows of the column.
-        self.column_drive_energy(wire, rows, v_gate)
-            + self.column_drive_energy(wire, rows, v_dl)
+        self.column_drive_energy(wire, rows, v_gate) + self.column_drive_energy(wire, rows, v_dl)
     }
 
     /// Energy for one write pulse on a column (level-shifted to `v_write`).

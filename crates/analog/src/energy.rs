@@ -91,9 +91,7 @@ impl EnergyModel {
         let drivers = drives
             .iter()
             .map(|dr| {
-                self.driver
-                    .search_drive_energy(&self.delay.wire, rows, dr.v_gate, dr.v_dl)
-                    .value()
+                self.driver.search_drive_energy(&self.delay.wire, rows, dr.v_gate, dr.v_dl).value()
             })
             .sum::<f64>();
         EnergyBreakdown { array, opamps, lta, drivers: Joule(drivers) }
@@ -143,10 +141,7 @@ mod tests {
         let m = EnergyModel::default();
         let e = m.search_energy(64, &uniform_drives(64), &uniform_currents(64, 8.0));
         let per_bit = e.per_bit(64, 128).value();
-        assert!(
-            (1e-17..1e-13).contains(&per_bit),
-            "per-bit energy {per_bit} J out of CiM regime"
-        );
+        assert!((1e-17..1e-13).contains(&per_bit), "per-bit energy {per_bit} J out of CiM regime");
     }
 
     #[test]

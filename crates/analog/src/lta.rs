@@ -117,12 +117,7 @@ impl LtaParams {
     /// # Panics
     ///
     /// Panics if `k == 0` or `k > currents.len()`.
-    pub fn sense_k<R: Rng + ?Sized>(
-        &self,
-        currents: &[Amp],
-        k: usize,
-        rng: &mut R,
-    ) -> Vec<usize> {
+    pub fn sense_k<R: Rng + ?Sized>(&self, currents: &[Amp], k: usize, rng: &mut R) -> Vec<usize> {
         assert!(k > 0 && k <= currents.len(), "invalid k for sense_k");
         let mut masked: Vec<Option<Amp>> = currents.iter().copied().map(Some).collect();
         let mut out = Vec::with_capacity(k);

@@ -36,8 +36,7 @@ impl NoiseModel {
     /// RMS thermal current noise of `n_cells` parallel resistors of value
     /// `r` each: `σ² = n·4kT·B/R`.
     pub fn thermal_rms(&self, r: Ohm, n_cells: usize) -> Amp {
-        let var = n_cells as f64 * 4.0 * BOLTZMANN * self.temperature * self.bandwidth
-            / r.value();
+        let var = n_cells as f64 * 4.0 * BOLTZMANN * self.temperature * self.bandwidth / r.value();
         Amp(var.sqrt())
     }
 
@@ -100,10 +99,7 @@ mod tests {
         let m = NoiseModel::default();
         let floor = m.floor_rms(Amp(1.0e-6), Ohm(1.0e6), 64).value();
         let calibrated = crate::lta::LtaParams::default().offset_sigma.value();
-        assert!(
-            calibrated > floor,
-            "calibrated offset {calibrated} below physical floor {floor}"
-        );
+        assert!(calibrated > floor, "calibrated offset {calibrated} below physical floor {floor}");
         assert!(calibrated < 20.0 * floor, "offset implausibly far above the floor");
     }
 }

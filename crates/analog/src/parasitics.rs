@@ -24,11 +24,7 @@ impl Default for WireParams {
     /// 45nm intermediate-metal ballpark: ~3 Ω and ~0.2 fF per 0.2 µm-class
     /// cell pitch, ~0.1 fF device loading per cell.
     fn default() -> Self {
-        WireParams {
-            r_per_cell: Ohm(3.0),
-            c_per_cell: Farad(0.2e-15),
-            c_device: Farad(0.1e-15),
-        }
+        WireParams { r_per_cell: Ohm(3.0), c_per_cell: Farad(0.2e-15), c_device: Farad(0.1e-15) }
     }
 }
 

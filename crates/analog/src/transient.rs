@@ -162,14 +162,8 @@ mod tests {
         // within a modest factor across the column sweep.
         for &n_cells in &[16usize, 64, 256] {
             let cfg = TransientConfig { n_cells, ..Default::default() };
-            let numerical = simulate_settle(&cfg, 0.01)
-                .settle_time
-                .expect("settles")
-                .value();
-            let analytical = cfg
-                .opamp
-                .settle_time(cfg.v_start, &cfg.wire, n_cells, 0.01)
-                .value();
+            let numerical = simulate_settle(&cfg, 0.01).settle_time.expect("settles").value();
+            let analytical = cfg.opamp.settle_time(cfg.v_start, &cfg.wire, n_cells, 0.01).value();
             let ratio = analytical / numerical;
             assert!(
                 (0.5..2.5).contains(&ratio),
@@ -180,27 +174,19 @@ mod tests {
 
     #[test]
     fn bigger_step_takes_longer() {
-        let small = simulate_settle(
-            &TransientConfig { v_start: Volt(0.1), ..Default::default() },
-            0.01,
-        );
-        let large = simulate_settle(
-            &TransientConfig { v_start: Volt(0.8), ..Default::default() },
-            0.01,
-        );
+        let small =
+            simulate_settle(&TransientConfig { v_start: Volt(0.1), ..Default::default() }, 0.01);
+        let large =
+            simulate_settle(&TransientConfig { v_start: Volt(0.8), ..Default::default() }, 0.01);
         assert!(large.settle_time.unwrap() > small.settle_time.unwrap());
     }
 
     #[test]
     fn injected_current_shifts_the_endpoint() {
-        let quiet = simulate_settle(
-            &TransientConfig { injected: Amp(0.0), ..Default::default() },
-            0.01,
-        );
-        let loaded = simulate_settle(
-            &TransientConfig { injected: Amp(5.0e-6), ..Default::default() },
-            0.01,
-        );
+        let quiet =
+            simulate_settle(&TransientConfig { injected: Amp(0.0), ..Default::default() }, 0.01);
+        let loaded =
+            simulate_settle(&TransientConfig { injected: Amp(5.0e-6), ..Default::default() }, 0.01);
         assert!(
             loaded.v_final.value() > quiet.v_final.value(),
             "array current must lift the clamped node"
@@ -221,11 +207,8 @@ mod tests {
     fn never_settling_is_reported_as_none() {
         // An absurdly tight accuracy with a huge injected current and a
         // short run cannot settle.
-        let cfg = TransientConfig {
-            injected: Amp(1.0),
-            t_max: Second(1.0e-9),
-            ..Default::default()
-        };
+        let cfg =
+            TransientConfig { injected: Amp(1.0), t_max: Second(1.0e-9), ..Default::default() };
         let r = simulate_settle(&cfg, 0.001);
         assert_eq!(r.settle_time, None);
     }

@@ -12,18 +12,13 @@ fn bench_sizing(c: &mut Criterion) {
     let mut group = c.benchmark_group("sizing_pipeline");
     for metric in DistanceMetric::ALL {
         let dm = DistanceMatrix::from_metric(metric, 2);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(metric.to_string()),
-            &dm,
-            |b, dm| {
-                b.iter(|| {
-                    black_box(
-                        find_minimal_cell(black_box(dm), &SizingOptions::default())
-                            .expect("encodable"),
-                    )
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(metric.to_string()), &dm, |b, dm| {
+            b.iter(|| {
+                black_box(
+                    find_minimal_cell(black_box(dm), &SizingOptions::default()).expect("encodable"),
+                )
+            });
+        });
     }
     group.finish();
 }

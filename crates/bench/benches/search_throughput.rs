@@ -10,8 +10,7 @@ fn bench_ideal_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("ideal_search");
     for &rows in &[16usize, 64, 256] {
         let dim = 64;
-        let mut engine =
-            random_filled_engine(rows, dim, Backend::Ideal, 1).expect("builds");
+        let mut engine = random_filled_engine(rows, dim, Backend::Ideal, 1).expect("builds");
         let query = random_query(dim, 2);
         group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
             b.iter(|| black_box(engine.search(black_box(&query)).expect("searches")));
@@ -24,8 +23,7 @@ fn bench_noisy_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("noisy_search");
     for &dim in &[32usize, 128, 512] {
         let rows = 32;
-        let mut engine =
-            random_filled_engine(rows, dim, noisy_backend(3), 1).expect("builds");
+        let mut engine = random_filled_engine(rows, dim, noisy_backend(3), 1).expect("builds");
         let query = random_query(dim, 2);
         // Warm the lazy programming outside the timed loop.
         engine.search(&query).expect("programs");
@@ -41,13 +39,9 @@ fn bench_circuit_search(c: &mut Criterion) {
     group.sample_size(10);
     let rows = 8;
     let dim = 16;
-    let mut engine = random_filled_engine(
-        rows,
-        dim,
-        ferex_core::Backend::Circuit(Box::default()),
-        1,
-    )
-    .expect("builds");
+    let mut engine =
+        random_filled_engine(rows, dim, ferex_core::Backend::Circuit(Box::default()), 1)
+            .expect("builds");
     let query = random_query(dim, 2);
     engine.search(&query).expect("programs");
     group.bench_function("8x16_device_level", |b| {
@@ -56,5 +50,40 @@ fn bench_circuit_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ideal_search, bench_noisy_search, bench_circuit_search);
+/// Batched serving vs a loop of single searches on the acceptance
+/// workload: 64 queries against 1k stored rows on the Noisy backend.
+/// The batch path builds the per-(query-symbol × stored-symbol)
+/// cell-current table once and reuses it for every query, so it must be
+/// at least 2x faster than the per-query loop.
+fn bench_batched_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_serving");
+    group.sample_size(10);
+    let rows = 1000;
+    let dim = 64;
+    let n_queries = 64;
+    let mut engine = random_filled_engine(rows, dim, noisy_backend(3), 1).expect("builds");
+    let queries: Vec<Vec<u32>> =
+        (0..n_queries).map(|i| random_query(dim, 100 + i as u64)).collect();
+    // Program outside the timed loops so both cases measure pure serving.
+    engine.program();
+    group.bench_function("single_search_loop", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(engine.search(black_box(q)).expect("searches"));
+            }
+        });
+    });
+    group.bench_function("search_batch", |b| {
+        b.iter(|| black_box(engine.search_batch(black_box(&queries)).expect("searches")));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ideal_search,
+    bench_noisy_search,
+    bench_circuit_search,
+    bench_batched_serving
+);
 criterion_main!(benches);

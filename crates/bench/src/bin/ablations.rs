@@ -155,12 +155,16 @@ fn ablation_resistor() {
         let min = v.iter().cloned().fold(f64::MAX, f64::min);
         (max - min) / max * 100.0
     };
-    println!("  with resistor : currents {:?} nA, spread {:.1}%",
+    println!(
+        "  with resistor : currents {:?} nA, spread {:.1}%",
         clamped.iter().map(|c| (c * 1e9 * 10.0).round() / 10.0).collect::<Vec<_>>(),
-        spread(&clamped));
-    println!("  bare FeFET    : currents {:?} nA, spread {:.1}%",
+        spread(&clamped)
+    );
+    println!(
+        "  bare FeFET    : currents {:?} nA, spread {:.1}%",
         bare.iter().map(|c| (c * 1e9 * 10.0).round() / 10.0).collect::<Vec<_>>(),
-        spread(&bare));
+        spread(&bare)
+    );
     println!("  (the resistor makes ON current independent of the stored V_th,");
     println!("   which is what quantizes distances into clean I_unit multiples)");
 }

@@ -57,7 +57,13 @@ fn trial(backend_of: &dyn Fn(u64) -> Backend, d_near: usize, d_far: usize, seed:
     engine.search(&query).expect("searches").nearest == 0
 }
 
-fn campaign(name: &str, backend_of: &dyn Fn(u64) -> Backend, runs: usize, d_near: usize, d_far: usize) -> McResult {
+fn campaign(
+    name: &str,
+    backend_of: &dyn Fn(u64) -> Backend,
+    runs: usize,
+    d_near: usize,
+    d_far: usize,
+) -> McResult {
     let mc = MonteCarlo { runs, seed: 0xF167 };
     let mut k = 0u64;
     let result = mc.run(|_| {

@@ -23,11 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Noise chosen so software accuracy lands in the high-80s/90s range the
     // paper reports on the real datasets (see EXPERIMENTS.md).
     let options = SynthOptions { separation: 1.0, noise: 4.0, seed: 0x8A };
-    let configs = [
-        (ISOLET.scaled(0.10), 1),
-        (UCIHAR.scaled(0.10), 2),
-        (MNIST.scaled(0.01), 3),
-    ];
+    let configs = [(ISOLET.scaled(0.10), 1), (UCIHAR.scaled(0.10), 2), (MNIST.scaled(0.01), 3)];
 
     println!(
         "{:<8} | {:>9} | {:>9} {:>9} {:>9} | {:>9} {:>9} {:>9}",

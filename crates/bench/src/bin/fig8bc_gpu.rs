@@ -23,9 +23,14 @@ const HV_DIM: usize = 2048;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpu = GpuSpec::RTX_3090;
-    println!("# GPU baseline: {} ({} TFLOP/s, {} GB/s, {} W, {} µs dispatch)", gpu.name,
-        gpu.fp32_flops / 1e12, gpu.mem_bandwidth / 1e9, gpu.busy_power_w,
-        gpu.launch_overhead_s * 1e6);
+    println!(
+        "# GPU baseline: {} ({} TFLOP/s, {} GB/s, {} W, {} µs dispatch)",
+        gpu.name,
+        gpu.fp32_flops / 1e12,
+        gpu.mem_bandwidth / 1e9,
+        gpu.busy_power_w,
+        gpu.launch_overhead_s * 1e6
+    );
     println!("# HDC inference: query hypervector (D = {HV_DIM}) vs K class vectors\n");
     println!(
         "{:<8} {:>4} | {:>12} {:>12} {:>9} | {:>12} {:>12} {:>10}",

@@ -49,10 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n# sweep 2: hardware variation scaling (nominal inputs)");
     println!("{:>12} | {:>9}", "variation", "FeReX AM");
     for scale in [0.0, 1.0, 2.0, 4.0] {
-        let variation = VariationModel {
-            sigma_vth: Volt(0.054 * scale),
-            sigma_r_rel: 0.08 * scale,
-        };
+        let variation =
+            VariationModel { sigma_vth: Volt(0.054 * scale), sigma_r_rel: 0.08 * scale };
         let cfg = AmConfig {
             metric: DistanceMetric::Manhattan,
             backend: Backend::Noisy(Box::new(CircuitConfig {

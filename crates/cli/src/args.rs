@@ -206,8 +206,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .unwrap_or(2);
             let stored = parse_vectors(flags.require("store")?)?;
             let query = parse_vector(flags.require("query")?)?;
-            let backend = flags.get("backend").map(parse_backend).transpose()?
-                .unwrap_or(BackendKind::Ideal);
+            let backend =
+                flags.get("backend").map(parse_backend).transpose()?.unwrap_or(BackendKind::Ideal);
             let seed = flags
                 .get("seed")
                 .map(|s| s.parse::<u64>().map_err(|_| err("invalid --seed")))
@@ -228,8 +228,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let runs = parse_usize("runs", 100)?;
             let near = parse_usize("near", 5)?;
             let far = parse_usize("far", 6)?;
-            let backend = flags.get("backend").map(parse_backend).transpose()?
-                .unwrap_or(BackendKind::Noisy);
+            let backend =
+                flags.get("backend").map(parse_backend).transpose()?.unwrap_or(BackendKind::Noisy);
             if near >= far {
                 return Err(err("--near must be smaller than --far"));
             }

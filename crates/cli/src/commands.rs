@@ -143,12 +143,8 @@ fn render_encode(metric: DistanceMetric, bits: u32) -> Result<String, CommandErr
         .map_err(|e| CommandError(format!("encoding failed: {e}")))?;
     let _ = writeln!(out);
     for a in &report.attempts {
-        let _ = writeln!(
-            out,
-            "K = {}: {}",
-            a.k,
-            if a.feasible { "feasible" } else { "infeasible" }
-        );
+        let _ =
+            writeln!(out, "K = {}: {}", a.k, if a.feasible { "feasible" } else { "infeasible" });
     }
     let _ = write!(out, "{}", report.encoding);
     match report.encoding.verify(&dm) {
@@ -290,9 +286,10 @@ mod tests {
 
     #[test]
     fn search_on_noisy_backend_runs() {
-        let out =
-            run_line("search --metric hamming --store 0,0,0,0;3,3,3,3 --query 0,0,0,0 --backend noisy")
-                .unwrap();
+        let out = run_line(
+            "search --metric hamming --store 0,0,0,0;3,3,3,3 --query 0,0,0,0 --backend noisy",
+        )
+        .unwrap();
         assert!(out.contains("<-- nearest"));
     }
 

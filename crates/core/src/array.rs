@@ -15,16 +15,42 @@
 //! * [`Backend::Noisy`] — statistical variation model with the same error
 //!   mechanisms but no per-cell device objects; tractable at
 //!   application scale (HDC/KNN) and cross-validated against `Circuit`.
+//!
+//! # Lifecycle: program, then search
+//!
+//! Mutation and sensing are separate phases, mirroring the hardware. Writes
+//! ([`FerexArray::store`], [`FerexArray::update`], …) mark the physical
+//! state stale; [`FerexArray::program`] is the explicit, idempotent
+//! transition that instantiates it (crossbar cells or variation samples).
+//! Every read — [`FerexArray::distances`], [`FerexArray::search`],
+//! [`FerexArray::search_batch`] — then takes `&self`, so a programmed array
+//! can serve queries from many threads concurrently. Searching a stochastic
+//! backend whose state is stale returns [`FerexError::NotProgrammed`]; the
+//! ideal backend has no physical state and never needs programming.
+//!
+//! Sensing noise (the LTA offset) is drawn from a generator derived per
+//! query: [`FerexArray::search_at`] seeds it from the backend seed and the
+//! caller's query id, [`FerexArray::search`] assigns ids from an internal
+//! counter, and [`FerexArray::search_batch`] uses the batch index — so on a
+//! freshly programmed array, a loop of single searches and one batched call
+//! produce bit-identical outcomes.
 
 use crate::encoding::CellEncoding;
 use crate::error::FerexError;
 use ferex_analog::crossbar::{ArrayOptions, ColumnDrive, Crossbar};
 use ferex_analog::lta::LtaParams;
 use ferex_analog::parasitics::WireParams;
+use ferex_fefet::math::splitmix64;
 use ferex_fefet::units::{Amp, Volt};
 use ferex_fefet::{Technology, VariationModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Domain-separation salt for per-query sensing streams, keeping them
+/// disjoint from the per-tile seed derivation that feeds the same mixer.
+const QUERY_STREAM_SALT: u64 = 0x51E0_D9AD_35B6_9E21;
 
 /// Circuit-backend configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,12 +122,13 @@ pub struct SearchOutcome {
 /// let mut array = FerexArray::new(Technology::default(), report.encoding, 4, Backend::Ideal);
 /// array.store(vec![0, 1, 2, 3])?;
 /// array.store(vec![3, 2, 1, 0])?;
+/// array.program(); // explicit write→search transition (no-op for Ideal)
 /// let out = array.search(&[0, 1, 2, 2])?;
 /// assert_eq!(out.nearest, 0);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FerexArray {
     tech: Technology,
     encoding: CellEncoding,
@@ -111,7 +138,31 @@ pub struct FerexArray {
     crossbar: Option<Crossbar>,
     /// Per-cell variation samples of the `Noisy` backend (row-major).
     noisy_samples: Option<Vec<ferex_fefet::DeviceSample>>,
-    rng: StdRng,
+    /// Backend seed, cached for per-query stream derivation.
+    seed: u64,
+    /// Generator consumed by [`FerexArray::program`] (variation sampling).
+    program_rng: StdRng,
+    /// Monotone query-id source for [`FerexArray::search`] /
+    /// [`FerexArray::search_k`]; atomic so issuing searches needs only
+    /// `&self`.
+    query_counter: AtomicU64,
+}
+
+impl Clone for FerexArray {
+    fn clone(&self) -> Self {
+        FerexArray {
+            tech: self.tech.clone(),
+            encoding: self.encoding.clone(),
+            dim: self.dim,
+            backend: self.backend.clone(),
+            stored: self.stored.clone(),
+            crossbar: self.crossbar.clone(),
+            noisy_samples: self.noisy_samples.clone(),
+            seed: self.seed,
+            program_rng: self.program_rng.clone(),
+            query_counter: AtomicU64::new(self.query_counter.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl FerexArray {
@@ -134,7 +185,9 @@ impl FerexArray {
             stored: Vec::new(),
             crossbar: None,
             noisy_samples: None,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            program_rng: StdRng::seed_from_u64(seed),
+            query_counter: AtomicU64::new(0),
         }
     }
 
@@ -188,7 +241,15 @@ impl FerexArray {
         Ok(())
     }
 
-    fn validate(&self, vector: &[u32]) -> Result<(), FerexError> {
+    /// Checks that a vector has this array's dimension and that every
+    /// symbol is representable under the current encoding, without storing
+    /// anything (used by callers that need all-or-nothing store semantics,
+    /// e.g. [`crate::tile::TiledArray::store`]).
+    ///
+    /// # Errors
+    ///
+    /// Dimension or symbol-range violations.
+    pub fn validate(&self, vector: &[u32]) -> Result<(), FerexError> {
         if vector.len() != self.dim {
             return Err(FerexError::DimensionMismatch { expected: self.dim, got: vector.len() });
         }
@@ -278,17 +339,20 @@ impl FerexArray {
             for f in 0..k {
                 let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
                 let m = se.vds_multiples[f];
-                let v_dl =
-                    if m == 0 { Volt(0.0) } else { self.tech.vds_for_multiple(m as usize) };
+                let v_dl = if m == 0 { Volt(0.0) } else { self.tech.vds_for_multiple(m as usize) };
                 drives.push(ColumnDrive { v_gate, v_dl });
             }
         }
         Ok(drives)
     }
 
-    /// Programs (or re-programs) the physical crossbar for the circuit
-    /// backend. Called lazily by [`FerexArray::search`]; exposed for cost
-    /// accounting.
+    /// Programs the physical state for the current contents: the crossbar
+    /// cells (`Circuit`) or the per-cell variation samples (`Noisy`). The
+    /// explicit write→search phase transition: idempotent — re-invoking on
+    /// an already-programmed array is a no-op — and required after any
+    /// mutation before the `&self` read path will serve a stochastic
+    /// backend. The ideal backend has no physical state; for it this is
+    /// always a no-op.
     pub fn program(&mut self) {
         match &self.backend {
             Backend::Ideal => {}
@@ -304,7 +368,7 @@ impl FerexArray {
                     rows,
                     cols,
                     &cfg.variation,
-                    &mut self.rng,
+                    &mut self.program_rng,
                 );
                 let k = self.encoding.k;
                 for (r, vector) in self.stored.iter().enumerate() {
@@ -328,7 +392,7 @@ impl FerexArray {
                         if variation.is_nominal() {
                             ferex_fefet::DeviceSample::NOMINAL
                         } else {
-                            variation.sample(&mut self.rng)
+                            variation.sample(&mut self.program_rng)
                         }
                     })
                     .collect();
@@ -337,13 +401,60 @@ impl FerexArray {
         }
     }
 
+    /// `true` when the physical state matches the stored contents — i.e.
+    /// the `&self` read path will serve. Always `true` for the ideal
+    /// backend and for an empty array.
+    pub fn is_programmed(&self) -> bool {
+        match &self.backend {
+            Backend::Ideal => true,
+            Backend::Circuit(_) => self.stored.is_empty() || self.crossbar.is_some(),
+            Backend::Noisy(_) => self.stored.is_empty() || self.noisy_samples.is_some(),
+        }
+    }
+
+    fn require_programmed(&self) -> Result<(), FerexError> {
+        if self.is_programmed() {
+            Ok(())
+        } else {
+            Err(FerexError::NotProgrammed)
+        }
+    }
+
+    /// The sensing-noise generator for query id `qid`: derived from the
+    /// backend seed by avalanche mixing, so streams for distinct ids (and
+    /// for adjacent base seeds) are decorrelated, and a given `(seed, qid)`
+    /// pair always reproduces the same draw.
+    fn rng_for_query(&self, qid: u64) -> StdRng {
+        StdRng::seed_from_u64(splitmix64(self.seed ^ splitmix64(qid ^ QUERY_STREAM_SALT)))
+    }
+
+    fn lta(&self) -> LtaParams {
+        match &self.backend {
+            Backend::Ideal => LtaParams::ideal(),
+            Backend::Circuit(cfg) | Backend::Noisy(cfg) => cfg.lta,
+        }
+    }
+
+    fn to_currents(&self, distances: &[f64]) -> Vec<Amp> {
+        let i_unit = self.tech.i_unit().value();
+        distances.iter().map(|&d| Amp(d * i_unit)).collect()
+    }
+
     /// Raw sensed row distances (in `I_unit` multiples) for a query,
     /// without the LTA decision.
-    pub fn distances(&mut self, query: &[u32]) -> Result<Vec<f64>, FerexError> {
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::Empty`] if nothing is stored; validation errors for a
+    /// malformed query; [`FerexError::NotProgrammed`] if a stochastic
+    /// backend's state is stale (call [`FerexArray::program`] after
+    /// mutating).
+    pub fn distances(&self, query: &[u32]) -> Result<Vec<f64>, FerexError> {
         self.validate(query)?;
         if self.stored.is_empty() {
             return Err(FerexError::Empty);
         }
+        self.require_programmed()?;
         match &self.backend {
             Backend::Ideal => Ok(self
                 .stored
@@ -356,20 +467,17 @@ impl FerexArray {
                 })
                 .collect()),
             Backend::Circuit(cfg) => {
-                let options = cfg.options;
-                self.program();
                 let drives = self.drives_for(query)?;
-                let xb = self.crossbar.as_ref().expect("programmed above");
+                let xb = self.crossbar.as_ref().expect("guarded by require_programmed");
                 let i_unit = self.tech.i_unit().value();
                 Ok(xb
-                    .search(&drives, &options)
+                    .search(&drives, &cfg.options)
                     .into_iter()
                     .map(|i| i.value() / i_unit)
                     .collect())
             }
             Backend::Noisy(_) => {
-                self.program();
-                let samples = self.noisy_samples.as_ref().expect("programmed above");
+                let samples = self.noisy_samples.as_ref().expect("guarded by require_programmed");
                 let k = self.encoding.k;
                 let cols = self.physical_cols();
                 let mut out = Vec::with_capacity(self.stored.len());
@@ -385,8 +493,7 @@ impl FerexArray {
                             }
                             let sample = &samples[r * cols + d * k + f];
                             let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
-                            let vth =
-                                self.tech.vth_level(st.vth_levels[f]) + sample.dvth;
+                            let vth = self.tech.vth_level(st.vth_levels[f]) + sample.dvth;
                             if v_gate > vth {
                                 // Resistor clamp: I = V_ds / (R·r_factor).
                                 units += m as f64 / sample.r_factor;
@@ -400,23 +507,157 @@ impl FerexArray {
         }
     }
 
-    /// One associative search: senses all rows and reports the LTA's
-    /// nearest row.
+    /// Row distances for every query of a batch.
+    ///
+    /// Semantically a loop of [`FerexArray::distances`] calls — results are
+    /// bit-identical — but served differently: on the `Noisy` backend a
+    /// per-batch table of (stored cell × query symbol) current
+    /// contributions is precomputed once, turning the per-query inner loop
+    /// into pure table lookups and additions, and queries fan out across
+    /// worker threads. Amortizes the per-cell voltage/threshold arithmetic
+    /// over the whole batch.
     ///
     /// # Errors
     ///
-    /// [`FerexError::Empty`] if nothing is stored; validation errors for a
-    /// malformed query.
-    pub fn search(&mut self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+    /// As [`FerexArray::distances`]; the whole batch is validated before
+    /// any work happens.
+    pub fn distances_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<Vec<f64>>, FerexError> {
+        for q in queries {
+            self.validate(q)?;
+        }
+        if self.stored.is_empty() {
+            return Err(FerexError::Empty);
+        }
+        self.require_programmed()?;
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &self.backend {
+            Backend::Noisy(_) => Ok(self.noisy_distances_batch(queries)),
+            // Ideal is pure arithmetic and Circuit re-solves the crossbar
+            // per query; both just fan the scalar path out over threads.
+            Backend::Ideal | Backend::Circuit(_) => Ok(queries
+                .par_iter()
+                .map(|q| self.distances(q).expect("batch pre-validated"))
+                .collect()),
+        }
+    }
+
+    /// The `Noisy` fast path: one contribution table per batch.
+    ///
+    /// `contrib[((r·dim + d)·n_search + q)·k + f]` holds the current (in
+    /// `I_unit` multiples) cell `(r, d, f)` adds when driven with query
+    /// symbol `q` — zero for OFF cells. Summation order over `(d, f)`
+    /// matches the scalar path exactly, and adding the 0.0 entries the
+    /// scalar path skips is exact for these non-negative terms, so batch
+    /// distances are bit-identical to [`FerexArray::distances`].
+    fn noisy_distances_batch(&self, queries: &[Vec<u32>]) -> Vec<Vec<f64>> {
+        let samples = self.noisy_samples.as_ref().expect("checked by caller");
+        let k = self.encoding.k;
+        let dim = self.dim;
+        let cols = self.physical_cols();
+        let n_search = self.encoding.search.len();
+        let rows = self.stored.len();
+        let row_stride = dim * n_search * k;
+
+        let mut contrib = vec![0.0f64; rows * row_stride];
+        for (r, row) in self.stored.iter().enumerate() {
+            for (d, &s) in row.iter().enumerate() {
+                let st = &self.encoding.stored[s as usize];
+                let cell_base = (r * dim + d) * n_search * k;
+                for (q, se) in self.encoding.search.iter().enumerate() {
+                    for f in 0..k {
+                        let m = se.vds_multiples[f];
+                        if m == 0 {
+                            continue;
+                        }
+                        let sample = &samples[r * cols + d * k + f];
+                        let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
+                        let vth = self.tech.vth_level(st.vth_levels[f]) + sample.dvth;
+                        if v_gate > vth {
+                            contrib[cell_base + q * k + f] = m as f64 / sample.r_factor;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fan queries out in contiguous chunks; within a chunk iterate rows
+        // outer / queries inner so one row's table slice stays cache-hot
+        // across the whole chunk.
+        let chunk = queries.len().div_ceil(rayon::current_num_threads());
+        let per_chunk: Vec<Vec<Vec<f64>>> = queries
+            .par_chunks(chunk)
+            .map(|qs| {
+                let mut out = vec![vec![0.0f64; rows]; qs.len()];
+                for r in 0..rows {
+                    let row_lut = &contrib[r * row_stride..(r + 1) * row_stride];
+                    for (qi, query) in qs.iter().enumerate() {
+                        let mut units = 0.0f64;
+                        for (d, &q) in query.iter().enumerate() {
+                            let base = (d * n_search + q as usize) * k;
+                            for c in &row_lut[base..base + k] {
+                                units += c;
+                            }
+                        }
+                        out[qi][r] = units;
+                    }
+                }
+                out
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// One associative search with an explicit query id: senses all rows
+    /// and reports the LTA's nearest row, drawing sensing noise from the
+    /// stream derived for `qid`. The deterministic building block —
+    /// `search_at(q, i)` always reproduces the same outcome on the same
+    /// programmed array, from any thread.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::distances`].
+    pub fn search_at(&self, query: &[u32], qid: u64) -> Result<SearchOutcome, FerexError> {
         let distances = self.distances(query)?;
-        let i_unit = self.tech.i_unit().value();
-        let currents: Vec<Amp> = distances.iter().map(|&d| Amp(d * i_unit)).collect();
-        let lta = match &self.backend {
-            Backend::Ideal => LtaParams::ideal(),
-            Backend::Circuit(cfg) | Backend::Noisy(cfg) => cfg.lta,
-        };
-        let decision = lta.sense(&currents, &mut self.rng);
-        Ok(SearchOutcome { distances, nearest: decision.loser })
+        Ok(self.sense_nearest(distances, qid))
+    }
+
+    fn sense_nearest(&self, distances: Vec<f64>, qid: u64) -> SearchOutcome {
+        let currents = self.to_currents(&distances);
+        let decision = self.lta().sense(&currents, &mut self.rng_for_query(qid));
+        SearchOutcome { distances, nearest: decision.loser }
+    }
+
+    /// One associative search: [`FerexArray::search_at`] with the next id
+    /// from the array's internal query counter (fresh sensing noise per
+    /// call, no `&mut` needed).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::distances`].
+    pub fn search(&self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+        let qid = self.query_counter.fetch_add(1, Ordering::Relaxed);
+        self.search_at(query, qid)
+    }
+
+    /// Searches a whole batch, assigning query ids `0..queries.len()`:
+    /// equivalent to `queries.iter().enumerate().map(|(i, q)|
+    /// self.search_at(q, i as u64))`, with distances served through the
+    /// batched fast path of [`FerexArray::distances_batch`]. Pure in
+    /// `&self` — concurrent batches over a shared array return identical
+    /// results.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::distances_batch`].
+    pub fn search_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
+        let distances = self.distances_batch(queries)?;
+        Ok(distances
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| self.sense_nearest(d, i as u64))
+            .collect())
     }
 
     /// Digital distance readout: senses all rows and digitizes the row
@@ -430,48 +671,70 @@ impl FerexArray {
     ///
     /// As [`FerexArray::distances`].
     pub fn read_digital(
-        &mut self,
+        &self,
         query: &[u32],
         adc: &ferex_analog::adc::AdcParams,
         parallelism: usize,
     ) -> Result<ferex_analog::adc::AdcReadout, FerexError> {
         let distances = self.distances(query)?;
         let i_unit = self.tech.i_unit().value();
-        let currents: Vec<Amp> = distances.iter().map(|&d| Amp(d * i_unit)).collect();
+        let currents = self.to_currents(&distances);
         let adc = if adc.full_scale.value() > 0.0 {
             *adc
         } else {
             // Auto-range: the worst-case row distance is max-DM-entry per
             // symbol across the whole vector.
-            let max_units = (self.encoding.max_vds_multiple as usize
-                * self.encoding.k
-                * self.dim) as f64;
-            ferex_analog::adc::AdcParams {
-                full_scale: Amp(max_units * i_unit),
-                ..*adc
-            }
+            let max_units =
+                (self.encoding.max_vds_multiple as usize * self.encoding.k * self.dim) as f64;
+            ferex_analog::adc::AdcParams { full_scale: Amp(max_units * i_unit), ..*adc }
         };
         Ok(adc.read_out(&currents, parallelism))
     }
 
-    /// k-nearest search via iterative LTA masking.
+    fn sense_k(&self, distances: &[f64], k: usize, qid: u64) -> Result<Vec<usize>, FerexError> {
+        if k == 0 || k > distances.len() {
+            return Err(FerexError::InvalidK { k, rows: distances.len() });
+        }
+        let currents = self.to_currents(distances);
+        Ok(self.lta().sense_k(&currents, k, &mut self.rng_for_query(qid)))
+    }
+
+    /// k-nearest search via iterative LTA masking, with an explicit query
+    /// id (see [`FerexArray::search_at`]).
     ///
     /// # Errors
     ///
-    /// As [`FerexArray::search`]; additionally if `k` exceeds the number of
-    /// stored vectors.
-    pub fn search_k(&mut self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
+    /// As [`FerexArray::distances`]; [`FerexError::InvalidK`] when `k` is
+    /// zero or exceeds the number of stored vectors.
+    pub fn search_k_at(&self, query: &[u32], k: usize, qid: u64) -> Result<Vec<usize>, FerexError> {
         let distances = self.distances(query)?;
-        if k == 0 || k > distances.len() {
-            return Err(FerexError::Empty);
-        }
-        let i_unit = self.tech.i_unit().value();
-        let currents: Vec<Amp> = distances.iter().map(|&d| Amp(d * i_unit)).collect();
-        let lta = match &self.backend {
-            Backend::Ideal => LtaParams::ideal(),
-            Backend::Circuit(cfg) | Backend::Noisy(cfg) => cfg.lta,
-        };
-        Ok(lta.sense_k(&currents, k, &mut self.rng))
+        self.sense_k(&distances, k, qid)
+    }
+
+    /// k-nearest search via iterative LTA masking, drawing the query id
+    /// from the internal counter.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::search_k_at`].
+    pub fn search_k(&self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
+        let qid = self.query_counter.fetch_add(1, Ordering::Relaxed);
+        self.search_k_at(query, k, qid)
+    }
+
+    /// k-nearest search for a whole batch, assigning query ids
+    /// `0..queries.len()`; distances come through the batched fast path.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::distances_batch`] and [`FerexArray::search_k_at`].
+    pub fn search_k_batch(
+        &self,
+        queries: &[Vec<u32>],
+        k: usize,
+    ) -> Result<Vec<Vec<usize>>, FerexError> {
+        let distances = self.distances_batch(queries)?;
+        distances.into_iter().enumerate().map(|(i, d)| self.sense_k(&d, k, i as u64)).collect()
     }
 }
 
@@ -519,6 +782,7 @@ mod tests {
             circuit.store(v.clone()).unwrap();
         }
         let q = [0, 1, 2, 3, 1, 1];
+        circuit.program();
         let oi = ideal.search(&q).unwrap();
         let oc = circuit.search(&q).unwrap();
         assert_eq!(oi.nearest, oc.nearest);
@@ -581,6 +845,7 @@ mod tests {
             noisy.store(v).unwrap();
         }
         let q = [0, 1, 2, 3, 3, 2, 1, 0];
+        noisy.program();
         let oi = ideal.search(&q).unwrap();
         let on = noisy.search(&q).unwrap();
         assert_eq!(oi.distances, on.distances);
@@ -597,6 +862,7 @@ mod tests {
         let run = |backend: Backend| -> Vec<f64> {
             let mut a = hamming_array(12, backend);
             a.store_all(stored.clone()).unwrap();
+            a.program();
             a.distances(&q).unwrap()
         };
         let mut noisy_spread = Vec::new();
@@ -610,10 +876,7 @@ mod tests {
                 circuit_spread.push(*dc);
                 // Same workload, same error mechanisms: within a few
                 // percent of each other on aggregate row current.
-                assert!(
-                    (dn - dc).abs() / dc < 0.15,
-                    "noisy {dn} vs circuit {dc} diverge"
-                );
+                assert!((dn - dc).abs() / dc < 0.15, "noisy {dn} vs circuit {dc} diverge");
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -630,7 +893,8 @@ mod tests {
         let q = vec![0u32; 8];
         // 10-bit ADC auto-ranged: integer distances must come back as
         // proportional codes preserving the ordering.
-        let adc = AdcParams { bits: 10, full_scale: ferex_fefet::units::Amp(0.0), ..Default::default() };
+        let adc =
+            AdcParams { bits: 10, full_scale: ferex_fefet::units::Amp(0.0), ..Default::default() };
         let readout = a.read_digital(&q, &adc, 1).unwrap();
         assert_eq!(readout.codes.len(), 3);
         assert!(readout.codes[0] < readout.codes[1]);
@@ -665,8 +929,122 @@ mod tests {
             let mut a = hamming_array(8, Backend::Circuit(Box::new(cfg)));
             a.store(vec![0; 8]).unwrap();
             a.store(vec![1; 8]).unwrap();
+            a.program();
             a.search(&[0, 0, 0, 0, 1, 1, 1, 1]).unwrap()
         };
         assert_eq!(mk(), mk());
+    }
+
+    fn noisy_cfg(seed: u64) -> Backend {
+        Backend::Noisy(Box::new(CircuitConfig { seed, ..Default::default() }))
+    }
+
+    #[test]
+    fn stale_stochastic_state_is_rejected_until_programmed() {
+        let mut a = hamming_array(4, noisy_cfg(11));
+        a.store(vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(a.search(&[0, 1, 2, 3]), Err(FerexError::NotProgrammed));
+        assert!(!a.is_programmed());
+        a.program();
+        assert!(a.is_programmed());
+        assert!(a.search(&[0, 1, 2, 3]).is_ok());
+        // Any mutation re-stales the state…
+        a.store(vec![3, 3, 3, 3]).unwrap();
+        assert_eq!(a.distances(&[0; 4]), Err(FerexError::NotProgrammed));
+        // …and program() is idempotent once re-run.
+        a.program();
+        a.program();
+        assert!(a.search_k(&[0; 4], 2).is_ok());
+    }
+
+    #[test]
+    fn program_is_idempotent_for_variation_samples() {
+        let mut a = hamming_array(6, noisy_cfg(5));
+        a.store(vec![0; 6]).unwrap();
+        a.program();
+        let before = a.distances(&[3; 6]).unwrap();
+        a.program(); // no-op: must not redraw the variation samples
+        assert_eq!(before, a.distances(&[3; 6]).unwrap());
+    }
+
+    #[test]
+    fn invalid_k_reports_dedicated_error() {
+        let mut a = hamming_array(2, Backend::Ideal);
+        a.store(vec![0, 0]).unwrap();
+        a.store(vec![1, 1]).unwrap();
+        assert_eq!(a.search_k(&[0, 0], 0), Err(FerexError::InvalidK { k: 0, rows: 2 }));
+        assert_eq!(a.search_k(&[0, 0], 3), Err(FerexError::InvalidK { k: 3, rows: 2 }));
+        // An empty array still reports Empty, not InvalidK.
+        let empty = hamming_array(2, Backend::Ideal);
+        assert_eq!(empty.search_k(&[0, 0], 1), Err(FerexError::Empty));
+    }
+
+    fn batch_fixture(backend: Backend) -> (FerexArray, Vec<Vec<u32>>) {
+        let mut a = hamming_array(8, backend);
+        for r in 0..12u32 {
+            a.store((0..8).map(|d| (r + d) % 4).collect()).unwrap();
+        }
+        a.program();
+        let queries: Vec<Vec<u32>> =
+            (0..9u32).map(|q| (0..8).map(|d| (q * 3 + d) % 4).collect()).collect();
+        (a, queries)
+    }
+
+    #[test]
+    fn batch_search_is_bit_identical_to_sequential() {
+        for backend in [
+            Backend::Ideal,
+            Backend::Circuit(Box::new(CircuitConfig { seed: 77, ..Default::default() })),
+            Backend::Noisy(Box::new(CircuitConfig { seed: 77, ..Default::default() })),
+        ] {
+            let (a, queries) = batch_fixture(backend.clone());
+            let batched = a.search_batch(&queries).unwrap();
+            let sequential: Vec<SearchOutcome> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| a.search_at(q, i as u64).unwrap())
+                .collect();
+            assert_eq!(batched, sequential, "backend {backend:?}");
+            // On a fresh array the counter starts at 0, so plain search()
+            // in a loop reproduces the batch too.
+            let counted: Vec<SearchOutcome> =
+                queries.iter().map(|q| a.search(q).unwrap()).collect();
+            assert_eq!(batched, counted, "counter path, backend {backend:?}");
+        }
+    }
+
+    #[test]
+    fn batch_search_k_is_bit_identical_to_sequential() {
+        let (a, queries) = batch_fixture(noisy_cfg(13));
+        let batched = a.search_k_batch(&queries, 3).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batched[i], a.search_k_at(q, 3, i as u64).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_validates_every_query_before_serving() {
+        let (a, mut queries) = batch_fixture(Backend::Ideal);
+        queries.last_mut().unwrap()[0] = 9; // out of range, last query
+        assert!(matches!(
+            a.search_batch(&queries),
+            Err(FerexError::SymbolOutOfRange { value: 9, .. })
+        ));
+        assert_eq!(a.search_batch(&[]).unwrap(), Vec::<SearchOutcome>::new());
+    }
+
+    #[test]
+    fn query_ids_draw_decorrelated_sensing_noise() {
+        // Two rows at identical distance: the LTA coin-flip is decided
+        // purely by the per-query offset stream, so over many ids both
+        // outcomes must appear (a correlated stream would pin one).
+        let cfg = CircuitConfig { variation: VariationModel::none(), ..Default::default() };
+        let mut a = hamming_array(2, Backend::Noisy(Box::new(cfg)));
+        a.store(vec![0, 1]).unwrap();
+        a.store(vec![1, 0]).unwrap();
+        a.program();
+        let wins: Vec<usize> =
+            (0..64).map(|qid| a.search_at(&[0, 0], qid).unwrap().nearest).collect();
+        assert!(wins.contains(&0) && wins.contains(&1), "offsets look frozen: {wins:?}");
     }
 }

@@ -139,12 +139,7 @@ mod tests {
     #[test]
     fn two_bit_hamming_matches_figure_4a() {
         let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
-        let expect = [
-            [0, 1, 1, 2],
-            [1, 0, 2, 1],
-            [1, 2, 0, 1],
-            [2, 1, 1, 0],
-        ];
+        let expect = [[0, 1, 1, 2], [1, 0, 2, 1], [1, 2, 0, 1], [2, 1, 1, 0]];
         for (i, row) in expect.iter().enumerate() {
             for (j, &v) in row.iter().enumerate() {
                 assert_eq!(dm.get(i, j), v, "entry ({i},{j})");
@@ -157,10 +152,7 @@ mod tests {
     fn metric_dms_are_metric_like() {
         for m in DistanceMetric::ALL {
             for bits in 1..=3 {
-                assert!(
-                    DistanceMatrix::from_metric(m, bits).is_metric_like(),
-                    "{m} {bits}-bit"
-                );
+                assert!(DistanceMatrix::from_metric(m, bits).is_metric_like(), "{m} {bits}-bit");
             }
         }
     }
@@ -169,10 +161,7 @@ mod tests {
     fn max_values() {
         assert_eq!(DistanceMatrix::from_metric(DistanceMetric::Hamming, 2).max_value(), 2);
         assert_eq!(DistanceMatrix::from_metric(DistanceMetric::Manhattan, 2).max_value(), 3);
-        assert_eq!(
-            DistanceMatrix::from_metric(DistanceMetric::EuclideanSquared, 2).max_value(),
-            9
-        );
+        assert_eq!(DistanceMatrix::from_metric(DistanceMetric::EuclideanSquared, 2).max_value(), 9);
     }
 
     #[test]

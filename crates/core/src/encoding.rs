@@ -91,10 +91,7 @@ impl CellEncoding {
     ) -> Result<Self, EncodeError> {
         assert!(!solution.is_empty(), "solution must cover at least one search line");
         let k = solution[0].fets.len();
-        assert!(
-            solution.iter().all(|r| r.fets.len() == k),
-            "solution rows disagree on cell size"
-        );
+        assert!(solution.iter().all(|r| r.fets.len() == k), "solution rows disagree on cell size");
         let n_search = solution.len();
 
         let mut stored = vec![StoredEncoding { vth_levels: Vec::with_capacity(k) }; n_stored];
@@ -112,12 +109,7 @@ impl CellEncoding {
         for f in 0..k {
             // Conduction counts per stored value (Fig. 5: sort-by-ON-count).
             let counts: Vec<usize> = (0..n_stored)
-                .map(|j| {
-                    solution
-                        .iter()
-                        .filter(|row| row.fets[f].on_mask >> j & 1 == 1)
-                        .count()
-                })
+                .map(|j| solution.iter().filter(|row| row.fets[f].on_mask >> j & 1 == 1).count())
                 .collect();
             // Distinct counts, descending: highest count ⇒ rank 0 ⇒ lowest
             // V_th. Equal counts ⇒ identical chain membership ⇒ same level.
@@ -151,9 +143,7 @@ impl CellEncoding {
                 }
                 // Chain-consistency sanity: the prefix must cover exactly
                 // the ON columns.
-                let covered: usize = (0..n_stored)
-                    .filter(|&j| rank_of(counts[j]) < level)
-                    .count();
+                let covered: usize = (0..n_stored).filter(|&j| rank_of(counts[j]) < level).count();
                 assert_eq!(
                     covered, m,
                     "solution is not chain-consistent for FeFET {f}, search line {i}"
@@ -214,13 +204,7 @@ impl CellEncoding {
         let se = &self.search[search];
         let st = &self.stored[stored];
         (0..self.k)
-            .map(|f| {
-                if st.vth_levels[f] < se.vgs_levels[f] {
-                    se.vds_multiples[f]
-                } else {
-                    0
-                }
-            })
+            .map(|f| if st.vth_levels[f] < se.vgs_levels[f] { se.vds_multiples[f] } else { 0 })
             .sum()
     }
 
@@ -309,7 +293,8 @@ mod tests {
         let levels: Vec<u32> = (1..=dm.max_value().min(9)).collect();
         let outcome = detect_feasibility(&dm, k, &levels, &FeasibilityConfig::default())
             .expect("within caps");
-        let region = outcome.region.unwrap_or_else(|| panic!("{metric} {bits}-bit k={k} infeasible"));
+        let region =
+            outcome.region.unwrap_or_else(|| panic!("{metric} {bits}-bit k={k} infeasible"));
         let enc = CellEncoding::from_solution(&region.solution, dm.n_stored(), &limits())
             .expect("encodable");
         enc.verify(&dm).expect("encoding must reproduce the DM");
@@ -349,8 +334,8 @@ mod tests {
     #[test]
     fn level_budget_is_enforced() {
         let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
-        let outcome = detect_feasibility(&dm, 3, &[1, 2], &FeasibilityConfig::default())
-            .expect("caps");
+        let outcome =
+            detect_feasibility(&dm, 3, &[1, 2], &FeasibilityConfig::default()).expect("caps");
         let region = outcome.region.expect("feasible");
         let tight = EncodingLimits { max_vth_levels: 1, max_search_levels: 5, max_vds_multiple: 9 };
         let err = CellEncoding::from_solution(&region.solution, 4, &tight).unwrap_err();
@@ -360,8 +345,8 @@ mod tests {
     #[test]
     fn vds_budget_is_enforced() {
         let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
-        let outcome = detect_feasibility(&dm, 3, &[1, 2], &FeasibilityConfig::default())
-            .expect("caps");
+        let outcome =
+            detect_feasibility(&dm, 3, &[1, 2], &FeasibilityConfig::default()).expect("caps");
         let region = outcome.region.expect("feasible");
         let tight = EncodingLimits { max_vth_levels: 4, max_search_levels: 5, max_vds_multiple: 1 };
         // Some solutions use level 2 — but not necessarily this witness, so

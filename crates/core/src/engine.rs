@@ -211,18 +211,62 @@ impl Ferex {
         self.array.store_all(vectors)
     }
 
-    /// One associative search.
+    /// Programs the array's physical state for the current contents
+    /// (idempotent; see [`FerexArray::program`]). The engine's search
+    /// methods call this themselves — it is exposed so callers can move
+    /// the programming cost out of a timed or concurrent section and then
+    /// serve queries through [`Ferex::array`]'s `&self` read path.
+    pub fn program(&mut self) {
+        self.array.program();
+    }
+
+    /// One associative search. Programs the array first if its physical
+    /// state is stale.
     ///
     /// # Errors
     ///
     /// [`FerexError::Empty`] if nothing is stored; validation errors.
     pub fn search(&mut self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+        self.array.program();
         self.array.search(query)
     }
 
-    /// k-nearest rows by iterative LTA masking.
+    /// k-nearest rows by iterative LTA masking. Programs the array first
+    /// if its physical state is stale.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ferex::search`]; [`FerexError::InvalidK`] for an unservable
+    /// `k`.
     pub fn search_k(&mut self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
+        self.array.program();
         self.array.search_k(query, k)
+    }
+
+    /// Searches a whole batch through the array's batched fast path (see
+    /// [`FerexArray::search_batch`]), programming first if needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ferex::search`].
+    pub fn search_batch(&mut self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
+        self.array.program();
+        self.array.search_batch(queries)
+    }
+
+    /// k-nearest rows for a whole batch (see
+    /// [`FerexArray::search_k_batch`]), programming first if needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Ferex::search_k`].
+    pub fn search_k_batch(
+        &mut self,
+        queries: &[Vec<u32>],
+        k: usize,
+    ) -> Result<Vec<Vec<usize>>, FerexError> {
+        self.array.program();
+        self.array.search_k_batch(queries, k)
     }
 
     /// Reconfigures the engine to a different distance metric, keeping all
@@ -251,6 +295,7 @@ impl Ferex {
     ///
     /// As [`Ferex::search`].
     pub fn cost_report(&mut self, query: &[u32]) -> Result<CostReport, FerexError> {
+        self.array.program();
         let distances = self.array.distances(query)?;
         let drives = self.array.drives_for(query)?;
         let rows = self.array.len();
@@ -287,10 +332,10 @@ mod tests {
         let mut ferex = Ferex::builder().dim(2).build().expect("builds");
         ferex.store(vec![0, 0]).unwrap(); // A
         ferex.store(vec![3, 0]).unwrap(); // B
-        // Query (1, 0): Hamming d(1,0)=1, d(1,3)=1 → tie; Manhattan
-        // d=1 vs d=2 → A; Euclidean² d=1 vs 4 → A. Use query 2:
-        // Hamming: d(2,0)=1, d(2,3)=1 (10 vs 11 → 1 bit) tie again.
-        // Choose query (1,0): check distances directly per metric.
+                                          // Query (1, 0): Hamming d(1,0)=1, d(1,3)=1 → tie; Manhattan
+                                          // d=1 vs d=2 → A; Euclidean² d=1 vs 4 → A. Use query 2:
+                                          // Hamming: d(2,0)=1, d(2,3)=1 (10 vs 11 → 1 bit) tie again.
+                                          // Choose query (1,0): check distances directly per metric.
         let q = [1, 0];
         let r = ferex.search(&q).unwrap();
         assert_eq!(r.distances, vec![1.0, 1.0]); // Hamming tie

@@ -95,6 +95,18 @@ pub enum FerexError {
     },
     /// The array holds no vectors, so there is no nearest neighbor.
     Empty,
+    /// A k-nearest search asked for zero rows or for more rows than are
+    /// stored.
+    InvalidK {
+        /// The requested neighbor count.
+        k: usize,
+        /// Rows currently stored.
+        rows: usize,
+    },
+    /// A stochastic backend's physical state is stale: the contents changed
+    /// since the last [`program`](crate::array::FerexArray::program) call,
+    /// so there are no variation samples to search against.
+    NotProgrammed,
 }
 
 impl fmt::Display for FerexError {
@@ -108,6 +120,12 @@ impl fmt::Display for FerexError {
                 write!(f, "symbol value {value} outside the {n_values} representable values")
             }
             FerexError::Empty => write!(f, "the array holds no stored vectors"),
+            FerexError::InvalidK { k, rows } => {
+                write!(f, "k-nearest search with k = {k} against {rows} stored rows")
+            }
+            FerexError::NotProgrammed => {
+                write!(f, "array contents changed since the last program() call")
+            }
         }
     }
 }
@@ -137,6 +155,10 @@ mod tests {
         assert_eq!(e.to_string(), "encoding needs 5 threshold levels, technology has 4");
         let e = FerexError::DimensionMismatch { expected: 8, got: 7 };
         assert!(e.to_string().contains("7 symbols"));
+        let e = FerexError::InvalidK { k: 5, rows: 3 };
+        assert!(e.to_string().contains("k = 5"));
+        assert!(e.to_string().contains("3 stored rows"));
+        assert!(FerexError::NotProgrammed.to_string().contains("program()"));
     }
 
     #[test]

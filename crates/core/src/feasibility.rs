@@ -50,10 +50,7 @@ pub struct RowConfig {
 impl RowConfig {
     /// The current this configuration produces for stored value `j`.
     pub fn current_for(&self, j: usize) -> u32 {
-        self.fets
-            .iter()
-            .map(|f| if f.on_mask >> j & 1 == 1 { f.level } else { 0 })
-            .sum()
+        self.fets.iter().map(|f| if f.on_mask >> j & 1 == 1 { f.level } else { 0 }).sum()
     }
 }
 
@@ -174,11 +171,7 @@ pub fn enumerate_row_configs(
         symmetry_break,
     };
     state.column(0)?;
-    Ok(state
-        .out
-        .into_iter()
-        .map(|fets| RowConfig { fets })
-        .collect())
+    Ok(state.out.into_iter().map(|fets| RowConfig { fets }).collect())
 }
 
 struct RowSearch<'a> {
@@ -322,13 +315,14 @@ pub fn detect_feasibility(
     assert!(k > 0, "cell must contain at least one FeFET");
     let mut domains = Vec::with_capacity(dm.n_search());
     for i in 0..dm.n_search() {
-        let configs = enumerate_row_configs(dm.row(i), k, levels, config.row_cap, i == 0)
-            .map_err(|e| match e {
+        let configs = enumerate_row_configs(dm.row(i), k, levels, config.row_cap, i == 0).map_err(
+            |e| match e {
                 FeasibilityError::RowCapExceeded { cap, .. } => {
                     FeasibilityError::RowCapExceeded { row: i, cap }
                 }
                 other => other,
-            })?;
+            },
+        )?;
         domains.push(configs);
     }
     let row_domain_sizes: Vec<usize> = domains.iter().map(Vec::len).collect();
@@ -398,16 +392,8 @@ pub fn detect_feasibility(
     if outcome.stats.aborted {
         return Err(FeasibilityError::SearchAborted);
     }
-    let region = outcome
-        .solution
-        .map(|solution| FeasibleRegion { domains: pruned, solution });
-    Ok(FeasibilityOutcome {
-        k,
-        row_domain_sizes,
-        region,
-        ac3_stats,
-        solve_stats: outcome.stats,
-    })
+    let region = outcome.solution.map(|solution| FeasibleRegion { domains: pruned, solution });
+    Ok(FeasibilityOutcome { k, row_domain_sizes, region, ac3_stats, solve_stats: outcome.stats })
 }
 
 #[cfg(test)]
@@ -438,8 +424,8 @@ mod tests {
     fn enumerated_configs_reproduce_the_row() {
         let dm = hamming2();
         for i in 0..4 {
-            let configs = enumerate_row_configs(dm.row(i), 3, &[1, 2], 100_000, false)
-                .expect("within cap");
+            let configs =
+                enumerate_row_configs(dm.row(i), 3, &[1, 2], 100_000, false).expect("within cap");
             assert!(!configs.is_empty(), "row {i} has no configs");
             for c in &configs {
                 for j in 0..4 {
@@ -471,9 +457,8 @@ mod tests {
     #[test]
     fn two_bit_hamming_feasible_with_three_fefets() {
         // The paper's Table II result: 3FeFET3R realizes 2-bit Hamming.
-        let outcome =
-            detect_feasibility(&hamming2(), 3, &[1, 2], &FeasibilityConfig::default())
-                .expect("within caps");
+        let outcome = detect_feasibility(&hamming2(), 3, &[1, 2], &FeasibilityConfig::default())
+            .expect("within caps");
         assert!(outcome.is_feasible(), "2-bit HD must be feasible at K = 3");
         let region = outcome.region.unwrap();
         assert_eq!(region.solution.len(), 4);
@@ -493,9 +478,8 @@ mod tests {
 
     #[test]
     fn two_bit_hamming_infeasible_with_one_fefet() {
-        let outcome =
-            detect_feasibility(&hamming2(), 1, &[1, 2], &FeasibilityConfig::default())
-                .expect("within caps");
+        let outcome = detect_feasibility(&hamming2(), 1, &[1, 2], &FeasibilityConfig::default())
+            .expect("within caps");
         assert!(!outcome.is_feasible(), "one FeFET cannot realize 2-bit HD");
     }
 
@@ -506,21 +490,23 @@ mod tests {
         // threshold-ordering chain — the same reason hardware Hamming CAMs
         // use two devices per cell.
         let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 1);
-        let k1 = detect_feasibility(&dm, 1, &[1], &FeasibilityConfig::default())
-            .expect("within caps");
+        let k1 =
+            detect_feasibility(&dm, 1, &[1], &FeasibilityConfig::default()).expect("within caps");
         assert!(!k1.is_feasible());
-        let k2 = detect_feasibility(&dm, 2, &[1], &FeasibilityConfig::default())
-            .expect("within caps");
+        let k2 =
+            detect_feasibility(&dm, 2, &[1], &FeasibilityConfig::default()).expect("within caps");
         assert!(k2.is_feasible(), "the classic 2-device cell realizes 1-bit HD");
     }
 
     #[test]
     fn row_cap_is_reported_with_row_index() {
         let dm = hamming2();
-        let err = detect_feasibility(&dm, 3, &[1, 2], &FeasibilityConfig {
-            row_cap: 2,
-            node_limit: None,
-        })
+        let err = detect_feasibility(
+            &dm,
+            3,
+            &[1, 2],
+            &FeasibilityConfig { row_cap: 2, node_limit: None },
+        )
         .unwrap_err();
         match err {
             FeasibilityError::RowCapExceeded { row, cap } => {
@@ -533,9 +519,8 @@ mod tests {
 
     #[test]
     fn feasible_region_domains_are_all_chain_supported() {
-        let outcome =
-            detect_feasibility(&hamming2(), 3, &[1, 2], &FeasibilityConfig::default())
-                .expect("within caps");
+        let outcome = detect_feasibility(&hamming2(), 3, &[1, 2], &FeasibilityConfig::default())
+            .expect("within caps");
         let region = outcome.region.expect("feasible");
         // Every surviving config has a chain-compatible partner in every
         // other row's domain (that is what AC-3 guarantees).

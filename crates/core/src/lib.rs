@@ -68,8 +68,8 @@ pub use encoding::{CellEncoding, EncodingLimits, SearchEncoding, StoredEncoding}
 pub use engine::{sizing_for, CostReport, Ferex, FerexBuilder};
 pub use error::{EncodeError, FerexError};
 pub use feasibility::{
-    chain_compatible, detect_feasibility, enumerate_solutions, FeasibilityConfig,
-    FeasibilityError, FeasibilityOutcome, FeasibleRegion, FetRow, RowConfig,
+    chain_compatible, detect_feasibility, enumerate_solutions, FeasibilityConfig, FeasibilityError,
+    FeasibilityOutcome, FeasibleRegion, FetRow, RowConfig,
 };
 pub use sizing::{current_range, find_minimal_cell, SizingOptions, SizingReport};
 pub use tile::TiledArray;

@@ -34,11 +34,7 @@ impl Default for SizingOptions {
         SizingOptions {
             max_k: 8,
             feasibility: FeasibilityConfig::default(),
-            limits: EncodingLimits {
-                max_vth_levels: 4,
-                max_search_levels: 5,
-                max_vds_multiple: 9,
-            },
+            limits: EncodingLimits { max_vth_levels: 4, max_search_levels: 5, max_vds_multiple: 9 },
             solution_candidates: 512,
         }
     }
@@ -214,10 +210,13 @@ mod tests {
     #[test]
     fn impossible_budget_reports_no_feasible_cell() {
         let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
-        let err = find_minimal_cell(&dm, &SizingOptions {
-            max_k: 2, // K = 3 is required
-            ..Default::default()
-        })
+        let err = find_minimal_cell(
+            &dm,
+            &SizingOptions {
+                max_k: 2, // K = 3 is required
+                ..Default::default()
+            },
+        )
         .unwrap_err();
         assert_eq!(err, EncodeError::NoFeasibleCell { max_k: 2 });
     }

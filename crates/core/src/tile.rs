@@ -17,7 +17,20 @@ use crate::encoding::CellEncoding;
 use crate::engine::sizing_for;
 use crate::error::FerexError;
 use crate::sizing::find_minimal_cell;
+use ferex_fefet::math::splitmix64;
 use ferex_fefet::Technology;
+
+/// Derives the variation seed for tile `t` from a base seed.
+///
+/// Both inputs pass through the SplitMix64 avalanche mix before combining,
+/// so the derived seeds for *any* two `(seed, tile)` pairs are
+/// decorrelated. The previous affine derivation
+/// (`(seed + t) · 0x9E37_79B9`) made base seed `s` with tile `t+1` collide
+/// with base seed `s+1` at tile `t` — Monte-Carlo sweeps over consecutive
+/// seeds silently shared most of their per-tile variation draws.
+pub fn derive_tile_seed(seed: u64, t: usize) -> u64 {
+    splitmix64(seed ^ splitmix64(t as u64))
+}
 
 /// A logical array built from several physical tiles.
 ///
@@ -38,6 +51,7 @@ use ferex_fefet::Technology;
 /// let enc = find_minimal_cell(&dm, &SizingOptions::default())?.encoding;
 /// let mut tiled = TiledArray::new(Technology::default(), enc, 10, 4, Backend::Ideal);
 /// tiled.store(vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1])?;
+/// tiled.program();
 /// let out = tiled.search(&[0, 1, 2, 3, 0, 1, 2, 3, 0, 1])?;
 /// assert_eq!(out.distances[0], 0.0);
 /// # Ok(())
@@ -54,7 +68,9 @@ impl TiledArray {
     /// Creates an empty tiled array.
     ///
     /// Each tile gets its own backend instance; for stochastic backends the
-    /// seed is perturbed per tile so tiles carry independent variation.
+    /// per-tile seed is derived from the base seed with an avalanche mix
+    /// (see [`derive_tile_seed`]) so tiles carry independent variation and
+    /// adjacent *base* seeds cannot produce overlapping per-tile streams.
     ///
     /// # Panics
     ///
@@ -75,12 +91,12 @@ impl TiledArray {
                     Backend::Ideal => Backend::Ideal,
                     Backend::Circuit(c) => {
                         let mut c = c.clone();
-                        c.seed = c.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9);
+                        c.seed = derive_tile_seed(c.seed, t);
                         Backend::Circuit(c)
                     }
                     Backend::Noisy(c) => {
                         let mut c = c.clone();
-                        c.seed = c.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9);
+                        c.seed = derive_tile_seed(c.seed, t);
                         Backend::Noisy(c)
                     }
                 };
@@ -115,10 +131,12 @@ impl TiledArray {
     ///
     /// # Errors
     ///
-    /// Validation errors if stored symbols exceed the new encoding's range;
-    /// tiles already reconfigured are rolled back is NOT attempted — the
-    /// first failing tile aborts, but since all tiles hold the same symbol
-    /// alphabet a failure can only occur on the first tile.
+    /// Validation errors if stored symbols exceed the new encoding's range.
+    /// No rollback is attempted: the first failing tile aborts the loop and
+    /// earlier tiles keep the new encoding. In practice the operation is
+    /// still all-or-nothing, because every tile holds the same symbol
+    /// alphabet — if any tile rejects the encoding, the first one already
+    /// did, before anything changed.
     pub fn reconfigure(&mut self, encoding: CellEncoding) -> Result<(), FerexError> {
         for tile in &mut self.tiles {
             tile.reconfigure(encoding.clone())?;
@@ -168,23 +186,41 @@ impl TiledArray {
         out
     }
 
-    /// Stores one vector, one slice per tile.
+    /// Stores one vector, one slice per tile. All-or-nothing: every chunk
+    /// is validated against its tile before any tile is mutated, so a
+    /// failed store leaves the whole array (and the tiles' row alignment)
+    /// untouched.
     ///
     /// # Errors
     ///
     /// Dimension/symbol validation errors.
     pub fn store(&mut self, vector: Vec<u32>) -> Result<(), FerexError> {
         if vector.len() != self.dim {
-            return Err(FerexError::DimensionMismatch {
-                expected: self.dim,
-                got: vector.len(),
-            });
+            return Err(FerexError::DimensionMismatch { expected: self.dim, got: vector.len() });
         }
         let chunks = self.split(&vector);
+        for (tile, chunk) in self.tiles.iter().zip(&chunks) {
+            tile.validate(chunk)?;
+        }
         for (tile, chunk) in self.tiles.iter_mut().zip(chunks) {
-            tile.store(chunk)?;
+            tile.store(chunk).expect("all chunks pre-validated");
         }
         Ok(())
+    }
+
+    /// Programs every tile (crossbar cells or variation samples) for the
+    /// current contents. Idempotent, like [`FerexArray::program`]; required
+    /// after mutation before the `&self` read path will serve stochastic
+    /// backends.
+    pub fn program(&mut self) {
+        for tile in &mut self.tiles {
+            tile.program();
+        }
+    }
+
+    /// `true` when every tile's physical state matches its contents.
+    pub fn is_programmed(&self) -> bool {
+        self.tiles.iter().all(FerexArray::is_programmed)
     }
 
     /// Per-row total distances: per-tile sensed partials, digitally
@@ -192,25 +228,72 @@ impl TiledArray {
     ///
     /// # Errors
     ///
-    /// As [`FerexArray::distances`].
-    pub fn distances(&mut self, query: &[u32]) -> Result<Vec<f64>, FerexError> {
+    /// As [`FerexArray::distances`] (including
+    /// [`FerexError::NotProgrammed`] for stale stochastic tiles).
+    pub fn distances(&self, query: &[u32]) -> Result<Vec<f64>, FerexError> {
         if query.len() != self.dim {
-            return Err(FerexError::DimensionMismatch {
-                expected: self.dim,
-                got: query.len(),
-            });
+            return Err(FerexError::DimensionMismatch { expected: self.dim, got: query.len() });
         }
         if self.is_empty() {
             return Err(FerexError::Empty);
         }
         let chunks = self.split(query);
         let mut totals = vec![0.0f64; self.len()];
-        for (tile, chunk) in self.tiles.iter_mut().zip(chunks) {
+        for (tile, chunk) in self.tiles.iter().zip(chunks) {
             for (total, partial) in totals.iter_mut().zip(tile.distances(&chunk)?) {
                 *total += partial;
             }
         }
         Ok(totals)
+    }
+
+    /// Accumulated distances for every query of a batch, served through
+    /// each tile's batched fast path ([`FerexArray::distances_batch`]).
+    /// Bit-identical to a loop of [`TiledArray::distances`] calls: partials
+    /// accumulate in the same tile order per row.
+    ///
+    /// # Errors
+    ///
+    /// As [`TiledArray::distances`].
+    pub fn distances_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<Vec<f64>>, FerexError> {
+        for q in queries {
+            if q.len() != self.dim {
+                return Err(FerexError::DimensionMismatch { expected: self.dim, got: q.len() });
+            }
+        }
+        if self.is_empty() {
+            return Err(FerexError::Empty);
+        }
+        let mut totals = vec![vec![0.0f64; self.len()]; queries.len()];
+        for (t, tile) in self.tiles.iter().enumerate() {
+            let start = t * self.tile_dim;
+            let tile_queries: Vec<Vec<u32>> = queries
+                .iter()
+                .map(|q| {
+                    let end = (start + self.tile_dim).min(q.len());
+                    let mut chunk = q[start..end].to_vec();
+                    chunk.resize(self.tile_dim, 0);
+                    chunk
+                })
+                .collect();
+            let partials = tile.distances_batch(&tile_queries)?;
+            for (query_totals, partial) in totals.iter_mut().zip(partials) {
+                for (total, p) in query_totals.iter_mut().zip(partial) {
+                    *total += p;
+                }
+            }
+        }
+        Ok(totals)
+    }
+
+    fn digital_argmin(distances: Vec<f64>) -> SearchOutcome {
+        let nearest = distances
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        SearchOutcome { distances, nearest }
     }
 
     /// One search: accumulated distances plus a digital argmin (after the
@@ -220,32 +303,56 @@ impl TiledArray {
     /// # Errors
     ///
     /// As [`TiledArray::distances`].
-    pub fn search(&mut self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
-        let distances = self.distances(query)?;
-        let nearest = distances
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.total_cmp(b))
-            .map(|(i, _)| i)
-            .expect("non-empty");
-        Ok(SearchOutcome { distances, nearest })
+    pub fn search(&self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+        Ok(Self::digital_argmin(self.distances(query)?))
+    }
+
+    /// Searches a whole batch; equivalent to a loop of
+    /// [`TiledArray::search`] calls (the cross-tile argmin is digital and
+    /// deterministic), with distances served through the per-tile batched
+    /// fast path.
+    ///
+    /// # Errors
+    ///
+    /// As [`TiledArray::distances_batch`].
+    pub fn search_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
+        let distances = self.distances_batch(queries)?;
+        Ok(distances.into_iter().map(Self::digital_argmin).collect())
+    }
+
+    fn rank_k(distances: &[f64], k: usize) -> Result<Vec<usize>, FerexError> {
+        if k == 0 || k > distances.len() {
+            return Err(FerexError::InvalidK { k, rows: distances.len() });
+        }
+        let mut order: Vec<usize> = (0..distances.len()).collect();
+        order.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]).then(a.cmp(&b)));
+        order.truncate(k);
+        Ok(order)
     }
 
     /// The `k` nearest rows by accumulated distance.
     ///
     /// # Errors
     ///
-    /// As [`TiledArray::search`]; `Empty` if `k` is zero or exceeds the
-    /// stored count.
-    pub fn search_k(&mut self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
+    /// As [`TiledArray::search`]; [`FerexError::InvalidK`] if `k` is zero
+    /// or exceeds the stored count.
+    pub fn search_k(&self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
         let distances = self.distances(query)?;
-        if k == 0 || k > distances.len() {
-            return Err(FerexError::Empty);
-        }
-        let mut order: Vec<usize> = (0..distances.len()).collect();
-        order.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]).then(a.cmp(&b)));
-        order.truncate(k);
-        Ok(order)
+        Self::rank_k(&distances, k)
+    }
+
+    /// The `k` nearest rows for every query of a batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`TiledArray::distances_batch`] and [`TiledArray::search_k`].
+    pub fn search_k_batch(
+        &self,
+        queries: &[Vec<u32>],
+        k: usize,
+    ) -> Result<Vec<Vec<usize>>, FerexError> {
+        let distances = self.distances_batch(queries)?;
+        distances.iter().map(|d| Self::rank_k(d, k)).collect()
     }
 }
 
@@ -313,14 +420,10 @@ mod tests {
         let dim = 12;
         let enc = encoding();
         let cfg = CircuitConfig::default();
-        let mut tiled = TiledArray::new(
-            Technology::default(),
-            enc,
-            dim,
-            4,
-            Backend::Noisy(Box::new(cfg)),
-        );
+        let mut tiled =
+            TiledArray::new(Technology::default(), enc, dim, 4, Backend::Noisy(Box::new(cfg)));
         tiled.store(vec![0; 12]).unwrap();
+        tiled.program();
         // Query that turns every cell on: per-tile partials should differ
         // slightly (independent variation draws), never exactly match.
         let d = tiled.distances(&[3; 12]).unwrap();
@@ -356,13 +459,11 @@ mod tests {
         assert_ne!(hd.distances, l1.distances);
         // And both match the software metric exactly (ideal backend).
         let m = DistanceMetric::Manhattan;
-        let expected: Vec<f64> = [
-            vec![0u32, 1, 2, 3, 0, 1, 2, 3, 0],
-            vec![3, 2, 1, 0, 3, 2, 1, 0, 3],
-        ]
-        .iter()
-        .map(|s| m.vector_distance(&q, s) as f64)
-        .collect();
+        let expected: Vec<f64> =
+            [vec![0u32, 1, 2, 3, 0, 1, 2, 3, 0], vec![3, 2, 1, 0, 3, 2, 1, 0, 3]]
+                .iter()
+                .map(|s| m.vector_distance(&q, s) as f64)
+                .collect();
         assert_eq!(l1.distances, expected);
     }
 
@@ -375,5 +476,91 @@ mod tests {
             Err(FerexError::DimensionMismatch { expected: 10, got: 9 })
         ));
         assert!(matches!(tiled.search(&[0; 10]), Err(FerexError::Empty)));
+    }
+
+    #[test]
+    fn failed_store_leaves_no_partial_rows() {
+        // Regression: an out-of-range symbol in the SECOND tile's chunk
+        // used to leave the first tile with an extra row, permanently
+        // desynchronizing the tiles' row maps.
+        let enc = encoding();
+        let mut tiled = TiledArray::new(Technology::default(), enc, 8, 4, Backend::Ideal);
+        tiled.store(vec![0; 8]).unwrap();
+        let mut bad = vec![0u32; 8];
+        bad[5] = 9; // valid first chunk, invalid symbol in tile 1
+        assert!(matches!(tiled.store(bad), Err(FerexError::SymbolOutOfRange { value: 9, .. })));
+        assert_eq!(tiled.len(), 1);
+        for tile in tiled.tiles() {
+            assert_eq!(tile.len(), 1, "a tile kept a chunk of the rejected vector");
+        }
+        // The array still works after the rejected store.
+        let out = tiled.search(&[0; 8]).unwrap();
+        assert_eq!(out.nearest, 0);
+    }
+
+    #[test]
+    fn invalid_k_reports_dedicated_error() {
+        let enc = encoding();
+        let mut tiled = TiledArray::new(Technology::default(), enc, 8, 4, Backend::Ideal);
+        tiled.store(vec![0; 8]).unwrap();
+        tiled.store(vec![1; 8]).unwrap();
+        assert_eq!(tiled.search_k(&[0; 8], 0), Err(FerexError::InvalidK { k: 0, rows: 2 }));
+        assert_eq!(tiled.search_k(&[0; 8], 5), Err(FerexError::InvalidK { k: 5, rows: 2 }));
+    }
+
+    #[test]
+    fn adjacent_base_seeds_derive_disjoint_tile_seeds() {
+        // Regression: (seed + t) · C collides for (seed, t+1) vs
+        // (seed + 1, t) — consecutive Monte-Carlo seeds shared per-tile
+        // variation streams. The mixed derivation must keep every
+        // (base seed, tile) pair distinct.
+        let mut derived = std::collections::HashSet::new();
+        for seed in 0..16u64 {
+            for t in 0..8usize {
+                assert!(
+                    derived.insert(derive_tile_seed(seed, t)),
+                    "collision at seed {seed}, tile {t}"
+                );
+            }
+        }
+        // And the old derivation really did collide (guards the rationale).
+        let old = |seed: u64, t: usize| seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9);
+        assert_eq!(old(3, 1), old(4, 0));
+    }
+
+    #[test]
+    fn stale_tiles_are_rejected_until_programmed() {
+        let enc = encoding();
+        let cfg = CircuitConfig::default();
+        let mut tiled =
+            TiledArray::new(Technology::default(), enc, 8, 4, Backend::Noisy(Box::new(cfg)));
+        tiled.store(vec![0; 8]).unwrap();
+        assert!(!tiled.is_programmed());
+        assert_eq!(tiled.search(&[0; 8]), Err(FerexError::NotProgrammed));
+        tiled.program();
+        assert!(tiled.is_programmed());
+        assert!(tiled.search(&[0; 8]).is_ok());
+    }
+
+    #[test]
+    fn batch_search_matches_sequential() {
+        let enc = encoding();
+        let cfg = CircuitConfig { seed: 21, ..Default::default() };
+        let mut tiled =
+            TiledArray::new(Technology::default(), enc, 10, 4, Backend::Noisy(Box::new(cfg)));
+        for v in data(10) {
+            tiled.store(v).unwrap();
+        }
+        tiled.program();
+        let queries: Vec<Vec<u32>> =
+            (0..6).map(|q| (0..10).map(|d| ((q + 2 * d) % 4) as u32).collect()).collect();
+        let batched = tiled.search_batch(&queries).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batched[i], tiled.search(q).unwrap(), "query {i}");
+        }
+        let k_batched = tiled.search_k_batch(&queries, 2).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(k_batched[i], tiled.search_k(q, 2).unwrap(), "query {i}");
+        }
     }
 }

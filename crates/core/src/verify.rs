@@ -137,8 +137,7 @@ mod tests {
     fn corrupted_encoding_fails_cosimulation() {
         let tech = Technology::default();
         let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
-        let mut enc =
-            find_minimal_cell(&dm, &SizingOptions::default()).expect("sizes").encoding;
+        let mut enc = find_minimal_cell(&dm, &SizingOptions::default()).expect("sizes").encoding;
         // Swap one stored threshold level to break a pair.
         enc.stored[0].vth_levels[0] = (enc.stored[0].vth_levels[0] + 1) % 3;
         let report = cosimulate(&enc, &dm, &tech, 0.15);

@@ -70,13 +70,7 @@ pub fn ac3<V: Clone>(problem: &Problem<V>, domains: &mut [Vec<V>]) -> Ac3Outcome
         // Split-borrow the two domains.
         let (dom_var, dom_other) = index_two(domains, var, other);
         dom_var.retain(|v| {
-            dom_other.iter().any(|w| {
-                if c.a.index() == var {
-                    c.check(v, w)
-                } else {
-                    c.check(w, v)
-                }
-            })
+            dom_other.iter().any(|w| if c.a.index() == var { c.check(v, w) } else { c.check(w, v) })
         });
         let removed = before - domains[var].len();
         if removed > 0 {
@@ -93,8 +87,7 @@ pub fn ac3<V: Clone>(problem: &Problem<V>, domains: &mut [Vec<V>]) -> Ac3Outcome
                     continue;
                 }
                 let cc = &problem.constraints()[cj];
-                let neighbor =
-                    if cc.a.index() == var { cc.b.index() } else { cc.a.index() };
+                let neighbor = if cc.a.index() == var { cc.b.index() } else { cc.a.index() };
                 queue.push_back((neighbor, cj));
             }
         }

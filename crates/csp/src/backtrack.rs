@@ -195,16 +195,17 @@ impl Solver {
                         if assignment[other].is_some() {
                             continue;
                         }
-                        kept += domains[other]
-                            .iter()
-                            .filter(|w| {
-                                if var_is_a {
-                                    c.check(&value, w)
-                                } else {
-                                    c.check(w, &value)
-                                }
-                            })
-                            .count();
+                        kept +=
+                            domains[other]
+                                .iter()
+                                .filter(|w| {
+                                    if var_is_a {
+                                        c.check(&value, w)
+                                    } else {
+                                        c.check(w, &value)
+                                    }
+                                })
+                                .count();
                     }
                     (kept, value)
                 })
@@ -401,8 +402,7 @@ mod tests {
     fn pigeonhole_infeasible() {
         // 4 pigeons, 3 holes, all-different: infeasible.
         let mut p = Problem::new();
-        let vars: Vec<_> =
-            (0..4).map(|i| p.add_variable(format!("p{i}"), vec![0, 1, 2])).collect();
+        let vars: Vec<_> = (0..4).map(|i| p.add_variable(format!("p{i}"), vec![0, 1, 2])).collect();
         for i in 0..4 {
             for j in (i + 1)..4 {
                 p.add_binary(vars[i], vars[j], "neq", |a: &i32, b: &i32| a != b);

@@ -211,10 +211,7 @@ impl<V> Problem<V> {
     /// order) against every constraint.
     pub fn is_satisfied(&self, assignment: &[V]) -> bool {
         assignment.len() == self.vars.len()
-            && self
-                .constraints
-                .iter()
-                .all(|c| c.check(&assignment[c.a.0], &assignment[c.b.0]))
+            && self.constraints.iter().all(|c| c.check(&assignment[c.a.0], &assignment[c.b.0]))
     }
 }
 

@@ -59,10 +59,7 @@ fn brute_force(instance: &RandomCsp) -> Vec<Vec<usize>> {
             assign.push(c % instance.d);
             c /= instance.d;
         }
-        let ok = instance
-            .edges
-            .iter()
-            .all(|(a, b, t)| t[assign[*a] * instance.d + assign[*b]]);
+        let ok = instance.edges.iter().all(|(a, b, t)| t[assign[*a] * instance.d + assign[*b]]);
         if ok {
             sols.push(assign);
         }

@@ -12,11 +12,7 @@ fn sudoku_problem(grid: &[[u8; 9]; 9]) -> (Problem<u8>, Vec<VarId>) {
     let mut vars = Vec::with_capacity(81);
     for r in 0..9 {
         for c in 0..9 {
-            let domain = if grid[r][c] == 0 {
-                (1..=9).collect()
-            } else {
-                vec![grid[r][c]]
-            };
+            let domain = if grid[r][c] == 0 { (1..=9).collect() } else { vec![grid[r][c]] };
             vars.push(p.add_variable(format!("r{r}c{c}"), domain));
         }
     }
@@ -33,9 +29,8 @@ fn sudoku_problem(grid: &[[u8; 9]; 9]) -> (Problem<u8>, Vec<VarId>) {
     }
     for br in 0..3 {
         for bc in 0..3 {
-            let cells: Vec<usize> = (0..9)
-                .map(|k| (br * 3 + k / 3) * 9 + (bc * 3 + k % 3))
-                .collect();
+            let cells: Vec<usize> =
+                (0..9).map(|k| (br * 3 + k / 3) * 9 + (bc * 3 + k % 3)).collect();
             for i in 0..9 {
                 for j in (i + 1)..9 {
                     // Skip pairs already constrained by row/col.

@@ -90,11 +90,8 @@ mod tests {
 
     #[test]
     fn valid_dataset_passes() {
-        let d = Dataset {
-            spec: tiny_spec(),
-            train: vec![sample(0), sample(1)],
-            test: vec![sample(0)],
-        };
+        let d =
+            Dataset { spec: tiny_spec(), train: vec![sample(0), sample(1)], test: vec![sample(0)] };
         assert!(d.validate().is_ok());
         assert_eq!(d.n_features(), 2);
         assert_eq!(d.n_classes(), 2);
@@ -108,21 +105,15 @@ mod tests {
 
     #[test]
     fn label_range_detected() {
-        let d = Dataset {
-            spec: tiny_spec(),
-            train: vec![sample(0), sample(7)],
-            test: vec![sample(0)],
-        };
+        let d =
+            Dataset { spec: tiny_spec(), train: vec![sample(0), sample(7)], test: vec![sample(0)] };
         assert!(d.validate().unwrap_err().contains("out of range"));
     }
 
     #[test]
     fn missing_class_detected() {
-        let d = Dataset {
-            spec: tiny_spec(),
-            train: vec![sample(0), sample(0)],
-            test: vec![sample(1)],
-        };
+        let d =
+            Dataset { spec: tiny_spec(), train: vec![sample(0), sample(0)], test: vec![sample(1)] };
         assert!(d.validate().unwrap_err().contains("absent"));
     }
 }

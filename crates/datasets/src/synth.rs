@@ -58,9 +58,7 @@ pub fn generate(spec: &DatasetSpec, options: &SynthOptions) -> Dataset {
     // Class prototypes.
     let prototypes: Vec<Vec<f64>> = (0..spec.n_classes)
         .map(|_| {
-            (0..spec.n_features)
-                .map(|_| options.separation * standard_normal(&mut rng))
-                .collect()
+            (0..spec.n_features).map(|_| options.separation * standard_normal(&mut rng)).collect()
         })
         .collect();
     let draw_split = |size: usize, rng: &mut StdRng| -> Vec<Sample> {

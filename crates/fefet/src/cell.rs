@@ -134,10 +134,7 @@ mod tests {
                 Volt(0.0),
             );
             let ratio = i.value() / tech.i_unit().value();
-            assert!(
-                (ratio - m as f64).abs() < 0.05 * m as f64,
-                "multiple {m}: got {ratio} units"
-            );
+            assert!((ratio - m as f64).abs() < 0.05 * m as f64, "multiple {m}: got {ratio} units");
         }
     }
 
@@ -202,8 +199,7 @@ mod tests {
         let tech = Technology::default();
         let cell = on_cell(&tech, 0);
         let base = cell.current(&tech, tech.search_voltage(1), Volt(0.2), Volt(0.0));
-        let shifted =
-            cell.current(&tech, tech.search_voltage(1) + Volt(0.3), Volt(0.5), Volt(0.3));
+        let shifted = cell.current(&tech, tech.search_voltage(1) + Volt(0.3), Volt(0.5), Volt(0.3));
         assert!((base.value() - shifted.value()).abs() < 1e-3 * base.value().max(1e-12));
     }
 

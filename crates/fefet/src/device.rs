@@ -145,10 +145,8 @@ mod tests {
         let tech = Technology::default();
         let mut nominal = FeFet::new(&tech);
         nominal.set_level(&tech, 1);
-        let shifted = nominal.clone().with_variation(DeviceSample {
-            dvth: Volt(0.05),
-            r_factor: 1.0,
-        });
+        let shifted =
+            nominal.clone().with_variation(DeviceSample { dvth: Volt(0.05), r_factor: 1.0 });
         let dv = shifted.vth(&tech).value() - nominal.vth(&tech).value();
         assert!((dv - 0.05).abs() < 1e-12);
     }

@@ -36,6 +36,31 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
     mean + sigma * standard_normal(rng)
 }
 
+/// One round of the SplitMix64 finalizing mix (Steele, Lea & Flood,
+/// OOPSLA 2014): a bijective avalanche permutation of 64 bits.
+///
+/// Used to derive decorrelated seed streams (per array tile, per search
+/// query) from a base seed. Unlike additive or multiplicative perturbation
+/// (`seed + t`, `seed * C`), nearby inputs map to statistically independent
+/// outputs: flipping any input bit flips each output bit with probability
+/// ≈ 1/2, so adjacent base seeds cannot produce overlapping derived
+/// streams.
+///
+/// # Examples
+///
+/// ```
+/// let a = ferex_fefet::math::splitmix64(1);
+/// let b = ferex_fefet::math::splitmix64(2);
+/// assert_ne!(a, b);
+/// assert!((a ^ b).count_ones() > 16); // avalanche, not a small perturbation
+/// ```
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Finds a root of a monotone function `f` on `[lo, hi]` by bisection.
 ///
 /// Returns the abscissa where `f` crosses zero, to within `tol`. The caller
@@ -135,6 +160,27 @@ mod tests {
     fn normal_rejects_negative_sigma() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = normal(&mut rng, 0.0, -1.0);
+    }
+
+    #[test]
+    fn splitmix64_is_injective_on_small_inputs() {
+        let outputs: Vec<u64> = (0..4096u64).map(splitmix64).collect();
+        let mut sorted = outputs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), outputs.len(), "collision on sequential inputs");
+    }
+
+    #[test]
+    fn splitmix64_avalanches_adjacent_inputs() {
+        for x in [0u64, 1, 42, u64::MAX - 1] {
+            let diff = splitmix64(x) ^ splitmix64(x + 1);
+            let flipped = diff.count_ones();
+            assert!(
+                (16..=48).contains(&flipped),
+                "input {x}: only {flipped} output bits differ from input+1"
+            );
+        }
     }
 
     #[test]

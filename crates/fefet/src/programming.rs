@@ -130,11 +130,7 @@ impl WriteScheme {
             let vth = fefet.vth(tech);
             if vth <= target + self.tolerance {
                 if vth >= target - self.tolerance {
-                    return Ok(ProgramReport {
-                        pulses,
-                        final_vth: vth,
-                        residual: vth - target,
-                    });
+                    return Ok(ProgramReport { pulses, final_vth: vth, residual: vth - target });
                 }
                 // Overshot below the window: cannot recover with positive
                 // pulses alone.
@@ -144,11 +140,7 @@ impl WriteScheme {
             fefet.ferroelectric_mut().apply_pulse(amplitude, self.pulse_width.value());
             pulses += 1;
         }
-        Err(ProgramVthError {
-            target,
-            reached: fefet.vth(tech),
-            iterations: self.max_iterations,
-        })
+        Err(ProgramVthError { target, reached: fefet.vth(tech), iterations: self.max_iterations })
     }
 
     /// Applies `n_pulses` half-voltage disturb pulses, as experienced by a
@@ -232,7 +224,8 @@ mod tests {
         let mut fet = FeFet::new(&tech);
         scheme.program_to_level(&mut fet, &tech, 2).unwrap();
         let before = fet.vth(&tech);
-        fet.ferroelectric_mut().apply_pulse(scheme.v_write.value(), scheme.pulse_width.value() * 100.0);
+        fet.ferroelectric_mut()
+            .apply_pulse(scheme.v_write.value(), scheme.pulse_width.value() * 100.0);
         let after = fet.vth(&tech);
         assert!(before - after > tech.on_off_margin(), "full pulse moved only {}", before - after);
     }

@@ -48,9 +48,7 @@ impl RetentionModel {
     pub fn age(&self, fefet: &mut FeFet, tech: &Technology, seconds: f64) -> Volt {
         let before = fefet.vth(tech);
         let after = self.drifted_vth(tech, before, seconds);
-        fefet
-            .ferroelectric_mut()
-            .set_polarization(tech.polarization_for_vth(after));
+        fefet.ferroelectric_mut().set_polarization(tech.polarization_for_vth(after));
         fefet.vth(tech) - before
     }
 

@@ -152,8 +152,7 @@ proptest! {
 #[test]
 fn mean_std_of_seeded_normals_is_stable() {
     let mut rng = StdRng::seed_from_u64(7);
-    let xs: Vec<f64> =
-        (0..10_000).map(|_| ferex_fefet::math::normal(&mut rng, 0.0, 1.0)).collect();
+    let xs: Vec<f64> = (0..10_000).map(|_| ferex_fefet::math::normal(&mut rng, 0.0, 1.0)).collect();
     let (m, s) = mean_std(&xs);
     assert!(m.abs() < 0.05);
     assert!((s - 1.0).abs() < 0.05);

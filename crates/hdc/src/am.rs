@@ -129,6 +129,20 @@ impl AmClassifier {
         Ok(self.ferex.search(&symbols)?.nearest)
     }
 
+    /// Classifies a batch of encoded queries through the batched serving
+    /// path ([`ferex_core::FerexArray::search_batch`]): the array is
+    /// programmed once and the per-batch cell-current tables are shared
+    /// across every query.
+    ///
+    /// # Errors
+    ///
+    /// Search errors from the array.
+    pub fn classify_batch(&mut self, hvs: &[Hypervector]) -> Result<Vec<usize>, FerexError> {
+        let queries: Vec<Vec<u32>> = hvs.iter().map(|hv| self.quantize_query(hv)).collect();
+        let outcomes = self.ferex.search_batch(&queries)?;
+        Ok(outcomes.into_iter().map(|o| o.nearest).collect())
+    }
+
     /// Classifies with a confidence margin: the relative distance gap
     /// between the winning class and the runner-up
     /// (`(d₂ − d₁)/max(d₂, ε)` ∈ [0, 1]). A tiny margin flags an ambiguous
@@ -138,10 +152,7 @@ impl AmClassifier {
     /// # Errors
     ///
     /// Search errors; requires at least two classes.
-    pub fn classify_with_margin(
-        &mut self,
-        hv: &Hypervector,
-    ) -> Result<(usize, f64), FerexError> {
+    pub fn classify_with_margin(&mut self, hv: &Hypervector) -> Result<(usize, f64), FerexError> {
         let symbols = self.quantize_query(hv);
         let ranked = self.ferex.search_k(&symbols, 2)?;
         let distances = self.ferex.array_mut().distances(&symbols)?;
@@ -154,6 +165,9 @@ impl AmClassifier {
     /// Encodes (with the model's encoder) and classifies a raw sample
     /// stream; returns accuracy.
     ///
+    /// The whole stream is served through one [`AmClassifier::classify_batch`]
+    /// call, so the array is programmed once for the entire evaluation.
+    ///
     /// # Errors
     ///
     /// Search errors from the array.
@@ -165,13 +179,10 @@ impl AmClassifier {
         if samples.is_empty() {
             return Ok(0.0);
         }
-        let mut correct = 0usize;
-        for s in samples {
-            let hv = model.encoder().encode(&s.features);
-            if self.classify_hv(&hv)? == s.label {
-                correct += 1;
-            }
-        }
+        let hvs: Vec<Hypervector> =
+            samples.iter().map(|s| model.encoder().encode(&s.features)).collect();
+        let predicted = self.classify_batch(&hvs)?;
+        let correct = predicted.iter().zip(samples).filter(|(p, s)| **p == s.label).count();
         Ok(correct as f64 / samples.len() as f64)
     }
 
@@ -214,11 +225,9 @@ mod tests {
         let (data, model) = trained();
         let mut am = AmClassifier::from_model(&model, &AmConfig::default()).expect("builds");
         let mut accs = Vec::new();
-        for metric in [
-            DistanceMetric::Hamming,
-            DistanceMetric::Manhattan,
-            DistanceMetric::EuclideanSquared,
-        ] {
+        for metric in
+            [DistanceMetric::Hamming, DistanceMetric::Manhattan, DistanceMetric::EuclideanSquared]
+        {
             am.reconfigure(metric).expect("reconfigures");
             let n = data.test.len().min(100);
             let acc = am.accuracy(&model, &data.test[..n]).expect("searches");
@@ -246,6 +255,17 @@ mod tests {
         // On well-separated data most decisions carry a real margin.
         let mean: f64 = margins.iter().sum::<f64>() / margins.len() as f64;
         assert!(mean > 0.05, "mean margin {mean} suspiciously low");
+    }
+
+    #[test]
+    fn batch_classification_matches_scalar_on_ideal_backend() {
+        let (data, model) = trained();
+        let mut am = AmClassifier::from_model(&model, &AmConfig::default()).expect("builds");
+        let hvs: Vec<_> =
+            data.test.iter().take(16).map(|s| model.encoder().encode(&s.features)).collect();
+        let expected: Vec<usize> =
+            hvs.iter().map(|hv| am.classify_hv(hv).expect("searches")).collect();
+        assert_eq!(am.classify_batch(&hvs).expect("searches"), expected);
     }
 
     #[test]

@@ -97,11 +97,7 @@ impl FeatureEncoder for ProjectionEncoder {
         let comps: Vec<i8> = (0..self.dim)
             .map(|d| {
                 let row = &self.projection[d * self.n_features..(d + 1) * self.n_features];
-                let dot: f64 = row
-                    .iter()
-                    .zip(features)
-                    .map(|(&p, &x)| p as f64 * x as f64)
-                    .sum();
+                let dot: f64 = row.iter().zip(features).map(|(&p, &x)| p as f64 * x as f64).sum();
                 if dot >= 0.0 {
                     1
                 } else {

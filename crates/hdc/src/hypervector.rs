@@ -74,11 +74,7 @@ impl Hypervector {
     /// Panics on dimension mismatch.
     pub fn similarity(&self, other: &Hypervector) -> i64 {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.components
-            .iter()
-            .zip(&other.components)
-            .map(|(&a, &b)| (a as i64) * (b as i64))
-            .sum()
+        self.components.iter().zip(&other.components).map(|(&a, &b)| (a as i64) * (b as i64)).sum()
     }
 
     /// Hamming distance between the sign patterns (0 = identical).
@@ -135,9 +131,7 @@ impl Accumulator {
 
     /// Collapses the bundle to a bipolar hypervector (sign; ties to +1).
     pub fn to_hypervector(&self) -> Hypervector {
-        Hypervector {
-            components: self.sums.iter().map(|&s| if s >= 0 { 1 } else { -1 }).collect(),
-        }
+        Hypervector { components: self.sums.iter().map(|&s| if s >= 0 { 1 } else { -1 }).collect() }
     }
 
     /// Dot-product similarity between the (un-collapsed) bundle and a
@@ -181,8 +175,7 @@ mod tests {
     #[test]
     fn bundling_preserves_similarity_to_members() {
         let mut r = rng();
-        let members: Vec<Hypervector> =
-            (0..5).map(|_| Hypervector::random(4096, &mut r)).collect();
+        let members: Vec<Hypervector> = (0..5).map(|_| Hypervector::random(4096, &mut r)).collect();
         let outsider = Hypervector::random(4096, &mut r);
         let mut acc = Accumulator::new(4096);
         for m in &members {
@@ -190,10 +183,7 @@ mod tests {
         }
         let bundle = acc.to_hypervector();
         for m in &members {
-            assert!(
-                bundle.similarity(m) > outsider.similarity(m) + 500,
-                "bundle lost a member"
-            );
+            assert!(bundle.similarity(m) > outsider.similarity(m) + 500, "bundle lost a member");
         }
     }
 

@@ -117,9 +117,7 @@ mod tests {
     use super::*;
 
     fn toy_samples() -> Vec<Vec<f32>> {
-        (0..20)
-            .map(|i| (0..8).map(|f| ((i * 7 + f * 3) % 11) as f32 / 10.0).collect())
-            .collect()
+        (0..20).map(|i| (0..8).map(|f| ((i * 7 + f * 3) % 11) as f32 / 10.0).collect()).collect()
     }
 
     fn fit() -> RecordEncoder {

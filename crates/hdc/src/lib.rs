@@ -33,14 +33,14 @@
 
 pub mod am;
 pub mod encoder;
-pub mod level;
 pub mod hypervector;
+pub mod level;
 pub mod model;
 pub mod sequence;
 
 pub use am::{AmClassifier, AmConfig};
 pub use encoder::{FeatureEncoder, ProjectionEncoder};
-pub use level::RecordEncoder;
 pub use hypervector::{Accumulator, Hypervector};
+pub use level::RecordEncoder;
 pub use model::{HdcModel, TrainReport};
 pub use sequence::{encode_sequence, ngram};

@@ -123,8 +123,7 @@ impl<E: FeatureEncoder> HdcModel<E> {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct =
-            samples.iter().filter(|s| self.classify(&s.features) == s.label).count();
+        let correct = samples.iter().filter(|s| self.classify(&s.features) == s.label).count();
         correct as f64 / samples.len() as f64
     }
 }

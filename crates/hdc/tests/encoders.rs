@@ -15,12 +15,7 @@ fn dataset() -> ferex_datasets::Dataset {
 #[test]
 fn record_encoder_full_pipeline() {
     let data = dataset();
-    let encoder = RecordEncoder::fit(
-        2048,
-        16,
-        3,
-        data.train.iter().map(|s| s.features.as_slice()),
-    );
+    let encoder = RecordEncoder::fit(2048, 16, 3, data.train.iter().map(|s| s.features.as_slice()));
     let mut model = HdcModel::train_single_pass(encoder, &data.train, data.n_classes());
     model.retrain(&data.train, 3);
     let software = model.accuracy(&data.test);
@@ -39,12 +34,7 @@ fn record_encoder_full_pipeline() {
 fn encoders_are_comparable_on_the_same_data() {
     let data = dataset();
     let proj = ProjectionEncoder::new(data.n_features(), 2048, 9);
-    let record = RecordEncoder::fit(
-        2048,
-        16,
-        9,
-        data.train.iter().map(|s| s.features.as_slice()),
-    );
+    let record = RecordEncoder::fit(2048, 16, 9, data.train.iter().map(|s| s.features.as_slice()));
     let m_proj = HdcModel::train_single_pass(proj, &data.train, data.n_classes());
     let m_record = HdcModel::train_single_pass(record, &data.train, data.n_classes());
     let a_proj = m_proj.accuracy(&data.test);
@@ -61,12 +51,7 @@ fn trait_objects_allow_runtime_encoder_choice() {
     let data = dataset();
     let encoders: Vec<Box<dyn FeatureEncoder>> = vec![
         Box::new(ProjectionEncoder::new(data.n_features(), 512, 1)),
-        Box::new(RecordEncoder::fit(
-            512,
-            8,
-            1,
-            data.train.iter().map(|s| s.features.as_slice()),
-        )),
+        Box::new(RecordEncoder::fit(512, 8, 1, data.train.iter().map(|s| s.features.as_slice()))),
     ];
     for enc in &encoders {
         let hv = enc.encode(&data.test[0].features);

@@ -73,13 +73,9 @@ impl AmKnn {
         Ok(())
     }
 
-    /// Classifies a query by majority vote over the `k` LTA-nearest rows.
-    ///
-    /// # Errors
-    ///
-    /// Search errors (including fewer than `k` stored points).
-    pub fn classify(&mut self, query: &[u32]) -> Result<usize, FerexError> {
-        let nearest = self.ferex.search_k(query, self.k)?;
+    /// Majority vote over a ranked neighbor list (ties break toward the
+    /// label whose first vote arrived at the better rank).
+    fn vote(&self, nearest: &[usize]) -> usize {
         let mut votes: Vec<(usize, usize, usize)> = Vec::new();
         for (rank, &row) in nearest.iter().enumerate() {
             let label = self.labels[row];
@@ -88,11 +84,34 @@ impl AmKnn {
                 None => votes.push((label, 1, rank)),
             }
         }
-        Ok(votes
+        votes
             .into_iter()
             .max_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)))
             .map(|(l, _, _)| l)
-            .expect("k >= 1"))
+            .expect("k >= 1")
+    }
+
+    /// Classifies a query by majority vote over the `k` LTA-nearest rows.
+    ///
+    /// # Errors
+    ///
+    /// Search errors (including fewer than `k` stored points).
+    pub fn classify(&mut self, query: &[u32]) -> Result<usize, FerexError> {
+        let nearest = self.ferex.search_k(query, self.k)?;
+        Ok(self.vote(&nearest))
+    }
+
+    /// Classifies a whole query batch: the array is programmed once, the
+    /// k-nearest lists come through the batched serving path
+    /// ([`ferex_core::FerexArray::search_k_batch`]), and each list is
+    /// majority-voted exactly as in [`AmKnn::classify`].
+    ///
+    /// # Errors
+    ///
+    /// Search errors (including fewer than `k` stored points).
+    pub fn classify_batch(&mut self, queries: &[Vec<u32>]) -> Result<Vec<usize>, FerexError> {
+        let ranked = self.ferex.search_k_batch(queries, self.k)?;
+        Ok(ranked.iter().map(|nearest| self.vote(nearest)).collect())
     }
 
     /// Classifies by inverse-distance-weighted vote over the `k`
@@ -115,11 +134,7 @@ impl AmKnn {
                 None => weights.push((label, w)),
             }
         }
-        Ok(weights
-            .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(l, _)| l)
-            .expect("k >= 1"))
+        Ok(weights.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(l, _)| l).expect("k >= 1"))
     }
 
     /// Reconfigures the distance metric in place, keeping reference data.
@@ -147,15 +162,9 @@ mod tests {
     use super::*;
 
     fn toy(backend: Backend) -> AmKnn {
-        let mut knn = AmKnn::new(
-            DistanceMetric::Manhattan,
-            2,
-            2,
-            3,
-            backend,
-            Technology::default(),
-        )
-        .expect("builds");
+        let mut knn =
+            AmKnn::new(DistanceMetric::Manhattan, 2, 2, 3, backend, Technology::default())
+                .expect("builds");
         knn.insert(vec![0, 0], 0).unwrap();
         knn.insert(vec![0, 1], 0).unwrap();
         knn.insert(vec![3, 3], 1).unwrap();
@@ -169,11 +178,7 @@ mod tests {
         let mut am = toy(Backend::Ideal);
         let exact = am.to_exact();
         for q in [[0u32, 0], [3, 3], [1, 1], [2, 2], [0, 3]] {
-            assert_eq!(
-                am.classify(&q).unwrap(),
-                exact.classify(&q),
-                "disagreement on query {q:?}"
-            );
+            assert_eq!(am.classify(&q).unwrap(), exact.classify(&q), "disagreement on query {q:?}");
         }
     }
 
@@ -205,5 +210,23 @@ mod tests {
         let mut am = toy(Backend::Noisy(Box::default()));
         assert_eq!(am.classify(&[0, 0]).unwrap(), 0);
         assert_eq!(am.classify(&[3, 3]).unwrap(), 1);
+    }
+
+    #[test]
+    fn batch_classification_matches_per_query_votes() {
+        let queries: Vec<Vec<u32>> =
+            vec![vec![0, 0], vec![3, 3], vec![1, 1], vec![2, 2], vec![0, 3]];
+        // Ideal backend: the batch agrees with the scalar path exactly.
+        let mut scalar = toy(Backend::Ideal);
+        let expected: Vec<usize> = queries.iter().map(|q| scalar.classify(q).unwrap()).collect();
+        let mut batched = toy(Backend::Ideal);
+        assert_eq!(batched.classify_batch(&queries).unwrap(), expected);
+        // Noisy backend: easy queries still land on their obvious class
+        // through the batched serving path.
+        let mut noisy = toy(Backend::Noisy(Box::default()));
+        let labels = noisy.classify_batch(&queries).unwrap();
+        assert_eq!(labels.len(), queries.len());
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
     }
 }

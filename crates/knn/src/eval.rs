@@ -23,6 +23,10 @@ pub fn exact_accuracy(knn: &ExactKnn, test: &[(Vec<u32>, usize)]) -> f64 {
 
 /// Accuracy of an AM-backed KNN over pre-quantized data.
 ///
+/// The whole test set is served through one
+/// [`AmKnn::classify_batch`] call, so the array is programmed once and
+/// the per-batch cell-current tables are shared across every query.
+///
 /// # Errors
 ///
 /// Search errors from the array.
@@ -30,12 +34,9 @@ pub fn am_accuracy(knn: &mut AmKnn, test: &[(Vec<u32>, usize)]) -> Result<f64, F
     if test.is_empty() {
         return Ok(0.0);
     }
-    let mut correct = 0;
-    for (q, l) in test {
-        if knn.classify(q)? == *l {
-            correct += 1;
-        }
-    }
+    let queries: Vec<Vec<u32>> = test.iter().map(|(q, _)| q.clone()).collect();
+    let predicted = knn.classify_batch(&queries)?;
+    let correct = predicted.iter().zip(test).filter(|(p, (_, l))| **p == *l).count();
     Ok(correct as f64 / test.len() as f64)
 }
 
@@ -65,11 +66,8 @@ pub fn mine_worst_cases(
 ) -> Vec<WorstCase> {
     let mut cases = Vec::new();
     for q in queries {
-        let mut dists: Vec<(u64, usize)> = stored
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (metric.vector_distance(q, s), i))
-            .collect();
+        let mut dists: Vec<(u64, usize)> =
+            stored.iter().enumerate().map(|(i, s)| (metric.vector_distance(q, s), i)).collect();
         dists.sort();
         if dists.len() >= 2 && dists[0].0 < dists[1].0 {
             cases.push(WorstCase {

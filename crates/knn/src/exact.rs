@@ -91,11 +91,7 @@ impl ExactKnn {
                 None => weights.push((n.label, w)),
             }
         }
-        weights
-            .into_iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(l, _)| l)
-            .expect("k >= 1")
+        weights.into_iter().max_by(|a, b| a.1.total_cmp(&b.1)).map(|(l, _)| l).expect("k >= 1")
     }
 
     /// Classifies by majority vote among the `k` nearest (ties toward the

@@ -12,12 +12,7 @@ use ferex::fefet::Technology;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Asymmetric 4-value cost table: cost(search=i, stored=j).
     // Underestimates (stored < search) are penalized twice as hard.
-    let table = vec![
-        vec![0, 1, 2, 3],
-        vec![2, 0, 1, 2],
-        vec![4, 2, 0, 1],
-        vec![6, 4, 2, 0],
-    ];
+    let table = vec![vec![0, 1, 2, 3], vec![2, 0, 1, 2], vec![4, 2, 0, 1], vec![6, 4, 2, 0]];
     let dm = DistanceMatrix::from_table(table);
     println!("custom (asymmetric) cost table:\n{dm}");
     println!("metric-like (symmetric, zero diagonal)? {}", dm.is_metric_like());

@@ -36,12 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sw = exact_accuracy(&exact, &test);
 
         // AM-backed, ideal array.
-        let mut ideal = AmKnn::new(metric, bits, spec.n_features, k, Backend::Ideal,
-            Technology::default())?;
+        let mut ideal =
+            AmKnn::new(metric, bits, spec.n_features, k, Backend::Ideal, Technology::default())?;
         // AM-backed, with device variation + LTA offset.
         let noisy_cfg = CircuitConfig { seed: 7, ..Default::default() };
-        let mut noisy = AmKnn::new(metric, bits, spec.n_features, k,
-            Backend::Noisy(Box::new(noisy_cfg)), Technology::default())?;
+        let mut noisy = AmKnn::new(
+            metric,
+            bits,
+            spec.n_features,
+            k,
+            Backend::Noisy(Box::new(noisy_cfg)),
+            Technology::default(),
+        )?;
         for (sym, label) in &train {
             ideal.insert(sym.clone(), *label)?;
             noisy.insert(sym.clone(), *label)?;

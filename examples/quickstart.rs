@@ -11,11 +11,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The builder runs the full CSP encoding pipeline: it discovers the
     // minimal cell (3 FeFETs per cell for 2-bit Hamming, as in the paper's
     // Table II) and derives the voltage encoding.
-    let mut engine = Ferex::builder()
-        .metric(DistanceMetric::Hamming)
-        .bits(2)
-        .dim(8)
-        .build()?;
+    let mut engine = Ferex::builder().metric(DistanceMetric::Hamming).bits(2).dim(8).build()?;
 
     println!(
         "configured {} metric with a {}FeFET{}R cell",

@@ -1,0 +1,82 @@
+//! Integration tests: the batched, shared-reference query-serving path.
+//!
+//! After an explicit `program()` call the whole search path takes `&self`,
+//! so a programmed array can serve queries from several threads at once.
+//! These tests pin down the two guarantees that make that safe and useful:
+//! results are bit-identical to sequential serving, and concurrent callers
+//! sharing one `&FerexArray` all see those same results.
+
+use ferex::core::array::{Backend, CircuitConfig, FerexArray};
+use ferex::core::{find_minimal_cell, sizing_for, DistanceMatrix, DistanceMetric};
+use ferex::fefet::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::thread;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0..4u32)).collect()).collect()
+}
+
+fn backends() -> Vec<Backend> {
+    let cfg = CircuitConfig { seed: 11, ..Default::default() };
+    vec![Backend::Ideal, Backend::Circuit(Box::new(cfg.clone())), Backend::Noisy(Box::new(cfg))]
+}
+
+fn programmed_array(backend: Backend, dim: usize, rows: usize) -> FerexArray {
+    let tech = Technology::default();
+    let dm = DistanceMatrix::from_metric(DistanceMetric::Manhattan, 2);
+    let enc = find_minimal_cell(&dm, &sizing_for(&tech)).expect("sizes").encoding;
+    let mut array = FerexArray::new(tech, enc, dim, backend);
+    for v in random_vectors(rows, dim, 21) {
+        array.store(v).unwrap();
+    }
+    array.program();
+    array
+}
+
+/// Several threads serving the same batch over one shared `&FerexArray`
+/// all get results identical to a sequential call, on every backend.
+#[test]
+fn concurrent_batches_match_sequential_on_all_backends() {
+    for backend in backends() {
+        let array = programmed_array(backend.clone(), 16, 12);
+        let queries = random_vectors(8, 16, 22);
+        let sequential = array.search_batch(&queries).unwrap();
+
+        let shared = &array;
+        let concurrent: Vec<_> = thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..4).map(|_| scope.spawn(|| shared.search_batch(&queries).unwrap())).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+
+        for outcomes in &concurrent {
+            assert_eq!(outcomes.len(), sequential.len());
+            for (got, want) in outcomes.iter().zip(&sequential) {
+                assert_eq!(got.nearest, want.nearest, "backend {backend:?}");
+                assert_eq!(got.distances, want.distances, "backend {backend:?}");
+            }
+        }
+    }
+}
+
+/// Concurrent k-nearest batches agree with sequential serving too.
+#[test]
+fn concurrent_search_k_batches_match_sequential() {
+    for backend in backends() {
+        let array = programmed_array(backend.clone(), 12, 10);
+        let queries = random_vectors(6, 12, 23);
+        let sequential = array.search_k_batch(&queries, 3).unwrap();
+
+        let shared = &array;
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| scope.spawn(|| shared.search_k_batch(&queries, 3).unwrap()))
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("no panic"), sequential, "backend {backend:?}");
+            }
+        });
+    }
+}

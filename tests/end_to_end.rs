@@ -26,11 +26,8 @@ fn every_metric_full_pipeline() {
             .dim(16)
             .build()
             .unwrap_or_else(|e| panic!("{metric}: {e}"));
-        let stored = [
-            vec![0u32; 16],
-            vec![3u32; 16],
-            (0..16).map(|i| i as u32 % 4).collect::<Vec<_>>(),
-        ];
+        let stored =
+            [vec![0u32; 16], vec![3u32; 16], (0..16).map(|i| i as u32 % 4).collect::<Vec<_>>()];
         for v in &stored {
             engine.store(v.clone()).expect("stores");
         }
@@ -55,11 +52,9 @@ fn reconfiguration_round_trip() {
     engine.store(vec![3, 3, 0, 0, 3, 3, 0, 0]).expect("stores");
     let query = [1u32, 1, 2, 2, 0, 0, 3, 3];
     let before = engine.search(&query).expect("searches");
-    for metric in [
-        DistanceMetric::Manhattan,
-        DistanceMetric::EuclideanSquared,
-        DistanceMetric::Hamming,
-    ] {
+    for metric in
+        [DistanceMetric::Manhattan, DistanceMetric::EuclideanSquared, DistanceMetric::Hamming]
+    {
         engine.reconfigure(metric).expect("reconfigures");
     }
     let after = engine.search(&query).expect("searches");
@@ -121,9 +116,9 @@ fn knn_agreement_across_backends() {
     }
     let sw = exact_accuracy(&exact, &test);
 
-    let mut ideal = AmKnn::new(metric, bits, data.n_features(), 3, Backend::Ideal,
-        Technology::default())
-    .expect("builds");
+    let mut ideal =
+        AmKnn::new(metric, bits, data.n_features(), 3, Backend::Ideal, Technology::default())
+            .expect("builds");
     let mut noisy = AmKnn::new(
         metric,
         bits,

@@ -45,22 +45,29 @@ fn fig7_margin_behavior_reproduces() {
     let mut k = 0u64;
     let noisy_hard = mc.run(|_| {
         k += 1;
-        worst_case_trial(Backend::Noisy(Box::new(CircuitConfig { seed: k, ..Default::default() })), k, 5, 6)
+        worst_case_trial(
+            Backend::Noisy(Box::new(CircuitConfig { seed: k, ..Default::default() })),
+            k,
+            5,
+            6,
+        )
     });
     k = 0;
     let noisy_easy = mc.run(|_| {
         k += 1;
-        worst_case_trial(Backend::Noisy(Box::new(CircuitConfig { seed: k, ..Default::default() })), k, 5, 9)
+        worst_case_trial(
+            Backend::Noisy(Box::new(CircuitConfig { seed: k, ..Default::default() })),
+            k,
+            5,
+            9,
+        )
     });
     assert!(
         noisy_hard.accuracy() >= 0.75,
         "hard-case accuracy collapsed: {}",
         noisy_hard.accuracy()
     );
-    assert!(
-        noisy_easy.accuracy() > noisy_hard.accuracy() - 0.05,
-        "wider margin must not hurt"
-    );
+    assert!(noisy_easy.accuracy() > noisy_hard.accuracy() - 0.05, "wider margin must not hurt");
     assert!(noisy_easy.accuracy() >= 0.95, "easy case should be near-perfect");
 }
 

@@ -45,19 +45,18 @@ fn hdc_scale_tiling_is_exact_on_ideal_backend() {
 /// Tiled search under device variation stays close to the true distances
 /// (the per-tile errors average out rather than accumulate).
 #[test]
-fn tiled_noisy_errors_average_out()
-{
+fn tiled_noisy_errors_average_out() {
     let dim = 256;
     let tech = Technology::default();
     let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
     let enc = find_minimal_cell(&dm, &sizing_for(&tech)).expect("sizes").encoding;
     let cfg = CircuitConfig { seed: 9, ..Default::default() };
-    let mut tiled =
-        TiledArray::new(tech, enc, dim, 64, Backend::Noisy(Box::new(cfg)));
+    let mut tiled = TiledArray::new(tech, enc, dim, 64, Backend::Noisy(Box::new(cfg)));
     let stored = random_vectors(4, dim, 3);
     for v in &stored {
         tiled.store(v.clone()).unwrap();
     }
+    tiled.program(); // explicit write→search transition for the noisy tiles
     let query = random_vectors(1, dim, 4).remove(0);
     let out = tiled.search(&query).unwrap();
     let m = DistanceMetric::Hamming;
@@ -66,10 +65,7 @@ fn tiled_noisy_errors_average_out()
         let got = out.distances[r];
         // Hundreds of independent per-cell deviations: the aggregate error
         // stays within a few percent of the true distance.
-        assert!(
-            (got - want).abs() / want.max(1.0) < 0.05,
-            "row {r}: sensed {got}, true {want}"
-        );
+        assert!((got - want).abs() / want.max(1.0) < 0.05, "row {r}: sensed {got}, true {want}");
     }
 }
 
@@ -89,13 +85,8 @@ fn adc_readout_agrees_with_analog_decision() {
     let analog = array.search(&query).unwrap();
     let adc = AdcParams { bits: 12, full_scale: Amp(0.0), ..Default::default() };
     let readout = array.read_digital(&query, &adc, 4).unwrap();
-    let digital_nearest = readout
-        .codes
-        .iter()
-        .enumerate()
-        .min_by_key(|(_, &c)| c)
-        .map(|(i, _)| i)
-        .unwrap();
+    let digital_nearest =
+        readout.codes.iter().enumerate().min_by_key(|(_, &c)| c).map(|(i, _)| i).unwrap();
     assert_eq!(digital_nearest, analog.nearest);
     // Codes preserve the full distance ordering at 12-bit resolution.
     let mut by_distance: Vec<usize> = (0..stored.len()).collect();

@@ -1,0 +1,219 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API the FeReX
+//! benches use.
+//!
+//! The build environment cannot fetch the real crate, so this provides a
+//! small wall-clock harness with the same call surface: `criterion_group!`,
+//! `criterion_main!`, [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`] and [`Bencher::iter`]. Each benchmark is warmed up, then
+//! timed over an adaptive iteration count within a fixed per-benchmark
+//! budget; the median per-iteration time is printed. When any benchmark
+//! binary is run under `cargo test` (cargo passes `--test` to
+//! `harness = false` targets), measurement is skipped after a single
+//! smoke-run of each closure so the suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work (re-export surface of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Median per-iteration time of the last `iter` call, if measured.
+    last: Option<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.config.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: run until the clock has seen ~1/5 of the budget.
+        let warm_budget = self.config.budget / 5;
+        let t0 = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while t0.elapsed() < warm_budget || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed() / warm_iters.max(1) as u32;
+        // Sample batches sized to ~1/10 of the budget each.
+        let batch = ((self.config.budget.as_nanos() / 10) / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        let mut samples = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.config.budget && samples.len() < 100 {
+            let s = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(s.elapsed() / batch as u32);
+        }
+        samples.sort();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    budget: Duration,
+    test_mode: bool,
+}
+
+/// The top-level benchmark harness.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { config: Config { budget: Duration::from_millis(400), test_mode } }
+    }
+}
+
+fn run_one(config: &Config, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { config, last: None };
+    f(&mut b);
+    match b.last {
+        Some(t) => println!("bench {label:<48} {:>12.1} ns/iter", t.as_nanos() as f64),
+        None if config.test_mode => println!("bench {label:<48} ok (test mode)"),
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&self.config, id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.config.clone(), _parent: self }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op: the adaptive harness sizes its own sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrinks or grows the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.budget = d;
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&self.config, &label, &mut f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&self.config, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let config = Config { budget: Duration::from_millis(20), test_mode: false };
+        let mut b = Bencher { config: &config, last: None };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(64).id, "64");
+        assert_eq!(BenchmarkId::new("f", 2).id, "f/2");
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline stand-in for the subset of `rayon` the FeReX batch-serving path
+//! uses: `slice.par_iter().map(f).collect::<Vec<_>>()`, the `enumerate`
+//! variant, and `par_chunks`.
+//!
+//! The build environment cannot fetch the real crate. This implementation
+//! fans work out over `std::thread::scope` with one chunk per available
+//! core (item order is preserved in the collected output, like rayon's
+//! indexed parallel iterators). On a single-core host it degrades to a
+//! plain sequential loop with no thread overhead — callers get rayon's
+//! semantics either way, which is what the correctness tests pin down.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Runs `f` over `items`, in parallel when more than one core is available,
+/// preserving item order in the output.
+fn par_map_indexed<'a, T: Sync, O: Send, F: Fn(usize, &'a T) -> O + Sync>(
+    items: &'a [T],
+    f: F,
+) -> Vec<O> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<O>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let f = &f;
+        for (c, (in_chunk, out_chunk)) in items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            scope.spawn(move || {
+                for (i, (x, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
+                    *slot = Some(f(c * chunk + i, x));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|v| v.expect("worker filled every slot")).collect()
+}
+
+/// Parallel iterator over `&[T]` (the result of [`ParallelSlice::par_iter`]).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map; evaluation happens at [`MappedParIter::collect`] /
+    /// [`MappedParIter::for_each`] time.
+    pub fn map<O: Send, F: Fn(&'a T) -> O + Sync>(self, f: F) -> MappedParIter<'a, T, F> {
+        MappedParIter { items: self.items, f }
+    }
+
+    /// Pairs each item with its index, as `(usize, &T)`.
+    pub fn enumerate(self) -> EnumeratedParIter<'a, T> {
+        EnumeratedParIter { items: self.items }
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        par_map_indexed(self.items, |_, x| f(x));
+    }
+}
+
+/// A mapped parallel iterator.
+pub struct MappedParIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> MappedParIter<'a, T, F> {
+    /// Evaluates the map in parallel, preserving order.
+    pub fn collect<O, C: FromIterator<O>>(self) -> C
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        par_map_indexed(self.items, |_, x| (self.f)(x)).into_iter().collect()
+    }
+
+    /// Evaluates the map for its side effects.
+    pub fn for_each<O>(self, g: impl Fn(O) + Sync)
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        for v in par_map_indexed(self.items, |_, x| (self.f)(x)) {
+            g(v);
+        }
+    }
+}
+
+/// An enumerated parallel iterator.
+pub struct EnumeratedParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> EnumeratedParIter<'a, T> {
+    /// Parallel map over `(index, &item)` pairs.
+    pub fn map<O: Send, F: Fn((usize, &'a T)) -> O + Sync>(
+        self,
+        f: F,
+    ) -> EnumeratedMappedParIter<'a, T, F> {
+        EnumeratedMappedParIter { items: self.items, f }
+    }
+}
+
+/// A mapped, enumerated parallel iterator.
+pub struct EnumeratedMappedParIter<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> EnumeratedMappedParIter<'a, T, F> {
+    /// Evaluates the map in parallel, preserving order.
+    pub fn collect<O, C: FromIterator<O>>(self) -> C
+    where
+        O: Send,
+        F: Fn((usize, &'a T)) -> O + Sync,
+    {
+        par_map_indexed(self.items, |i, x| (self.f)((i, x))).into_iter().collect()
+    }
+}
+
+/// Parallel iterator over fixed-size chunks of a slice.
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Parallel map over each chunk.
+    pub fn map<O: Send, F: Fn(&'a [T]) -> O + Sync>(self, f: F) -> MappedParChunks<'a, T, F> {
+        MappedParChunks { items: self.items, size: self.size, f }
+    }
+}
+
+/// A mapped chunk iterator.
+pub struct MappedParChunks<'a, T, F> {
+    items: &'a [T],
+    size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, F> MappedParChunks<'a, T, F> {
+    /// Evaluates the map in parallel, preserving chunk order.
+    pub fn collect<O, C: FromIterator<O>>(self) -> C
+    where
+        O: Send,
+        F: Fn(&'a [T]) -> O + Sync,
+    {
+        let chunks: Vec<&[T]> = self.items.chunks(self.size).collect();
+        par_map_indexed(&chunks, |_, c| (self.f)(c)).into_iter().collect()
+    }
+}
+
+/// Extension trait putting `par_iter` / `par_chunks` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over the slice's items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+    /// A parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { items: self, size: chunk_size }
+    }
+}
+
+/// The import surface callers use (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::{current_num_threads, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_indices_are_global() {
+        let xs = vec!["a"; 257];
+        let idx: Vec<usize> = xs.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_cover_everything() {
+        let xs: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = xs.par_chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums.iter().sum::<u32>(), xs.iter().sum::<u32>());
+        assert_eq!(sums.len(), 11);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline placeholder for the optional `serde` dependency.
+//!
+//! The workspace's `serde` feature gates `#[cfg_attr(feature = "serde",
+//! derive(serde::Serialize, serde::Deserialize))]` attributes. This build
+//! environment cannot fetch the real crate, so the feature must stay
+//! disabled; this placeholder only keeps `cargo`'s dependency resolution
+//! satisfied. Enabling the workspace `serde` feature against this stub is a
+//! compile error by design (the derive macros do not exist here).
