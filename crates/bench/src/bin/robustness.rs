@@ -1,15 +1,24 @@
-//! Robustness sweep (supplementary): HDC's claimed resilience to input and
-//! hardware noise ("due to its holographicness, it has been reported to be
-//! robust against hardware noise", paper Sec. IV-B).
+//! Robustness sweeps: HDC's claimed resilience to input and hardware noise
+//! ("due to its holographicness, it has been reported to be robust against
+//! hardware noise", paper Sec. IV-B), plus the conformance fault-degradation
+//! report.
 //!
-//! Two sweeps on one trained model:
+//! Three sweeps:
 //! 1. **Input robustness** — accuracy vs Gaussian perturbation of the test
 //!    features (distribution shift).
 //! 2. **Hardware robustness** — accuracy vs scaled device variation
 //!    (0×, 1×, 2×, 4× the nominal σ_Vth/σ_R) at fixed inputs.
+//! 3. **Fault degradation** — the `ferex-conformance` standard report:
+//!    recall@1/recall@k vs per-cell fault rate across every metric, both
+//!    stochastic backends and all four hard-fault classes, regenerated
+//!    deterministically from `--seed` (or `FEREX_CONFORMANCE_SEED`).
 //!
 //! Run with: `cargo run --release -p ferex-bench --bin robustness`
+//! Flags: `--seed N` (conformance base seed, default 42), `--report PATH`
+//! (write the machine-readable JSON report), `--conformance-only` (skip the
+//! HDC sweeps — what the CI conformance job runs).
 
+use ferex_conformance::standard_report;
 use ferex_core::{Backend, CircuitConfig, DistanceMetric};
 use ferex_datasets::spec::UCIHAR;
 use ferex_datasets::synth::{generate, perturb, SynthOptions};
@@ -19,7 +28,70 @@ use ferex_hdc::am::{AmClassifier, AmConfig};
 use ferex_hdc::encoder::ProjectionEncoder;
 use ferex_hdc::model::HdcModel;
 
+struct Args {
+    seed: u64,
+    report_path: Option<String>,
+    conformance_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: std::env::var("FEREX_CONFORMANCE_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42),
+        report_path: None,
+        conformance_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("invalid --seed {v}"))?;
+            }
+            "--report" => args.report_path = Some(it.next().ok_or("--report needs a path")?),
+            "--conformance-only" => args.conformance_only = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn conformance_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    println!("# sweep 3: fault-rate degradation (conformance standard report, seed {})", args.seed);
+    let report = standard_report(args.seed);
+    println!(
+        "{:>11} | {:>8} | {:>6} | {:>6} | recall@1 by rising rate",
+        "metric", "backend", "fault", "drop@1"
+    );
+    for curve in &report.curves {
+        let recalls: Vec<String> =
+            curve.points.iter().map(|p| format!("{:.2}@{}", p.recall_at_1, p.rate)).collect();
+        println!(
+            "{:>11} | {:>8} | {:>6} | {:>6.2} | {}",
+            curve.metric,
+            curve.backend,
+            curve.fault,
+            curve.total_drop(),
+            recalls.join("  ")
+        );
+    }
+    let monotone = report.curves.iter().filter(|c| c.is_monotone_within(0.15)).count();
+    println!("\n# {}/{} curves monotone within 0.15 sampling slack", monotone, report.curves.len());
+    if let Some(path) = &args.report_path {
+        std::fs::write(path, report.to_json())?;
+        println!("# machine-readable report written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args()
+        .map_err(|e| format!("{e} (flags: --seed N --report PATH --conformance-only)"))?;
+    if args.conformance_only {
+        return conformance_sweep(&args);
+    }
     let spec = UCIHAR.scaled(0.05);
     let data = generate(&spec, &SynthOptions { noise: 4.0, ..Default::default() });
     let encoder = ProjectionEncoder::new(spec.n_features, 2048, 21);
@@ -65,6 +137,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{:>11.0}x | {:>8.1}%", scale, hw * 100.0);
     }
     println!("\n(graceful degradation on both axes is the HDC holographic-");
-    println!(" redundancy claim; a brittle representation would cliff)");
-    Ok(())
+    println!(" redundancy claim; a brittle representation would cliff)\n");
+    conformance_sweep(&args)
 }

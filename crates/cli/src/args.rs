@@ -1,6 +1,7 @@
 //! Minimal dependency-free argument parsing for the `ferex` binary.
 
 use ferex_core::DistanceMetric;
+use ferex_fefet::FaultPlan;
 use std::error::Error;
 use std::fmt;
 
@@ -39,6 +40,8 @@ pub enum Command {
         backend: BackendKind,
         /// RNG seed for stochastic backends.
         seed: u64,
+        /// Fault-injection plan for stochastic backends.
+        faults: FaultPlan,
     },
     /// Fig. 7-style Monte-Carlo campaign.
     MonteCarlo {
@@ -50,6 +53,8 @@ pub enum Command {
         far: usize,
         /// Simulation backend.
         backend: BackendKind,
+        /// Fault-injection plan for stochastic backends.
+        faults: FaultPlan,
     },
     /// Co-simulate an encoding on the device-level array.
     Verify {
@@ -112,6 +117,50 @@ fn parse_vector(s: &str) -> Result<Vec<u32>, ParseArgsError> {
 /// Parses semicolon-separated vectors.
 fn parse_vectors(s: &str) -> Result<Vec<Vec<u32>>, ParseArgsError> {
     s.split(';').map(parse_vector).collect()
+}
+
+/// Parses a fault-plan spec: comma-separated `key=value` pairs over
+/// `sa0|sa1|open|short` (per-cell rates in \[0,1\]), `short_r` (residual
+/// resistance fraction), `retention_s` (seconds) and `cycles` (program
+/// cycles). Unmentioned knobs keep their benign defaults, so `--faults
+/// "sa1=0.05"` injects exactly one fault class.
+fn parse_fault_plan(s: &str) -> Result<FaultPlan, ParseArgsError> {
+    let mut plan = FaultPlan::none();
+    for pair in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| err(format!("fault spec '{pair}' is not key=value")))?;
+        let v: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("invalid fault value '{value}' for '{key}'")))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(err(format!("fault value for '{key}' must be finite and >= 0")));
+        }
+        let rate = |v: f64| -> Result<f64, ParseArgsError> {
+            if v <= 1.0 {
+                Ok(v)
+            } else {
+                Err(err(format!("fault rate '{key}' must be within [0,1]")))
+            }
+        };
+        match key.trim() {
+            "sa0" => plan.sa0_rate = rate(v)?,
+            "sa1" => plan.sa1_rate = rate(v)?,
+            "open" => plan.open_rate = rate(v)?,
+            "short" => plan.short_rate = rate(v)?,
+            "short_r" => plan.short_residual_r = v,
+            "retention_s" => plan.retention_seconds = v,
+            "cycles" => plan.endurance_cycles = v,
+            other => {
+                return Err(err(format!(
+                    "unknown fault knob '{other}' \
+                     (sa0|sa1|open|short|short_r|retention_s|cycles)"
+                )))
+            }
+        }
+    }
+    Ok(plan)
 }
 
 struct Flags<'a> {
@@ -197,7 +246,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         }
         "search" => {
             let flags = Flags::new(rest)?;
-            flags.ensure_known(&["metric", "bits", "store", "query", "backend", "seed"])?;
+            flags
+                .ensure_known(&["metric", "bits", "store", "query", "backend", "seed", "faults"])?;
             let metric = parse_metric(flags.require("metric")?)?;
             let bits = flags
                 .get("bits")
@@ -213,11 +263,13 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .map(|s| s.parse::<u64>().map_err(|_| err("invalid --seed")))
                 .transpose()?
                 .unwrap_or(0);
-            Ok(Command::Search { metric, bits, stored, query, backend, seed })
+            let faults =
+                flags.get("faults").map(parse_fault_plan).transpose()?.unwrap_or(FaultPlan::none());
+            Ok(Command::Search { metric, bits, stored, query, backend, seed, faults })
         }
         "montecarlo" | "mc" => {
             let flags = Flags::new(rest)?;
-            flags.ensure_known(&["runs", "near", "far", "backend"])?;
+            flags.ensure_known(&["runs", "near", "far", "backend", "faults"])?;
             let parse_usize = |name: &str, default: usize| -> Result<usize, ParseArgsError> {
                 flags
                     .get(name)
@@ -233,7 +285,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             if near >= far {
                 return Err(err("--near must be smaller than --far"));
             }
-            Ok(Command::MonteCarlo { runs, near, far, backend })
+            let faults =
+                flags.get("faults").map(parse_fault_plan).transpose()?.unwrap_or(FaultPlan::none());
+            Ok(Command::MonteCarlo { runs, near, far, backend, faults })
         }
         other => Err(err(format!("unknown subcommand '{other}' (try 'ferex help')"))),
     }
@@ -247,16 +301,24 @@ USAGE:
   ferex encode --metric <hamming|manhattan|euclidean> [--bits N]
   ferex search --metric <m> --store \"0,1,2;3,2,1\" --query \"0,1,2\"
                [--bits N] [--backend ideal|noisy|circuit] [--seed N]
+               [--faults SPEC]
   ferex verify --metric <m> [--bits N]
   ferex montecarlo [--runs N] [--near D] [--far D]
-               [--backend noisy|circuit]
+               [--backend noisy|circuit] [--faults SPEC]
   ferex info
   ferex help
+
+FAULT SPEC (stochastic backends; unmentioned knobs stay benign):
+  comma-separated key=value over sa0|sa1|open|short (per-cell rates),
+  short_r (residual resistance fraction), retention_s (seconds),
+  cycles (program/erase cycles), e.g. \"sa1=0.02,open=0.01,cycles=1e7\"
 
 EXAMPLES:
   ferex encode --metric hamming
   ferex search --metric manhattan --store \"0,0;3,3\" --query \"1,0\"
-  ferex montecarlo --runs 200 --backend circuit
+  ferex search --metric hd --store \"0,0;3,3\" --query \"1,0\" \\
+               --backend noisy --faults \"sa1=0.05,short=0.01\"
+  ferex montecarlo --runs 200 --backend circuit --faults \"open=0.02\"
 ";
 
 #[cfg(test)]
@@ -283,13 +345,14 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Search { metric, stored, query, backend, seed, bits } => {
+            Command::Search { metric, stored, query, backend, seed, bits, faults } => {
                 assert_eq!(metric, DistanceMetric::EuclideanSquared);
                 assert_eq!(stored, vec![vec![0, 1], vec![2, 3]]);
                 assert_eq!(query, vec![1, 1]);
                 assert_eq!(backend, BackendKind::Noisy);
                 assert_eq!(seed, 7);
                 assert_eq!(bits, 2);
+                assert!(faults.is_benign());
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -300,13 +363,56 @@ mod tests {
         let cmd = parse(&argv("montecarlo")).unwrap();
         assert_eq!(
             cmd,
-            Command::MonteCarlo { runs: 100, near: 5, far: 6, backend: BackendKind::Noisy }
+            Command::MonteCarlo {
+                runs: 100,
+                near: 5,
+                far: 6,
+                backend: BackendKind::Noisy,
+                faults: FaultPlan::none()
+            }
         );
         let cmd = parse(&argv("mc --runs 10 --near 3 --far 9 --backend circuit")).unwrap();
         assert_eq!(
             cmd,
-            Command::MonteCarlo { runs: 10, near: 3, far: 9, backend: BackendKind::Circuit }
+            Command::MonteCarlo {
+                runs: 10,
+                near: 3,
+                far: 9,
+                backend: BackendKind::Circuit,
+                faults: FaultPlan::none()
+            }
         );
+    }
+
+    #[test]
+    fn parses_fault_specs() {
+        let cmd = parse(&argv(
+            "search --metric hd --store 0,1 --query 0,1 --backend noisy \
+             --faults sa0=0.01,sa1=0.02,open=0.005,short=0.03,short_r=0.2,retention_s=1e7,cycles=1e6",
+        ))
+        .unwrap();
+        let Command::Search { faults, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(faults.sa0_rate, 0.01);
+        assert_eq!(faults.sa1_rate, 0.02);
+        assert_eq!(faults.open_rate, 0.005);
+        assert_eq!(faults.short_rate, 0.03);
+        assert_eq!(faults.short_residual_r, 0.2);
+        assert_eq!(faults.retention_seconds, 1e7);
+        assert_eq!(faults.endurance_cycles, 1e6);
+        // Partial specs leave the rest benign.
+        let cmd = parse(&argv("mc --faults sa1=0.05")).unwrap();
+        let Command::MonteCarlo { faults, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(faults.sa1_rate, 0.05);
+        assert_eq!(faults.sa0_rate, 0.0);
+        assert!(faults.has_hard_faults());
+    }
+
+    #[test]
+    fn rejects_malformed_fault_specs() {
+        for spec in ["sa1", "sa1=x", "sa1=1.5", "sa1=-0.1", "bogus=0.1", "sa1=inf"] {
+            let line = format!("mc --faults {spec}");
+            assert!(parse(&argv(&line)).is_err(), "spec '{spec}' should be rejected");
+        }
     }
 
     #[test]

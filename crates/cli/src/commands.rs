@@ -7,7 +7,8 @@ use ferex_core::{
     cosimulate, find_minimal_cell, sizing_for, Backend, CircuitConfig, DistanceMatrix,
     DistanceMetric, Ferex, FerexError,
 };
-use ferex_fefet::Technology;
+use ferex_datasets::synth::flip_symbol_bits;
+use ferex_fefet::{FaultPlan, Technology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::error::Error;
@@ -32,15 +33,12 @@ impl From<FerexError> for CommandError {
     }
 }
 
-fn backend_of(kind: BackendKind, seed: u64) -> Backend {
+fn backend_of(kind: BackendKind, seed: u64, faults: FaultPlan) -> Backend {
+    let cfg = || Box::new(CircuitConfig { seed, faults, ..Default::default() });
     match kind {
         BackendKind::Ideal => Backend::Ideal,
-        BackendKind::Noisy => {
-            Backend::Noisy(Box::new(CircuitConfig { seed, ..Default::default() }))
-        }
-        BackendKind::Circuit => {
-            Backend::Circuit(Box::new(CircuitConfig { seed, ..Default::default() }))
-        }
+        BackendKind::Noisy => Backend::Noisy(cfg()),
+        BackendKind::Circuit => Backend::Circuit(cfg()),
     }
 }
 
@@ -54,11 +52,11 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Info => Ok(render_info(&Technology::default())),
         Command::Encode { metric, bits } => render_encode(*metric, *bits),
-        Command::Search { metric, bits, stored, query, backend, seed } => {
-            render_search(*metric, *bits, stored, query, *backend, *seed)
+        Command::Search { metric, bits, stored, query, backend, seed, faults } => {
+            render_search(*metric, *bits, stored, query, *backend, *seed, *faults)
         }
-        Command::MonteCarlo { runs, near, far, backend } => {
-            render_montecarlo(*runs, *near, *far, *backend)
+        Command::MonteCarlo { runs, near, far, backend, faults } => {
+            render_montecarlo(*runs, *near, *far, *backend, *faults)
         }
         Command::Verify { metric, bits } => render_verify(*metric, *bits),
     }
@@ -167,6 +165,7 @@ fn render_search(
     query: &[u32],
     backend: BackendKind,
     seed: u64,
+    faults: FaultPlan,
 ) -> Result<String, CommandError> {
     if stored.is_empty() {
         return Err(CommandError("--store must contain at least one vector".into()));
@@ -179,7 +178,7 @@ fn render_search(
         .metric(metric)
         .bits(bits)
         .dim(dim)
-        .backend(backend_of(backend, seed))
+        .backend(backend_of(backend, seed, faults))
         .build()
         .map_err(|e| CommandError(e.to_string()))?;
     for v in stored {
@@ -210,6 +209,7 @@ fn render_montecarlo(
     near: usize,
     far: usize,
     backend: BackendKind,
+    faults: FaultPlan,
 ) -> Result<String, CommandError> {
     const DIM: usize = 48;
     let mc = MonteCarlo { runs, seed: 0xC11 };
@@ -217,28 +217,18 @@ fn render_montecarlo(
     let result = mc.run(|_| {
         k += 1;
         let mut rng = StdRng::seed_from_u64(k);
-        let query: Vec<u32> = (0..DIM).map(|_| rng.gen_range(0..4u32)).collect();
-        let flip = |v: &[u32], n: usize, rng: &mut StdRng| -> Vec<u32> {
-            let mut out = v.to_vec();
-            let mut seen = std::collections::HashSet::new();
-            while seen.len() < n {
-                let pos = rng.gen_range(0..out.len() * 2);
-                if seen.insert(pos) {
-                    out[pos / 2] ^= 1 << (pos % 2);
-                }
-            }
-            out
-        };
+        const BITS: u32 = 2;
+        let query: Vec<u32> = (0..DIM).map(|_| rng.gen_range(0..1u32 << BITS)).collect();
         let mut engine = Ferex::builder()
             .metric(DistanceMetric::Hamming)
-            .bits(2)
+            .bits(BITS)
             .dim(DIM)
-            .backend(backend_of(backend, k))
+            .backend(backend_of(backend, k, faults))
             .build()
             .expect("2-bit Hamming encodes");
-        engine.store(flip(&query, near, &mut rng)).expect("stores");
+        engine.store(flip_symbol_bits(&query, BITS, near, &mut rng)).expect("stores");
         for _ in 0..8 {
-            engine.store(flip(&query, far, &mut rng)).expect("stores");
+            engine.store(flip_symbol_bits(&query, BITS, far, &mut rng)).expect("stores");
         }
         engine.search(&query).expect("searches").nearest == 0
     });
@@ -298,6 +288,33 @@ mod tests {
         let out = run_line("montecarlo --runs 10 --near 5 --far 9").unwrap();
         assert!(out.contains("worst-case search accuracy"));
         assert!(out.contains("10 runs"));
+    }
+
+    #[test]
+    fn faulted_search_diverges_from_benign() {
+        let benign =
+            "search --metric hamming --store 0,0,0,0;3,3,3,3 --query 0,0,0,0 --backend noisy \
+             --seed 9";
+        let faulted = format!("{benign} --faults sa1=1.0");
+        let clean = run_line(benign).unwrap();
+        let dead = run_line(&faulted).unwrap();
+        assert!(clean.contains("row 0: distance 0.00"), "{clean}");
+        assert!(!clean.contains("row 1: distance 0.00"), "{clean}");
+        // Every cell stuck depolarized: no mismatch current flows anywhere,
+        // so the far row's sensed distance collapses to zero too.
+        assert_ne!(clean, dead);
+        assert!(dead.contains("row 1: distance 0.00"), "{dead}");
+        // Deterministic: same spec, same output.
+        assert_eq!(run_line(&faulted).unwrap(), dead);
+    }
+
+    #[test]
+    fn faulted_montecarlo_degrades_accuracy() {
+        let clean = run_line("montecarlo --runs 12 --near 2 --far 20").unwrap();
+        let dead =
+            run_line("montecarlo --runs 12 --near 2 --far 20 --faults sa0=0.5,open=0.3").unwrap();
+        assert!(clean.contains("accuracy"), "{clean}");
+        assert_ne!(clean, dead, "heavy faults must perturb the campaign");
     }
 
     #[test]

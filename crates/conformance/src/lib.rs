@@ -1,0 +1,35 @@
+//! # ferex-conformance — golden-model differential conformance harness
+//!
+//! The correctness backbone of the stack: every backend, fault regime and
+//! serving path is checked against a pure-digital reference before any
+//! scaling work trusts it. Three layers:
+//!
+//! 1. [`oracle`] — an exact digital nearest-neighbor reference over any
+//!    stored matrix, with the same deterministic tie policy as the analog
+//!    sensing chain (lowest row index wins).
+//! 2. [`harness`] — generators sweeping {metric × bits × backend ×
+//!    batch-vs-sequential × fault plan}: bit-exact Ideal agreement,
+//!    statistical-vs-device divergence tolerances, and recall degradation
+//!    curves under rising fault rates.
+//! 3. [`report`] — the machine-readable degradation report (hand-rolled
+//!    JSON; the vendored `serde` is an inert stub) consumed by
+//!    `ferex-bench`'s `robustness` binary and archived by CI.
+//!
+//! The contract every sweep asserts:
+//!
+//! * **(a)** the Ideal backend is *bit-exact* against the oracle for every
+//!   metric, bit width, and serving path;
+//! * **(b)** the statistical (`Noisy`) and device-level (`Circuit`)
+//!   backends agree with each other within stated tolerances on identical
+//!   fault maps;
+//! * **(c)** accuracy (recall@1 / recall@k) degrades monotonically — within
+//!   a stated sampling slack — as fault rates rise, reproducibly from a
+//!   seed.
+
+pub mod harness;
+pub mod oracle;
+pub mod report;
+
+pub use harness::{run_sweep, standard_report, standard_specs, BackendKind, FaultKind, SweepSpec};
+pub use oracle::Oracle;
+pub use report::{ConformanceReport, CurvePoint, DegradationCurve};

@@ -1,0 +1,144 @@
+//! Pure-digital nearest-neighbor reference oracle.
+//!
+//! Computes exact symbol-domain distances with `u64` integer arithmetic —
+//! no currents, no voltages, no floats — and ranks rows by
+//! `(distance, row index)` ascending. That tie policy matches the analog
+//! chain end to end: an ideal LTA reports the *first* minimal row
+//! ([`ferex_analog::lta::LtaParams::sense`]) and iterative masking pops
+//! strictly-smaller rows first ([`ferex_analog::lta::LtaParams::sense_k`]),
+//! so on a fault-free Ideal backend every oracle answer must be reproduced
+//! bit-exactly.
+
+use ferex_core::DistanceMetric;
+
+/// Exact digital reference for nearest-neighbor search over a stored
+/// matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ferex_conformance::Oracle;
+/// use ferex_core::DistanceMetric;
+///
+/// let oracle = Oracle::new(DistanceMetric::Hamming, vec![vec![0, 1], vec![3, 3]]);
+/// assert_eq!(oracle.distances(&[0, 1]), vec![0, 3]);
+/// assert_eq!(oracle.nearest(&[0, 1]), 0);
+/// assert_eq!(oracle.nearest_k(&[0, 1], 2), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    metric: DistanceMetric,
+    stored: Vec<Vec<u32>>,
+}
+
+impl Oracle {
+    /// Builds an oracle over `stored` row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stored` is empty or its rows have unequal lengths.
+    pub fn new(metric: DistanceMetric, stored: Vec<Vec<u32>>) -> Self {
+        assert!(!stored.is_empty(), "oracle needs at least one stored row");
+        let dim = stored[0].len();
+        assert!(stored.iter().all(|r| r.len() == dim), "stored rows must share one dimension");
+        Oracle { metric, stored }
+    }
+
+    /// The metric this oracle ranks by.
+    pub fn metric(&self) -> DistanceMetric {
+        self.metric
+    }
+
+    /// The stored rows.
+    pub fn stored(&self) -> &[Vec<u32>] {
+        &self.stored
+    }
+
+    /// Exact integer distance from `query` to every stored row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimension.
+    pub fn distances(&self, query: &[u32]) -> Vec<u64> {
+        self.stored.iter().map(|row| self.metric.vector_distance(query, row)).collect()
+    }
+
+    /// Index of the nearest row; ties break to the lowest index.
+    pub fn nearest(&self, query: &[u32]) -> usize {
+        self.rank(query)[0]
+    }
+
+    /// The `k` nearest row indices, ranked by `(distance, index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the stored count.
+    pub fn nearest_k(&self, query: &[u32], k: usize) -> Vec<usize> {
+        assert!(k > 0 && k <= self.stored.len(), "k = {k} out of range");
+        let mut order = self.rank(query);
+        order.truncate(k);
+        order
+    }
+
+    /// Full ranking of all rows by `(distance, index)` ascending.
+    pub fn rank(&self, query: &[u32]) -> Vec<usize> {
+        let d = self.distances(query);
+        let mut order: Vec<usize> = (0..d.len()).collect();
+        order.sort_by_key(|&i| (d[i], i));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances_match_the_metric_definition() {
+        let stored = vec![vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 1, 1, 1]];
+        let q = [0u32, 1, 2, 0];
+        for metric in DistanceMetric::ALL {
+            let oracle = Oracle::new(metric, stored.clone());
+            let d = oracle.distances(&q);
+            for (i, row) in stored.iter().enumerate() {
+                assert_eq!(d[i], metric.vector_distance(&q, row), "{metric} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_index() {
+        // Rows 0 and 1 are equidistant from the query under Hamming.
+        let oracle = Oracle::new(DistanceMetric::Hamming, vec![vec![0, 1], vec![1, 0], vec![0, 0]]);
+        let q = [0u32, 0];
+        assert_eq!(oracle.distances(&q), vec![1, 1, 0]);
+        assert_eq!(oracle.nearest(&q), 2);
+        assert_eq!(oracle.nearest_k(&q, 3), vec![2, 0, 1], "tied rows in index order");
+    }
+
+    #[test]
+    fn rank_is_a_permutation_sorted_by_distance() {
+        let stored: Vec<Vec<u32>> = (0..6).map(|r| vec![r as u32 % 4; 5]).collect();
+        let oracle = Oracle::new(DistanceMetric::Manhattan, stored);
+        let order = oracle.rank(&[2; 5]);
+        let d = oracle.distances(&[2; 5]);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        for w in order.windows(2) {
+            assert!((d[w[0]], w[0]) < (d[w[1]], w[1]), "out of order: {order:?} over {d:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stored row")]
+    fn empty_matrix_is_rejected() {
+        let _ = Oracle::new(DistanceMetric::Hamming, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimension")]
+    fn ragged_matrix_is_rejected() {
+        let _ = Oracle::new(DistanceMetric::Hamming, vec![vec![0, 1], vec![0]]);
+    }
+}

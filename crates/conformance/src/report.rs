@@ -1,0 +1,191 @@
+//! Machine-readable degradation report.
+//!
+//! Serialized by hand as JSON (the vendored `serde` is an inert stub, so no
+//! derive machinery is available offline). The schema is versioned by the
+//! `schema` field; consumers are `ferex-bench`'s `robustness` binary and
+//! the CI conformance job, which archives the file as a build artifact.
+
+use std::fmt::Write as _;
+
+/// One sampled point of a degradation curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Injected per-cell fault rate.
+    pub rate: f64,
+    /// Fraction of queries whose device top-1 equals the oracle top-1.
+    pub recall_at_1: f64,
+    /// Fraction of queries whose device top-k contains the oracle top-1.
+    pub recall_at_k: f64,
+}
+
+/// Recall-vs-fault-rate curve for one (metric, backend, fault) cell of the
+/// sweep matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationCurve {
+    /// Metric label (`hamming`, `manhattan`, `euclidean2`).
+    pub metric: String,
+    /// Backend label (`noisy`, `circuit`).
+    pub backend: String,
+    /// Fault-type label (`sa0`, `sa1`, `open`, `short`).
+    pub fault: String,
+    /// Stored rows per trial array.
+    pub rows: usize,
+    /// Symbols per vector.
+    pub dim: usize,
+    /// Queries per trial.
+    pub n_queries: usize,
+    /// Independent arrays averaged per rate point.
+    pub trials: u64,
+    /// The `k` of `recall_at_k`.
+    pub k: usize,
+    /// Sampled points, in ascending rate order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl DegradationCurve {
+    /// `true` if recall@1 never rises by more than `slack` between
+    /// consecutive rate points — the monotone-degradation contract with a
+    /// finite-sample allowance.
+    pub fn is_monotone_within(&self, slack: f64) -> bool {
+        self.points.windows(2).all(|w| w[1].recall_at_1 <= w[0].recall_at_1 + slack)
+    }
+
+    /// Total recall@1 drop from the first to the last rate point.
+    pub fn total_drop(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => a.recall_at_1 - b.recall_at_1,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The full conformance degradation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConformanceReport {
+    /// Base seed the whole sweep derives from.
+    pub seed: u64,
+    /// Symbol bit width of the sweep.
+    pub bits: u32,
+    /// Curves for every (metric, backend, fault) combination swept.
+    pub curves: Vec<DegradationCurve>,
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a finite `f64` as a JSON number (`Display` for `f64` emits the
+/// shortest round-trip decimal, which is valid JSON for finite values).
+fn json_num(x: f64) -> String {
+    assert!(x.is_finite(), "report numbers must be finite, got {x}");
+    format!("{x}")
+}
+
+impl ConformanceReport {
+    /// Schema tag embedded in every serialized report.
+    pub const SCHEMA: &'static str = "ferex-conformance-degradation-v1";
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(Self::SCHEMA));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"bits\": {},", self.bits);
+        out.push_str("  \"curves\": [\n");
+        for (i, c) in self.curves.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"metric\": \"{}\",", json_escape(&c.metric));
+            let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(&c.backend));
+            let _ = writeln!(out, "      \"fault\": \"{}\",", json_escape(&c.fault));
+            let _ = writeln!(out, "      \"rows\": {},", c.rows);
+            let _ = writeln!(out, "      \"dim\": {},", c.dim);
+            let _ = writeln!(out, "      \"n_queries\": {},", c.n_queries);
+            let _ = writeln!(out, "      \"trials\": {},", c.trials);
+            let _ = writeln!(out, "      \"k\": {},", c.k);
+            out.push_str("      \"points\": [\n");
+            for (j, p) in c.points.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"rate\": {}, \"recall_at_1\": {}, \"recall_at_k\": {}}}",
+                    json_num(p.rate),
+                    json_num(p.recall_at_1),
+                    json_num(p.recall_at_k),
+                );
+                out.push_str(if j + 1 < c.points.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 < self.curves.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConformanceReport {
+        ConformanceReport {
+            seed: 42,
+            bits: 2,
+            curves: vec![DegradationCurve {
+                metric: "hamming".into(),
+                backend: "noisy".into(),
+                fault: "sa1".into(),
+                rows: 8,
+                dim: 6,
+                n_queries: 16,
+                trials: 2,
+                k: 3,
+                points: vec![
+                    CurvePoint { rate: 0.0, recall_at_1: 1.0, recall_at_k: 1.0 },
+                    CurvePoint { rate: 0.25, recall_at_1: 0.5, recall_at_k: 0.75 },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_schema_and_all_points() {
+        let json = sample().to_json();
+        assert!(json.contains("\"schema\": \"ferex-conformance-degradation-v1\""));
+        assert!(json.contains("\"metric\": \"hamming\""));
+        assert!(json.contains("{\"rate\": 0, \"recall_at_1\": 1, \"recall_at_k\": 1}"));
+        assert!(json.contains("{\"rate\": 0.25, \"recall_at_1\": 0.5, \"recall_at_k\": 0.75}"));
+        // Structurally balanced.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn monotonicity_and_drop_helpers() {
+        let report = sample();
+        let curve = &report.curves[0];
+        assert!(curve.is_monotone_within(0.0));
+        assert!((curve.total_drop() - 0.5).abs() < 1e-12);
+        let mut rising = curve.clone();
+        rising.points.reverse();
+        assert!(!rising.is_monotone_within(0.1));
+        assert!(rising.is_monotone_within(0.6));
+    }
+
+    #[test]
+    fn escaping_is_json_safe() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\tend"), "tab\\u0009end");
+    }
+}

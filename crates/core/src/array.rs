@@ -40,9 +40,10 @@ use crate::error::FerexError;
 use ferex_analog::crossbar::{ArrayOptions, ColumnDrive, Crossbar};
 use ferex_analog::lta::LtaParams;
 use ferex_analog::parasitics::WireParams;
+use ferex_fefet::faults::EffectiveCell;
 use ferex_fefet::math::splitmix64;
 use ferex_fefet::units::{Amp, Volt};
-use ferex_fefet::{Technology, VariationModel};
+use ferex_fefet::{CellFault, FaultPlan, Technology, VariationModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -51,6 +52,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Domain-separation salt for per-query sensing streams, keeping them
 /// disjoint from the per-tile seed derivation that feeds the same mixer.
 const QUERY_STREAM_SALT: u64 = 0x51E0_D9AD_35B6_9E21;
+
+/// Resistance scale applied to a [`CellFault::ResistorOpen`] cell in the
+/// device-level backend: large enough that the residual current is far
+/// below the sensing floor, small enough to keep the bisection solve
+/// well-conditioned.
+const OPEN_RESISTANCE_SCALE: f64 = 1.0e9;
 
 /// Circuit-backend configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +70,13 @@ pub struct CircuitConfig {
     pub options: ArrayOptions,
     /// Wire parasitics.
     pub wire: WireParams,
-    /// Seed for variation sampling and LTA offset noise.
+    /// Fault-injection and aging campaign. The default plan is benign (no
+    /// hard faults, no aging), so existing configurations are unaffected.
+    /// Per-cell fault maps derive from this config's `seed`, so the Noisy
+    /// and Circuit backends built from the same config fault the same
+    /// cells — the basis of the differential conformance checks.
+    pub faults: FaultPlan,
+    /// Seed for variation sampling, fault maps and LTA offset noise.
     pub seed: u64,
 }
 
@@ -74,6 +87,7 @@ impl Default for CircuitConfig {
             lta: LtaParams::default(),
             options: ArrayOptions::default(),
             wire: WireParams::default(),
+            faults: FaultPlan::none(),
             seed: 0xFE12EC5,
         }
     }
@@ -138,6 +152,12 @@ pub struct FerexArray {
     crossbar: Option<Crossbar>,
     /// Per-cell variation samples of the `Noisy` backend (row-major).
     noisy_samples: Option<Vec<ferex_fefet::DeviceSample>>,
+    /// Per-cell hard-fault map (row-major physical cells), materialized by
+    /// [`FerexArray::program`] when the backend's fault plan is non-benign.
+    fault_map: Option<Vec<CellFault>>,
+    /// Aged per-level thresholds (index = stored level), materialized
+    /// alongside `fault_map`; `None` means fresh nominal levels.
+    aged_vth: Option<Vec<Volt>>,
     /// Backend seed, cached for per-query stream derivation.
     seed: u64,
     /// Generator consumed by [`FerexArray::program`] (variation sampling).
@@ -158,6 +178,8 @@ impl Clone for FerexArray {
             stored: self.stored.clone(),
             crossbar: self.crossbar.clone(),
             noisy_samples: self.noisy_samples.clone(),
+            fault_map: self.fault_map.clone(),
+            aged_vth: self.aged_vth.clone(),
             seed: self.seed,
             program_rng: self.program_rng.clone(),
             query_counter: AtomicU64::new(self.query_counter.load(Ordering::Relaxed)),
@@ -185,6 +207,8 @@ impl FerexArray {
             stored: Vec::new(),
             crossbar: None,
             noisy_samples: None,
+            fault_map: None,
+            aged_vth: None,
             seed,
             program_rng: StdRng::seed_from_u64(seed),
             query_counter: AtomicU64::new(0),
@@ -236,9 +260,18 @@ impl FerexArray {
             }
         }
         self.encoding = encoding;
+        self.invalidate_physical_state();
+        Ok(())
+    }
+
+    /// Drops all materialized physical state (crossbar cells, variation
+    /// samples, fault maps): any mutation re-stales the array until the
+    /// next [`FerexArray::program`].
+    fn invalidate_physical_state(&mut self) {
         self.crossbar = None;
         self.noisy_samples = None;
-        Ok(())
+        self.fault_map = None;
+        self.aged_vth = None;
     }
 
     /// Checks that a vector has this array's dimension and that every
@@ -272,8 +305,7 @@ impl FerexArray {
     pub fn store(&mut self, vector: Vec<u32>) -> Result<(), FerexError> {
         self.validate(&vector)?;
         self.stored.push(vector);
-        self.crossbar = None; // re-program lazily
-        self.noisy_samples = None;
+        self.invalidate_physical_state(); // re-program lazily
         Ok(())
     }
 
@@ -291,8 +323,7 @@ impl FerexArray {
     /// Clears all stored vectors.
     pub fn clear(&mut self) {
         self.stored.clear();
-        self.crossbar = None;
-        self.noisy_samples = None;
+        self.invalidate_physical_state();
     }
 
     /// Removes the vector at `row` (later rows shift up — the physical
@@ -305,8 +336,7 @@ impl FerexArray {
     pub fn remove(&mut self, row: usize) -> Vec<u32> {
         assert!(row < self.stored.len(), "row {row} out of range");
         let removed = self.stored.remove(row);
-        self.crossbar = None;
-        self.noisy_samples = None;
+        self.invalidate_physical_state();
         removed
     }
 
@@ -323,8 +353,7 @@ impl FerexArray {
         assert!(row < self.stored.len(), "row {row} out of range");
         self.validate(&vector)?;
         self.stored[row] = vector;
-        self.crossbar = None;
-        self.noisy_samples = None;
+        self.invalidate_physical_state();
         Ok(())
     }
 
@@ -362,6 +391,7 @@ impl FerexArray {
                 }
                 let rows = self.stored.len();
                 let cols = self.physical_cols();
+                let plan = cfg.faults;
                 let mut xb = Crossbar::with_variation(
                     self.tech.clone(),
                     cfg.wire,
@@ -370,16 +400,49 @@ impl FerexArray {
                     &cfg.variation,
                     &mut self.program_rng,
                 );
+                let fault_map = (!plan.is_benign()).then(|| plan.fault_map(self.seed, rows * cols));
+                let aged = plan.has_aging().then(|| plan.aged_vth_table(&self.tech));
                 let k = self.encoding.k;
                 for (r, vector) in self.stored.iter().enumerate() {
                     for (d, &s) in vector.iter().enumerate() {
                         let st = &self.encoding.stored[s as usize];
                         for f in 0..k {
-                            xb.program(r, d * k + f, st.vth_levels[f]);
+                            let col = d * k + f;
+                            let level = st.vth_levels[f];
+                            let fault =
+                                fault_map.as_ref().map_or(CellFault::None, |m| m[r * cols + col]);
+                            match fault {
+                                CellFault::None | CellFault::ResistorShort => {
+                                    xb.program(r, col, level);
+                                    if let Some(aged) = &aged {
+                                        // Aging moves the written polarization;
+                                        // the device's own ΔVth stays intact.
+                                        let p = self.tech.polarization_for_vth(aged[level]);
+                                        xb.cell_mut(r, col)
+                                            .fefet_mut()
+                                            .ferroelectric_mut()
+                                            .set_polarization(p);
+                                    }
+                                    if fault == CellFault::ResistorShort {
+                                        xb.cell_mut(r, col).scale_resistance(plan.short_residual_r);
+                                    }
+                                }
+                                // Stuck fully set: conducts as the lowest level.
+                                CellFault::StuckAtLowVth => xb.program(r, col, 0),
+                                // Stuck fully reset: the erased state sits above
+                                // every search level, so leave the fresh cell.
+                                CellFault::StuckAtHighVth => {}
+                                CellFault::ResistorOpen => {
+                                    xb.program(r, col, level);
+                                    xb.cell_mut(r, col).scale_resistance(OPEN_RESISTANCE_SCALE);
+                                }
+                            }
                         }
                     }
                 }
                 self.crossbar = Some(xb);
+                self.fault_map = fault_map;
+                self.aged_vth = aged;
             }
             Backend::Noisy(cfg) => {
                 if self.noisy_samples.is_some() || self.stored.is_empty() {
@@ -387,6 +450,7 @@ impl FerexArray {
                 }
                 let n = self.stored.len() * self.physical_cols();
                 let variation = cfg.variation;
+                let plan = cfg.faults;
                 let samples = (0..n)
                     .map(|_| {
                         if variation.is_nominal() {
@@ -397,8 +461,20 @@ impl FerexArray {
                     })
                     .collect();
                 self.noisy_samples = Some(samples);
+                if !plan.is_benign() {
+                    self.fault_map = Some(plan.fault_map(self.seed, n));
+                    self.aged_vth = Some(plan.aged_vth_table(&self.tech));
+                }
             }
         }
+    }
+
+    /// The per-cell fault map materialized by the last
+    /// [`FerexArray::program`] (row-major physical cells), or `None` when
+    /// the fault plan is benign, the array unprogrammed, or the backend
+    /// ideal.
+    pub fn fault_map(&self) -> Option<&[CellFault]> {
+        self.fault_map.as_deref()
     }
 
     /// `true` when the physical state matches the stored contents — i.e.
@@ -476,8 +552,9 @@ impl FerexArray {
                     .map(|i| i.value() / i_unit)
                     .collect())
             }
-            Backend::Noisy(_) => {
+            Backend::Noisy(cfg) => {
                 let samples = self.noisy_samples.as_ref().expect("guarded by require_programmed");
+                let plan = &cfg.faults;
                 let k = self.encoding.k;
                 let cols = self.physical_cols();
                 let mut out = Vec::with_capacity(self.stored.len());
@@ -491,13 +568,16 @@ impl FerexArray {
                             if m == 0 {
                                 continue;
                             }
-                            let sample = &samples[r * cols + d * k + f];
+                            let index = r * cols + d * k + f;
                             let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
-                            let vth = self.tech.vth_level(st.vth_levels[f]) + sample.dvth;
-                            if v_gate > vth {
-                                // Resistor clamp: I = V_ds / (R·r_factor).
-                                units += m as f64 / sample.r_factor;
-                            }
+                            units += self.noisy_cell_units(
+                                plan,
+                                index,
+                                st.vth_levels[f],
+                                &samples[index],
+                                v_gate,
+                                m,
+                            );
                         }
                     }
                     out.push(units);
@@ -543,6 +623,41 @@ impl FerexArray {
         }
     }
 
+    /// One `Noisy`-backend cell's current contribution in `I_unit`
+    /// multiples — the single definition shared by the scalar
+    /// ([`FerexArray::distances`]) and batched
+    /// ([`FerexArray::noisy_distances_batch`]) read paths, so the two stay
+    /// bit-identical under any fault plan. With no fault state materialized
+    /// this reduces to the nominal resistor-clamp expression
+    /// `I = m / r_factor` gated on `V_gate > V_th + ΔV_th`.
+    #[inline]
+    fn noisy_cell_units(
+        &self,
+        plan: &FaultPlan,
+        index: usize,
+        level: usize,
+        sample: &ferex_fefet::DeviceSample,
+        v_gate: Volt,
+        m: u32,
+    ) -> f64 {
+        if let (Some(map), Some(aged)) = (&self.fault_map, &self.aged_vth) {
+            let eff: EffectiveCell =
+                plan.effective_cell(&self.tech, map[index], aged, level, sample);
+            match eff.vth {
+                Some(vth) if v_gate > vth => m as f64 / eff.r_factor,
+                _ => 0.0,
+            }
+        } else {
+            let vth = self.tech.vth_level(level) + sample.dvth;
+            if v_gate > vth {
+                // Resistor clamp: I = V_ds / (R·r_factor).
+                m as f64 / sample.r_factor
+            } else {
+                0.0
+            }
+        }
+    }
+
     /// The `Noisy` fast path: one contribution table per batch.
     ///
     /// `contrib[((r·dim + d)·n_search + q)·k + f]` holds the current (in
@@ -553,6 +668,10 @@ impl FerexArray {
     /// distances are bit-identical to [`FerexArray::distances`].
     fn noisy_distances_batch(&self, queries: &[Vec<u32>]) -> Vec<Vec<f64>> {
         let samples = self.noisy_samples.as_ref().expect("checked by caller");
+        let plan = match &self.backend {
+            Backend::Noisy(cfg) => &cfg.faults,
+            _ => unreachable!("noisy fast path on non-noisy backend"),
+        };
         let k = self.encoding.k;
         let dim = self.dim;
         let cols = self.physical_cols();
@@ -571,12 +690,16 @@ impl FerexArray {
                         if m == 0 {
                             continue;
                         }
-                        let sample = &samples[r * cols + d * k + f];
+                        let index = r * cols + d * k + f;
                         let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
-                        let vth = self.tech.vth_level(st.vth_levels[f]) + sample.dvth;
-                        if v_gate > vth {
-                            contrib[cell_base + q * k + f] = m as f64 / sample.r_factor;
-                        }
+                        contrib[cell_base + q * k + f] = self.noisy_cell_units(
+                            plan,
+                            index,
+                            st.vth_levels[f],
+                            &samples[index],
+                            v_gate,
+                            m,
+                        );
                     }
                 }
             }
@@ -1031,6 +1154,154 @@ mod tests {
             Err(FerexError::SymbolOutOfRange { value: 9, .. })
         ));
         assert_eq!(a.search_batch(&[]).unwrap(), Vec::<SearchOutcome>::new());
+    }
+
+    /// Deterministic fault-study corner: no variation, ideal LTA, so every
+    /// difference from the benign run is attributable to the plan.
+    fn faulty_cfg(plan: FaultPlan, seed: u64) -> CircuitConfig {
+        CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            faults: plan,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn benign_plan_materializes_no_fault_state() {
+        let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(FaultPlan::none(), 3))));
+        a.store(vec![0, 1, 2, 3]).unwrap();
+        a.program();
+        assert!(a.fault_map().is_none());
+        assert!(a.is_programmed());
+    }
+
+    #[test]
+    fn dead_cells_never_conduct() {
+        for plan in [
+            FaultPlan { sa1_rate: 1.0, ..Default::default() },
+            FaultPlan { open_rate: 1.0, ..Default::default() },
+        ] {
+            let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(plan, 1))));
+            a.store(vec![0, 1, 2, 3]).unwrap();
+            a.program();
+            assert_eq!(a.distances(&[3, 2, 1, 0]).unwrap(), vec![0.0], "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn sa0_cells_conduct_as_level_zero() {
+        let plan = FaultPlan { sa0_rate: 1.0, ..Default::default() };
+        let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(plan, 1))));
+        a.store(vec![0, 1, 2, 3]).unwrap();
+        a.program();
+        let q = [2u32, 2, 2, 2];
+        // Every cell behaves as stored level 0, so the row current is the
+        // query's total drive over fets whose search level turns level 0 on.
+        let enc = a.encoding().clone();
+        let expected: f64 = q
+            .iter()
+            .map(|&qq| {
+                let se = &enc.search[qq as usize];
+                (0..enc.k)
+                    .map(|f| if se.vgs_levels[f] > 0 { se.vds_multiples[f] as f64 } else { 0.0 })
+                    .sum::<f64>()
+            })
+            .sum();
+        assert_eq!(a.distances(&q).unwrap(), vec![expected]);
+    }
+
+    #[test]
+    fn shorted_cells_scale_contributions_exactly() {
+        let short = FaultPlan { short_rate: 1.0, short_residual_r: 0.5, ..Default::default() };
+        let run = |plan: FaultPlan| {
+            let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(plan, 1))));
+            a.store(vec![0, 1, 2, 3]).unwrap();
+            a.program();
+            a.distances(&[2, 2, 2, 2]).unwrap()
+        };
+        let benign = run(FaultPlan::none());
+        let shorted = run(short);
+        assert!(benign[0] > 0.0);
+        for (b, s) in benign.iter().zip(&shorted) {
+            assert_eq!(*s, b * 2.0, "residual 0.5 must exactly double the clamp current");
+        }
+    }
+
+    #[test]
+    fn aging_alters_distances_deterministically() {
+        // Deep fatigue contracts the window far enough that search levels
+        // stop resolving adjacent stored levels.
+        let plan = FaultPlan { endurance_cycles: 1.0e9, ..Default::default() };
+        let run = |plan: FaultPlan| {
+            let mut a = hamming_array(6, Backend::Noisy(Box::new(faulty_cfg(plan, 2))));
+            a.store(vec![0, 1, 2, 3, 0, 1]).unwrap();
+            a.store(vec![3, 2, 1, 0, 3, 2]).unwrap();
+            a.program();
+            a.distances(&[0, 1, 2, 3, 3, 3]).unwrap()
+        };
+        let aged = run(plan);
+        assert_eq!(aged, run(plan), "aging must be deterministic");
+        assert_ne!(aged, run(FaultPlan::none()), "deep fatigue must move the distances");
+    }
+
+    #[test]
+    fn faulted_batch_distances_match_scalar_exactly() {
+        let plan = FaultPlan {
+            sa0_rate: 0.1,
+            sa1_rate: 0.1,
+            open_rate: 0.1,
+            short_rate: 0.1,
+            retention_seconds: 1.0e7,
+            endurance_cycles: 1.0e8,
+            ..Default::default()
+        };
+        // Full variation on top of the faults: the scalar and batched reads
+        // must still agree bit-for-bit.
+        let cfg = CircuitConfig { faults: plan, seed: 21, ..Default::default() };
+        let (a, queries) = batch_fixture(Backend::Noisy(Box::new(cfg)));
+        let batched = a.distances_batch(&queries).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batched[i], a.distances(q).unwrap(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn noisy_and_circuit_fault_the_same_cells() {
+        let plan = FaultPlan { sa1_rate: 0.25, open_rate: 0.25, ..Default::default() };
+        let mk = |backend: Backend| {
+            let mut a = hamming_array(12, backend);
+            a.store(vec![0; 12]).unwrap();
+            a.store(vec![1; 12]).unwrap();
+            a.program();
+            a
+        };
+        let noisy = mk(Backend::Noisy(Box::new(faulty_cfg(plan, 17))));
+        let circuit = mk(Backend::Circuit(Box::new(faulty_cfg(plan, 17))));
+        // Same config seed → identical fault maps across backends.
+        assert_eq!(noisy.fault_map().unwrap(), circuit.fault_map().unwrap());
+        let q = vec![3u32; 12]; // drives every healthy cell on
+        let dn = noisy.distances(&q).unwrap();
+        let dc = circuit.distances(&q).unwrap();
+        for (n, c) in dn.iter().zip(&dc) {
+            assert!((n - c).abs() < 0.1 * n.max(1.0), "noisy {n} vs circuit {c}");
+        }
+    }
+
+    #[test]
+    fn fault_state_invalidated_on_mutation() {
+        let plan = FaultPlan { sa0_rate: 0.5, ..Default::default() };
+        let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(plan, 4))));
+        a.store(vec![0, 1, 2, 3]).unwrap();
+        a.program();
+        assert!(a.fault_map().is_some());
+        a.store(vec![3, 3, 3, 3]).unwrap();
+        assert!(a.fault_map().is_none(), "mutation must drop the stale fault map");
+        a.program();
+        let map = a.fault_map().unwrap().to_vec();
+        // Per-index hashing: the original prefix survives the re-program.
+        assert_eq!(&map[..a.physical_cols()], &plan.fault_map(4, a.physical_cols())[..]);
     }
 
     #[test]

@@ -71,6 +71,9 @@ impl TiledArray {
     /// per-tile seed is derived from the base seed with an avalanche mix
     /// (see [`derive_tile_seed`]) so tiles carry independent variation and
     /// adjacent *base* seeds cannot produce overlapping per-tile streams.
+    /// Fault maps ([`ferex_fefet::FaultPlan`]) key off the same derived
+    /// seed, so a non-benign plan in the config faults independent cell
+    /// sets per tile with no extra plumbing.
     ///
     /// # Panics
     ///
@@ -526,6 +529,34 @@ mod tests {
         // And the old derivation really did collide (guards the rationale).
         let old = |seed: u64, t: usize| seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9);
         assert_eq!(old(3, 1), old(4, 0));
+    }
+
+    #[test]
+    fn tiles_fault_independent_cell_sets() {
+        use ferex_fefet::FaultPlan;
+        let enc = encoding();
+        let cfg = CircuitConfig {
+            faults: FaultPlan { sa1_rate: 0.5, ..Default::default() },
+            seed: 9,
+            ..Default::default()
+        };
+        let mut tiled =
+            TiledArray::new(Technology::default(), enc, 12, 4, Backend::Noisy(Box::new(cfg)));
+        tiled.store(vec![0; 12]).unwrap();
+        tiled.program();
+        // Each tile's fault map derives from its own mixed seed: the maps
+        // must exist, and at 50% incidence two 8-cell maps matching exactly
+        // would be a seed-derivation collision.
+        let maps: Vec<_> = tiled.tiles().iter().map(|t| t.fault_map().unwrap()).collect();
+        assert_eq!(maps.len(), 3);
+        assert!(maps.windows(2).any(|w| w[0] != w[1]), "tiles drew identical fault maps");
+        // And the tile seeds really are the derived ones.
+        for (t, tile) in tiled.tiles().iter().enumerate() {
+            let plan = FaultPlan { sa1_rate: 0.5, ..Default::default() };
+            let expected =
+                plan.fault_map(derive_tile_seed(9, t), tile.len() * tile.physical_cols());
+            assert_eq!(tile.fault_map().unwrap(), &expected[..], "tile {t}");
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@ use ferex_core::feasibility::{
     chain_compatible, detect_feasibility, enumerate_row_configs, FeasibilityConfig,
 };
 use ferex_core::{
-    find_minimal_cell, sizing_for, Backend, DistanceMatrix, DistanceMetric, FerexArray,
-    SizingOptions,
+    find_minimal_cell, sizing_for, Backend, CellEncoding, DistanceMatrix, DistanceMetric,
+    EncodingLimits, FerexArray, SizingOptions,
 };
 use ferex_fefet::Technology;
 use proptest::prelude::*;
@@ -119,6 +119,49 @@ proptest! {
         // The reported nearest is a true argmin.
         let min = out.distances.iter().cloned().fold(f64::MAX, f64::min);
         prop_assert_eq!(out.distances[out.nearest], min);
+    }
+
+    /// Satisfiable DMs round-trip through the whole CSP pipeline: AC-3 keeps
+    /// the backtracking witness inside the feasible region, every witness row
+    /// reproduces its DM row's currents exactly, the witness is mutually
+    /// chain-compatible, and the decoded cell encoding verifies against the
+    /// DM bit for bit.
+    #[test]
+    fn feasible_dms_round_trip_through_encoding(
+        table in prop::collection::vec(prop::collection::vec(0u32..5, 3), 2..5),
+        k in 1usize..4,
+    ) {
+        let dm = DistanceMatrix::from_table(table);
+        let levels = [1u32, 2, 3, 4];
+        let outcome = detect_feasibility(&dm, k, &levels, &FeasibilityConfig::default())
+            .expect("caps are ample for 3-stored DMs");
+        let Some(region) = outcome.region else {
+            // Infeasible at this K: nothing to round-trip. Monotonicity of
+            // feasibility in K is covered separately above.
+            return;
+        };
+        prop_assert_eq!(region.solution.len(), dm.n_search());
+        for (i, row) in region.solution.iter().enumerate() {
+            prop_assert!(
+                region.domains[i].contains(row),
+                "backtracking witness escaped the AC-3 region on line {}", i
+            );
+            for j in 0..dm.n_stored() {
+                prop_assert_eq!(row.current_for(j), dm.get(i, j));
+            }
+        }
+        for i in 0..region.solution.len() {
+            for j in (i + 1)..region.solution.len() {
+                prop_assert!(chain_compatible(&region.solution[i], &region.solution[j]));
+            }
+        }
+        // Decode to device levels with limits generous enough to never bind;
+        // the decoded encoding must reproduce the DM exactly.
+        let limits =
+            EncodingLimits { max_vth_levels: 8, max_search_levels: 9, max_vds_multiple: 8 };
+        let enc = CellEncoding::from_solution(&region.solution, dm.n_stored(), &limits)
+            .expect("generous limits cannot bind");
+        prop_assert!(enc.verify(&dm).is_ok(), "decoded currents diverged from the DM");
     }
 
     /// Sized encodings verify against their DM for every metric and small

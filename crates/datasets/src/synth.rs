@@ -98,6 +98,35 @@ pub fn perturb(samples: &[Sample], sigma: f64, seed: u64) -> Vec<Sample> {
         .collect()
 }
 
+/// Flips `n_flips` distinct bit positions of a `bits`-bit symbol vector —
+/// the shared corruptor for worst-case Hamming-margin experiments (the CLI
+/// `montecarlo` command and the hardware-fidelity tests).
+///
+/// Positions are drawn uniformly over all `v.len() * bits` symbol bits, so
+/// each flip changes one symbol somewhere in `0..2^bits`; flips landing in
+/// distinct symbols raise the symbol-Hamming distance by exactly one each.
+/// Deterministic from the RNG state; the input is not modified.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero, any symbol already overflows `bits` bits, or
+/// `n_flips` exceeds the `v.len() * bits` available positions.
+pub fn flip_symbol_bits(v: &[u32], bits: u32, n_flips: usize, rng: &mut StdRng) -> Vec<u32> {
+    assert!(bits > 0, "symbols must carry at least one bit");
+    assert!(v.iter().all(|&s| s < 1u32 << bits), "symbol out of range for {bits}-bit flipping");
+    let n_positions = v.len() * bits as usize;
+    assert!(n_flips <= n_positions, "cannot flip {n_flips} of {n_positions} distinct bits");
+    let mut out = v.to_vec();
+    let mut flipped = std::collections::HashSet::new();
+    while flipped.len() < n_flips {
+        let pos = rng.gen_range(0..n_positions);
+        if flipped.insert(pos) {
+            out[pos / bits as usize] ^= 1 << (pos % bits as usize);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +215,41 @@ mod tests {
         assert_eq!(same, d.test);
         // Deterministic per seed.
         assert_eq!(perturb(&d.test, 0.5, 3), p);
+    }
+
+    #[test]
+    fn flip_symbol_bits_respects_width_and_count() {
+        for bits in 1..=4u32 {
+            let mut rng = StdRng::seed_from_u64(7 + bits as u64);
+            let v: Vec<u32> = (0..24).map(|_| rng.gen_range(0..1u32 << bits)).collect();
+            for n_flips in [0, 1, 3, v.len() * bits as usize] {
+                let out = flip_symbol_bits(&v, bits, n_flips, &mut rng);
+                assert_eq!(out.len(), v.len());
+                // Symbols stay inside the width — the bug the shared helper
+                // fixes was flipping bit 2 of supposedly `bits`-wide symbols.
+                assert!(out.iter().all(|&s| s < 1u32 << bits), "{bits}-bit overflow");
+                let bit_dist: u32 = out.iter().zip(&v).map(|(a, b)| (a ^ b).count_ones()).sum();
+                assert_eq!(bit_dist as usize, n_flips, "{bits}-bit distinct flips");
+                // Symbol-Hamming distance is bounded by the flip count.
+                let sym_dist = out.iter().zip(&v).filter(|(a, b)| a != b).count();
+                assert!(sym_dist <= n_flips);
+            }
+        }
+    }
+
+    #[test]
+    fn flip_symbol_bits_is_deterministic_per_rng_state() {
+        let v: Vec<u32> = (0..16).map(|i| i % 4).collect();
+        let a = flip_symbol_bits(&v, 2, 5, &mut StdRng::seed_from_u64(11));
+        let b = flip_symbol_bits(&v, 2, 5, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+        assert_eq!(flip_symbol_bits(&v, 2, 0, &mut StdRng::seed_from_u64(1)), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_symbol_bits_rejects_overflowing_symbols() {
+        flip_symbol_bits(&[2], 1, 1, &mut StdRng::seed_from_u64(0));
     }
 
     #[test]

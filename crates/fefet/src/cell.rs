@@ -64,6 +64,19 @@ impl Cell {
         self.resistance
     }
 
+    /// Scales the series resistance in place — the fault-injection hook
+    /// for resistor defects: a shorted resistor scales toward zero (the
+    /// current clamp is lost), an open one toward infinity (no current
+    /// path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scale_resistance(&mut self, factor: f64) {
+        assert!(factor > 0.0, "resistance scale factor must be positive");
+        self.resistance = self.resistance * factor;
+    }
+
     /// Exact series solve of the cell current.
     ///
     /// Topology: the resistor sits between the drain line at `v_dl` and the
@@ -201,6 +214,32 @@ mod tests {
         let base = cell.current(&tech, tech.search_voltage(1), Volt(0.2), Volt(0.0));
         let shifted = cell.current(&tech, tech.search_voltage(1) + Volt(0.3), Volt(0.5), Volt(0.3));
         assert!((base.value() - shifted.value()).abs() < 1e-3 * base.value().max(1e-12));
+    }
+
+    #[test]
+    fn scaled_resistance_moves_the_clamp() {
+        let tech = Technology::default();
+        let vg = tech.search_voltage(tech.n_vth_levels);
+        let vds = tech.vds_for_multiple(1);
+        // Short: residual resistance → current rises toward saturation.
+        let mut shorted = on_cell(&tech, 0);
+        shorted.scale_resistance(0.1);
+        assert_eq!(shorted.resistance(), tech.r_cell * 0.1);
+        let i_short = shorted.current(&tech, vg, vds, Volt(0.0)).value();
+        assert!(i_short > 5.0 * tech.i_unit().value(), "short must overshoot: {i_short}");
+        // Open: huge resistance → negligible current.
+        let mut open = on_cell(&tech, 0);
+        open.scale_resistance(1e9);
+        let i_open = open.current(&tech, vg, vds, Volt(0.0)).value();
+        assert!(i_open < 1e-3 * tech.i_unit().value(), "open must not conduct: {i_open}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_resistance_scale_rejected() {
+        let tech = Technology::default();
+        let mut cell = Cell::new(&tech);
+        cell.scale_resistance(0.0);
     }
 
     #[test]

@@ -67,6 +67,17 @@ impl EnduranceModel {
         tech.vth_step * self.window_fraction(cycles)
     }
 
+    /// The threshold a level programmed at `vth` collapses to after
+    /// `cycles`: the whole window contracts toward its center by
+    /// [`EnduranceModel::window_fraction`], so every level moves
+    /// proportionally to its distance from `V_mid`. This is the per-level
+    /// form of [`EnduranceModel::effective_step`], used by the
+    /// fault-injection plan ([`crate::faults::FaultPlan::aged_vth`]).
+    pub fn collapsed_vth(&self, tech: &Technology, vth: Volt, cycles: f64) -> Volt {
+        let mid = tech.vth_mid();
+        mid + (vth - mid) * self.window_fraction(cycles)
+    }
+
     /// Maximum cycles while the ON/OFF margin stays above `min_margin`.
     ///
     /// The margin is half the effective step; returns the largest cycle
@@ -108,6 +119,21 @@ mod tests {
         assert!(fresh < awake, "wake-up must widen the window");
         assert!((awake - 1.0).abs() < 1e-9, "plateau should be the full window");
         assert!(fatigued < awake, "fatigue must close the window");
+    }
+
+    #[test]
+    fn collapsed_vth_is_consistent_with_effective_step() {
+        let tech = Technology::default();
+        let m = EnduranceModel::default();
+        let cycles = 1.0e9; // deep in the fatigue regime
+        let lo = m.collapsed_vth(&tech, tech.vth_level(0), cycles);
+        let hi = m.collapsed_vth(&tech, tech.vth_level(1), cycles);
+        // Adjacent levels end up one *effective* step apart.
+        let step = m.effective_step(&tech, cycles);
+        assert!(((hi - lo).value() - step.value()).abs() < 1e-12);
+        // The window center is a fixed point.
+        let mid = tech.vth_mid();
+        assert_eq!(m.collapsed_vth(&tech, mid, cycles), mid);
     }
 
     #[test]

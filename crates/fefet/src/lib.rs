@@ -15,6 +15,8 @@
 //! * [`variation`] — device-to-device variation (σ_Vth = 54 mV, σ_R = 8 %).
 //! * [`retention`], [`endurance`] — V_th drift over time and memory-window
 //!   evolution over program/erase cycling.
+//! * [`faults`] — seeded per-cell hard-fault maps (stuck-at, open/short)
+//!   and the [`FaultPlan`] combining them with retention/endurance aging.
 //! * [`params`] — the [`Technology`] card tying the voltage ladder together.
 //! * [`units`], [`math`] — SI-unit newtypes and numeric helpers.
 //!
@@ -37,6 +39,7 @@
 pub mod cell;
 pub mod device;
 pub mod endurance;
+pub mod faults;
 pub mod math;
 pub mod params;
 pub mod preisach;
@@ -49,6 +52,7 @@ pub mod variation;
 pub use cell::Cell;
 pub use device::FeFet;
 pub use endurance::EnduranceModel;
+pub use faults::{CellFault, FaultPlan};
 pub use params::Technology;
 pub use preisach::{PreisachModel, PreisachParams};
 pub use programming::{ProgramReport, ProgramVthError, Pulse, WriteScheme};

@@ -79,6 +79,18 @@ impl Default for DeviceSample {
 impl DeviceSample {
     /// The nominal (no-variation) sample.
     pub const NOMINAL: DeviceSample = DeviceSample { dvth: Volt(0.0), r_factor: 1.0 };
+
+    /// This sample with its resistor factor scaled — the fault-injection
+    /// hook composing a resistor defect (short: `factor < 1`, degraded
+    /// contact: `factor > 1`) with the device's own variation draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not strictly positive.
+    pub fn scaled_r(self, factor: f64) -> DeviceSample {
+        assert!(factor > 0.0, "resistor scale factor must be positive");
+        DeviceSample { dvth: self.dvth, r_factor: self.r_factor * factor }
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +127,15 @@ mod tests {
             assert_eq!(s.dvth, Volt::ZERO);
             assert_eq!(s.r_factor, 1.0);
         }
+    }
+
+    #[test]
+    fn scaled_r_composes_with_the_draw() {
+        let s = DeviceSample { dvth: Volt(0.02), r_factor: 1.1 };
+        let shorted = s.scaled_r(0.5);
+        assert_eq!(shorted.dvth, Volt(0.02));
+        assert!((shorted.r_factor - 0.55).abs() < 1e-12);
+        assert_eq!(s.scaled_r(1.0), s);
     }
 
     #[test]

@@ -23,9 +23,14 @@ fn backends() -> Vec<Backend> {
     vec![Backend::Ideal, Backend::Circuit(Box::new(cfg.clone())), Backend::Noisy(Box::new(cfg))]
 }
 
-fn programmed_array(backend: Backend, dim: usize, rows: usize) -> FerexArray {
+fn programmed_metric_array(
+    metric: DistanceMetric,
+    backend: Backend,
+    dim: usize,
+    rows: usize,
+) -> FerexArray {
     let tech = Technology::default();
-    let dm = DistanceMatrix::from_metric(DistanceMetric::Manhattan, 2);
+    let dm = DistanceMatrix::from_metric(metric, 2);
     let enc = find_minimal_cell(&dm, &sizing_for(&tech)).expect("sizes").encoding;
     let mut array = FerexArray::new(tech, enc, dim, backend);
     for v in random_vectors(rows, dim, 21) {
@@ -33,6 +38,10 @@ fn programmed_array(backend: Backend, dim: usize, rows: usize) -> FerexArray {
     }
     array.program();
     array
+}
+
+fn programmed_array(backend: Backend, dim: usize, rows: usize) -> FerexArray {
+    programmed_metric_array(DistanceMetric::Manhattan, backend, dim, rows)
 }
 
 /// Several threads serving the same batch over one shared `&FerexArray`
@@ -57,6 +66,34 @@ fn concurrent_batches_match_sequential_on_all_backends() {
                 assert_eq!(got.nearest, want.nearest, "backend {backend:?}");
                 assert_eq!(got.distances, want.distances, "backend {backend:?}");
             }
+        }
+    }
+}
+
+/// `search_k_batch` is bit-identical to a loop of `search_k` for every
+/// metric and every backend. A batch assigns query id `i` to the `i`-th
+/// query without touching the array's counter, so on a fresh array (counter
+/// at zero) the stateful sequential loop consumes the same noise streams —
+/// batch first, then the loop.
+#[test]
+fn search_k_batch_equals_sequential_loop_on_every_metric_and_backend() {
+    for metric in DistanceMetric::ALL {
+        for backend in backends() {
+            let array = programmed_metric_array(metric, backend.clone(), 10, 9);
+            let queries = random_vectors(7, 10, 24);
+            let k = 3;
+            let batched = array.search_k_batch(&queries, k).unwrap();
+
+            let explicit: Vec<_> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| array.search_k_at(q, k, i as u64).unwrap())
+                .collect();
+            assert_eq!(batched, explicit, "{metric} {backend:?}: explicit query ids");
+
+            let sequential: Vec<_> =
+                queries.iter().map(|q| array.search_k(q, k).unwrap()).collect();
+            assert_eq!(batched, sequential, "{metric} {backend:?}: stateful loop");
         }
     }
 }

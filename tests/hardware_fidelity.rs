@@ -4,35 +4,26 @@
 
 use ferex::analog::montecarlo::MonteCarlo;
 use ferex::core::{Backend, CircuitConfig, DistanceMetric, Ferex};
+use ferex::datasets::synth::flip_symbol_bits;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn flip_bits(v: &[u32], k: usize, rng: &mut StdRng) -> Vec<u32> {
-    let mut out = v.to_vec();
-    let mut flipped = std::collections::HashSet::new();
-    while flipped.len() < k {
-        let pos = rng.gen_range(0..out.len() * 2);
-        if flipped.insert(pos) {
-            out[pos / 2] ^= 1 << (pos % 2);
-        }
-    }
-    out
-}
+const BITS: u32 = 2;
 
 fn worst_case_trial(backend: Backend, seed: u64, d_near: usize, d_far: usize) -> bool {
     let dim = 32;
     let mut rng = StdRng::seed_from_u64(seed);
-    let query: Vec<u32> = (0..dim).map(|_| rng.gen_range(0..4u32)).collect();
+    let query: Vec<u32> = (0..dim).map(|_| rng.gen_range(0..1u32 << BITS)).collect();
     let mut engine = Ferex::builder()
         .metric(DistanceMetric::Hamming)
-        .bits(2)
+        .bits(BITS)
         .dim(dim)
         .backend(backend)
         .build()
         .expect("encodes");
-    engine.store(flip_bits(&query, d_near, &mut rng)).expect("stores");
+    engine.store(flip_symbol_bits(&query, BITS, d_near, &mut rng)).expect("stores");
     for _ in 0..6 {
-        engine.store(flip_bits(&query, d_far, &mut rng)).expect("stores");
+        engine.store(flip_symbol_bits(&query, BITS, d_far, &mut rng)).expect("stores");
     }
     engine.search(&query).expect("searches").nearest == 0
 }

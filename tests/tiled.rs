@@ -119,3 +119,44 @@ fn tiled_search_k_matches_brute_force() {
     expect.sort_by_key(|&i| (m.vector_distance(&query, &stored[i]), i));
     assert_eq!(top, expect[..5].to_vec());
 }
+
+/// A failed `store` is atomic: every tile's contents, programming state and
+/// search results are byte-identical to the pre-call state — even when the
+/// invalid chunk lands in the *last* tile, after every earlier tile has
+/// already validated its own chunk.
+#[test]
+fn failed_store_leaves_every_tile_untouched() {
+    let (dim, tile_dim) = (20, 6); // ragged split: tiles of 6, 6, 6, 2
+    let tech = Technology::default();
+    let dm = DistanceMatrix::from_metric(DistanceMetric::Manhattan, 2);
+    let enc = find_minimal_cell(&dm, &sizing_for(&tech)).expect("sizes").encoding;
+    let mut tiled = TiledArray::new(
+        tech,
+        enc,
+        dim,
+        tile_dim,
+        Backend::Noisy(Box::new(CircuitConfig { seed: 31, ..Default::default() })),
+    );
+    for v in random_vectors(5, dim, 30) {
+        tiled.store(v).unwrap();
+    }
+    tiled.program();
+    let query = random_vectors(1, dim, 32).remove(0);
+    let snapshot: Vec<Vec<Vec<u32>>> = tiled.tiles().iter().map(|t| t.stored().to_vec()).collect();
+    let baseline = tiled.search(&query).unwrap();
+
+    // Out-of-range symbol in the final chunk: earlier tiles validate clean.
+    let mut bad = random_vectors(1, dim, 33).remove(0);
+    bad[dim - 1] = 99;
+    assert!(tiled.store(bad).is_err(), "out-of-range symbol must be rejected");
+    // Wrong dimension fails before any splitting at all.
+    assert!(tiled.store(vec![0; dim + 1]).is_err(), "dimension mismatch must be rejected");
+
+    for (tile, before) in tiled.tiles().iter().zip(&snapshot) {
+        assert_eq!(tile.stored(), &before[..], "tile contents changed by a failed store");
+        assert!(tile.is_programmed(), "failed store must not invalidate physical state");
+    }
+    let after = tiled.search(&query).unwrap();
+    assert_eq!(after.distances, baseline.distances);
+    assert_eq!(after.nearest, baseline.nearest);
+}
