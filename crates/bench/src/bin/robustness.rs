@@ -1,9 +1,9 @@
 //! Robustness sweeps: HDC's claimed resilience to input and hardware noise
 //! ("due to its holographicness, it has been reported to be robust against
 //! hardware noise", paper Sec. IV-B), plus the conformance fault-degradation
-//! report.
+//! and self-healing recall-recovery reports.
 //!
-//! Three sweeps:
+//! Four sweeps:
 //! 1. **Input robustness** — accuracy vs Gaussian perturbation of the test
 //!    features (distribution shift).
 //! 2. **Hardware robustness** — accuracy vs scaled device variation
@@ -12,13 +12,23 @@
 //!    recall@1/recall@k vs per-cell fault rate across every metric, both
 //!    stochastic backends and all four hard-fault classes, regenerated
 //!    deterministically from `--seed` (or `FEREX_CONFORMANCE_SEED`).
+//! 4. **Self-healing recovery** — the standard recall-recovery report:
+//!    the same faulted arrays served with write-verify + row sparing on,
+//!    against their own no-repair baselines.
+//!
+//! The process exits non-zero when a sweep violates its oracle gate: a
+//! fault-free degradation anchor below 1.0, a healed recall@1 below 0.99
+//! at the 1 % stuck-at rate, or a recovery report in which self-healing
+//! never beats the faulted baseline.
 //!
 //! Run with: `cargo run --release -p ferex-bench --bin robustness`
 //! Flags: `--seed N` (conformance base seed, default 42), `--report PATH`
-//! (write the machine-readable JSON report), `--conformance-only` (skip the
-//! HDC sweeps — what the CI conformance job runs).
+//! (write the degradation JSON report), `--recovery-report PATH` (write the
+//! recovery JSON report), `--conformance-only` (degradation sweep only —
+//! what the CI conformance job runs), `--self-heal-only` (recovery sweep
+//! only — what the CI self-heal job runs).
 
-use ferex_conformance::standard_report;
+use ferex_conformance::{standard_recovery_report, standard_report};
 use ferex_core::{Backend, CircuitConfig, DistanceMetric};
 use ferex_datasets::spec::UCIHAR;
 use ferex_datasets::synth::{generate, perturb, SynthOptions};
@@ -31,7 +41,9 @@ use ferex_hdc::model::HdcModel;
 struct Args {
     seed: u64,
     report_path: Option<String>,
+    recovery_report_path: Option<String>,
     conformance_only: bool,
+    self_heal_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,7 +53,9 @@ fn parse_args() -> Result<Args, String> {
             .and_then(|s| s.parse().ok())
             .unwrap_or(42),
         report_path: None,
+        recovery_report_path: None,
         conformance_only: false,
+        self_heal_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -51,7 +65,12 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = v.parse().map_err(|_| format!("invalid --seed {v}"))?;
             }
             "--report" => args.report_path = Some(it.next().ok_or("--report needs a path")?),
+            "--recovery-report" => {
+                args.recovery_report_path =
+                    Some(it.next().ok_or("--recovery-report needs a path")?);
+            }
             "--conformance-only" => args.conformance_only = true,
+            "--self-heal-only" => args.self_heal_only = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -83,12 +102,98 @@ fn conformance_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(path, report.to_json())?;
         println!("# machine-readable report written to {path}");
     }
+    // Oracle gate: at the fault-isolation corner with a zero rate, every
+    // backend must agree with the digital oracle exactly. Anything else is
+    // a conformance failure, not noise — fail the process.
+    let broken: Vec<String> = report
+        .curves
+        .iter()
+        .filter(|c| c.points.first().is_some_and(|p| p.recall_at_1 < 1.0 || p.recall_at_k < 1.0))
+        .map(|c| format!("{}/{}/{}", c.metric, c.backend, c.fault))
+        .collect();
+    if !broken.is_empty() {
+        return Err(format!("oracle mismatch at rate 0 in: {}", broken.join(", ")).into());
+    }
+    Ok(())
+}
+
+fn recovery_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    println!("# sweep 4: self-healing recall recovery (seed {})", args.seed);
+    let report = standard_recovery_report(args.seed);
+    println!(
+        "{:>11} | {:>8} | {:>5} | faulted@1 -> healed@1 by rising rate",
+        "metric", "backend", "fault"
+    );
+    for curve in &report.curves {
+        let legs: Vec<String> = curve
+            .points
+            .iter()
+            .map(|p| format!("{:.2}->{:.2}@{}", p.recall_faulted_1, p.recall_healed_1, p.rate))
+            .collect();
+        println!(
+            "{:>11} | {:>8} | {:>5} | {}",
+            curve.metric,
+            curve.backend,
+            curve.fault,
+            legs.join("  ")
+        );
+    }
+    if let Some(path) = &args.recovery_report_path {
+        std::fs::write(path, report.to_json())?;
+        println!("# machine-readable recovery report written to {path}");
+    }
+    // Gate 1: the headline acceptance bar — at the 1 % stuck-at rate,
+    // write-verify + a 2×-rows spare pool must restore recall@1 to within
+    // 1 % of the fault-free anchor (1.0 at the corner), on every curve.
+    let unhealed: Vec<String> = report
+        .curves
+        .iter()
+        .filter_map(|c| {
+            let p = c.points.iter().find(|p| p.rate == 0.01)?;
+            (p.recall_healed_1 < 0.99).then(|| {
+                format!("{}/{}/{} healed@1 {:.3}", c.metric, c.backend, c.fault, p.recall_healed_1)
+            })
+        })
+        .collect();
+    if !unhealed.is_empty() {
+        return Err(format!("recovery gate failed at rate 0.01: {}", unhealed.join(", ")).into());
+    }
+    // Gate 2: self-healing must never regress a curve below its no-repair
+    // baseline while the spare pool still absorbs every quarantined row.
+    let regressed: Vec<String> = report
+        .curves
+        .iter()
+        .flat_map(|c| {
+            c.points
+                .iter()
+                .filter(|p| p.rows_excluded == 0 && p.recall_healed_1 < p.recall_faulted_1)
+                .map(move |p| {
+                    format!(
+                        "{}/{}/{} @{}: {:.3} < {:.3}",
+                        c.metric, c.backend, c.fault, p.rate, p.recall_healed_1, p.recall_faulted_1
+                    )
+                })
+        })
+        .collect();
+    if !regressed.is_empty() {
+        return Err(
+            format!("self-healing regressed below baseline: {}", regressed.join(", ")).into()
+        );
+    }
+    println!("# all recovery gates passed");
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = parse_args()
-        .map_err(|e| format!("{e} (flags: --seed N --report PATH --conformance-only)"))?;
+    let args = parse_args().map_err(|e| {
+        format!(
+            "{e} (flags: --seed N --report PATH --recovery-report PATH \
+             --conformance-only --self-heal-only)"
+        )
+    })?;
+    if args.self_heal_only {
+        return recovery_sweep(&args);
+    }
     if args.conformance_only {
         return conformance_sweep(&args);
     }
@@ -138,5 +243,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\n(graceful degradation on both axes is the HDC holographic-");
     println!(" redundancy claim; a brittle representation would cliff)\n");
-    conformance_sweep(&args)
+    conformance_sweep(&args)?;
+    println!();
+    recovery_sweep(&args)
 }

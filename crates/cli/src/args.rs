@@ -42,6 +42,8 @@ pub enum Command {
         seed: u64,
         /// Fault-injection plan for stochastic backends.
         faults: FaultPlan,
+        /// Spare rows for self-healing (`0` disables write-verify/repair).
+        spares: usize,
     },
     /// Fig. 7-style Monte-Carlo campaign.
     MonteCarlo {
@@ -126,10 +128,17 @@ fn parse_vectors(s: &str) -> Result<Vec<Vec<u32>>, ParseArgsError> {
 /// "sa1=0.05"` injects exactly one fault class.
 fn parse_fault_plan(s: &str) -> Result<FaultPlan, ParseArgsError> {
     let mut plan = FaultPlan::none();
+    let mut seen: Vec<&str> = Vec::new();
     for pair in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
         let (key, value) = pair
             .split_once('=')
             .ok_or_else(|| err(format!("fault spec '{pair}' is not key=value")))?;
+        let key = key.trim();
+        if seen.contains(&key) {
+            return Err(err(format!(
+                "duplicate fault knob '{key}' — each knob may appear at most once"
+            )));
+        }
         let v: f64 = value
             .trim()
             .parse()
@@ -144,7 +153,7 @@ fn parse_fault_plan(s: &str) -> Result<FaultPlan, ParseArgsError> {
                 Err(err(format!("fault rate '{key}' must be within [0,1]")))
             }
         };
-        match key.trim() {
+        match key {
             "sa0" => plan.sa0_rate = rate(v)?,
             "sa1" => plan.sa1_rate = rate(v)?,
             "open" => plan.open_rate = rate(v)?,
@@ -159,6 +168,7 @@ fn parse_fault_plan(s: &str) -> Result<FaultPlan, ParseArgsError> {
                 )))
             }
         }
+        seen.push(key);
     }
     Ok(plan)
 }
@@ -246,8 +256,9 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         }
         "search" => {
             let flags = Flags::new(rest)?;
-            flags
-                .ensure_known(&["metric", "bits", "store", "query", "backend", "seed", "faults"])?;
+            flags.ensure_known(&[
+                "metric", "bits", "store", "query", "backend", "seed", "faults", "spares",
+            ])?;
             let metric = parse_metric(flags.require("metric")?)?;
             let bits = flags
                 .get("bits")
@@ -265,7 +276,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .unwrap_or(0);
             let faults =
                 flags.get("faults").map(parse_fault_plan).transpose()?.unwrap_or(FaultPlan::none());
-            Ok(Command::Search { metric, bits, stored, query, backend, seed, faults })
+            let spares = flags
+                .get("spares")
+                .map(|s| s.parse::<usize>().map_err(|_| err("invalid --spares")))
+                .transpose()?
+                .unwrap_or(0);
+            Ok(Command::Search { metric, bits, stored, query, backend, seed, faults, spares })
         }
         "montecarlo" | "mc" => {
             let flags = Flags::new(rest)?;
@@ -301,7 +317,7 @@ USAGE:
   ferex encode --metric <hamming|manhattan|euclidean> [--bits N]
   ferex search --metric <m> --store \"0,1,2;3,2,1\" --query \"0,1,2\"
                [--bits N] [--backend ideal|noisy|circuit] [--seed N]
-               [--faults SPEC]
+               [--faults SPEC] [--spares N]
   ferex verify --metric <m> [--bits N]
   ferex montecarlo [--runs N] [--near D] [--far D]
                [--backend noisy|circuit] [--faults SPEC]
@@ -312,6 +328,12 @@ FAULT SPEC (stochastic backends; unmentioned knobs stay benign):
   comma-separated key=value over sa0|sa1|open|short (per-cell rates),
   short_r (residual resistance fraction), retention_s (seconds),
   cycles (program/erase cycles), e.g. \"sa1=0.02,open=0.01,cycles=1e7\"
+  Each knob may appear at most once; rates must lie in [0,1].
+
+SELF-HEALING (--spares N, stochastic backends):
+  reserves N spare rows, write-verifies every cell after programming,
+  re-pulses stragglers with bounded retries, and remaps rows that fail
+  verify onto spares; prints the repair report next to the result.
 
 EXAMPLES:
   ferex encode --metric hamming
@@ -345,7 +367,7 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Search { metric, stored, query, backend, seed, bits, faults } => {
+            Command::Search { metric, stored, query, backend, seed, bits, faults, spares } => {
                 assert_eq!(metric, DistanceMetric::EuclideanSquared);
                 assert_eq!(stored, vec![vec![0, 1], vec![2, 3]]);
                 assert_eq!(query, vec![1, 1]);
@@ -353,9 +375,20 @@ mod tests {
                 assert_eq!(seed, 7);
                 assert_eq!(bits, 2);
                 assert!(faults.is_benign());
+                assert_eq!(spares, 0, "self-healing is opt-in");
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_spares_flag() {
+        let cmd =
+            parse(&argv("search --metric hd --store 0,1 --query 0,1 --backend noisy --spares 4"))
+                .unwrap();
+        let Command::Search { spares, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(spares, 4);
+        assert!(parse(&argv("search --metric hd --store 0,1 --query 0,1 --spares x")).is_err());
     }
 
     #[test]
@@ -409,10 +442,22 @@ mod tests {
 
     #[test]
     fn rejects_malformed_fault_specs() {
-        for spec in ["sa1", "sa1=x", "sa1=1.5", "sa1=-0.1", "bogus=0.1", "sa1=inf"] {
+        for spec in [
+            "sa1",
+            "sa1=x",
+            "sa1=1.5",
+            "sa1=-0.1",
+            "bogus=0.1",
+            "sa1=inf",
+            "sa1=0.1,sa1=0.2",
+            "short_r=0.5,short_r=0.5",
+        ] {
             let line = format!("mc --faults {spec}");
             assert!(parse(&argv(&line)).is_err(), "spec '{spec}' should be rejected");
         }
+        // A duplicate knob names itself instead of silently overwriting.
+        let e = parse(&argv("mc --faults sa1=0.1,sa1=0.2")).unwrap_err();
+        assert!(e.to_string().contains("duplicate fault knob 'sa1'"), "got: {e}");
     }
 
     #[test]

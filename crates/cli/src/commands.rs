@@ -5,7 +5,7 @@ use crate::args::{BackendKind, Command};
 use ferex_analog::montecarlo::MonteCarlo;
 use ferex_core::{
     cosimulate, find_minimal_cell, sizing_for, Backend, CircuitConfig, DistanceMatrix,
-    DistanceMetric, Ferex, FerexError,
+    DistanceMetric, Ferex, FerexError, RepairPolicy,
 };
 use ferex_datasets::synth::flip_symbol_bits;
 use ferex_fefet::{FaultPlan, Technology};
@@ -52,8 +52,8 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Info => Ok(render_info(&Technology::default())),
         Command::Encode { metric, bits } => render_encode(*metric, *bits),
-        Command::Search { metric, bits, stored, query, backend, seed, faults } => {
-            render_search(*metric, *bits, stored, query, *backend, *seed, *faults)
+        Command::Search { metric, bits, stored, query, backend, seed, faults, spares } => {
+            render_search(*metric, *bits, stored, query, *backend, *seed, *faults, *spares)
         }
         Command::MonteCarlo { runs, near, far, backend, faults } => {
             render_montecarlo(*runs, *near, *far, *backend, *faults)
@@ -158,6 +158,7 @@ fn render_encode(metric: DistanceMetric, bits: u32) -> Result<String, CommandErr
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_search(
     metric: DistanceMetric,
     bits: u32,
@@ -166,6 +167,7 @@ fn render_search(
     backend: BackendKind,
     seed: u64,
     faults: FaultPlan,
+    spares: usize,
 ) -> Result<String, CommandError> {
     if stored.is_empty() {
         return Err(CommandError("--store must contain at least one vector".into()));
@@ -174,17 +176,18 @@ fn render_search(
     if dim == 0 {
         return Err(CommandError("--query must not be empty".into()));
     }
-    let mut engine = Ferex::builder()
+    let mut builder = Ferex::builder()
         .metric(metric)
         .bits(bits)
         .dim(dim)
-        .backend(backend_of(backend, seed, faults))
-        .build()
-        .map_err(|e| CommandError(e.to_string()))?;
+        .backend(backend_of(backend, seed, faults));
+    if spares > 0 {
+        builder = builder.repair_policy(RepairPolicy { spare_rows: spares, ..Default::default() });
+    }
+    let mut engine = builder.build().map_err(|e| CommandError(e.to_string()))?;
     for v in stored {
         engine.store(v.clone())?;
     }
-    let result = engine.search(query)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -197,9 +200,46 @@ fn render_search(
             BackendKind::Circuit => "circuit",
         }
     );
-    for (r, d) in result.distances.iter().enumerate() {
-        let marker = if r == result.nearest { "  <-- nearest" } else { "" };
-        let _ = writeln!(out, "  row {r}: distance {d:.2}{marker}");
+    match engine.search(query) {
+        Ok(result) => {
+            for (r, d) in result.distances.iter().enumerate() {
+                let marker = if r == result.nearest { "  <-- nearest" } else { "" };
+                if d.is_infinite() {
+                    let _ = writeln!(out, "  row {r}: quarantined (no spare left)");
+                } else {
+                    let _ = writeln!(out, "  row {r}: distance {d:.2}{marker}");
+                }
+            }
+        }
+        // With self-healing on, a fully quarantined array is a served
+        // (degraded) outcome worth reporting, not a usage error.
+        Err(FerexError::Empty) if spares > 0 && engine.array().program_report().is_some() => {
+            let _ = writeln!(out, "  every row quarantined — no servable neighbor");
+        }
+        Err(e) => return Err(e.into()),
+    }
+    if spares > 0 {
+        let report = engine.array().program_report().expect("search write-verified");
+        let h = engine.health();
+        let _ = writeln!(
+            out,
+            "self-heal: {} cells verified ({} clean, {} repaired in {} retries, {} failed)",
+            report.cells,
+            report.cells_clean,
+            report.cells_repaired,
+            report.retries,
+            report.cells_failed
+        );
+        let _ = writeln!(
+            out,
+            "           {} rows quarantined, {} remapped onto spares, {} excluded \
+             ({}/{} spares in use)",
+            report.rows_quarantined.len(),
+            report.rows_remapped.len(),
+            report.rows_excluded.len(),
+            h.spares_in_use,
+            h.spare_rows
+        );
     }
     Ok(out)
 }
@@ -315,6 +355,28 @@ mod tests {
             run_line("montecarlo --runs 12 --near 2 --far 20 --faults sa0=0.5,open=0.3").unwrap();
         assert!(clean.contains("accuracy"), "{clean}");
         assert_ne!(clean, dead, "heavy faults must perturb the campaign");
+    }
+
+    #[test]
+    fn spared_search_reports_self_healing() {
+        // Every cell SA1-dead: without spares the far row collapses to
+        // distance zero; with spares the report shows the quarantine.
+        let line = "search --metric hamming --store 0,0,0,0;3,3,3,3 --query 0,0,0,0 \
+                    --backend noisy --seed 9 --faults sa1=1.0 --spares 2";
+        let out = run_line(line).unwrap();
+        assert!(out.contains("self-heal:"), "{out}");
+        assert!(out.contains("2 rows quarantined"), "{out}");
+        assert!(out.contains("every row quarantined"), "{out}");
+        // Deterministic under a fixed seed.
+        assert_eq!(run_line(line).unwrap(), out);
+        // A mild fault rate heals back to a served array.
+        let healed = run_line(
+            "search --metric hamming --store 0,1,2,3;3,3,3,3 --query 0,1,2,3 \
+             --backend noisy --seed 3 --faults sa1=0.05 --spares 8",
+        )
+        .unwrap();
+        assert!(healed.contains("self-heal:"), "{healed}");
+        assert!(healed.contains("row 0: distance 0.00  <-- nearest"), "{healed}");
     }
 
     #[test]

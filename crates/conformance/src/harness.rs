@@ -11,11 +11,13 @@
 //! faults alone.
 
 use crate::oracle::Oracle;
-use crate::report::{ConformanceReport, CurvePoint, DegradationCurve};
+use crate::report::{
+    ConformanceReport, CurvePoint, DegradationCurve, RecoveryCurve, RecoveryPoint, RecoveryReport,
+};
 use ferex_analog::lta::LtaParams;
 use ferex_core::{
     find_minimal_cell, sizing_for, Backend, CellEncoding, CircuitConfig, DistanceMetric,
-    FerexArray, FerexError,
+    FerexArray, FerexError, RepairPolicy,
 };
 use ferex_fefet::math::splitmix64;
 use ferex_fefet::{FaultPlan, Technology, VariationModel};
@@ -188,7 +190,7 @@ pub struct SweepSpec {
 impl SweepSpec {
     /// Mixes the spec's coordinates into a sub-seed for `purpose`-indexed
     /// streams, keeping data, trials and faults decorrelated.
-    fn derived_seed(&self, purpose: u64) -> u64 {
+    pub(crate) fn derived_seed(&self, purpose: u64) -> u64 {
         let mut s = splitmix64(self.seed ^ CONFORMANCE_STREAM_SALT);
         for word in
             [self.metric as u64, self.backend as u64, self.fault as u64, self.bits as u64, purpose]
@@ -322,6 +324,176 @@ pub fn standard_report(seed: u64) -> ConformanceReport {
     }
 }
 
+/// Runs one recall-recovery sweep: at every rate, each trial array is
+/// measured twice — once exactly as [`run_sweep`] does (repair disabled,
+/// so the faulted leg reproduces the PR 2 degradation baseline
+/// byte-for-byte), and once with `policy` installed so write-verify,
+/// quarantine and row sparing run before serving.
+///
+/// # Panics
+///
+/// Panics on malformed specs and on any backend error, like [`run_sweep`].
+pub fn run_recovery(spec: &SweepSpec, policy: &RepairPolicy) -> RecoveryCurve {
+    assert!(!spec.rates.is_empty(), "sweep needs at least one rate");
+    assert!(spec.k >= 1 && spec.k <= spec.rows, "k = {} out of range", spec.k);
+    let encoding = encoding_for(spec.metric, spec.bits).expect("sizing must succeed");
+    let mut data_rng = StdRng::seed_from_u64(spec.derived_seed(0));
+    let stored = gen_vectors(spec.rows, spec.dim, spec.bits, &mut data_rng);
+    let oracle = Oracle::new(spec.metric, stored.clone());
+    let queries =
+        gen_unambiguous_queries(&oracle, spec.n_queries, spec.dim, spec.bits, &mut data_rng);
+    let expected: Vec<usize> = queries.iter().map(|q| oracle.nearest(q)).collect();
+
+    let mut points = Vec::with_capacity(spec.rates.len());
+    for &rate in &spec.rates {
+        let mut faulted1 = 0usize;
+        let mut faultedk = 0usize;
+        let mut healed1 = 0usize;
+        let mut healedk = 0usize;
+        let mut quarantined = 0usize;
+        let mut remapped = 0usize;
+        let mut excluded = 0usize;
+        for trial in 0..spec.trials {
+            let cfg = CircuitConfig {
+                variation: VariationModel::none(),
+                lta: LtaParams::ideal(),
+                faults: spec.fault.plan(rate),
+                seed: spec.derived_seed(1 + trial),
+                ..Default::default()
+            };
+            // No-repair leg: identical to run_sweep, preserving the PR 2
+            // degradation baseline for this (spec, rate, trial).
+            let mut array = FerexArray::new(
+                Technology::default(),
+                encoding.clone(),
+                spec.dim,
+                spec.backend.backend(cfg.clone()),
+            );
+            array.store_all(stored.iter().cloned()).expect("in-range by construction");
+            array.program();
+            let top1 = array.search_batch(&queries).expect("programmed");
+            let topk = array.search_k_batch(&queries, spec.k).expect("programmed");
+            for (i, want) in expected.iter().enumerate() {
+                faulted1 += usize::from(top1[i].nearest == *want);
+                faultedk += usize::from(topk[i].contains(want));
+            }
+            // Healed leg: same data, same fault map, repair pipeline on.
+            let mut healed = FerexArray::new(
+                Technology::default(),
+                encoding.clone(),
+                spec.dim,
+                spec.backend.backend(cfg),
+            );
+            healed.store_all(stored.iter().cloned()).expect("in-range by construction");
+            healed.set_repair_policy(policy.clone());
+            let report = healed.program_verified().expect("verify budget is bounded");
+            quarantined += report.rows_quarantined.len();
+            remapped += report.rows_remapped.len();
+            excluded += report.rows_excluded.len();
+            // A fully quarantined array with no spares left serves nothing:
+            // count every query as a miss instead of panicking, so recovery
+            // curves can show the collapse past the spare pool's capacity.
+            let active = healed.health().rows_active;
+            if active >= spec.k {
+                let top1 = healed.search_batch(&queries).expect("programmed");
+                let topk = healed.search_k_batch(&queries, spec.k).expect("programmed");
+                for (i, want) in expected.iter().enumerate() {
+                    healed1 += usize::from(top1[i].nearest == *want);
+                    healedk += usize::from(topk[i].contains(want));
+                }
+            } else if active >= 1 {
+                let top1 = healed.search_batch(&queries).expect("programmed");
+                for (i, want) in expected.iter().enumerate() {
+                    healed1 += usize::from(top1[i].nearest == *want);
+                }
+            }
+        }
+        let n = (spec.trials as usize * spec.n_queries) as f64;
+        points.push(RecoveryPoint {
+            rate,
+            recall_faulted_1: faulted1 as f64 / n,
+            recall_faulted_k: faultedk as f64 / n,
+            recall_healed_1: healed1 as f64 / n,
+            recall_healed_k: healedk as f64 / n,
+            rows_quarantined: quarantined,
+            rows_remapped: remapped,
+            rows_excluded: excluded,
+        });
+    }
+    RecoveryCurve {
+        metric: metric_label(spec.metric).to_string(),
+        backend: spec.backend.label().to_string(),
+        fault: spec.fault.label().to_string(),
+        rows: spec.rows,
+        spare_rows: policy.spare_rows,
+        dim: spec.dim,
+        n_queries: spec.n_queries,
+        trials: spec.trials,
+        k: spec.k,
+        points,
+    }
+}
+
+/// The sweep matrix behind the standard recovery report: every metric ×
+/// both stochastic backends × the stuck-at fault classes, at low rates
+/// where a 2×-rows spare pool is expected to absorb every quarantined row.
+pub fn standard_recovery_specs(seed: u64) -> Vec<(SweepSpec, RepairPolicy)> {
+    let mut specs = Vec::new();
+    for metric in DistanceMetric::ALL {
+        for backend in BackendKind::STOCHASTIC {
+            for fault in [FaultKind::Sa0, FaultKind::Sa1] {
+                let mut spec = match backend {
+                    BackendKind::Noisy => SweepSpec {
+                        metric,
+                        backend,
+                        fault,
+                        bits: 2,
+                        dim: 12,
+                        rows: 16,
+                        n_queries: 24,
+                        trials: 3,
+                        k: 3,
+                        rates: vec![0.01, 0.02, 0.05],
+                        seed,
+                    },
+                    BackendKind::Circuit => SweepSpec {
+                        metric,
+                        backend,
+                        fault,
+                        bits: 2,
+                        dim: 6,
+                        rows: 8,
+                        n_queries: 10,
+                        trials: 2,
+                        k: 3,
+                        rates: vec![0.01, 0.02, 0.05],
+                        seed,
+                    },
+                    BackendKind::Ideal => unreachable!("fault sweeps are stochastic-only"),
+                };
+                spec.rates.retain(|&r| r > 0.0);
+                let policy = RepairPolicy {
+                    spare_rows: 2 * spec.rows,
+                    sentinel_rows: 1,
+                    ..Default::default()
+                };
+                specs.push((spec, policy));
+            }
+        }
+    }
+    specs
+}
+
+/// Generates the standard machine-readable recall-recovery report from one
+/// seed. Deterministic: same seed, byte-identical report.
+pub fn standard_recovery_report(seed: u64) -> RecoveryReport {
+    RecoveryReport {
+        seed,
+        bits: 2,
+        curves: standard_recovery_specs(seed).iter().map(|(s, p)| run_recovery(s, p)).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -359,6 +531,50 @@ mod tests {
         }
         // Every sweep anchors at the fault-free point.
         assert!(specs.iter().all(|s| s.rates[0] == 0.0));
+    }
+
+    #[test]
+    fn recovery_baseline_leg_matches_degradation_sweep() {
+        // The no-repair leg of run_recovery must reproduce run_sweep's
+        // recall numbers exactly: same data, same trial seeds, same fault
+        // maps, same batched serving paths.
+        let spec = SweepSpec {
+            metric: DistanceMetric::Hamming,
+            backend: BackendKind::Noisy,
+            fault: FaultKind::Sa0,
+            bits: 2,
+            dim: 8,
+            rows: 10,
+            n_queries: 12,
+            trials: 2,
+            k: 2,
+            rates: vec![0.05, 0.2],
+            seed: 17,
+        };
+        let policy = RepairPolicy { spare_rows: 20, sentinel_rows: 1, ..Default::default() };
+        let degradation = run_sweep(&spec);
+        let recovery = run_recovery(&spec, &policy);
+        assert_eq!(recovery.spare_rows, 20);
+        for (d, r) in degradation.points.iter().zip(&recovery.points) {
+            assert_eq!(d.rate, r.rate);
+            assert_eq!(d.recall_at_1, r.recall_faulted_1, "baseline recall@1 diverged");
+            assert_eq!(d.recall_at_k, r.recall_faulted_k, "baseline recall@k diverged");
+            assert_eq!(r.rows_quarantined, r.rows_remapped + r.rows_excluded);
+        }
+        // Determinism: a second run is identical.
+        assert_eq!(recovery, run_recovery(&spec, &policy));
+    }
+
+    #[test]
+    fn standard_recovery_matrix_is_stuck_at_only_and_low_rate() {
+        let specs = standard_recovery_specs(3);
+        assert_eq!(specs.len(), 3 * 2 * 2);
+        for (spec, policy) in &specs {
+            assert!(matches!(spec.fault, FaultKind::Sa0 | FaultKind::Sa1));
+            assert!(spec.rates.iter().all(|&r| r > 0.0 && r <= 0.05));
+            assert_eq!(policy.spare_rows, 2 * spec.rows);
+            assert_eq!(policy.sentinel_rows, 1);
+        }
     }
 
     #[test]

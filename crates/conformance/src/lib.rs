@@ -30,6 +30,11 @@ pub mod harness;
 pub mod oracle;
 pub mod report;
 
-pub use harness::{run_sweep, standard_report, standard_specs, BackendKind, FaultKind, SweepSpec};
+pub use harness::{
+    run_recovery, run_sweep, standard_recovery_report, standard_recovery_specs, standard_report,
+    standard_specs, BackendKind, FaultKind, SweepSpec,
+};
 pub use oracle::Oracle;
-pub use report::{ConformanceReport, CurvePoint, DegradationCurve};
+pub use report::{
+    ConformanceReport, CurvePoint, DegradationCurve, RecoveryCurve, RecoveryPoint, RecoveryReport,
+};

@@ -134,6 +134,124 @@ impl ConformanceReport {
     }
 }
 
+/// One sampled point of a recall-recovery curve: the same faulted array
+/// measured without and with the self-healing repair pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPoint {
+    /// Injected per-cell fault rate.
+    pub rate: f64,
+    /// recall@1 of the faulted array with repair disabled (PR 2 baseline).
+    pub recall_faulted_1: f64,
+    /// recall@k of the faulted array with repair disabled.
+    pub recall_faulted_k: f64,
+    /// recall@1 after write-verify + row sparing.
+    pub recall_healed_1: f64,
+    /// recall@k after write-verify + row sparing.
+    pub recall_healed_k: f64,
+    /// Logical rows quarantined across all trials at this rate.
+    pub rows_quarantined: usize,
+    /// Quarantined rows successfully remapped onto spares, summed over
+    /// trials.
+    pub rows_remapped: usize,
+    /// Quarantined rows excluded because the spare pool ran dry, summed
+    /// over trials.
+    pub rows_excluded: usize,
+}
+
+/// Recovery curve for one (metric, backend, fault) cell of the sweep
+/// matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryCurve {
+    /// Metric label (`hamming`, `manhattan`, `euclidean2`).
+    pub metric: String,
+    /// Backend label (`noisy`, `circuit`).
+    pub backend: String,
+    /// Fault-type label (`sa0`, `sa1`, `open`, `short`).
+    pub fault: String,
+    /// Stored rows per trial array.
+    pub rows: usize,
+    /// Spare rows granted to the repair policy.
+    pub spare_rows: usize,
+    /// Symbols per vector.
+    pub dim: usize,
+    /// Queries per trial.
+    pub n_queries: usize,
+    /// Independent arrays averaged per rate point.
+    pub trials: u64,
+    /// The `k` of recall@k.
+    pub k: usize,
+    /// Sampled points, in ascending rate order.
+    pub points: Vec<RecoveryPoint>,
+}
+
+impl RecoveryCurve {
+    /// `true` if self-healing never lowers recall@1 below the no-repair
+    /// baseline by more than `slack` at any rate point.
+    pub fn never_regresses_within(&self, slack: f64) -> bool {
+        self.points.iter().all(|p| p.recall_healed_1 >= p.recall_faulted_1 - slack)
+    }
+}
+
+/// The full self-healing recall-recovery report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Base seed the whole sweep derives from.
+    pub seed: u64,
+    /// Symbol bit width of the sweep.
+    pub bits: u32,
+    /// Curves for every (metric, backend, fault) combination swept.
+    pub curves: Vec<RecoveryCurve>,
+}
+
+impl RecoveryReport {
+    /// Schema tag embedded in every serialized recovery report.
+    pub const SCHEMA: &'static str = "ferex-conformance-recovery-v1";
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(Self::SCHEMA));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"bits\": {},", self.bits);
+        out.push_str("  \"curves\": [\n");
+        for (i, c) in self.curves.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"metric\": \"{}\",", json_escape(&c.metric));
+            let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(&c.backend));
+            let _ = writeln!(out, "      \"fault\": \"{}\",", json_escape(&c.fault));
+            let _ = writeln!(out, "      \"rows\": {},", c.rows);
+            let _ = writeln!(out, "      \"spare_rows\": {},", c.spare_rows);
+            let _ = writeln!(out, "      \"dim\": {},", c.dim);
+            let _ = writeln!(out, "      \"n_queries\": {},", c.n_queries);
+            let _ = writeln!(out, "      \"trials\": {},", c.trials);
+            let _ = writeln!(out, "      \"k\": {},", c.k);
+            out.push_str("      \"points\": [\n");
+            for (j, p) in c.points.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"rate\": {}, \"recall_faulted_1\": {}, \"recall_faulted_k\": {}, \
+                     \"recall_healed_1\": {}, \"recall_healed_k\": {}, \
+                     \"rows_quarantined\": {}, \"rows_remapped\": {}, \"rows_excluded\": {}}}",
+                    json_num(p.rate),
+                    json_num(p.recall_faulted_1),
+                    json_num(p.recall_faulted_k),
+                    json_num(p.recall_healed_1),
+                    json_num(p.recall_healed_k),
+                    p.rows_quarantined,
+                    p.rows_remapped,
+                    p.rows_excluded,
+                );
+                out.push_str(if j + 1 < c.points.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 < self.curves.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +299,46 @@ mod tests {
         rising.points.reverse();
         assert!(!rising.is_monotone_within(0.1));
         assert!(rising.is_monotone_within(0.6));
+    }
+
+    #[test]
+    fn recovery_json_has_schema_and_balanced_structure() {
+        let report = RecoveryReport {
+            seed: 42,
+            bits: 2,
+            curves: vec![RecoveryCurve {
+                metric: "hamming".into(),
+                backend: "noisy".into(),
+                fault: "sa0".into(),
+                rows: 16,
+                spare_rows: 32,
+                dim: 12,
+                n_queries: 24,
+                trials: 3,
+                k: 3,
+                points: vec![RecoveryPoint {
+                    rate: 0.01,
+                    recall_faulted_1: 0.9,
+                    recall_faulted_k: 0.95,
+                    recall_healed_1: 1.0,
+                    recall_healed_k: 1.0,
+                    rows_quarantined: 4,
+                    rows_remapped: 4,
+                    rows_excluded: 0,
+                }],
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ferex-conformance-recovery-v1\""));
+        assert!(json.contains("\"spare_rows\": 32"));
+        assert!(json.contains("\"recall_healed_1\": 1"));
+        assert!(json.contains("\"rows_remapped\": 4"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(report.curves[0].never_regresses_within(0.0));
+        let mut regressing = report.clone();
+        regressing.curves[0].points[0].recall_healed_1 = 0.5;
+        assert!(!regressing.curves[0].never_regresses_within(0.1));
     }
 
     #[test]

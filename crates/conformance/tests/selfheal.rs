@@ -1,0 +1,240 @@
+//! Self-healing conformance: scrub soundness and recall recovery.
+//!
+//! Three contracts on top of the degradation suite in `conformance.rs`:
+//!
+//! * **Scrub soundness** — on a fault-free array the scrub engine reports
+//!   zero findings (no false-positive quarantines), across seeds and
+//!   backends, with and without device variation.
+//! * **Scrub completeness** — every row carrying an injected stuck-at
+//!   fault whose readback diverges beyond tolerance is flagged, with the
+//!   divergence direction attributed to the right fault family.
+//! * **Recall recovery** — at a 1 % stuck-at cell rate, write-verify plus
+//!   row sparing restores recall@1 to within 1 % of the fault-free anchor
+//!   (which is exactly 1.0 at the fault-isolation corner), while the
+//!   no-repair leg reproduces the PR 2 degradation baseline unchanged.
+
+use ferex_analog::lta::LtaParams;
+use ferex_conformance::harness::{encoding_for, gen_vectors};
+use ferex_conformance::{run_recovery, run_sweep, BackendKind, FaultKind, SweepSpec};
+use ferex_core::{
+    Backend, CircuitConfig, DistanceMetric, FaultAttribution, FerexArray, RepairPolicy,
+};
+use ferex_fefet::{CellFault, FaultPlan, Technology, VariationModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The two fixed seeds the soundness contract is pinned on.
+const SOUNDNESS_SEEDS: [u64; 2] = [42, 1337];
+
+fn corner_cfg(faults: FaultPlan, seed: u64) -> CircuitConfig {
+    CircuitConfig {
+        variation: VariationModel::none(),
+        lta: LtaParams::ideal(),
+        faults,
+        seed,
+        ..Default::default()
+    }
+}
+
+fn array_with(metric: DistanceMetric, dim: usize, backend: Backend) -> FerexArray {
+    let enc = encoding_for(metric, 2).expect("sizing succeeds at 2 bits");
+    FerexArray::new(Technology::default(), enc, dim, backend)
+}
+
+#[test]
+fn scrub_never_quarantines_a_fault_free_array() {
+    let (rows, dim) = (10, 8);
+    for seed in SOUNDNESS_SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stored = gen_vectors(rows, dim, 2, &mut rng);
+        for kind in BackendKind::STOCHASTIC {
+            // Fault-isolation corner: readback is exact, so any finding
+            // would be a false positive by construction.
+            let mut array = array_with(
+                DistanceMetric::Hamming,
+                dim,
+                kind.backend(corner_cfg(FaultPlan::none(), seed)),
+            );
+            array.store_all(stored.iter().cloned()).unwrap();
+            array.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() });
+            array.program();
+            let report = array.scrub().expect("programmed array scrubs");
+            assert!(report.findings.is_empty(), "{kind:?} seed {seed}: {:?}", report.findings);
+            assert!(report.rows_remapped.is_empty() && report.rows_excluded.is_empty());
+            assert!(!report.global_drift, "{kind:?} seed {seed}: phantom drift");
+            assert_eq!(report.sentinel_findings, 0);
+            let health = array.health();
+            assert_eq!(health.rows_quarantined_now, 0, "{kind:?} seed {seed}");
+            assert_eq!(health.rows_active, rows);
+        }
+
+        // Paper-default device variation, healed by write-verify first:
+        // the trimmed array must also scrub clean — residual resistor
+        // spread sits inside the scrub tolerances.
+        let mut noisy = array_with(
+            DistanceMetric::Hamming,
+            dim,
+            Backend::Noisy(Box::new(CircuitConfig { seed, ..Default::default() })),
+        );
+        noisy.store_all(stored.iter().cloned()).unwrap();
+        noisy.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() });
+        let report = noisy.program_verified().expect("bounded verify");
+        assert!(report.rows_quarantined.is_empty(), "variation alone must not quarantine");
+        let scrub = noisy.scrub().expect("programmed array scrubs");
+        assert!(scrub.findings.is_empty(), "seed {seed}: variation false positive {scrub:?}");
+        assert!(!scrub.global_drift);
+    }
+}
+
+#[test]
+fn scrub_flags_every_dead_row_and_attributes_missing_current() {
+    let (rows, dim) = (12, 8);
+    // Tight absolute tolerance so a single dead cell (at least one full
+    // missing current unit at some probe) is always above threshold;
+    // drift attribution disabled so heavy fault load cannot be mistaken
+    // for array-wide drift.
+    let policy = RepairPolicy {
+        spare_rows: 0,
+        sentinel_rows: 0,
+        scrub_abs_tolerance: 0.5,
+        scrub_rel_tolerance: 0.0,
+        drift_fraction: 2.0,
+        ..Default::default()
+    };
+    for seed in SOUNDNESS_SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let stored = gen_vectors(rows, dim, 2, &mut rng);
+        let plan = FaultPlan { sa1_rate: 0.3, ..Default::default() };
+        let mut array = array_with(
+            DistanceMetric::Hamming,
+            dim,
+            Backend::Noisy(Box::new(corner_cfg(plan, seed))),
+        );
+        array.store_all(stored.iter().cloned()).unwrap();
+        array.set_repair_policy(policy.clone());
+        array.program();
+
+        // Ground truth from the injected map: logical rows owning at least
+        // one dead (SA1) FeFET that conducts at some probe in healthy
+        // operation. A dead FeFET that never conducts anyway (top-level
+        // threshold, or a grounded drain line) is benign and undetectable
+        // by construction — it changes no readback at any search level.
+        let enc = array.encoding().clone();
+        let conducts_somewhere = |stored_sym: u32, f: usize| {
+            enc.search.iter().any(|se| {
+                se.vds_multiples[f] > 0
+                    && enc.stored[stored_sym as usize].vth_levels[f] < se.vgs_levels[f]
+            })
+        };
+        let cols = array.physical_cols();
+        let map = array.fault_map().expect("plan injects faults").to_vec();
+        let faulty: Vec<usize> = (0..rows)
+            .filter(|&r| {
+                (0..cols).any(|c| {
+                    map[r * cols + c] == CellFault::StuckAtHighVth
+                        && conducts_somewhere(stored[r][c / enc.k], c % enc.k)
+                })
+            })
+            .collect();
+        assert!(!faulty.is_empty(), "seed {seed} must fault at least one row");
+
+        let report = array.scrub().expect("programmed array scrubs");
+        let flagged: Vec<usize> = report.findings.iter().map(|f| f.row).collect();
+        assert_eq!(flagged, faulty, "seed {seed}: detection must match the injected map");
+        for finding in &report.findings {
+            assert!(finding.divergence < 0.0, "dead cells only remove current");
+            assert_eq!(
+                finding.attribution,
+                FaultAttribution::MissingCurrent,
+                "seed {seed} row {}",
+                finding.row
+            );
+        }
+        // No spares configured: every flagged row degrades to exclusion.
+        assert!(report.rows_remapped.is_empty());
+        assert_eq!(report.rows_excluded, faulty, "seed {seed}");
+        assert_eq!(array.health().rows_active, rows - faulty.len());
+    }
+}
+
+#[test]
+fn scrub_flags_stuck_on_rows_as_excess_current() {
+    // Every cell stuck conducting: each row reads far above its codeword
+    // at high search levels, and the positive divergence must be
+    // attributed to the excess-current family (SA0 / short), never to
+    // missing current or drift (drift attribution disabled).
+    let (rows, dim) = (6, 8);
+    let plan = FaultPlan { sa0_rate: 1.0, ..Default::default() };
+    let policy =
+        RepairPolicy { spare_rows: 0, sentinel_rows: 0, drift_fraction: 2.0, ..Default::default() };
+    for seed in SOUNDNESS_SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A00);
+        // Nonzero symbols so "stuck at the lowest level" differs from the
+        // stored codeword in every row.
+        let stored: Vec<Vec<u32>> = gen_vectors(rows, dim, 2, &mut rng)
+            .into_iter()
+            .map(|row| row.into_iter().map(|s| 1 + s % 3).collect())
+            .collect();
+        let mut array = array_with(
+            DistanceMetric::Hamming,
+            dim,
+            Backend::Noisy(Box::new(corner_cfg(plan, seed))),
+        );
+        array.store_all(stored).unwrap();
+        array.set_repair_policy(policy.clone());
+        array.program();
+        let report = array.scrub().expect("programmed array scrubs");
+        let flagged: Vec<usize> = report.findings.iter().map(|f| f.row).collect();
+        assert_eq!(flagged, (0..rows).collect::<Vec<_>>(), "seed {seed}: all rows stuck on");
+        for finding in &report.findings {
+            assert!(finding.divergence > 0.0, "stuck-on cells only add current");
+            assert_eq!(finding.attribution, FaultAttribution::ExcessCurrent, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn self_healing_recovers_recall_at_one_percent_stuck_at() {
+    // The headline acceptance gate: a 1 % stuck-at cell rate visibly dents
+    // the no-repair baseline, and write-verify + row sparing restores
+    // recall@1 to within 1 % of the fault-free anchor (exactly 1.0 at the
+    // fault-isolation corner). The no-repair leg must simultaneously equal
+    // the PR 2 degradation sweep, so the baseline is reproduced unchanged.
+    for fault in [FaultKind::Sa0, FaultKind::Sa1] {
+        let spec = SweepSpec {
+            metric: DistanceMetric::Hamming,
+            backend: BackendKind::Noisy,
+            fault,
+            bits: 2,
+            dim: 12,
+            rows: 16,
+            n_queries: 24,
+            trials: 3,
+            k: 3,
+            rates: vec![0.01],
+            seed: 42,
+        };
+        let policy =
+            RepairPolicy { spare_rows: 2 * spec.rows, sentinel_rows: 1, ..Default::default() };
+        let recovery = run_recovery(&spec, &policy);
+        let baseline = run_sweep(&spec);
+        let point = recovery.points[0];
+        assert_eq!(point.recall_faulted_1, baseline.points[0].recall_at_1, "{fault:?} baseline");
+        assert!(
+            point.recall_healed_1 >= 0.99,
+            "{fault:?}: healed recall@1 {} must recover to within 1% of 1.0",
+            point.recall_healed_1
+        );
+        assert!(
+            point.recall_healed_k >= 0.99,
+            "{fault:?}: healed recall@k {} must recover",
+            point.recall_healed_k
+        );
+        assert!(
+            point.recall_healed_1 >= point.recall_faulted_1,
+            "{fault:?}: healing must never serve worse than the faulted baseline at 1%"
+        );
+        assert_eq!(point.rows_excluded, 0, "{fault:?}: a 2x spare pool absorbs 1% faults");
+        assert_eq!(point.rows_quarantined, point.rows_remapped, "{fault:?}");
+    }
+}

@@ -11,6 +11,7 @@ use crate::distance::DistanceMetric;
 use crate::dm::DistanceMatrix;
 use crate::encoding::{CellEncoding, EncodingLimits};
 use crate::error::FerexError;
+use crate::health::{HealthSnapshot, ProgramReport, RepairPolicy, ScrubReport};
 use crate::sizing::{find_minimal_cell, SizingOptions, SizingReport};
 use ferex_analog::delay::{DelayBreakdown, DelayModel};
 use ferex_analog::energy::{EnergyBreakdown, EnergyModel};
@@ -44,6 +45,7 @@ pub struct FerexBuilder {
     tech: Technology,
     backend: Backend,
     sizing: Option<SizingOptions>,
+    repair: Option<RepairPolicy>,
 }
 
 impl Default for FerexBuilder {
@@ -55,6 +57,7 @@ impl Default for FerexBuilder {
             tech: Technology::default(),
             backend: Backend::Ideal,
             sizing: None,
+            repair: None,
         }
     }
 }
@@ -96,6 +99,13 @@ impl FerexBuilder {
         self
     }
 
+    /// Installs a self-healing policy on the array (default: none — the
+    /// engine serves unverified writes, as before).
+    pub fn repair_policy(mut self, policy: RepairPolicy) -> Self {
+        self.repair = Some(policy);
+        self
+    }
+
     /// Runs the encoding pipeline and constructs the engine.
     ///
     /// # Errors
@@ -106,8 +116,11 @@ impl FerexBuilder {
         let sizing = self.sizing.unwrap_or_else(|| sizing_for(&self.tech));
         let dm = DistanceMatrix::from_metric(self.metric, self.bits);
         let report = find_minimal_cell(&dm, &sizing)?;
-        let array =
+        let mut array =
             FerexArray::new(self.tech.clone(), report.encoding.clone(), self.dim, self.backend);
+        if let Some(policy) = self.repair {
+            array.set_repair_policy(policy);
+        }
         Ok(Ferex {
             tech: self.tech,
             metric: self.metric,
@@ -220,14 +233,27 @@ impl Ferex {
         self.array.program();
     }
 
+    /// Brings the physical state up to date: a plain program without a
+    /// repair policy, a verified (write-verify + sparing) program with one.
+    fn ensure_programmed(&mut self) -> Result<(), FerexError> {
+        if self.array.repair_policy().is_some() {
+            self.array.program_verified()?;
+        } else {
+            self.array.program();
+        }
+        Ok(())
+    }
+
     /// One associative search. Programs the array first if its physical
-    /// state is stale.
+    /// state is stale (write-verifying it when a repair policy is
+    /// installed).
     ///
     /// # Errors
     ///
-    /// [`FerexError::Empty`] if nothing is stored; validation errors.
+    /// [`FerexError::Empty`] if nothing is stored; validation errors;
+    /// verify errors under a strict repair policy.
     pub fn search(&mut self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
-        self.array.program();
+        self.ensure_programmed()?;
         self.array.search(query)
     }
 
@@ -239,7 +265,7 @@ impl Ferex {
     /// As [`Ferex::search`]; [`FerexError::InvalidK`] for an unservable
     /// `k`.
     pub fn search_k(&mut self, query: &[u32], k: usize) -> Result<Vec<usize>, FerexError> {
-        self.array.program();
+        self.ensure_programmed()?;
         self.array.search_k(query, k)
     }
 
@@ -250,7 +276,7 @@ impl Ferex {
     ///
     /// As [`Ferex::search`].
     pub fn search_batch(&mut self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
-        self.array.program();
+        self.ensure_programmed()?;
         self.array.search_batch(queries)
     }
 
@@ -265,8 +291,39 @@ impl Ferex {
         queries: &[Vec<u32>],
         k: usize,
     ) -> Result<Vec<Vec<usize>>, FerexError> {
-        self.array.program();
+        self.ensure_programmed()?;
         self.array.search_k_batch(queries, k)
+    }
+
+    /// Installs a self-healing policy on the array (see
+    /// [`FerexArray::set_repair_policy`]); the physical state is
+    /// invalidated and rebuilt verified on the next search.
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        self.array.set_repair_policy(policy);
+    }
+
+    /// Programs and write-verifies the array (see
+    /// [`FerexArray::program_verified`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::program_verified`].
+    pub fn program_verified(&mut self) -> Result<ProgramReport, FerexError> {
+        self.array.program_verified()
+    }
+
+    /// Runs one online self-check pass (see [`FerexArray::scrub`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::scrub`].
+    pub fn scrub(&mut self) -> Result<ScrubReport, FerexError> {
+        self.array.scrub()
+    }
+
+    /// Point-in-time health view of the array (see [`FerexArray::health`]).
+    pub fn health(&self) -> HealthSnapshot {
+        self.array.health()
     }
 
     /// Reconfigures the engine to a different distance metric, keeping all
@@ -380,6 +437,39 @@ mod tests {
         assert!(cost.energy.total().value() > 0.0);
         let frac = cost.delay.scl_fraction();
         assert!((0.3..0.9).contains(&frac));
+    }
+
+    #[test]
+    fn engine_self_heals_with_repair_policy() {
+        use ferex_analog::LtaParams;
+        use ferex_fefet::{FaultPlan, VariationModel};
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            faults: FaultPlan { sa1_rate: 0.05, ..Default::default() },
+            seed: 21,
+            ..Default::default()
+        };
+        let mut ferex = Ferex::builder()
+            .dim(4)
+            .backend(Backend::Noisy(Box::new(cfg)))
+            .repair_policy(RepairPolicy { spare_rows: 16, ..Default::default() })
+            .build()
+            .expect("builds");
+        for r in 0..6u32 {
+            ferex.store((0..4).map(|d| (r + d) % 4).collect()).unwrap();
+        }
+        // Searching heals transparently: the verified program runs first.
+        let out = ferex.search(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(out.nearest, 0);
+        let report = ferex.array().program_report().expect("search verified the write");
+        assert!(!report.rows_remapped.is_empty(), "seed 21 faults rows");
+        let h = ferex.health();
+        assert_eq!(h.spares_in_use, report.rows_remapped.len());
+        assert!(h.counters.rows_quarantined > 0);
+        // A scrub on the healed array stays silent.
+        let scrub = ferex.scrub().unwrap();
+        assert!(scrub.findings.is_empty(), "healed array flagged: {:?}", scrub.findings);
     }
 
     #[test]

@@ -107,6 +107,23 @@ pub enum FerexError {
     /// since the last [`program`](crate::array::FerexArray::program) call,
     /// so there are no variation samples to search against.
     NotProgrammed,
+    /// Write-verify gave up on a cell and strict repair mode refused to
+    /// serve the row.
+    VerifyFailed {
+        /// Logical row that failed verify.
+        row: usize,
+        /// First physical cell (column) within the row that could not be
+        /// pulled into tolerance.
+        cell: usize,
+    },
+    /// A row needed a spare but the spare pool is exhausted; the row has
+    /// been excluded from search instead of remapped.
+    SparesExhausted {
+        /// Logical row left without a spare.
+        row: usize,
+        /// Size of the configured spare pool (all in use or burned).
+        spares: usize,
+    },
 }
 
 impl fmt::Display for FerexError {
@@ -125,6 +142,12 @@ impl fmt::Display for FerexError {
             }
             FerexError::NotProgrammed => {
                 write!(f, "array contents changed since the last program() call")
+            }
+            FerexError::VerifyFailed { row, cell } => {
+                write!(f, "write-verify gave up on row {row}, cell {cell}")
+            }
+            FerexError::SparesExhausted { row, spares } => {
+                write!(f, "row {row} needs a spare but all {spares} spare rows are in use")
             }
         }
     }
@@ -159,6 +182,11 @@ mod tests {
         assert!(e.to_string().contains("k = 5"));
         assert!(e.to_string().contains("3 stored rows"));
         assert!(FerexError::NotProgrammed.to_string().contains("program()"));
+        let e = FerexError::VerifyFailed { row: 4, cell: 17 };
+        assert_eq!(e.to_string(), "write-verify gave up on row 4, cell 17");
+        let e = FerexError::SparesExhausted { row: 9, spares: 2 };
+        assert!(e.to_string().contains("row 9"));
+        assert!(e.to_string().contains("2 spare rows"));
     }
 
     #[test]

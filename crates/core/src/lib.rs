@@ -57,6 +57,7 @@ pub mod encoding;
 pub mod engine;
 pub mod error;
 pub mod feasibility;
+pub mod health;
 pub mod sizing;
 pub mod tile;
 pub mod verify;
@@ -67,6 +68,11 @@ pub use dm::DistanceMatrix;
 pub use encoding::{CellEncoding, EncodingLimits, SearchEncoding, StoredEncoding};
 pub use engine::{sizing_for, CostReport, Ferex, FerexBuilder};
 pub use error::{EncodeError, FerexError};
+pub use health::{
+    FaultAttribution, HealthCounters, HealthSnapshot, ProgramReport, RepairPolicy, RowHealth,
+    ScrubFinding, ScrubReport,
+};
+
 pub use feasibility::{
     chain_compatible, detect_feasibility, enumerate_solutions, FeasibilityConfig, FeasibilityError,
     FeasibilityOutcome, FeasibleRegion, FetRow, RowConfig,

@@ -16,6 +16,7 @@ use crate::dm::DistanceMatrix;
 use crate::encoding::CellEncoding;
 use crate::engine::sizing_for;
 use crate::error::FerexError;
+use crate::health::{HealthSnapshot, ProgramReport, RepairPolicy, RowHealth, ScrubReport};
 use crate::sizing::find_minimal_cell;
 use ferex_fefet::math::splitmix64;
 use ferex_fefet::Technology;
@@ -289,14 +290,19 @@ impl TiledArray {
         Ok(totals)
     }
 
-    fn digital_argmin(distances: Vec<f64>) -> SearchOutcome {
+    fn digital_argmin(distances: Vec<f64>) -> Result<SearchOutcome, FerexError> {
+        // A row quarantined in any tile accumulates an infinite total and
+        // can never win; with every row quarantined there is no neighbor.
+        if !distances.iter().any(|d| d.is_finite()) {
+            return Err(FerexError::Empty);
+        }
         let nearest = distances
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
             .expect("non-empty");
-        SearchOutcome { distances, nearest }
+        Ok(SearchOutcome { distances, nearest })
     }
 
     /// One search: accumulated distances plus a digital argmin (after the
@@ -307,7 +313,7 @@ impl TiledArray {
     ///
     /// As [`TiledArray::distances`].
     pub fn search(&self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
-        Ok(Self::digital_argmin(self.distances(query)?))
+        Self::digital_argmin(self.distances(query)?)
     }
 
     /// Searches a whole batch; equivalent to a loop of
@@ -320,12 +326,13 @@ impl TiledArray {
     /// As [`TiledArray::distances_batch`].
     pub fn search_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
         let distances = self.distances_batch(queries)?;
-        Ok(distances.into_iter().map(Self::digital_argmin).collect())
+        distances.into_iter().map(Self::digital_argmin).collect()
     }
 
     fn rank_k(distances: &[f64], k: usize) -> Result<Vec<usize>, FerexError> {
-        if k == 0 || k > distances.len() {
-            return Err(FerexError::InvalidK { k, rows: distances.len() });
+        let active = distances.iter().filter(|d| d.is_finite()).count();
+        if k == 0 || k > active {
+            return Err(FerexError::InvalidK { k, rows: active });
         }
         let mut order: Vec<usize> = (0..distances.len()).collect();
         order.sort_by(|&a, &b| distances[a].total_cmp(&distances[b]).then(a.cmp(&b)));
@@ -356,6 +363,115 @@ impl TiledArray {
     ) -> Result<Vec<Vec<usize>>, FerexError> {
         let distances = self.distances_batch(queries)?;
         distances.iter().map(|d| Self::rank_k(d, k)).collect()
+    }
+
+    /// Installs the same repair policy on every tile: each tile reserves
+    /// its own spare and sentinel rows and heals independently (a logical
+    /// row is served only while every tile serves its slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's knobs are out of range.
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+        for tile in &mut self.tiles {
+            tile.set_repair_policy(policy.clone());
+        }
+    }
+
+    /// Programs and write-verifies every tile; returns one
+    /// [`ProgramReport`] per tile (tile order).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::program_verified`] — the first failing tile aborts
+    /// the loop (only meaningful under a strict policy).
+    pub fn program_verified(&mut self) -> Result<Vec<ProgramReport>, FerexError> {
+        self.tiles.iter_mut().map(FerexArray::program_verified).collect()
+    }
+
+    /// Runs one scrub pass on every tile; returns one [`ScrubReport`] per
+    /// tile (tile order).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::scrub`].
+    pub fn scrub(&mut self) -> Result<Vec<ScrubReport>, FerexError> {
+        self.tiles.iter_mut().map(FerexArray::scrub).collect()
+    }
+
+    /// Quarantines one logical row in every tile, remapping each tile's
+    /// slice onto that tile's spare pool. Returns the spare physical index
+    /// chosen per tile.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::SparesExhausted`] if any tile ran out of spares — the
+    /// remaining tiles are still processed first, and the row ends up
+    /// excluded from search (an infinite partial in one tile makes the
+    /// accumulated total infinite).
+    pub fn quarantine_row(&mut self, row: usize) -> Result<Vec<usize>, FerexError> {
+        let mut spares = Vec::with_capacity(self.tiles.len());
+        let mut first_err = None;
+        for tile in &mut self.tiles {
+            match tile.quarantine_row(row) {
+                Ok(spare) => spares.push(spare),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(spares),
+        }
+    }
+
+    /// Aggregated health across tiles: counters and spare occupancy are
+    /// summed; a logical row counts as active only while no tile has it
+    /// quarantined.
+    pub fn health(&self) -> HealthSnapshot {
+        let mut agg = HealthSnapshot::default();
+        for tile in &self.tiles {
+            let h = tile.health();
+            agg.counters.rows_quarantined += h.counters.rows_quarantined;
+            agg.counters.repairs_attempted += h.counters.repairs_attempted;
+            agg.counters.repairs_succeeded += h.counters.repairs_succeeded;
+            agg.counters.cells_given_up += h.counters.cells_given_up;
+            agg.counters.scrubs_completed += h.counters.scrubs_completed;
+            agg.counters.last_scrub_seconds =
+                agg.counters.last_scrub_seconds.max(h.counters.last_scrub_seconds);
+            agg.spare_rows += h.spare_rows;
+            agg.spares_in_use += h.spares_in_use;
+            agg.spares_burned += h.spares_burned;
+        }
+        for row in 0..self.len() {
+            match self.row_health(row) {
+                RowHealth::Quarantined => agg.rows_quarantined_now += 1,
+                RowHealth::Remapped { .. } => {
+                    agg.rows_active += 1;
+                    agg.rows_remapped_now += 1;
+                }
+                RowHealth::Healthy => agg.rows_active += 1,
+            }
+        }
+        agg
+    }
+
+    /// Global health of one logical row: quarantined if *any* tile dropped
+    /// it, remapped if any tile serves it from a spare, healthy otherwise.
+    /// (For a remapped row the reported spare index is the first remapping
+    /// tile's — per-tile detail lives on [`TiledArray::tiles`].)
+    pub fn row_health(&self, row: usize) -> RowHealth {
+        let mut remapped = None;
+        for tile in &self.tiles {
+            match tile.row_health(row) {
+                RowHealth::Quarantined => return RowHealth::Quarantined,
+                RowHealth::Remapped { spare } => remapped = remapped.or(Some(spare)),
+                RowHealth::Healthy => {}
+            }
+        }
+        match remapped {
+            Some(spare) => RowHealth::Remapped { spare },
+            None => RowHealth::Healthy,
+        }
     }
 }
 
@@ -593,5 +709,56 @@ mod tests {
         for (i, q) in queries.iter().enumerate() {
             assert_eq!(k_batched[i], tiled.search_k(q, 2).unwrap(), "query {i}");
         }
+    }
+
+    #[test]
+    fn tiled_self_heal_spans_every_tile() {
+        use crate::health::RepairPolicy;
+        use ferex_analog::LtaParams;
+        use ferex_fefet::VariationModel;
+        let enc = encoding();
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            seed: 5,
+            ..Default::default()
+        };
+        let mut tiled =
+            TiledArray::new(Technology::default(), enc, 10, 4, Backend::Noisy(Box::new(cfg)));
+        tiled.set_repair_policy(RepairPolicy { spare_rows: 1, ..Default::default() });
+        for v in data(10) {
+            tiled.store(v).unwrap();
+        }
+        let reports = tiled.program_verified().unwrap();
+        assert_eq!(reports.len(), 3, "one report per tile");
+        assert!(reports.iter().all(|r| r.rows_quarantined.is_empty()));
+        // Fault-free scrub stays silent on every tile.
+        let scrubs = tiled.scrub().unwrap();
+        assert!(scrubs.iter().all(|s| s.findings.is_empty()));
+        // Quarantine row 1 everywhere: each tile remaps onto its spare.
+        let spares = tiled.quarantine_row(1).unwrap();
+        assert_eq!(spares.len(), 3);
+        assert!(matches!(tiled.row_health(1), RowHealth::Remapped { .. }));
+        let q: Vec<u32> = (0..10).map(|d| ((1 + d) % 4) as u32).collect();
+        let out = tiled.search(&q).unwrap();
+        assert_eq!(out.nearest, 1, "remapped row keeps its logical id");
+        assert_eq!(out.distances[1], 0.0);
+        // The pool (one spare per tile) is now dry: the next quarantine
+        // excludes the row globally.
+        assert!(matches!(tiled.quarantine_row(2), Err(FerexError::SparesExhausted { row: 2, .. })));
+        assert_eq!(tiled.row_health(2), RowHealth::Quarantined);
+        let out = tiled.search(&q).unwrap();
+        assert!(out.distances[2].is_infinite());
+        assert_eq!(
+            tiled.search_k(&q, 4),
+            Err(FerexError::InvalidK { k: 4, rows: 3 }),
+            "only three rows stay active"
+        );
+        let h = tiled.health();
+        assert_eq!(h.rows_active, 3);
+        assert_eq!(h.rows_quarantined_now, 1);
+        assert_eq!(h.rows_remapped_now, 1);
+        assert_eq!(h.spare_rows, 3);
+        assert_eq!(h.spares_in_use, 3);
     }
 }

@@ -1,14 +1,16 @@
 //! Property tests for the encoding pipeline invariants.
 
+use ferex_analog::lta::LtaParams;
 use ferex_core::decompose::{count_decompositions, decompose};
 use ferex_core::feasibility::{
     chain_compatible, detect_feasibility, enumerate_row_configs, FeasibilityConfig,
 };
 use ferex_core::{
-    find_minimal_cell, sizing_for, Backend, CellEncoding, DistanceMatrix, DistanceMetric,
-    EncodingLimits, FerexArray, SizingOptions,
+    find_minimal_cell, sizing_for, Backend, CellEncoding, CircuitConfig, DistanceMatrix,
+    DistanceMetric, EncodingLimits, FerexArray, RepairPolicy, RowHealth, SearchOutcome,
+    SizingOptions,
 };
-use ferex_fefet::Technology;
+use ferex_fefet::{Technology, VariationModel};
 use proptest::prelude::*;
 
 proptest! {
@@ -173,5 +175,89 @@ proptest! {
         let report = find_minimal_cell(&dm, &sizing_for(&Technology::default()))
             .expect("paper metrics must be encodable at 1-2 bits");
         prop_assert!(report.encoding.verify(&dm).is_ok());
+    }
+
+    /// Row sparing is invisible to the serving contract: after an arbitrary
+    /// quarantine sequence (including spare exhaustion), every still-served
+    /// row answers under its *original logical id* with its exact metric
+    /// distance, quarantined rows read as infinite, the reported nearest is
+    /// the argmin over served rows, and the batched path stays bit-identical
+    /// to sequential serving.
+    #[test]
+    fn remapped_arrays_preserve_logical_row_ids(
+        data in prop::collection::vec(prop::collection::vec(0u32..4, 6), 3..8),
+        query in prop::collection::vec(0u32..4, 6),
+        hits in prop::collection::vec(0usize..8, 0..6),
+        seed in 0u64..32,
+    ) {
+        let dm = DistanceMatrix::from_metric(DistanceMetric::Hamming, 2);
+        let enc = find_minimal_cell(&dm, &SizingOptions::default()).unwrap().encoding;
+        // Fault-isolation corner: readback is exact, so every spare accepts
+        // its remap and distances carry no noise term.
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            seed,
+            ..Default::default()
+        };
+        let mut array =
+            FerexArray::new(Technology::default(), enc, 6, Backend::Noisy(Box::new(cfg)));
+        array.store_all(data.iter().cloned()).unwrap();
+        array.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() });
+        array.program_verified().expect("fault-free corner verifies clean");
+
+        // Arbitrary quarantine sequence; exhaustion errors still exclude
+        // the row, which is exactly the degradation contract under test.
+        for &h in &hits {
+            let row = h % data.len();
+            let _ = array.quarantine_row(row);
+        }
+
+        let served: Vec<usize> = (0..data.len())
+            .filter(|&r| array.row_health(r) != RowHealth::Quarantined)
+            .collect();
+        let distances = array.distances(&query).unwrap();
+        let m = DistanceMetric::Hamming;
+        for r in 0..data.len() {
+            if served.contains(&r) {
+                prop_assert_eq!(
+                    distances[r],
+                    m.vector_distance(&query, &data[r]) as f64,
+                    "served row {} must answer with its own data", r
+                );
+            } else {
+                prop_assert!(
+                    distances[r].is_infinite(),
+                    "quarantined row {} must never win a search", r
+                );
+            }
+        }
+
+        if served.is_empty() {
+            prop_assert!(array.search(&query).is_err(), "nothing left to serve");
+            return;
+        }
+        let nearest = array.search(&query).unwrap().nearest;
+        let want = *served
+            .iter()
+            .min_by(|&&a, &&b| distances[a].partial_cmp(&distances[b]).unwrap())
+            .unwrap();
+        prop_assert_eq!(nearest, want, "nearest must be the argmin over served rows");
+
+        // Batched serving is bit-identical to sequential, spares and all.
+        let queries = vec![query.clone(), data[served[0]].clone()];
+        let batched = array.search_batch(&queries).unwrap();
+        let sequential: Vec<SearchOutcome> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| array.search_at(q, i as u64).unwrap())
+            .collect();
+        prop_assert_eq!(batched, sequential);
+        if served.len() >= 2 {
+            let kb = array.search_k_batch(&queries, 2).unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                prop_assert_eq!(&kb[i], &array.search_k_at(q, 2, i as u64).unwrap());
+            }
+        }
     }
 }

@@ -123,6 +123,14 @@ impl Cell {
     pub fn is_on(&self, tech: &Technology, v_gate: Volt, v_scl: Volt) -> bool {
         self.fefet.is_on(tech, v_gate - v_scl)
     }
+
+    /// Relative deviation of the series resistor from nominal,
+    /// `|R/R_cell − 1|` — the readback signal the write-verify loop uses to
+    /// spot resistor defects (shorts and opens sit far outside the healthy
+    /// variation band).
+    pub fn r_deviation(&self, tech: &Technology) -> f64 {
+        (self.resistance.value() / tech.r_cell.value() - 1.0).abs()
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +248,17 @@ mod tests {
         let tech = Technology::default();
         let mut cell = Cell::new(&tech);
         cell.scale_resistance(0.0);
+    }
+
+    #[test]
+    fn r_deviation_tracks_resistor_defects() {
+        let tech = Technology::default();
+        let mut cell = Cell::new(&tech);
+        assert_eq!(cell.r_deviation(&tech), 0.0);
+        cell.scale_resistance(0.1); // short
+        assert!((cell.r_deviation(&tech) - 0.9).abs() < 1e-12);
+        let varied = Cell::with_variation(&tech, DeviceSample { dvth: Volt(0.0), r_factor: 1.08 });
+        assert!((varied.r_deviation(&tech) - 0.08).abs() < 1e-12);
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub use endurance::EnduranceModel;
 pub use faults::{CellFault, FaultPlan};
 pub use params::Technology;
 pub use preisach::{PreisachModel, PreisachParams};
-pub use programming::{ProgramReport, ProgramVthError, Pulse, WriteScheme};
+pub use programming::{
+    CellReadback, CellVerify, ProgramReport, ProgramVthError, Pulse, VerifyPolicy, WriteScheme,
+};
 pub use retention::{RetentionModel, TEN_YEARS};
 pub use transistor::FetParams;
 pub use variation::{DeviceSample, VariationModel};

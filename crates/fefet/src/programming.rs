@@ -158,6 +158,121 @@ impl WriteScheme {
     }
 }
 
+/// Post-program readback of one cell, as seen by the write-verify loop.
+///
+/// Produced by the array layer (which knows the fault map and variation
+/// sample behind the cell); consumed by [`VerifyPolicy::verify`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellReadback {
+    /// Signed `V_th − target` deviation measured after the initial program.
+    pub residual: Volt,
+    /// Relative series-resistance deviation `|R/R_nominal − 1|`
+    /// (infinite for an open current path).
+    pub r_deviation: f64,
+    /// Whether the cell conducts at all under its verify bias (stuck-erased
+    /// or open cells do not).
+    pub conducts: bool,
+    /// Whether re-pulsing can move this cell's threshold (stuck-at cells
+    /// ignore further pulses).
+    pub repairable: bool,
+}
+
+/// Per-cell verdict of the bounded write-verify retry loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellVerify {
+    /// Readback was within tolerance on the first verify.
+    Clean,
+    /// Re-pulsing pulled the residual into tolerance.
+    Repaired {
+        /// Retry pulses spent before the verify passed.
+        retries: usize,
+        /// Trimmed residual after the final retry.
+        residual: Volt,
+    },
+    /// The retry budget was exhausted (or the cell cannot respond to
+    /// pulses at all) without passing verify.
+    Failed {
+        /// Retry pulses spent (always the full budget).
+        retries: usize,
+    },
+}
+
+/// Bounded write-verify retry policy with exponential pulse-amplitude
+/// backoff.
+///
+/// Each retry applies a trim pulse that cancels a fixed fraction of the
+/// remaining `V_th` residual: after `t` retries the residual is
+/// `residual₀ · backoff^t`. The loop is deterministic (no RNG) and hard
+/// bounded by `max_retries` — there is no unbounded pulse loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyPolicy {
+    /// Acceptable `|V_th − target|` after verify.
+    pub tolerance: Volt,
+    /// Acceptable relative series-resistance deviation (shorted and open
+    /// resistors sit far outside; healthy variation stays well inside).
+    pub r_tolerance: f64,
+    /// Maximum retry pulses per cell.
+    pub max_retries: usize,
+    /// Residual multiplier per retry pulse, in `(0, 1)`.
+    pub backoff: f64,
+}
+
+impl Default for VerifyPolicy {
+    fn default() -> Self {
+        VerifyPolicy { tolerance: Volt(0.03), r_tolerance: 0.45, max_retries: 4, backoff: 0.5 }
+    }
+}
+
+impl VerifyPolicy {
+    /// Panics if any knob is out of range.
+    pub fn assert_valid(&self) {
+        assert!(self.tolerance.value() > 0.0, "verify tolerance must be positive");
+        assert!(self.r_tolerance > 0.0, "resistance tolerance must be positive");
+        assert!(
+            self.backoff > 0.0 && self.backoff < 1.0,
+            "backoff must be in (0,1), got {}",
+            self.backoff
+        );
+    }
+
+    /// Runs the bounded retry loop against one readback and returns the
+    /// verdict together with the trimmed residual the array should commit.
+    ///
+    /// Non-conducting cells, resistor defects and stuck thresholds cannot be
+    /// pulsed back into tolerance; they consume the full retry budget (a real
+    /// controller cannot tell a stuck cell from a slow one without spending
+    /// its pulses) and fail.
+    pub fn verify(&self, readback: &CellReadback) -> CellVerify {
+        self.assert_valid();
+        if !readback.conducts || readback.r_deviation > self.r_tolerance {
+            return CellVerify::Failed { retries: self.max_retries };
+        }
+        if readback.residual.abs() <= self.tolerance {
+            return CellVerify::Clean;
+        }
+        if !readback.repairable {
+            return CellVerify::Failed { retries: self.max_retries };
+        }
+        let mut residual = readback.residual;
+        for t in 1..=self.max_retries {
+            residual = Volt(residual.value() * self.backoff);
+            if residual.abs() <= self.tolerance {
+                return CellVerify::Repaired { retries: t, residual };
+            }
+        }
+        CellVerify::Failed { retries: self.max_retries }
+    }
+
+    /// The residual left on the cell after the verdict: trimmed for
+    /// [`CellVerify::Repaired`], untouched otherwise.
+    pub fn trimmed_residual(&self, readback: &CellReadback) -> Volt {
+        match self.verify(readback) {
+            CellVerify::Repaired { residual, .. } => residual,
+            CellVerify::Clean | CellVerify::Failed { .. } => readback.residual,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,5 +358,77 @@ mod tests {
         assert_eq!(err.target, tech.vth_level(0));
         let msg = err.to_string();
         assert!(msg.contains("did not converge"), "{msg}");
+    }
+
+    fn healthy(residual: f64) -> CellReadback {
+        CellReadback {
+            residual: Volt(residual),
+            r_deviation: 0.05,
+            conducts: true,
+            repairable: true,
+        }
+    }
+
+    #[test]
+    fn verify_passes_in_tolerance_readbacks() {
+        let policy = VerifyPolicy::default();
+        assert_eq!(policy.verify(&healthy(0.0)), CellVerify::Clean);
+        assert_eq!(policy.verify(&healthy(0.03)), CellVerify::Clean);
+        assert_eq!(policy.verify(&healthy(-0.03)), CellVerify::Clean);
+    }
+
+    #[test]
+    fn verify_backoff_converges_with_bounded_retries() {
+        let policy = VerifyPolicy::default();
+        // 0.1 → 0.05 → 0.025: two halvings land inside the 30 mV window.
+        let verdict = policy.verify(&healthy(0.1));
+        let CellVerify::Repaired { retries, residual } = verdict else {
+            panic!("expected a repair, got {verdict:?}");
+        };
+        assert_eq!(retries, 2);
+        assert!((residual.value() - 0.025).abs() < 1e-12);
+        // Negative residuals trim symmetrically.
+        let verdict = policy.verify(&healthy(-0.1));
+        let CellVerify::Repaired { retries, residual } = verdict else {
+            panic!("expected a repair, got {verdict:?}");
+        };
+        assert_eq!(retries, 2);
+        assert!((residual.value() + 0.025).abs() < 1e-12);
+        // The trimmed residual is what the array commits.
+        assert_eq!(policy.trimmed_residual(&healthy(0.1)), Volt(0.025));
+    }
+
+    #[test]
+    fn verify_is_deterministic_and_bounded() {
+        let policy = VerifyPolicy { max_retries: 3, ..Default::default() };
+        // Far outside: 3 halvings of 1.0 V cannot reach 30 mV.
+        let rb = healthy(1.0);
+        assert_eq!(policy.verify(&rb), CellVerify::Failed { retries: 3 });
+        // Repeated evaluation yields the identical verdict (no hidden state).
+        for _ in 0..8 {
+            assert_eq!(policy.verify(&healthy(0.1)), policy.verify(&healthy(0.1)));
+        }
+    }
+
+    #[test]
+    fn verify_unrepairable_cells_consume_the_budget() {
+        let policy = VerifyPolicy::default();
+        let stuck = CellReadback { repairable: false, ..healthy(0.2) };
+        assert_eq!(policy.verify(&stuck), CellVerify::Failed { retries: policy.max_retries });
+        // An unrepairable cell already in tolerance still verifies clean.
+        let stuck_ok = CellReadback { repairable: false, ..healthy(0.01) };
+        assert_eq!(policy.verify(&stuck_ok), CellVerify::Clean);
+        let dead = CellReadback { conducts: false, r_deviation: f64::INFINITY, ..healthy(0.0) };
+        assert_eq!(policy.verify(&dead), CellVerify::Failed { retries: policy.max_retries });
+        let shorted = CellReadback { r_deviation: 0.9, repairable: false, ..healthy(0.0) };
+        assert_eq!(policy.verify(&shorted), CellVerify::Failed { retries: policy.max_retries });
+        assert_eq!(policy.trimmed_residual(&stuck), Volt(0.2));
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff must be in (0,1)")]
+    fn verify_rejects_bad_backoff() {
+        let policy = VerifyPolicy { backoff: 1.5, ..Default::default() };
+        policy.verify(&healthy(0.0));
     }
 }
