@@ -15,20 +15,27 @@
 //! 4. **Self-healing recovery** — the standard recall-recovery report:
 //!    the same faulted arrays served with write-verify + row sparing on,
 //!    against their own no-repair baselines.
+//! 5. **Chaos soak** — the standard replicated-serving availability report:
+//!    three replicas with a 2-of-2 quorum, one replica faulted, another
+//!    killed mid-stream, scheduled scrubs — recall@1 must hold at ≥ 0.99
+//!    and the report must be byte-reproducible from its seed.
 //!
 //! The process exits non-zero when a sweep violates its oracle gate: a
 //! fault-free degradation anchor below 1.0, a healed recall@1 below 0.99
-//! at the 1 % stuck-at rate, or a recovery report in which self-healing
-//! never beats the faulted baseline.
+//! at the 1 % stuck-at rate, a recovery report in which self-healing
+//! never beats the faulted baseline, or a chaos soak whose availability
+//! dips below the floor or whose report is not bit-reproducible.
 //!
 //! Run with: `cargo run --release -p ferex-bench --bin robustness`
 //! Flags: `--seed N` (conformance base seed, default 42), `--report PATH`
 //! (write the degradation JSON report), `--recovery-report PATH` (write the
-//! recovery JSON report), `--conformance-only` (degradation sweep only —
-//! what the CI conformance job runs), `--self-heal-only` (recovery sweep
-//! only — what the CI self-heal job runs).
+//! recovery JSON report), `--chaos-report PATH` (write the chaos JSON
+//! report), `--conformance-only` (degradation sweep only — what the CI
+//! conformance job runs), `--self-heal-only` (recovery sweep only — what
+//! the CI self-heal job runs), `--chaos-only` (chaos soak only — what the
+//! CI chaos job runs).
 
-use ferex_conformance::{standard_recovery_report, standard_report};
+use ferex_conformance::{standard_chaos_report, standard_recovery_report, standard_report};
 use ferex_core::{Backend, CircuitConfig, DistanceMetric};
 use ferex_datasets::spec::UCIHAR;
 use ferex_datasets::synth::{generate, perturb, SynthOptions};
@@ -42,8 +49,10 @@ struct Args {
     seed: u64,
     report_path: Option<String>,
     recovery_report_path: Option<String>,
+    chaos_report_path: Option<String>,
     conformance_only: bool,
     self_heal_only: bool,
+    chaos_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,8 +63,10 @@ fn parse_args() -> Result<Args, String> {
             .unwrap_or(42),
         report_path: None,
         recovery_report_path: None,
+        chaos_report_path: None,
         conformance_only: false,
         self_heal_only: false,
+        chaos_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,8 +80,12 @@ fn parse_args() -> Result<Args, String> {
                 args.recovery_report_path =
                     Some(it.next().ok_or("--recovery-report needs a path")?);
             }
+            "--chaos-report" => {
+                args.chaos_report_path = Some(it.next().ok_or("--chaos-report needs a path")?);
+            }
             "--conformance-only" => args.conformance_only = true,
             "--self-heal-only" => args.self_heal_only = true,
+            "--chaos-only" => args.chaos_only = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -184,13 +199,73 @@ fn recovery_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn chaos_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    println!("# sweep 5: replicated-serving chaos soak (seed {})", args.seed);
+    let report = standard_chaos_report(args.seed);
+    println!(
+        "{:>11} | {:>5} | {:>7} | {:>5} | recall@1 (fallbacks/trips) by rising rate",
+        "metric", "fault", "quorum", "alive"
+    );
+    for curve in &report.curves {
+        let legs: Vec<String> = curve
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:.2}({}/{})@{}",
+                    p.recall_at_1, p.oracle_fallbacks, p.breaker_trips, p.rate
+                )
+            })
+            .collect();
+        let alive = curve.points.last().map_or(0, |p| p.replicas_alive);
+        println!(
+            "{:>11} | {:>5} | {:>4}/{} | {:>2}/{} | {}",
+            curve.metric,
+            curve.fault,
+            curve.agree,
+            curve.reads,
+            alive,
+            curve.replicas,
+            legs.join("  ")
+        );
+    }
+    if let Some(path) = &args.chaos_report_path {
+        std::fs::write(path, report.to_json())?;
+        println!("# machine-readable chaos report written to {path}");
+    }
+    // Gate 1: availability — recall@1 must hold the 0.99 floor at every
+    // rate point of every soak, kills and faults notwithstanding.
+    let breached: Vec<String> = report
+        .curves
+        .iter()
+        .filter(|c| !c.meets_recall_floor(0.99))
+        .map(|c| {
+            let worst = c.points.iter().map(|p| p.recall_at_1).fold(f64::INFINITY, f64::min);
+            format!("{}/{}/{} worst recall@1 {:.3}", c.metric, c.backend, c.fault, worst)
+        })
+        .collect();
+    if !breached.is_empty() {
+        return Err(format!("chaos availability gate breached: {}", breached.join(", ")).into());
+    }
+    // Gate 2: determinism — a chaos report regenerated from the same seed
+    // must serialize byte-identically (virtual tick clocks, no wall time).
+    if standard_chaos_report(args.seed).to_json() != report.to_json() {
+        return Err("chaos report is not byte-reproducible from its seed".into());
+    }
+    println!("# all chaos gates passed");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| {
         format!(
-            "{e} (flags: --seed N --report PATH --recovery-report PATH \
-             --conformance-only --self-heal-only)"
+            "{e} (flags: --seed N --report PATH --recovery-report PATH --chaos-report PATH \
+             --conformance-only --self-heal-only --chaos-only)"
         )
     })?;
+    if args.chaos_only {
+        return chaos_sweep(&args);
+    }
     if args.self_heal_only {
         return recovery_sweep(&args);
     }
@@ -245,5 +320,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(" redundancy claim; a brittle representation would cliff)\n");
     conformance_sweep(&args)?;
     println!();
-    recovery_sweep(&args)
+    recovery_sweep(&args)?;
+    println!();
+    chaos_sweep(&args)
 }

@@ -58,6 +58,35 @@ pub enum Command {
         /// Fault-injection plan for stochastic backends.
         faults: FaultPlan,
     },
+    /// Replicated degraded-mode serving soak over a query stream.
+    ServeSim {
+        /// Target metric.
+        metric: DistanceMetric,
+        /// Symbol bit width.
+        bits: u32,
+        /// Stored vectors (shared by every replica).
+        stored: Vec<Vec<u32>>,
+        /// Query stream, served in order.
+        queries: Vec<Vec<u32>>,
+        /// Simulation backend.
+        backend: BackendKind,
+        /// RNG seed; replica seeds derive from it.
+        seed: u64,
+        /// Fault plan injected into replica 0 (the others stay clean).
+        faults: FaultPlan,
+        /// Spare rows per replica (`0` disables write-verify/repair).
+        spares: usize,
+        /// Replica count.
+        replicas: usize,
+        /// Quorum reads per query.
+        reads: usize,
+        /// Quorum agreement threshold.
+        agree: usize,
+        /// Chaos kill schedule: `(replica, query index)`.
+        kill: Option<(usize, usize)>,
+        /// Scheduled scrub period in queries; 0 disables.
+        scrub_every: usize,
+    },
     /// Co-simulate an encoding on the device-level array.
     Verify {
         /// Target metric.
@@ -173,6 +202,73 @@ fn parse_fault_plan(s: &str) -> Result<FaultPlan, ParseArgsError> {
     Ok(plan)
 }
 
+/// Parses a quorum spec `READS/AGREE`, e.g. `2/2`. Structural only; the
+/// replica-count cross-check happens once `--replicas` is known.
+fn parse_quorum(s: &str) -> Result<(usize, usize), ParseArgsError> {
+    let (reads, agree) = s
+        .split_once('/')
+        .ok_or_else(|| err(format!("quorum spec '{s}' is not READS/AGREE (e.g. 2/2)")))?;
+    let reads: usize = reads
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("invalid quorum reads '{reads}' in '{s}'")))?;
+    let agree: usize = agree
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("invalid quorum agreement '{agree}' in '{s}'")))?;
+    if reads == 0 || agree == 0 {
+        return Err(err(format!("quorum '{s}' must have reads and agreement >= 1")));
+    }
+    if agree > reads {
+        return Err(err(format!("quorum agree ({agree}) exceeds reads ({reads})")));
+    }
+    Ok((reads, agree))
+}
+
+/// Parses a chaos schedule: comma-separated `key=value` pairs over
+/// `kill` (`REPLICA@QUERY`, fire once mid-stream) and `scrub` (period in
+/// queries). Unmentioned knobs stay off, mirroring the fault-spec grammar.
+fn parse_chaos_plan(s: &str) -> Result<(Option<(usize, usize)>, usize), ParseArgsError> {
+    let mut kill = None;
+    let mut scrub_every = 0usize;
+    let mut seen: Vec<&str> = Vec::new();
+    for pair in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| err(format!("chaos spec '{pair}' is not key=value")))?;
+        let key = key.trim();
+        if seen.contains(&key) {
+            return Err(err(format!(
+                "duplicate chaos knob '{key}' — each knob may appear at most once"
+            )));
+        }
+        let value = value.trim();
+        match key {
+            "kill" => {
+                let (replica, at) = value.split_once('@').ok_or_else(|| {
+                    err(format!("chaos kill '{value}' is not REPLICA@QUERY (e.g. 1@8)"))
+                })?;
+                let replica: usize = replica
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid kill replica '{replica}' in '{value}'")))?;
+                let at: usize = at
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(format!("invalid kill query index '{at}' in '{value}'")))?;
+                kill = Some((replica, at));
+            }
+            "scrub" => {
+                scrub_every =
+                    value.parse().map_err(|_| err(format!("invalid scrub period '{value}'")))?;
+            }
+            other => return Err(err(format!("unknown chaos knob '{other}' (kill|scrub)"))),
+        }
+        seen.push(key);
+    }
+    Ok((kill, scrub_every))
+}
+
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
 }
@@ -283,6 +379,74 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .unwrap_or(0);
             Ok(Command::Search { metric, bits, stored, query, backend, seed, faults, spares })
         }
+        "serve-sim" => {
+            let flags = Flags::new(rest)?;
+            flags.ensure_known(&[
+                "metric", "bits", "store", "queries", "backend", "seed", "faults", "spares",
+                "replicas", "quorum", "chaos",
+            ])?;
+            let metric = parse_metric(flags.require("metric")?)?;
+            let bits = flags
+                .get("bits")
+                .map(|b| b.parse::<u32>().map_err(|_| err("invalid --bits")))
+                .transpose()?
+                .unwrap_or(2);
+            let stored = parse_vectors(flags.require("store")?)?;
+            let queries = parse_vectors(flags.require("queries")?)?;
+            let backend =
+                flags.get("backend").map(parse_backend).transpose()?.unwrap_or(BackendKind::Noisy);
+            let seed = flags
+                .get("seed")
+                .map(|s| s.parse::<u64>().map_err(|_| err("invalid --seed")))
+                .transpose()?
+                .unwrap_or(0);
+            let faults =
+                flags.get("faults").map(parse_fault_plan).transpose()?.unwrap_or(FaultPlan::none());
+            let spares = flags
+                .get("spares")
+                .map(|s| s.parse::<usize>().map_err(|_| err("invalid --spares")))
+                .transpose()?
+                .unwrap_or(0);
+            let replicas = flags
+                .get("replicas")
+                .map(|s| s.parse::<usize>().map_err(|_| err("invalid --replicas")))
+                .transpose()?
+                .unwrap_or(3);
+            if replicas == 0 {
+                return Err(err("--replicas must be >= 1"));
+            }
+            let (reads, agree) =
+                flags.get("quorum").map(parse_quorum).transpose()?.unwrap_or((1, 1));
+            if reads > replicas {
+                return Err(err(format!(
+                    "quorum reads ({reads}) exceeds replica count ({replicas})"
+                )));
+            }
+            let (kill, scrub_every) =
+                flags.get("chaos").map(parse_chaos_plan).transpose()?.unwrap_or((None, 0));
+            if let Some((k, _)) = kill {
+                if k >= replicas {
+                    return Err(err(format!(
+                        "chaos kill replica ({k}) is out of range for {replicas} replicas"
+                    )));
+                }
+            }
+            Ok(Command::ServeSim {
+                metric,
+                bits,
+                stored,
+                queries,
+                backend,
+                seed,
+                faults,
+                spares,
+                replicas,
+                reads,
+                agree,
+                kill,
+                scrub_every,
+            })
+        }
         "montecarlo" | "mc" => {
             let flags = Flags::new(rest)?;
             flags.ensure_known(&["runs", "near", "far", "backend", "faults"])?;
@@ -318,6 +482,10 @@ USAGE:
   ferex search --metric <m> --store \"0,1,2;3,2,1\" --query \"0,1,2\"
                [--bits N] [--backend ideal|noisy|circuit] [--seed N]
                [--faults SPEC] [--spares N]
+  ferex serve-sim --metric <m> --store \"0,1;3,2\" --queries \"0,1;3,2\"
+               [--bits N] [--backend noisy|circuit] [--seed N]
+               [--replicas N] [--quorum R/A] [--faults SPEC] [--spares N]
+               [--chaos \"kill=REPLICA@QUERY,scrub=PERIOD\"]
   ferex verify --metric <m> [--bits N]
   ferex montecarlo [--runs N] [--near D] [--far D]
                [--backend noisy|circuit] [--faults SPEC]
@@ -335,12 +503,24 @@ SELF-HEALING (--spares N, stochastic backends):
   re-pulses stragglers with bounded retries, and remaps rows that fail
   verify onto spares; prints the repair report next to the result.
 
+REPLICATED SERVING (serve-sim):
+  builds N replicas (replica 0 carries --faults, the rest stay clean),
+  serves the --queries stream through quorum reads (--quorum R/A needs
+  A of R sampled replicas to agree; disagreement escalates a targeted
+  scrub and unmet quorum falls back to the digital oracle), and prints
+  one line per query plus the supervisor's counters. --chaos schedules
+  a mid-stream replica kill (kill=REPLICA@QUERY) and periodic
+  maintenance scrubs (scrub=PERIOD).
+
 EXAMPLES:
   ferex encode --metric hamming
   ferex search --metric manhattan --store \"0,0;3,3\" --query \"1,0\"
   ferex search --metric hd --store \"0,0;3,3\" --query \"1,0\" \\
                --backend noisy --faults \"sa1=0.05,short=0.01\"
   ferex montecarlo --runs 200 --backend circuit --faults \"open=0.02\"
+  ferex serve-sim --metric hd --store \"0,0;3,3\" --queries \"0,0;3,3;0,0\" \\
+               --replicas 3 --quorum 2/2 --faults \"sa0=0.1\" \\
+               --chaos \"kill=1@1,scrub=2\"
 ";
 
 #[cfg(test)]
@@ -481,8 +661,88 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for sub in ["encode", "search", "verify", "montecarlo", "info", "help"] {
+        for sub in ["encode", "search", "serve-sim", "verify", "montecarlo", "info", "help"] {
             assert!(USAGE.contains(sub), "usage missing {sub}");
         }
+    }
+
+    #[test]
+    fn parses_serve_sim_with_quorum_and_chaos() {
+        let cmd = parse(&argv(
+            "serve-sim --metric hd --store 0,0;3,3 --queries 0,0;3,3 --replicas 3 \
+             --quorum 2/2 --faults sa0=0.1 --chaos kill=1@1,scrub=2 --seed 7 --spares 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::ServeSim {
+                metric,
+                stored,
+                queries,
+                backend,
+                seed,
+                faults,
+                spares,
+                replicas,
+                reads,
+                agree,
+                kill,
+                scrub_every,
+                ..
+            } => {
+                assert_eq!(metric, DistanceMetric::Hamming);
+                assert_eq!(stored, vec![vec![0, 0], vec![3, 3]]);
+                assert_eq!(queries.len(), 2);
+                assert_eq!(backend, BackendKind::Noisy, "stochastic default");
+                assert_eq!(seed, 7);
+                assert_eq!(faults.sa0_rate, 0.1);
+                assert_eq!(spares, 2);
+                assert_eq!((replicas, reads, agree), (3, 2, 2));
+                assert_eq!(kill, Some((1, 1)));
+                assert_eq!(scrub_every, 2);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_sim_defaults_are_single_read_no_chaos() {
+        let cmd = parse(&argv("serve-sim --metric l1 --store 0,1 --queries 0,1")).unwrap();
+        let Command::ServeSim { replicas, reads, agree, kill, scrub_every, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!((replicas, reads, agree), (3, 1, 1));
+        assert_eq!(kill, None);
+        assert_eq!(scrub_every, 0);
+    }
+
+    #[test]
+    fn serve_sim_rejects_invalid_quorum_geometry() {
+        let base = "serve-sim --metric hd --store 0,1 --queries 0,1";
+        // agree > reads is structurally impossible.
+        let e = parse(&argv(&format!("{base} --quorum 2/3"))).unwrap_err();
+        assert!(e.to_string().contains("quorum agree (3) exceeds reads (2)"), "got: {e}");
+        // reads > replicas cannot be satisfied.
+        let e = parse(&argv(&format!("{base} --replicas 2 --quorum 3/1"))).unwrap_err();
+        assert!(e.to_string().contains("quorum reads (3) exceeds replica count (2)"), "got: {e}");
+        // Degenerate quorums and replica counts name themselves.
+        assert!(parse(&argv(&format!("{base} --quorum 0/0"))).is_err());
+        assert!(parse(&argv(&format!("{base} --quorum 2"))).is_err());
+        assert!(parse(&argv(&format!("{base} --quorum x/1"))).is_err());
+        assert!(parse(&argv(&format!("{base} --replicas 0"))).is_err());
+    }
+
+    #[test]
+    fn serve_sim_rejects_malformed_chaos_specs() {
+        let base = "serve-sim --metric hd --store 0,1 --queries 0,1 --replicas 2";
+        for spec in ["kill", "kill=1", "kill=x@1", "kill=1@x", "bogus=1", "scrub=x"] {
+            let line = format!("{base} --chaos {spec}");
+            assert!(parse(&argv(&line)).is_err(), "spec '{spec}' should be rejected");
+        }
+        // Duplicate knobs name themselves, like fault specs.
+        let e = parse(&argv(&format!("{base} --chaos scrub=2,scrub=3"))).unwrap_err();
+        assert!(e.to_string().contains("duplicate chaos knob 'scrub'"), "got: {e}");
+        // A kill aimed past the replica pool is a spec error, not a no-op.
+        let e = parse(&argv(&format!("{base} --chaos kill=2@1"))).unwrap_err();
+        assert!(e.to_string().contains("out of range for 2 replicas"), "got: {e}");
     }
 }

@@ -4,8 +4,9 @@
 use crate::args::{BackendKind, Command};
 use ferex_analog::montecarlo::MonteCarlo;
 use ferex_core::{
-    cosimulate, find_minimal_cell, sizing_for, Backend, CircuitConfig, DistanceMatrix,
-    DistanceMetric, Ferex, FerexError, RepairPolicy,
+    cosimulate, derive_replica_seed, find_minimal_cell, sizing_for, Backend, CircuitConfig,
+    DistanceMatrix, DistanceMetric, Ferex, FerexArray, FerexError, QuorumPolicy, RepairPolicy,
+    ReplicaPolicy, ReplicaSet, ServeSource,
 };
 use ferex_datasets::synth::flip_symbol_bits;
 use ferex_fefet::{FaultPlan, Technology};
@@ -59,6 +60,34 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             render_montecarlo(*runs, *near, *far, *backend, *faults)
         }
         Command::Verify { metric, bits } => render_verify(*metric, *bits),
+        Command::ServeSim {
+            metric,
+            bits,
+            stored,
+            queries,
+            backend,
+            seed,
+            faults,
+            spares,
+            replicas,
+            reads,
+            agree,
+            kill,
+            scrub_every,
+        } => render_serve_sim(
+            *metric,
+            *bits,
+            stored,
+            queries,
+            *backend,
+            *seed,
+            *faults,
+            *spares,
+            *replicas,
+            (*reads, *agree),
+            *kill,
+            *scrub_every,
+        ),
     }
 }
 
@@ -244,6 +273,103 @@ fn render_search(
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
+fn render_serve_sim(
+    metric: DistanceMetric,
+    bits: u32,
+    stored: &[Vec<u32>],
+    queries: &[Vec<u32>],
+    backend: BackendKind,
+    seed: u64,
+    faults: FaultPlan,
+    spares: usize,
+    replicas: usize,
+    (reads, agree): (usize, usize),
+    kill: Option<(usize, usize)>,
+    scrub_every: usize,
+) -> Result<String, CommandError> {
+    if !(1..=6).contains(&bits) {
+        return Err(CommandError("--bits must be in 1..=6".into()));
+    }
+    if stored.is_empty() {
+        return Err(CommandError("--store must contain at least one vector".into()));
+    }
+    if queries.is_empty() {
+        return Err(CommandError("--queries must contain at least one vector".into()));
+    }
+    let dim = stored[0].len();
+    let tech = Technology::default();
+    let dm = DistanceMatrix::from_metric(metric, bits);
+    let encoding = find_minimal_cell(&dm, &sizing_for(&tech))
+        .map_err(|e| CommandError(format!("encoding failed: {e}")))?
+        .encoding;
+    let mut pool = Vec::with_capacity(replicas);
+    for i in 0..replicas {
+        // Replica 0 carries the injected fault plan; the rest stay clean so
+        // quorum reads have healthy peers to outvote it with.
+        let plan = if i == 0 { faults } else { FaultPlan::none() };
+        let b = backend_of(backend, derive_replica_seed(seed, i as u64), plan);
+        let mut array = FerexArray::new(tech.clone(), encoding.clone(), dim, b);
+        array.store_all(stored.iter().cloned())?;
+        if spares > 0 {
+            array.set_repair_policy(RepairPolicy { spare_rows: spares, ..Default::default() });
+            array.program_verified()?;
+        } else {
+            array.program();
+        }
+        pool.push(array);
+    }
+    let policy = ReplicaPolicy { quorum: QuorumPolicy { reads, agree }, ..Default::default() };
+    let mut set = ReplicaSet::new(pool, stored.to_vec(), metric, policy);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{metric} replicated serving: {replicas} replicas, quorum {agree}-of-{reads}, \
+         {} stored vectors ({} symbols)",
+        stored.len(),
+        dim
+    );
+    for (qi, query) in queries.iter().enumerate() {
+        if let Some((k, at)) = kill {
+            if qi == at {
+                set.kill(k);
+                let _ = writeln!(out, "  -- chaos: replica {k} killed");
+            }
+        }
+        if scrub_every > 0 && qi > 0 && qi % scrub_every == 0 {
+            let findings = set.scrub_all();
+            let _ = writeln!(out, "  -- maintenance scrub: {findings} findings");
+        }
+        let served = set.serve(query)?;
+        let nearest = served.outcome.nearest;
+        let via = match served.source {
+            ServeSource::Replica(i) => format!("replica {i}"),
+            ServeSource::OracleFallback => "oracle fallback".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  query {qi}: nearest row {nearest} (distance {:.2}) via {via}",
+            served.outcome.distances[nearest]
+        );
+    }
+    let s = set.stats();
+    let _ = writeln!(
+        out,
+        "served {} queries: {} replica reads, {} disagreements, {} oracle fallbacks",
+        s.queries_served, s.replica_reads, s.disagreements, s.oracle_fallbacks
+    );
+    let _ = writeln!(
+        out,
+        "resilience: {} scrubs escalated, {} scheduled scrubs, {} breaker trips, \
+         {}/{replicas} replicas alive",
+        s.scrubs_escalated,
+        s.scheduled_scrubs,
+        s.breaker_trips,
+        set.alive()
+    );
+    Ok(out)
+}
+
 fn render_montecarlo(
     runs: usize,
     near: usize,
@@ -377,6 +503,56 @@ mod tests {
         .unwrap();
         assert!(healed.contains("self-heal:"), "{healed}");
         assert!(healed.contains("row 0: distance 0.00  <-- nearest"), "{healed}");
+    }
+
+    #[test]
+    fn serve_sim_reports_sources_and_counters() {
+        let line = "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+                    --queries 0,0,0,0;3,3,3,3;0,0,0,0 --replicas 3 --quorum 2/2 --seed 5";
+        let out = run_line(line).unwrap();
+        assert!(out.contains("3 replicas, quorum 2-of-2"), "{out}");
+        assert!(out.contains("query 0: nearest row 0"), "{out}");
+        assert!(out.contains("query 1: nearest row 1"), "{out}");
+        assert!(out.contains("served 3 queries"), "{out}");
+        assert!(out.contains("3/3 replicas alive"), "{out}");
+        // Deterministic under a fixed seed.
+        assert_eq!(run_line(line).unwrap(), out);
+    }
+
+    #[test]
+    fn serve_sim_chaos_kill_forces_the_oracle_fallback() {
+        // Two replicas with a 2/2 quorum; killing one mid-stream makes the
+        // quorum unreachable, so the remaining queries fall back to the
+        // digital oracle — and still serve the right answer.
+        let out = run_line(
+            "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+             --queries 0,0,0,0;3,3,3,3;0,0,0,0 --replicas 2 --quorum 2/2 \
+             --chaos kill=1@1,scrub=2 --seed 5",
+        )
+        .unwrap();
+        assert!(out.contains("chaos: replica 1 killed"), "{out}");
+        assert!(out.contains("maintenance scrub:"), "{out}");
+        assert!(
+            out.contains("query 1: nearest row 1 (distance 0.00) via oracle fallback"),
+            "{out}"
+        );
+        assert!(out.contains("1/2 replicas alive"), "{out}");
+    }
+
+    #[test]
+    fn serve_sim_quorum_outvotes_a_dead_replica() {
+        // Replica 0 fully SA0-stuck conducts everywhere, so its matched
+        // rows read as far; the two clean replicas outvote it and the
+        // dissent escalates a targeted scrub.
+        let out = run_line(
+            "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+             --queries 0,0,0,0;3,3,3,3 --replicas 3 --quorum 3/2 \
+             --faults sa0=1.0 --seed 9",
+        )
+        .unwrap();
+        assert!(out.contains("query 0: nearest row 0"), "{out}");
+        assert!(out.contains("query 1: nearest row 1"), "{out}");
+        assert!(out.contains("0 oracle fallbacks"), "{out}");
     }
 
     #[test]

@@ -26,15 +26,18 @@
 //!   a stated sampling slack — as fault rates rise, reproducibly from a
 //!   seed.
 
+pub mod chaos;
 pub mod harness;
 pub mod oracle;
 pub mod report;
 
+pub use chaos::{run_chaos, standard_chaos_report, standard_chaos_specs, ChaosSpec};
 pub use harness::{
     run_recovery, run_sweep, standard_recovery_report, standard_recovery_specs, standard_report,
     standard_specs, BackendKind, FaultKind, SweepSpec,
 };
 pub use oracle::Oracle;
 pub use report::{
-    ConformanceReport, CurvePoint, DegradationCurve, RecoveryCurve, RecoveryPoint, RecoveryReport,
+    ChaosCurve, ChaosPoint, ChaosReport, ConformanceReport, CurvePoint, DegradationCurve,
+    RecoveryCurve, RecoveryPoint, RecoveryReport,
 };

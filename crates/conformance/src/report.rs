@@ -252,6 +252,142 @@ impl RecoveryReport {
     }
 }
 
+/// One sampled point of a chaos-soak availability curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPoint {
+    /// Fault rate injected into the faulted replica.
+    pub rate: f64,
+    /// Fraction of the stream whose served answer equals the oracle top-1.
+    pub recall_at_1: f64,
+    /// Queries answered by the digital fallback.
+    pub oracle_fallbacks: u64,
+    /// Queries on which at least one read replica dissented.
+    pub disagreements: u64,
+    /// Targeted scrubs escalated from dissents.
+    pub scrubs_escalated: u64,
+    /// Maintenance scrubs fired by the schedule.
+    pub scheduled_scrubs: u64,
+    /// Circuit-breaker trips across the soak.
+    pub breaker_trips: u64,
+    /// Replicas still alive at the end of the stream.
+    pub replicas_alive: usize,
+}
+
+/// Availability curve of one chaos soak cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosCurve {
+    /// Metric label (`hamming`, `manhattan`, `euclidean2`).
+    pub metric: String,
+    /// Backend label (`noisy`, `circuit`).
+    pub backend: String,
+    /// Fault-type label (`sa0`, `sa1`, `open`, `short`).
+    pub fault: String,
+    /// Stored rows per replica.
+    pub rows: usize,
+    /// Symbols per vector.
+    pub dim: usize,
+    /// Length of the served query stream.
+    pub n_queries: usize,
+    /// Replica count.
+    pub replicas: usize,
+    /// Quorum reads per query.
+    pub reads: usize,
+    /// Quorum agreement threshold.
+    pub agree: usize,
+    /// Spare rows of each replica's repair policy (0 = no repair).
+    pub spare_rows: usize,
+    /// Replica carrying the fault plan.
+    pub faulted_replica: usize,
+    /// Replica killed mid-stream, if any.
+    pub kill_replica: Option<usize>,
+    /// Query index of the kill.
+    pub kill_at_query: usize,
+    /// Maintenance scrub period in queries (0 = disabled).
+    pub scrub_period: usize,
+    /// Sampled points, in ascending rate order.
+    pub points: Vec<ChaosPoint>,
+}
+
+impl ChaosCurve {
+    /// `true` if recall@1 stays at or above `floor` at every rate point —
+    /// the availability gate of the chaos soak.
+    pub fn meets_recall_floor(&self, floor: f64) -> bool {
+        self.points.iter().all(|p| p.recall_at_1 >= floor)
+    }
+}
+
+/// The full chaos-soak availability report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Base seed the whole soak derives from.
+    pub seed: u64,
+    /// Symbol bit width of the soak.
+    pub bits: u32,
+    /// Curves for every chaos cell soaked.
+    pub curves: Vec<ChaosCurve>,
+}
+
+impl ChaosReport {
+    /// Schema tag embedded in every serialized chaos report.
+    pub const SCHEMA: &'static str = "ferex-conformance-chaos-v1";
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(Self::SCHEMA));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"bits\": {},", self.bits);
+        out.push_str("  \"curves\": [\n");
+        for (i, c) in self.curves.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"metric\": \"{}\",", json_escape(&c.metric));
+            let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(&c.backend));
+            let _ = writeln!(out, "      \"fault\": \"{}\",", json_escape(&c.fault));
+            let _ = writeln!(out, "      \"rows\": {},", c.rows);
+            let _ = writeln!(out, "      \"dim\": {},", c.dim);
+            let _ = writeln!(out, "      \"n_queries\": {},", c.n_queries);
+            let _ = writeln!(out, "      \"replicas\": {},", c.replicas);
+            let _ = writeln!(out, "      \"reads\": {},", c.reads);
+            let _ = writeln!(out, "      \"agree\": {},", c.agree);
+            let _ = writeln!(out, "      \"spare_rows\": {},", c.spare_rows);
+            let _ = writeln!(out, "      \"faulted_replica\": {},", c.faulted_replica);
+            match c.kill_replica {
+                Some(k) => {
+                    let _ = writeln!(out, "      \"kill_replica\": {k},");
+                }
+                None => {
+                    let _ = writeln!(out, "      \"kill_replica\": null,");
+                }
+            }
+            let _ = writeln!(out, "      \"kill_at_query\": {},", c.kill_at_query);
+            let _ = writeln!(out, "      \"scrub_period\": {},", c.scrub_period);
+            out.push_str("      \"points\": [\n");
+            for (j, p) in c.points.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"rate\": {}, \"recall_at_1\": {}, \"oracle_fallbacks\": {}, \
+                     \"disagreements\": {}, \"scrubs_escalated\": {}, \"scheduled_scrubs\": {}, \
+                     \"breaker_trips\": {}, \"replicas_alive\": {}}}",
+                    json_num(p.rate),
+                    json_num(p.recall_at_1),
+                    p.oracle_fallbacks,
+                    p.disagreements,
+                    p.scrubs_escalated,
+                    p.scheduled_scrubs,
+                    p.breaker_trips,
+                    p.replicas_alive,
+                );
+                out.push_str(if j + 1 < c.points.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 < self.curves.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +475,55 @@ mod tests {
         let mut regressing = report.clone();
         regressing.curves[0].points[0].recall_healed_1 = 0.5;
         assert!(!regressing.curves[0].never_regresses_within(0.1));
+    }
+
+    #[test]
+    fn chaos_json_has_schema_and_balanced_structure() {
+        let report = ChaosReport {
+            seed: 42,
+            bits: 2,
+            curves: vec![ChaosCurve {
+                metric: "hamming".into(),
+                backend: "noisy".into(),
+                fault: "sa1".into(),
+                rows: 16,
+                dim: 12,
+                n_queries: 60,
+                replicas: 3,
+                reads: 2,
+                agree: 2,
+                spare_rows: 2,
+                faulted_replica: 0,
+                kill_replica: Some(1),
+                kill_at_query: 30,
+                scrub_period: 16,
+                points: vec![ChaosPoint {
+                    rate: 0.01,
+                    recall_at_1: 1.0,
+                    oracle_fallbacks: 3,
+                    disagreements: 3,
+                    scrubs_escalated: 1,
+                    scheduled_scrubs: 6,
+                    breaker_trips: 0,
+                    replicas_alive: 2,
+                }],
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ferex-conformance-chaos-v1\""));
+        assert!(json.contains("\"replicas\": 3"));
+        assert!(json.contains("\"kill_replica\": 1"));
+        assert!(json.contains("\"recall_at_1\": 1, \"oracle_fallbacks\": 3"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(report.curves[0].meets_recall_floor(0.99));
+        let mut degraded = report.clone();
+        degraded.curves[0].points[0].recall_at_1 = 0.9;
+        assert!(!degraded.curves[0].meets_recall_floor(0.99));
+        // A no-kill curve serializes the kill as an explicit null.
+        let mut no_kill = report;
+        no_kill.curves[0].kill_replica = None;
+        assert!(no_kill.to_json().contains("\"kill_replica\": null"));
     }
 
     #[test]

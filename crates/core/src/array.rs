@@ -267,6 +267,11 @@ impl FerexArray {
         &self.encoding
     }
 
+    /// The simulation backend driving this array.
+    pub fn backend(&self) -> &Backend {
+        &self.backend
+    }
+
     /// The stored vectors, in row order.
     pub fn stored(&self) -> &[Vec<u32>] {
         &self.stored
@@ -697,6 +702,11 @@ impl FerexArray {
     /// As [`FerexArray::distances`]; the whole batch is validated before
     /// any work happens.
     pub fn distances_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<Vec<f64>>, FerexError> {
+        // An empty batch asks for nothing: answer it before any state
+        // checks, so it cannot trip over an empty or stale array.
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
         for q in queries {
             self.validate(q)?;
         }
@@ -706,9 +716,6 @@ impl FerexArray {
         self.require_programmed()?;
         if self.all_excluded() {
             return Err(FerexError::Empty);
-        }
-        if queries.is_empty() {
-            return Ok(Vec::new());
         }
         match &self.backend {
             Backend::Noisy(_) => Ok(self.noisy_distances_batch(queries)),
@@ -1039,11 +1046,22 @@ impl FerexArray {
 
     /// Post-program readback of the cell at (`phys`, `col`), programmed to
     /// threshold `level`: the signal the write-verify loop judges.
-    fn readback_cell(&self, phys: usize, col: usize, level: usize) -> CellReadback {
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::NotProgrammed`] when the physical state backing the
+    /// cell is missing (e.g. a mutation landed mid-repair) — the serving
+    /// process must survive that, not abort.
+    fn readback_cell(
+        &self,
+        phys: usize,
+        col: usize,
+        level: usize,
+    ) -> Result<CellReadback, FerexError> {
         let index = phys * self.physical_cols() + col;
         let fault = self.fault_map.as_ref().map_or(CellFault::None, |m| m[index]);
         let target = self.aged_vth.as_ref().map_or(self.tech.vth_level(level), |a| a[level]);
-        match &self.backend {
+        Ok(match &self.backend {
             Backend::Ideal => CellReadback {
                 residual: Volt(0.0),
                 r_deviation: 0.0,
@@ -1051,7 +1069,8 @@ impl FerexArray {
                 repairable: true,
             },
             Backend::Noisy(cfg) => {
-                let sample = &self.noisy_samples.as_ref().expect("programmed")[index];
+                let samples = self.noisy_samples.as_ref().ok_or(FerexError::NotProgrammed)?;
+                let sample = &samples[index];
                 let r_dev = (sample.r_factor - 1.0).abs();
                 match fault {
                     CellFault::None => CellReadback {
@@ -1081,7 +1100,7 @@ impl FerexArray {
                 }
             }
             Backend::Circuit(_) => {
-                let cell = self.crossbar.as_ref().expect("programmed").cell(phys, col);
+                let cell = self.crossbar.as_ref().ok_or(FerexError::NotProgrammed)?.cell(phys, col);
                 let (conducts, repairable) = match fault {
                     CellFault::None => (true, true),
                     CellFault::StuckAtLowVth | CellFault::ResistorShort => (true, false),
@@ -1094,25 +1113,30 @@ impl FerexArray {
                     repairable,
                 }
             }
-        }
+        })
     }
 
     /// Commits a trim of `delta` volts onto the cell's threshold (the net
     /// effect of the retry pulses the verify loop spent).
-    fn apply_trim(&mut self, phys: usize, col: usize, delta: Volt) {
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::NotProgrammed`] when there is no physical state to
+    /// trim.
+    fn apply_trim(&mut self, phys: usize, col: usize, delta: Volt) -> Result<(), FerexError> {
         let index = phys * self.physical_cols() + col;
         match &self.backend {
             Backend::Ideal => {}
             Backend::Noisy(_) => {
-                let s = &mut self.noisy_samples.as_mut().expect("programmed")[index];
-                s.dvth += delta;
+                let samples = self.noisy_samples.as_mut().ok_or(FerexError::NotProgrammed)?;
+                samples[index].dvth += delta;
             }
             Backend::Circuit(_) => {
                 let tech = self.tech.clone();
                 let fe = self
                     .crossbar
                     .as_mut()
-                    .expect("programmed")
+                    .ok_or(FerexError::NotProgrammed)?
                     .cell_mut(phys, col)
                     .fefet_mut()
                     .ferroelectric_mut();
@@ -1120,18 +1144,29 @@ impl FerexArray {
                 fe.set_polarization(tech.polarization_for_vth(base + delta));
             }
         }
+        Ok(())
     }
 
     /// Write-verifies every cell of the physical row holding `symbols`,
     /// committing trims for repaired cells; returns the per-row tally.
-    fn verify_row(&mut self, phys: usize, symbols: &[u32], policy: &RepairPolicy) -> RowVerify {
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::NotProgrammed`] when the physical state vanished
+    /// underneath the verify loop.
+    fn verify_row(
+        &mut self,
+        phys: usize,
+        symbols: &[u32],
+        policy: &RepairPolicy,
+    ) -> Result<RowVerify, FerexError> {
         let k = self.encoding.k;
         let mut rv = RowVerify::default();
         for (d, &s) in symbols.iter().enumerate() {
             let levels = self.encoding.stored[s as usize].vth_levels.clone();
             for (f, &level) in levels.iter().enumerate().take(k) {
                 let col = d * k + f;
-                let rb = self.readback_cell(phys, col, level);
+                let rb = self.readback_cell(phys, col, level)?;
                 match policy.verify.verify(&rb) {
                     CellVerify::Clean => rv.clean += 1,
                     CellVerify::Repaired { retries, residual } => {
@@ -1139,7 +1174,7 @@ impl FerexArray {
                         rv.retries += retries;
                         self.counters.repairs_attempted += 1;
                         self.counters.repairs_succeeded += 1;
-                        self.apply_trim(phys, col, residual - rb.residual);
+                        self.apply_trim(phys, col, residual - rb.residual)?;
                     }
                     CellVerify::Failed { retries } => {
                         rv.failed += 1;
@@ -1151,14 +1186,23 @@ impl FerexArray {
                 }
             }
         }
-        rv
+        Ok(rv)
     }
 
     /// Quarantines a logical row and tries to bring up a spare for it:
     /// each free spare is programmed with the row's vector and
     /// write-verified; a spare that fails verify itself is burned and the
     /// next one is tried. With no spare left the row is excluded.
-    fn quarantine_internal(&mut self, row: usize, policy: &RepairPolicy) -> RemapResult {
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::NotProgrammed`] when the physical state is missing
+    /// mid-quarantine; the row stays quarantined, nothing is served stale.
+    fn quarantine_internal(
+        &mut self,
+        row: usize,
+        policy: &RepairPolicy,
+    ) -> Result<RemapResult, FerexError> {
         self.counters.rows_quarantined += 1;
         // Re-quarantining a remapped row retires the spare that just
         // misbehaved.
@@ -1180,7 +1224,13 @@ impl FerexArray {
                 // Re-store the logical vector onto the spare's cells (they
                 // were left erased by program()).
                 let plan = self.plan();
-                let mut xb = self.crossbar.take().expect("programmed");
+                let mut xb = match self.crossbar.take() {
+                    Some(xb) => xb,
+                    None => {
+                        self.row_map[row] = RowHealth::Quarantined;
+                        return Err(FerexError::NotProgrammed);
+                    }
+                };
                 program_crossbar_row(
                     &mut xb,
                     &self.tech,
@@ -1193,19 +1243,19 @@ impl FerexArray {
                 );
                 self.crossbar = Some(xb);
             }
-            let rv = self.verify_row(phys, &symbols, policy);
+            let rv = self.verify_row(phys, &symbols, policy)?;
             result.retries += rv.retries;
             if rv.bad.len() <= policy.max_bad_cells_per_row {
                 self.spare_state[j] = SpareState::Assigned(row);
                 self.row_map[row] = RowHealth::Remapped { spare: phys };
                 result.spare = Some(phys);
-                return result;
+                return Ok(result);
             }
             self.spare_state[j] = SpareState::Burned;
             result.burned += 1;
         }
         self.row_map[row] = RowHealth::Quarantined;
-        result
+        Ok(result)
     }
 
     /// Programs the array and write-verifies every cell: in-tolerance cells
@@ -1249,7 +1299,7 @@ impl FerexArray {
         }
         for r in 0..self.stored.len() {
             let symbols = self.stored[r].clone();
-            let rv = self.verify_row(r, &symbols, &policy);
+            let rv = self.verify_row(r, &symbols, &policy)?;
             report.cells_clean += rv.clean;
             report.cells_repaired += rv.repaired;
             report.cells_failed += rv.failed;
@@ -1259,7 +1309,7 @@ impl FerexArray {
                     return Err(FerexError::VerifyFailed { row: r, cell: rv.bad[0] });
                 }
                 report.rows_quarantined.push(r);
-                let res = self.quarantine_internal(r, &policy);
+                let res = self.quarantine_internal(r, &policy)?;
                 report.retries += res.retries;
                 report.spares_burned += res.burned;
                 match res.spare {
@@ -1270,7 +1320,7 @@ impl FerexArray {
         }
         for j in 0..self.sentinels() {
             let codeword = self.sentinel_codeword(j);
-            let rv = self.verify_row(self.sentinel_phys(j), &codeword, &policy);
+            let rv = self.verify_row(self.sentinel_phys(j), &codeword, &policy)?;
             report.retries += rv.retries;
             report.sentinel_cells_failed += rv.failed;
         }
@@ -1426,7 +1476,7 @@ impl FerexArray {
             let flagged: Vec<usize> =
                 findings.iter().map(|f| f.row).filter(|&r| r < self.stored.len()).collect();
             for r in flagged {
-                let res = self.quarantine_internal(r, &policy);
+                let res = self.quarantine_internal(r, &policy)?;
                 match res.spare {
                     Some(phys) => rows_remapped.push((r, phys)),
                     None => rows_excluded.push(r),
@@ -1473,7 +1523,7 @@ impl FerexArray {
         if self.row_map.is_empty() {
             self.row_map = vec![RowHealth::Healthy; self.stored.len()];
         }
-        let res = self.quarantine_internal(row, &policy);
+        let res = self.quarantine_internal(row, &policy)?;
         match res.spare {
             Some(phys) => Ok(phys),
             None => Err(FerexError::SparesExhausted { row, spares: self.spare_state.len() }),

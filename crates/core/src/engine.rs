@@ -12,6 +12,7 @@ use crate::dm::DistanceMatrix;
 use crate::encoding::{CellEncoding, EncodingLimits};
 use crate::error::FerexError;
 use crate::health::{HealthSnapshot, ProgramReport, RepairPolicy, ScrubReport};
+use crate::replica::{replicate_backend, ReplicaPolicy, ReplicaSet};
 use crate::sizing::{find_minimal_cell, SizingOptions, SizingReport};
 use ferex_analog::delay::{DelayBreakdown, DelayModel};
 use ferex_analog::energy::{EnergyBreakdown, EnergyModel};
@@ -276,6 +277,11 @@ impl Ferex {
     ///
     /// As [`Ferex::search`].
     pub fn search_batch(&mut self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
+        // An empty batch is a no-op: don't program the array or build the
+        // per-batch cell-current LUT for zero queries.
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
         self.ensure_programmed()?;
         self.array.search_batch(queries)
     }
@@ -291,6 +297,9 @@ impl Ferex {
         queries: &[Vec<u32>],
         k: usize,
     ) -> Result<Vec<Vec<usize>>, FerexError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
         self.ensure_programmed()?;
         self.array.search_k_batch(queries, k)
     }
@@ -324,6 +333,46 @@ impl Ferex {
     /// Point-in-time health view of the array (see [`FerexArray::health`]).
     pub fn health(&self) -> HealthSnapshot {
         self.array.health()
+    }
+
+    /// Builds a [`ReplicaSet`] of `n` independently seeded copies of this
+    /// engine's array, each programmed with the current contents. Replica 0
+    /// keeps the engine's backend seed verbatim, so an `n = 1` set with the
+    /// default 1/1 quorum serves bit-identically to the engine itself; the
+    /// engine's repair policy (if any) is installed and write-verified on
+    /// every replica.
+    ///
+    /// # Errors
+    ///
+    /// Store-validation or write-verify failures while building a replica.
+    ///
+    /// # Panics
+    ///
+    /// As [`ReplicaSet::new`] (empty set, invalid policy).
+    pub fn replica_set(
+        &self,
+        n: usize,
+        policy: ReplicaPolicy,
+    ) -> Result<ReplicaSet<FerexArray>, FerexError> {
+        let mut replicas = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            let backend = replicate_backend(self.array.backend(), i);
+            let mut a = FerexArray::new(
+                self.tech.clone(),
+                self.report.encoding.clone(),
+                self.array.dim(),
+                backend,
+            );
+            a.store_all(self.array.stored().iter().cloned())?;
+            if let Some(p) = self.array.repair_policy() {
+                a.set_repair_policy(p.clone());
+                a.program_verified()?;
+            } else {
+                a.program();
+            }
+            replicas.push(a);
+        }
+        Ok(ReplicaSet::new(replicas, self.array.stored().to_vec(), self.metric, policy))
     }
 
     /// Reconfigures the engine to a different distance metric, keeping all
@@ -470,6 +519,26 @@ mod tests {
         // A scrub on the healed array stays silent.
         let scrub = ferex.scrub().unwrap();
         assert!(scrub.findings.is_empty(), "healed array flagged: {:?}", scrub.findings);
+    }
+
+    #[test]
+    fn empty_batches_answer_without_programming() {
+        // A stochastic backend, so `is_programmed` can observe staleness
+        // (the Ideal backend has no physical state to program).
+        let mut ferex = Ferex::builder()
+            .dim(4)
+            .backend(Backend::Noisy(Box::default()))
+            .build()
+            .expect("builds");
+        ferex.store(vec![0, 1, 2, 3]).unwrap();
+        // A zero-query batch is a no-op: Ok(vec![]) without touching the
+        // physical state (no program, no LUT build).
+        assert_eq!(ferex.search_batch(&[]).unwrap(), Vec::new());
+        assert_eq!(ferex.search_k_batch(&[], 1).unwrap(), Vec::<Vec<usize>>::new());
+        assert!(!ferex.array().is_programmed(), "empty batch must not program the array");
+        // Same contract on a completely empty engine.
+        let mut blank = Ferex::builder().dim(4).build().expect("builds");
+        assert_eq!(blank.search_batch(&[]).unwrap(), Vec::new());
     }
 
     #[test]

@@ -124,6 +124,15 @@ pub enum FerexError {
         /// Size of the configured spare pool (all in use or burned).
         spares: usize,
     },
+    /// Admission control shed this query: the batch asked for more serving
+    /// capacity than the replica set's load-shedding budget allows, and
+    /// this query's priority fell below the admission cutoff.
+    Overloaded {
+        /// Queries admitted from the batch.
+        admitted: usize,
+        /// Admission capacity in queries per batch.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for FerexError {
@@ -148,6 +157,13 @@ impl fmt::Display for FerexError {
             }
             FerexError::SparesExhausted { row, spares } => {
                 write!(f, "row {row} needs a spare but all {spares} spare rows are in use")
+            }
+            FerexError::Overloaded { admitted, capacity } => {
+                write!(
+                    f,
+                    "query shed by admission control: batch exceeds the \
+                     capacity of {capacity} queries ({admitted} admitted)"
+                )
             }
         }
     }
@@ -187,6 +203,9 @@ mod tests {
         let e = FerexError::SparesExhausted { row: 9, spares: 2 };
         assert!(e.to_string().contains("row 9"));
         assert!(e.to_string().contains("2 spare rows"));
+        let e = FerexError::Overloaded { admitted: 4, capacity: 4 };
+        assert!(e.to_string().contains("capacity of 4 queries"));
+        assert!(e.to_string().contains("4 admitted"));
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod engine;
 pub mod error;
 pub mod feasibility;
 pub mod health;
+pub mod replica;
 pub mod sizing;
 pub mod tile;
 pub mod verify;
@@ -71,6 +72,10 @@ pub use error::{EncodeError, FerexError};
 pub use health::{
     FaultAttribution, HealthCounters, HealthSnapshot, ProgramReport, RepairPolicy, RowHealth,
     ScrubFinding, ScrubReport,
+};
+pub use replica::{
+    derive_replica_seed, replicate_backend, BreakerPolicy, BreakerState, QuorumPolicy, ReplicaNode,
+    ReplicaPolicy, ReplicaSet, ReplicaSetStats, ReplicaStatus, ServeSource, ServedOutcome,
 };
 
 pub use feasibility::{

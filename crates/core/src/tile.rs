@@ -260,6 +260,11 @@ impl TiledArray {
     ///
     /// As [`TiledArray::distances`].
     pub fn distances_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<Vec<f64>>, FerexError> {
+        // An empty batch asks for nothing: answer it before any state
+        // checks, matching [`FerexArray::distances_batch`].
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
         for q in queries {
             if q.len() != self.dim {
                 return Err(FerexError::DimensionMismatch { expected: self.dim, got: q.len() });

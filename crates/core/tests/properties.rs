@@ -260,4 +260,65 @@ proptest! {
             }
         }
     }
+
+    /// A fault-free replica set is transparent: for every metric, any
+    /// replica count, and any valid quorum (reads ≤ N, agree ≤ reads), the
+    /// supervisor's answers — sequential and batched — are bit-identical to
+    /// a single array with the same base seed, and no query ever falls back
+    /// to the digital oracle.
+    #[test]
+    fn fault_free_replica_set_is_bit_identical_to_single_array(
+        data in prop::collection::vec(prop::collection::vec(0u32..4, 6), 1..6),
+        queries in prop::collection::vec(prop::collection::vec(0u32..4, 6), 1..5),
+        metric_idx in 0usize..3,
+        n_replicas in 1usize..4,
+        quorum_pick in 0usize..16,
+        seed in 0u64..32,
+    ) {
+        use ferex_core::{QuorumPolicy, ReplicaPolicy, ReplicaSet, ServeSource};
+        let metric = DistanceMetric::ALL[metric_idx];
+        let dm = DistanceMatrix::from_metric(metric, 2);
+        let enc = find_minimal_cell(&dm, &sizing_for(&Technology::default()))
+            .expect("paper metrics encode at 2 bits")
+            .encoding;
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            seed,
+            ..Default::default()
+        };
+        let backend = Backend::Noisy(Box::new(cfg));
+        // Any quorum valid for this replica count.
+        let reads = 1 + quorum_pick % n_replicas;
+        let agree = 1 + (quorum_pick / n_replicas) % reads;
+        let build = |b: Backend| {
+            let mut a = FerexArray::new(Technology::default(), enc.clone(), 6, b);
+            a.store_all(data.iter().cloned()).unwrap();
+            a.program();
+            a
+        };
+        let bare = build(backend.clone());
+        let replicas: Vec<FerexArray> = (0..n_replicas as u64)
+            .map(|i| build(ferex_core::replicate_backend(&backend, i)))
+            .collect();
+        let policy = ReplicaPolicy {
+            quorum: QuorumPolicy { reads, agree },
+            ..Default::default()
+        };
+        let mut set = ReplicaSet::new(replicas, data.clone(), metric, policy);
+
+        // Sequential serving mirrors the bare array's query-id stream.
+        for (i, q) in queries.iter().enumerate() {
+            let served = set.serve(q).unwrap();
+            prop_assert!(matches!(served.source, ServeSource::Replica(_)));
+            prop_assert_eq!(served.outcome, bare.search_at(q, i as u64).unwrap());
+        }
+        // Batched serving mirrors the bare batched path (query ids 0..len).
+        prop_assert_eq!(
+            set.search_batch(&queries).unwrap(),
+            bare.search_batch(&queries).unwrap()
+        );
+        prop_assert_eq!(set.stats().oracle_fallbacks, 0);
+        prop_assert_eq!(set.stats().disagreements, 0);
+    }
 }
