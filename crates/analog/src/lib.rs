@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-analog — circuit substrate
 //!
 //! Behavioral circuit layer of the FeReX reproduction, standing in for the

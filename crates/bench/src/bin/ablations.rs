@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Ablation studies for the design choices the paper asserts (DESIGN.md §6).
 //!
 //! 1. **AC-3 vs plain backtracking** in encoding feasibility (Alg. 1).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 1(b): multi-level I-V characteristics of the 1FeFET1R cell.
 //!
 //! Sweeps the gate voltage for each programmable threshold state at two

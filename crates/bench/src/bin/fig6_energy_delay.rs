@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 6: search energy per bit (a) and search delay (b) as functions of
 //! the number of rows and the vector dimension.
 //!

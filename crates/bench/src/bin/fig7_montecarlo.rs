@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 7: Monte-Carlo search accuracy under device-to-device variation.
 //!
 //! The paper's setup: 100 MC runs with FeFET threshold variation

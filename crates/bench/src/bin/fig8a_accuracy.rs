@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 8(a): HDC classification accuracy per distance metric per dataset.
 //!
 //! The paper's point: conventional CiM HDC accelerators hard-wire Hamming

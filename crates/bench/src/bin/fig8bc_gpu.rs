@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 8(b) and 8(c): FeReX speedup and energy-efficiency improvement over
 //! the GPU baseline for HDC inference on the three Table III datasets.
 //!

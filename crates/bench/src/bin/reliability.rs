@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Reliability study (supplementary): how long a programmed FeReX array
 //! stays correct (retention) and how many reconfiguration cycles the cells
 //! survive (endurance).

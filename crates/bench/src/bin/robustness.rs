@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Robustness sweeps: HDC's claimed resilience to input and hardware noise
 //! ("due to its holographicness, it has been reported to be robust against
 //! hardware noise", paper Sec. IV-B), plus the conformance fault-degradation

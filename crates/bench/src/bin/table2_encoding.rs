@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table II: the encoding table of the 2-bit Hamming distance matrix, plus
 //! the sizing trail proving 3FeFET3R is minimal — and the equivalent
 //! tables for Manhattan and squared Euclidean (the "extended to other
@@ -35,9 +36,7 @@ fn main() {
         println!("{}", report.encoding);
         match report.encoding.verify(&dm) {
             Ok(()) => println!("verification: cell currents reproduce the DM exactly\n"),
-            Err((i, j, want, got)) => {
-                println!("VERIFICATION FAILED at ({i},{j}): want {want}, got {got}\n")
-            }
+            Err(e) => println!("VERIFICATION FAILED: {e}\n"),
         }
     }
     println!("paper reference: Table II reports a 3FeFET3R cell for 2-bit Hamming");

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table III: the benchmark datasets and their statistics, plus validation
 //! that the synthetic generators realize the specs exactly.
 //!

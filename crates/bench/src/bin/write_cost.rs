@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Write-path cost study: ISPP program-and-verify effort per threshold
 //! level, write energy per cell, and the disturb budget of the half-voltage
 //! inhibition scheme (paper Sec. III-A peripherals).

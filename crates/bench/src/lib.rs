@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-bench — experiment harness
 //!
 //! One binary per table/figure of the paper's evaluation (see DESIGN.md §5

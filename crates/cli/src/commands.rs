@@ -178,10 +178,8 @@ fn render_encode(metric: DistanceMetric, bits: u32) -> Result<String, CommandErr
         Ok(()) => {
             let _ = writeln!(out, "verification: OK (encoding reproduces the DM exactly)");
         }
-        Err((i, j, want, got)) => {
-            return Err(CommandError(format!(
-                "internal verification failure at ({i},{j}): want {want}, got {got}"
-            )));
+        Err(e) => {
+            return Err(CommandError(format!("internal verification failure: {e}")));
         }
     }
     Ok(out)
@@ -312,7 +310,7 @@ fn render_serve_sim(
         let mut array = FerexArray::new(tech.clone(), encoding.clone(), dim, b);
         array.store_all(stored.iter().cloned())?;
         if spares > 0 {
-            array.set_repair_policy(RepairPolicy { spare_rows: spares, ..Default::default() });
+            array.set_repair_policy(RepairPolicy { spare_rows: spares, ..Default::default() })?;
             array.program_verified()?;
         } else {
             array.program();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-cli — command-line interface library
 //!
 //! Argument parsing and command execution for the `ferex` binary. Kept as a

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ferex` — the command-line entry point.
 
 use std::process::ExitCode;

@@ -145,11 +145,14 @@ pub fn run_chaos(spec: &ChaosSpec) -> ChaosCurve {
             );
             array.store_all(stored.iter().cloned()).expect("in-range by construction");
             if spec.spare_rows > 0 {
-                array.set_repair_policy(RepairPolicy {
-                    spare_rows: spec.spare_rows,
-                    sentinel_rows: 1,
-                    ..Default::default()
-                });
+                // lint:allow(panic-safety/expect, reason = "standard chaos spec builds a valid policy")
+                array
+                    .set_repair_policy(RepairPolicy {
+                        spare_rows: spec.spare_rows,
+                        sentinel_rows: 1,
+                        ..Default::default()
+                    })
+                    .expect("valid policy");
                 array.program_verified().expect("verify budget is bounded");
             } else {
                 array.program();

@@ -385,7 +385,8 @@ pub fn run_recovery(spec: &SweepSpec, policy: &RepairPolicy) -> RecoveryCurve {
                 spec.backend.backend(cfg),
             );
             healed.store_all(stored.iter().cloned()).expect("in-range by construction");
-            healed.set_repair_policy(policy.clone());
+            // lint:allow(panic-safety/expect, reason = "standard recovery spec builds a valid policy")
+            healed.set_repair_policy(policy.clone()).expect("valid policy");
             let report = healed.program_verified().expect("verify budget is bounded");
             quarantined += report.rows_quarantined.len();
             remapped += report.rows_remapped.len();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-conformance — golden-model differential conformance harness
 //!
 //! The correctness backbone of the stack: every backend, fault regime and

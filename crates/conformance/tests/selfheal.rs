@@ -56,7 +56,7 @@ fn scrub_never_quarantines_a_fault_free_array() {
                 kind.backend(corner_cfg(FaultPlan::none(), seed)),
             );
             array.store_all(stored.iter().cloned()).unwrap();
-            array.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() });
+            array.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() }).unwrap();
             array.program();
             let report = array.scrub().expect("programmed array scrubs");
             assert!(report.findings.is_empty(), "{kind:?} seed {seed}: {:?}", report.findings);
@@ -77,7 +77,7 @@ fn scrub_never_quarantines_a_fault_free_array() {
             Backend::Noisy(Box::new(CircuitConfig { seed, ..Default::default() })),
         );
         noisy.store_all(stored.iter().cloned()).unwrap();
-        noisy.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() });
+        noisy.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() }).unwrap();
         let report = noisy.program_verified().expect("bounded verify");
         assert!(report.rows_quarantined.is_empty(), "variation alone must not quarantine");
         let scrub = noisy.scrub().expect("programmed array scrubs");
@@ -111,7 +111,7 @@ fn scrub_flags_every_dead_row_and_attributes_missing_current() {
             Backend::Noisy(Box::new(corner_cfg(plan, seed))),
         );
         array.store_all(stored.iter().cloned()).unwrap();
-        array.set_repair_policy(policy.clone());
+        array.set_repair_policy(policy.clone()).unwrap();
         array.program();
 
         // Ground truth from the injected map: logical rows owning at least
@@ -181,7 +181,7 @@ fn scrub_flags_stuck_on_rows_as_excess_current() {
             Backend::Noisy(Box::new(corner_cfg(plan, seed))),
         );
         array.store_all(stored).unwrap();
-        array.set_repair_policy(policy.clone());
+        array.set_repair_policy(policy.clone()).unwrap();
         array.program();
         let report = array.scrub().expect("programmed array scrubs");
         let flagged: Vec<usize> = report.findings.iter().map(|f| f.row).collect();

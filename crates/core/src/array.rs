@@ -42,6 +42,7 @@ use crate::health::{
     ScrubFinding, ScrubReport, SpareState,
 };
 use ferex_analog::crossbar::{ArrayOptions, ColumnDrive, Crossbar};
+use ferex_analog::delay::DelayModel;
 use ferex_analog::lta::LtaParams;
 use ferex_analog::parasitics::WireParams;
 use ferex_fefet::faults::EffectiveCell;
@@ -52,7 +53,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// Domain-separation salt for per-query sensing streams, keeping them
 /// disjoint from the per-tile seed derivation that feeds the same mixer.
@@ -635,7 +635,9 @@ impl FerexArray {
                 .collect()),
             Backend::Circuit(cfg) => {
                 let drives = self.drives_for(query)?;
-                let xb = self.crossbar.as_ref().expect("guarded by require_programmed");
+                let Some(xb) = self.crossbar.as_ref() else {
+                    return Err(FerexError::NotProgrammed);
+                };
                 let i_unit = self.tech.i_unit().value();
                 let currents = xb.search(&drives, &cfg.options);
                 if self.row_map.is_empty() {
@@ -649,7 +651,9 @@ impl FerexArray {
                     .collect())
             }
             Backend::Noisy(cfg) => {
-                let samples = self.noisy_samples.as_ref().expect("guarded by require_programmed");
+                let Some(samples) = self.noisy_samples.as_ref() else {
+                    return Err(FerexError::NotProgrammed);
+                };
                 let plan = &cfg.faults;
                 let k = self.encoding.k;
                 let cols = self.physical_cols();
@@ -718,13 +722,14 @@ impl FerexArray {
             return Err(FerexError::Empty);
         }
         match &self.backend {
-            Backend::Noisy(_) => Ok(self.noisy_distances_batch(queries)),
+            Backend::Noisy(_) => self.noisy_distances_batch(queries),
             // Ideal is pure arithmetic and Circuit re-solves the crossbar
             // per query; both just fan the scalar path out over threads.
-            Backend::Ideal | Backend::Circuit(_) => Ok(queries
-                .par_iter()
-                .map(|q| self.distances(q).expect("batch pre-validated"))
-                .collect()),
+            Backend::Ideal | Backend::Circuit(_) => {
+                let out: Result<Vec<Vec<f64>>, FerexError> =
+                    queries.par_iter().map(|q| self.distances(q)).collect();
+                out
+            }
         }
     }
 
@@ -771,12 +776,12 @@ impl FerexArray {
     /// matches the scalar path exactly, and adding the 0.0 entries the
     /// scalar path skips is exact for these non-negative terms, so batch
     /// distances are bit-identical to [`FerexArray::distances`].
-    fn noisy_distances_batch(&self, queries: &[Vec<u32>]) -> Vec<Vec<f64>> {
-        let samples = self.noisy_samples.as_ref().expect("checked by caller");
-        let plan = match &self.backend {
-            Backend::Noisy(cfg) => &cfg.faults,
-            _ => unreachable!("noisy fast path on non-noisy backend"),
+    fn noisy_distances_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<Vec<f64>>, FerexError> {
+        let (Some(samples), Backend::Noisy(cfg)) = (self.noisy_samples.as_ref(), &self.backend)
+        else {
+            return Err(FerexError::NotProgrammed);
         };
+        let plan = &cfg.faults;
         let k = self.encoding.k;
         let dim = self.dim;
         let cols = self.physical_cols();
@@ -840,7 +845,7 @@ impl FerexArray {
                 out
             })
             .collect();
-        per_chunk.into_iter().flatten().collect()
+        Ok(per_chunk.into_iter().flatten().collect())
     }
 
     /// One associative search with an explicit query id: senses all rows
@@ -984,13 +989,15 @@ impl FerexArray {
     /// layout gains spare and sentinel rows), so the array must be
     /// re-programmed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the policy's knobs are out of range.
-    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
-        policy.assert_valid();
+    /// [`FerexError::InvalidPolicy`] if any knob is out of range; the
+    /// array is left unchanged.
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) -> Result<(), FerexError> {
+        policy.validate()?;
         self.repair = Some(policy);
         self.invalidate_physical_state();
+        Ok(())
     }
 
     /// The installed repair policy, if any.
@@ -1273,16 +1280,23 @@ impl FerexArray {
     ///
     /// [`FerexError::VerifyFailed`] in strict mode when a row cannot be
     /// verified (the array is left partially trimmed and should be
-    /// re-programmed).
+    /// re-programmed); [`FerexError::InvalidPolicy`] if the installed
+    /// policy's knobs are out of range.
     pub fn program_verified(&mut self) -> Result<ProgramReport, FerexError> {
-        if self.repair.is_none() {
-            self.repair = Some(RepairPolicy::default());
-            self.invalidate_physical_state();
-        }
-        let policy = self.repair.clone().expect("just installed");
-        policy.assert_valid();
-        if self.is_programmed() && self.program_report.is_some() {
-            return Ok(self.program_report.clone().expect("checked above"));
+        let policy = match &self.repair {
+            Some(p) => p.clone(),
+            None => {
+                let p = RepairPolicy::default();
+                self.repair = Some(p.clone());
+                self.invalidate_physical_state();
+                p
+            }
+        };
+        policy.validate()?;
+        if self.is_programmed() {
+            if let Some(report) = &self.program_report {
+                return Ok(report.clone());
+            }
         }
         self.program();
         let cols = self.physical_cols();
@@ -1330,20 +1344,34 @@ impl FerexArray {
 
     /// Readback of the physical row holding `symbols` under a uniform
     /// probe, in `I_unit` multiples.
-    fn probe_row_units(&self, phys: usize, symbols: &[u32], probe: &[u32]) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::NotProgrammed`] when the backend's physical state is
+    /// missing; probe-validation errors from the drive encoding.
+    fn probe_row_units(
+        &self,
+        phys: usize,
+        symbols: &[u32],
+        probe: &[u32],
+    ) -> Result<f64, FerexError> {
         match &self.backend {
-            Backend::Ideal => symbols
+            Backend::Ideal => Ok(symbols
                 .iter()
                 .zip(probe)
                 .map(|(&s, &q)| self.encoding.cell_current(q as usize, s as usize) as f64)
-                .sum(),
+                .sum()),
             Backend::Circuit(cfg) => {
-                let drives = self.drives_for(probe).expect("probe uses the stored alphabet");
-                let xb = self.crossbar.as_ref().expect("programmed");
-                xb.row_current(phys, &drives, &cfg.options).value() / self.tech.i_unit().value()
+                let drives = self.drives_for(probe)?;
+                let Some(xb) = self.crossbar.as_ref() else {
+                    return Err(FerexError::NotProgrammed);
+                };
+                Ok(xb.row_current(phys, &drives, &cfg.options).value() / self.tech.i_unit().value())
             }
             Backend::Noisy(cfg) => {
-                let samples = self.noisy_samples.as_ref().expect("programmed");
+                let Some(samples) = self.noisy_samples.as_ref() else {
+                    return Err(FerexError::NotProgrammed);
+                };
                 let plan = &cfg.faults;
                 let k = self.encoding.k;
                 let cols = self.physical_cols();
@@ -1368,7 +1396,7 @@ impl FerexArray {
                         );
                     }
                 }
-                units
+                Ok(units)
             }
         }
     }
@@ -1376,13 +1404,17 @@ impl FerexArray {
     /// Probes one row with every uniform codeword and compares against the
     /// exact expected readback; returns a finding when any probe diverges
     /// beyond the policy's tolerances.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::probe_row_units`].
     fn scrub_row(
         &self,
         phys: usize,
         row_id: usize,
         symbols: &[u32],
         policy: &RepairPolicy,
-    ) -> Option<ScrubFinding> {
+    ) -> Result<Option<ScrubFinding>, FerexError> {
         let mut worst: Option<(f64, f64)> = None;
         let mut saw_pos = false;
         let mut saw_neg = false;
@@ -1390,7 +1422,7 @@ impl FerexArray {
             let probe = vec![q as u32; self.dim];
             let expected: f64 =
                 symbols.iter().map(|&s| self.encoding.cell_current(q, s as usize) as f64).sum();
-            let measured = self.probe_row_units(phys, symbols, &probe);
+            let measured = self.probe_row_units(phys, symbols, &probe)?;
             let div = measured - expected;
             let tol = policy.scrub_abs_tolerance.max(policy.scrub_rel_tolerance * expected);
             if div.abs() > tol {
@@ -1404,7 +1436,7 @@ impl FerexArray {
                 }
             }
         }
-        worst.map(|(divergence, expected)| ScrubFinding {
+        Ok(worst.map(|(divergence, expected)| ScrubFinding {
             row: row_id,
             divergence,
             expected,
@@ -1413,7 +1445,20 @@ impl FerexArray {
                 (true, false) => FaultAttribution::ExcessCurrent,
                 _ => FaultAttribution::MissingCurrent,
             },
-        })
+        }))
+    }
+
+    /// Modeled duration of one scrub probe (a single-row read) under the
+    /// backend's LTA and wire parameters, in seconds. Pure arithmetic from
+    /// the analog delay model — the scrub path never reads a wall clock,
+    /// so scrub reports are bit-reproducible across runs and machines.
+    fn probe_delay_seconds(&self) -> f64 {
+        let (lta, wire) = match &self.backend {
+            Backend::Ideal => (LtaParams::ideal(), WireParams::default()),
+            Backend::Circuit(cfg) | Backend::Noisy(cfg) => (cfg.lta, cfg.wire),
+        };
+        let model = DelayModel { lta, wire, ..DelayModel::default() };
+        model.search_delay(1, self.physical_cols().max(1)).total().value()
     }
 
     /// One online self-check pass: every active logical row and every
@@ -1429,7 +1474,6 @@ impl FerexArray {
     /// [`FerexError::NotProgrammed`] on a stale array,
     /// [`FerexError::Empty`] when nothing is stored.
     pub fn scrub(&mut self) -> Result<ScrubReport, FerexError> {
-        let start = Instant::now();
         self.require_programmed()?;
         if self.stored.is_empty() {
             return Err(FerexError::Empty);
@@ -1439,7 +1483,7 @@ impl FerexArray {
             sentinel_rows: 0,
             ..Default::default()
         });
-        policy.assert_valid();
+        policy.validate()?;
         if self.row_map.is_empty() {
             self.row_map = vec![RowHealth::Healthy; self.stored.len()];
         }
@@ -1449,7 +1493,7 @@ impl FerexArray {
             let Some(phys) = self.physical_row(r) else { continue };
             checked_logical += 1;
             let symbols = self.stored[r].clone();
-            if let Some(f) = self.scrub_row(phys, r, &symbols, &policy) {
+            if let Some(f) = self.scrub_row(phys, r, &symbols, &policy)? {
                 findings.push(f);
             }
         }
@@ -1457,7 +1501,7 @@ impl FerexArray {
         for j in 0..self.sentinels() {
             let codeword = self.sentinel_codeword(j);
             let finding =
-                self.scrub_row(self.sentinel_phys(j), self.stored.len() + j, &codeword, &policy);
+                self.scrub_row(self.sentinel_phys(j), self.stored.len() + j, &codeword, &policy)?;
             if let Some(f) = finding {
                 sentinel_findings += 1;
                 findings.push(f);
@@ -1483,7 +1527,11 @@ impl FerexArray {
                 }
             }
         }
-        let elapsed = start.elapsed().as_secs_f64();
+        // Modeled latency, not wall clock: probes issued times the analog
+        // per-probe search delay — deterministic for a given geometry, so
+        // two identical scrubs report identical latencies.
+        let probes = (checked_logical + self.sentinels()) * self.encoding.n_stored();
+        let elapsed = probes as f64 * self.probe_delay_seconds();
         self.counters.scrubs_completed += 1;
         self.counters.last_scrub_seconds = elapsed;
         Ok(ScrubReport {
@@ -2093,7 +2141,7 @@ mod tests {
         let plan = FaultPlan { sa1_rate: 0.15, ..Default::default() };
         let mk = || {
             let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(plan, 9))));
-            a.set_repair_policy(RepairPolicy { spare_rows: 8, ..Default::default() });
+            a.set_repair_policy(RepairPolicy { spare_rows: 8, ..Default::default() }).unwrap();
             for v in stored_rows(4) {
                 a.store(v).unwrap();
             }
@@ -2115,7 +2163,7 @@ mod tests {
     fn program_verified_trims_default_variation_to_ideal() {
         let cfg = CircuitConfig { lta: LtaParams::ideal(), ..Default::default() };
         let mut a = hamming_array(4, Backend::Noisy(Box::new(cfg)));
-        a.set_repair_policy(RepairPolicy::default());
+        a.set_repair_policy(RepairPolicy::default()).unwrap();
         for v in stored_rows(4) {
             a.store(v).unwrap();
         }
@@ -2146,7 +2194,7 @@ mod tests {
             Backend::Circuit(Box::new(faulty_cfg(plan, 21))),
         ] {
             let mut a = hamming_array(4, backend);
-            a.set_repair_policy(RepairPolicy { spare_rows: 16, ..Default::default() });
+            a.set_repair_policy(RepairPolicy { spare_rows: 16, ..Default::default() }).unwrap();
             for v in stored_rows(4) {
                 a.store(v).unwrap();
             }
@@ -2175,7 +2223,7 @@ mod tests {
     #[test]
     fn exhausted_spares_degrade_to_row_exclusion() {
         let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(FaultPlan::none(), 5))));
-        a.set_repair_policy(RepairPolicy { spare_rows: 1, ..Default::default() });
+        a.set_repair_policy(RepairPolicy { spare_rows: 1, ..Default::default() }).unwrap();
         for v in stored_rows(4) {
             a.store(v).unwrap();
         }
@@ -2198,7 +2246,7 @@ mod tests {
     fn strict_policy_rejects_unverifiable_rows() {
         let plan = FaultPlan { sa1_rate: 1.0, ..Default::default() };
         let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(plan, 1))));
-        a.set_repair_policy(RepairPolicy { strict: true, ..Default::default() });
+        a.set_repair_policy(RepairPolicy { strict: true, ..Default::default() }).unwrap();
         a.store(vec![0, 1, 2, 3]).unwrap();
         match a.program_verified() {
             Err(FerexError::VerifyFailed { row: 0, .. }) => {}
@@ -2213,7 +2261,7 @@ mod tests {
             Backend::Circuit(Box::new(faulty_cfg(FaultPlan::none(), 7))),
         ] {
             let mut a = hamming_array(4, backend);
-            a.set_repair_policy(RepairPolicy::default());
+            a.set_repair_policy(RepairPolicy::default()).unwrap();
             for v in stored_rows(4) {
                 a.store(v).unwrap();
             }
@@ -2236,7 +2284,8 @@ mod tests {
             spare_rows: 0,
             drift_fraction: 2.0,
             ..Default::default()
-        });
+        })
+        .unwrap();
         for v in stored_rows(4) {
             a.store(v).unwrap();
         }
@@ -2256,7 +2305,7 @@ mod tests {
     fn scrub_attributes_array_wide_divergence_to_drift() {
         let plan = FaultPlan { sa0_rate: 1.0, ..Default::default() };
         let mut a = hamming_array(4, Backend::Noisy(Box::new(faulty_cfg(plan, 1))));
-        a.set_repair_policy(RepairPolicy { drift_fraction: 0.5, ..Default::default() });
+        a.set_repair_policy(RepairPolicy { drift_fraction: 0.5, ..Default::default() }).unwrap();
         for v in stored_rows(4) {
             a.store(v).unwrap();
         }
@@ -2267,5 +2316,64 @@ mod tests {
         assert!(report.findings.iter().all(|f| f.attribution == FaultAttribution::Drift));
         // No quarantine: the array still serves every row.
         assert_eq!(a.health().rows_active, 6);
+    }
+
+    #[test]
+    fn invalid_repair_policy_returns_typed_error_instead_of_panicking() {
+        // Regression: these inputs used to panic inside assert_valid();
+        // every serve-path entry point now rejects them with
+        // FerexError::InvalidPolicy.
+        let mut a = hamming_array(4, Backend::Ideal);
+        let bad_tolerance = RepairPolicy { scrub_abs_tolerance: 0.0, ..Default::default() };
+        assert!(matches!(
+            a.set_repair_policy(bad_tolerance.clone()),
+            Err(FerexError::InvalidPolicy { .. })
+        ));
+        let bad_backoff = RepairPolicy {
+            verify: ferex_fefet::VerifyPolicy { backoff: 1.5, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(matches!(
+            a.set_repair_policy(bad_backoff),
+            Err(FerexError::InvalidPolicy { what }) if what.contains("backoff")
+        ));
+        // A rejected policy leaves the array unchanged and serving.
+        assert!(a.repair_policy().is_none());
+        for v in stored_rows(4) {
+            a.store(v).unwrap();
+        }
+        // A policy smuggled past installation is still caught by the
+        // verified-program and scrub paths instead of panicking there.
+        a.repair = Some(bad_tolerance);
+        assert!(matches!(a.program_verified(), Err(FerexError::InvalidPolicy { .. })));
+        a.program();
+        assert!(matches!(a.scrub(), Err(FerexError::InvalidPolicy { .. })));
+    }
+
+    #[test]
+    fn scrub_latency_is_modeled_and_deterministic() {
+        let build = || {
+            let mut a = hamming_array(4, Backend::Noisy(Box::default()));
+            a.set_repair_policy(RepairPolicy::default()).unwrap();
+            for v in stored_rows(4) {
+                a.store(v).unwrap();
+            }
+            a.program();
+            a
+        };
+        let mut a = build();
+        let mut b = build();
+        let ra = a.scrub().unwrap();
+        let rb = b.scrub().unwrap();
+        assert!(ra.latency_seconds > 0.0, "modeled latency must be positive");
+        assert_eq!(
+            ra.latency_seconds, rb.latency_seconds,
+            "identical arrays must report bit-identical scrub latency"
+        );
+        // Repeating the scrub on the same array reproduces the same value —
+        // no wall clock leaks into the report.
+        let ra2 = a.scrub().unwrap();
+        assert_eq!(ra.latency_seconds, ra2.latency_seconds);
+        assert_eq!(a.health().counters.last_scrub_seconds, ra2.latency_seconds);
     }
 }

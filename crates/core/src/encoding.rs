@@ -117,6 +117,7 @@ impl CellEncoding {
             distinct.sort_unstable_by(|a, b| b.cmp(a));
             distinct.dedup();
             let rank_of = |count: usize| -> usize {
+                // lint:allow(panic-safety/expect, reason = "distinct is built from the same counts list queried here")
                 distinct.iter().position(|&c| c == count).expect("count present")
             };
             let n_groups = distinct.len();
@@ -211,15 +212,22 @@ impl CellEncoding {
     /// Verifies the encoding reproduces `dm` exactly — the software half of
     /// the paper's "device-circuit co-simulations validate" claim.
     ///
-    /// Returns the first mismatching `(search, stored, expected, got)` if
-    /// any.
-    pub fn verify(&self, dm: &DistanceMatrix) -> Result<(), (usize, usize, u32, u32)> {
+    /// # Errors
+    ///
+    /// [`FerexError::EncodingMismatch`] for the first diverging
+    /// `(search, stored)` cell.
+    pub fn verify(&self, dm: &DistanceMatrix) -> Result<(), crate::error::FerexError> {
         for i in 0..dm.n_search() {
             for j in 0..dm.n_stored() {
                 let got = self.cell_current(i, j);
                 let expected = dm.get(i, j);
                 if got != expected {
-                    return Err((i, j, expected, got));
+                    return Err(crate::error::FerexError::EncodingMismatch {
+                        search: i,
+                        stored: j,
+                        expected,
+                        got,
+                    });
                 }
             }
         }

@@ -120,7 +120,7 @@ impl FerexBuilder {
         let mut array =
             FerexArray::new(self.tech.clone(), report.encoding.clone(), self.dim, self.backend);
         if let Some(policy) = self.repair {
-            array.set_repair_policy(policy);
+            array.set_repair_policy(policy)?;
         }
         Ok(Ferex {
             tech: self.tech,
@@ -307,8 +307,12 @@ impl Ferex {
     /// Installs a self-healing policy on the array (see
     /// [`FerexArray::set_repair_policy`]); the physical state is
     /// invalidated and rebuilt verified on the next search.
-    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
-        self.array.set_repair_policy(policy);
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::set_repair_policy`].
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) -> Result<(), FerexError> {
+        self.array.set_repair_policy(policy)
     }
 
     /// Programs and write-verifies the array (see
@@ -365,7 +369,7 @@ impl Ferex {
             );
             a.store_all(self.array.stored().iter().cloned())?;
             if let Some(p) = self.array.repair_policy() {
-                a.set_repair_policy(p.clone());
+                a.set_repair_policy(p.clone())?;
                 a.program_verified()?;
             } else {
                 a.program();

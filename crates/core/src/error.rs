@@ -124,6 +124,25 @@ pub enum FerexError {
         /// Size of the configured spare pool (all in use or burned).
         spares: usize,
     },
+    /// The programmed encoding does not reproduce the target distance
+    /// matrix at one `(search, stored)` cell — the co-simulation
+    /// validation of paper Fig. 5 failed.
+    EncodingMismatch {
+        /// Search codeword index.
+        search: usize,
+        /// Stored codeword index.
+        stored: usize,
+        /// Distance the DM requires, in `I_unit` multiples.
+        expected: u32,
+        /// Distance the encoding produces.
+        got: u32,
+    },
+    /// A self-healing or serving policy knob is out of range — the policy
+    /// was rejected before it could be installed or acted on.
+    InvalidPolicy {
+        /// Which knob failed validation.
+        what: &'static str,
+    },
     /// Admission control shed this query: the batch asked for more serving
     /// capacity than the replica set's load-shedding budget allows, and
     /// this query's priority fell below the admission cutoff.
@@ -157,6 +176,16 @@ impl fmt::Display for FerexError {
             }
             FerexError::SparesExhausted { row, spares } => {
                 write!(f, "row {row} needs a spare but all {spares} spare rows are in use")
+            }
+            FerexError::EncodingMismatch { search, stored, expected, got } => {
+                write!(
+                    f,
+                    "encoding fails to reproduce the DM at ({search},{stored}): \
+                     expected {expected} I_unit, got {got}"
+                )
+            }
+            FerexError::InvalidPolicy { what } => {
+                write!(f, "invalid policy: {what}")
             }
             FerexError::Overloaded { admitted, capacity } => {
                 write!(
@@ -203,6 +232,13 @@ mod tests {
         let e = FerexError::SparesExhausted { row: 9, spares: 2 };
         assert!(e.to_string().contains("row 9"));
         assert!(e.to_string().contains("2 spare rows"));
+        let e = FerexError::InvalidPolicy { what: "drift fraction must be positive" };
+        assert_eq!(e.to_string(), "invalid policy: drift fraction must be positive");
+        let e = FerexError::EncodingMismatch { search: 1, stored: 2, expected: 3, got: 4 };
+        assert_eq!(
+            e.to_string(),
+            "encoding fails to reproduce the DM at (1,2): expected 3 I_unit, got 4"
+        );
         let e = FerexError::Overloaded { admitted: 4, capacity: 4 };
         assert!(e.to_string().contains("capacity of 4 queries"));
         assert!(e.to_string().contains("4 admitted"));

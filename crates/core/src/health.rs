@@ -63,12 +63,39 @@ impl Default for RepairPolicy {
 }
 
 impl RepairPolicy {
-    /// Panics if any knob is out of range.
+    /// Checks every knob (including the nested [`VerifyPolicy`]), returning
+    /// [`FerexError::InvalidPolicy`](crate::error::FerexError::InvalidPolicy)
+    /// for the first one out of range.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::InvalidPolicy`](crate::error::FerexError::InvalidPolicy)
+    /// naming the offending knob.
+    pub fn validate(&self) -> Result<(), crate::error::FerexError> {
+        use crate::error::FerexError;
+        self.verify.validate().map_err(|what| FerexError::InvalidPolicy { what })?;
+        if self.scrub_abs_tolerance <= 0.0 {
+            return Err(FerexError::InvalidPolicy {
+                what: "scrub absolute tolerance must be positive",
+            });
+        }
+        if self.scrub_rel_tolerance < 0.0 {
+            return Err(FerexError::InvalidPolicy {
+                what: "scrub relative tolerance must be >= 0",
+            });
+        }
+        if self.drift_fraction <= 0.0 {
+            return Err(FerexError::InvalidPolicy { what: "drift fraction must be positive" });
+        }
+        Ok(())
+    }
+
+    /// Panics if any knob is out of range (see [`RepairPolicy::validate`]).
     pub fn assert_valid(&self) {
-        self.verify.assert_valid();
-        assert!(self.scrub_abs_tolerance > 0.0, "scrub absolute tolerance must be positive");
-        assert!(self.scrub_rel_tolerance >= 0.0, "scrub relative tolerance must be >= 0");
-        assert!(self.drift_fraction > 0.0, "drift fraction must be positive");
+        // lint:allow(panic-safety/panic, reason = "documented panicking wrapper over validate()")
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -189,7 +216,10 @@ pub struct ScrubReport {
     /// `true` if the divergence was attributed to global drift (no row was
     /// quarantined).
     pub global_drift: bool,
-    /// Wall-clock duration of the pass, in seconds.
+    /// Modeled duration of the pass, in seconds: probes issued times the
+    /// analog per-probe search delay
+    /// ([`ferex_analog::delay::DelayModel`]). Deterministic — two identical
+    /// arrays report identical latencies; never read from a wall clock.
     pub latency_seconds: f64,
 }
 
@@ -207,7 +237,8 @@ pub struct HealthCounters {
     pub cells_given_up: u64,
     /// Scrub passes completed.
     pub scrubs_completed: u64,
-    /// Latency of the most recent scrub pass, in seconds.
+    /// Modeled latency of the most recent scrub pass, in seconds (see
+    /// [`ScrubReport::latency_seconds`] — deterministic, not wall clock).
     pub last_scrub_seconds: f64,
 }
 

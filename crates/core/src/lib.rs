@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-core — the reconfigurable in-memory search engine
 //!
 //! Reproduction of the primary contribution of *FeReX: A Reconfigurable

@@ -620,7 +620,11 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     /// Exact digital recompute over the supervisor's copy of the stored
     /// vectors — the bottom rung of the quorum fallback ladder. Ties break
     /// to the lowest index, matching the conformance oracle.
-    fn digital_fallback(&self, query: &[u32]) -> SearchOutcome {
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::Empty`] when the supervisor tracks no stored vectors.
+    fn digital_fallback(&self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
         let distances: Vec<f64> =
             self.stored.iter().map(|s| self.metric.vector_distance(query, s) as f64).collect();
         let nearest = distances
@@ -628,24 +632,32 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             .enumerate()
             .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
-            .expect("caller checks stored is non-empty");
-        SearchOutcome { distances, nearest }
+            .ok_or(FerexError::Empty)?;
+        Ok(SearchOutcome { distances, nearest })
     }
 
     /// Votes over successful replica reads (rank order); returns the
     /// served outcome plus the dissenting replicas to scrub.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::Empty`] when the oracle fallback is reached with no
+    /// stored vectors to recompute against.
     fn vote(
         &mut self,
         query: &[u32],
         outcomes: Vec<(usize, SearchOutcome)>,
-    ) -> (ServedOutcome, Vec<usize>) {
+    ) -> Result<(ServedOutcome, Vec<usize>), FerexError> {
         self.stats.replica_reads += outcomes.len() as u64;
         if outcomes.is_empty() {
             self.stats.oracle_fallbacks += 1;
-            let outcome = self.digital_fallback(query);
-            return (ServedOutcome { outcome, source: ServeSource::OracleFallback }, Vec::new());
+            let outcome = self.digital_fallback(query)?;
+            return Ok((
+                ServedOutcome { outcome, source: ServeSource::OracleFallback },
+                Vec::new(),
+            ));
         }
-        // Tally votes on `nearest`; `reduce` keeps the earliest (i.e.
+        // Tally votes on `nearest`; the post-pass keeps the earliest (i.e.
         // best-ranked first voter) among tied counts.
         let mut tally: Vec<(usize, usize)> = Vec::new();
         for (_, o) in &outcomes {
@@ -654,11 +666,14 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                 None => tally.push((o.nearest, 1)),
             }
         }
-        let (win_nearest, win_count) = tally
-            .iter()
-            .copied()
-            .reduce(|best, cand| if cand.1 > best.1 { cand } else { best })
-            .expect("outcomes is non-empty");
+        let mut win_nearest = 0usize;
+        let mut win_count = 0usize;
+        for &(n, c) in &tally {
+            if c > win_count {
+                win_nearest = n;
+                win_count = c;
+            }
+        }
         let mut dissenters = Vec::new();
         if win_count >= self.policy.quorum.agree {
             let mut winner: Option<(usize, SearchOutcome)> = None;
@@ -677,15 +692,25 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             if !dissenters.is_empty() {
                 self.stats.disagreements += 1;
             }
-            let (src, outcome) = winner.expect("win_count >= 1");
-            self.states[src].served += 1;
-            (ServedOutcome { outcome, source: ServeSource::Replica(src) }, dissenters)
+            if let Some((src, outcome)) = winner {
+                self.states[src].served += 1;
+                return Ok((
+                    ServedOutcome { outcome, source: ServeSource::Replica(src) },
+                    dissenters,
+                ));
+            }
+            // The winning vote came from these very outcomes, so a missing
+            // winner is unreachable; degrade to the oracle instead of
+            // panicking if the invariant is ever broken.
+            self.stats.oracle_fallbacks += 1;
+            let outcome = self.digital_fallback(query)?;
+            Ok((ServedOutcome { outcome, source: ServeSource::OracleFallback }, dissenters))
         } else {
             // Quorum unmet: the oracle arbitrates. Replicas matching its
             // answer are vindicated, the rest dissented.
             self.stats.disagreements += 1;
             self.stats.oracle_fallbacks += 1;
-            let fallback = self.digital_fallback(query);
+            let fallback = self.digital_fallback(query)?;
             for (i, o) in outcomes {
                 if o.nearest == fallback.nearest {
                     self.note_success(i);
@@ -695,7 +720,10 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                     dissenters.push(i);
                 }
             }
-            (ServedOutcome { outcome: fallback, source: ServeSource::OracleFallback }, dissenters)
+            Ok((
+                ServedOutcome { outcome: fallback, source: ServeSource::OracleFallback },
+                dissenters,
+            ))
         }
     }
 
@@ -760,7 +788,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         let qid = self.seq_counter;
         self.seq_counter += 1;
         let outcomes = self.collect(query, qid)?;
-        let (served, dissenters) = self.vote(query, outcomes);
+        let (served, dissenters) = self.vote(query, outcomes)?;
         self.tick += 1;
         for d in dissenters {
             self.escalate_scrub(d);
@@ -887,7 +915,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         for (qi, query) in queries.iter().enumerate() {
             let outcomes: Vec<(usize, SearchOutcome)> =
                 per_replica.iter().map(|(i, outs)| (*i, outs[qi].clone())).collect();
-            let (s, dissenters) = self.vote(query, outcomes);
+            let (s, dissenters) = self.vote(query, outcomes)?;
             for d in dissenters {
                 if !to_scrub.contains(&d) {
                     to_scrub.push(d);
@@ -1049,7 +1077,7 @@ mod tests {
             // At the fault-isolation corner the two clean replicas are
             // exact, so the quorum answer is always the true nearest.
             let served = set.serve(q).unwrap();
-            let truth = set.digital_fallback(q).nearest;
+            let truth = set.digital_fallback(q).unwrap().nearest;
             assert_eq!(served.outcome.nearest, truth);
         }
         let st = set.status(0);

@@ -207,7 +207,9 @@ impl TiledArray {
             tile.validate(chunk)?;
         }
         for (tile, chunk) in self.tiles.iter_mut().zip(chunks) {
-            tile.store(chunk).expect("all chunks pre-validated");
+            // Every chunk passed validate() above, so these stores cannot
+            // fail; propagating keeps the path panic-free regardless.
+            tile.store(chunk)?;
         }
         Ok(())
     }
@@ -306,7 +308,7 @@ impl TiledArray {
             .enumerate()
             .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
-            .expect("non-empty");
+            .ok_or(FerexError::Empty)?;
         Ok(SearchOutcome { distances, nearest })
     }
 
@@ -374,13 +376,16 @@ impl TiledArray {
     /// its own spare and sentinel rows and heals independently (a logical
     /// row is served only while every tile serves its slice).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the policy's knobs are out of range.
-    pub fn set_repair_policy(&mut self, policy: RepairPolicy) {
+    /// [`FerexError::InvalidPolicy`] if any knob is out of range; no tile
+    /// is changed (the policy is validated before installation starts).
+    pub fn set_repair_policy(&mut self, policy: RepairPolicy) -> Result<(), FerexError> {
+        policy.validate()?;
         for tile in &mut self.tiles {
-            tile.set_repair_policy(policy.clone());
+            tile.set_repair_policy(policy.clone())?;
         }
+        Ok(())
     }
 
     /// Programs and write-verifies every tile; returns one
@@ -730,7 +735,7 @@ mod tests {
         };
         let mut tiled =
             TiledArray::new(Technology::default(), enc, 10, 4, Backend::Noisy(Box::new(cfg)));
-        tiled.set_repair_policy(RepairPolicy { spare_rows: 1, ..Default::default() });
+        tiled.set_repair_policy(RepairPolicy { spare_rows: 1, ..Default::default() }).unwrap();
         for v in data(10) {
             tiled.store(v).unwrap();
         }

@@ -203,7 +203,7 @@ proptest! {
         let mut array =
             FerexArray::new(Technology::default(), enc, 6, Backend::Noisy(Box::new(cfg)));
         array.store_all(data.iter().cloned()).unwrap();
-        array.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() });
+        array.set_repair_policy(RepairPolicy { spare_rows: 2, ..Default::default() }).unwrap();
         array.program_verified().expect("fault-free corner verifies clean");
 
         // Arbitrary quarantine sequence; exhaustion errors still exclude

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-csp — constraint-satisfaction solving
 //!
 //! A small, dependency-free finite-domain binary-CSP library providing the

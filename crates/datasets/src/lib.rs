@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-datasets — benchmark dataset substrates
 //!
 //! Synthetic replacements for the paper's Table III datasets (ISOLET,

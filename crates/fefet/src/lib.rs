@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-fefet — ferroelectric FET device substrate
 //!
 //! Device-physics layer of the FeReX reproduction (Xu et al., DATE 2024):

@@ -224,15 +224,30 @@ impl Default for VerifyPolicy {
 }
 
 impl VerifyPolicy {
-    /// Panics if any knob is out of range.
+    /// Checks every knob, naming the first one out of range.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the offending knob.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.tolerance.value() <= 0.0 {
+            return Err("verify tolerance must be positive");
+        }
+        if self.r_tolerance <= 0.0 {
+            return Err("resistance tolerance must be positive");
+        }
+        if !(self.backoff > 0.0 && self.backoff < 1.0) {
+            return Err("verify backoff must be in (0,1)");
+        }
+        Ok(())
+    }
+
+    /// Panics if any knob is out of range (see [`VerifyPolicy::validate`]).
     pub fn assert_valid(&self) {
-        assert!(self.tolerance.value() > 0.0, "verify tolerance must be positive");
-        assert!(self.r_tolerance > 0.0, "resistance tolerance must be positive");
-        assert!(
-            self.backoff > 0.0 && self.backoff < 1.0,
-            "backoff must be in (0,1), got {}",
-            self.backoff
-        );
+        // lint:allow(panic-safety/panic, reason = "documented panicking wrapper over validate()")
+        if let Err(msg) = self.validate() {
+            panic!("{msg}");
+        }
     }
 
     /// Runs the bounded retry loop against one readback and returns the

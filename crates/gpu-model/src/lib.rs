@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-gpu-model — the GPU comparison baseline
 //!
 //! The paper benchmarks FeReX against an Nvidia RTX 3090 running HDC

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-hdc — hyperdimensional computing on FeReX
 //!
 //! The vector-symbolic architecture (VSA/HDC) application stack the paper

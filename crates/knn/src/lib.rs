@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex-knn — k-nearest-neighbor classification on FeReX
 //!
 //! The KNN application of the paper's Sec. IV: an exact software classifier

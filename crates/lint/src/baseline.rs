@@ -1,0 +1,208 @@
+//! The ratcheted baseline: grandfathered debt that can only shrink.
+//!
+//! `lint-baseline.toml` records, per file and rule, how many
+//! violations existed when the baseline was last updated. `--check`
+//! holds the tree to *exactly* those counts:
+//!
+//! - count above baseline → **new violations**, listed and failed;
+//! - count below baseline (including a deleted file) → **stale
+//!   entry**, failed until `--update-baseline` tightens it — this is
+//!   the ratchet: once debt is paid it can never silently come back.
+//!
+//! The format is a deliberately tiny TOML subset (one table per file,
+//! quoted rule keys, integer values) read and written by hand so the
+//! analyzer stays dependency-free.
+
+use crate::rules::Diagnostic;
+use std::collections::BTreeMap;
+
+/// `file → rule → grandfathered count`, ordered for byte-stable output.
+pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Aggregates diagnostics into per-(file, rule) counts.
+pub fn counts_of(diags: &[Diagnostic]) -> Counts {
+    let mut counts = Counts::new();
+    for d in diags {
+        *counts.entry(d.file.clone()).or_default().entry(d.rule.to_string()).or_default() += 1;
+    }
+    counts
+}
+
+/// Serializes counts in the baseline's canonical form.
+pub fn format(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# ferex-lint ratcheted baseline — grandfathered violations per file and rule.\n\
+         # Counts may only go down. Regenerate after paying debt with:\n\
+         #   cargo run -p ferex-lint -- --update-baseline\n",
+    );
+    for (file, rules) in counts {
+        if rules.values().all(|&n| n == 0) {
+            continue;
+        }
+        out.push_str(&format!("\n[\"{file}\"]\n"));
+        for (rule, n) in rules {
+            if *n > 0 {
+                out.push_str(&format!("\"{rule}\" = {n}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Parses the canonical baseline form; returns a line-numbered error
+/// for anything outside the subset.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    let mut current: Option<String> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let file = header.trim().trim_matches('"').to_string();
+            if file.is_empty() {
+                return Err(format!("line {}: empty table header", i + 1));
+            }
+            counts.entry(file.clone()).or_default();
+            current = Some(file);
+        } else if let Some((key, value)) = line.split_once('=') {
+            let Some(file) = &current else {
+                return Err(format!("line {}: entry before any [\"file\"] table", i + 1));
+            };
+            let rule = key.trim().trim_matches('"').to_string();
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not an integer", i + 1))?;
+            counts.entry(file.clone()).or_default().insert(rule, n);
+        } else {
+            return Err(format!("line {}: unrecognized baseline syntax", i + 1));
+        }
+    }
+    Ok(counts)
+}
+
+/// One (file, rule) pair where the tree and the baseline disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drift {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Violations in the tree right now.
+    pub actual: usize,
+    /// Violations the baseline grandfathers.
+    pub allowed: usize,
+}
+
+/// Outcome of holding actual counts against the baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// (file, rule) pairs above baseline — new debt, always a failure.
+    pub new_violations: Vec<Drift>,
+    /// (file, rule) pairs below baseline — paid debt the baseline
+    /// still grandfathers; a failure until the ratchet is tightened.
+    pub stale: Vec<Drift>,
+}
+
+impl Comparison {
+    /// `true` when the tree matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.new_violations.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares actual counts against the baseline (see module docs).
+pub fn compare(actual: &Counts, baseline: &Counts) -> Comparison {
+    let mut cmp = Comparison::default();
+    let empty = BTreeMap::new();
+    for (file, rules) in actual {
+        let base_rules = baseline.get(file).unwrap_or(&empty);
+        for (rule, &n) in rules {
+            let allowed = base_rules.get(rule).copied().unwrap_or(0);
+            let drift = Drift { file: file.clone(), rule: rule.clone(), actual: n, allowed };
+            if n > allowed {
+                cmp.new_violations.push(drift);
+            } else if n < allowed {
+                cmp.stale.push(drift);
+            }
+        }
+    }
+    for (file, rules) in baseline {
+        let actual_rules = actual.get(file).unwrap_or(&empty);
+        for (rule, &allowed) in rules {
+            if allowed > 0 && !actual_rules.contains_key(rule) {
+                cmp.stale.push(Drift {
+                    file: file.clone(),
+                    rule: rule.clone(),
+                    actual: 0,
+                    allowed,
+                });
+            }
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(entries: &[(&str, &str, usize)]) -> Counts {
+        let mut c = Counts::new();
+        for &(f, r, n) in entries {
+            c.entry(f.to_string()).or_default().insert(r.to_string(), n);
+        }
+        c
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        let c = counts(&[
+            ("crates/core/src/array.rs", "panic-safety/unwrap", 3),
+            ("crates/core/src/array.rs", "panic-safety/index", 12),
+            ("crates/fefet/src/cell.rs", "determinism/wall-clock", 1),
+        ]);
+        let text = format(&c);
+        assert_eq!(parse(&text).unwrap(), c);
+        // Byte-stable: formatting the parse of the format is identity.
+        assert_eq!(format(&parse(&text).unwrap()), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("\"rule\" = 1\n").is_err(), "entry before table");
+        assert!(parse("[\"f.rs\"]\n\"rule\" = x\n").is_err(), "non-integer");
+        assert!(parse("[\"f.rs\"]\nnot an entry\n").is_err());
+    }
+
+    #[test]
+    fn compare_flags_new_and_stale() {
+        let base = counts(&[("a.rs", "panic-safety/unwrap", 2), ("b.rs", "panic-safety/panic", 1)]);
+        // One new family in a.rs, b.rs fully paid off.
+        let actual =
+            counts(&[("a.rs", "panic-safety/unwrap", 2), ("a.rs", "determinism/wall-clock", 1)]);
+        let cmp = compare(&actual, &base);
+        assert_eq!(
+            cmp.new_violations,
+            vec![Drift {
+                file: "a.rs".into(),
+                rule: "determinism/wall-clock".into(),
+                actual: 1,
+                allowed: 0
+            }]
+        );
+        assert_eq!(
+            cmp.stale,
+            vec![Drift {
+                file: "b.rs".into(),
+                rule: "panic-safety/panic".into(),
+                actual: 0,
+                allowed: 1
+            }]
+        );
+        assert!(!cmp.is_clean());
+        assert!(compare(&base, &base).is_clean());
+    }
+}

@@ -1,0 +1,74 @@
+//! Which crates each rule family applies to.
+//!
+//! The scoping is intentionally code, not a config file: the set of
+//! serving crates is an architectural fact of this workspace (see
+//! DESIGN.md §"Determinism invariants"), and a drive-by edit to a TOML
+//! knob should not be able to silently exempt a crate from its
+//! guarantees. Tests construct custom configs for fixture workspaces.
+
+use crate::rules::Scope;
+use std::path::Path;
+
+/// Rule-family scoping for a workspace.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Crates (by `crates/<name>` directory name) on the serving path:
+    /// `determinism/*` and `panic-safety/*` apply to their `src/`.
+    pub serving_crates: Vec<String>,
+    /// Crates whose public `Result` fns must return `FerexError`
+    /// (`error-hygiene/*`).
+    pub error_hygiene_crates: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            serving_crates: ["core", "conformance", "fefet", "analog"].map(String::from).to_vec(),
+            error_hygiene_crates: vec!["core".to_string()],
+        }
+    }
+}
+
+impl LintConfig {
+    /// Scope for a workspace-relative file path. Only non-test sources
+    /// (`crates/<name>/src/**`, plus the facade's `src/**`) are ever
+    /// scanned, so `tests/`, `benches/` and `examples/` never get here.
+    pub fn scope_for(&self, rel_path: &str) -> Scope {
+        let Some(krate) = crate_of(rel_path) else { return Scope::default() };
+        Scope {
+            determinism: self.serving_crates.iter().any(|c| c == krate),
+            panic_safety: self.serving_crates.iter().any(|c| c == krate),
+            error_hygiene: self.error_hygiene_crates.iter().any(|c| c == krate),
+        }
+    }
+}
+
+/// `crates/<name>/src/...` → `Some(name)`; the facade's `src/...` maps
+/// to the pseudo-crate name `.` (never a serving crate).
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let p = Path::new(rel_path);
+    let mut parts = p.components().filter_map(|c| c.as_os_str().to_str());
+    match parts.next()? {
+        "crates" => parts.next(),
+        "src" => Some("."),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_crates_get_both_families() {
+        let cfg = LintConfig::default();
+        let s = cfg.scope_for("crates/core/src/array.rs");
+        assert!(s.determinism && s.panic_safety && s.error_hygiene);
+        let s = cfg.scope_for("crates/analog/src/lta.rs");
+        assert!(s.determinism && s.panic_safety && !s.error_hygiene);
+        let s = cfg.scope_for("crates/cli/src/main.rs");
+        assert!(!s.determinism && !s.panic_safety && !s.error_hygiene);
+        let s = cfg.scope_for("src/lib.rs");
+        assert!(!s.determinism && !s.panic_safety && !s.error_hygiene);
+    }
+}

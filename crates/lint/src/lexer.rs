@@ -1,0 +1,419 @@
+//! A hand-rolled, dependency-free Rust lexer — just enough fidelity for
+//! rule matching: identifiers, numbers, string/char literals, comments,
+//! and punctuation, each tagged with its 1-based source line.
+//!
+//! The lexer's one hard job is making sure rule patterns never match
+//! inside strings or comments (`"call unwrap() here"` is not a
+//! violation) while still *surfacing* comments so the rule engine can
+//! read `// lint:allow(...)` annotations. It is deliberately lossy
+//! everywhere correctness does not need it: keywords are plain
+//! identifiers, most operators are single-character punctuation, and
+//! only the handful of multi-character operators the rules care about
+//! (`::`, `->`, `=>`, ranges) are fused.
+
+/// What a token is, at the granularity the rule engine needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `fn`, `HashMap`, `r#type`).
+    Ident,
+    /// Numeric literal (`42`, `0x9E37`, `1.5e-3`).
+    Number,
+    /// String, raw-string, byte-string, or char literal.
+    Literal,
+    /// Lifetime (`'a`) — distinct from a char literal.
+    Lifetime,
+    /// `//` comment (incl. doc comments), text without the newline.
+    LineComment,
+    /// `/* ... */` comment (nesting handled), full text.
+    BlockComment,
+    /// Punctuation: single characters plus fused `::`, `->`, `=>`,
+    /// `..`, `..=`, `...`.
+    Punct,
+}
+
+/// One token: kind, verbatim text, and the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: &'a str,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl<'a> Tok<'a> {
+    /// `true` for tokens that carry code (not comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Rust keywords, used to exclude expression-position heuristics
+/// (`return [a, b]` is an array literal, not indexing).
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "union", "unsafe", "use", "where", "while", "yield",
+];
+
+/// `true` when `s` is a Rust keyword.
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Tokenizes `src`. Never fails: malformed input (unterminated string,
+/// stray byte) degrades to best-effort tokens so the linter can still
+/// scan the rest of the file.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                    self.push(TokKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokKind::BlockComment, start, line);
+                }
+                b'"' => {
+                    self.pos += 1;
+                    self.string_body();
+                    self.push(TokKind::Literal, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 2;
+                    self.string_body();
+                    self.push(TokKind::Literal, start, line);
+                }
+                b'r' | b'b'
+                    if self.raw_string_hashes().is_some()
+                        || (c == b'b'
+                            && self.peek(1) == Some(b'r')
+                            && self.raw_string_hashes_at(2).is_some()) =>
+                {
+                    self.raw_string();
+                    self.push(TokKind::Literal, start, line);
+                }
+                b'\'' => {
+                    if self.lifetime_ahead() {
+                        self.pos += 1;
+                        self.ident_body();
+                        self.push(TokKind::Lifetime, start, line);
+                    } else {
+                        self.char_literal();
+                        self.push(TokKind::Literal, start, line);
+                    }
+                }
+                b'0'..=b'9' => {
+                    self.number_body();
+                    self.push(TokKind::Number, start, line);
+                }
+                _ if c == b'_' || c.is_ascii_alphabetic() => {
+                    // Raw identifiers (`r#type`) arrive here via the `r`.
+                    if c == b'r' && self.peek(1) == Some(b'#') && self.is_ident_start(2) {
+                        self.pos += 2;
+                    }
+                    self.pos += 1;
+                    self.ident_body();
+                    self.push(TokKind::Ident, start, line);
+                }
+                b':' if self.peek(1) == Some(b':') => self.punct2(start, line),
+                b'-' if self.peek(1) == Some(b'>') => self.punct2(start, line),
+                b'=' if self.peek(1) == Some(b'>') => self.punct2(start, line),
+                b'.' if self.peek(1) == Some(b'.') => {
+                    self.pos += 2;
+                    if matches!(self.bytes.get(self.pos), Some(b'=') | Some(b'.')) {
+                        self.pos += 1;
+                    }
+                    self.push(TokKind::Punct, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32) {
+        self.out.push(Tok { kind, text: &self.src[start..self.pos], line });
+    }
+
+    fn punct2(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        self.push(TokKind::Punct, start, line);
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn is_ident_start(&self, ahead: usize) -> bool {
+        matches!(self.peek(ahead), Some(c) if c == b'_' || c.is_ascii_alphabetic())
+    }
+
+    fn ident_body(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(c) if *c == b'_' || c.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn number_body(&mut self) {
+        self.pos += 1;
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(c) if c.is_ascii_alphanumeric() || *c == b'_' => self.pos += 1,
+                // Float dot only when a digit follows — keeps `x.0[i]` and
+                // `0..n` lexing as separate tokens.
+                Some(b'.')
+                    if matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                        && !self.src[..self.pos].ends_with('.') =>
+                {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// After a `'`, decides lifetime vs char literal: `'a` followed by a
+    /// non-quote is a lifetime; `'a'`, `'\n'` are char literals.
+    fn lifetime_ahead(&self) -> bool {
+        match self.peek(1) {
+            Some(c) if c == b'_' || c.is_ascii_alphabetic() => {
+                // Scan the identifier; a closing quote right after means
+                // a char literal like 'a'.
+                let mut i = 2;
+                while matches!(self.peek(i), Some(c) if c == b'_' || c.is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                self.peek(i) != Some(b'\'')
+            }
+            _ => false,
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.pos += 1; // opening quote
+        if self.bytes.get(self.pos) == Some(&b'\\') {
+            self.pos += 2;
+        } else if self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        // Consume to the closing quote (multi-byte escapes like \u{...}).
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        self.pos += 1; // closing quote (or EOF)
+        self.pos = self.pos.min(self.bytes.len());
+    }
+
+    fn string_body(&mut self) {
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// If a raw string starts at `self.pos` (`r"`, `r#"`, …), returns the
+    /// number of `#`s; otherwise `None`.
+    fn raw_string_hashes(&self) -> Option<usize> {
+        if self.bytes[self.pos] != b'r' {
+            return None;
+        }
+        self.raw_string_hashes_at(1)
+    }
+
+    fn raw_string_hashes_at(&self, mut i: usize) -> Option<usize> {
+        let mut hashes = 0;
+        while self.peek(i) == Some(b'#') {
+            hashes += 1;
+            i += 1;
+        }
+        (self.peek(i) == Some(b'"')).then_some(hashes)
+    }
+
+    fn raw_string(&mut self) {
+        // Skip the `r` / `br` prefix.
+        if self.bytes[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        self.pos += 1;
+        let mut hashes = 0;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let mut ok = true;
+                for k in 0..hashes {
+                    if self.peek(1 + k) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match self.bytes[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                b'*' if self.peek(1) == Some(b'/') => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_numbers_puncts() {
+        assert_eq!(
+            kinds("let x = a.0[1];"),
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Ident, "a"),
+                (TokKind::Punct, "."),
+                (TokKind::Number, "0"),
+                (TokKind::Punct, "["),
+                (TokKind::Number, "1"),
+                (TokKind::Punct, "]"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"call("x.unwrap() // not code", y)"#);
+        assert!(toks.iter().all(|(k, t)| *k != TokKind::Ident || !t.contains("unwrap")));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_and_bytes() {
+        let toks = kinds(r###"let s = r#"has "quotes" and unwrap()"#; done"###);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(), 1);
+        assert_eq!(toks.last().map(|(_, t)| *t), Some("done"));
+        let toks = kinds(r#"let b = b"bytes"; tail"#);
+        assert_eq!(toks.last().map(|(_, t)| *t), Some("tail"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(), 1);
+        let toks = kinds(r"let c = '\n'; after");
+        assert_eq!(toks.last().map(|(_, t)| *t), Some("after"));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let toks = lex("a\n// lint:allow(x, reason = \"y\")\nb /* block\nspan */ c");
+        let comment = toks.iter().find(|t| t.kind == TokKind::LineComment).unwrap();
+        assert_eq!(comment.line, 2);
+        assert!(comment.text.contains("lint:allow"));
+        let c = toks.iter().rfind(|t| t.kind == TokKind::Ident).unwrap();
+        assert_eq!((c.text, c.line), ("c", 4));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], (TokKind::Ident, "code"));
+    }
+
+    #[test]
+    fn fused_operators() {
+        let toks = kinds("a::b -> c => 0..n ..= ...");
+        let puncts: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, t)| *t).collect();
+        assert_eq!(puncts, vec!["::", "->", "=>", "..", "..=", "..."]);
+    }
+
+    #[test]
+    fn unterminated_string_does_not_hang() {
+        let toks = lex("let x = \"never closed\nmore");
+        assert!(!toks.is_empty());
+    }
+}

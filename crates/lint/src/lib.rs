@@ -1,0 +1,103 @@
+#![forbid(unsafe_code)]
+//! # ferex-lint — workspace determinism & panic-safety analyzer
+//!
+//! A self-contained, dependency-free static analyzer that enforces the
+//! reproduction's serving-layer invariants at commit time:
+//!
+//! - **determinism** — no wall clocks (`Instant`/`SystemTime`), no
+//!   ambient RNG (`thread_rng`), no unordered `HashMap`/`HashSet`
+//!   iteration in the serving crates (`core`, `conformance`, `fefet`,
+//!   `analog`). Every latency, sample and ordering must derive from
+//!   seeds or the virtual tick clock so conformance reports stay
+//!   byte-reproducible.
+//! - **panic-safety** — no `unwrap`/`expect`/`panic!`-family macros or
+//!   unchecked indexing on non-test serving code; degraded states must
+//!   surface as typed `FerexError`s, never aborts.
+//! - **error-hygiene** — public `Result` fns in `ferex-core` return
+//!   `FerexError`, not `String`/`Box<dyn Error>`/ad-hoc tuples.
+//!
+//! Existing debt is grandfathered in a ratcheted `lint-baseline.toml`
+//! ([`baseline`]): new violations fail, paid-off violations must
+//! tighten the baseline (`--update-baseline`), so counts only go
+//! down. Justified exceptions are annotated in-line:
+//!
+//! ```text
+//! // lint:allow(panic-safety/expect, reason = "validated two lines up")
+//! ```
+//!
+//! The architecture is a hand-rolled [`lexer`] (strings and comments
+//! can never false-positive), token-stream [`rules`], and a tiny
+//! hand-written TOML subset for the [`baseline`] — zero dependencies,
+//! so the analyzer builds in the same offline environment as the rest
+//! of the workspace.
+
+pub mod baseline;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scan;
+
+pub use baseline::{compare, counts_of, Comparison, Counts, Drift};
+pub use config::LintConfig;
+pub use rules::{Diagnostic, Scope};
+pub use scan::{run_scan, ScanReport};
+
+use std::path::Path;
+
+/// Scans `root` and holds it against the baseline text (empty string →
+/// empty baseline). Returns the report plus the comparison.
+///
+/// # Errors
+///
+/// Rendered scan I/O or baseline-parse errors.
+pub fn check(
+    root: &Path,
+    config: &LintConfig,
+    baseline_text: &str,
+) -> Result<(ScanReport, Comparison), String> {
+    let report = run_scan(root, config)?;
+    let base = baseline::parse(baseline_text)?;
+    let cmp = compare(&counts_of(&report.diagnostics), &base);
+    Ok((report, cmp))
+}
+
+/// Renders the scan as versioned machine-readable JSON (the CI
+/// artifact). Hand-rolled like the conformance reports — same schema
+/// discipline: bump the schema id on any shape change.
+pub fn json_report(report: &ScanReport, cmp: &Comparison) -> String {
+    let mut out = String::from("{\n  \"schema\": \"ferex-lint-v1\",\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"new_violations\": {},\n  \"stale_baseline_entries\": {},\n",
+        cmp.new_violations.len(),
+        cmp.stale.len()
+    ));
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            json_escape(&d.file),
+            d.line,
+            json_escape(d.rule),
+            json_escape(&d.message),
+            if i + 1 < report.diagnostics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,183 @@
+#![forbid(unsafe_code)]
+//! `ferex-lint` — the CLI over [`ferex_lint`].
+//!
+//! ```text
+//! ferex-lint --check                      # hold the tree to the baseline (default)
+//! ferex-lint --update-baseline            # tighten/regenerate lint-baseline.toml
+//! ferex-lint --list                       # print every diagnostic, ignore baseline
+//! ferex-lint --check --report lint.json   # also write the CI artifact
+//! ferex-lint --root PATH --baseline PATH  # override workspace root / baseline file
+//! ```
+//!
+//! Exit codes: `0` clean, `1` new violations or stale baseline
+//! entries, `2` usage or I/O error.
+
+use ferex_lint::{baseline, check, json_report, run_scan, LintConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Mode {
+    Check,
+    UpdateBaseline,
+    List,
+}
+
+struct Args {
+    mode: Mode,
+    root: PathBuf,
+    baseline: PathBuf,
+    report: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut mode = Mode::Check;
+    let mut root: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut report = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => mode = Mode::Check,
+            "--update-baseline" => mode = Mode::UpdateBaseline,
+            "--list" => mode = Mode::List,
+            "--root" => root = Some(PathBuf::from(next_value(&mut argv, "--root")?)),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(next_value(&mut argv, "--baseline")?));
+            }
+            "--report" => report = Some(PathBuf::from(next_value(&mut argv, "--report")?)),
+            "--help" | "-h" => {
+                println!(
+                    "ferex-lint: determinism & panic-safety analyzer\n\
+                     usage: ferex-lint [--check|--update-baseline|--list] [--root PATH]\n\
+                     \x20                 [--baseline PATH] [--report PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
+    Ok(Args { mode, root, baseline, report })
+}
+
+fn next_value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    argv.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]` — so `cargo run -p ferex-lint` works from
+/// any subdirectory.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace Cargo.toml above the current directory; pass --root".to_string()
+            );
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ferex-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let config = LintConfig::default();
+    match args.mode {
+        Mode::List => {
+            let report = run_scan(&args.root, &config)?;
+            for d in &report.diagnostics {
+                println!("{}", d.render());
+            }
+            println!(
+                "ferex-lint: {} diagnostic(s) across {} file(s)",
+                report.diagnostics.len(),
+                report.files_scanned
+            );
+            Ok(true)
+        }
+        Mode::UpdateBaseline => {
+            let report = run_scan(&args.root, &config)?;
+            let counts = ferex_lint::counts_of(&report.diagnostics);
+            let text = baseline::format(&counts);
+            std::fs::write(&args.baseline, &text)
+                .map_err(|e| format!("write {}: {e}", args.baseline.display()))?;
+            println!(
+                "ferex-lint: baseline updated ({} grandfathered violation(s) across {} file(s)) \
+                 -> {}",
+                report.diagnostics.len(),
+                counts.len(),
+                args.baseline.display()
+            );
+            Ok(true)
+        }
+        Mode::Check => {
+            let baseline_text = match std::fs::read_to_string(&args.baseline) {
+                Ok(t) => t,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(format!("read {}: {e}", args.baseline.display())),
+            };
+            let (report, cmp) = check(&args.root, &config, &baseline_text)?;
+            if let Some(path) = &args.report {
+                std::fs::write(path, json_report(&report, &cmp))
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+            }
+            for drift in &cmp.new_violations {
+                eprintln!(
+                    "ferex-lint: NEW {}: {} violation(s) of {} (baseline allows {}):",
+                    drift.file, drift.actual, drift.rule, drift.allowed
+                );
+                for d in report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.file == drift.file && d.rule == drift.rule)
+                {
+                    eprintln!("  {}", d.render());
+                }
+            }
+            for drift in &cmp.stale {
+                eprintln!(
+                    "ferex-lint: STALE baseline entry {} / {}: allows {} but the tree has {} — \
+                     run `cargo run -p ferex-lint -- --update-baseline` to tighten the ratchet",
+                    drift.file, drift.rule, drift.allowed, drift.actual
+                );
+            }
+            println!(
+                "ferex-lint: {} file(s), {} diagnostic(s) ({} grandfathered), {} new, {} stale",
+                report.files_scanned,
+                report.diagnostics.len(),
+                report.diagnostics.len()
+                    - cmp.new_violations.iter().map(|d| d.actual - d.allowed).sum::<usize>(),
+                cmp.new_violations.len(),
+                cmp.stale.len()
+            );
+            Ok(cmp.is_clean())
+        }
+    }
+}

@@ -1,0 +1,873 @@
+//! The three rule families and the `lint:allow` annotation machinery.
+//!
+//! Every matcher works on the token stream from [`crate::lexer`] — never
+//! on raw text — so string literals and comments can never produce
+//! false positives. Matchers are deliberately heuristic (no type
+//! inference, no name resolution): a static analyzer that must build
+//! offline with zero dependencies trades soundness at the margins for
+//! running on every commit. False positives are first-class citizens:
+//! they are either grandfathered by the ratcheted baseline
+//! ([`crate::baseline`]) or justified in-line with
+//! `// lint:allow(<rule>, reason = "...")`.
+
+use crate::lexer::{is_keyword, lex, Tok, TokKind};
+
+/// One `file:line:rule` finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule id, e.g. `panic-safety/unwrap`.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Canonical `file:line: rule: message` rendering.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Which rule families apply to a file (derived from its crate by
+/// [`crate::config::LintConfig`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scope {
+    /// `determinism/*`: wall clocks, ambient RNG, unordered iteration.
+    pub determinism: bool,
+    /// `panic-safety/*`: unwrap/expect/panic-family macros/indexing.
+    pub panic_safety: bool,
+    /// `error-hygiene/*`: public `Result` error types.
+    pub error_hygiene: bool,
+}
+
+/// Rule ids for the determinism family.
+pub const RULE_WALL_CLOCK: &str = "determinism/wall-clock";
+/// Ambient (OS-seeded) RNG.
+pub const RULE_THREAD_RNG: &str = "determinism/thread-rng";
+/// Unordered map/set iteration.
+pub const RULE_MAP_ITERATION: &str = "determinism/map-iteration";
+/// `.unwrap()` on a serving path.
+pub const RULE_UNWRAP: &str = "panic-safety/unwrap";
+/// `.expect(..)` on a serving path.
+pub const RULE_EXPECT: &str = "panic-safety/expect";
+/// `panic!`/`unreachable!`/`todo!`/`unimplemented!`.
+pub const RULE_PANIC: &str = "panic-safety/panic";
+/// Slice/array indexing (`x[i]`) on a serving path.
+pub const RULE_INDEX: &str = "panic-safety/index";
+/// Public `Result` fn with a non-`FerexError` error type.
+pub const RULE_RESULT_ERROR: &str = "error-hygiene/result-error-type";
+/// A `lint:allow` that suppressed nothing.
+pub const RULE_UNUSED_ALLOW: &str = "lint/unused-allow";
+/// A malformed `lint:allow` (unknown rule or missing reason).
+pub const RULE_INVALID_ALLOW: &str = "lint/invalid-allow";
+
+/// Every rule id an allow annotation may name.
+pub const ALL_RULES: &[&str] = &[
+    RULE_WALL_CLOCK,
+    RULE_THREAD_RNG,
+    RULE_MAP_ITERATION,
+    RULE_UNWRAP,
+    RULE_EXPECT,
+    RULE_PANIC,
+    RULE_INDEX,
+    RULE_RESULT_ERROR,
+    RULE_UNUSED_ALLOW,
+    RULE_INVALID_ALLOW,
+];
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// A parsed `// lint:allow(<rule>, reason = "...")` annotation and the
+/// line range of the statement it covers.
+#[derive(Debug)]
+struct Allow {
+    rule: String,
+    /// First covered line (the comment's own line).
+    start: u32,
+    /// Last covered line (end of the following statement, or the
+    /// comment's line for a trailing same-line annotation).
+    end: u32,
+    reason_ok: bool,
+    used: bool,
+}
+
+/// Analyzes one file and returns its diagnostics, sorted by line.
+///
+/// `rel_path` is the workspace-relative path used in diagnostics;
+/// `scope` selects which rule families fire. Code under `#[cfg(test)]`
+/// or `#[test]` items is exempt from every rule.
+pub fn analyze_file(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagnostic> {
+    if !(scope.determinism || scope.panic_safety || scope.error_hygiene) {
+        // No family applies (non-serving crate): nothing can fire, and
+        // allow-annotation hygiene is meaningless without rules.
+        return Vec::new();
+    }
+    let toks = lex(src);
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+    let test_ranges = test_line_ranges(&code);
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+
+    let mut allows = collect_allows(&toks);
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    if scope.determinism {
+        determinism_rules(rel_path, &code, &mut raw);
+    }
+    if scope.panic_safety {
+        panic_safety_rules(rel_path, &code, &mut raw);
+    }
+    if scope.error_hygiene {
+        error_hygiene_rule(rel_path, &code, &mut raw);
+    }
+
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        if in_test(d.line) {
+            continue;
+        }
+        let suppressed = allows.iter_mut().any(|a| {
+            let hit = a.reason_ok && a.rule == d.rule && d.line >= a.start && d.line <= a.end;
+            a.used |= hit;
+            hit
+        });
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for a in &allows {
+        if in_test(a.start) {
+            continue;
+        }
+        if !a.reason_ok {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: a.start,
+                rule: RULE_INVALID_ALLOW,
+                message: format!(
+                    "malformed lint:allow for `{}`: needs a known rule and a non-empty \
+                     reason = \"...\"",
+                    a.rule
+                ),
+            });
+        } else if !a.used {
+            out.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: a.start,
+                rule: RULE_UNUSED_ALLOW,
+                message: format!("lint:allow({}) suppressed nothing; remove it", a.rule),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+fn diag(file: &str, line: u32, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic { file: file.to_string(), line, rule, message }
+}
+
+// ---------------------------------------------------------------------
+// Test-code exemption
+// ---------------------------------------------------------------------
+
+/// Line ranges covered by `#[cfg(test)]` / `#[test]` items: from the
+/// attribute to the item's closing brace. Rules never fire inside.
+fn test_line_ranges(code: &[&Tok]) -> Vec<(u32, u32)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].text == "#" && code[i + 1].text == "[" {
+            let (attr_end, is_test) = scan_attribute(code, i + 1);
+            if is_test {
+                if let Some(close_line) = item_body_end(code, attr_end + 1) {
+                    ranges.push((code[i].line, close_line));
+                }
+            }
+            i = attr_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    ranges
+}
+
+/// From the `[` at `open`, returns (index of the matching `]`, whether
+/// the attribute is `#[test]` or any `cfg(...)` mentioning `test`).
+fn scan_attribute(code: &[&Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut saw_test = false;
+    let mut first_ident: Option<&str> = None;
+    let mut i = open;
+    while i < code.len() {
+        match code[i].text {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            t if code[i].kind == TokKind::Ident => {
+                if first_ident.is_none() {
+                    first_ident = Some(t);
+                }
+                // `test` under a `not(...)` (as in `#[cfg(not(test))]`)
+                // marks *non*-test code — never an exemption.
+                let negated = i >= 2 && code[i - 1].text == "(" && code[i - 2].text == "not";
+                saw_test |= t == "test" && !negated;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let is_test = saw_test && matches!(first_ident, Some("test") | Some("cfg"));
+    (i.min(code.len().saturating_sub(1)), is_test)
+}
+
+/// From the token after a test attribute, finds the closing-brace line
+/// of the annotated item (skipping further attributes). `None` for
+/// bodiless items (`mod tests;`).
+fn item_body_end(code: &[&Tok], mut i: usize) -> Option<u32> {
+    // Skip stacked attributes between the cfg and the item.
+    while i + 1 < code.len() && code[i].text == "#" && code[i + 1].text == "[" {
+        let (end, _) = scan_attribute(code, i + 1);
+        i = end + 1;
+    }
+    while i < code.len() {
+        match code[i].text {
+            ";" => return None,
+            "{" => {
+                let mut depth = 1usize;
+                let mut j = i + 1;
+                while j < code.len() {
+                    match code[j].text {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some(code[j].line);
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return Some(code.last().map(|t| t.line).unwrap_or(0));
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// lint:allow annotations
+// ---------------------------------------------------------------------
+
+/// Parses every `lint:allow` comment and computes its coverage range.
+///
+/// A trailing annotation (code earlier on the same line) covers only
+/// that line. A standalone annotation covers itself through the end of
+/// the next statement: tokens are walked from the first code token
+/// after the comment, and the statement ends at the first `;` at
+/// bracket depth zero, or at the `}` that closes the enclosing block.
+fn collect_allows(toks: &[Tok]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, t) in toks.iter().enumerate() {
+        if !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            continue;
+        }
+        let Some((rule, reason_ok)) = parse_allow(t.text) else { continue };
+        let trailing = toks[..idx].iter().any(|p| p.line == t.line && p.is_code());
+        let end = if trailing { t.line } else { statement_end_line(toks, idx).unwrap_or(t.line) };
+        allows.push(Allow { rule, start: t.line, end, reason_ok, used: false });
+    }
+    allows
+}
+
+/// Extracts `(rule, reason_is_valid)` from a comment containing
+/// `lint:allow(...)`; `None` when the marker is absent.
+fn parse_allow(comment: &str) -> Option<(String, bool)> {
+    let rest = comment.split("lint:allow(").nth(1)?;
+    let rule_end = rest.find([',', ')'])?;
+    let rule = rest[..rule_end].trim().to_string();
+    let known = ALL_RULES.contains(&rule.as_str());
+    let reason_ok = rest[rule_end..]
+        .split("reason")
+        .nth(1)
+        .and_then(|r| {
+            let r = r.trim_start().strip_prefix('=')?.trim_start();
+            let body = r.strip_prefix('"')?;
+            let end = body.find('"')?;
+            Some(!body[..end].trim().is_empty())
+        })
+        .unwrap_or(false);
+    Some((rule, known && reason_ok))
+}
+
+/// Line where the statement beginning at the first code token after
+/// `comment_idx` ends (see [`collect_allows`]).
+fn statement_end_line(toks: &[Tok], comment_idx: usize) -> Option<u32> {
+    let mut depth = 0i32;
+    let mut started = false;
+    for t in toks[comment_idx + 1..].iter().filter(|t| t.is_code()) {
+        started = true;
+        match t.text {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return Some(t.line);
+                }
+            }
+            ";" if depth == 0 => return Some(t.line),
+            _ => {}
+        }
+    }
+    started.then(|| toks.last().map(|t| t.line)).flatten()
+}
+
+// ---------------------------------------------------------------------
+// determinism/*
+// ---------------------------------------------------------------------
+
+fn determinism_rules(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    for t in code {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text {
+            "Instant" | "SystemTime" => out.push(diag(
+                file,
+                t.line,
+                RULE_WALL_CLOCK,
+                format!(
+                    "wall-clock type `{}` on a serving path; use the virtual tick clock or a \
+                     modeled analog delay so results stay bit-reproducible",
+                    t.text
+                ),
+            )),
+            "thread_rng" | "ThreadRng" => out.push(diag(
+                file,
+                t.line,
+                RULE_THREAD_RNG,
+                format!(
+                    "ambient OS-seeded RNG `{}` on a serving path; derive a seeded StdRng from \
+                     the array/query seed instead",
+                    t.text
+                ),
+            )),
+            _ => {}
+        }
+    }
+    map_iteration_rule(file, code, out);
+}
+
+/// Flags iteration over bindings whose declaration names `HashMap` or
+/// `HashSet`: `m.iter()`-family calls and `for _ in [&[mut]] m`.
+/// Purely lexical — it sees `let m = HashMap::new()`, `m: HashMap<..>`
+/// struct fields and annotations, not types that arrive via inference.
+fn map_iteration_rule(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    let mut names: Vec<&str> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        // Walk back over a `std::collections::` style path prefix.
+        let mut p = i;
+        while p >= 2 && code[p - 1].text == "::" && code[p - 2].kind == TokKind::Ident {
+            p -= 2;
+        }
+        if p == 0 {
+            continue;
+        }
+        let before = code[p - 1].text;
+        let name =
+            if (before == ":" || before == "=") && p >= 2 { Some(code[p - 2]) } else { None };
+        if let Some(n) = name {
+            if n.kind == TokKind::Ident && !is_keyword(n.text) {
+                names.push(n.text);
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || !names.contains(&t.text) {
+            continue;
+        }
+        let method_iter = i + 3 < code.len()
+            && code[i + 1].text == "."
+            && ITER_METHODS.contains(&code[i + 2].text)
+            && code[i + 3].text == "(";
+        let mut j = i;
+        if j > 0 && code[j - 1].text == "mut" {
+            j -= 1;
+        }
+        if j > 0 && code[j - 1].text == "&" {
+            j -= 1;
+        }
+        let for_iter = j > 0 && code[j - 1].text == "in";
+        if method_iter || for_iter {
+            out.push(diag(
+                file,
+                t.line,
+                RULE_MAP_ITERATION,
+                format!(
+                    "iteration over unordered HashMap/HashSet `{}` on a serving path; use a \
+                     Vec/BTreeMap or sort before iterating so order is deterministic",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// panic-safety/*
+// ---------------------------------------------------------------------
+
+fn panic_safety_rules(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in code.iter().enumerate() {
+        match t.kind {
+            TokKind::Ident
+                if (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && code[i - 1].text == "."
+                    && i + 1 < code.len()
+                    && code[i + 1].text == "(" =>
+            {
+                let (rule, msg) = if t.text == "unwrap" {
+                    (RULE_UNWRAP, "`.unwrap()` on a serving path; propagate a typed FerexError")
+                } else {
+                    (RULE_EXPECT, "`.expect(..)` on a serving path; propagate a typed FerexError")
+                };
+                out.push(diag(file, t.line, rule, msg.to_string()));
+            }
+            TokKind::Ident
+                if PANIC_MACROS.contains(&t.text)
+                    && i + 1 < code.len()
+                    && code[i + 1].text == "!" =>
+            {
+                out.push(diag(
+                    file,
+                    t.line,
+                    RULE_PANIC,
+                    format!(
+                        "`{}!` aborts the serving process; return a typed FerexError instead",
+                        t.text
+                    ),
+                ));
+            }
+            TokKind::Punct if t.text == "[" && i > 0 && indexes_expression(code[i - 1]) => {
+                out.push(diag(
+                    file,
+                    t.line,
+                    RULE_INDEX,
+                    "slice indexing can panic on a serving path; use .get()/.get_mut() or a \
+                     checked pattern"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `true` when a `[` after this token is indexing (expression position)
+/// rather than a type, attribute, or array literal.
+fn indexes_expression(prev: &Tok) -> bool {
+    match prev.kind {
+        TokKind::Ident => !is_keyword(prev.text),
+        TokKind::Number => true,
+        TokKind::Punct => matches!(prev.text, ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// error-hygiene/*
+// ---------------------------------------------------------------------
+
+/// Public fns in `ferex-core` returning `Result<_, E>` must use a
+/// typed error as `E` — `FerexError` on serving paths, or a
+/// crate-local domain enum (`EncodeError`, `FeasibilityError`) at
+/// construction time. `String`, `&str`, `Box<dyn Error>`, ad-hoc
+/// tuples and bare primitives cannot be matched by callers and leak
+/// through the serving API.
+fn error_hygiene_rule(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].text != "pub" || code[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are not public API.
+        if i + 1 < code.len() && code[i + 1].text == "(" {
+            i += 1;
+            continue;
+        }
+        let Some((name, err, line)) = public_fn_result_error(code, i) else {
+            i += 1;
+            continue;
+        };
+        if is_untyped_error(&err) {
+            out.push(diag(
+                file,
+                line,
+                RULE_RESULT_ERROR,
+                format!(
+                    "public fn `{name}` returns Result<_, {err}>; public core APIs must \
+                     return a typed error (FerexError on serving paths)"
+                ),
+            ));
+        }
+        i += 1;
+    }
+}
+
+/// `true` for error types callers cannot match on: strings, erased
+/// boxes, tuples/units, and bare primitives.
+fn is_untyped_error(err: &str) -> bool {
+    let e = err.trim();
+    e == "String"
+        || e.ends_with("::String")
+        || e.starts_with('&')
+        || e.starts_with("Box<dyn")
+        || e.starts_with('(')
+        || matches!(
+            e,
+            "str"
+                | "bool"
+                | "char"
+                | "u8"
+                | "u16"
+                | "u32"
+                | "u64"
+                | "u128"
+                | "usize"
+                | "i8"
+                | "i16"
+                | "i32"
+                | "i64"
+                | "i128"
+                | "isize"
+                | "f32"
+                | "f64"
+        )
+}
+
+/// For a `pub` at `i` introducing `pub [async|const|unsafe|extern "C"] fn
+/// name<...>(...) -> Result<T, E>`, returns `(name, E, line)`.
+fn public_fn_result_error(code: &[&Tok], i: usize) -> Option<(String, String, u32)> {
+    let mut j = i + 1;
+    while j < code.len()
+        && (matches!(code[j].text, "async" | "const" | "unsafe" | "extern")
+            || code[j].kind == TokKind::Literal)
+    {
+        j += 1;
+    }
+    if j >= code.len() || code[j].text != "fn" {
+        return None;
+    }
+    let name = code.get(j + 1)?.text.to_string();
+    let line = code[j].line;
+    let mut k = j + 2;
+    // Generics on the fn, if any (may nest `Fn(..) -> ..` bounds).
+    if code.get(k)?.text == "<" {
+        let mut depth = 0i32;
+        while k < code.len() {
+            match code[k].text {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        k += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    if code.get(k)?.text != "(" {
+        return None;
+    }
+    let mut depth = 0i32;
+    while k < code.len() {
+        match code[k].text {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    k += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    if code.get(k)?.text != "->" {
+        return None;
+    }
+    // Collect the return type up to the body / `where` clause.
+    let mut ret: Vec<&Tok> = Vec::new();
+    let mut depth = 0i32;
+    for t in &code[k + 1..] {
+        match t.text {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => depth -= 1,
+            "{" | ";" if depth == 0 => break,
+            "where" if depth == 0 => break,
+            _ => {}
+        }
+        ret.push(t);
+    }
+    result_error_type(&ret).map(|err| (name, err, line))
+}
+
+/// Given return-type tokens, extracts the error type of a top-level
+/// `Result<T, E>` (path prefixes tolerated); `None` when the return
+/// type is not a two-argument `Result`.
+fn result_error_type(ret: &[&Tok]) -> Option<String> {
+    let mut i = 0;
+    while i + 1 < ret.len() && ret[i].kind == TokKind::Ident && ret[i + 1].text == "::" {
+        i += 2;
+    }
+    if ret.get(i)?.text != "Result" || ret.get(i + 1)?.text != "<" {
+        return None;
+    }
+    let mut depth = 1i32;
+    let mut j = i + 2;
+    let mut comma = None;
+    while j < ret.len() {
+        match ret[j].text {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if depth == 1 => comma = Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    let c = comma?;
+    let mut err = String::new();
+    for t in &ret[c + 1..j] {
+        if !err.is_empty()
+            && t.kind == TokKind::Ident
+            && err.chars().next_back().is_some_and(|ch| ch.is_alphanumeric() || ch == '_')
+        {
+            err.push(' ');
+        }
+        err.push_str(t.text);
+    }
+    Some(err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: Scope = Scope { determinism: true, panic_safety: true, error_hygiene: true };
+
+    fn rules_at(src: &str) -> Vec<(&'static str, u32)> {
+        analyze_file("x.rs", src, ALL).into_iter().map(|d| (d.rule, d.line)).collect()
+    }
+
+    #[test]
+    fn flags_each_family() {
+        let src = "fn f() {\n\
+                   let t = Instant::now();\n\
+                   let r = thread_rng();\n\
+                   let v = x.unwrap();\n\
+                   let w = y.expect(\"boom\");\n\
+                   panic!(\"no\");\n\
+                   let z = data[3];\n\
+                   }\n";
+        assert_eq!(
+            rules_at(src),
+            vec![
+                (RULE_WALL_CLOCK, 2),
+                (RULE_THREAD_RNG, 3),
+                (RULE_UNWRAP, 4),
+                (RULE_EXPECT, 5),
+                (RULE_PANIC, 6),
+                (RULE_INDEX, 7),
+            ]
+        );
+    }
+
+    #[test]
+    fn map_iteration_fires_on_declared_bindings_only() {
+        let src = "fn f() {\n\
+                   let mut m = HashMap::new();\n\
+                   for (k, v) in &m { use_it(k, v); }\n\
+                   let total: u32 = m.values().sum();\n\
+                   let v = vec![1];\n\
+                   for x in &v { use_it(x, x); }\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![(RULE_MAP_ITERATION, 3), (RULE_MAP_ITERATION, 4)]);
+        // Annotated field declarations count as declarations too.
+        let src = "struct S { index: std::collections::HashMap<u32, u32> }\n\
+                   impl S { fn g(&self) -> usize { self.index.keys().count() } }\n";
+        assert_eq!(rules_at(src), vec![(RULE_MAP_ITERATION, 2)]);
+        // Lookup by key is fine — only iteration is nondeterministic.
+        let src = "fn f(m: HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn indexing_heuristic_skips_types_and_literals() {
+        let clean = "fn f(x: &[u8], y: [f64; 2]) -> [u8; 2] {\n\
+                     let a = [1u8, 2];\n\
+                     let b: Vec<[f64; 3]> = vec![];\n\
+                     if let [p, q] = a { use_it(p, q); }\n\
+                     return [a[0], 9];\n\
+                     }\n";
+        // Only the real indexing `a[0]` fires (line 5).
+        assert_eq!(rules_at(clean), vec![(RULE_INDEX, 5)]);
+        assert_eq!(
+            rules_at("fn g() { m[0][1] = x.0[2]; }"),
+            vec![(RULE_INDEX, 1), (RULE_INDEX, 1), (RULE_INDEX, 1),]
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "fn serve() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn helper() { y.unwrap(); panic!(\"fine in tests\"); }\n\
+                   }\n\
+                   fn serve2() { z.unwrap(); }\n";
+        assert_eq!(rules_at(src), vec![(RULE_UNWRAP, 1), (RULE_UNWRAP, 6)]);
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn s() { y.unwrap(); }\n";
+        assert_eq!(rules_at(src), vec![(RULE_UNWRAP, 3)]);
+    }
+
+    #[test]
+    fn error_hygiene_flags_non_ferex_errors() {
+        let src = "pub fn bad(&self) -> Result<(), String> { Ok(()) }\n\
+                   pub fn worse() -> Result<u32, Box<dyn Error>> { Ok(1) }\n\
+                   pub fn tuple(&self) -> Result<(), (usize, u32)> { Ok(()) }\n\
+                   pub fn good(&self) -> Result<Vec<u8>, FerexError> { Ok(vec![]) }\n\
+                   pub fn pathed(&self) -> Result<(), crate::error::FerexError> { Ok(()) }\n\
+                   pub fn domain(&self) -> Result<(), EncodeError> { Ok(()) }\n\
+                   pub fn sref(&self) -> Result<(), &'static str> { Ok(()) }\n\
+                   pub(crate) fn internal() -> Result<(), String> { Ok(()) }\n\
+                   fn private() -> Result<(), String> { Ok(()) }\n\
+                   pub fn not_result(&self) -> usize { 0 }\n";
+        assert_eq!(
+            rules_at(src),
+            vec![
+                (RULE_RESULT_ERROR, 1),
+                (RULE_RESULT_ERROR, 2),
+                (RULE_RESULT_ERROR, 3),
+                (RULE_RESULT_ERROR, 7),
+            ]
+        );
+        let d = &analyze_file("x.rs", src, ALL)[1];
+        assert!(d.message.contains("Box<dyn Error>"), "{}", d.message);
+    }
+
+    #[test]
+    fn generic_fns_and_nested_results_parse() {
+        let src = "pub fn gen<F: Fn(u32) -> u32>(f: F) -> Result<Vec<(u32, u32)>, String> {\n\
+                   todo!()\n\
+                   }\n";
+        let got = rules_at(src);
+        assert!(got.contains(&(RULE_RESULT_ERROR, 1)), "{got:?}");
+        assert!(got.contains(&(RULE_PANIC, 2)), "{got:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_same_line_and_next_statement() {
+        let src = "fn f() {\n\
+                   x.unwrap(); // lint:allow(panic-safety/unwrap, reason = \"bounded by ctor\")\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![]);
+        // Standalone annotation covering a multi-line statement.
+        let src = "fn f() {\n\
+                   // lint:allow(panic-safety/expect, reason = \"validated above\")\n\
+                   thing\n\
+                   .step()\n\
+                   .expect(\"fine\");\n\
+                   y.expect(\"not covered\");\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![(RULE_EXPECT, 6)]);
+    }
+
+    #[test]
+    fn allow_requires_reason_and_known_rule() {
+        let src = "fn f() {\n\
+                   // lint:allow(panic-safety/unwrap)\n\
+                   x.unwrap();\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![(RULE_INVALID_ALLOW, 2), (RULE_UNWRAP, 3)]);
+        let src = "fn f() {\n\
+                   // lint:allow(made-up/rule, reason = \"nope\")\n\
+                   x.unwrap();\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![(RULE_INVALID_ALLOW, 2), (RULE_UNWRAP, 3)]);
+    }
+
+    #[test]
+    fn unused_allow_is_itself_flagged() {
+        let src = "fn f() {\n\
+                   // lint:allow(panic-safety/unwrap, reason = \"stale\")\n\
+                   let x = 1;\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![(RULE_UNUSED_ALLOW, 2)]);
+    }
+
+    #[test]
+    fn wrong_rule_name_does_not_suppress() {
+        let src = "fn f() {\n\
+                   // lint:allow(panic-safety/expect, reason = \"wrong family\")\n\
+                   x.unwrap();\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![(RULE_UNUSED_ALLOW, 2), (RULE_UNWRAP, 3)]);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let src = "fn f() {\n\
+                   let s = \"call unwrap() and panic! and Instant::now()\";\n\
+                   // x.unwrap() in prose, Instant too\n\
+                   /* thread_rng() */\n\
+                   use_it(s);\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn scope_gates_families() {
+        let src = "fn f() { x.unwrap(); let t = Instant::now(); }\n";
+        let only_det = Scope { determinism: true, ..Default::default() };
+        let got: Vec<_> = analyze_file("x.rs", src, only_det).into_iter().map(|d| d.rule).collect();
+        assert_eq!(got, vec![RULE_WALL_CLOCK]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Workspace walking and scan orchestration.
+//!
+//! Discovers every non-test Rust source in the workspace
+//! (`crates/*/src/**/*.rs` plus the facade's `src/`), applies the
+//! config's per-crate scope, and returns a deterministic, sorted
+//! report. `tests/`, `benches/`, `examples/`, `target/` and `vendor/`
+//! are never walked — rules apply to serving code only.
+
+use crate::config::LintConfig;
+use crate::rules::{analyze_file, Diagnostic};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Everything one scan produced.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files lexed and analyzed.
+    pub files_scanned: usize,
+}
+
+impl ScanReport {
+    /// Diagnostics whose rule id starts with `family/`.
+    pub fn family(&self, family: &str) -> Vec<&Diagnostic> {
+        let prefix = format!("{family}/");
+        self.diagnostics.iter().filter(|d| d.rule.starts_with(&prefix)).collect()
+    }
+}
+
+/// Scans the workspace rooted at `root` under `config`'s scoping.
+///
+/// # Errors
+///
+/// A rendered I/O error naming the path that failed; an unreadable
+/// source file fails the scan rather than passing silently.
+pub fn run_scan(root: &Path, config: &LintConfig) -> Result<ScanReport, String> {
+    let mut files = discover_files(root)?;
+    files.sort();
+    let mut report = ScanReport::default();
+    for rel in files {
+        let rel_str = rel
+            .to_str()
+            .ok_or_else(|| format!("non-UTF-8 path under {}", root.display()))?
+            .replace('\\', "/");
+        let src = fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("read {}: {e}", rel.display()))?;
+        report.files_scanned += 1;
+        report.diagnostics.extend(analyze_file(&rel_str, &src, config.scope_for(&rel_str)));
+    }
+    report.diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Workspace-relative paths of every scannable source file.
+fn discover_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                collect_rs(&src, root, &mut out)?;
+            }
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        collect_rs(&facade_src, root, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, root, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            let rel =
+                entry.strip_prefix(root).map_err(|e| format!("strip {}: {e}", entry.display()))?;
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut entries = Vec::new();
+    let iter = fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    for entry in iter {
+        entries.push(entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?.path());
+    }
+    entries.sort();
+    Ok(entries)
+}

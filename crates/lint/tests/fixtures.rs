@@ -1,0 +1,79 @@
+//! Self-tests over the fixture corpus in `tests/fixtures/ws`: every
+//! rule family must fire at exactly the expected lines in the
+//! known-bad file, stay silent on the known-good and non-serving
+//! files, and respect (or flag) the allow annotations.
+
+use ferex_lint::{run_scan, LintConfig};
+use std::path::PathBuf;
+
+fn fixture_ws() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn scan() -> Vec<(String, u32, &'static str)> {
+    let report = run_scan(&fixture_ws(), &LintConfig::default()).expect("fixture scan");
+    report.diagnostics.into_iter().map(|d| (d.file, d.line, d.rule)).collect()
+}
+
+#[test]
+fn known_bad_fires_every_family_at_exact_lines() {
+    let bad: Vec<(u32, &str)> = scan()
+        .into_iter()
+        .filter(|(f, _, _)| f == "crates/core/src/lib.rs")
+        .map(|(_, l, r)| (l, r))
+        .collect();
+    assert_eq!(
+        bad,
+        vec![
+            (3, "determinism/wall-clock"),
+            (4, "determinism/wall-clock"),
+            (6, "error-hygiene/result-error-type"),
+            (7, "determinism/wall-clock"),
+            (8, "determinism/wall-clock"),
+            (9, "determinism/thread-rng"),
+            (11, "determinism/map-iteration"),
+            (14, "determinism/map-iteration"),
+            (15, "panic-safety/index"),
+            (16, "panic-safety/unwrap"),
+            (17, "panic-safety/expect"),
+            (19, "panic-safety/panic"),
+            (21, "panic-safety/panic"),
+            (24, "error-hygiene/result-error-type"),
+        ]
+    );
+}
+
+#[test]
+fn known_good_is_silent() {
+    let clean: Vec<_> =
+        scan().into_iter().filter(|(f, _, _)| f == "crates/core/src/clean.rs").collect();
+    assert_eq!(clean, vec![], "known-good fixture must produce no diagnostics");
+}
+
+#[test]
+fn non_serving_crates_are_out_of_scope() {
+    let cli: Vec<_> = scan().into_iter().filter(|(f, _, _)| f.starts_with("crates/cli")).collect();
+    assert_eq!(cli, vec![], "cli is not a serving crate; its panics are its own business");
+}
+
+#[test]
+fn allow_annotations_suppress_and_stale_ones_fire() {
+    let allowed: Vec<(u32, &str)> = scan()
+        .into_iter()
+        .filter(|(f, _, _)| f == "crates/core/src/allowed.rs")
+        .map(|(_, l, r)| (l, r))
+        .collect();
+    // The three justified violations are suppressed; only the unused
+    // annotation and the reason-less one remain.
+    assert_eq!(allowed, vec![(16, "lint/unused-allow"), (18, "lint/invalid-allow")]);
+}
+
+#[test]
+fn cfg_test_modules_are_exempt_in_fixtures() {
+    // The #[cfg(test)] module in the known-bad file spans lines 28-36;
+    // none of its unwrap/index/panic may appear.
+    assert!(
+        scan().iter().all(|(f, l, _)| f != "crates/core/src/lib.rs" || *l < 28),
+        "diagnostics leaked out of the test-exempt region"
+    );
+}

@@ -1,0 +1,13 @@
+//! Non-serving fixture: the same patterns as the known-bad file, but
+//! in a crate outside the serving set — ferex-lint must stay silent.
+use std::time::Instant;
+
+pub fn tooling(data: &[u32]) -> Result<u32, String> {
+    let _t = Instant::now();
+    let first = data[0];
+    let second = maybe().unwrap();
+    if first == 0 {
+        panic!("cli tools may abort");
+    }
+    Ok(second)
+}

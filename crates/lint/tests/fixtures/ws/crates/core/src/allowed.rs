@@ -1,0 +1,21 @@
+//! Allow-annotated fixture: every violation justified in-line, plus
+//! one stale and one malformed annotation that must themselves fire.
+
+pub fn justified(data: &[u32]) -> Result<u32, FerexError> {
+    // lint:allow(panic-safety/index, reason = "len checked by caller contract")
+    let first = data[0];
+    let second = maybe().unwrap(); // lint:allow(panic-safety/unwrap, reason = "Some by construction")
+    // lint:allow(panic-safety/expect, reason = "validated two lines up")
+    let third = builder()
+        .step(first)
+        .expect("fixture");
+    Ok(second + third)
+}
+
+pub fn stale_and_malformed() -> Result<(), FerexError> {
+    // lint:allow(panic-safety/panic, reason = "nothing panics below")
+    let _fine = 1;
+    // lint:allow(panic-safety/unwrap)
+    let _also_fine = 2;
+    Ok(())
+}

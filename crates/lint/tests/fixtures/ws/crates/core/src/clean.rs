@@ -1,0 +1,24 @@
+//! Known-good fixture: serving-path idioms that must never fire —
+//! checked access, typed errors, seeded RNG, ordered iteration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn serve(data: &[u32], seed: u64) -> Result<u32, FerexError> {
+    let first = data.first().copied().ok_or(FerexError::Empty)?;
+    let _rng = StdRng::seed_from_u64(seed);
+    let pairs: Vec<(u32, u32)> = data.iter().map(|&x| (x, x + first)).collect();
+    let mut total = 0;
+    for (a, b) in &pairs {
+        total += a + b;
+    }
+    // A map used only for lookups is fine; only iteration is banned.
+    let index: HashMap<u32, u32> = build_index(data);
+    let hit = index.get(&first).copied().unwrap_or_default();
+    let window: &[u32] = data.get(1..).unwrap_or(&[]);
+    Ok(total + hit + window.len() as u32)
+}
+
+pub(crate) fn internal_errors_may_differ() -> Result<(), String> {
+    Ok(())
+}

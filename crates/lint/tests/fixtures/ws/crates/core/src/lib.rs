@@ -1,0 +1,36 @@
+//! Known-bad fixture: every rule family fires at a known line.
+//! This file is scanned by ferex-lint's self-tests, never compiled.
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn stringly(data: &[u32]) -> Result<u32, String> {
+    let _t = Instant::now();
+    let _w = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in &m {
+        consume(k, v, &mut rng);
+    }
+    let total: u32 = m.values().sum();
+    let first = data[0];
+    let second = maybe().unwrap();
+    let third = maybe().expect("fixture");
+    if first == 0 {
+        panic!("zero");
+    }
+    unreachable!()
+}
+
+pub fn erased() -> Result<(), Box<dyn Error>> {
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn violations_here_are_exempt() {
+        let x = maybe().unwrap();
+        let y = data[0];
+        panic!("tests may panic: {x} {y}");
+    }
+}

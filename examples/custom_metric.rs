@@ -27,10 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.encoding.max_vds_multiple
     );
     println!("{}", report.encoding);
-    report
-        .encoding
-        .verify(&dm)
-        .map_err(|(i, j, want, got)| format!("verify failed at ({i},{j}): {want} vs {got}"))?;
+    report.encoding.verify(&dm).map_err(|e| format!("verify failed: {e}"))?;
     println!("verification: encoding reproduces the custom table exactly\n");
 
     // Use it: an array of 6-symbol vectors under the custom cost.

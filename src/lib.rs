@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ferex — reconfigurable multi-bit ferroelectric compute-in-memory
 //!
 //! Facade crate of the FeReX reproduction (Xu et al., DATE 2024). It
