@@ -5,6 +5,8 @@
 //! for the experiment index) plus Criterion micro-benchmarks. Shared
 //! helpers for workload construction live here.
 
+pub mod kernels;
+
 use ferex_core::{Backend, CircuitConfig, DistanceMetric, Ferex, FerexError};
 use ferex_datasets::dataset::Dataset;
 use ferex_datasets::quantize::Quantizer;

@@ -87,6 +87,24 @@ pub enum Command {
         /// Scheduled scrub period in queries; 0 disables.
         scrub_every: usize,
     },
+    /// One-point kernel micro-benchmark: the batched distance path
+    /// against the scalar per-query loop it must reproduce bit-identically.
+    BenchKernels {
+        /// Target metric.
+        metric: DistanceMetric,
+        /// Symbol bit width.
+        bits: u32,
+        /// Stored rows (random, seeded).
+        rows: usize,
+        /// Symbols per row.
+        dim: usize,
+        /// Queries per batch.
+        batch: usize,
+        /// Simulation backend.
+        backend: BackendKind,
+        /// RNG seed for fixtures and stochastic backends.
+        seed: u64,
+    },
     /// Co-simulate an encoding on the device-level array.
     Verify {
         /// Target metric.
@@ -447,6 +465,41 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 scrub_every,
             })
         }
+        "bench-kernels" => {
+            let flags = Flags::new(rest)?;
+            flags.ensure_known(&["metric", "bits", "rows", "dim", "batch", "backend", "seed"])?;
+            let metric = flags
+                .get("metric")
+                .map(parse_metric)
+                .transpose()?
+                .unwrap_or(DistanceMetric::Hamming);
+            let bits = flags
+                .get("bits")
+                .map(|b| b.parse::<u32>().map_err(|_| err("invalid --bits")))
+                .transpose()?
+                .unwrap_or(2);
+            let parse_usize = |name: &str, default: usize| -> Result<usize, ParseArgsError> {
+                flags
+                    .get(name)
+                    .map(|v| v.parse::<usize>().map_err(|_| err(format!("invalid --{name}"))))
+                    .transpose()
+                    .map(|o| o.unwrap_or(default))
+            };
+            let rows = parse_usize("rows", 1_000)?;
+            let dim = parse_usize("dim", 64)?;
+            let batch = parse_usize("batch", 64)?;
+            if rows == 0 || dim == 0 || batch == 0 {
+                return Err(err("--rows, --dim and --batch must be >= 1"));
+            }
+            let backend =
+                flags.get("backend").map(parse_backend).transpose()?.unwrap_or(BackendKind::Ideal);
+            let seed = flags
+                .get("seed")
+                .map(|s| s.parse::<u64>().map_err(|_| err("invalid --seed")))
+                .transpose()?
+                .unwrap_or(42);
+            Ok(Command::BenchKernels { metric, bits, rows, dim, batch, backend, seed })
+        }
         "montecarlo" | "mc" => {
             let flags = Flags::new(rest)?;
             flags.ensure_known(&["runs", "near", "far", "backend", "faults"])?;
@@ -489,6 +542,8 @@ USAGE:
   ferex verify --metric <m> [--bits N]
   ferex montecarlo [--runs N] [--near D] [--far D]
                [--backend noisy|circuit] [--faults SPEC]
+  ferex bench-kernels [--metric <m>] [--bits N] [--rows N] [--dim N]
+               [--batch N] [--backend ideal|noisy|circuit] [--seed N]
   ferex info
   ferex help
 
@@ -511,6 +566,13 @@ REPLICATED SERVING (serve-sim):
   one line per query plus the supervisor's counters. --chaos schedules
   a mid-stream replica kill (kill=REPLICA@QUERY) and periodic
   maintenance scrubs (scrub=PERIOD).
+
+KERNEL BENCH (bench-kernels):
+  fills a seeded random array, serves one query batch through the
+  structure-of-arrays batch kernels and the scalar per-query loop,
+  checks them bit-identical, and prints both timings with the kernel
+  the batch dispatched to. Circuit re-solves the crossbar per query,
+  so keep --rows small on that backend.
 
 EXAMPLES:
   ferex encode --metric hamming
@@ -598,6 +660,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_bench_kernels() {
+        let cmd = parse(&argv("bench-kernels")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchKernels {
+                metric: DistanceMetric::Hamming,
+                bits: 2,
+                rows: 1_000,
+                dim: 64,
+                batch: 64,
+                backend: BackendKind::Ideal,
+                seed: 42,
+            }
+        );
+        let cmd = parse(&argv(
+            "bench-kernels --metric l1 --rows 200 --dim 16 --batch 8 --backend noisy --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::BenchKernels {
+                metric: DistanceMetric::Manhattan,
+                bits: 2,
+                rows: 200,
+                dim: 16,
+                batch: 8,
+                backend: BackendKind::Noisy,
+                seed: 7,
+            }
+        );
+        assert!(parse(&argv("bench-kernels --rows 0")).is_err());
+        assert!(parse(&argv("bench-kernels --bogus 1")).is_err());
+    }
+
+    #[test]
     fn parses_fault_specs() {
         let cmd = parse(&argv(
             "search --metric hd --store 0,1 --query 0,1 --backend noisy \
@@ -661,7 +758,16 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_subcommand() {
-        for sub in ["encode", "search", "serve-sim", "verify", "montecarlo", "info", "help"] {
+        for sub in [
+            "encode",
+            "search",
+            "serve-sim",
+            "verify",
+            "montecarlo",
+            "bench-kernels",
+            "info",
+            "help",
+        ] {
             assert!(USAGE.contains(sub), "usage missing {sub}");
         }
     }

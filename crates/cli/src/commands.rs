@@ -60,6 +60,9 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             render_montecarlo(*runs, *near, *far, *backend, *faults)
         }
         Command::Verify { metric, bits } => render_verify(*metric, *bits),
+        Command::BenchKernels { metric, bits, rows, dim, batch, backend, seed } => {
+            render_bench_kernels(*metric, *bits, *rows, *dim, *batch, *backend, *seed)
+        }
         Command::ServeSim {
             metric,
             bits,
@@ -121,6 +124,80 @@ fn render_verify(metric: DistanceMetric, bits: u32) -> Result<String, CommandErr
             );
         }
     }
+    Ok(out)
+}
+
+/// Adaptive mean wall time of `f` in nanoseconds: one pilot run, then
+/// enough repeats to accumulate ~50 ms (slow configurations keep the
+/// single pilot measurement instead of stalling the command).
+fn mean_ns<F: FnMut()>(mut f: F) -> f64 {
+    let pilot = std::time::Instant::now();
+    f();
+    let first = pilot.elapsed().as_secs_f64();
+    if first >= 0.2 {
+        return first * 1e9;
+    }
+    let iters = ((0.05 / first.max(1e-9)).ceil() as usize).clamp(1, 200);
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64 * 1e9
+}
+
+fn render_bench_kernels(
+    metric: DistanceMetric,
+    bits: u32,
+    rows: usize,
+    dim: usize,
+    batch: usize,
+    backend: BackendKind,
+    seed: u64,
+) -> Result<String, CommandError> {
+    if !(1..=6).contains(&bits) {
+        return Err(CommandError("--bits must be in 1..=6".into()));
+    }
+    let mut engine = Ferex::builder()
+        .metric(metric)
+        .bits(bits)
+        .dim(dim)
+        .backend(backend_of(backend, seed, FaultPlan::none()))
+        .build()?;
+    let top = 1u32 << bits;
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..rows {
+        engine.store((0..dim).map(|_| rng.gen_range(0..top)).collect())?;
+    }
+    engine.ensure_programmed()?;
+    let queries: Vec<Vec<u32>> =
+        (0..batch).map(|_| (0..dim).map(|_| rng.gen_range(0..top)).collect()).collect();
+    let array = engine.array();
+    let batched = array.distances_batch(&queries)?;
+    for (i, q) in queries.iter().take(4).enumerate() {
+        if array.distances(q)? != batched[i] {
+            return Err(CommandError(format!(
+                "batch kernel diverged from the scalar path on query {i} — this is a bug"
+            )));
+        }
+    }
+    let batch_ns = mean_ns(|| {
+        std::hint::black_box(array.distances_batch(&queries).expect("repeat of a served batch"));
+    }) / batch as f64;
+    let scalar_ns = mean_ns(|| {
+        for q in &queries {
+            std::hint::black_box(array.distances(q).expect("repeat of a served query"));
+        }
+    }) / batch as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{bits}-bit {metric}, {rows} rows x {dim} symbols, batch of {batch} (seed {seed})"
+    );
+    let _ = writeln!(out, "  batch kernel     : {}", array.batch_kernel(batch));
+    let _ = writeln!(out, "  batch ns/query   : {batch_ns:.0}");
+    let _ = writeln!(out, "  scalar ns/query  : {scalar_ns:.0}");
+    let _ = writeln!(out, "  speedup          : {:.2}x", scalar_ns / batch_ns.max(1e-9));
+    let _ = writeln!(out, "  bit-identity     : PASS (batch == scalar on sampled queries)");
     Ok(out)
 }
 
@@ -414,6 +491,19 @@ mod tests {
     fn run_line(line: &str) -> Result<String, CommandError> {
         let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
         run(&parse(&argv).expect("parses"))
+    }
+
+    #[test]
+    fn bench_kernels_labels_its_kernel_and_passes_identity() {
+        let out = run_line("bench-kernels --metric hamming --rows 40 --dim 16 --batch 4").unwrap();
+        assert!(out.contains("batch kernel     : bitplane-popcount"), "{out}");
+        assert!(out.contains("bit-identity     : PASS"), "{out}");
+        let out = run_line(
+            "bench-kernels --metric l1 --rows 30 --dim 8 --batch 4 --backend noisy --seed 5",
+        )
+        .unwrap();
+        assert!(out.contains("batch kernel     : contrib-table"), "{out}");
+        assert!(out.contains("speedup"), "{out}");
     }
 
     #[test]

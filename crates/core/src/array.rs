@@ -41,6 +41,7 @@ use crate::health::{
     FaultAttribution, HealthCounters, HealthSnapshot, ProgramReport, RepairPolicy, RowHealth,
     ScrubFinding, ScrubReport, SpareState,
 };
+use crate::soa::{self, SoaCodes};
 use ferex_analog::crossbar::{ArrayOptions, ColumnDrive, Crossbar};
 use ferex_analog::delay::DelayModel;
 use ferex_analog::lta::LtaParams;
@@ -57,6 +58,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Domain-separation salt for per-query sensing streams, keeping them
 /// disjoint from the per-tile seed derivation that feeds the same mixer.
 const QUERY_STREAM_SALT: u64 = 0x51E0_D9AD_35B6_9E21;
+
+/// Largest `Noisy` batch served by the scalar path instead of the dense
+/// per-batch contribution table. Building the table evaluates every stored
+/// cell against *all* `n_search` drive symbols — about `n_search` scalar
+/// query passes of work — so batches of one or two queries finish sooner
+/// on the scalar path they are bit-identical to anyway.
+const NOISY_LUT_CROSSOVER: usize = 2;
 
 /// Resistance scale applied to a [`CellFault::ResistorOpen`] cell in the
 /// device-level backend: large enough that the residual current is far
@@ -154,6 +162,11 @@ pub struct FerexArray {
     dim: usize,
     backend: Backend,
     stored: Vec<Vec<u32>>,
+    /// Structure-of-arrays mirror of `stored`: all symbol codes quantized
+    /// to `u8` in one contiguous `rows × dim` buffer, maintained eagerly by
+    /// every mutator. The batched Ideal kernels read this instead of the
+    /// row-per-allocation `Vec<Vec<u32>>`.
+    codes: SoaCodes,
     crossbar: Option<Crossbar>,
     /// Per-cell variation samples of the `Noisy` backend (row-major).
     noisy_samples: Option<Vec<ferex_fefet::DeviceSample>>,
@@ -193,6 +206,7 @@ impl Clone for FerexArray {
             dim: self.dim,
             backend: self.backend.clone(),
             stored: self.stored.clone(),
+            codes: self.codes.clone(),
             crossbar: self.crossbar.clone(),
             noisy_samples: self.noisy_samples.clone(),
             fault_map: self.fault_map.clone(),
@@ -227,6 +241,7 @@ impl FerexArray {
             dim,
             backend,
             stored: Vec::new(),
+            codes: SoaCodes::new(dim),
             crossbar: None,
             noisy_samples: None,
             fault_map: None,
@@ -391,6 +406,7 @@ impl FerexArray {
     /// Dimension or symbol-range violations.
     pub fn store(&mut self, vector: Vec<u32>) -> Result<(), FerexError> {
         self.validate(&vector)?;
+        self.codes.push_row(&vector);
         self.stored.push(vector);
         self.invalidate_physical_state(); // re-program lazily
         Ok(())
@@ -410,6 +426,7 @@ impl FerexArray {
     /// Clears all stored vectors.
     pub fn clear(&mut self) {
         self.stored.clear();
+        self.codes.clear();
         self.invalidate_physical_state();
     }
 
@@ -423,6 +440,7 @@ impl FerexArray {
     pub fn remove(&mut self, row: usize) -> Vec<u32> {
         assert!(row < self.stored.len(), "row {row} out of range");
         let removed = self.stored.remove(row);
+        self.codes.remove_row(row);
         self.invalidate_physical_state();
         removed
     }
@@ -439,6 +457,7 @@ impl FerexArray {
     pub fn update(&mut self, row: usize, vector: Vec<u32>) -> Result<(), FerexError> {
         assert!(row < self.stored.len(), "row {row} out of range");
         self.validate(&vector)?;
+        self.codes.set_row(row, &vector);
         self.stored[row] = vector;
         self.invalidate_physical_state();
         Ok(())
@@ -694,12 +713,21 @@ impl FerexArray {
     /// Row distances for every query of a batch.
     ///
     /// Semantically a loop of [`FerexArray::distances`] calls — results are
-    /// bit-identical — but served differently: on the `Noisy` backend a
-    /// per-batch table of (stored cell × query symbol) current
-    /// contributions is precomputed once, turning the per-query inner loop
-    /// into pure table lookups and additions, and queries fan out across
-    /// worker threads. Amortizes the per-cell voltage/threshold arithmetic
-    /// over the whole batch.
+    /// bit-identical — but served through specialized kernels:
+    ///
+    /// * `Ideal` reads the contiguous structure-of-arrays code buffer
+    ///   instead of the row-per-allocation `Vec<Vec<u32>>`: a Hamming-exact
+    ///   encoding runs word-parallel XOR + popcount over packed bit-planes,
+    ///   every other encoding runs per-query current LUTs laid out
+    ///   contiguously, both cache-blocked rows-outer / queries-inner over
+    ///   balanced query chunks.
+    /// * `Noisy` precomputes one table of (stored cell × query symbol)
+    ///   current contributions per batch — built row-parallel — turning the
+    ///   per-query inner loop into pure lookups; batches of one or two
+    ///   queries skip the table (it costs `n_search` query-loops to build,
+    ///   so tiny batches are served faster by the scalar path it exactly
+    ///   reproduces).
+    /// * `Circuit` re-solves the crossbar per query and just fans out.
     ///
     /// # Errors
     ///
@@ -722,15 +750,145 @@ impl FerexArray {
             return Err(FerexError::Empty);
         }
         match &self.backend {
+            Backend::Noisy(_) if queries.len() <= NOISY_LUT_CROSSOVER => {
+                queries.iter().map(|q| self.distances(q)).collect()
+            }
             Backend::Noisy(_) => self.noisy_distances_batch(queries),
-            // Ideal is pure arithmetic and Circuit re-solves the crossbar
-            // per query; both just fan the scalar path out over threads.
+            // The SoA kernels read u8 codes; any encoding wider than 256
+            // stored levels (none exist today — the encoder caps alphabets
+            // at 64) falls back to the scalar fan-out.
+            Backend::Ideal if self.encoding.n_stored() <= 256 => {
+                Ok(self.ideal_distances_batch_soa(queries))
+            }
+            // Circuit re-solves the crossbar per query; fan the scalar
+            // path out over threads.
             Backend::Ideal | Backend::Circuit(_) => {
                 let out: Result<Vec<Vec<f64>>, FerexError> =
                     queries.par_iter().map(|q| self.distances(q)).collect();
                 out
             }
         }
+    }
+
+    /// Names the kernel [`FerexArray::distances_batch`] would dispatch a
+    /// batch of `batch` queries to, mirroring its dispatch exactly:
+    /// `"scalar"` (per-query fan-out or the small-batch Noisy crossover),
+    /// `"contrib-table"` (Noisy dense contribution table),
+    /// `"bitplane-popcount"` (Ideal + realized XOR-popcount encoding), or
+    /// `"lut"` (Ideal per-query current LUTs). Purely informational — used
+    /// by benchmarks and reports to label measurements.
+    pub fn batch_kernel(&self, batch: usize) -> &'static str {
+        match &self.backend {
+            Backend::Noisy(_) if batch <= NOISY_LUT_CROSSOVER => "scalar",
+            Backend::Noisy(_) => "contrib-table",
+            Backend::Ideal if self.encoding.n_stored() <= 256 => {
+                if soa::is_xor_popcount(&self.encoding) {
+                    "bitplane-popcount"
+                } else {
+                    "lut"
+                }
+            }
+            Backend::Ideal | Backend::Circuit(_) => "scalar",
+        }
+    }
+
+    /// The `Ideal` batched kernels over the structure-of-arrays code
+    /// buffer. Dispatches to XOR-popcount over packed bit-planes when the
+    /// realized encoding is exactly bitwise Hamming, and to per-query
+    /// current LUTs otherwise. Both kernels accumulate exact integer
+    /// currents in `u64` and convert once per row — bit-identical to the
+    /// scalar `f64` sum because every partial sum is an integer below 2⁵³
+    /// (see `soa` module docs).
+    fn ideal_distances_batch_soa(&self, queries: &[Vec<u32>]) -> Vec<Vec<f64>> {
+        let rows = self.stored.len();
+        debug_assert_eq!(self.codes.rows(), rows, "SoA code buffer out of sync");
+        let dim = self.dim;
+        let phys_of: Vec<Option<usize>> = (0..rows).map(|r| self.physical_row(r)).collect();
+        let ranges = soa::balanced_ranges(queries.len(), rayon::current_num_threads());
+
+        if soa::is_xor_popcount(&self.encoding) {
+            // Bit-plane path: pack stored codes once per batch (row-major,
+            // planes contiguous per row), pack each chunk's queries the
+            // same way, and reduce every (row, query) pair to XOR +
+            // popcount over `bits × ceil(dim/64)` words.
+            let bits = self.encoding.n_stored().trailing_zeros();
+            let words = dim.div_ceil(64);
+            let stride = bits as usize * words;
+            let mut row_planes = vec![0u64; rows * stride];
+            row_planes.par_chunks_mut(stride).enumerate().for_each(|(r, planes)| {
+                soa::pack_bit_planes(self.codes.row(r), bits, words, planes);
+            });
+            // lint:allow(panic-safety/index, reason = "hot kernel: chunk ranges come from balanced_ranges(queries.len()), plane strides and row indices are sized in this function; checked indexing would defeat the batch win")
+            let per_chunk: Vec<Vec<Vec<f64>>> = ranges
+                .par_iter()
+                .map(|range| {
+                    let qs = &queries[range.clone()];
+                    let mut q_planes = vec![0u64; qs.len() * stride];
+                    let mut q_codes = vec![0u8; dim];
+                    for (qi, q) in qs.iter().enumerate() {
+                        for (c, &s) in q_codes.iter_mut().zip(q.iter()) {
+                            *c = (s & 0xff) as u8;
+                        }
+                        soa::pack_bit_planes(
+                            &q_codes,
+                            bits,
+                            words,
+                            &mut q_planes[qi * stride..(qi + 1) * stride],
+                        );
+                    }
+                    let mut out = vec![vec![0.0f64; rows]; qs.len()];
+                    for r in 0..rows {
+                        if phys_of[r].is_none() {
+                            for row_out in &mut out {
+                                row_out[r] = f64::INFINITY;
+                            }
+                            continue;
+                        }
+                        let rp = &row_planes[r * stride..(r + 1) * stride];
+                        for (qi, row_out) in out.iter_mut().enumerate() {
+                            let qp = &q_planes[qi * stride..(qi + 1) * stride];
+                            row_out[r] = soa::popcount_distance(rp, qp) as f64;
+                        }
+                    }
+                    out
+                })
+                .collect();
+            return per_chunk.into_iter().flatten().collect();
+        }
+
+        // LUT path: one contiguous current LUT per query in the chunk
+        // (`dim` rows of `n_stored` entries each), then rows-outer /
+        // queries-inner so each row's code slice stays cache-hot across
+        // the whole chunk.
+        let n_stored = self.encoding.n_stored();
+        let lut_stride = dim * n_stored;
+        // lint:allow(panic-safety/index, reason = "hot kernel: chunk ranges come from balanced_ranges(queries.len()), LUT strides and row indices are sized in this function; checked indexing would defeat the batch win")
+        let per_chunk: Vec<Vec<Vec<f64>>> = ranges
+            .par_iter()
+            .map(|range| {
+                let qs = &queries[range.clone()];
+                let mut luts = Vec::with_capacity(qs.len() * lut_stride);
+                for q in qs {
+                    luts.extend(soa::query_lut(&self.encoding, q));
+                }
+                let mut out = vec![vec![0.0f64; rows]; qs.len()];
+                for r in 0..rows {
+                    if phys_of[r].is_none() {
+                        for row_out in &mut out {
+                            row_out[r] = f64::INFINITY;
+                        }
+                        continue;
+                    }
+                    let codes = self.codes.row(r);
+                    for (qi, row_out) in out.iter_mut().enumerate() {
+                        let lut = &luts[qi * lut_stride..(qi + 1) * lut_stride];
+                        row_out[r] = soa::lut_distance(lut, n_stored, codes) as f64;
+                    }
+                }
+                out
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
     }
 
     /// One `Noisy`-backend cell's current contribution in `I_unit`
@@ -794,12 +952,16 @@ impl FerexArray {
         // slice and are forced to INFINITY after accumulation, matching the
         // scalar path bit for bit.
         let phys_of: Vec<Option<usize>> = (0..rows).map(|r| self.physical_row(r)).collect();
+        // Build the table row-parallel: each worker owns one row's
+        // contiguous `row_stride` slice, so there is no sharing and the
+        // table contents are independent of the thread count.
         let mut contrib = vec![0.0f64; rows * row_stride];
-        for (r, row) in self.stored.iter().enumerate() {
-            let Some(phys) = phys_of[r] else { continue };
-            for (d, &s) in row.iter().enumerate() {
+        // lint:allow(panic-safety/index, reason = "hot kernel: each worker owns one row_stride slice of the table it indexes with offsets sized from the same dims; stored/encoding indices are validated at store time")
+        contrib.par_chunks_mut(row_stride).enumerate().for_each(|(r, row_lut)| {
+            let Some(phys) = phys_of[r] else { return };
+            for (d, &s) in self.stored[r].iter().enumerate() {
                 let st = &self.encoding.stored[s as usize];
-                let cell_base = (r * dim + d) * n_search * k;
+                let cell_base = d * n_search * k;
                 for (q, se) in self.encoding.search.iter().enumerate() {
                     for f in 0..k {
                         let m = se.vds_multiples[f];
@@ -808,7 +970,7 @@ impl FerexArray {
                         }
                         let index = phys * cols + d * k + f;
                         let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
-                        contrib[cell_base + q * k + f] = self.noisy_cell_units(
+                        row_lut[cell_base + q * k + f] = self.noisy_cell_units(
                             plan,
                             index,
                             st.vth_levels[f],
@@ -819,15 +981,19 @@ impl FerexArray {
                     }
                 }
             }
-        }
+        });
 
-        // Fan queries out in contiguous chunks; within a chunk iterate rows
-        // outer / queries inner so one row's table slice stays cache-hot
-        // across the whole chunk.
-        let chunk = queries.len().div_ceil(rayon::current_num_threads());
-        let per_chunk: Vec<Vec<Vec<f64>>> = queries
-            .par_chunks(chunk)
-            .map(|qs| {
+        // Fan queries out in balanced contiguous chunks — every worker gets
+        // a chunk, sizes differing by at most one (the old `div_ceil`
+        // chunking could idle workers on non-divisible batches). Within a
+        // chunk iterate rows outer / queries inner so one row's table slice
+        // stays cache-hot across the whole chunk.
+        let ranges = soa::balanced_ranges(queries.len(), rayon::current_num_threads());
+        // lint:allow(panic-safety/index, reason = "hot kernel: chunk ranges come from balanced_ranges(queries.len()), table offsets are sized from the same dims the table was built with; query symbols are validated before dispatch")
+        let per_chunk: Vec<Vec<Vec<f64>>> = ranges
+            .par_iter()
+            .map(|range| {
+                let qs = &queries[range.clone()];
                 let mut out = vec![vec![0.0f64; rows]; qs.len()];
                 for r in 0..rows {
                     let row_lut = &contrib[r * row_stride..(r + 1) * row_stride];

@@ -30,12 +30,16 @@ impl DistanceMetric {
         [DistanceMetric::Hamming, DistanceMetric::Manhattan, DistanceMetric::EuclideanSquared];
 
     /// Per-symbol distance between two values.
-    pub fn distance(&self, a: u32, b: u32) -> u32 {
+    ///
+    /// Returned as `u64`: squared-Euclidean distances overflow `u32` once
+    /// symbols exceed 16 bits (`d*d` with `d` up to `2^32 − 1` needs the
+    /// full 64-bit range).
+    pub fn distance(&self, a: u32, b: u32) -> u64 {
         match self {
-            DistanceMetric::Hamming => (a ^ b).count_ones(),
-            DistanceMetric::Manhattan => a.abs_diff(b),
+            DistanceMetric::Hamming => u64::from((a ^ b).count_ones()),
+            DistanceMetric::Manhattan => u64::from(a.abs_diff(b)),
             DistanceMetric::EuclideanSquared => {
-                let d = a.abs_diff(b);
+                let d = u64::from(a.abs_diff(b));
                 d * d
             }
         }
@@ -49,15 +53,25 @@ impl DistanceMetric {
     /// Panics if the vectors have different lengths.
     pub fn vector_distance(&self, a: &[u32], b: &[u32]) -> u64 {
         assert_eq!(a.len(), b.len(), "vector length mismatch");
-        a.iter().zip(b).map(|(&x, &y)| self.distance(x, y) as u64).sum()
+        a.iter().zip(b).map(|(&x, &y)| self.distance(x, y)).sum()
     }
 
     /// Largest per-symbol distance over b-bit values — the maximal distance
     /// matrix entry, which bounds the cell current range.
-    pub fn max_distance(&self, bits: u32) -> u32 {
-        let top = (1u32 << bits) - 1;
+    ///
+    /// Computed in `u64` so the extremes are exact: at `bits = 32` the top
+    /// symbol is `2^32 − 1` and its square only fits in 64 bits (the old
+    /// `u32` arithmetic wrapped for squared Euclidean at `bits ≥ 17` and
+    /// `1u32 << 32` panicked outright at `bits = 32`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ bits ≤ 32` (symbols are `u32` values).
+    pub fn max_distance(&self, bits: u32) -> u64 {
+        assert!((1..=32).contains(&bits), "symbol width must be between 1 and 32 bits, got {bits}");
+        let top = (1u64 << bits) - 1;
         match self {
-            DistanceMetric::Hamming => bits,
+            DistanceMetric::Hamming => u64::from(bits),
             DistanceMetric::Manhattan => top,
             DistanceMetric::EuclideanSquared => top * top,
         }
@@ -125,6 +139,52 @@ mod tests {
         assert_eq!(DistanceMetric::EuclideanSquared.max_distance(2), 9);
         assert_eq!(DistanceMetric::Hamming.max_distance(3), 3);
         assert_eq!(DistanceMetric::EuclideanSquared.max_distance(3), 49);
+    }
+
+    #[test]
+    fn wide_symbols_do_not_wrap() {
+        // bits = 17 is the first width where `d*d` exceeded u32: the old
+        // arithmetic wrapped (131071² mod 2³²), the widened path is exact.
+        let top17 = (1u64 << 17) - 1;
+        assert_eq!(DistanceMetric::EuclideanSquared.max_distance(17), top17 * top17);
+        assert!(DistanceMetric::EuclideanSquared.max_distance(17) > u64::from(u32::MAX));
+        assert_eq!(DistanceMetric::EuclideanSquared.distance(0, (1u32 << 17) - 1), top17 * top17);
+        // bits = 31: largest width where the old shift still worked; squares
+        // still need u64.
+        let top31 = (1u64 << 31) - 1;
+        assert_eq!(DistanceMetric::EuclideanSquared.max_distance(31), top31 * top31);
+        // bits = 32: the old `1u32 << 32` panicked; now exact at the u32 top.
+        let top32 = u64::from(u32::MAX);
+        assert_eq!(DistanceMetric::Hamming.max_distance(32), 32);
+        assert_eq!(DistanceMetric::Manhattan.max_distance(32), top32);
+        assert_eq!(DistanceMetric::EuclideanSquared.max_distance(32), top32 * top32);
+        assert_eq!(DistanceMetric::EuclideanSquared.distance(0, u32::MAX), top32 * top32);
+        assert_eq!(DistanceMetric::Manhattan.distance(0, u32::MAX), top32);
+        assert_eq!(DistanceMetric::Hamming.distance(0, u32::MAX), 32);
+    }
+
+    #[test]
+    fn vector_distance_is_exact_for_wide_symbols() {
+        // One maximal symbol plus matching symbols: the old u32 per-symbol
+        // arithmetic wrapped this to 1, the widened path is exact. (The
+        // *sum* itself saturates u64 only beyond one maximal square — a
+        // single (2³² − 1)² term already uses 63.99 of the 64 bits.)
+        let a = [0u32, 7, u32::MAX];
+        let b = [u32::MAX, 7, u32::MAX];
+        let per_symbol = u64::from(u32::MAX) * u64::from(u32::MAX);
+        assert_eq!(DistanceMetric::EuclideanSquared.vector_distance(&a, &b), per_symbol);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol width")]
+    fn max_distance_rejects_zero_bits() {
+        DistanceMetric::Hamming.max_distance(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol width")]
+    fn max_distance_rejects_over_32_bits() {
+        DistanceMetric::Manhattan.max_distance(33);
     }
 
     #[test]

@@ -42,7 +42,9 @@ impl DistanceMatrix {
         let mut values = Vec::with_capacity(n * n);
         for i in 0..n {
             for j in 0..n {
-                values.push(metric.distance(i as u32, j as u32));
+                // bits ≤ 6, so per-symbol distances top out at 63² and the
+                // u64 → u32 narrowing is lossless.
+                values.push(metric.distance(i as u32, j as u32) as u32);
             }
         }
         DistanceMatrix { n_search: n, n_stored: n, values }

@@ -236,7 +236,15 @@ impl Ferex {
 
     /// Brings the physical state up to date: a plain program without a
     /// repair policy, a verified (write-verify + sparing) program with one.
-    fn ensure_programmed(&mut self) -> Result<(), FerexError> {
+    /// Idempotent; public so callers holding `&mut` can pay the programming
+    /// cost once and then serve through the `&self` batch read paths
+    /// ([`Ferex::search_batch`] / [`Ferex::search_k_batch`]) from any
+    /// number of threads.
+    ///
+    /// # Errors
+    ///
+    /// Verify errors under a strict repair policy.
+    pub fn ensure_programmed(&mut self) -> Result<(), FerexError> {
         if self.array.repair_policy().is_some() {
             self.array.program_verified()?;
         } else {
@@ -271,36 +279,45 @@ impl Ferex {
     }
 
     /// Searches a whole batch through the array's batched fast path (see
-    /// [`FerexArray::search_batch`]), programming first if needed.
+    /// [`FerexArray::search_batch`]).
+    ///
+    /// Pure in `&self` — the PR 1 read-path contract: a programmed engine
+    /// can serve concurrent batches from many threads sharing one
+    /// reference. Unlike [`Ferex::search`], this does *not* lazily program
+    /// a stale stochastic backend (that would need `&mut`); callers that
+    /// mutate must call [`Ferex::ensure_programmed`] (or
+    /// [`Ferex::program`]) first. The ideal backend never needs
+    /// programming.
     ///
     /// # Errors
     ///
-    /// As [`Ferex::search`].
-    pub fn search_batch(&mut self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
-        // An empty batch is a no-op: don't program the array or build the
-        // per-batch cell-current LUT for zero queries.
+    /// As [`FerexArray::search_batch`]; in particular
+    /// [`FerexError::NotProgrammed`] when a stochastic backend's physical
+    /// state is stale.
+    pub fn search_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
+        // An empty batch is a no-op: answered before any array state
+        // checks, so it never requires programming.
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        self.ensure_programmed()?;
         self.array.search_batch(queries)
     }
 
     /// k-nearest rows for a whole batch (see
-    /// [`FerexArray::search_k_batch`]), programming first if needed.
+    /// [`FerexArray::search_k_batch`]). Pure in `&self`, with the same
+    /// programmed-array requirement as [`Ferex::search_batch`].
     ///
     /// # Errors
     ///
-    /// As [`Ferex::search_k`].
+    /// As [`FerexArray::search_k_batch`].
     pub fn search_k_batch(
-        &mut self,
+        &self,
         queries: &[Vec<u32>],
         k: usize,
     ) -> Result<Vec<Vec<usize>>, FerexError> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
-        self.ensure_programmed()?;
         self.array.search_k_batch(queries, k)
     }
 
@@ -541,7 +558,7 @@ mod tests {
         assert_eq!(ferex.search_k_batch(&[], 1).unwrap(), Vec::<Vec<usize>>::new());
         assert!(!ferex.array().is_programmed(), "empty batch must not program the array");
         // Same contract on a completely empty engine.
-        let mut blank = Ferex::builder().dim(4).build().expect("builds");
+        let blank = Ferex::builder().dim(4).build().expect("builds");
         assert_eq!(blank.search_batch(&[]).unwrap(), Vec::new());
     }
 

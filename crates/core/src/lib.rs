@@ -61,6 +61,7 @@ pub mod feasibility;
 pub mod health;
 pub mod replica;
 pub mod sizing;
+mod soa;
 pub mod tile;
 pub mod verify;
 

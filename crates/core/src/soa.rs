@@ -1,0 +1,274 @@
+//! Structure-of-arrays layout for the hot distance kernels.
+//!
+//! The array API stores logical vectors as `Vec<Vec<u32>>` — convenient
+//! for callers, hostile to the inner loops: every row is a separate heap
+//! allocation and every symbol burns 4 bytes for a value that is at most
+//! 63 (the encoder caps stored alphabets at 64 levels). This module owns
+//! the kernel-facing mirror of that data:
+//!
+//! * [`SoaCodes`] — all stored symbols quantized to `u8` in one contiguous
+//!   `rows × dim` buffer, maintained eagerly by the array's mutators so
+//!   the read path never rebuilds it.
+//! * [`balanced_ranges`] — query-batch partitioning that hands every
+//!   worker a chunk (sizes differ by at most one), instead of the
+//!   `div_ceil`-sized chunks that left workers idle on non-divisible
+//!   batches.
+//! * Bit-plane packing ([`pack_bit_planes`]) and the XOR-popcount
+//!   detector ([`is_xor_popcount`]) behind the Hamming fast path: when
+//!   the programmed encoding's cell currents are exactly
+//!   `popcount(q XOR s)`, a row distance collapses to word-parallel
+//!   `XOR` + `count_ones` over packed planes.
+//! * The per-query current LUT ([`query_lut`]) for every other encoding:
+//!   `lut[d · n_stored + s]` is the exact integer current of stored
+//!   symbol `s` against query symbol `d`'s drive, laid out so one query's
+//!   rows are contiguous.
+//!
+//! # Bit-identity
+//!
+//! Both kernels accumulate in `u64` and convert once at the end, while
+//! the scalar reference path ([`crate::array::FerexArray::distances`])
+//! sums the same integers in `f64`. These agree bit for bit because every
+//! partial sum is a non-negative integer far below 2⁵³ (the worst case,
+//! `max_vds_multiple × k × dim`, is ≤ 63 × 6 × dim): integer-valued `f64`
+//! addition is exact in that range, so the scalar `f64` running sum *is*
+//! the integer sum, and `sum as f64` reproduces it exactly.
+
+use crate::encoding::CellEncoding;
+use std::ops::Range;
+
+/// Contiguous `rows × dim` buffer of stored symbol codes, one byte per
+/// symbol.
+///
+/// Codes are written as `symbol & 0xff`. This is lossless whenever the
+/// *current* encoding has at most 256 stored levels: every mutator
+/// validates symbols against `n_stored` before they reach this buffer,
+/// and a reconfiguration to a ≤ 256-level encoding re-validates every
+/// stored symbol — so in the only regime where the kernels read this
+/// buffer (`n_stored ≤ 256`, checked at dispatch), the truncation is the
+/// identity.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SoaCodes {
+    codes: Vec<u8>,
+    dim: usize,
+}
+
+impl SoaCodes {
+    /// An empty buffer for `dim`-symbol rows.
+    pub(crate) fn new(dim: usize) -> Self {
+        SoaCodes { codes: Vec::new(), dim }
+    }
+
+    /// Appends one row.
+    pub(crate) fn push_row(&mut self, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.dim);
+        self.codes.extend(row.iter().map(|&s| (s & 0xff) as u8));
+    }
+
+    /// Overwrites row `r` in place.
+    pub(crate) fn set_row(&mut self, r: usize, row: &[u32]) {
+        debug_assert_eq!(row.len(), self.dim);
+        let base = r * self.dim;
+        // lint:allow(panic-safety/index, reason = "callers pass a row index below rows(); the buffer is rows x dim by construction")
+        for (dst, &s) in self.codes[base..base + self.dim].iter_mut().zip(row) {
+            *dst = (s & 0xff) as u8;
+        }
+    }
+
+    /// Removes row `r`, shifting later rows up (mirrors
+    /// [`crate::array::FerexArray::remove`]).
+    pub(crate) fn remove_row(&mut self, r: usize) {
+        let base = r * self.dim;
+        self.codes.drain(base..base + self.dim);
+    }
+
+    /// Drops every row.
+    pub(crate) fn clear(&mut self) {
+        self.codes.clear();
+    }
+
+    /// The whole buffer, row-major.
+    #[cfg(test)]
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Row `r`'s codes.
+    pub(crate) fn row(&self, r: usize) -> &[u8] {
+        // lint:allow(panic-safety/index, reason = "callers pass a row index below rows(); the buffer is rows x dim by construction")
+        &self.codes[r * self.dim..(r + 1) * self.dim]
+    }
+
+    /// Number of complete rows held.
+    pub(crate) fn rows(&self) -> usize {
+        self.codes.len().checked_div(self.dim).unwrap_or(0)
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one — every range non-empty, every worker busy.
+///
+/// The old batch chunking used `par_chunks(len.div_ceil(threads))`,
+/// which over-fills early chunks and can leave a large fraction of the
+/// pool idle (9 queries over 8 workers became 5 chunks of 2 with 3
+/// workers doing nothing). Chunk boundaries never affect results — each
+/// query's distances depend only on that query — so rebalancing is free.
+pub(crate) fn balanced_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let n = parts.max(1).min(len);
+    let base = len.checked_div(n).unwrap_or(0);
+    let rem = len.checked_rem(n).unwrap_or(0);
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// `true` when the encoding's programmed cell currents are *exactly* the
+/// bitwise Hamming distance — `cell_current(q, s) == popcount(q XOR s)`
+/// for every (query, stored) pair over a square, power-of-two alphabet.
+///
+/// Detected from the realized current table rather than the requested
+/// metric, so the popcount fast path can never be enabled for an
+/// encoding (custom DM, future metric) whose currents merely resemble
+/// Hamming.
+pub(crate) fn is_xor_popcount(encoding: &CellEncoding) -> bool {
+    let n = encoding.n_stored();
+    if n != encoding.n_search() || !n.is_power_of_two() || n > 256 {
+        return false;
+    }
+    for q in 0..n {
+        for s in 0..n {
+            if encoding.cell_current(q, s) != ((q ^ s) as u32).count_ones() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Packs one row of symbol codes into `bits` bit-planes of `words`
+/// 64-symbol words each: bit `d % 64` of plane `b`'s word `d / 64` is
+/// bit `b` of symbol `d`. Tail bits beyond `dim` stay zero, so they
+/// cancel in any XOR between two packed rows.
+///
+/// `out` must hold exactly `bits × words` words and start zeroed.
+pub(crate) fn pack_bit_planes(codes: &[u8], bits: u32, words: usize, out: &mut [u64]) {
+    debug_assert_eq!(out.len(), bits as usize * words);
+    // lint:allow(panic-safety/index, reason = "hot kernel: out is bits x words and d / 64 < words because words = ceil(dim / 64) and d < dim")
+    for (d, &c) in codes.iter().enumerate() {
+        let word = d / 64;
+        let bit = (d % 64) as u64;
+        for b in 0..bits {
+            if (c >> b) & 1 == 1 {
+                out[b as usize * words + word] |= 1u64 << bit;
+            }
+        }
+    }
+}
+
+/// Hamming distance between two packed bit-plane rows: XOR each pair of
+/// words and popcount. Exactly `Σ_d popcount(q_d XOR s_d)` because each
+/// symbol's bits land in disjoint (plane, bit) slots.
+#[inline]
+pub(crate) fn popcount_distance(a: &[u64], b: &[u64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| u64::from((x ^ y).count_ones())).sum()
+}
+
+/// Builds one query's current LUT: `lut[d · n_stored + s]` is the exact
+/// integer current stored symbol `s` contributes under query symbol
+/// `query[d]`'s column drive. One query's `dim` LUT rows are contiguous,
+/// so the row-distance loop walks two dense buffers in step.
+pub(crate) fn query_lut(encoding: &CellEncoding, query: &[u32]) -> Vec<u64> {
+    let n_stored = encoding.n_stored();
+    let mut lut = Vec::with_capacity(query.len() * n_stored);
+    for &q in query {
+        for s in 0..n_stored {
+            lut.push(u64::from(encoding.cell_current(q as usize, s)));
+        }
+    }
+    lut
+}
+
+/// Row distance through a per-query LUT: `Σ_d lut[d · n_stored + codes[d]]`.
+#[inline]
+pub(crate) fn lut_distance(lut: &[u64], n_stored: usize, codes: &[u8]) -> u64 {
+    // lint:allow(panic-safety/index, reason = "hot kernel: lut is dim x n_stored for the same dim as codes, and every code is below n_stored (validated at store time)")
+    codes.iter().enumerate().map(|(d, &c)| lut[d * n_stored + c as usize]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soa_codes_mirror_row_mutations() {
+        let mut soa = SoaCodes::new(3);
+        soa.push_row(&[0, 1, 2]);
+        soa.push_row(&[3, 4, 5]);
+        soa.push_row(&[6, 7, 8]);
+        assert_eq!(soa.rows(), 3);
+        assert_eq!(soa.row(1), &[3, 4, 5]);
+        soa.set_row(1, &[9, 9, 9]);
+        assert_eq!(soa.row(1), &[9, 9, 9]);
+        soa.remove_row(0);
+        assert_eq!(soa.rows(), 2);
+        assert_eq!(soa.as_slice(), &[9, 9, 9, 6, 7, 8]);
+        soa.clear();
+        assert!(soa.as_slice().is_empty());
+        assert_eq!(soa.rows(), 0);
+    }
+
+    #[test]
+    fn balanced_ranges_cover_everything_with_near_equal_sizes() {
+        for len in 0..40usize {
+            for parts in 1..12usize {
+                let ranges = balanced_ranges(len, parts);
+                assert_eq!(ranges.len(), parts.min(len));
+                let mut expect = 0;
+                let mut sizes = Vec::new();
+                for r in &ranges {
+                    assert_eq!(r.start, expect, "gap at len={len} parts={parts}");
+                    assert!(!r.is_empty(), "empty chunk at len={len} parts={parts}");
+                    sizes.push(r.len());
+                    expect = r.end;
+                }
+                assert_eq!(expect, len, "ranges must cover 0..{len}");
+                if let (Some(&max), Some(&min)) = (sizes.iter().max(), sizes.iter().min()) {
+                    assert!(max - min <= 1, "imbalance at len={len} parts={parts}: {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_fix_the_nine_over_eight_case() {
+        // The motivating bug: 9 queries over 8 workers previously produced
+        // 5 chunks of div_ceil(9, 8) = 2, idling 3 workers.
+        let ranges = balanced_ranges(9, 8);
+        assert_eq!(ranges.len(), 8);
+        let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+        assert_eq!(sizes, vec![2, 1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn bit_planes_reproduce_hamming_distance() {
+        let dim = 70usize; // spills into a second word
+        let bits = 3u32;
+        let words = dim.div_ceil(64);
+        let a: Vec<u8> = (0..dim).map(|d| (d % 8) as u8).collect();
+        let b: Vec<u8> = (0..dim).map(|d| ((d * 3 + 1) % 8) as u8).collect();
+        let mut pa = vec![0u64; bits as usize * words];
+        let mut pb = vec![0u64; bits as usize * words];
+        pack_bit_planes(&a, bits, words, &mut pa);
+        pack_bit_planes(&b, bits, words, &mut pb);
+        let expect: u64 = a.iter().zip(&b).map(|(&x, &y)| u64::from((x ^ y).count_ones())).sum();
+        assert_eq!(popcount_distance(&pa, &pb), expect);
+        // Distance to itself is zero.
+        assert_eq!(popcount_distance(&pa, &pa), 0);
+    }
+}

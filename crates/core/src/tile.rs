@@ -254,9 +254,13 @@ impl TiledArray {
     }
 
     /// Accumulated distances for every query of a batch, served through
-    /// each tile's batched fast path ([`FerexArray::distances_batch`]).
-    /// Bit-identical to a loop of [`TiledArray::distances`] calls: partials
-    /// accumulate in the same tile order per row.
+    /// each tile's batched fast path ([`FerexArray::distances_batch`]) —
+    /// so every tile independently dispatches to its structure-of-arrays
+    /// kernel (bit-plane popcount, contiguous LUT, or contribution table;
+    /// see [`FerexArray::batch_kernel`]). Bit-identical to a loop of
+    /// [`TiledArray::distances`] calls: each kernel reproduces the scalar
+    /// path exactly and partials accumulate in the same tile order per
+    /// row.
     ///
     /// # Errors
     ///
@@ -718,6 +722,27 @@ mod tests {
         let k_batched = tiled.search_k_batch(&queries, 2).unwrap();
         for (i, q) in queries.iter().enumerate() {
             assert_eq!(k_batched[i], tiled.search_k(q, 2).unwrap(), "query {i}");
+        }
+    }
+
+    #[test]
+    fn tiled_batch_runs_the_popcount_kernel_bit_identically() {
+        // Ideal + realized Hamming: every tile dispatches the batch to the
+        // bit-plane popcount kernel, and the accumulated totals must still
+        // equal the scalar per-query path bit for bit.
+        let enc = encoding();
+        let mut tiled = TiledArray::new(Technology::default(), enc, 10, 4, Backend::Ideal);
+        for v in data(10) {
+            tiled.store(v).unwrap();
+        }
+        for tile in &tiled.tiles {
+            assert_eq!(tile.batch_kernel(6), "bitplane-popcount");
+        }
+        let queries: Vec<Vec<u32>> =
+            (0..6).map(|q| (0..10).map(|d| ((3 * q + d) % 4) as u32).collect()).collect();
+        let batched = tiled.distances_batch(&queries).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batched[i], tiled.distances(q).unwrap(), "query {i}");
         }
     }
 

@@ -261,6 +261,98 @@ proptest! {
         }
     }
 
+    /// The batched SoA/bit-sliced kernels are bit-identical to the legacy
+    /// scalar path — for every metric (Hamming exercises the packed
+    /// bit-plane popcount kernel, Manhattan/Euclidean² the per-query LUT
+    /// kernel), every backend (Noisy additionally crosses between the
+    /// scalar small-batch path and the dense contribution table as the
+    /// batch grows), under hard-fault/aging plans, and with quarantined
+    /// (excluded) or spared (remapped) rows in the mix. `distances_batch`
+    /// must reproduce a loop of `distances` calls exactly, INFINITY
+    /// sentinels included, and the full search path on top of it must
+    /// reproduce `search_at`.
+    #[test]
+    fn batched_kernels_are_bit_identical_to_scalar_path(
+        data in prop::collection::vec(prop::collection::vec(0u32..4, 6), 2..7),
+        queries in prop::collection::vec(prop::collection::vec(0u32..4, 6), 1..7),
+        metric_idx in 0usize..3,
+        backend_idx in 0usize..3,
+        plan_idx in 0usize..4,
+        hits in prop::collection::vec(0usize..8, 0..3),
+        seed in 0u64..32,
+    ) {
+        use ferex_fefet::FaultPlan;
+        let metric = DistanceMetric::ALL[metric_idx];
+        let dm = DistanceMatrix::from_metric(metric, 2);
+        let enc = find_minimal_cell(&dm, &sizing_for(&Technology::default()))
+            .expect("paper metrics encode at 2 bits")
+            .encoding;
+        let plan = match plan_idx {
+            0 => FaultPlan::none(),
+            1 => FaultPlan { sa0_rate: 0.05, sa1_rate: 0.05, ..Default::default() },
+            2 => FaultPlan {
+                open_rate: 0.08,
+                short_rate: 0.05,
+                short_residual_r: 0.4,
+                ..Default::default()
+            },
+            _ => FaultPlan {
+                endurance_cycles: 1.0e9,
+                retention_seconds: 1.0e7,
+                ..Default::default()
+            },
+        };
+        // Remap coverage needs exact readback (so spares accept their
+        // vectors); exclusion coverage works with variation on.
+        let exercise_remap = backend_idx == 2 && !hits.is_empty();
+        let cfg = CircuitConfig {
+            variation: if exercise_remap {
+                VariationModel::none()
+            } else {
+                VariationModel::default()
+            },
+            lta: LtaParams::ideal(),
+            faults: if exercise_remap { FaultPlan::none() } else { plan },
+            seed,
+            ..Default::default()
+        };
+        let backend = match backend_idx {
+            0 => Backend::Ideal,
+            1 => Backend::Circuit(Box::new(cfg)),
+            _ => Backend::Noisy(Box::new(cfg)),
+        };
+        let mut array = FerexArray::new(Technology::default(), enc, 6, backend);
+        array.store_all(data.iter().cloned()).unwrap();
+        if exercise_remap {
+            array
+                .set_repair_policy(RepairPolicy { spare_rows: 1, ..Default::default() })
+                .unwrap();
+            array.program_verified().expect("fault-free exact corner verifies");
+        } else {
+            array.program();
+        }
+        // Quarantine a few rows: the first may land on the spare
+        // (remapped), the rest are excluded. Exhaustion errors are part of
+        // the contract under test, not failures.
+        for &h in &hits {
+            let _ = array.quarantine_row(h % data.len());
+        }
+        if (0..data.len()).all(|r| array.row_health(r) == RowHealth::Quarantined) {
+            prop_assert!(array.distances_batch(&queries).is_err(), "nothing left to serve");
+            return;
+        }
+
+        let batched = array.distances_batch(&queries).unwrap();
+        for (q, got) in queries.iter().zip(&batched) {
+            let want = array.distances(q).unwrap();
+            prop_assert_eq!(got.clone(), want, "kernel diverged from scalar path");
+        }
+        let outcomes = array.search_batch(&queries).unwrap();
+        for (i, (q, got)) in queries.iter().zip(&outcomes).enumerate() {
+            prop_assert_eq!(got, &array.search_at(q, i as u64).unwrap());
+        }
+    }
+
     /// A fault-free replica set is transparent: for every metric, any
     /// replica count, and any valid quorum (reads ≤ N, agree ≤ reads), the
     /// supervisor's answers — sequential and batched — are bit-identical to

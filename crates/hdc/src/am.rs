@@ -138,6 +138,9 @@ impl AmClassifier {
     ///
     /// Search errors from the array.
     pub fn classify_batch(&mut self, hvs: &[Hypervector]) -> Result<Vec<usize>, FerexError> {
+        // The engine's batch path is a pure `&self` read; bring a stale
+        // stochastic backend up to date before serving.
+        self.ferex.ensure_programmed()?;
         let queries: Vec<Vec<u32>> = hvs.iter().map(|hv| self.quantize_query(hv)).collect();
         let outcomes = self.ferex.search_batch(&queries)?;
         Ok(outcomes.into_iter().map(|o| o.nearest).collect())

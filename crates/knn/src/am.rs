@@ -110,6 +110,9 @@ impl AmKnn {
     ///
     /// Search errors (including fewer than `k` stored points).
     pub fn classify_batch(&mut self, queries: &[Vec<u32>]) -> Result<Vec<usize>, FerexError> {
+        // The engine's batch path is a pure `&self` read; bring a stale
+        // stochastic backend up to date before serving.
+        self.ferex.ensure_programmed()?;
         let ranked = self.ferex.search_k_batch(queries, self.k)?;
         Ok(ranked.iter().map(|nearest| self.vote(nearest)).collect())
     }

@@ -117,3 +117,83 @@ fn concurrent_search_k_batches_match_sequential() {
         });
     }
 }
+
+/// The engine-level read-path contract (PR 1, restored): after
+/// `ensure_programmed()`, `Ferex::search_batch` / `search_k_batch` are
+/// pure `&self` reads, so one engine can serve concurrent batches from
+/// threads sharing a plain reference — no locking, bit-identical results.
+#[test]
+fn concurrent_engine_batches_share_one_engine() {
+    use ferex::core::Ferex;
+
+    for backend in backends() {
+        let mut engine = Ferex::builder()
+            .metric(DistanceMetric::Manhattan)
+            .bits(2)
+            .dim(12)
+            .backend(backend.clone())
+            .build()
+            .expect("builds");
+        for v in random_vectors(10, 12, 31) {
+            engine.store(v).unwrap();
+        }
+        // One `&mut` programming step, then `&self` serving only.
+        engine.ensure_programmed().unwrap();
+        let queries = random_vectors(6, 12, 32);
+        let sequential = engine.search_batch(&queries).unwrap();
+        let ranked = engine.search_k_batch(&queries, 3).unwrap();
+
+        let shared = &engine;
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        (
+                            shared.search_batch(&queries).unwrap(),
+                            shared.search_k_batch(&queries, 3).unwrap(),
+                        )
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (outcomes, ks) = h.join().expect("no panic");
+                assert_eq!(ks, ranked, "backend {backend:?}");
+                assert_eq!(outcomes.len(), sequential.len());
+                for (got, want) in outcomes.iter().zip(&sequential) {
+                    assert_eq!(got.nearest, want.nearest, "backend {backend:?}");
+                    assert_eq!(got.distances, want.distances, "backend {backend:?}");
+                }
+            }
+        });
+    }
+}
+
+/// A stale stochastic engine refuses the `&self` batch read path instead
+/// of silently serving old state: mutating after programming returns
+/// `NotProgrammed` until the caller re-programs.
+#[test]
+fn stale_engine_batch_requires_reprogramming() {
+    use ferex::core::{Ferex, FerexError};
+
+    let cfg = CircuitConfig { seed: 11, ..Default::default() };
+    let mut engine = Ferex::builder()
+        .metric(DistanceMetric::Hamming)
+        .bits(2)
+        .dim(8)
+        .backend(Backend::Noisy(Box::new(cfg)))
+        .build()
+        .expect("builds");
+    for v in random_vectors(4, 8, 41) {
+        engine.store(v).unwrap();
+    }
+    let queries = random_vectors(3, 8, 42);
+    // Never programmed: the pure read path must refuse.
+    assert!(matches!(engine.search_batch(&queries), Err(FerexError::NotProgrammed)));
+    engine.ensure_programmed().unwrap();
+    assert!(engine.search_batch(&queries).is_ok());
+    // Mutation re-stales the physical state.
+    engine.store(random_vectors(1, 8, 43).remove(0)).unwrap();
+    assert!(matches!(engine.search_k_batch(&queries, 2), Err(FerexError::NotProgrammed)));
+    engine.ensure_programmed().unwrap();
+    assert!(engine.search_k_batch(&queries, 2).is_ok());
+}

@@ -158,6 +158,67 @@ impl<'a, T: Sync, F> MappedParChunks<'a, T, F> {
     }
 }
 
+/// Parallel iterator over disjoint mutable chunks of a slice (the result
+/// of [`ParallelSliceMut::par_chunks_mut`]). The chunks are materialized
+/// up front — they are disjoint `&mut` slices, so each can move to its own
+/// worker.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index, as `(usize, &mut [T])`.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut { chunks: self.chunks }
+    }
+
+    /// Runs `f` on every chunk, in parallel when more than one core is
+    /// available.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// An enumerated mutable-chunk iterator.
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    /// Runs `f` on every `(chunk_index, chunk)` pair. Chunk indices are
+    /// global (as produced by `slice.chunks_mut`), independent of how the
+    /// chunks are distributed over workers.
+    pub fn for_each<F: Fn((usize, &'a mut [T])) + Sync>(self, f: F) {
+        let total = self.chunks.len();
+        let threads = current_num_threads().min(total.max(1));
+        if threads <= 1 || total <= 1 {
+            for (i, chunk) in self.chunks.into_iter().enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        // Hand each worker a balanced contiguous run of chunks (sizes
+        // differ by at most one), tagged with its global base index.
+        let mut remaining = self.chunks;
+        std::thread::scope(|scope| {
+            let f = &f;
+            let mut base = 0;
+            for g in 0..threads {
+                let take = total / threads + usize::from(g < total % threads);
+                let rest = remaining.split_off(take);
+                let group = std::mem::replace(&mut remaining, rest);
+                let start = base;
+                base += take;
+                scope.spawn(move || {
+                    for (i, chunk) in group.into_iter().enumerate() {
+                        f((start + i, chunk));
+                    }
+                });
+            }
+        });
+    }
+}
+
 /// Extension trait putting `par_iter` / `par_chunks` on slices.
 pub trait ParallelSlice<T: Sync> {
     /// A parallel iterator over the slice's items.
@@ -176,9 +237,22 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
+/// Extension trait putting `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over disjoint `chunk_size`-sized mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { chunks: self.chunks_mut(chunk_size).collect() }
+    }
+}
+
 /// The import surface callers use (`use rayon::prelude::*`).
 pub mod prelude {
-    pub use crate::{current_num_threads, ParallelSlice};
+    pub use crate::{current_num_threads, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -205,5 +279,28 @@ mod tests {
         let sums: Vec<u32> = xs.par_chunks(10).map(|c| c.iter().sum()).collect();
         assert_eq!(sums.iter().sum::<u32>(), xs.iter().sum::<u32>());
         assert_eq!(sums.len(), 11);
+    }
+
+    #[test]
+    fn chunks_mut_write_disjointly_with_global_indices() {
+        let mut xs = vec![0usize; 103];
+        xs.par_chunks_mut(10).enumerate().for_each(|(c, chunk)| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = c * 10 + i;
+            }
+        });
+        let expect: Vec<usize> = (0..103).collect();
+        assert_eq!(xs, expect);
+    }
+
+    #[test]
+    fn chunks_mut_plain_for_each_touches_every_chunk() {
+        let mut xs = vec![1u64; 64];
+        xs.par_chunks_mut(7).for_each(|chunk| {
+            for slot in chunk.iter_mut() {
+                *slot += 1;
+            }
+        });
+        assert!(xs.iter().all(|&x| x == 2));
     }
 }
