@@ -20,23 +20,34 @@
 //!    three replicas with a 2-of-2 quorum, one replica faulted, another
 //!    killed mid-stream, scheduled scrubs — recall@1 must hold at ≥ 0.99
 //!    and the report must be byte-reproducible from its seed.
+//! 6. **Load simulation** — the standard serving-loop load report: the
+//!    adaptive batch former driven by seeded open- and closed-loop
+//!    arrivals (bursts, hot tenants, kill/revive brownouts) on a virtual
+//!    tick clock — deadlines must bound every served latency, adaptive
+//!    batching must clear 3x the batch-1 goodput under overload, recall@1
+//!    must hold at exactly 1.0, and the report must replay byte-identically.
 //!
 //! The process exits non-zero when a sweep violates its oracle gate: a
 //! fault-free degradation anchor below 1.0, a healed recall@1 below 0.99
 //! at the 1 % stuck-at rate, a recovery report in which self-healing
-//! never beats the faulted baseline, or a chaos soak whose availability
-//! dips below the floor or whose report is not bit-reproducible.
+//! never beats the faulted baseline, a chaos soak whose availability
+//! dips below the floor or whose report is not bit-reproducible, or a
+//! load run that misses a deadline, the goodput bar, or its replay bytes.
 //!
 //! Run with: `cargo run --release -p ferex-bench --bin robustness`
 //! Flags: `--seed N` (conformance base seed, default 42), `--report PATH`
 //! (write the degradation JSON report), `--recovery-report PATH` (write the
 //! recovery JSON report), `--chaos-report PATH` (write the chaos JSON
-//! report), `--conformance-only` (degradation sweep only — what the CI
+//! report), `--load-report PATH` (write the load JSON report),
+//! `--conformance-only` (degradation sweep only — what the CI
 //! conformance job runs), `--self-heal-only` (recovery sweep only — what
 //! the CI self-heal job runs), `--chaos-only` (chaos soak only — what the
-//! CI chaos job runs).
+//! CI chaos job runs), `--load-only` (load simulation only — what the CI
+//! load-sim job runs).
 
-use ferex_conformance::{standard_chaos_report, standard_recovery_report, standard_report};
+use ferex_conformance::{
+    standard_chaos_report, standard_load_report, standard_recovery_report, standard_report,
+};
 use ferex_core::{Backend, CircuitConfig, DistanceMetric};
 use ferex_datasets::spec::UCIHAR;
 use ferex_datasets::synth::{generate, perturb, SynthOptions};
@@ -51,9 +62,11 @@ struct Args {
     report_path: Option<String>,
     recovery_report_path: Option<String>,
     chaos_report_path: Option<String>,
+    load_report_path: Option<String>,
     conformance_only: bool,
     self_heal_only: bool,
     chaos_only: bool,
+    load_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,9 +78,11 @@ fn parse_args() -> Result<Args, String> {
         report_path: None,
         recovery_report_path: None,
         chaos_report_path: None,
+        load_report_path: None,
         conformance_only: false,
         self_heal_only: false,
         chaos_only: false,
+        load_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,9 +99,13 @@ fn parse_args() -> Result<Args, String> {
             "--chaos-report" => {
                 args.chaos_report_path = Some(it.next().ok_or("--chaos-report needs a path")?);
             }
+            "--load-report" => {
+                args.load_report_path = Some(it.next().ok_or("--load-report needs a path")?);
+            }
             "--conformance-only" => args.conformance_only = true,
             "--self-heal-only" => args.self_heal_only = true,
             "--chaos-only" => args.chaos_only = true,
+            "--load-only" => args.load_only = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -257,13 +276,82 @@ fn chaos_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn load_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    println!("# sweep 6: serving-loop load simulation (seed {})", args.seed);
+    let report = standard_load_report(args.seed);
+    println!(
+        "{:>16} | {:>8} | {:>5} | {:>4}/{:>4}/{:>4} | {:>7} | {:>4}",
+        "scenario", "arrivals", "batch", "p50", "p99", "p999", "goodput", "shed"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:>16} | {:>8} | {:>5} | {:>4}/{:>4}/{:>4} | {:>7} | {:>4}",
+            s.name,
+            s.arrivals,
+            s.target_batch,
+            s.p50,
+            s.p99,
+            s.p999,
+            s.goodput_milli,
+            s.shed_capacity + s.shed_deadline
+        );
+    }
+    if let Some(path) = &args.load_report_path {
+        std::fs::write(path, report.to_json())?;
+        println!("# machine-readable load report written to {path}");
+    }
+    // Gate 1: latency discipline — every scenario balances its counters
+    // and never serves a request past its deadline (p999 and max bounded).
+    let late: Vec<String> = report
+        .scenarios
+        .iter()
+        .filter(|s| !s.meets_deadline() || !s.counters_balance())
+        .map(|s| format!("{} (max {} vs deadline {})", s.name, s.max_latency, s.deadline_ticks))
+        .collect();
+    if !late.is_empty() {
+        return Err(format!("load latency gate breached: {}", late.join(", ")).into());
+    }
+    // Gate 2: goodput — at ~4x the single-query service capacity, the
+    // adaptive batch former must clear 3x the goodput of a batch-1 loop.
+    let b1 = report.scenario("goodput-batch1").ok_or("goodput-batch1 cell missing")?;
+    let ad = report.scenario("goodput-adaptive").ok_or("goodput-adaptive cell missing")?;
+    if ad.goodput_milli < 3 * b1.goodput_milli {
+        return Err(format!(
+            "load goodput gate breached: adaptive {} < 3x batch-1 {}",
+            ad.goodput_milli, b1.goodput_milli
+        )
+        .into());
+    }
+    // Gate 3: exactness under chaos — recall@1 holds at exactly 1.0 in
+    // every scenario (corner-config replicas), kill-mid-stream included.
+    let drifted: Vec<String> = report
+        .scenarios
+        .iter()
+        .filter(|s| s.recall_at_1 < 1.0)
+        .map(|s| format!("{} recall@1 {:.3}", s.name, s.recall_at_1))
+        .collect();
+    if !drifted.is_empty() {
+        return Err(format!("load recall gate breached: {}", drifted.join(", ")).into());
+    }
+    // Gate 4: determinism — the replay contract the CI load-sim job pins:
+    // regenerating from the same seed must serialize byte-identically.
+    if standard_load_report(args.seed).to_json() != report.to_json() {
+        return Err("load report is not byte-reproducible from its seed".into());
+    }
+    println!("# all load gates passed");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| {
         format!(
             "{e} (flags: --seed N --report PATH --recovery-report PATH --chaos-report PATH \
-             --conformance-only --self-heal-only --chaos-only)"
+             --load-report PATH --conformance-only --self-heal-only --chaos-only --load-only)"
         )
     })?;
+    if args.load_only {
+        return load_sweep(&args);
+    }
     if args.chaos_only {
         return chaos_sweep(&args);
     }
@@ -323,5 +411,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     recovery_sweep(&args)?;
     println!();
-    chaos_sweep(&args)
+    chaos_sweep(&args)?;
+    println!();
+    load_sweep(&args)
 }

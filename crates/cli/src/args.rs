@@ -16,6 +16,23 @@ pub enum BackendKind {
     Circuit,
 }
 
+/// How the serving-loop load mode generates arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Open loop: seeded arrivals at the given expected rate per 1000
+    /// virtual ticks, independent of service progress.
+    Open {
+        /// Expected arrivals per 1000 ticks.
+        rate_milli: u64,
+    },
+    /// Closed loop: the given number of requests is kept in flight; each
+    /// completion immediately submits the next one.
+    Closed {
+        /// Requests kept in flight.
+        outstanding: usize,
+    },
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -82,10 +99,20 @@ pub enum Command {
         reads: usize,
         /// Quorum agreement threshold.
         agree: usize,
-        /// Chaos kill schedule: `(replica, query index)`.
+        /// Chaos kill schedule: `(replica, query index)` — or `(replica,
+        /// virtual tick)` when a load mode is active.
         kill: Option<(usize, usize)>,
-        /// Scheduled scrub period in queries; 0 disables.
+        /// Scheduled scrub period in queries (ticks under a load mode);
+        /// 0 disables.
         scrub_every: usize,
+        /// Serving-loop load mode; `None` serves the stream sequentially.
+        load: Option<LoadMode>,
+        /// Tenant count of the serving loop (load mode only).
+        tenants: usize,
+        /// Batch former's target size (load mode only).
+        target_batch: usize,
+        /// Per-request deadline in virtual ticks (load mode only).
+        deadline: u64,
     },
     /// One-point kernel micro-benchmark: the batched distance path
     /// against the scalar per-query loop it must reproduce bit-identically.
@@ -400,8 +427,22 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         "serve-sim" => {
             let flags = Flags::new(rest)?;
             flags.ensure_known(&[
-                "metric", "bits", "store", "queries", "backend", "seed", "faults", "spares",
-                "replicas", "quorum", "chaos",
+                "metric",
+                "bits",
+                "store",
+                "queries",
+                "backend",
+                "seed",
+                "faults",
+                "spares",
+                "replicas",
+                "quorum",
+                "chaos",
+                "open-loop",
+                "closed-loop",
+                "tenants",
+                "target-batch",
+                "deadline",
             ])?;
             let metric = parse_metric(flags.require("metric")?)?;
             let bits = flags
@@ -449,6 +490,40 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                     )));
                 }
             }
+            let open = flags
+                .get("open-loop")
+                .map(|s| s.parse::<u64>().map_err(|_| err("invalid --open-loop rate")))
+                .transpose()?;
+            let closed = flags
+                .get("closed-loop")
+                .map(|s| s.parse::<usize>().map_err(|_| err("invalid --closed-loop window")))
+                .transpose()?;
+            let load = match (open, closed) {
+                (Some(_), Some(_)) => {
+                    return Err(err("--open-loop and --closed-loop are mutually exclusive"));
+                }
+                (Some(0), None) => return Err(err("--open-loop rate must be >= 1")),
+                (None, Some(0)) => return Err(err("--closed-loop window must be >= 1")),
+                (Some(rate_milli), None) => Some(LoadMode::Open { rate_milli }),
+                (None, Some(outstanding)) => Some(LoadMode::Closed { outstanding }),
+                (None, None) => None,
+            };
+            let load_knob = |name: &str, default: u64| -> Result<u64, ParseArgsError> {
+                let Some(v) = flags.get(name) else { return Ok(default) };
+                if load.is_none() {
+                    return Err(err(format!(
+                        "--{name} requires a load mode (--open-loop or --closed-loop)"
+                    )));
+                }
+                let v = v.parse::<u64>().map_err(|_| err(format!("invalid --{name}")))?;
+                if v == 0 {
+                    return Err(err(format!("--{name} must be >= 1")));
+                }
+                Ok(v)
+            };
+            let tenants = load_knob("tenants", 1)? as usize;
+            let target_batch = load_knob("target-batch", 16)? as usize;
+            let deadline = load_knob("deadline", 512)?;
             Ok(Command::ServeSim {
                 metric,
                 bits,
@@ -463,6 +538,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 agree,
                 kill,
                 scrub_every,
+                load,
+                tenants,
+                target_batch,
+                deadline,
             })
         }
         "bench-kernels" => {
@@ -539,6 +618,8 @@ USAGE:
                [--bits N] [--backend noisy|circuit] [--seed N]
                [--replicas N] [--quorum R/A] [--faults SPEC] [--spares N]
                [--chaos \"kill=REPLICA@QUERY,scrub=PERIOD\"]
+               [--open-loop RATE | --closed-loop W] [--tenants N]
+               [--target-batch N] [--deadline TICKS]
   ferex verify --metric <m> [--bits N]
   ferex montecarlo [--runs N] [--near D] [--far D]
                [--backend noisy|circuit] [--faults SPEC]
@@ -567,6 +648,18 @@ REPLICATED SERVING (serve-sim):
   a mid-stream replica kill (kill=REPLICA@QUERY) and periodic
   maintenance scrubs (scrub=PERIOD).
 
+SERVING LOOP (serve-sim with --open-loop RATE or --closed-loop W):
+  instead of serving the stream sequentially, drives the deterministic
+  async serving loop on a virtual tick clock: --open-loop submits the
+  --queries list at an expected RATE requests per 1000 ticks (seeded,
+  replayable), --closed-loop keeps W requests in flight. Requests spread
+  round-robin across --tenants (deficit-round-robin fairness), batches
+  close at --target-batch or when the oldest deadline's slack runs out,
+  and requests that cannot meet --deadline ticks are shed, never served
+  late. Under a load mode the chaos kill fires at a virtual TICK instead
+  of a query index, and scrub=PERIOD runs every PERIOD ticks. Prints one
+  line per completion plus exact p50/p99/p999 latency and goodput.
+
 KERNEL BENCH (bench-kernels):
   fills a seeded random array, serves one query batch through the
   structure-of-arrays batch kernels and the scalar per-query loop,
@@ -583,6 +676,8 @@ EXAMPLES:
   ferex serve-sim --metric hd --store \"0,0;3,3\" --queries \"0,0;3,3;0,0\" \\
                --replicas 3 --quorum 2/2 --faults \"sa0=0.1\" \\
                --chaos \"kill=1@1,scrub=2\"
+  ferex serve-sim --metric hd --store \"0,0;3,3\" --queries \"0,0;3,3;0,0\" \\
+               --open-loop 64 --tenants 2 --target-batch 4 --deadline 512
 ";
 
 #[cfg(test)]
@@ -819,6 +914,50 @@ mod tests {
         assert_eq!((replicas, reads, agree), (3, 1, 1));
         assert_eq!(kill, None);
         assert_eq!(scrub_every, 0);
+    }
+
+    #[test]
+    fn parses_serve_sim_load_modes() {
+        let cmd = parse(&argv(
+            "serve-sim --metric hd --store 0,0;3,3 --queries 0,0;3,3 \
+             --open-loop 64 --tenants 4 --target-batch 8 --deadline 256",
+        ))
+        .unwrap();
+        let Command::ServeSim { load, tenants, target_batch, deadline, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(load, Some(LoadMode::Open { rate_milli: 64 }));
+        assert_eq!((tenants, target_batch, deadline), (4, 8, 256));
+        let cmd =
+            parse(&argv("serve-sim --metric hd --store 0,0;3,3 --queries 0,0;3,3 --closed-loop 2"))
+                .unwrap();
+        let Command::ServeSim { load, tenants, target_batch, deadline, .. } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(load, Some(LoadMode::Closed { outstanding: 2 }));
+        assert_eq!((tenants, target_batch, deadline), (1, 16, 512), "load-mode defaults");
+        // No load mode: the sequential path, with inert loop knobs.
+        let cmd = parse(&argv("serve-sim --metric hd --store 0,0 --queries 0,0")).unwrap();
+        let Command::ServeSim { load, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(load, None);
+    }
+
+    #[test]
+    fn serve_sim_rejects_conflicting_or_dangling_load_flags() {
+        let base = "serve-sim --metric hd --store 0,0 --queries 0,0";
+        let e = parse(&argv(&format!("{base} --open-loop 64 --closed-loop 2"))).unwrap_err();
+        assert!(e.to_string().contains("mutually exclusive"), "got: {e}");
+        // Loop knobs without a load mode name the missing flag.
+        for knob in ["tenants 2", "target-batch 8", "deadline 100"] {
+            let e = parse(&argv(&format!("{base} --{knob}"))).unwrap_err();
+            assert!(e.to_string().contains("requires a load mode"), "--{knob}: {e}");
+        }
+        // Degenerate values are rejected.
+        assert!(parse(&argv(&format!("{base} --open-loop 0"))).is_err());
+        assert!(parse(&argv(&format!("{base} --closed-loop 0"))).is_err());
+        assert!(parse(&argv(&format!("{base} --open-loop x"))).is_err());
+        assert!(parse(&argv(&format!("{base} --open-loop 64 --tenants 0"))).is_err());
+        assert!(parse(&argv(&format!("{base} --open-loop 64 --deadline 0"))).is_err());
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! Command execution: each subcommand renders its output to a `String`
 //! (testable) which `main` prints.
 
-use crate::args::{BackendKind, Command};
+use crate::args::{BackendKind, Command, LoadMode};
 use ferex_analog::montecarlo::MonteCarlo;
 use ferex_core::{
     cosimulate, derive_replica_seed, find_minimal_cell, sizing_for, Backend, CircuitConfig,
-    DistanceMatrix, DistanceMetric, Ferex, FerexArray, FerexError, QuorumPolicy, RepairPolicy,
-    ReplicaPolicy, ReplicaSet, ServeSource,
+    CostModel, DistanceMatrix, DistanceMetric, Ferex, FerexArray, FerexError, QuorumPolicy,
+    RepairPolicy, ReplicaPolicy, ReplicaSet, Request, ServeLoop, ServePolicy, ServeSource,
+    ShedReason,
 };
 use ferex_datasets::synth::flip_symbol_bits;
+use ferex_fefet::math::splitmix64;
 use ferex_fefet::{FaultPlan, Technology};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,6 +79,10 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             agree,
             kill,
             scrub_every,
+            load,
+            tenants,
+            target_batch,
+            deadline,
         } => render_serve_sim(
             *metric,
             *bits,
@@ -90,6 +96,8 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             (*reads, *agree),
             *kill,
             *scrub_every,
+            *load,
+            (*tenants, *target_batch, *deadline),
         ),
     }
 }
@@ -362,6 +370,8 @@ fn render_serve_sim(
     (reads, agree): (usize, usize),
     kill: Option<(usize, usize)>,
     scrub_every: usize,
+    load: Option<LoadMode>,
+    (tenants, target_batch, deadline): (usize, usize, u64),
 ) -> Result<String, CommandError> {
     if !(1..=6).contains(&bits) {
         return Err(CommandError("--bits must be in 1..=6".into()));
@@ -396,6 +406,18 @@ fn render_serve_sim(
     }
     let policy = ReplicaPolicy { quorum: QuorumPolicy { reads, agree }, ..Default::default() };
     let mut set = ReplicaSet::new(pool, stored.to_vec(), metric, policy);
+    if let Some(mode) = load {
+        return render_serve_loop(
+            metric,
+            set,
+            queries,
+            seed,
+            mode,
+            (tenants, target_batch, deadline),
+            kill,
+            scrub_every,
+        );
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -442,6 +464,203 @@ fn render_serve_sim(
         s.breaker_trips,
         set.alive()
     );
+    Ok(out)
+}
+
+/// Nearest-rank percentile of a sorted latency sample (0 when empty).
+fn latency_percentile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * q_num).div_ceil(q_den).max(1);
+    sorted.get((rank - 1) as usize).copied().unwrap_or(0)
+}
+
+/// Drives the deterministic serving loop over the query list with seeded
+/// open- or closed-loop arrivals on a virtual tick clock.
+#[allow(clippy::too_many_arguments)]
+fn render_serve_loop(
+    metric: DistanceMetric,
+    set: ReplicaSet<FerexArray>,
+    queries: &[Vec<u32>],
+    seed: u64,
+    mode: LoadMode,
+    (tenants, target_batch, deadline): (usize, usize, u64),
+    kill: Option<(usize, usize)>,
+    scrub_every: usize,
+) -> Result<String, CommandError> {
+    /// Bernoulli sub-slots per tick of the open-loop arrival process
+    /// (matches the conformance load simulator).
+    const SUBSLOTS: u64 = 8;
+    const MAX_TICKS: u64 = 1_000_000;
+    let policy =
+        ServePolicy { target_batch, queue_capacity: 0, quantum: 1, cost: CostModel::noisy_10k() };
+    let mut lp = ServeLoop::new(set, tenants, policy)?;
+    let n = queries.len();
+    let mut out = String::new();
+    let mode_label = match mode {
+        LoadMode::Open { rate_milli } => format!("open loop, {rate_milli} req/kilotick"),
+        LoadMode::Closed { outstanding } => format!("closed loop, {outstanding} in flight"),
+    };
+    let _ = writeln!(
+        out,
+        "{metric} serving loop ({mode_label}): {n} requests over {tenants} tenant(s), \
+         target batch {target_batch}, deadline {deadline} ticks (seed {seed})"
+    );
+    let arrival_seed = splitmix64(seed ^ 0x10AD_11FE);
+    let threshold = match mode {
+        LoadMode::Open { rate_milli } => {
+            (((rate_milli as u128) << 64) / (1000 * SUBSLOTS as u128)).min(u64::MAX as u128) as u64
+        }
+        LoadMode::Closed { .. } => 0,
+    };
+    let mut submitted = 0usize;
+    let mut completions = Vec::new();
+    let mut sheds = Vec::new();
+    // Closed-loop respawn ticks (always popped in order: completion ticks
+    // are monotone across batches).
+    let mut respawns: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    if let LoadMode::Closed { outstanding } = mode {
+        for _ in 0..outstanding.min(n) {
+            respawns.push_back(0);
+        }
+    }
+    let mut scrubs = 0u64;
+    let mut scrub_findings = 0usize;
+    let mut end_tick = 0u64;
+    let mut tick = 0u64;
+    loop {
+        if tick >= MAX_TICKS {
+            return Err(CommandError(format!(
+                "serving loop failed to drain within {MAX_TICKS} virtual ticks"
+            )));
+        }
+        if let Some((k, at)) = kill {
+            if tick == at as u64 {
+                lp.set_mut().kill(k);
+                let _ = writeln!(out, "  -- chaos: replica {k} killed at tick {at}");
+            }
+        }
+        if scrub_every > 0 && tick > 0 && tick.is_multiple_of(scrub_every as u64) {
+            scrubs += 1;
+            scrub_findings += lp.set_mut().scrub_all();
+        }
+        let submit = |lp: &mut ServeLoop<FerexArray>, i: usize, tick: u64| {
+            lp.submit(Request {
+                tenant: i % tenants,
+                priority: 0,
+                arrival_tick: tick,
+                deadline_ticks: deadline,
+                query: queries[i].clone(),
+            })
+            .map(|_| ())
+        };
+        match mode {
+            LoadMode::Open { .. } => {
+                for slot in 0..SUBSLOTS {
+                    if submitted >= n {
+                        break;
+                    }
+                    let draw = splitmix64(arrival_seed ^ splitmix64(tick * SUBSLOTS + slot));
+                    if draw < threshold {
+                        submit(&mut lp, submitted, tick)?;
+                        submitted += 1;
+                    }
+                }
+            }
+            LoadMode::Closed { .. } => {
+                while respawns.front().is_some_and(|&t| t <= tick) {
+                    respawns.pop_front();
+                    if submitted < n {
+                        submit(&mut lp, submitted, tick)?;
+                        submitted += 1;
+                    }
+                }
+            }
+        }
+        let (done, shed) = lp.poll(tick)?;
+        for c in &done {
+            end_tick = end_tick.max(c.completion_tick);
+            if matches!(mode, LoadMode::Closed { .. }) {
+                respawns.push_back(c.completion_tick);
+            }
+        }
+        completions.extend(done);
+        sheds.extend(shed);
+        if submitted >= n && lp.queue_depth() == 0 && tick >= end_tick {
+            break;
+        }
+        tick += 1;
+    }
+    // One line per request, in submission (qid) order.
+    let mut lines: Vec<(u64, String)> = Vec::with_capacity(n);
+    for c in &completions {
+        let via = match c.outcome.source {
+            ServeSource::Replica(i) => format!("replica {i}"),
+            ServeSource::OracleFallback => "oracle fallback".to_string(),
+        };
+        lines.push((
+            c.qid,
+            format!(
+                "  req {} (tenant {}): nearest row {} via {via}, batch {}, latency {} ticks",
+                c.qid,
+                c.tenant,
+                c.outcome.outcome.nearest,
+                c.batch,
+                c.latency()
+            ),
+        ));
+    }
+    for s in &sheds {
+        let reason = match s.reason {
+            ShedReason::Capacity => "capacity",
+            ShedReason::Deadline => "deadline",
+        };
+        lines.push((
+            s.qid,
+            format!("  req {} (tenant {}): shed ({reason}) at tick {}", s.qid, s.tenant, s.tick),
+        ));
+    }
+    lines.sort_by_key(|(qid, _)| *qid);
+    for (_, line) in &lines {
+        let _ = writeln!(out, "{line}");
+    }
+    let stats = lp.stats();
+    let mut lat: Vec<u64> = completions.iter().map(|c| c.latency()).collect();
+    lat.sort_unstable();
+    let _ = writeln!(
+        out,
+        "served {}/{} in {} batches (max batch {}), shed {} capacity / {} deadline",
+        stats.served,
+        stats.submitted,
+        stats.batches,
+        stats.max_batch,
+        stats.shed_capacity,
+        stats.shed_deadline
+    );
+    let _ = writeln!(
+        out,
+        "virtual time: {} ticks end-to-end, {} busy serving",
+        end_tick, stats.busy_ticks
+    );
+    let _ = writeln!(
+        out,
+        "latency ticks: p50 {}, p99 {}, p999 {}, max {} (deadline {deadline})",
+        latency_percentile(&lat, 50, 100),
+        latency_percentile(&lat, 99, 100),
+        latency_percentile(&lat, 999, 1000),
+        lat.last().copied().unwrap_or(0)
+    );
+    let _ = writeln!(
+        out,
+        "goodput: {} served per 1000 ticks; served per tenant {:?}",
+        stats.served.saturating_mul(1000) / end_tick.max(1),
+        lp.served_per_tenant()
+    );
+    if scrub_every > 0 {
+        let _ = writeln!(out, "maintenance: {scrubs} scheduled scrubs, {scrub_findings} findings");
+    }
     Ok(out)
 }
 
@@ -641,6 +860,56 @@ mod tests {
         assert!(out.contains("query 0: nearest row 0"), "{out}");
         assert!(out.contains("query 1: nearest row 1"), "{out}");
         assert!(out.contains("0 oracle fallbacks"), "{out}");
+    }
+
+    #[test]
+    fn serve_sim_open_loop_is_deterministic_and_reports_latency() {
+        let line = "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+                    --queries 0,0,0,0;3,3,3,3;0,0,0,0 --replicas 2 --quorum 1/1 \
+                    --open-loop 64 --tenants 2 --target-batch 4 --seed 5";
+        let out = run_line(line).unwrap();
+        assert!(out.contains("serving loop (open loop, 64 req/kilotick)"), "{out}");
+        assert!(out.contains("3 requests over 2 tenant(s)"), "{out}");
+        assert!(out.contains("req 0 (tenant 0): nearest row 0 via replica"), "{out}");
+        assert!(out.contains("req 1 (tenant 1): nearest row 1 via replica"), "{out}");
+        assert!(out.contains("served 3/3"), "{out}");
+        assert!(out.contains("latency ticks: p50"), "{out}");
+        assert!(out.contains("goodput:"), "{out}");
+        // Byte-identical on replay: the virtual clock and the seeded
+        // arrival stream leave nothing to wall time.
+        assert_eq!(run_line(line).unwrap(), out);
+    }
+
+    #[test]
+    fn serve_sim_closed_loop_respects_the_window() {
+        let out = run_line(
+            "serve-sim --metric manhattan --store 0,0;3,3;1,2 \
+             --queries 0,0;3,3;1,2;0,1 --closed-loop 2 --target-batch 2 \
+             --deadline 100 --seed 7",
+        )
+        .unwrap();
+        assert!(out.contains("serving loop (closed loop, 2 in flight)"), "{out}");
+        assert!(out.contains("served 4/4"), "{out}");
+        // A window of 2 can never fill a batch past 2 requests.
+        assert!(!out.contains("max batch 3"), "{out}");
+        assert!(!out.contains("max batch 4"), "{out}");
+    }
+
+    #[test]
+    fn serve_sim_load_mode_kill_forces_the_oracle_fallback() {
+        let out = run_line(
+            "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+             --queries 0,0,0,0;3,3,3,3;0,0,0,0 --replicas 2 --quorum 2/2 \
+             --open-loop 64 --target-batch 4 --chaos kill=1@1 --seed 5",
+        )
+        .unwrap();
+        assert!(out.contains("-- chaos: replica 1 killed at tick 1"), "{out}");
+        // With one of two replicas dead, a 2-of-2 quorum is unreachable:
+        // every request lands on the digital oracle, and still answers.
+        assert!(out.contains("via oracle fallback"), "{out}");
+        assert!(out.contains("nearest row 0"), "{out}");
+        assert!(out.contains("nearest row 1"), "{out}");
+        assert!(out.contains("served 3/3"), "{out}");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! 3. [`report`] — the machine-readable degradation report (hand-rolled
 //!    JSON; the vendored `serde` is an inert stub) consumed by
 //!    `ferex-bench`'s `robustness` binary and archived by CI.
+//! 4. [`chaos`] and [`load`] — deterministic serving soaks: replicated
+//!    serving under faults/kills/scrubs, and the virtual-time load
+//!    simulator driving the adaptive batch-forming loop with seeded
+//!    open/closed-loop arrivals and exact latency distributions.
 //!
 //! The contract every sweep asserts:
 //!
@@ -29,6 +33,7 @@
 
 pub mod chaos;
 pub mod harness;
+pub mod load;
 pub mod oracle;
 pub mod report;
 
@@ -37,8 +42,12 @@ pub use harness::{
     run_recovery, run_sweep, standard_recovery_report, standard_recovery_specs, standard_report,
     standard_specs, BackendKind, FaultKind, SweepSpec,
 };
+pub use load::{
+    percentile, run_load, standard_load_report, standard_load_specs, ArrivalModel, BurstWindow,
+    LoadSpec,
+};
 pub use oracle::Oracle;
 pub use report::{
     ChaosCurve, ChaosPoint, ChaosReport, ConformanceReport, CurvePoint, DegradationCurve,
-    RecoveryCurve, RecoveryPoint, RecoveryReport,
+    LoadReport, LoadScenario, RecoveryCurve, RecoveryPoint, RecoveryReport,
 };

@@ -1,0 +1,625 @@
+//! Deterministic load simulator for the serving loop: seeded arrival
+//! generators, chaos schedules, and exact virtual-latency distributions.
+//!
+//! A load scenario drives a [`ServeLoop`] on its virtual tick clock with
+//! seeded arrivals — **open loop** (a Poisson-like process sampled by
+//! SplitMix64 Bernoulli sub-slots, optionally with a burst window) or
+//! **closed loop** (a fixed number of outstanding requests per tenant,
+//! each completion immediately respawning the next) — while the PR 4
+//! chaos vocabulary (kill / revive mid-stream) degrades the replica set
+//! underneath. Because the clock is virtual and every random draw is a
+//! domain-separated SplitMix64 stream, a scenario replays
+//! bit-reproducibly: p50/p99/p999 latency are exact integers and the
+//! whole [`LoadReport`](crate::report::LoadReport) is byte-identical
+//! across runs with the same seed.
+//!
+//! The Poisson approximation deliberately avoids `f64::ln` (libm varies
+//! across platforms): each tick is split into [`SUBSLOTS`] Bernoulli
+//! trials whose success threshold is an integer comparison
+//! `draw < rate · 2^64 / (1000 · SUBSLOTS)`, i.e. a binomial thinning of
+//! the tick that converges on Poisson arrivals for the small per-slot
+//! probabilities used here.
+
+use crate::harness::{gen_vectors, metric_label, BackendKind};
+use crate::oracle::Oracle;
+use crate::report::{LoadReport, LoadScenario};
+use ferex_analog::lta::LtaParams;
+use ferex_core::serve::{CostModel, Request, ServeLoop, ServePolicy};
+use ferex_core::{
+    derive_replica_seed, CircuitConfig, DistanceMetric, FerexArray, QuorumPolicy, ReplicaPolicy,
+    ReplicaSet,
+};
+use ferex_fefet::math::splitmix64;
+use ferex_fefet::{FaultPlan, Technology, VariationModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+/// Domain-separation salt for load-simulator seed derivation, disjoint
+/// from the conformance, replica, and query streams.
+const LOAD_STREAM_SALT: u64 = 0x10AD_5EED_F00D_7105;
+
+/// Bernoulli sub-slots per virtual tick of the open-loop arrival process.
+const SUBSLOTS: u64 = 8;
+
+/// Distinct query payloads a scenario cycles through.
+const QUERY_POOL: usize = 32;
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalModel {
+    /// Open loop: seeded Poisson-like arrivals at `rate_milli` expected
+    /// requests per 1000 ticks, independent of service progress.
+    OpenLoop {
+        /// Expected arrivals per 1000 ticks.
+        rate_milli: u64,
+    },
+    /// Closed loop: `outstanding` requests per tenant are kept in flight;
+    /// every completion immediately submits the tenant's next request at
+    /// its completion tick.
+    ClosedLoop {
+        /// In-flight requests per tenant.
+        outstanding: usize,
+    },
+}
+
+impl ArrivalModel {
+    /// Report label, e.g. `open@64` or `closed@2`.
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalModel::OpenLoop { rate_milli } => format!("open@{rate_milli}"),
+            ArrivalModel::ClosedLoop { outstanding } => format!("closed@{outstanding}"),
+        }
+    }
+}
+
+/// A rate multiplier applied to the open-loop process inside a tick
+/// window — the burst scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstWindow {
+    /// First tick of the burst (inclusive).
+    pub from_tick: u64,
+    /// End of the burst (exclusive).
+    pub until_tick: u64,
+    /// Rate multiplier inside the window.
+    pub mult: u64,
+}
+
+/// One load scenario: array + replica-set shape, serving-loop policy,
+/// arrival process, and chaos schedule.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Scenario name (report key).
+    pub name: &'static str,
+    /// Distance metric.
+    pub metric: DistanceMetric,
+    /// Stochastic backend of the replicas.
+    pub backend: BackendKind,
+    /// Symbol bit width.
+    pub bits: u32,
+    /// Symbols per vector.
+    pub dim: usize,
+    /// Stored rows per replica.
+    pub rows: usize,
+    /// Tenant count.
+    pub tenants: usize,
+    /// Arrival process.
+    pub arrivals: ArrivalModel,
+    /// Open-loop burst window, if any.
+    pub burst: Option<BurstWindow>,
+    /// Tenant receiving half of all open-loop arrivals (the hot-tenant
+    /// scenario); the rest spread uniformly.
+    pub hot_tenant: Option<usize>,
+    /// Requests submitted before the stream ends.
+    pub n_requests: usize,
+    /// Batch former's target size.
+    pub target_batch: usize,
+    /// Per-request deadline in ticks after arrival.
+    pub deadline_ticks: u64,
+    /// Serving-loop queue capacity (0 = unbounded).
+    pub queue_capacity: usize,
+    /// DRR quantum.
+    pub quantum: u32,
+    /// Virtual service-cost model.
+    pub cost: CostModel,
+    /// Replica count.
+    pub replicas: usize,
+    /// Quorum reads per query.
+    pub reads: usize,
+    /// Quorum agreement threshold.
+    pub agree: usize,
+    /// Replica killed mid-stream at `(replica, tick)`, if any.
+    pub kill: Option<(usize, u64)>,
+    /// Replica revived at `(replica, tick)` — paired with `kill`, this is
+    /// the slow-replica brownout window.
+    pub revive: Option<(usize, u64)>,
+    /// Hard tick ceiling; the run must finish (drain) before it.
+    pub max_ticks: u64,
+    /// Base seed everything derives from.
+    pub seed: u64,
+}
+
+impl LoadSpec {
+    /// Derives a purpose-separated sub-seed of this scenario's stream.
+    fn derived_seed(&self, purpose: u64) -> u64 {
+        splitmix64(self.seed ^ splitmix64(purpose ^ LOAD_STREAM_SALT))
+    }
+}
+
+/// Nearest-rank percentile of a sorted latency sample: the smallest value
+/// with at least `q_num/q_den` of the sample at or below it. Exact
+/// integer arithmetic; 0 on an empty sample.
+pub fn percentile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * q_num).div_ceil(q_den).max(1);
+    sorted.get((rank - 1) as usize).copied().unwrap_or(0)
+}
+
+/// One pending future arrival of the driver (closed-loop respawns).
+#[derive(Debug, Clone, Copy)]
+struct FutureArrival {
+    tick: u64,
+    tenant: usize,
+}
+
+/// Runs one load scenario to completion (stream end + queue drain) and
+/// returns its report row.
+///
+/// # Panics
+///
+/// Panics on malformed specs (zero tenants, out-of-range chaos indices,
+/// invalid quorum), on encoding failure, and when the run fails to drain
+/// within `max_ticks` — all deterministic spec bugs, not data-dependent
+/// conditions.
+pub fn run_load(spec: &LoadSpec) -> LoadScenario {
+    assert!(spec.tenants >= 1, "load scenario needs at least one tenant");
+    assert!(spec.n_requests >= 1, "load scenario needs at least one request");
+    if let Some((r, _)) = spec.kill {
+        assert!(r < spec.replicas, "killed replica out of range");
+    }
+    if let Some((r, _)) = spec.revive {
+        assert!(r < spec.replicas, "revived replica out of range");
+    }
+    if let Some(h) = spec.hot_tenant {
+        assert!(h < spec.tenants, "hot tenant out of range");
+    }
+    let encoding = crate::harness::encoding_for(spec.metric, spec.bits)
+        // lint:allow(panic-safety/expect, reason = "standard specs use sizable (metric, bits) cells")
+        .expect("sizing must succeed");
+    let mut data_rng = StdRng::seed_from_u64(spec.derived_seed(0));
+    let stored = gen_vectors(spec.rows, spec.dim, spec.bits, &mut data_rng);
+    let oracle = Oracle::new(spec.metric, stored.clone());
+    let pool = gen_vectors(QUERY_POOL, spec.dim, spec.bits, &mut data_rng);
+    let expected: Vec<usize> = pool.iter().map(|q| oracle.nearest(q)).collect();
+    let base_seed = spec.derived_seed(1);
+
+    // Replicas at the fault-isolation corner: any recall loss would be the
+    // serving ladder's doing, not the devices'.
+    let mut replicas = Vec::with_capacity(spec.replicas);
+    for i in 0..spec.replicas {
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            faults: FaultPlan::none(),
+            seed: derive_replica_seed(base_seed, i as u64),
+            ..Default::default()
+        };
+        let mut array = FerexArray::new(
+            Technology::default(),
+            encoding.clone(),
+            spec.dim,
+            spec.backend.backend(cfg),
+        );
+        // lint:allow(panic-safety/expect, reason = "generated symbols are in range by construction")
+        array.store_all(stored.iter().cloned()).expect("in-range by construction");
+        array.program();
+        replicas.push(array);
+    }
+    let set = ReplicaSet::new(
+        replicas,
+        stored.clone(),
+        spec.metric,
+        ReplicaPolicy {
+            quorum: QuorumPolicy { reads: spec.reads, agree: spec.agree },
+            ..Default::default()
+        },
+    );
+    let policy = ServePolicy {
+        target_batch: spec.target_batch,
+        queue_capacity: spec.queue_capacity,
+        quantum: spec.quantum,
+        cost: spec.cost,
+    };
+    // lint:allow(panic-safety/expect, reason = "spec knobs validated above; store is non-empty")
+    let mut sim = ServeLoop::new(set, spec.tenants, policy).expect("valid serving policy");
+
+    // Domain-separated attribute streams, all keyed on the submission
+    // counter so open- and closed-loop runs share one vocabulary.
+    let arrival_seed = spec.derived_seed(2);
+    let tenant_seed = spec.derived_seed(3);
+    let prio_seed = spec.derived_seed(4);
+    let query_seed = spec.derived_seed(5);
+
+    let mut submitted = 0usize;
+    let mut pool_of_qid: Vec<usize> = Vec::with_capacity(spec.n_requests);
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut hits = 0u64;
+    let mut respawns: VecDeque<FutureArrival> = VecDeque::new();
+    let mut end_tick = 0u64;
+    let mut tick = 0u64;
+
+    // Seed the closed loop: `outstanding` requests per tenant at tick 0.
+    if let ArrivalModel::ClosedLoop { outstanding } = spec.arrivals {
+        assert!(outstanding >= 1, "closed loop needs at least one outstanding request");
+        for tenant in 0..spec.tenants {
+            for _ in 0..outstanding {
+                respawns.push_back(FutureArrival { tick: 0, tenant });
+            }
+        }
+    }
+
+    let submit = |sim: &mut ServeLoop<FerexArray>,
+                  pool_of_qid: &mut Vec<usize>,
+                  n: usize,
+                  tick: u64,
+                  tenant: usize| {
+        let pi = (splitmix64(query_seed ^ splitmix64(n as u64)) % QUERY_POOL as u64) as usize;
+        let priority = (splitmix64(prio_seed ^ splitmix64(n as u64)) % 8) as u32;
+        let query = pool.get(pi).cloned().unwrap_or_default();
+        pool_of_qid.push(pi);
+        let req = Request {
+            tenant,
+            priority,
+            arrival_tick: tick,
+            deadline_ticks: spec.deadline_ticks,
+            query,
+        };
+        // lint:allow(panic-safety/expect, reason = "tenant and payload are in range by construction")
+        sim.submit(req).expect("valid request");
+    };
+
+    loop {
+        assert!(tick < spec.max_ticks, "load scenario failed to drain within max_ticks");
+        // Chaos schedule first: the tick's arrivals see the degraded set.
+        if let Some((r, at)) = spec.kill {
+            if at == tick {
+                sim.set_mut().kill(r);
+            }
+        }
+        if let Some((r, at)) = spec.revive {
+            if at == tick {
+                sim.set_mut().revive(r);
+            }
+        }
+        // Arrivals due this tick.
+        match spec.arrivals {
+            ArrivalModel::OpenLoop { rate_milli } => {
+                let mult = match spec.burst {
+                    Some(b) if tick >= b.from_tick && tick < b.until_tick => b.mult,
+                    _ => 1,
+                };
+                let threshold = bernoulli_threshold(rate_milli.saturating_mul(mult));
+                for slot in 0..SUBSLOTS {
+                    if submitted >= spec.n_requests {
+                        break;
+                    }
+                    let draw = splitmix64(arrival_seed ^ splitmix64(tick * SUBSLOTS + slot));
+                    if draw < threshold {
+                        let t_draw = splitmix64(tenant_seed ^ splitmix64(submitted as u64));
+                        let tenant = pick_tenant(t_draw, spec.tenants, spec.hot_tenant);
+                        submit(&mut sim, &mut pool_of_qid, submitted, tick, tenant);
+                        submitted += 1;
+                    }
+                }
+            }
+            ArrivalModel::ClosedLoop { .. } => {
+                while respawns.front().is_some_and(|f| f.tick <= tick) {
+                    let Some(f) = respawns.pop_front() else { break };
+                    if submitted >= spec.n_requests {
+                        continue;
+                    }
+                    submit(&mut sim, &mut pool_of_qid, submitted, tick, f.tenant);
+                    submitted += 1;
+                }
+            }
+        }
+        // Serve.
+        // lint:allow(panic-safety/expect, reason = "ticks are monotone and queries pre-validated")
+        let (completions, _sheds) = sim.poll(tick).expect("monotone ticks");
+        for c in &completions {
+            latencies.push(c.latency());
+            end_tick = end_tick.max(c.completion_tick);
+            let want = pool_of_qid.get(c.qid as usize).and_then(|&pi| expected.get(pi));
+            hits += u64::from(want == Some(&c.outcome.outcome.nearest));
+            if matches!(spec.arrivals, ArrivalModel::ClosedLoop { .. }) {
+                respawns.push_back(FutureArrival { tick: c.completion_tick, tenant: c.tenant });
+            }
+        }
+        if submitted >= spec.n_requests && sim.queue_depth() == 0 && tick >= end_tick {
+            break;
+        }
+        tick += 1;
+    }
+
+    let stats = sim.stats();
+    let served = stats.served;
+    let ticks = end_tick.max(1);
+    latencies.sort_unstable();
+    let goodput_milli = served.saturating_mul(1000) / ticks;
+    let recall_at_1 = if served == 0 { 1.0 } else { hits as f64 / served as f64 };
+    LoadScenario {
+        name: spec.name.to_string(),
+        metric: metric_label(spec.metric).to_string(),
+        backend: spec.backend.label().to_string(),
+        rows: spec.rows,
+        dim: spec.dim,
+        tenants: spec.tenants,
+        arrivals: spec.arrivals.label(),
+        burst: match spec.burst {
+            Some(b) => format!("{}..{}x{}", b.from_tick, b.until_tick, b.mult),
+            None => "none".to_string(),
+        },
+        hot_tenant: spec.hot_tenant,
+        n_requests: spec.n_requests,
+        target_batch: spec.target_batch,
+        deadline_ticks: spec.deadline_ticks,
+        queue_capacity: spec.queue_capacity,
+        quantum: spec.quantum,
+        setup_ticks: spec.cost.batch_setup_ticks,
+        per_query_ticks: spec.cost.per_query_ticks,
+        replicas: spec.replicas,
+        reads: spec.reads,
+        agree: spec.agree,
+        kill: chaos_label(spec.kill),
+        revive: chaos_label(spec.revive),
+        submitted: stats.submitted,
+        served,
+        shed_capacity: stats.shed_capacity,
+        shed_deadline: stats.shed_deadline,
+        batches: stats.batches,
+        max_batch: stats.max_batch,
+        busy_ticks: stats.busy_ticks,
+        ticks,
+        p50: percentile(&latencies, 50, 100),
+        p99: percentile(&latencies, 99, 100),
+        p999: percentile(&latencies, 999, 1000),
+        max_latency: latencies.last().copied().unwrap_or(0),
+        goodput_milli,
+        recall_at_1,
+        oracle_fallbacks: sim.set().stats().oracle_fallbacks,
+        tenant_served: sim.served_per_tenant().to_vec(),
+        tenant_shed: sim.shed_per_tenant().to_vec(),
+    }
+}
+
+/// Integer Bernoulli threshold for one sub-slot: `p = rate_milli / (1000 ·
+/// SUBSLOTS)` mapped onto the full `u64` range.
+fn bernoulli_threshold(rate_milli: u64) -> u64 {
+    let num = (rate_milli as u128) << 64;
+    let den = 1000u128 * SUBSLOTS as u128;
+    (num / den).min(u64::MAX as u128) as u64
+}
+
+/// Tenant of one arrival: the hot tenant absorbs every other arrival,
+/// the rest spread uniformly.
+fn pick_tenant(draw: u64, tenants: usize, hot: Option<usize>) -> usize {
+    match hot {
+        Some(h) if draw.is_multiple_of(2) => h,
+        _ => ((draw >> 1) % tenants as u64) as usize,
+    }
+}
+
+fn chaos_label(event: Option<(usize, u64)>) -> String {
+    match event {
+        Some((r, at)) => format!("r{r}@{at}"),
+        None => "none".to_string(),
+    }
+}
+
+/// The fixed scenario matrix behind the standard load report. All cells
+/// run the Noisy backend at the fault-isolation corner with the
+/// [`CostModel::noisy_10k`] service costs — the 64-query-equivalent Noisy
+/// 10k-row configuration measured by the PR 6 kernel bench (62 ticks per
+/// lone query, ~10.8 amortized at batch 64).
+///
+/// The two `goodput-*` cells feed the acceptance gate: offered load is 64
+/// requests per 1000 ticks ≈ 4x the single-query service capacity
+/// (1/62 per tick), and the adaptive cell must clear 3x the goodput of
+/// the batch-size-1 cell with p999 under the 512-tick deadline.
+pub fn standard_load_specs(seed: u64) -> Vec<LoadSpec> {
+    let base = LoadSpec {
+        name: "",
+        metric: DistanceMetric::Hamming,
+        backend: BackendKind::Noisy,
+        bits: 2,
+        dim: 8,
+        rows: 16,
+        tenants: 2,
+        arrivals: ArrivalModel::OpenLoop { rate_milli: 40 },
+        burst: None,
+        hot_tenant: None,
+        n_requests: 240,
+        target_batch: 16,
+        deadline_ticks: 512,
+        queue_capacity: 64,
+        quantum: 1,
+        cost: CostModel::noisy_10k(),
+        replicas: 2,
+        reads: 1,
+        agree: 1,
+        kill: None,
+        revive: None,
+        max_ticks: 100_000,
+        seed,
+    };
+    vec![
+        LoadSpec { name: "steady-open-4t", tenants: 4, ..base.clone() },
+        LoadSpec {
+            name: "hot-tenant",
+            tenants: 4,
+            hot_tenant: Some(0),
+            arrivals: ArrivalModel::OpenLoop { rate_milli: 48 },
+            queue_capacity: 48,
+            ..base.clone()
+        },
+        LoadSpec {
+            name: "burst",
+            arrivals: ArrivalModel::OpenLoop { rate_milli: 30 },
+            burst: Some(BurstWindow { from_tick: 600, until_tick: 1800, mult: 4 }),
+            n_requests: 300,
+            queue_capacity: 48,
+            ..base.clone()
+        },
+        LoadSpec {
+            name: "closed-loop-4t",
+            tenants: 4,
+            arrivals: ArrivalModel::ClosedLoop { outstanding: 2 },
+            n_requests: 200,
+            target_batch: 8,
+            queue_capacity: 0,
+            ..base.clone()
+        },
+        LoadSpec {
+            name: "brownout",
+            metric: DistanceMetric::Manhattan,
+            replicas: 3,
+            reads: 2,
+            agree: 1,
+            kill: Some((0, 500)),
+            revive: Some((0, 1500)),
+            ..base.clone()
+        },
+        LoadSpec {
+            name: "kill-mid-stream",
+            replicas: 2,
+            reads: 2,
+            agree: 2,
+            kill: Some((1, 600)),
+            ..base.clone()
+        },
+        LoadSpec {
+            name: "goodput-batch1",
+            tenants: 1,
+            arrivals: ArrivalModel::OpenLoop { rate_milli: 64 },
+            n_requests: 300,
+            target_batch: 1,
+            queue_capacity: 32,
+            ..base.clone()
+        },
+        LoadSpec {
+            name: "goodput-adaptive",
+            tenants: 1,
+            arrivals: ArrivalModel::OpenLoop { rate_milli: 64 },
+            n_requests: 300,
+            target_batch: 16,
+            queue_capacity: 64,
+            ..base.clone()
+        },
+        LoadSpec { name: "latency-tb1", target_batch: 1, n_requests: 200, ..latency_base(&base) },
+        LoadSpec { name: "latency-tb4", target_batch: 4, n_requests: 200, ..latency_base(&base) },
+        LoadSpec { name: "latency-tb8", target_batch: 8, n_requests: 200, ..latency_base(&base) },
+        LoadSpec { name: "latency-tb16", target_batch: 16, n_requests: 200, ..latency_base(&base) },
+        LoadSpec { name: "latency-tb32", target_batch: 32, n_requests: 200, ..latency_base(&base) },
+    ]
+}
+
+/// Shared shape of the `latency-tb*` sweep: fixed offered load of 48
+/// requests per 1000 ticks, only the target batch size varies.
+fn latency_base(base: &LoadSpec) -> LoadSpec {
+    LoadSpec {
+        arrivals: ArrivalModel::OpenLoop { rate_milli: 48 },
+        deadline_ticks: 768,
+        queue_capacity: 64,
+        ..base.clone()
+    }
+}
+
+/// Generates the standard machine-readable load report from one seed.
+/// Deterministic: same seed, byte-identical report.
+pub fn standard_load_report(seed: u64) -> LoadReport {
+    LoadReport { seed, scenarios: standard_load_specs(seed).iter().map(run_load).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50, 100), 50);
+        assert_eq!(percentile(&sorted, 99, 100), 99);
+        assert_eq!(percentile(&sorted, 999, 1000), 100);
+        assert_eq!(percentile(&[7], 50, 100), 7);
+        assert_eq!(percentile(&[], 50, 100), 0);
+    }
+
+    #[test]
+    fn bernoulli_threshold_is_proportional() {
+        assert_eq!(bernoulli_threshold(0), 0);
+        let t1 = bernoulli_threshold(10);
+        let t2 = bernoulli_threshold(20);
+        // Proportional up to the floor of the integer division.
+        assert!(t2 >= t1 * 2 && t2 - t1 * 2 <= 1, "t1 = {t1}, t2 = {t2}");
+        // 8000 milli = one arrival per sub-slot: the full range.
+        assert_eq!(bernoulli_threshold(8000), u64::MAX);
+    }
+
+    #[test]
+    fn hot_tenant_takes_half_the_arrivals() {
+        let n = 10_000u64;
+        let hot = (0..n).filter(|&d| pick_tenant(splitmix64(d), 4, Some(0)) == 0).count();
+        // Half by the hot path plus ~1/8 of the uniform remainder.
+        let share = hot as f64 / n as f64;
+        assert!((0.55..0.70).contains(&share), "hot share {share}");
+    }
+
+    #[test]
+    fn standard_matrix_covers_the_required_scenarios() {
+        let specs = standard_load_specs(11);
+        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        for required in [
+            "steady-open-4t",
+            "hot-tenant",
+            "burst",
+            "closed-loop-4t",
+            "brownout",
+            "kill-mid-stream",
+            "goodput-batch1",
+            "goodput-adaptive",
+        ] {
+            assert!(names.contains(&required), "missing scenario {required}");
+        }
+        // The goodput pair differs only in serving-loop shape, not load.
+        let b1 = specs.iter().find(|s| s.name == "goodput-batch1").unwrap();
+        let ad = specs.iter().find(|s| s.name == "goodput-adaptive").unwrap();
+        assert_eq!(b1.arrivals, ad.arrivals);
+        assert_eq!(b1.n_requests, ad.n_requests);
+        assert_eq!(b1.deadline_ticks, ad.deadline_ticks);
+        assert_eq!(b1.target_batch, 1);
+        assert!(ad.target_batch > 1);
+        // Offered load clears 2x the single-query service rate.
+        let service_one = b1.cost.service_ticks(1);
+        if let ArrivalModel::OpenLoop { rate_milli } = b1.arrivals {
+            assert!(rate_milli * service_one >= 2 * 1000, "offered load below the 2x gate floor");
+        } else {
+            panic!("goodput cells must be open loop");
+        }
+    }
+
+    #[test]
+    fn small_open_loop_scenario_is_deterministic() {
+        let spec =
+            LoadSpec { n_requests: 40, max_ticks: 20_000, ..standard_load_specs(3).remove(0) };
+        let a = run_load(&spec);
+        let b = run_load(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.submitted, 40);
+        assert_eq!(a.submitted, a.served + a.shed_capacity + a.shed_deadline);
+        assert!(a.p50 <= a.p99 && a.p99 <= a.p999);
+        assert!(a.max_latency <= a.deadline_ticks, "admitted requests never miss deadlines");
+    }
+}

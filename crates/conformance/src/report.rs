@@ -388,6 +388,194 @@ impl ChaosReport {
     }
 }
 
+/// One scenario row of the serving-loop load report: scenario shape,
+/// serving counters, and the exact virtual-latency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadScenario {
+    /// Scenario name (`steady-open-4t`, `goodput-adaptive`, ...).
+    pub name: String,
+    /// Metric label (`hamming`, `manhattan`, `euclidean2`).
+    pub metric: String,
+    /// Backend label (`noisy`, `circuit`).
+    pub backend: String,
+    /// Stored rows per replica.
+    pub rows: usize,
+    /// Symbols per vector.
+    pub dim: usize,
+    /// Tenant count.
+    pub tenants: usize,
+    /// Arrival-model label (`open@64`, `closed@2`).
+    pub arrivals: String,
+    /// Burst-window label (`600..1800x4`, or `none`).
+    pub burst: String,
+    /// Tenant receiving half of all arrivals, if any.
+    pub hot_tenant: Option<usize>,
+    /// Requests in the stream.
+    pub n_requests: usize,
+    /// Batch former's target size.
+    pub target_batch: usize,
+    /// Per-request deadline in ticks.
+    pub deadline_ticks: u64,
+    /// Serving-queue capacity (0 = unbounded).
+    pub queue_capacity: usize,
+    /// DRR quantum.
+    pub quantum: u32,
+    /// Cost model: fixed ticks per batch activation.
+    pub setup_ticks: u64,
+    /// Cost model: ticks per query within a batch.
+    pub per_query_ticks: u64,
+    /// Replica count.
+    pub replicas: usize,
+    /// Quorum reads per query.
+    pub reads: usize,
+    /// Quorum agreement threshold.
+    pub agree: usize,
+    /// Kill-schedule label (`r1@600`, or `none`).
+    pub kill: String,
+    /// Revive-schedule label (`r0@1500`, or `none`).
+    pub revive: String,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests shed by queue backpressure.
+    pub shed_capacity: u64,
+    /// Requests shed because their deadline became unmeetable.
+    pub shed_deadline: u64,
+    /// Batches served.
+    pub batches: u64,
+    /// Largest batch served.
+    pub max_batch: u64,
+    /// Virtual ticks the array spent serving.
+    pub busy_ticks: u64,
+    /// Virtual ticks from first arrival to last completion.
+    pub ticks: u64,
+    /// Median virtual latency (exact integer, nearest rank).
+    pub p50: u64,
+    /// 99th-percentile virtual latency.
+    pub p99: u64,
+    /// 99.9th-percentile virtual latency.
+    pub p999: u64,
+    /// Largest served latency.
+    pub max_latency: u64,
+    /// Served requests per 1000 virtual ticks.
+    pub goodput_milli: u64,
+    /// Fraction of served answers equal to the oracle top-1.
+    pub recall_at_1: f64,
+    /// Queries answered by the digital fallback.
+    pub oracle_fallbacks: u64,
+    /// Requests served per tenant.
+    pub tenant_served: Vec<u64>,
+    /// Requests shed per tenant.
+    pub tenant_shed: Vec<u64>,
+}
+
+impl LoadScenario {
+    /// `true` when no served request finished past its deadline — the
+    /// latency-distribution gate (`p999 <= deadline` follows a fortiori).
+    pub fn meets_deadline(&self) -> bool {
+        self.max_latency <= self.deadline_ticks
+    }
+
+    /// `true` when the serving counters balance:
+    /// `submitted == served + shed_capacity + shed_deadline`.
+    pub fn counters_balance(&self) -> bool {
+        self.submitted == self.served + self.shed_capacity + self.shed_deadline
+    }
+}
+
+/// The full serving-loop load report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Base seed every scenario derives from.
+    pub seed: u64,
+    /// One row per scenario of the standard matrix.
+    pub scenarios: Vec<LoadScenario>,
+}
+
+impl LoadReport {
+    /// Schema tag embedded in every serialized load report.
+    pub const SCHEMA: &'static str = "ferex-load-v1";
+
+    /// Finds a scenario row by name.
+    pub fn scenario(&self, name: &str) -> Option<&LoadScenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(Self::SCHEMA));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(&s.name));
+            let _ = writeln!(out, "      \"metric\": \"{}\",", json_escape(&s.metric));
+            let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(&s.backend));
+            let _ = writeln!(out, "      \"rows\": {},", s.rows);
+            let _ = writeln!(out, "      \"dim\": {},", s.dim);
+            let _ = writeln!(out, "      \"tenants\": {},", s.tenants);
+            let _ = writeln!(out, "      \"arrivals\": \"{}\",", json_escape(&s.arrivals));
+            let _ = writeln!(out, "      \"burst\": \"{}\",", json_escape(&s.burst));
+            match s.hot_tenant {
+                Some(h) => {
+                    let _ = writeln!(out, "      \"hot_tenant\": {h},");
+                }
+                None => {
+                    let _ = writeln!(out, "      \"hot_tenant\": null,");
+                }
+            }
+            let _ = writeln!(out, "      \"n_requests\": {},", s.n_requests);
+            let _ = writeln!(out, "      \"target_batch\": {},", s.target_batch);
+            let _ = writeln!(out, "      \"deadline_ticks\": {},", s.deadline_ticks);
+            let _ = writeln!(out, "      \"queue_capacity\": {},", s.queue_capacity);
+            let _ = writeln!(out, "      \"quantum\": {},", s.quantum);
+            let _ = writeln!(out, "      \"setup_ticks\": {},", s.setup_ticks);
+            let _ = writeln!(out, "      \"per_query_ticks\": {},", s.per_query_ticks);
+            let _ = writeln!(out, "      \"replicas\": {},", s.replicas);
+            let _ = writeln!(out, "      \"reads\": {},", s.reads);
+            let _ = writeln!(out, "      \"agree\": {},", s.agree);
+            let _ = writeln!(out, "      \"kill\": \"{}\",", json_escape(&s.kill));
+            let _ = writeln!(out, "      \"revive\": \"{}\",", json_escape(&s.revive));
+            let _ = writeln!(out, "      \"submitted\": {},", s.submitted);
+            let _ = writeln!(out, "      \"served\": {},", s.served);
+            let _ = writeln!(out, "      \"shed_capacity\": {},", s.shed_capacity);
+            let _ = writeln!(out, "      \"shed_deadline\": {},", s.shed_deadline);
+            let _ = writeln!(out, "      \"batches\": {},", s.batches);
+            let _ = writeln!(out, "      \"max_batch\": {},", s.max_batch);
+            let _ = writeln!(out, "      \"busy_ticks\": {},", s.busy_ticks);
+            let _ = writeln!(out, "      \"ticks\": {},", s.ticks);
+            let _ = writeln!(out, "      \"p50\": {},", s.p50);
+            let _ = writeln!(out, "      \"p99\": {},", s.p99);
+            let _ = writeln!(out, "      \"p999\": {},", s.p999);
+            let _ = writeln!(out, "      \"max_latency\": {},", s.max_latency);
+            let _ = writeln!(out, "      \"goodput_milli\": {},", s.goodput_milli);
+            let _ = writeln!(out, "      \"recall_at_1\": {},", json_num(s.recall_at_1));
+            let _ = writeln!(out, "      \"oracle_fallbacks\": {},", s.oracle_fallbacks);
+            let _ = writeln!(out, "      \"tenant_served\": {},", json_u64_array(&s.tenant_served));
+            let _ = writeln!(out, "      \"tenant_shed\": {}", json_u64_array(&s.tenant_shed));
+            out.push_str(if i + 1 < self.scenarios.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Formats a `u64` slice as a compact JSON array literal.
+fn json_u64_array(xs: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +712,70 @@ mod tests {
         let mut no_kill = report;
         no_kill.curves[0].kill_replica = None;
         assert!(no_kill.to_json().contains("\"kill_replica\": null"));
+    }
+
+    #[test]
+    fn load_json_has_schema_and_balanced_structure() {
+        let report = LoadReport {
+            seed: 42,
+            scenarios: vec![LoadScenario {
+                name: "steady-open-4t".into(),
+                metric: "hamming".into(),
+                backend: "noisy".into(),
+                rows: 16,
+                dim: 8,
+                tenants: 4,
+                arrivals: "open@40".into(),
+                burst: "none".into(),
+                hot_tenant: None,
+                n_requests: 240,
+                target_batch: 16,
+                deadline_ticks: 512,
+                queue_capacity: 64,
+                quantum: 1,
+                setup_ticks: 52,
+                per_query_ticks: 10,
+                replicas: 2,
+                reads: 1,
+                agree: 1,
+                kill: "none".into(),
+                revive: "none".into(),
+                submitted: 240,
+                served: 230,
+                shed_capacity: 6,
+                shed_deadline: 4,
+                batches: 20,
+                max_batch: 16,
+                busy_ticks: 3340,
+                ticks: 6200,
+                p50: 210,
+                p99: 480,
+                p999: 505,
+                max_latency: 505,
+                goodput_milli: 37,
+                recall_at_1: 1.0,
+                oracle_fallbacks: 0,
+                tenant_served: vec![58, 57, 58, 57],
+                tenant_shed: vec![3, 2, 3, 2],
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ferex-load-v1\""));
+        assert!(json.contains("\"arrivals\": \"open@40\""));
+        assert!(json.contains("\"hot_tenant\": null"));
+        assert!(json.contains("\"tenant_served\": [58, 57, 58, 57]"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let row = report.scenario("steady-open-4t").unwrap();
+        assert!(row.meets_deadline());
+        assert!(row.counters_balance());
+        assert!(report.scenario("nope").is_none());
+        let mut late = report.clone();
+        late.scenarios[0].max_latency = 600;
+        assert!(!late.scenarios[0].meets_deadline());
+        let mut hot = report;
+        hot.scenarios[0].hot_tenant = Some(0);
+        assert!(hot.to_json().contains("\"hot_tenant\": 0"));
     }
 
     #[test]

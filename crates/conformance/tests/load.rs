@@ -1,0 +1,124 @@
+//! Load-simulator conformance: the serving loop under deterministic load.
+//!
+//! Four contracts on top of the chaos suite in `chaos.rs`:
+//!
+//! * **Byte-reproducibility** — regenerating the standard `ferex-load-v1`
+//!   report from the same seed yields a byte-identical JSON document,
+//!   kill-mid-stream chaos included. This is the CI replay gate.
+//! * **Goodput** — at an offered load well above the single-query service
+//!   rate (64 req/kilotick vs a 1/62 per-tick capacity, ≈ 4x), adaptive
+//!   batch forming at target 16 clears at least 3x the goodput of a
+//!   batch-size-1 loop on the same stream — the serving-side image of the
+//!   PR 6 kernel speedup the cost model was calibrated against.
+//! * **Deadline discipline** — no scenario ever serves a request past its
+//!   deadline: requests that cannot make it are shed, so p999 (and the
+//!   max) of the served latency distribution is bounded by the configured
+//!   deadline by construction.
+//! * **Serving exactness under chaos** — scenarios run replicas at the
+//!   fault-isolation corner, so recall@1 stays exactly 1.0 even while a
+//!   replica is killed mid-stream (the quorum ladder falls back to the
+//!   digital oracle rather than degrade).
+
+use ferex_conformance::{standard_load_report, LoadReport};
+
+/// The two fixed seeds the load gates are pinned on (same pair as the
+/// chaos and scrub-soundness contracts).
+const LOAD_SEEDS: [u64; 2] = [42, 1337];
+
+fn report_for(seed: u64) -> LoadReport {
+    standard_load_report(seed)
+}
+
+#[test]
+fn standard_load_report_is_byte_reproducible() {
+    for seed in LOAD_SEEDS {
+        let a = report_for(seed);
+        let b = report_for(seed);
+        assert_eq!(a.to_json(), b.to_json(), "seed {seed}: load report drifted between runs");
+        assert!(
+            a.scenarios.iter().any(|s| s.name == "kill-mid-stream"),
+            "the replay gate must cover mid-stream chaos"
+        );
+    }
+}
+
+#[test]
+fn every_scenario_balances_counters_and_respects_deadlines() {
+    for seed in LOAD_SEEDS {
+        let report = report_for(seed);
+        assert!(!report.scenarios.is_empty());
+        for s in &report.scenarios {
+            assert!(s.counters_balance(), "seed {seed}, {}: {s:?}", s.name);
+            assert!(
+                s.meets_deadline(),
+                "seed {seed}, {}: served past the deadline (max {} > {})",
+                s.name,
+                s.max_latency,
+                s.deadline_ticks
+            );
+            assert!(
+                s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max_latency,
+                "seed {seed}, {}: percentile ordering broken",
+                s.name
+            );
+            assert!(s.served > 0, "seed {seed}, {}: nothing served", s.name);
+            assert!(
+                s.max_batch <= s.target_batch as u64,
+                "seed {seed}, {}: batch former overshot its target",
+                s.name
+            );
+            let per_tenant: u64 = s.tenant_served.iter().sum();
+            assert_eq!(per_tenant, s.served, "seed {seed}, {}: tenant shares drifted", s.name);
+        }
+    }
+}
+
+#[test]
+fn adaptive_batching_clears_the_goodput_gate() {
+    for seed in LOAD_SEEDS {
+        let report = report_for(seed);
+        let b1 = report.scenario("goodput-batch1").expect("batch-1 cell present");
+        let ad = report.scenario("goodput-adaptive").expect("adaptive cell present");
+        assert_eq!(b1.arrivals, ad.arrivals, "the goodput pair must share the offered load");
+        assert!(
+            ad.goodput_milli >= 3 * b1.goodput_milli,
+            "seed {seed}: adaptive goodput {} below 3x the batch-1 goodput {}",
+            ad.goodput_milli,
+            b1.goodput_milli
+        );
+        // The batch-1 loop saturates: it must be shedding heavily while the
+        // adaptive loop keeps most of the stream.
+        assert!(
+            b1.shed_capacity + b1.shed_deadline > b1.served,
+            "seed {seed}: the batch-1 cell is not actually overloaded"
+        );
+        assert!(
+            ad.served * 10 >= ad.submitted * 9,
+            "seed {seed}: adaptive loop kept under 90% of the stream ({}/{})",
+            ad.served,
+            ad.submitted
+        );
+    }
+}
+
+#[test]
+fn recall_stays_exact_under_mid_stream_chaos() {
+    for seed in LOAD_SEEDS {
+        let report = report_for(seed);
+        for s in &report.scenarios {
+            assert_eq!(
+                s.recall_at_1, 1.0,
+                "seed {seed}, {}: corner-config serving must match the oracle exactly",
+                s.name
+            );
+        }
+        let killed = report.scenario("kill-mid-stream").expect("kill cell present");
+        assert!(
+            killed.oracle_fallbacks > 0,
+            "seed {seed}: the kill never forced the fallback ladder"
+        );
+        let latency_sweep: Vec<_> =
+            report.scenarios.iter().filter(|s| s.name.starts_with("latency-tb")).collect();
+        assert!(latency_sweep.len() >= 5, "the latency-vs-target-batch sweep went missing");
+    }
+}

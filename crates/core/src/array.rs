@@ -1065,6 +1065,30 @@ impl FerexArray {
             .collect())
     }
 
+    /// Searches a whole batch with an explicit query id per entry:
+    /// equivalent to `queries.iter().zip(qids).map(|(q, &id)|
+    /// self.search_at(q, id))`, with distances served through the batched
+    /// fast path. Because sensing noise is keyed purely on the query id,
+    /// outcomes are bit-identical to the individual searches regardless of
+    /// how requests were grouped into batches — the property the serving
+    /// loop's batch former relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::DimensionMismatch`] when `qids` and `queries` differ
+    /// in length; otherwise as [`FerexArray::distances_batch`].
+    pub fn search_batch_at(
+        &self,
+        queries: &[Vec<u32>],
+        qids: &[u64],
+    ) -> Result<Vec<SearchOutcome>, FerexError> {
+        if qids.len() != queries.len() {
+            return Err(FerexError::DimensionMismatch { expected: queries.len(), got: qids.len() });
+        }
+        let distances = self.distances_batch(queries)?;
+        Ok(distances.into_iter().zip(qids).map(|(d, &qid)| self.sense_nearest(d, qid)).collect())
+    }
+
     /// Digital distance readout: senses all rows and digitizes the row
     /// currents with the given ADC (full scale auto-ranged to the encoding
     /// maximum if `adc.full_scale` is zero). Returns per-row distance

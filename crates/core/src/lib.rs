@@ -60,6 +60,7 @@ pub mod error;
 pub mod feasibility;
 pub mod health;
 pub mod replica;
+pub mod serve;
 pub mod sizing;
 mod soa;
 pub mod tile;
@@ -78,6 +79,10 @@ pub use health::{
 pub use replica::{
     derive_replica_seed, replicate_backend, BreakerPolicy, BreakerState, QuorumPolicy, ReplicaNode,
     ReplicaPolicy, ReplicaSet, ReplicaSetStats, ReplicaStatus, ServeSource, ServedOutcome,
+};
+pub use serve::{
+    Admission, Completion, CostModel, Request, ServeLoop, ServeLoopStats, ServePolicy, ShedEvent,
+    ShedReason,
 };
 
 pub use feasibility::{

@@ -238,6 +238,19 @@ pub trait ReplicaNode {
     ///
     /// As the node's batched search path.
     fn search_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError>;
+    /// Batched search with one explicit query id per entry; bit-identical
+    /// to calling [`ReplicaNode::search_at`] per `(query, qid)` pair.
+    ///
+    /// # Errors
+    ///
+    /// As the node's batched search path, plus a
+    /// [`FerexError::DimensionMismatch`] when `qids` and `queries` differ
+    /// in length.
+    fn search_batch_at(
+        &self,
+        queries: &[Vec<u32>],
+        qids: &[u64],
+    ) -> Result<Vec<SearchOutcome>, FerexError>;
     /// One targeted scrub pass; returns the number of findings.
     ///
     /// # Errors
@@ -263,6 +276,14 @@ impl ReplicaNode for FerexArray {
 
     fn search_batch(&self, queries: &[Vec<u32>]) -> Result<Vec<SearchOutcome>, FerexError> {
         FerexArray::search_batch(self, queries)
+    }
+
+    fn search_batch_at(
+        &self,
+        queries: &[Vec<u32>],
+        qids: &[u64],
+    ) -> Result<Vec<SearchOutcome>, FerexError> {
+        FerexArray::search_batch_at(self, queries, qids)
     }
 
     fn scrub_now(&mut self) -> Result<usize, FerexError> {
@@ -302,6 +323,19 @@ impl ReplicaNode for TiledArray {
         TiledArray::search_batch(self, queries)
     }
 
+    fn search_batch_at(
+        &self,
+        queries: &[Vec<u32>],
+        qids: &[u64],
+    ) -> Result<Vec<SearchOutcome>, FerexError> {
+        // Digital cross-tile argmin: query ids key no noise stream, so the
+        // batch path is already id-independent.
+        if qids.len() != queries.len() {
+            return Err(FerexError::DimensionMismatch { expected: queries.len(), got: qids.len() });
+        }
+        TiledArray::search_batch(self, queries)
+    }
+
     fn scrub_now(&mut self) -> Result<usize, FerexError> {
         Ok(self.scrub()?.iter().map(|r| r.findings.len()).sum())
     }
@@ -332,8 +366,15 @@ pub struct ServedOutcome {
 }
 
 /// Lifetime counters of a [`ReplicaSet`].
+///
+/// Accounting invariant: every query accepted into a serving path counts
+/// into `queries_submitted` exactly once and then lands in *either*
+/// `queries_served` or `queries_shed`, so on every successful return
+/// `queries_served + queries_shed == queries_submitted`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReplicaSetStats {
+    /// Queries validated and accepted into a serving path (served + shed).
+    pub queries_submitted: u64,
     /// Queries answered (sequential + batched, shed queries excluded).
     pub queries_served: u64,
     /// Successful replica reads that entered a vote.
@@ -454,6 +495,12 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         self.replicas.len()
     }
 
+    /// Rows of the supervised store (the logical truth all replicas
+    /// share).
+    pub fn rows(&self) -> usize {
+        self.stored.len()
+    }
+
     /// Replicas not killed.
     pub fn alive(&self) -> usize {
         self.states.iter().filter(|s| !s.dead).count()
@@ -482,6 +529,18 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     /// Mutable access to one replica (fault injection, manual repair).
     pub fn replica_mut(&mut self, i: usize) -> &mut A {
         &mut self.replicas[i]
+    }
+
+    /// Validates a query against the replicas' dimension and symbol
+    /// alphabet without serving it — the serving loop's admission check.
+    ///
+    /// # Errors
+    ///
+    /// Dimension or symbol-range violations; [`FerexError::Empty`] when
+    /// the set has no replicas to validate against (unreachable through
+    /// [`ReplicaSet::new`], which rejects empty sets).
+    pub fn check_query(&self, query: &[u32]) -> Result<(), FerexError> {
+        self.replicas.first().ok_or(FerexError::Empty)?.check_query(query)
     }
 
     /// Point-in-time view of one replica's serving state.
@@ -516,14 +575,15 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     /// Runs a maintenance scrub on every live replica (the chaos harness's
     /// scheduled scrub cycle); returns how many replicas were scrubbed.
     pub fn scrub_all(&mut self) -> usize {
+        let tick = self.tick;
         let mut n = 0;
-        for i in 0..self.replicas.len() {
-            if self.states[i].dead {
+        for (st, replica) in self.states.iter_mut().zip(&mut self.replicas) {
+            if st.dead {
                 continue;
             }
-            if let Ok(findings) = self.replicas[i].scrub_now() {
-                self.states[i].last_scrub_findings = findings;
-                self.states[i].last_scrub_tick = Some(self.tick);
+            if let Ok(findings) = replica.scrub_now() {
+                st.last_scrub_findings = findings;
+                st.last_scrub_tick = Some(tick);
                 self.stats.scheduled_scrubs += 1;
                 n += 1;
             }
@@ -537,7 +597,10 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     /// identically, and routing resolves score ties by lowest index — so a
     /// clean set always routes to replica 0 first.
     fn routing_score(&self, i: usize) -> f64 {
-        let h = self.replicas[i].health();
+        let (Some(replica), Some(st)) = (self.replicas.get(i), self.states.get(i)) else {
+            return f64::MIN;
+        };
+        let h = replica.health();
         let rows = self.stored.len().max(1) as f64;
         let active = h.rows_active as f64 / rows;
         let remapped = h.rows_remapped_now as f64 / rows;
@@ -546,7 +609,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         } else {
             0.0
         };
-        let findings = self.states[i].last_scrub_findings as f64 / rows;
+        let findings = st.last_scrub_findings as f64 / rows;
         4.0 * active - 0.5 * remapped + 0.25 * headroom - findings
     }
 
@@ -562,18 +625,19 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                 }
             }
         }
-        let scores: Vec<f64> = (0..self.replicas.len()).map(|i| self.routing_score(i)).collect();
-        let mut eligible: Vec<usize> = (0..self.replicas.len())
-            .filter(|&i| {
-                !self.states[i].dead && !matches!(self.states[i].breaker, BreakerState::Open { .. })
-            })
+        let mut eligible: Vec<(usize, f64)> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| !st.dead && !matches!(st.breaker, BreakerState::Open { .. }))
+            .map(|(i, _)| (i, self.routing_score(i)))
             .collect();
-        eligible.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
-        eligible
+        eligible.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        eligible.into_iter().map(|(i, _)| i).collect()
     }
 
     fn note_success(&mut self, i: usize) {
-        let st = &mut self.states[i];
+        let Some(st) = self.states.get_mut(i) else { return };
         st.consecutive_failures = 0;
         if st.breaker == BreakerState::HalfOpen {
             st.breaker = BreakerState::Closed;
@@ -581,10 +645,18 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         }
     }
 
+    /// Records a lost vote and counts it against the replica's breaker.
+    fn note_dissent(&mut self, i: usize) {
+        if let Some(st) = self.states.get_mut(i) {
+            st.dissents += 1;
+        }
+        self.note_failure(i);
+    }
+
     fn note_failure(&mut self, i: usize) {
         let tick = self.tick;
         let p = self.policy.breaker;
-        let st = &mut self.states[i];
+        let Some(st) = self.states.get_mut(i) else { return };
         st.consecutive_failures += 1;
         let trip = match st.breaker {
             // A failed half-open probe re-opens immediately with doubled
@@ -684,8 +756,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                         winner = Some((i, o));
                     }
                 } else {
-                    self.states[i].dissents += 1;
-                    self.note_failure(i);
+                    self.note_dissent(i);
                     dissenters.push(i);
                 }
             }
@@ -693,7 +764,9 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                 self.stats.disagreements += 1;
             }
             if let Some((src, outcome)) = winner {
-                self.states[src].served += 1;
+                if let Some(st) = self.states.get_mut(src) {
+                    st.served += 1;
+                }
                 return Ok((
                     ServedOutcome { outcome, source: ServeSource::Replica(src) },
                     dissenters,
@@ -715,8 +788,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                 if o.nearest == fallback.nearest {
                     self.note_success(i);
                 } else {
-                    self.states[i].dissents += 1;
-                    self.note_failure(i);
+                    self.note_dissent(i);
                     dissenters.push(i);
                 }
             }
@@ -730,18 +802,24 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     /// Escalates a targeted scrub on a dissenting replica, rate-limited by
     /// the policy's cooldown.
     fn escalate_scrub(&mut self, i: usize) {
-        if self.states[i].dead {
+        let tick = self.tick;
+        let cooldown = self.policy.scrub_cooldown_ticks;
+        let Some(st) = self.states.get_mut(i) else { return };
+        if st.dead {
             return;
         }
-        if let Some(last) = self.states[i].last_scrub_tick {
-            if self.tick.saturating_sub(last) < self.policy.scrub_cooldown_ticks {
+        if let Some(last) = st.last_scrub_tick {
+            if tick.saturating_sub(last) < cooldown {
                 return;
             }
         }
-        self.states[i].last_scrub_tick = Some(self.tick);
-        match self.replicas[i].scrub_now() {
+        st.last_scrub_tick = Some(tick);
+        let Some(replica) = self.replicas.get_mut(i) else { return };
+        match replica.scrub_now() {
             Ok(findings) => {
-                self.states[i].last_scrub_findings = findings;
+                if let Some(st) = self.states.get_mut(i) {
+                    st.last_scrub_findings = findings;
+                }
                 self.stats.scrubs_escalated += 1;
             }
             Err(_) => self.note_failure(i),
@@ -763,7 +841,8 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             if outcomes.len() == reads || attempts == budget {
                 break;
             }
-            match self.replicas[i].search_at(query, qid) {
+            let Some(replica) = self.replicas.get(i) else { continue };
+            match replica.search_at(query, qid) {
                 Ok(o) => outcomes.push((i, o)),
                 Err(e) if Self::is_query_error(&e) => return Err(e),
                 Err(_) => self.note_failure(i),
@@ -781,10 +860,11 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     /// stored. Replica-health errors never surface here — they divert to
     /// healthier replicas or the digital fallback.
     pub fn serve(&mut self, query: &[u32]) -> Result<ServedOutcome, FerexError> {
-        self.replicas[0].check_query(query)?;
+        self.check_query(query)?;
         if self.stored.is_empty() {
             return Err(FerexError::Empty);
         }
+        self.stats.queries_submitted += 1;
         let qid = self.seq_counter;
         self.seq_counter += 1;
         let outcomes = self.collect(query, qid)?;
@@ -821,12 +901,44 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         if queries.is_empty() {
             return Ok(Vec::new());
         }
+        self.validate_batch(queries)?;
+        self.stats.queries_submitted += queries.len() as u64;
         let cap = self.policy.max_batch_queries;
         if cap != 0 && queries.len() > cap {
             self.stats.queries_shed += queries.len() as u64;
             return Err(FerexError::Overloaded { admitted: 0, capacity: cap });
         }
-        self.serve_batch_inner(queries)
+        let qids: Vec<u64> = (0..queries.len() as u64).collect();
+        self.serve_batch_core(queries, &qids)
+    }
+
+    /// Serves a batch with one explicit query id per entry — the serving
+    /// loop's entry point. Because per-query sensing noise is keyed purely
+    /// on the id, the outcomes are bit-identical to serving each request
+    /// individually via [`ReplicaNode::search_at`] with the same id, no
+    /// matter how the batch former grouped the requests. Admission control
+    /// (`max_batch_queries`) is *not* applied here: the loop sheds at its
+    /// own queue, before requests reach the replicas.
+    ///
+    /// # Errors
+    ///
+    /// A `qids` slice of the wrong length is a
+    /// [`FerexError::DimensionMismatch`]; otherwise as
+    /// [`ReplicaSet::serve`].
+    pub fn serve_batch_at(
+        &mut self,
+        queries: &[Vec<u32>],
+        qids: &[u64],
+    ) -> Result<Vec<ServedOutcome>, FerexError> {
+        if qids.len() != queries.len() {
+            return Err(FerexError::DimensionMismatch { expected: queries.len(), got: qids.len() });
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.validate_batch(queries)?;
+        self.stats.queries_submitted += queries.len() as u64;
+        self.serve_batch_core(queries, qids)
     }
 
     /// Batched search without provenance; see [`ReplicaSet::serve_batch`].
@@ -860,41 +972,67 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                 got: priorities.len(),
             });
         }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        // The whole submission is validated (and counted) up front, shed
+        // queries included — shedding is a capacity decision, not a
+        // validation bypass.
+        self.validate_batch(queries)?;
+        self.stats.queries_submitted += queries.len() as u64;
         let cap = if self.policy.max_batch_queries == 0 {
             queries.len()
         } else {
             self.policy.max_batch_queries
         };
         let mut order: Vec<usize> = (0..queries.len()).collect();
-        order.sort_by(|&a, &b| priorities[b].cmp(&priorities[a]).then(a.cmp(&b)));
+        order.sort_by(|&a, &b| {
+            let pa = priorities.get(a).copied().unwrap_or(0);
+            let pb = priorities.get(b).copied().unwrap_or(0);
+            pb.cmp(&pa).then(a.cmp(&b))
+        });
         let mut admitted: Vec<usize> = order.iter().copied().take(cap).collect();
         admitted.sort_unstable(); // serve in original batch order
         let admitted_queries: Vec<Vec<u32>> =
-            admitted.iter().map(|&i| queries[i].clone()).collect();
-        let served = self.serve_batch_inner(&admitted_queries)?;
+            admitted.iter().filter_map(|&i| queries.get(i).cloned()).collect();
         let shed = queries.len() - admitted.len();
         self.stats.queries_shed += shed as u64;
+        let qids: Vec<u64> = (0..admitted_queries.len() as u64).collect();
+        let served = self.serve_batch_core(&admitted_queries, &qids)?;
         let mut results: Vec<Result<ServedOutcome, FerexError>> = (0..queries.len())
             .map(|_| Err(FerexError::Overloaded { admitted: admitted.len(), capacity: cap }))
             .collect();
         for (slot, outcome) in admitted.into_iter().zip(served) {
-            results[slot] = Ok(outcome);
+            if let Some(r) = results.get_mut(slot) {
+                *r = Ok(outcome);
+            }
         }
         Ok(results)
     }
 
-    fn serve_batch_inner(
-        &mut self,
-        queries: &[Vec<u32>],
-    ) -> Result<Vec<ServedOutcome>, FerexError> {
-        if queries.is_empty() {
-            return Ok(Vec::new());
-        }
+    /// Validates every query of a submission against the replicas and the
+    /// supervisor's stored copy — shared front door of the batch paths.
+    fn validate_batch(&self, queries: &[Vec<u32>]) -> Result<(), FerexError> {
         for q in queries {
-            self.replicas[0].check_query(q)?;
+            self.check_query(q)?;
         }
         if self.stored.is_empty() {
             return Err(FerexError::Empty);
+        }
+        Ok(())
+    }
+
+    /// Serves a pre-validated, pre-counted batch through each chosen
+    /// replica's batched fast path with explicit query ids, voting per
+    /// query. Callers must have run [`ReplicaSet::validate_batch`] and
+    /// counted `queries_submitted`.
+    fn serve_batch_core(
+        &mut self,
+        queries: &[Vec<u32>],
+        qids: &[u64],
+    ) -> Result<Vec<ServedOutcome>, FerexError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
         }
         let ranked = self.ranked_eligible();
         let reads = self.policy.quorum.reads;
@@ -904,7 +1042,8 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             if per_replica.len() == reads || attempts == budget {
                 break;
             }
-            match self.replicas[i].search_batch(queries) {
+            let Some(replica) = self.replicas.get(i) else { continue };
+            match replica.search_batch_at(queries, qids) {
                 Ok(outs) => per_replica.push((i, outs)),
                 Err(e) if Self::is_query_error(&e) => return Err(e),
                 Err(_) => self.note_failure(i),
@@ -913,8 +1052,10 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         let mut served = Vec::with_capacity(queries.len());
         let mut to_scrub: Vec<usize> = Vec::new();
         for (qi, query) in queries.iter().enumerate() {
-            let outcomes: Vec<(usize, SearchOutcome)> =
-                per_replica.iter().map(|(i, outs)| (*i, outs[qi].clone())).collect();
+            let outcomes: Vec<(usize, SearchOutcome)> = per_replica
+                .iter()
+                .filter_map(|(i, outs)| outs.get(qi).map(|o| (*i, o.clone())))
+                .collect();
             let (s, dissenters) = self.vote(query, outcomes)?;
             for d in dissenters {
                 if !to_scrub.contains(&d) {
@@ -1151,6 +1292,79 @@ mod tests {
         assert!(results[2].is_err());
         assert_eq!(set.stats().queries_shed, 4 + 2);
         assert_eq!(set.stats().queries_served, 2);
+    }
+
+    #[test]
+    fn stats_balance_served_plus_shed_equals_submitted() {
+        let dim = 4;
+        let vs = vectors(6, dim);
+        let mut engine = Ferex::builder().dim(dim).build().expect("builds");
+        engine.store_all(vs.clone()).unwrap();
+        let policy = ReplicaPolicy { max_batch_queries: 2, ..Default::default() };
+        let mut set = engine.replica_set(1, policy).expect("replicates");
+        let balanced =
+            |s: ReplicaSetStats| s.queries_served + s.queries_shed == s.queries_submitted;
+
+        set.serve(&vs[0]).unwrap();
+        assert!(balanced(set.stats()));
+        // Whole-batch rejection (the `admitted: 0` path): the submission is
+        // validated, counted, and shed in full — previously it was shed
+        // without ever being counted as submitted.
+        let batch: Vec<Vec<u32>> = vs[0..4].to_vec();
+        let err = set.serve_batch(&batch).unwrap_err();
+        assert_eq!(err, FerexError::Overloaded { admitted: 0, capacity: 2 });
+        assert!(balanced(set.stats()));
+        assert_eq!(set.stats().queries_submitted, 1 + 4);
+        // Prioritized partial shed.
+        set.search_batch_prioritized(&batch, &[1, 9, 0, 9]).unwrap();
+        assert!(balanced(set.stats()));
+        assert_eq!(set.stats().queries_submitted, 1 + 4 + 4);
+        assert_eq!(set.stats().queries_served, 1 + 2);
+        assert_eq!(set.stats().queries_shed, 4 + 2);
+        // In-capacity batch and explicit-id batch shed nothing.
+        set.serve_batch(&batch[0..2]).unwrap();
+        set.serve_batch_at(&batch[0..2], &[40, 41]).unwrap();
+        assert!(balanced(set.stats()));
+        assert_eq!(set.stats().queries_submitted, 13);
+        assert_eq!(set.stats().queries_served, 7);
+    }
+
+    #[test]
+    fn serve_batch_at_is_bit_identical_to_individual_serving() {
+        // With explicit query ids the batch grouping is invisible: any
+        // split of the same (query, qid) pairs reproduces the outcomes of
+        // serving each pair alone.
+        let build = || {
+            let mut f = Ferex::builder()
+                .dim(6)
+                .backend(Backend::Noisy(Box::new(corner_cfg(FaultPlan::none(), 21))))
+                .build()
+                .expect("builds");
+            f.store_all(vectors(8, 6)).unwrap();
+            f.replica_set(1, ReplicaPolicy::default()).expect("replicates")
+        };
+        let queries = vectors(8, 6);
+        let qids: Vec<u64> = (0..queries.len() as u64).map(|i| i * 3 + 5).collect();
+        let mut whole = build();
+        let all = whole.serve_batch_at(&queries, &qids).unwrap();
+        let mut split = build();
+        let mut chunked = Vec::new();
+        for (qchunk, idchunk) in queries.chunks(3).zip(qids.chunks(3)) {
+            chunked.extend(split.serve_batch_at(qchunk, idchunk).unwrap());
+        }
+        assert_eq!(all, chunked);
+        // And both match individual searches on a bare array with the same
+        // seed and ids.
+        let mut bare = Ferex::builder()
+            .dim(6)
+            .backend(Backend::Noisy(Box::new(corner_cfg(FaultPlan::none(), 21))))
+            .build()
+            .expect("builds");
+        bare.store_all(vectors(8, 6)).unwrap();
+        bare.program();
+        for ((q, &qid), served) in queries.iter().zip(&qids).zip(&all) {
+            assert_eq!(served.outcome, bare.array().search_at(q, qid).unwrap());
+        }
     }
 
     #[test]
