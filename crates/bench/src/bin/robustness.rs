@@ -26,6 +26,11 @@
 //!    tick clock — deadlines must bound every served latency, adaptive
 //!    batching must clear 3x the batch-1 goodput under overload, recall@1
 //!    must hold at exactly 1.0, and the report must replay byte-identically.
+//! 7. **Slow-replica latency** — the v2 load report: per-replica seeded
+//!    latency models with one replica slowed or degrading, hedged requests
+//!    and brownout demotion armed against an unhedged leg of the same
+//!    stream — with one replica at 8x, hedged p999 must stay within 2x the
+//!    all-healthy p999 while the unhedged leg blows past 5x it.
 //!
 //! The process exits non-zero when a sweep violates its oracle gate: a
 //! fault-free degradation anchor below 1.0, a healed recall@1 below 0.99
@@ -39,6 +44,7 @@
 //! (write the degradation JSON report), `--recovery-report PATH` (write the
 //! recovery JSON report), `--chaos-report PATH` (write the chaos JSON
 //! report), `--load-report PATH` (write the load JSON report),
+//! `--load-v2-report PATH` (write the v2 slow-replica load JSON report),
 //! `--conformance-only` (degradation sweep only — what the CI
 //! conformance job runs), `--self-heal-only` (recovery sweep only — what
 //! the CI self-heal job runs), `--chaos-only` (chaos soak only — what the
@@ -46,7 +52,8 @@
 //! load-sim job runs).
 
 use ferex_conformance::{
-    standard_chaos_report, standard_load_report, standard_recovery_report, standard_report,
+    standard_chaos_report, standard_load_report, standard_load_v2_report, standard_recovery_report,
+    standard_report,
 };
 use ferex_core::{Backend, CircuitConfig, DistanceMetric};
 use ferex_datasets::spec::UCIHAR;
@@ -63,6 +70,7 @@ struct Args {
     recovery_report_path: Option<String>,
     chaos_report_path: Option<String>,
     load_report_path: Option<String>,
+    load_v2_report_path: Option<String>,
     conformance_only: bool,
     self_heal_only: bool,
     chaos_only: bool,
@@ -79,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
         recovery_report_path: None,
         chaos_report_path: None,
         load_report_path: None,
+        load_v2_report_path: None,
         conformance_only: false,
         self_heal_only: false,
         chaos_only: false,
@@ -101,6 +110,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--load-report" => {
                 args.load_report_path = Some(it.next().ok_or("--load-report needs a path")?);
+            }
+            "--load-v2-report" => {
+                args.load_v2_report_path = Some(it.next().ok_or("--load-v2-report needs a path")?);
             }
             "--conformance-only" => args.conformance_only = true,
             "--self-heal-only" => args.self_heal_only = true,
@@ -342,15 +354,95 @@ fn load_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn load_v2_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    println!("# sweep 7: slow-replica latency, hedging & brownouts (seed {})", args.seed);
+    let report = standard_load_v2_report(args.seed);
+    println!(
+        "{:>15} | {:>4}/{:>4}/{:>5} | {:>5}/{:>5}/{:>6} | {:>5} | {:>4} | {:>7}",
+        "scenario", "p50", "p99", "p999", "u-p50", "u-p99", "u-p999", "hedge", "demo", "goodput"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:>15} | {:>4}/{:>4}/{:>5} | {:>5}/{:>5}/{:>6} | {:>2}/{:>2} | {:>4} | {:>3}/{:>3}",
+            s.name,
+            s.p50,
+            s.p99,
+            s.p999,
+            s.unhedged_p50,
+            s.unhedged_p99,
+            s.unhedged_p999,
+            s.hedge_wins,
+            s.hedges_issued,
+            s.brownout_demotions,
+            s.goodput_milli,
+            s.unhedged_goodput_milli,
+        );
+    }
+    if let Some(path) = &args.load_v2_report_path {
+        std::fs::write(path, report.to_json())?;
+        println!("# machine-readable v2 load report written to {path}");
+    }
+    // Gate 1: bookkeeping — every cell balances its counters and keeps
+    // recall@1 at exactly 1.0 (hedged answers are bit-identical to the
+    // unhedged serve path, so brownouts and hedges cannot move recall).
+    let broken: Vec<String> = report
+        .scenarios
+        .iter()
+        .filter(|s| !s.counters_balance() || s.recall_at_1 < 1.0)
+        .map(|s| format!("{} recall@1 {:.3}", s.name, s.recall_at_1))
+        .collect();
+    if !broken.is_empty() {
+        return Err(format!("v2 bookkeeping gate breached: {}", broken.join(", ")).into());
+    }
+    // Gate 2: the tail-latency SLO — with one replica at 8x, hedging plus
+    // brownout demotion must hold p999 within 2x the all-healthy p999,
+    // while the unhedged leg of the same cell blows past 5x it (i.e. the
+    // slowdown is severe enough that the recovery is attributable to the
+    // hedging machinery, not to a mild scenario).
+    let healthy = report.scenario("v2-all-healthy").ok_or("v2-all-healthy cell missing")?;
+    let slow = report.scenario("v2-one-slow-8x").ok_or("v2-one-slow-8x cell missing")?;
+    if slow.p999 > 2 * healthy.p999 {
+        return Err(format!(
+            "v2 SLO gate breached: hedged p999 {} > 2x all-healthy p999 {}",
+            slow.p999, healthy.p999
+        )
+        .into());
+    }
+    if slow.unhedged_p999 < 5 * healthy.p999 {
+        return Err(format!(
+            "v2 SLO gate vacuous: unhedged p999 {} < 5x all-healthy p999 {}",
+            slow.unhedged_p999, healthy.p999
+        )
+        .into());
+    }
+    if slow.brownout_demotions == 0 || slow.hedge_wins == 0 {
+        return Err(format!(
+            "v2 SLO gate unattributable: {} demotions, {} hedge wins",
+            slow.brownout_demotions, slow.hedge_wins
+        )
+        .into());
+    }
+    // Gate 3: determinism — the replay contract the CI load-sim job pins:
+    // regenerating from the same seed must serialize byte-identically.
+    if standard_load_v2_report(args.seed).to_json() != report.to_json() {
+        return Err("v2 load report is not byte-reproducible from its seed".into());
+    }
+    println!("# all v2 load gates passed");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| {
         format!(
             "{e} (flags: --seed N --report PATH --recovery-report PATH --chaos-report PATH \
-             --load-report PATH --conformance-only --self-heal-only --chaos-only --load-only)"
+             --load-report PATH --load-v2-report PATH --conformance-only --self-heal-only \
+             --chaos-only --load-only)"
         )
     })?;
     if args.load_only {
-        return load_sweep(&args);
+        load_sweep(&args)?;
+        println!();
+        return load_v2_sweep(&args);
     }
     if args.chaos_only {
         return chaos_sweep(&args);
@@ -413,5 +505,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     chaos_sweep(&args)?;
     println!();
-    load_sweep(&args)
+    load_sweep(&args)?;
+    println!();
+    load_v2_sweep(&args)
 }

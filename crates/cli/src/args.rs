@@ -113,6 +113,12 @@ pub enum Command {
         target_batch: usize,
         /// Per-request deadline in virtual ticks (load mode only).
         deadline: u64,
+        /// Per-replica slowdown plan `(replica, factor_milli)`; arms
+        /// seeded latency models on every replica (load mode only).
+        slow_replicas: Vec<(usize, u64)>,
+        /// Hedge policy `(quantile_milli, budget_milli)`; `None` leaves
+        /// hedging off (load mode only).
+        hedge: Option<(u64, u64)>,
     },
     /// One-point kernel micro-benchmark: the batched distance path
     /// against the scalar per-query loop it must reproduce bit-identically.
@@ -314,6 +320,86 @@ fn parse_chaos_plan(s: &str) -> Result<(Option<(usize, usize)>, usize), ParseArg
     Ok((kill, scrub_every))
 }
 
+/// Parses a slow-replica plan: comma-separated `REPLICA@FACTOR` entries
+/// where `FACTOR` is a per-mille slowdown multiplier (`8000` = 8x). A
+/// replica may appear at most once; factors below 1000 (1x) would model a
+/// speed-up and are rejected. Range-checking against the replica count
+/// happens at the command level, where `--replicas` is known.
+fn parse_slow_replicas(s: &str) -> Result<Vec<(usize, u64)>, ParseArgsError> {
+    let mut plan: Vec<(usize, u64)> = Vec::new();
+    for entry in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (replica, factor) = entry.split_once('@').ok_or_else(|| {
+            err(format!("slow-replica spec '{entry}' is not REPLICA@FACTOR (e.g. 1@8000)"))
+        })?;
+        let replica: usize = replica
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("invalid slow replica '{replica}' in '{entry}'")))?;
+        let factor: u64 = factor
+            .trim()
+            .parse()
+            .map_err(|_| err(format!("invalid slowdown factor '{factor}' in '{entry}'")))?;
+        if factor < 1000 {
+            return Err(err(format!(
+                "slowdown factor {factor} is below 1000 (1x) — slow replicas only slow down"
+            )));
+        }
+        if plan.iter().any(|&(r, _)| r == replica) {
+            return Err(err(format!(
+                "duplicate slow replica {replica} — each replica may appear at most once"
+            )));
+        }
+        plan.push((replica, factor));
+    }
+    if plan.is_empty() {
+        return Err(err("slow-replica plan is empty (expected REPLICA@FACTOR, e.g. 1@8000)"));
+    }
+    Ok(plan)
+}
+
+/// Parses a hedge policy: comma-separated `key=value` pairs over
+/// `quantile` (per-mille deadline quantile, 50..=999) and `budget`
+/// (per-mille hedges per served batch, 1..=1000). Unmentioned knobs take
+/// the serving-loop defaults (quantile 950, budget 250).
+fn parse_hedge(s: &str) -> Result<(u64, u64), ParseArgsError> {
+    let mut quantile = 950u64;
+    let mut budget = 250u64;
+    let mut seen: Vec<&str> = Vec::new();
+    for pair in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| err(format!("hedge spec '{pair}' is not key=value")))?;
+        let key = key.trim();
+        if seen.contains(&key) {
+            return Err(err(format!(
+                "duplicate hedge knob '{key}' — each knob may appear at most once"
+            )));
+        }
+        let value = value.trim();
+        match key {
+            "quantile" => {
+                quantile =
+                    value.parse().map_err(|_| err(format!("invalid hedge quantile '{value}'")))?;
+                if !(50..=999).contains(&quantile) {
+                    return Err(err(format!(
+                        "hedge quantile {quantile} outside 50..=999 per-mille"
+                    )));
+                }
+            }
+            "budget" => {
+                budget =
+                    value.parse().map_err(|_| err(format!("invalid hedge budget '{value}'")))?;
+                if !(1..=1000).contains(&budget) {
+                    return Err(err(format!("hedge budget {budget} outside 1..=1000 per-mille")));
+                }
+            }
+            other => return Err(err(format!("unknown hedge knob '{other}' (quantile|budget)"))),
+        }
+        seen.push(key);
+    }
+    Ok((quantile, budget))
+}
+
 struct Flags<'a> {
     pairs: Vec<(&'a str, &'a str)>,
 }
@@ -443,6 +529,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 "tenants",
                 "target-batch",
                 "deadline",
+                "slow-replica",
+                "hedge",
             ])?;
             let metric = parse_metric(flags.require("metric")?)?;
             let bits = flags
@@ -524,6 +612,34 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
             let tenants = load_knob("tenants", 1)? as usize;
             let target_batch = load_knob("target-batch", 16)? as usize;
             let deadline = load_knob("deadline", 512)?;
+            let require_load = |name: &str| -> Result<(), ParseArgsError> {
+                if load.is_none() {
+                    return Err(err(format!(
+                        "--{name} requires a load mode (--open-loop or --closed-loop)"
+                    )));
+                }
+                Ok(())
+            };
+            let slow_replicas = match flags.get("slow-replica") {
+                Some(s) => {
+                    require_load("slow-replica")?;
+                    let plan = parse_slow_replicas(s)?;
+                    if let Some(&(r, _)) = plan.iter().find(|&&(r, _)| r >= replicas) {
+                        return Err(err(format!(
+                            "slow replica ({r}) is out of range for {replicas} replicas"
+                        )));
+                    }
+                    plan
+                }
+                None => Vec::new(),
+            };
+            let hedge = match flags.get("hedge") {
+                Some(s) => {
+                    require_load("hedge")?;
+                    Some(parse_hedge(s)?)
+                }
+                None => None,
+            };
             Ok(Command::ServeSim {
                 metric,
                 bits,
@@ -542,6 +658,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 tenants,
                 target_batch,
                 deadline,
+                slow_replicas,
+                hedge,
             })
         }
         "bench-kernels" => {
@@ -659,6 +777,13 @@ SERVING LOOP (serve-sim with --open-loop RATE or --closed-loop W):
   late. Under a load mode the chaos kill fires at a virtual TICK instead
   of a query index, and scrub=PERIOD runs every PERIOD ticks. Prints one
   line per completion plus exact p50/p99/p999 latency and goodput.
+  --slow-replica R@FACTOR arms seeded per-replica latency models with
+  replica R slowed FACTOR per-mille (8000 = 8x; comma-separate for more,
+  each replica at most once). --hedge quantile=P,budget=B issues a
+  duplicate read when the slow read slot exceeds the P per-mille latency
+  quantile, spending at most B per-mille hedges per batch; hedged answers
+  stay bit-identical to the unhedged path. Both need a load mode, and a
+  per-replica latency/hedge summary joins the printout.
 
 KERNEL BENCH (bench-kernels):
   fills a seeded random array, serves one query batch through the
@@ -678,6 +803,9 @@ EXAMPLES:
                --chaos \"kill=1@1,scrub=2\"
   ferex serve-sim --metric hd --store \"0,0;3,3\" --queries \"0,0;3,3;0,0\" \\
                --open-loop 64 --tenants 2 --target-batch 4 --deadline 512
+  ferex serve-sim --metric hd --store \"0,0;3,3\" --queries \"0,0;3,3;0,0\" \\
+               --open-loop 64 --replicas 3 --quorum 2/1 \\
+               --slow-replica 1@8000 --hedge quantile=950,budget=500
 ";
 
 #[cfg(test)]
@@ -989,5 +1117,59 @@ mod tests {
         // A kill aimed past the replica pool is a spec error, not a no-op.
         let e = parse(&argv(&format!("{base} --chaos kill=2@1"))).unwrap_err();
         assert!(e.to_string().contains("out of range for 2 replicas"), "got: {e}");
+    }
+
+    #[test]
+    fn parses_serve_sim_slow_replica_and_hedge() {
+        let cmd = parse(&argv(
+            "serve-sim --metric hd --store 0,0;3,3 --queries 0,0;3,3 --open-loop 64 \
+             --replicas 3 --quorum 2/1 --slow-replica 1@8000,2@2000 \
+             --hedge quantile=900,budget=500",
+        ))
+        .unwrap();
+        let Command::ServeSim { slow_replicas, hedge, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(slow_replicas, vec![(1, 8000), (2, 2000)]);
+        assert_eq!(hedge, Some((900, 500)));
+        // Unmentioned hedge knobs take the serving-loop defaults.
+        let cmd = parse(&argv(
+            "serve-sim --metric hd --store 0,0 --queries 0,0 --open-loop 64 --hedge budget=100",
+        ))
+        .unwrap();
+        let Command::ServeSim { slow_replicas, hedge, .. } = cmd else { panic!("wrong command") };
+        assert!(slow_replicas.is_empty());
+        assert_eq!(hedge, Some((950, 100)));
+    }
+
+    #[test]
+    fn serve_sim_rejects_malformed_slow_replica_and_hedge_specs() {
+        let base = "serve-sim --metric hd --store 0,1 --queries 0,1 --open-loop 64 --replicas 3";
+        // Out-of-range replica index.
+        let e = parse(&argv(&format!("{base} --slow-replica 3@8000"))).unwrap_err();
+        assert!(e.to_string().contains("out of range for 3 replicas"), "got: {e}");
+        // A factor below 1x is a speed-up, not a slowdown.
+        let e = parse(&argv(&format!("{base} --slow-replica 1@999"))).unwrap_err();
+        assert!(e.to_string().contains("below 1000"), "got: {e}");
+        // Duplicate replicas name themselves.
+        let e = parse(&argv(&format!("{base} --slow-replica 1@2000,1@4000"))).unwrap_err();
+        assert!(e.to_string().contains("duplicate slow replica 1"), "got: {e}");
+        // Malformed entries are spec errors.
+        for spec in ["1", "1@", "@8000", "x@8000", "1@x", ""] {
+            let line = format!("{base} --slow-replica {spec}");
+            assert!(parse(&argv(&line)).is_err(), "spec '{spec}' should be rejected");
+        }
+        // Hedge quantile outside [50, 999] per-mille, budget outside [1, 1000].
+        for spec in ["quantile=49", "quantile=1000", "budget=0", "budget=1001"] {
+            let line = format!("{base} --hedge {spec}");
+            assert!(parse(&argv(&line)).is_err(), "spec '{spec}' should be rejected");
+        }
+        let e = parse(&argv(&format!("{base} --hedge quantile=900,quantile=950"))).unwrap_err();
+        assert!(e.to_string().contains("duplicate hedge knob 'quantile'"), "got: {e}");
+        assert!(parse(&argv(&format!("{base} --hedge bogus=1"))).is_err());
+        // Both flags require a load mode.
+        let seq = "serve-sim --metric hd --store 0,1 --queries 0,1 --replicas 3";
+        for flag in ["--slow-replica 1@8000", "--hedge quantile=900"] {
+            let e = parse(&argv(&format!("{seq} {flag}"))).unwrap_err();
+            assert!(e.to_string().contains("requires a load mode"), "{flag}: {e}");
+        }
     }
 }

@@ -4,10 +4,10 @@
 use crate::args::{BackendKind, Command, LoadMode};
 use ferex_analog::montecarlo::MonteCarlo;
 use ferex_core::{
-    cosimulate, derive_replica_seed, find_minimal_cell, sizing_for, Backend, CircuitConfig,
-    CostModel, DistanceMatrix, DistanceMetric, Ferex, FerexArray, FerexError, QuorumPolicy,
-    RepairPolicy, ReplicaPolicy, ReplicaSet, Request, ServeLoop, ServePolicy, ServeSource,
-    ShedReason,
+    cosimulate, derive_replica_seed, find_minimal_cell, percentile, sizing_for, Backend,
+    BrownoutPolicy, CircuitConfig, CostModel, DistanceMatrix, DistanceMetric, Ferex, FerexArray,
+    FerexError, HedgePolicy, LatencyModel, QuorumPolicy, RepairPolicy, ReplicaPolicy, ReplicaSet,
+    Request, ServeLoop, ServePolicy, ServeSource, ShedReason,
 };
 use ferex_datasets::synth::flip_symbol_bits;
 use ferex_fefet::math::splitmix64;
@@ -83,6 +83,8 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             tenants,
             target_batch,
             deadline,
+            slow_replicas,
+            hedge,
         } => render_serve_sim(
             *metric,
             *bits,
@@ -98,6 +100,8 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             *scrub_every,
             *load,
             (*tenants, *target_batch, *deadline),
+            slow_replicas,
+            *hedge,
         ),
     }
 }
@@ -372,6 +376,8 @@ fn render_serve_sim(
     scrub_every: usize,
     load: Option<LoadMode>,
     (tenants, target_batch, deadline): (usize, usize, u64),
+    slow_replicas: &[(usize, u64)],
+    hedge: Option<(u64, u64)>,
 ) -> Result<String, CommandError> {
     if !(1..=6).contains(&bits) {
         return Err(CommandError("--bits must be in 1..=6".into()));
@@ -416,6 +422,8 @@ fn render_serve_sim(
             (tenants, target_batch, deadline),
             kill,
             scrub_every,
+            slow_replicas,
+            hedge,
         );
     }
     let mut out = String::new();
@@ -467,35 +475,52 @@ fn render_serve_sim(
     Ok(out)
 }
 
-/// Nearest-rank percentile of a sorted latency sample (0 when empty).
-fn latency_percentile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let n = sorted.len() as u64;
-    let rank = (n * q_num).div_ceil(q_den).max(1);
-    sorted.get((rank - 1) as usize).copied().unwrap_or(0)
-}
-
 /// Drives the deterministic serving loop over the query list with seeded
 /// open- or closed-loop arrivals on a virtual tick clock.
 #[allow(clippy::too_many_arguments)]
 fn render_serve_loop(
     metric: DistanceMetric,
-    set: ReplicaSet<FerexArray>,
+    mut set: ReplicaSet<FerexArray>,
     queries: &[Vec<u32>],
     seed: u64,
     mode: LoadMode,
     (tenants, target_batch, deadline): (usize, usize, u64),
     kill: Option<(usize, usize)>,
     scrub_every: usize,
+    slow_replicas: &[(usize, u64)],
+    hedge: Option<(u64, u64)>,
 ) -> Result<String, CommandError> {
     /// Bernoulli sub-slots per tick of the open-loop arrival process
     /// (matches the conformance load simulator).
     const SUBSLOTS: u64 = 8;
     const MAX_TICKS: u64 = 1_000_000;
-    let policy =
-        ServePolicy { target_batch, queue_capacity: 0, quantum: 1, cost: CostModel::noisy_10k() };
+    let cost = CostModel::noisy_10k();
+    // Either latency flag arms seeded per-replica latency models (healthy
+    // unless slowed) plus brownout demotion, mirroring the conformance v2
+    // scenario family.
+    let latency_armed = !slow_replicas.is_empty() || hedge.is_some();
+    if latency_armed {
+        let latency_seed = splitmix64(seed ^ 0x510E_11FE);
+        let n_replicas = set.n_replicas();
+        for i in 0..n_replicas {
+            let mut model =
+                LatencyModel::healthy(cost, derive_replica_seed(latency_seed, i as u64));
+            if let Some(&(_, factor)) = slow_replicas.iter().find(|&&(r, _)| r == i) {
+                model.slow_factor_milli = factor;
+            }
+            set.set_latency_model(i, model)?;
+        }
+    }
+    let policy = ServePolicy {
+        target_batch,
+        queue_capacity: 0,
+        quantum: 1,
+        cost,
+        max_wait_ticks: 0,
+        hedge: hedge
+            .map(|(quantile_milli, budget_milli)| HedgePolicy { quantile_milli, budget_milli }),
+        brownout: latency_armed.then(BrownoutPolicy::default),
+    };
     let mut lp = ServeLoop::new(set, tenants, policy)?;
     let n = queries.len();
     let mut out = String::new();
@@ -647,9 +672,9 @@ fn render_serve_loop(
     let _ = writeln!(
         out,
         "latency ticks: p50 {}, p99 {}, p999 {}, max {} (deadline {deadline})",
-        latency_percentile(&lat, 50, 100),
-        latency_percentile(&lat, 99, 100),
-        latency_percentile(&lat, 999, 1000),
+        percentile(&lat, 50, 100),
+        percentile(&lat, 99, 100),
+        percentile(&lat, 999, 1000),
         lat.last().copied().unwrap_or(0)
     );
     let _ = writeln!(
@@ -660,6 +685,33 @@ fn render_serve_loop(
     );
     if scrub_every > 0 {
         let _ = writeln!(out, "maintenance: {scrubs} scheduled scrubs, {scrub_findings} findings");
+    }
+    if latency_armed {
+        let _ = writeln!(
+            out,
+            "hedging: {} issued, {} won; brownouts: {} demotions, {} re-probes",
+            stats.hedges_issued, stats.hedge_wins, stats.brownout_demotions, stats.reprobes
+        );
+        for i in 0..lp.set().n_replicas() {
+            let mut samples = lp.replica_samples(i).to_vec();
+            samples.sort_unstable();
+            let label = match slow_replicas.iter().find(|&&(r, _)| r == i) {
+                Some(&(_, f)) => format!("slow@{f}"),
+                None => "healthy".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  replica {i} ({label}): {} reads, service p50 {} / max {} ticks, \
+                 ewma {} milli, hedged against {}, hedge wins {}, demerit {} milli",
+                samples.len(),
+                percentile(&samples, 50, 100),
+                samples.last().copied().unwrap_or(0),
+                lp.latency_ewma_milli().get(i).copied().unwrap_or(1000),
+                lp.hedged_against().get(i).copied().unwrap_or(0),
+                lp.hedge_wins_by().get(i).copied().unwrap_or(0),
+                lp.set().status(i).latency_demerit_milli,
+            );
+        }
     }
     Ok(out)
 }
@@ -910,6 +962,40 @@ mod tests {
         assert!(out.contains("nearest row 0"), "{out}");
         assert!(out.contains("nearest row 1"), "{out}");
         assert!(out.contains("served 3/3"), "{out}");
+    }
+
+    #[test]
+    fn serve_sim_slow_replica_and_hedge_report_latency_telemetry() {
+        let line = "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+                    --queries 0,0,0,0;3,3,3,3;0,0,0,0;3,3,3,3 --replicas 3 --quorum 2/1 \
+                    --open-loop 64 --target-batch 4 --deadline 4096 --seed 5 \
+                    --slow-replica 1@8000 --hedge quantile=950,budget=500";
+        let out = run_line(line).unwrap();
+        assert!(out.contains("served 4/4"), "{out}");
+        assert!(out.contains("hedging:"), "{out}");
+        assert!(out.contains("brownouts:"), "{out}");
+        assert!(out.contains("replica 0 (healthy):"), "{out}");
+        assert!(out.contains("replica 1 (slow@8000):"), "{out}");
+        assert!(out.contains("replica 2 (healthy):"), "{out}");
+        // The latency telemetry replays byte-identically from the seed.
+        assert_eq!(run_line(line).unwrap(), out);
+        // Answers are bit-identical to the unhedged path: same nearest
+        // rows with or without the latency machinery armed.
+        let plain = run_line(
+            "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+             --queries 0,0,0,0;3,3,3,3;0,0,0,0;3,3,3,3 --replicas 3 --quorum 2/1 \
+             --open-loop 64 --target-batch 4 --deadline 4096 --seed 5",
+        )
+        .unwrap();
+        let nearest = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.contains("nearest row"))
+                .map(|l| {
+                    l.split("nearest row").nth(1).unwrap().split(' ').nth(1).unwrap().to_string()
+                })
+                .collect()
+        };
+        assert_eq!(nearest(&out), nearest(&plain), "hedging moved an answer:\n{out}\n{plain}");
     }
 
     #[test]

@@ -43,11 +43,13 @@ pub use harness::{
     standard_specs, BackendKind, FaultKind, SweepSpec,
 };
 pub use load::{
-    percentile, run_load, standard_load_report, standard_load_specs, ArrivalModel, BurstWindow,
-    LoadSpec,
+    percentile, run_load, run_load_detailed, run_load_v2, standard_load_report,
+    standard_load_specs, standard_load_v2_report, standard_load_v2_specs, ArrivalModel,
+    BurstWindow, LoadDetail, LoadSpec,
 };
 pub use oracle::Oracle;
 pub use report::{
     ChaosCurve, ChaosPoint, ChaosReport, ConformanceReport, CurvePoint, DegradationCurve,
-    LoadReport, LoadScenario, RecoveryCurve, RecoveryPoint, RecoveryReport,
+    LoadReport, LoadScenario, LoadV2Replica, LoadV2Report, LoadV2Scenario, RecoveryCurve,
+    RecoveryPoint, RecoveryReport,
 };

@@ -22,12 +22,12 @@
 
 use crate::harness::{gen_vectors, metric_label, BackendKind};
 use crate::oracle::Oracle;
-use crate::report::{LoadReport, LoadScenario};
+use crate::report::{LoadReport, LoadScenario, LoadV2Replica, LoadV2Report, LoadV2Scenario};
 use ferex_analog::lta::LtaParams;
-use ferex_core::serve::{CostModel, Request, ServeLoop, ServePolicy};
+use ferex_core::serve::{CostModel, Request, ServeLoop, ServeLoopStats, ServePolicy};
 use ferex_core::{
-    derive_replica_seed, CircuitConfig, DistanceMetric, FerexArray, QuorumPolicy, ReplicaPolicy,
-    ReplicaSet,
+    derive_replica_seed, BrownoutPolicy, CircuitConfig, DistanceMetric, FerexArray, HedgePolicy,
+    LatencyModel, QuorumPolicy, ReplicaPolicy, ReplicaSet,
 };
 use ferex_fefet::math::splitmix64;
 use ferex_fefet::{FaultPlan, Technology, VariationModel};
@@ -133,6 +133,23 @@ pub struct LoadSpec {
     /// Replica revived at `(replica, tick)` — paired with `kill`, this is
     /// the slow-replica brownout window.
     pub revive: Option<(usize, u64)>,
+    /// Attach a seeded [`LatencyModel`] to every replica (`false`
+    /// reproduces the v1 uniform-cost charge byte for byte).
+    pub latency_models: bool,
+    /// Per-replica constant slowdown overrides, `(replica,
+    /// slow_factor_milli)` — the one-slow-replica scenario family.
+    pub slow_replicas: Vec<(usize, u64)>,
+    /// One replica aging at `(replica, milli_per_kilotick)` — the
+    /// degrading-replica scenario family.
+    pub degrade: Option<(usize, u64)>,
+    /// Jitter amplitude of the attached models, 0..=1000 per-mille.
+    pub jitter_milli: u64,
+    /// Hedged-request policy of the serving loop, if any.
+    pub hedge: Option<HedgePolicy>,
+    /// Brownout demotion policy of the serving loop, if any.
+    pub brownout: Option<BrownoutPolicy>,
+    /// Batch former's wait cap (0 = off).
+    pub max_wait_ticks: u64,
     /// Hard tick ceiling; the run must finish (drain) before it.
     pub max_ticks: u64,
     /// Base seed everything derives from.
@@ -146,17 +163,9 @@ impl LoadSpec {
     }
 }
 
-/// Nearest-rank percentile of a sorted latency sample: the smallest value
-/// with at least `q_num/q_den` of the sample at or below it. Exact
-/// integer arithmetic; 0 on an empty sample.
-pub fn percentile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let n = sorted.len() as u64;
-    let rank = (n * q_num).div_ceil(q_den).max(1);
-    sorted.get((rank - 1) as usize).copied().unwrap_or(0)
-}
+/// Nearest-rank percentile, shared with the core stats utility (one
+/// implementation serves the v1 and v2 load reports and the CLI).
+pub use ferex_core::stats::percentile;
 
 /// One pending future arrival of the driver (closed-loop respawns).
 #[derive(Debug, Clone, Copy)]
@@ -165,16 +174,44 @@ struct FutureArrival {
     tenant: usize,
 }
 
+/// Per-replica latency telemetry of one load run, alongside the
+/// [`LoadScenario`] row — the raw material of the v2 report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadDetail {
+    /// Final serving-loop counters (hedges, wins, demotions, re-probes).
+    pub stats: ServeLoopStats,
+    /// Sampled modeled service ticks per replica, in charge order.
+    pub samples: Vec<Vec<u64>>,
+    /// Final per-replica latency EWMA, per-mille of the expected cost.
+    pub ewma_milli: Vec<u64>,
+    /// Hedges issued against each replica.
+    pub hedged_against: Vec<u64>,
+    /// Hedge wins credited to each replica.
+    pub hedge_wins_by: Vec<u64>,
+    /// Final per-replica brownout routing demerit, per-mille.
+    pub demerit_milli: Vec<u64>,
+}
+
 /// Runs one load scenario to completion (stream end + queue drain) and
 /// returns its report row.
 ///
 /// # Panics
 ///
-/// Panics on malformed specs (zero tenants, out-of-range chaos indices,
-/// invalid quorum), on encoding failure, and when the run fails to drain
-/// within `max_ticks` — all deterministic spec bugs, not data-dependent
-/// conditions.
+/// As [`run_load_detailed`].
 pub fn run_load(spec: &LoadSpec) -> LoadScenario {
+    run_load_detailed(spec).0
+}
+
+/// [`run_load`] plus the per-replica latency telemetry the v2 report is
+/// built from.
+///
+/// # Panics
+///
+/// Panics on malformed specs (zero tenants, out-of-range chaos or
+/// latency-model indices, invalid quorum or hedging knobs), on encoding
+/// failure, and when the run fails to drain within `max_ticks` — all
+/// deterministic spec bugs, not data-dependent conditions.
+pub fn run_load_detailed(spec: &LoadSpec) -> (LoadScenario, LoadDetail) {
     assert!(spec.tenants >= 1, "load scenario needs at least one tenant");
     assert!(spec.n_requests >= 1, "load scenario needs at least one request");
     if let Some((r, _)) = spec.kill {
@@ -185,6 +222,13 @@ pub fn run_load(spec: &LoadSpec) -> LoadScenario {
     }
     if let Some(h) = spec.hot_tenant {
         assert!(h < spec.tenants, "hot tenant out of range");
+    }
+    for &(r, f) in &spec.slow_replicas {
+        assert!(r < spec.replicas, "slow replica out of range");
+        assert!(f >= 1000, "slow factor below 1x");
+    }
+    if let Some((r, _)) = spec.degrade {
+        assert!(r < spec.replicas, "degrading replica out of range");
     }
     let encoding = crate::harness::encoding_for(spec.metric, spec.bits)
         // lint:allow(panic-safety/expect, reason = "standard specs use sizable (metric, bits) cells")
@@ -232,9 +276,29 @@ pub fn run_load(spec: &LoadSpec) -> LoadScenario {
         queue_capacity: spec.queue_capacity,
         quantum: spec.quantum,
         cost: spec.cost,
+        max_wait_ticks: spec.max_wait_ticks,
+        hedge: spec.hedge,
+        brownout: spec.brownout,
     };
     // lint:allow(panic-safety/expect, reason = "spec knobs validated above; store is non-empty")
     let mut sim = ServeLoop::new(set, spec.tenants, policy).expect("valid serving policy");
+
+    if spec.latency_models {
+        let latency_seed = spec.derived_seed(6);
+        for i in 0..spec.replicas {
+            let mut model =
+                LatencyModel::healthy(spec.cost, derive_replica_seed(latency_seed, i as u64));
+            model.jitter_milli = spec.jitter_milli.min(1000);
+            if let Some(&(_, f)) = spec.slow_replicas.iter().find(|&&(r, _)| r == i) {
+                model.slow_factor_milli = f;
+            }
+            if spec.degrade.is_some_and(|(r, _)| r == i) {
+                model.degrade_milli_per_kilotick = spec.degrade.map_or(0, |(_, d)| d);
+            }
+            // lint:allow(panic-safety/expect, reason = "indices and knobs validated above")
+            sim.set_mut().set_latency_model(i, model).expect("validated latency model");
+        }
+    }
 
     // Domain-separated attribute streams, all keyed on the submission
     // counter so open- and closed-loop runs share one vocabulary.
@@ -350,7 +414,17 @@ pub fn run_load(spec: &LoadSpec) -> LoadScenario {
     latencies.sort_unstable();
     let goodput_milli = served.saturating_mul(1000) / ticks;
     let recall_at_1 = if served == 0 { 1.0 } else { hits as f64 / served as f64 };
-    LoadScenario {
+    let detail = LoadDetail {
+        stats,
+        samples: (0..spec.replicas).map(|i| sim.replica_samples(i).to_vec()).collect(),
+        ewma_milli: sim.latency_ewma_milli().to_vec(),
+        hedged_against: sim.hedged_against().to_vec(),
+        hedge_wins_by: sim.hedge_wins_by().to_vec(),
+        demerit_milli: (0..spec.replicas)
+            .map(|i| sim.set().status(i).latency_demerit_milli)
+            .collect(),
+    };
+    let scenario = LoadScenario {
         name: spec.name.to_string(),
         metric: metric_label(spec.metric).to_string(),
         backend: spec.backend.label().to_string(),
@@ -392,7 +466,8 @@ pub fn run_load(spec: &LoadSpec) -> LoadScenario {
         oracle_fallbacks: sim.set().stats().oracle_fallbacks,
         tenant_served: sim.served_per_tenant().to_vec(),
         tenant_shed: sim.shed_per_tenant().to_vec(),
-    }
+    };
+    (scenario, detail)
 }
 
 /// Integer Bernoulli threshold for one sub-slot: `p = rate_milli / (1000 ·
@@ -452,6 +527,13 @@ pub fn standard_load_specs(seed: u64) -> Vec<LoadSpec> {
         agree: 1,
         kill: None,
         revive: None,
+        latency_models: false,
+        slow_replicas: Vec::new(),
+        degrade: None,
+        jitter_milli: 0,
+        hedge: None,
+        brownout: None,
+        max_wait_ticks: 0,
         max_ticks: 100_000,
         seed,
     };
@@ -543,19 +625,171 @@ pub fn standard_load_report(seed: u64) -> LoadReport {
     LoadReport { seed, scenarios: standard_load_specs(seed).iter().map(run_load).collect() }
 }
 
+/// The v2 (latency-heterogeneity) scenario family: every cell runs
+/// seeded per-replica latency models on a 3-replica / 2-read set with
+/// hedging and brownout demotion armed, against an all-healthy baseline,
+/// three one-slow-replica severities, and a degrading replica.
+///
+/// The `v2-one-slow-8x` cell feeds the tail-latency SLO gate: with
+/// replica 1 at 8x, the hedged p999 must stay within 2x the all-healthy
+/// p999 while the unhedged leg of the same cell blows past 5x it.
+pub fn standard_load_v2_specs(seed: u64) -> Vec<LoadSpec> {
+    let base = LoadSpec {
+        name: "",
+        metric: DistanceMetric::Hamming,
+        backend: BackendKind::Noisy,
+        bits: 2,
+        dim: 8,
+        rows: 16,
+        tenants: 2,
+        arrivals: ArrivalModel::OpenLoop { rate_milli: 40 },
+        burst: None,
+        hot_tenant: None,
+        n_requests: 240,
+        target_batch: 16,
+        deadline_ticks: 4096,
+        queue_capacity: 64,
+        quantum: 1,
+        cost: CostModel::noisy_10k(),
+        replicas: 3,
+        reads: 2,
+        agree: 1,
+        kill: None,
+        revive: None,
+        latency_models: true,
+        slow_replicas: Vec::new(),
+        degrade: None,
+        jitter_milli: 1000,
+        hedge: Some(HedgePolicy { quantile_milli: 950, budget_milli: 500 }),
+        brownout: Some(BrownoutPolicy {
+            demote_threshold_milli: 2500,
+            reprobe_ticks: 2048,
+            ewma_shift: 2,
+        }),
+        max_wait_ticks: 256,
+        max_ticks: 200_000,
+        seed,
+    };
+    vec![
+        LoadSpec { name: "v2-all-healthy", ..base.clone() },
+        LoadSpec { name: "v2-one-slow-2x", slow_replicas: vec![(1, 2000)], ..base.clone() },
+        LoadSpec { name: "v2-one-slow-4x", slow_replicas: vec![(1, 4000)], ..base.clone() },
+        LoadSpec { name: "v2-one-slow-8x", slow_replicas: vec![(1, 8000)], ..base.clone() },
+        LoadSpec { name: "v2-degrading", degrade: Some((1, 1500)), ..base.clone() },
+    ]
+}
+
+/// Runs one v2 scenario twice — the spec as given (hedging and brownout
+/// armed) and an unhedged leg with both disarmed but identical latency
+/// models — and folds both legs plus the per-replica telemetry into one
+/// report row.
+///
+/// # Panics
+///
+/// As [`run_load_detailed`].
+pub fn run_load_v2(spec: &LoadSpec) -> LoadV2Scenario {
+    let (hedged, detail) = run_load_detailed(spec);
+    let unhedged_spec = LoadSpec { hedge: None, brownout: None, ..spec.clone() };
+    let (unhedged, _) = run_load_detailed(&unhedged_spec);
+    let per_replica = (0..spec.replicas)
+        .map(|i| {
+            let mut sorted = detail.samples.get(i).cloned().unwrap_or_default();
+            sorted.sort_unstable();
+            LoadV2Replica {
+                replica: i,
+                model: replica_model_label(spec, i),
+                reads: sorted.len() as u64,
+                p50_ticks: percentile(&sorted, 50, 100),
+                p99_ticks: percentile(&sorted, 99, 100),
+                max_ticks: sorted.last().copied().unwrap_or(0),
+                ewma_milli: detail.ewma_milli.get(i).copied().unwrap_or(1000),
+                hedged_against: detail.hedged_against.get(i).copied().unwrap_or(0),
+                hedge_wins: detail.hedge_wins_by.get(i).copied().unwrap_or(0),
+                demerit_milli: detail.demerit_milli.get(i).copied().unwrap_or(0),
+            }
+        })
+        .collect();
+    LoadV2Scenario {
+        name: spec.name.to_string(),
+        metric: metric_label(spec.metric).to_string(),
+        backend: spec.backend.label().to_string(),
+        arrivals: spec.arrivals.label(),
+        n_requests: spec.n_requests,
+        target_batch: spec.target_batch,
+        deadline_ticks: spec.deadline_ticks,
+        max_wait_ticks: spec.max_wait_ticks,
+        replicas: spec.replicas,
+        reads: spec.reads,
+        agree: spec.agree,
+        slow: slow_label(&spec.slow_replicas),
+        degrade: match spec.degrade {
+            Some((r, d)) => format!("r{r}@{d}"),
+            None => "none".to_string(),
+        },
+        hedge: match spec.hedge {
+            Some(h) => format!("q={},b={}", h.quantile_milli, h.budget_milli),
+            None => "none".to_string(),
+        },
+        brownout: match spec.brownout {
+            Some(b) => format!("t={},rp={}", b.demote_threshold_milli, b.reprobe_ticks),
+            None => "none".to_string(),
+        },
+        submitted: hedged.submitted,
+        served: hedged.served,
+        shed_capacity: hedged.shed_capacity,
+        shed_deadline: hedged.shed_deadline,
+        batches: hedged.batches,
+        hedges_issued: detail.stats.hedges_issued,
+        hedge_wins: detail.stats.hedge_wins,
+        brownout_demotions: detail.stats.brownout_demotions,
+        reprobes: detail.stats.reprobes,
+        p50: hedged.p50,
+        p99: hedged.p99,
+        p999: hedged.p999,
+        max_latency: hedged.max_latency,
+        goodput_milli: hedged.goodput_milli,
+        recall_at_1: hedged.recall_at_1,
+        unhedged_served: unhedged.served,
+        unhedged_p50: unhedged.p50,
+        unhedged_p99: unhedged.p99,
+        unhedged_p999: unhedged.p999,
+        unhedged_goodput_milli: unhedged.goodput_milli,
+        per_replica,
+    }
+}
+
+/// Label of one replica's attached latency model, e.g. `slow@8000`.
+fn replica_model_label(spec: &LoadSpec, i: usize) -> String {
+    if !spec.latency_models {
+        return "none".to_string();
+    }
+    if let Some(&(_, f)) = spec.slow_replicas.iter().find(|&&(r, _)| r == i) {
+        return format!("slow@{f}");
+    }
+    if let Some((r, d)) = spec.degrade {
+        if r == i {
+            return format!("degrading@{d}");
+        }
+    }
+    "healthy".to_string()
+}
+
+fn slow_label(slow: &[(usize, u64)]) -> String {
+    if slow.is_empty() {
+        return "none".to_string();
+    }
+    slow.iter().map(|(r, f)| format!("r{r}@{f}")).collect::<Vec<_>>().join(",")
+}
+
+/// Generates the v2 latency/hedging load report from one seed.
+/// Deterministic: same seed, byte-identical report.
+pub fn standard_load_v2_report(seed: u64) -> LoadV2Report {
+    LoadV2Report { seed, scenarios: standard_load_v2_specs(seed).iter().map(run_load_v2).collect() }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentile_is_nearest_rank() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&sorted, 50, 100), 50);
-        assert_eq!(percentile(&sorted, 99, 100), 99);
-        assert_eq!(percentile(&sorted, 999, 1000), 100);
-        assert_eq!(percentile(&[7], 50, 100), 7);
-        assert_eq!(percentile(&[], 50, 100), 0);
-    }
 
     #[test]
     fn bernoulli_threshold_is_proportional() {

@@ -563,6 +563,215 @@ impl LoadReport {
     }
 }
 
+/// Per-replica latency telemetry of one v2 scenario: the sampled
+/// service-tick distribution seen by the scheduler, the EWMA it steered
+/// by, and the hedge/brownout counters attributed to this replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadV2Replica {
+    /// Replica index.
+    pub replica: usize,
+    /// Latency-model label (`healthy`, `slow@8000`, `degrading@1500`,
+    /// `none`).
+    pub model: String,
+    /// Batch reads sampled against this replica (hedge duplicates
+    /// included).
+    pub reads: u64,
+    /// Median sampled service ticks (nearest rank; 0 if never read).
+    pub p50_ticks: u64,
+    /// 99th-percentile sampled service ticks.
+    pub p99_ticks: u64,
+    /// Largest sampled service ticks.
+    pub max_ticks: u64,
+    /// Final EWMA slowdown estimate, per-mille of the expected cost.
+    pub ewma_milli: u64,
+    /// Hedges issued because this replica held the slow slot.
+    pub hedged_against: u64,
+    /// Hedges this replica won as the duplicate read.
+    pub hedge_wins: u64,
+    /// Final routing demerit, per-mille (0 when not browned out).
+    pub demerit_milli: u64,
+}
+
+/// One scenario row of the v2 (latency-heterogeneity) load report:
+/// scenario shape, the hedged serving leg, the unhedged leg of the same
+/// spec, and per-replica latency telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadV2Scenario {
+    /// Scenario name (`v2-one-slow-8x`, ...).
+    pub name: String,
+    /// Metric label (`hamming`, `manhattan`, `euclidean2`).
+    pub metric: String,
+    /// Backend label (`noisy`, `circuit`).
+    pub backend: String,
+    /// Arrival-model label (`open@40`, `closed@2`).
+    pub arrivals: String,
+    /// Requests in the stream.
+    pub n_requests: usize,
+    /// Batch former's target size.
+    pub target_batch: usize,
+    /// Per-request deadline in ticks.
+    pub deadline_ticks: u64,
+    /// Partial-batch flush age in ticks (0 = disabled).
+    pub max_wait_ticks: u64,
+    /// Replica count.
+    pub replicas: usize,
+    /// Quorum reads per query.
+    pub reads: usize,
+    /// Quorum agreement threshold.
+    pub agree: usize,
+    /// Slow-replica plan label (`r1@8000`, or `none`).
+    pub slow: String,
+    /// Degrading-replica plan label (`r1@1500`, or `none`).
+    pub degrade: String,
+    /// Hedge-policy label (`q=950,b=500`, or `none`).
+    pub hedge: String,
+    /// Brownout-policy label (`t=2500,rp=2048`, or `none`).
+    pub brownout: String,
+    /// Requests submitted (hedged leg).
+    pub submitted: u64,
+    /// Requests served to completion (hedged leg).
+    pub served: u64,
+    /// Requests shed by queue backpressure (hedged leg).
+    pub shed_capacity: u64,
+    /// Requests shed because their deadline became unmeetable (hedged
+    /// leg).
+    pub shed_deadline: u64,
+    /// Batches served (hedged leg).
+    pub batches: u64,
+    /// Hedge duplicates issued.
+    pub hedges_issued: u64,
+    /// Hedges whose duplicate beat the slow primary.
+    pub hedge_wins: u64,
+    /// Brownout demotions.
+    pub brownout_demotions: u64,
+    /// Half-open re-probes of demoted replicas.
+    pub reprobes: u64,
+    /// Median virtual latency of the hedged leg.
+    pub p50: u64,
+    /// 99th-percentile virtual latency of the hedged leg.
+    pub p99: u64,
+    /// 99.9th-percentile virtual latency of the hedged leg.
+    pub p999: u64,
+    /// Largest served latency of the hedged leg.
+    pub max_latency: u64,
+    /// Served requests per 1000 virtual ticks, hedged leg.
+    pub goodput_milli: u64,
+    /// Fraction of served answers equal to the oracle top-1 (hedged leg).
+    pub recall_at_1: f64,
+    /// Requests served by the unhedged leg.
+    pub unhedged_served: u64,
+    /// Median virtual latency of the unhedged leg.
+    pub unhedged_p50: u64,
+    /// 99th-percentile virtual latency of the unhedged leg.
+    pub unhedged_p99: u64,
+    /// 99.9th-percentile virtual latency of the unhedged leg.
+    pub unhedged_p999: u64,
+    /// Served requests per 1000 virtual ticks, unhedged leg.
+    pub unhedged_goodput_milli: u64,
+    /// Per-replica latency telemetry of the hedged leg.
+    pub per_replica: Vec<LoadV2Replica>,
+}
+
+impl LoadV2Scenario {
+    /// `true` when the hedged leg's serving counters balance:
+    /// `submitted == served + shed_capacity + shed_deadline`.
+    pub fn counters_balance(&self) -> bool {
+        self.submitted == self.served + self.shed_capacity + self.shed_deadline
+    }
+}
+
+/// The full v2 (latency-heterogeneity) load report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadV2Report {
+    /// Base seed every scenario derives from.
+    pub seed: u64,
+    /// One row per scenario of the v2 matrix.
+    pub scenarios: Vec<LoadV2Scenario>,
+}
+
+impl LoadV2Report {
+    /// Schema tag embedded in every serialized v2 load report.
+    pub const SCHEMA: &'static str = "ferex-load-v2";
+
+    /// Finds a scenario row by name.
+    pub fn scenario(&self, name: &str) -> Option<&LoadV2Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(Self::SCHEMA));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(&s.name));
+            let _ = writeln!(out, "      \"metric\": \"{}\",", json_escape(&s.metric));
+            let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(&s.backend));
+            let _ = writeln!(out, "      \"arrivals\": \"{}\",", json_escape(&s.arrivals));
+            let _ = writeln!(out, "      \"n_requests\": {},", s.n_requests);
+            let _ = writeln!(out, "      \"target_batch\": {},", s.target_batch);
+            let _ = writeln!(out, "      \"deadline_ticks\": {},", s.deadline_ticks);
+            let _ = writeln!(out, "      \"max_wait_ticks\": {},", s.max_wait_ticks);
+            let _ = writeln!(out, "      \"replicas\": {},", s.replicas);
+            let _ = writeln!(out, "      \"reads\": {},", s.reads);
+            let _ = writeln!(out, "      \"agree\": {},", s.agree);
+            let _ = writeln!(out, "      \"slow\": \"{}\",", json_escape(&s.slow));
+            let _ = writeln!(out, "      \"degrade\": \"{}\",", json_escape(&s.degrade));
+            let _ = writeln!(out, "      \"hedge\": \"{}\",", json_escape(&s.hedge));
+            let _ = writeln!(out, "      \"brownout\": \"{}\",", json_escape(&s.brownout));
+            let _ = writeln!(out, "      \"submitted\": {},", s.submitted);
+            let _ = writeln!(out, "      \"served\": {},", s.served);
+            let _ = writeln!(out, "      \"shed_capacity\": {},", s.shed_capacity);
+            let _ = writeln!(out, "      \"shed_deadline\": {},", s.shed_deadline);
+            let _ = writeln!(out, "      \"batches\": {},", s.batches);
+            let _ = writeln!(out, "      \"hedges_issued\": {},", s.hedges_issued);
+            let _ = writeln!(out, "      \"hedge_wins\": {},", s.hedge_wins);
+            let _ = writeln!(out, "      \"brownout_demotions\": {},", s.brownout_demotions);
+            let _ = writeln!(out, "      \"reprobes\": {},", s.reprobes);
+            let _ = writeln!(out, "      \"p50\": {},", s.p50);
+            let _ = writeln!(out, "      \"p99\": {},", s.p99);
+            let _ = writeln!(out, "      \"p999\": {},", s.p999);
+            let _ = writeln!(out, "      \"max_latency\": {},", s.max_latency);
+            let _ = writeln!(out, "      \"goodput_milli\": {},", s.goodput_milli);
+            let _ = writeln!(out, "      \"recall_at_1\": {},", json_num(s.recall_at_1));
+            let _ = writeln!(out, "      \"unhedged_served\": {},", s.unhedged_served);
+            let _ = writeln!(out, "      \"unhedged_p50\": {},", s.unhedged_p50);
+            let _ = writeln!(out, "      \"unhedged_p99\": {},", s.unhedged_p99);
+            let _ = writeln!(out, "      \"unhedged_p999\": {},", s.unhedged_p999);
+            let _ =
+                writeln!(out, "      \"unhedged_goodput_milli\": {},", s.unhedged_goodput_milli);
+            out.push_str("      \"per_replica\": [\n");
+            for (j, r) in s.per_replica.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "        {{\"replica\": {}, \"model\": \"{}\", \"reads\": {}, \
+                     \"p50_ticks\": {}, \"p99_ticks\": {}, \"max_ticks\": {}, \
+                     \"ewma_milli\": {}, \"hedged_against\": {}, \"hedge_wins\": {}, \
+                     \"demerit_milli\": {}}}",
+                    r.replica,
+                    json_escape(&r.model),
+                    r.reads,
+                    r.p50_ticks,
+                    r.p99_ticks,
+                    r.max_ticks,
+                    r.ewma_milli,
+                    r.hedged_against,
+                    r.hedge_wins,
+                    r.demerit_milli,
+                );
+                out.push_str(if j + 1 < s.per_replica.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("      ]\n");
+            out.push_str(if i + 1 < self.scenarios.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// Formats a `u64` slice as a compact JSON array literal.
 fn json_u64_array(xs: &[u64]) -> String {
     let mut out = String::from("[");
@@ -776,6 +985,91 @@ mod tests {
         let mut hot = report;
         hot.scenarios[0].hot_tenant = Some(0);
         assert!(hot.to_json().contains("\"hot_tenant\": 0"));
+    }
+
+    #[test]
+    fn load_v2_json_has_schema_and_balanced_structure() {
+        let report = LoadV2Report {
+            seed: 42,
+            scenarios: vec![LoadV2Scenario {
+                name: "v2-one-slow-8x".into(),
+                metric: "hamming".into(),
+                backend: "noisy".into(),
+                arrivals: "open@40".into(),
+                n_requests: 240,
+                target_batch: 16,
+                deadline_ticks: 4096,
+                max_wait_ticks: 256,
+                replicas: 3,
+                reads: 2,
+                agree: 1,
+                slow: "r1@8000".into(),
+                degrade: "none".into(),
+                hedge: "q=950,b=500".into(),
+                brownout: "t=2500,rp=2048".into(),
+                submitted: 240,
+                served: 238,
+                shed_capacity: 2,
+                shed_deadline: 0,
+                batches: 16,
+                hedges_issued: 2,
+                hedge_wins: 2,
+                brownout_demotions: 1,
+                reprobes: 0,
+                p50: 280,
+                p99: 540,
+                p999: 560,
+                max_latency: 560,
+                goodput_milli: 37,
+                recall_at_1: 1.0,
+                unhedged_served: 238,
+                unhedged_p50: 300,
+                unhedged_p99: 2900,
+                unhedged_p999: 3400,
+                unhedged_goodput_milli: 9,
+                per_replica: vec![
+                    LoadV2Replica {
+                        replica: 0,
+                        model: "healthy".into(),
+                        reads: 16,
+                        p50_ticks: 212,
+                        p99_ticks: 330,
+                        max_ticks: 337,
+                        ewma_milli: 1020,
+                        hedged_against: 0,
+                        hedge_wins: 0,
+                        demerit_milli: 0,
+                    },
+                    LoadV2Replica {
+                        replica: 1,
+                        model: "slow@8000".into(),
+                        reads: 1,
+                        p50_ticks: 1696,
+                        p99_ticks: 1696,
+                        max_ticks: 1696,
+                        ewma_milli: 2750,
+                        hedged_against: 2,
+                        hedge_wins: 0,
+                        demerit_milli: 1750,
+                    },
+                ],
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"ferex-load-v2\""));
+        assert!(json.contains("\"slow\": \"r1@8000\""));
+        assert!(json.contains("\"hedge\": \"q=950,b=500\""));
+        assert!(json.contains("\"unhedged_p999\": 3400"));
+        assert!(json.contains("\"model\": \"slow@8000\""));
+        assert!(json.contains("\"demerit_milli\": 1750"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let row = report.scenario("v2-one-slow-8x").unwrap();
+        assert!(row.counters_balance());
+        assert!(report.scenario("nope").is_none());
+        let mut unbalanced = report.clone();
+        unbalanced.scenarios[0].served = 1;
+        assert!(!unbalanced.scenarios[0].counters_balance());
     }
 
     #[test]

@@ -143,6 +143,15 @@ pub enum FerexError {
         /// Which knob failed validation.
         what: &'static str,
     },
+    /// A per-replica operation named a replica index outside the set —
+    /// e.g. attaching a [`LatencyModel`](crate::latency::LatencyModel)
+    /// to a replica that does not exist.
+    ReplicaOutOfRange {
+        /// The offending replica index.
+        replica: usize,
+        /// Replicas in the set.
+        replicas: usize,
+    },
     /// Admission control shed this query: the batch asked for more serving
     /// capacity than the replica set's load-shedding budget allows, and
     /// this query's priority fell below the admission cutoff.
@@ -186,6 +195,9 @@ impl fmt::Display for FerexError {
             }
             FerexError::InvalidPolicy { what } => {
                 write!(f, "invalid policy: {what}")
+            }
+            FerexError::ReplicaOutOfRange { replica, replicas } => {
+                write!(f, "replica {replica} outside the {replicas}-replica set")
             }
             FerexError::Overloaded { admitted, capacity } => {
                 write!(
@@ -242,6 +254,8 @@ mod tests {
         let e = FerexError::Overloaded { admitted: 4, capacity: 4 };
         assert!(e.to_string().contains("capacity of 4 queries"));
         assert!(e.to_string().contains("4 admitted"));
+        let e = FerexError::ReplicaOutOfRange { replica: 5, replicas: 3 };
+        assert_eq!(e.to_string(), "replica 5 outside the 3-replica set");
     }
 
     #[test]

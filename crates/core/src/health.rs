@@ -261,6 +261,22 @@ pub struct HealthSnapshot {
     pub rows_remapped_now: usize,
 }
 
+impl HealthSnapshot {
+    /// Per-mille of logical rows not served from their home physical row
+    /// (remapped through the spare mux or quarantined outright) — the
+    /// degradation basis of the latency model's health-coupled inflation
+    /// ([`LatencyModel::health_milli`](crate::latency::LatencyModel::health_milli)).
+    /// 0 for a pristine array, 1000 when every row is displaced.
+    pub fn degraded_milli(&self) -> u64 {
+        let rows = self.rows_active + self.rows_quarantined_now;
+        if rows == 0 {
+            return 0;
+        }
+        ((self.rows_remapped_now + self.rows_quarantined_now) as u64).saturating_mul(1000)
+            / rows as u64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +290,19 @@ mod tests {
     #[should_panic(expected = "scrub absolute tolerance")]
     fn invalid_scrub_tolerance_rejected() {
         RepairPolicy { scrub_abs_tolerance: 0.0, ..Default::default() }.assert_valid();
+    }
+
+    #[test]
+    fn degraded_milli_tracks_displaced_rows() {
+        let mut h = HealthSnapshot::default();
+        assert_eq!(h.degraded_milli(), 0, "empty snapshot is not degraded");
+        h.rows_active = 16;
+        assert_eq!(h.degraded_milli(), 0);
+        h.rows_remapped_now = 4;
+        assert_eq!(h.degraded_milli(), 250);
+        h.rows_quarantined_now = 4;
+        h.rows_active = 12;
+        assert_eq!(h.degraded_milli(), 500);
     }
 
     #[test]

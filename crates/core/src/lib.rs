@@ -59,10 +59,12 @@ pub mod engine;
 pub mod error;
 pub mod feasibility;
 pub mod health;
+pub mod latency;
 pub mod replica;
 pub mod serve;
 pub mod sizing;
 mod soa;
+pub mod stats;
 pub mod tile;
 pub mod verify;
 
@@ -76,6 +78,7 @@ pub use health::{
     FaultAttribution, HealthCounters, HealthSnapshot, ProgramReport, RepairPolicy, RowHealth,
     ScrubFinding, ScrubReport,
 };
+pub use latency::{qln_quantile_milli, BrownoutPolicy, HedgePolicy, LatencyModel};
 pub use replica::{
     derive_replica_seed, replicate_backend, BreakerPolicy, BreakerState, QuorumPolicy, ReplicaNode,
     ReplicaPolicy, ReplicaSet, ReplicaSetStats, ReplicaStatus, ServeSource, ServedOutcome,
@@ -84,6 +87,7 @@ pub use serve::{
     Admission, Completion, CostModel, Request, ServeLoop, ServeLoopStats, ServePolicy, ShedEvent,
     ShedReason,
 };
+pub use stats::percentile;
 
 pub use feasibility::{
     chain_compatible, detect_feasibility, enumerate_solutions, FeasibilityConfig, FeasibilityError,

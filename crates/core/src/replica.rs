@@ -34,6 +34,7 @@ use crate::array::{Backend, FerexArray, SearchOutcome};
 use crate::distance::DistanceMetric;
 use crate::error::FerexError;
 use crate::health::HealthSnapshot;
+use crate::latency::LatencyModel;
 use crate::tile::TiledArray;
 use ferex_fefet::math::splitmix64;
 use ferex_fefet::Technology;
@@ -304,7 +305,7 @@ impl ReplicaNode for TiledArray {
         if query.len() != self.dim() {
             return Err(FerexError::DimensionMismatch { expected: self.dim(), got: query.len() });
         }
-        let n = self.tiles()[0].encoding().n_stored();
+        let n = self.tiles().first().map(|t| t.encoding().n_stored()).unwrap_or(0);
         for &s in query {
             if s as usize >= n {
                 return Err(FerexError::SymbolOutOfRange { value: s, n_values: n });
@@ -410,6 +411,9 @@ pub struct ReplicaStatus {
     pub dissents: u64,
     /// Findings of the replica's most recent scrub.
     pub last_scrub_findings: usize,
+    /// Routing demerit pushed by the serving loop's brownout detector,
+    /// in per-mille of a routing point (0 = not demoted).
+    pub latency_demerit_milli: u64,
     /// Current routing score (higher routes first).
     pub score: f64,
 }
@@ -427,6 +431,9 @@ struct ReplicaState {
     dissents: u64,
     last_scrub_findings: usize,
     last_scrub_tick: Option<u64>,
+    /// Brownout routing demerit in per-mille of a routing point; pushed
+    /// by the serving loop's latency tracker, 0 when not demoted.
+    latency_demerit_milli: u64,
 }
 
 /// The replicated serving supervisor. See the module docs for the state
@@ -436,6 +443,10 @@ struct ReplicaState {
 pub struct ReplicaSet<A: ReplicaNode> {
     replicas: Vec<A>,
     states: Vec<ReplicaState>,
+    /// Optional per-replica service-latency models; `None` everywhere by
+    /// default, in which case the serving loop charges its uniform
+    /// [`CostModel`](crate::serve::CostModel) exactly as before.
+    latency: Vec<Option<LatencyModel>>,
     /// The logical truth the replicas were built from — the digital
     /// fallback recomputes against this copy.
     stored: Vec<Vec<u32>>,
@@ -478,9 +489,11 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             );
         }
         let states = vec![ReplicaState::default(); replicas.len()];
+        let latency = vec![None; replicas.len()];
         ReplicaSet {
             replicas,
             states,
+            latency,
             stored,
             metric,
             policy,
@@ -522,13 +535,95 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     }
 
     /// Read access to one replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is at or past [`ReplicaSet::n_replicas`].
     pub fn replica(&self, i: usize) -> &A {
+        // lint:allow(panic-safety/index, reason = "documented panicking accessor; callers pass i < n_replicas()")
         &self.replicas[i]
     }
 
     /// Mutable access to one replica (fault injection, manual repair).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is at or past [`ReplicaSet::n_replicas`].
     pub fn replica_mut(&mut self, i: usize) -> &mut A {
+        // lint:allow(panic-safety/index, reason = "documented panicking accessor; callers pass i < n_replicas()")
         &mut self.replicas[i]
+    }
+
+    /// Attaches a service-latency model to replica `i`. The serving loop
+    /// samples it per batch instead of the uniform cost-model charge.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::ReplicaOutOfRange`] on a bad index;
+    /// [`FerexError::InvalidPolicy`] on a degenerate model (see
+    /// [`LatencyModel::validate`]).
+    pub fn set_latency_model(&mut self, i: usize, model: LatencyModel) -> Result<(), FerexError> {
+        model.validate()?;
+        let replicas = self.latency.len();
+        let Some(slot) = self.latency.get_mut(i) else {
+            return Err(FerexError::ReplicaOutOfRange { replica: i, replicas });
+        };
+        *slot = Some(model);
+        Ok(())
+    }
+
+    /// The latency model attached to replica `i`, if any.
+    pub fn latency_model(&self, i: usize) -> Option<&LatencyModel> {
+        self.latency.get(i).and_then(|m| m.as_ref())
+    }
+
+    /// Samples the modeled service ticks of a batch of `batch` queries on
+    /// replica `i`: draw `draw` (a batch sequence number), with `queued`
+    /// requests waiting behind the batch, at the caller's virtual tick
+    /// `tick` (drives the degrade slope). The health and scrub inflation
+    /// terms are read off the replica's live state: its
+    /// [`HealthSnapshot::degraded_milli`] and whether an escalated or
+    /// scheduled scrub ran within the model's window on the set's own
+    /// tick clock. `None` when no model is attached (or `i` is out of
+    /// range) — the caller falls back to its uniform cost.
+    pub fn latency_ticks(
+        &self,
+        i: usize,
+        batch: usize,
+        queued: usize,
+        tick: u64,
+        draw: u64,
+    ) -> Option<u64> {
+        let model = self.latency.get(i)?.as_ref()?;
+        let replica = self.replicas.get(i)?;
+        let st = self.states.get(i)?;
+        let h = replica.health();
+        let mut inflation = model.health_milli.saturating_mul(h.degraded_milli()) / 1000;
+        inflation =
+            inflation.saturating_add(model.load_milli_per_queued.saturating_mul(queued as u64));
+        if let Some(last) = st.last_scrub_tick {
+            if self.tick.saturating_sub(last) < model.scrub_window_ticks {
+                inflation = inflation.saturating_add(model.scrub_penalty_milli);
+            }
+        }
+        Some(model.service_ticks(batch, tick, draw, inflation))
+    }
+
+    /// Sets replica `i`'s brownout routing demerit (per-mille of a
+    /// routing point; 0 lifts the demotion). Pushed by the serving loop's
+    /// latency tracker; out-of-range indices are ignored.
+    pub fn set_latency_demerit(&mut self, i: usize, demerit_milli: u64) {
+        if let Some(st) = self.states.get_mut(i) {
+            st.latency_demerit_milli = demerit_milli;
+        }
+    }
+
+    /// The routing order a batch read would use right now: live replicas
+    /// with admitting breakers, healthiest first (ties to the lowest
+    /// index). Open breakers past their backoff transition to half-open,
+    /// exactly as a serve would.
+    pub fn route_order(&mut self) -> Vec<usize> {
+        self.ranked_eligible()
     }
 
     /// Validates a query against the replicas' dimension and symbol
@@ -543,9 +638,23 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         self.replicas.first().ok_or(FerexError::Empty)?.check_query(query)
     }
 
-    /// Point-in-time view of one replica's serving state.
+    /// Point-in-time view of one replica's serving state. Out-of-range
+    /// indices read as a default (dead-free, never-served) status with a
+    /// floor routing score.
     pub fn status(&self, i: usize) -> ReplicaStatus {
-        let st = &self.states[i];
+        let Some(st) = self.states.get(i) else {
+            return ReplicaStatus {
+                breaker: BreakerState::Closed,
+                dead: false,
+                consecutive_failures: 0,
+                trips: 0,
+                served: 0,
+                dissents: 0,
+                last_scrub_findings: 0,
+                latency_demerit_milli: 0,
+                score: f64::MIN,
+            };
+        };
         ReplicaStatus {
             breaker: st.breaker,
             dead: st.dead,
@@ -554,19 +663,23 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             served: st.served,
             dissents: st.dissents,
             last_scrub_findings: st.last_scrub_findings,
+            latency_demerit_milli: st.latency_demerit_milli,
             score: self.routing_score(i),
         }
     }
 
     /// Marks a replica dead: it is never routed to again until
-    /// [`ReplicaSet::revive`].
+    /// [`ReplicaSet::revive`]. Out-of-range indices are ignored.
     pub fn kill(&mut self, i: usize) {
-        self.states[i].dead = true;
+        if let Some(st) = self.states.get_mut(i) {
+            st.dead = true;
+        }
     }
 
-    /// Brings a killed replica back with a closed breaker.
+    /// Brings a killed replica back with a closed breaker. Out-of-range
+    /// indices are ignored.
     pub fn revive(&mut self, i: usize) {
-        let st = &mut self.states[i];
+        let Some(st) = self.states.get_mut(i) else { return };
         st.dead = false;
         st.breaker = BreakerState::Closed;
         st.consecutive_failures = 0;
@@ -610,7 +723,8 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             0.0
         };
         let findings = st.last_scrub_findings as f64 / rows;
-        4.0 * active - 0.5 * remapped + 0.25 * headroom - findings
+        let demerit = st.latency_demerit_milli as f64 / 1000.0;
+        4.0 * active - 0.5 * remapped + 0.25 * headroom - findings - demerit
     }
 
     /// Live replicas whose breaker admits traffic at the current tick
@@ -909,7 +1023,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
             return Err(FerexError::Overloaded { admitted: 0, capacity: cap });
         }
         let qids: Vec<u64> = (0..queries.len() as u64).collect();
-        self.serve_batch_core(queries, &qids)
+        self.serve_batch_core(queries, &qids).map(|(served, _)| served)
     }
 
     /// Serves a batch with one explicit query id per entry — the serving
@@ -930,11 +1044,27 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         queries: &[Vec<u32>],
         qids: &[u64],
     ) -> Result<Vec<ServedOutcome>, FerexError> {
+        self.serve_batch_read(queries, qids).map(|(served, _)| served)
+    }
+
+    /// [`ReplicaSet::serve_batch_at`] plus read provenance: the second
+    /// element lists the replica indices whose batched reads fed the vote,
+    /// in routing order. The serving loop's latency model charges each of
+    /// those reads its own modeled service time.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicaSet::serve_batch_at`].
+    pub fn serve_batch_read(
+        &mut self,
+        queries: &[Vec<u32>],
+        qids: &[u64],
+    ) -> Result<(Vec<ServedOutcome>, Vec<usize>), FerexError> {
         if qids.len() != queries.len() {
             return Err(FerexError::DimensionMismatch { expected: queries.len(), got: qids.len() });
         }
         if queries.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), Vec::new()));
         }
         self.validate_batch(queries)?;
         self.stats.queries_submitted += queries.len() as u64;
@@ -998,7 +1128,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         let shed = queries.len() - admitted.len();
         self.stats.queries_shed += shed as u64;
         let qids: Vec<u64> = (0..admitted_queries.len() as u64).collect();
-        let served = self.serve_batch_core(&admitted_queries, &qids)?;
+        let (served, _) = self.serve_batch_core(&admitted_queries, &qids)?;
         let mut results: Vec<Result<ServedOutcome, FerexError>> = (0..queries.len())
             .map(|_| Err(FerexError::Overloaded { admitted: admitted.len(), capacity: cap }))
             .collect();
@@ -1030,9 +1160,9 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         &mut self,
         queries: &[Vec<u32>],
         qids: &[u64],
-    ) -> Result<Vec<ServedOutcome>, FerexError> {
+    ) -> Result<(Vec<ServedOutcome>, Vec<usize>), FerexError> {
         if queries.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), Vec::new()));
         }
         let ranked = self.ranked_eligible();
         let reads = self.policy.quorum.reads;
@@ -1049,6 +1179,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
                 Err(_) => self.note_failure(i),
             }
         }
+        let reads_used: Vec<usize> = per_replica.iter().map(|(i, _)| *i).collect();
         let mut served = Vec::with_capacity(queries.len());
         let mut to_scrub: Vec<usize> = Vec::new();
         for (qi, query) in queries.iter().enumerate() {
@@ -1069,7 +1200,7 @@ impl<A: ReplicaNode> ReplicaSet<A> {
         for d in to_scrub {
             self.escalate_scrub(d);
         }
-        Ok(served)
+        Ok((served, reads_used))
     }
 }
 

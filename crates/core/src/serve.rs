@@ -31,6 +31,7 @@
 //! no matter how the former grouped them.
 
 use crate::error::FerexError;
+use crate::latency::{qln_quantile_milli, BrownoutPolicy, HedgePolicy};
 use crate::replica::{ReplicaNode, ReplicaSet, ServedOutcome};
 use std::collections::VecDeque;
 
@@ -80,11 +81,29 @@ pub struct ServePolicy {
     pub quantum: u32,
     /// Virtual service-cost model.
     pub cost: CostModel,
+    /// Close a partial batch once its oldest queued request has waited
+    /// this many ticks, even with deadline slack left; `0` disables the
+    /// wait cap (batches then linger until target size or deadline
+    /// pressure, exactly the PR 7 behavior).
+    pub max_wait_ticks: u64,
+    /// Hedged-request policy. `None` disables hedging.
+    pub hedge: Option<HedgePolicy>,
+    /// Brownout demotion policy for slow-but-alive replicas. `None`
+    /// disables the latency tracker's routing feedback.
+    pub brownout: Option<BrownoutPolicy>,
 }
 
 impl Default for ServePolicy {
     fn default() -> Self {
-        ServePolicy { target_batch: 16, queue_capacity: 0, quantum: 1, cost: CostModel::default() }
+        ServePolicy {
+            target_batch: 16,
+            queue_capacity: 0,
+            quantum: 1,
+            cost: CostModel::default(),
+            max_wait_ticks: 0,
+            hedge: None,
+            brownout: None,
+        }
     }
 }
 
@@ -106,6 +125,12 @@ impl ServePolicy {
             return Err(FerexError::InvalidPolicy {
                 what: "cost model must charge at least one tick per batch",
             });
+        }
+        if let Some(h) = &self.hedge {
+            h.validate()?;
+        }
+        if let Some(b) = &self.brownout {
+            b.validate()?;
         }
         Ok(())
     }
@@ -223,12 +248,41 @@ pub struct ServeLoopStats {
     pub max_batch: u64,
     /// Total virtual ticks the array was busy serving batches.
     pub busy_ticks: u64,
+    /// Hedge reads issued (at most one per batch, budget permitting).
+    pub hedges_issued: u64,
+    /// Hedges whose duplicate read beat the slow primary read.
+    pub hedge_wins: u64,
+    /// Brownout demotions (including re-demotions after a failed probe).
+    pub brownout_demotions: u64,
+    /// Half-open re-probes of a demoted replica.
+    pub reprobes: u64,
 }
 
 #[derive(Debug, Clone)]
 struct Pending {
     req: Request,
     qid: u64,
+}
+
+/// Brownout state of one replica, as tracked by the serving loop's
+/// latency EWMA (DESIGN.md §14: Active → Demoted → Probing → …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum BrownoutState {
+    /// Routed normally.
+    #[default]
+    Active,
+    /// Demoted in routing until the backoff expires.
+    Demoted {
+        /// Tick at which the next half-open probe may run.
+        until_tick: u64,
+        /// Consecutive failed probes (drives exponential backoff).
+        level: u32,
+    },
+    /// Demerit lifted for one probe batch; the next observation decides.
+    Probing {
+        /// Backoff level to re-demote at (plus one) if the probe fails.
+        level: u32,
+    },
 }
 
 /// The deterministic serving loop. See the module docs for the state
@@ -258,6 +312,18 @@ pub struct ServeLoop<A: ReplicaNode> {
     stats: ServeLoopStats,
     served_per_tenant: Vec<u64>,
     shed_per_tenant: Vec<u64>,
+    /// Per-replica EWMA of observed service time, in per-mille of the
+    /// cost model's expectation (1000 = nominal).
+    ewma_milli: Vec<u64>,
+    /// Per-replica brownout state machine.
+    brown: Vec<BrownoutState>,
+    /// Per-replica sampled service ticks, one entry per read charged
+    /// through that replica's latency model (reports read these).
+    samples: Vec<Vec<u64>>,
+    /// Hedges issued against each replica (it was the slow read).
+    hedged_against: Vec<u64>,
+    /// Hedge wins credited to each replica (its duplicate read won).
+    hedge_wins_by: Vec<u64>,
 }
 
 impl<A: ReplicaNode> ServeLoop<A> {
@@ -280,6 +346,7 @@ impl<A: ReplicaNode> ServeLoop<A> {
         if set.rows() == 0 {
             return Err(FerexError::Empty);
         }
+        let replicas = set.n_replicas();
         Ok(ServeLoop {
             set,
             policy,
@@ -294,6 +361,11 @@ impl<A: ReplicaNode> ServeLoop<A> {
             stats: ServeLoopStats::default(),
             served_per_tenant: vec![0; tenants],
             shed_per_tenant: vec![0; tenants],
+            ewma_milli: vec![1000; replicas],
+            brown: vec![BrownoutState::Active; replicas],
+            samples: vec![Vec::new(); replicas],
+            hedged_against: vec![0; replicas],
+            hedge_wins_by: vec![0; replicas],
         })
     }
 
@@ -341,6 +413,34 @@ impl<A: ReplicaNode> ServeLoop<A> {
     /// Requests shed (capacity + deadline), per tenant.
     pub fn shed_per_tenant(&self) -> &[u64] {
         &self.shed_per_tenant
+    }
+
+    /// Per-replica latency EWMA, in per-mille of the cost model's
+    /// expectation (1000 = nominal; only reads charged through a latency
+    /// model move it).
+    pub fn latency_ewma_milli(&self) -> &[u64] {
+        &self.ewma_milli
+    }
+
+    /// Sampled service ticks of replica `i`'s modeled reads, in charge
+    /// order (empty without a latency model).
+    pub fn replica_samples(&self, i: usize) -> &[u64] {
+        self.samples.get(i).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Hedges issued against each replica (it was the slow read).
+    pub fn hedged_against(&self) -> &[u64] {
+        &self.hedged_against
+    }
+
+    /// Hedge wins credited to each replica (its duplicate read won).
+    pub fn hedge_wins_by(&self) -> &[u64] {
+        &self.hedge_wins_by
+    }
+
+    /// `true` while replica `i` is demoted by the brownout tracker.
+    pub fn browned_out(&self, i: usize) -> bool {
+        matches!(self.brown.get(i), Some(BrownoutState::Demoted { .. }))
     }
 
     /// Submits one request at `req.arrival_tick`, assigning it the next
@@ -424,15 +524,16 @@ impl<A: ReplicaNode> ServeLoop<A> {
         if !self.should_close(tick) {
             return Ok((Vec::new(), sheds));
         }
+        self.release_brownouts(tick);
         let picked = self.form_batch();
         let queries: Vec<Vec<u32>> = picked.iter().map(|p| p.req.query.clone()).collect();
         let qids: Vec<u64> = picked.iter().map(|p| p.qid).collect();
-        let outcomes = self.set.serve_batch_at(&queries, &qids)?;
-        let service = self.policy.cost.service_ticks(picked.len());
-        let completion_tick = tick.saturating_add(service);
-        self.busy_until = completion_tick;
+        let (outcomes, reads) = self.set.serve_batch_read(&queries, &qids)?;
         let batch = self.next_batch;
         self.next_batch += 1;
+        let service = self.charge(picked.len(), &reads, batch, tick);
+        let completion_tick = tick.saturating_add(service);
+        self.busy_until = completion_tick;
         self.stats.batches += 1;
         self.stats.max_batch = self.stats.max_batch.max(picked.len() as u64);
         self.stats.busy_ticks += service;
@@ -476,15 +577,192 @@ impl<A: ReplicaNode> ServeLoop<A> {
     }
 
     /// The batch-former close decision at `tick` (the array is idle and
-    /// the queue non-empty): close at target size, or when the most
+    /// the queue non-empty): close at target size, when the oldest queued
+    /// request has waited past the policy's wait cap, or when the most
     /// urgent queued request's deadline slack has run out for a batch of
     /// everything currently queued.
     fn should_close(&self, tick: u64) -> bool {
         if self.queued >= self.policy.target_batch {
             return true;
         }
+        if self.policy.max_wait_ticks > 0 {
+            let oldest = self.queues.iter().flatten().map(|p| p.req.arrival_tick).min();
+            if oldest.is_some_and(|a| tick.saturating_sub(a) >= self.policy.max_wait_ticks) {
+                return true;
+            }
+        }
         let service = self.policy.cost.service_ticks(self.queued);
         self.earliest_deadline().is_some_and(|d| tick.saturating_add(service) >= d)
+    }
+
+    /// Charges one served batch its virtual service time. Without latency
+    /// models on the read replicas this is exactly the uniform
+    /// [`CostModel`] charge (the PR 7 arithmetic, bit for bit). With
+    /// models, each read samples its own modeled duration, the batch
+    /// completes at the slowest read, and the hedging and brownout
+    /// machinery run on the sampled durations: a hedge duplicates the
+    /// batch to a spare replica once the slow read blows past the
+    /// p-quantile deadline, and the EWMA tracker feeds slow replicas back
+    /// into routing as brownout demerits.
+    fn charge(&mut self, batch_len: usize, reads: &[usize], batch: u64, tick: u64) -> u64 {
+        let expected = self.policy.cost.service_ticks(batch_len);
+        if !reads.iter().any(|&r| self.set.latency_model(r).is_some()) {
+            return expected;
+        }
+        let queued = self.queued;
+        // (replica, true sampled ticks) per read; hedge duplicate appended.
+        let mut observed: Vec<(usize, u64)> = Vec::with_capacity(reads.len() + 1);
+        let mut slow: Option<(usize, u64)> = None; // (slot in `observed`, ticks)
+        for &r in reads {
+            let s = self.set.latency_ticks(r, batch_len, queued, tick, batch).unwrap_or(expected);
+            if let Some(v) = self.samples.get_mut(r) {
+                v.push(s);
+            }
+            if slow.is_none_or(|(_, t)| s > t) {
+                slow = Some((observed.len(), s));
+            }
+            observed.push((r, s));
+        }
+        // Completion charge per read; the slow slot is capped when a hedge
+        // wins (the batch answer arrives via the duplicate read).
+        let mut capped: Vec<u64> = observed.iter().map(|&(_, s)| s).collect();
+        if let (Some(h), Some((slot, slow_s))) = (self.policy.hedge, slow) {
+            let deadline = self.hedge_deadline(batch_len, reads);
+            let within_budget = self.stats.hedges_issued.saturating_mul(1000)
+                < (self.stats.batches + 1).saturating_mul(h.budget_milli);
+            if slow_s > deadline && within_budget {
+                if let Some(c) = self.hedge_candidate(reads) {
+                    let dup = self
+                        .set
+                        .latency_ticks(c, batch_len, queued, tick, batch)
+                        .unwrap_or(expected);
+                    if let Some(v) = self.samples.get_mut(c) {
+                        v.push(dup);
+                    }
+                    // The duplicate is issued at the deadline, so its
+                    // answer lands at deadline + its own service time.
+                    let via_hedge = deadline.saturating_add(dup);
+                    self.stats.hedges_issued += 1;
+                    if let Some(&(r_slow, _)) = observed.get(slot) {
+                        if let Some(n) = self.hedged_against.get_mut(r_slow) {
+                            *n += 1;
+                        }
+                    }
+                    if via_hedge < slow_s {
+                        self.stats.hedge_wins += 1;
+                        if let Some(n) = self.hedge_wins_by.get_mut(c) {
+                            *n += 1;
+                        }
+                        if let Some(v) = capped.get_mut(slot) {
+                            *v = via_hedge;
+                        }
+                    }
+                    observed.push((c, dup));
+                }
+            }
+        }
+        let service = capped.iter().copied().max().unwrap_or(expected).max(1);
+        // The EWMA sees every read's TRUE duration, cancelled or not: a
+        // hedged-past read still runs to completion replica-side and
+        // reports how long it took — only its answer is discarded. That
+        // keeps brownout detection fast even when hedging caps the
+        // batch's completion charge.
+        for (r, s) in observed {
+            self.observe(r, s, expected, tick);
+        }
+        service
+    }
+
+    /// The hedge deadline of a batch: the cost model's expectation scaled
+    /// by the healthiest read's EWMA and the policy quantile of the
+    /// latency sampler's distribution.
+    fn hedge_deadline(&self, batch_len: usize, reads: &[usize]) -> u64 {
+        let Some(h) = self.policy.hedge else { return u64::MAX };
+        let expected = self.policy.cost.service_ticks(batch_len);
+        let min_ewma =
+            reads.iter().filter_map(|&r| self.ewma_milli.get(r).copied()).min().unwrap_or(1000);
+        let q = qln_quantile_milli(h.quantile_milli);
+        let d = (expected as u128 * min_ewma as u128 * q as u128) / 1_000_000;
+        u64::try_from(d).unwrap_or(u64::MAX)
+    }
+
+    /// The replica a hedge duplicates to: the best-routed replica not
+    /// already reading this batch.
+    fn hedge_candidate(&mut self, reads: &[usize]) -> Option<usize> {
+        self.set.route_order().into_iter().find(|i| !reads.contains(i))
+    }
+
+    /// Feeds one read's true sampled duration into the replica's latency
+    /// EWMA (in per-mille of the expected cost) and steps its brownout
+    /// state machine.
+    fn observe(&mut self, r: usize, sampled: u64, expected: u64, tick: u64) {
+        let obs = (sampled.saturating_mul(1000) / expected.max(1)).min(1_000_000);
+        let shift = self.policy.brownout.map_or(2, |b| b.ewma_shift);
+        if let Some(e) = self.ewma_milli.get_mut(r) {
+            let cur = *e as i64;
+            *e = (cur + ((obs as i64 - cur) >> shift)).max(1) as u64;
+        }
+        self.step_brownout(r, obs, tick);
+    }
+
+    /// Brownout transitions driven by one observation: an Active replica
+    /// whose EWMA crosses the threshold demotes; a Probing replica is
+    /// judged on the probe observation alone — recover (EWMA reseeded to
+    /// the probe) or re-demote with doubled backoff.
+    fn step_brownout(&mut self, r: usize, obs_milli: u64, tick: u64) {
+        let Some(b) = self.policy.brownout else { return };
+        match self.brown.get(r).copied() {
+            Some(BrownoutState::Active) => {
+                let ewma = self.ewma_milli.get(r).copied().unwrap_or(1000);
+                if ewma > b.demote_threshold_milli {
+                    self.demote(r, tick, 0);
+                }
+            }
+            Some(BrownoutState::Probing { level }) => {
+                if obs_milli <= b.demote_threshold_milli {
+                    if let Some(s) = self.brown.get_mut(r) {
+                        *s = BrownoutState::Active;
+                    }
+                    if let Some(e) = self.ewma_milli.get_mut(r) {
+                        *e = obs_milli.max(1);
+                    }
+                    self.set.set_latency_demerit(r, 0);
+                } else {
+                    self.demote(r, tick, level.saturating_add(1));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Demotes replica `r`: pushes its EWMA excess into the routing score
+    /// as a demerit and schedules the half-open re-probe with exponential
+    /// backoff in the probe level.
+    fn demote(&mut self, r: usize, tick: u64, level: u32) {
+        let Some(b) = self.policy.brownout else { return };
+        let backoff = b.reprobe_ticks << level.min(6);
+        if let Some(s) = self.brown.get_mut(r) {
+            *s = BrownoutState::Demoted { until_tick: tick.saturating_add(backoff), level };
+        }
+        let demerit = self.ewma_milli.get(r).copied().unwrap_or(1000).saturating_sub(1000);
+        self.set.set_latency_demerit(r, demerit);
+        self.stats.brownout_demotions += 1;
+    }
+
+    /// Lifts expired demotions into half-open probes (demerit cleared so
+    /// routing picks the replica up for exactly one judged batch).
+    fn release_brownouts(&mut self, tick: u64) {
+        for r in 0..self.brown.len() {
+            if let Some(&BrownoutState::Demoted { until_tick, level }) = self.brown.get(r) {
+                if tick >= until_tick {
+                    if let Some(s) = self.brown.get_mut(r) {
+                        *s = BrownoutState::Probing { level };
+                    }
+                    self.set.set_latency_demerit(r, 0);
+                    self.stats.reprobes += 1;
+                }
+            }
+        }
     }
 
     /// Earliest completion deadline across all queued requests.
@@ -623,6 +901,21 @@ mod tests {
         ServeLoop::new(set, tenants, policy).expect("valid policy")
     }
 
+    fn loop_with_replicas(
+        n: usize,
+        reads: usize,
+        policy: ServePolicy,
+    ) -> ServeLoop<crate::FerexArray> {
+        let mut engine = Ferex::builder().dim(4).build().expect("builds");
+        engine.store_all(vectors(6, 4)).unwrap();
+        let rp = ReplicaPolicy {
+            quorum: crate::replica::QuorumPolicy { reads, agree: 1 },
+            ..Default::default()
+        };
+        let set = engine.replica_set(n, rp).expect("replicates");
+        ServeLoop::new(set, 1, policy).expect("valid policy")
+    }
+
     fn req(tenant: usize, priority: u32, arrival: u64, deadline: u64) -> Request {
         Request {
             tenant,
@@ -743,6 +1036,132 @@ mod tests {
         lp.submit(req(0, 0, 5, 10)).unwrap();
         assert!(lp.submit(req(0, 0, 4, 10)).is_err(), "arrival behind the clock");
         assert!(lp.poll(4).is_err(), "poll behind the clock");
+    }
+
+    #[test]
+    fn policy_validation_covers_hedge_and_brownout_knobs() {
+        let bad_hedge = HedgePolicy { quantile_milli: 10, budget_milli: 100 };
+        assert!(ServePolicy { hedge: Some(bad_hedge), ..Default::default() }.validate().is_err());
+        let bad_brown = BrownoutPolicy { demote_threshold_milli: 900, ..Default::default() };
+        assert!(ServePolicy { brownout: Some(bad_brown), ..Default::default() }
+            .validate()
+            .is_err());
+        let ok = ServePolicy {
+            hedge: Some(HedgePolicy::default()),
+            brownout: Some(BrownoutPolicy::default()),
+            ..Default::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn max_wait_closes_a_partial_batch() {
+        let policy = ServePolicy {
+            target_batch: 8,
+            cost: cheap(),
+            max_wait_ticks: 10,
+            ..Default::default()
+        };
+        let mut lp = loop_with(1, policy);
+        lp.submit(req(0, 0, 0, 1000)).unwrap();
+        let (done, _) = lp.poll(9).unwrap();
+        assert!(done.is_empty(), "wait cap not yet reached");
+        let (done, _) = lp.poll(10).unwrap();
+        assert_eq!(done.len(), 1, "oldest request waited to the cap");
+    }
+
+    #[test]
+    fn latency_model_charges_sampled_ticks_and_moves_the_ewma() {
+        let policy = ServePolicy { target_batch: 2, cost: cheap(), ..Default::default() };
+        let mut lp = loop_with(1, policy);
+        lp.set_mut()
+            .set_latency_model(0, crate::latency::LatencyModel::exact(cheap(), 8000, 7))
+            .unwrap();
+        lp.submit(req(0, 0, 0, 1000)).unwrap();
+        lp.submit(req(0, 0, 0, 1000)).unwrap();
+        let (done, _) = lp.poll(0).unwrap();
+        assert_eq!(done.len(), 2);
+        // expected = 4 + 2·1 = 6; exact 8x model charges 48.
+        assert!(done.iter().all(|c| c.completion_tick == 48));
+        assert_eq!(lp.replica_samples(0), &[48]);
+        // obs = 8000 per-mille, ewma = 1000 + (8000 - 1000) >> 2.
+        assert_eq!(lp.latency_ewma_milli(), &[2750]);
+        assert_eq!(lp.stats().busy_ticks, 48);
+    }
+
+    #[test]
+    fn hedging_caps_the_slow_read_and_keeps_answers_bit_identical() {
+        let base = ServePolicy { target_batch: 2, cost: cheap(), ..Default::default() };
+        let hedged_policy = ServePolicy {
+            hedge: Some(HedgePolicy { quantile_milli: 950, budget_milli: 1000 }),
+            ..base
+        };
+        let mut hedged = loop_with_replicas(3, 2, hedged_policy);
+        let mut plain = loop_with_replicas(3, 2, base);
+        for (i, lp) in [&mut hedged, &mut plain].into_iter().enumerate() {
+            lp.set_mut()
+                .set_latency_model(1, crate::latency::LatencyModel::exact(cheap(), 8000, 7))
+                .unwrap();
+            for _ in 0..2 {
+                lp.submit(req(0, 0, 0, 1000)).unwrap();
+            }
+            let _ = i;
+        }
+        let (done_h, _) = hedged.poll(0).unwrap();
+        let (done_p, _) = plain.poll(0).unwrap();
+        // expected 6, slow read 48, deadline = 6·1593/1000 = 9, duplicate
+        // lands at 9 + 6 = 15 — the hedge wins and caps the charge.
+        assert!(done_h.iter().all(|c| c.completion_tick == 15));
+        assert!(done_p.iter().all(|c| c.completion_tick == 48), "unhedged waits out the slow read");
+        assert_eq!(hedged.stats().hedges_issued, 1);
+        assert_eq!(hedged.stats().hedge_wins, 1);
+        assert_eq!(hedged.hedged_against(), &[0, 1, 0]);
+        assert_eq!(hedged.hedge_wins_by(), &[0, 0, 1]);
+        // Hedging is a timing overlay: the served answers are the same.
+        let payloads_h: Vec<_> = done_h.iter().map(|c| (c.qid, c.outcome.clone())).collect();
+        let payloads_p: Vec<_> = done_p.iter().map(|c| (c.qid, c.outcome.clone())).collect();
+        assert_eq!(payloads_h, payloads_p);
+    }
+
+    #[test]
+    fn brownout_demotes_reroutes_and_reprobes_half_open() {
+        let policy = ServePolicy {
+            target_batch: 1,
+            cost: cheap(),
+            brownout: Some(BrownoutPolicy {
+                demote_threshold_milli: 2500,
+                reprobe_ticks: 2048,
+                ewma_shift: 2,
+            }),
+            ..Default::default()
+        };
+        let mut lp = loop_with_replicas(3, 2, policy);
+        lp.set_mut()
+            .set_latency_model(1, crate::latency::LatencyModel::exact(cheap(), 8000, 7))
+            .unwrap();
+        // Batch 0 reads {0, 1}: replica 1's 8x read pushes its EWMA to
+        // 2750, past the threshold — demoted with demerit 1750.
+        lp.submit(req(0, 0, 0, 10_000)).unwrap();
+        lp.poll(0).unwrap();
+        assert!(lp.browned_out(1));
+        assert_eq!(lp.stats().brownout_demotions, 1);
+        assert_eq!(lp.set().status(1).latency_demerit_milli, 1750);
+        // While demoted, reads route around it: {0, 2}. Neither of those
+        // replicas carries a latency model, so the batch takes the
+        // uniform charge and records no new samples.
+        lp.submit(req(0, 0, 40, 10_000)).unwrap();
+        let (done, _) = lp.poll(40).unwrap();
+        assert_eq!(done.first().map(|c| c.completion_tick), Some(45), "no slow read in the batch");
+        assert_eq!(lp.replica_samples(1).len(), 1);
+        assert!(lp.replica_samples(2).is_empty());
+        // Past the backoff the demotion lifts into a half-open probe; the
+        // probe read is still 8x, so the replica re-demotes at level 1.
+        lp.submit(req(0, 0, 3000, 10_000)).unwrap();
+        lp.poll(3000).unwrap();
+        assert_eq!(lp.stats().reprobes, 1);
+        assert_eq!(lp.stats().brownout_demotions, 2);
+        assert!(lp.browned_out(1));
+        assert_eq!(lp.replica_samples(1).len(), 2, "the probe batch read replica 1 again");
     }
 
     #[test]

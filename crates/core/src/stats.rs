@@ -1,0 +1,52 @@
+//! Shared integer statistics helpers of the serving stack.
+//!
+//! The load simulator's v1 report, the v2 latency report, and the CLI
+//! `serve-sim` summary all reduce latency samples to nearest-rank
+//! percentiles. PR 7 left two copies of that reduction (one in
+//! `conformance::load`, one in the CLI); this module is the single
+//! shared home. Exact integer arithmetic only — percentiles of a
+//! virtual-tick distribution are themselves exact ticks, so reports
+//! stay byte-reproducible.
+
+/// Nearest-rank percentile of a sorted sample: the smallest value with at
+/// least `q_num/q_den` of the sample at or below it (e.g. `999/1000` for
+/// p999). Exact integer arithmetic; 0 on an empty sample.
+pub fn percentile(sorted: &[u64], q_num: u64, q_den: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (n * q_num).div_ceil(q_den).max(1);
+    sorted.get((rank - 1) as usize).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50, 100), 50);
+        assert_eq!(percentile(&sorted, 99, 100), 99);
+        assert_eq!(percentile(&sorted, 999, 1000), 100);
+        assert_eq!(percentile(&sorted, 1, 100), 1);
+    }
+
+    #[test]
+    fn percentile_handles_tiny_samples() {
+        assert_eq!(percentile(&[7], 50, 100), 7);
+        assert_eq!(percentile(&[7], 999, 1000), 7);
+        assert_eq!(percentile(&[3, 9], 50, 100), 3);
+        assert_eq!(percentile(&[3, 9], 99, 100), 9);
+        assert_eq!(percentile(&[], 50, 100), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_the_quantile() {
+        let sorted: Vec<u64> = (0..37).map(|i| i * i).collect();
+        let ps: Vec<u64> =
+            [1, 25, 50, 90, 99, 100].iter().map(|&q| percentile(&sorted, q, 100)).collect();
+        assert!(ps.windows(2).all(|w| w[0] <= w[1]), "{ps:?}");
+    }
+}

@@ -87,6 +87,7 @@ proptest! {
             queue_capacity: 0,
             quantum: 1,
             cost: cheap(),
+            ..Default::default()
         };
         let mut lp = serving_loop(3, policy);
         // Absolute arrival ticks from the generated gaps.
@@ -157,6 +158,7 @@ proptest! {
             queue_capacity: 0,
             quantum,
             cost: cheap(),
+            ..Default::default()
         };
         let mut lp = serving_loop(tenants, policy);
         // Everyone's full demand is queued up front: perfect saturation.
@@ -194,7 +196,13 @@ proptest! {
 /// starves the cold ones, and everything is eventually served.
 #[test]
 fn hot_tenant_cannot_starve_cold_tenants() {
-    let policy = ServePolicy { target_batch: 8, queue_capacity: 0, quantum: 1, cost: cheap() };
+    let policy = ServePolicy {
+        target_batch: 8,
+        queue_capacity: 0,
+        quantum: 1,
+        cost: cheap(),
+        ..Default::default()
+    };
     let mut lp = serving_loop(4, policy);
     let submit = |lp: &mut ServeLoop<FerexArray>, tenant: usize| {
         lp.submit(Request {
