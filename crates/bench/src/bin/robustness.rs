@@ -31,6 +31,11 @@
 //!    and brownout demotion armed against an unhedged leg of the same
 //!    stream — with one replica at 8x, hedged p999 must stay within 2x the
 //!    all-healthy p999 while the unhedged leg blows past 5x it.
+//! 8. **Mutation soak** — the standard online-mutation report: seeded
+//!    insert/update/delete/search/compact schedules byte-match from-scratch
+//!    rebuilds at every checkpoint, quorum serving keeps recall@1 at 1.0
+//!    through the churn, and the wear-leveled endurance leg holds
+//!    max-row-cycles within 2x the mean while the unleveled leg exceeds 5x.
 //!
 //! The process exits non-zero when a sweep violates its oracle gate: a
 //! fault-free degradation anchor below 1.0, a healed recall@1 below 0.99
@@ -45,15 +50,17 @@
 //! recovery JSON report), `--chaos-report PATH` (write the chaos JSON
 //! report), `--load-report PATH` (write the load JSON report),
 //! `--load-v2-report PATH` (write the v2 slow-replica load JSON report),
+//! `--mutation-report PATH` (write the mutation JSON report),
 //! `--conformance-only` (degradation sweep only — what the CI
 //! conformance job runs), `--self-heal-only` (recovery sweep only — what
 //! the CI self-heal job runs), `--chaos-only` (chaos soak only — what the
 //! CI chaos job runs), `--load-only` (load simulation only — what the CI
-//! load-sim job runs).
+//! load-sim job runs), `--mutation-only` (mutation soak only — what the
+//! CI mutation-soak job runs).
 
 use ferex_conformance::{
-    standard_chaos_report, standard_load_report, standard_load_v2_report, standard_recovery_report,
-    standard_report,
+    standard_chaos_report, standard_load_report, standard_load_v2_report, standard_mutation_report,
+    standard_recovery_report, standard_report,
 };
 use ferex_core::{Backend, CircuitConfig, DistanceMetric};
 use ferex_datasets::spec::UCIHAR;
@@ -71,10 +78,12 @@ struct Args {
     chaos_report_path: Option<String>,
     load_report_path: Option<String>,
     load_v2_report_path: Option<String>,
+    mutation_report_path: Option<String>,
     conformance_only: bool,
     self_heal_only: bool,
     chaos_only: bool,
     load_only: bool,
+    mutation_only: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,10 +97,12 @@ fn parse_args() -> Result<Args, String> {
         chaos_report_path: None,
         load_report_path: None,
         load_v2_report_path: None,
+        mutation_report_path: None,
         conformance_only: false,
         self_heal_only: false,
         chaos_only: false,
         load_only: false,
+        mutation_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -114,10 +125,15 @@ fn parse_args() -> Result<Args, String> {
             "--load-v2-report" => {
                 args.load_v2_report_path = Some(it.next().ok_or("--load-v2-report needs a path")?);
             }
+            "--mutation-report" => {
+                args.mutation_report_path =
+                    Some(it.next().ok_or("--mutation-report needs a path")?);
+            }
             "--conformance-only" => args.conformance_only = true,
             "--self-heal-only" => args.self_heal_only = true,
             "--chaos-only" => args.chaos_only = true,
             "--load-only" => args.load_only = true,
+            "--mutation-only" => args.mutation_only = true,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -431,14 +447,90 @@ fn load_v2_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn mutation_sweep(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    println!("# sweep 8: online-mutation soak (seed {})", args.seed);
+    let report = standard_mutation_report(args.seed);
+    println!(
+        "{:>18} | {:>3}i/{:>3}u/{:>3}d | {:>5} | {:>6} | {:>4} | wear max/mean(milli)",
+        "cell", "", "", "", "match", "recall", "live"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:>18} | {:>3}i/{:>3}u/{:>3}d | {:>2}/{:>2} | {:>6} | {:>4} | {}/{}",
+            s.name,
+            s.inserts,
+            s.updates,
+            s.deletes,
+            s.checkpoints_matched,
+            s.checkpoints,
+            s.recall_milli,
+            s.live_rows,
+            s.wear.max_cycles,
+            s.wear.mean_milli,
+        );
+    }
+    println!(
+        "# churn soak: leveled imbalance {} per-mille ({} rotations), unleveled {} per-mille",
+        report.churn.leveled.imbalance_milli,
+        report.churn.leveled.rotated,
+        report.churn.unleveled.imbalance_milli
+    );
+    if let Some(path) = &args.mutation_report_path {
+        std::fs::write(path, report.to_json())?;
+        println!("# machine-readable mutation report written to {path}");
+    }
+    // Gate 1: rebuild equivalence — every checkpoint of every cell must
+    // byte-match a from-scratch rebuild of the same logical contents.
+    let diverged: Vec<String> = report
+        .scenarios
+        .iter()
+        .filter(|s| s.checkpoints == 0 || s.checkpoints_matched != s.checkpoints)
+        .map(|s| format!("{} matched {}/{}", s.name, s.checkpoints_matched, s.checkpoints))
+        .collect();
+    if !diverged.is_empty() {
+        return Err(format!("mutation rebuild gate breached: {}", diverged.join(", ")).into());
+    }
+    // Gate 2: serving through churn — recall@1 against the digital mirror
+    // holds at exactly 1.0 in every cell while mutations land.
+    if !report.meets_recall_floor(1000) {
+        let drifted: Vec<String> = report
+            .scenarios
+            .iter()
+            .filter(|s| s.searches == 0 || s.recall_milli < 1000)
+            .map(|s| format!("{} recall {} per-mille", s.name, s.recall_milli))
+            .collect();
+        return Err(format!("mutation recall gate breached: {}", drifted.join(", ")).into());
+    }
+    // Gate 3: endurance — wear leveling holds max-row-cycles within 2x the
+    // mean while the unleveled leg exceeds 5x (so the separation is
+    // attributable to the rotation policy, not a mild schedule).
+    if !report.wear_gates_hold() {
+        return Err(format!(
+            "mutation wear gate breached: leveled {} per-mille, unleveled {} per-mille",
+            report.churn.leveled.imbalance_milli, report.churn.unleveled.imbalance_milli
+        )
+        .into());
+    }
+    // Gate 4: determinism — the replay contract the CI mutation-soak job
+    // pins: regenerating from the same seed must serialize byte-identically.
+    if standard_mutation_report(args.seed).to_json() != report.to_json() {
+        return Err("mutation report is not byte-reproducible from its seed".into());
+    }
+    println!("# all mutation gates passed");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = parse_args().map_err(|e| {
         format!(
             "{e} (flags: --seed N --report PATH --recovery-report PATH --chaos-report PATH \
-             --load-report PATH --load-v2-report PATH --conformance-only --self-heal-only \
-             --chaos-only --load-only)"
+             --load-report PATH --load-v2-report PATH --mutation-report PATH \
+             --conformance-only --self-heal-only --chaos-only --load-only --mutation-only)"
         )
     })?;
+    if args.mutation_only {
+        return mutation_sweep(&args);
+    }
     if args.load_only {
         load_sweep(&args)?;
         println!();
@@ -507,5 +599,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     load_sweep(&args)?;
     println!();
-    load_v2_sweep(&args)
+    load_v2_sweep(&args)?;
+    println!();
+    mutation_sweep(&args)
 }

@@ -119,6 +119,10 @@ pub enum Command {
         /// Hedge policy `(quantile_milli, budget_milli)`; `None` leaves
         /// hedging off (load mode only).
         hedge: Option<(u64, u64)>,
+        /// Online-churn rate in mutations per 1000 ticks (load mode
+        /// only); each seeded churn event updates one stored id through
+        /// the serving loop mid-stream. 0 disables.
+        churn: u64,
     },
     /// One-point kernel micro-benchmark: the batched distance path
     /// against the scalar per-query loop it must reproduce bit-identically.
@@ -531,6 +535,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 "deadline",
                 "slow-replica",
                 "hedge",
+                "churn",
             ])?;
             let metric = parse_metric(flags.require("metric")?)?;
             let bits = flags
@@ -640,6 +645,17 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 }
                 None => None,
             };
+            let churn = match flags.get("churn") {
+                Some(s) => {
+                    require_load("churn")?;
+                    let v = s.parse::<u64>().map_err(|_| err("invalid --churn rate"))?;
+                    if v == 0 || v > 1000 {
+                        return Err(err("--churn rate must be in 1..=1000 per 1000 ticks"));
+                    }
+                    v
+                }
+                None => 0,
+            };
             Ok(Command::ServeSim {
                 metric,
                 bits,
@@ -660,6 +676,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 deadline,
                 slow_replicas,
                 hedge,
+                churn,
             })
         }
         "bench-kernels" => {
@@ -737,7 +754,7 @@ USAGE:
                [--replicas N] [--quorum R/A] [--faults SPEC] [--spares N]
                [--chaos \"kill=REPLICA@QUERY,scrub=PERIOD\"]
                [--open-loop RATE | --closed-loop W] [--tenants N]
-               [--target-batch N] [--deadline TICKS]
+               [--target-batch N] [--deadline TICKS] [--churn RATE]
   ferex verify --metric <m> [--bits N]
   ferex montecarlo [--runs N] [--near D] [--far D]
                [--backend noisy|circuit] [--faults SPEC]
@@ -784,6 +801,10 @@ SERVING LOOP (serve-sim with --open-loop RATE or --closed-loop W):
   quantile, spending at most B per-mille hedges per batch; hedged answers
   stay bit-identical to the unhedged path. Both need a load mode, and a
   per-replica latency/hedge summary joins the printout.
+  --churn RATE applies seeded online mutations (in-place updates of
+  stored ids) at an expected RATE per 1000 ticks through the serving
+  loop while it keeps serving; mutated replicas stay in lockstep and
+  the summary reports the mutation count and final wear imbalance.
 
 KERNEL BENCH (bench-kernels):
   fills a seeded random array, serves one query batch through the
@@ -1138,6 +1159,34 @@ mod tests {
         let Command::ServeSim { slow_replicas, hedge, .. } = cmd else { panic!("wrong command") };
         assert!(slow_replicas.is_empty());
         assert_eq!(hedge, Some((950, 100)));
+    }
+
+    #[test]
+    fn parses_serve_sim_churn() {
+        let cmd = parse(&argv(
+            "serve-sim --metric hd --store 0,0;3,3 --queries 0,0;3,3 --open-loop 64 --churn 50",
+        ))
+        .unwrap();
+        let Command::ServeSim { churn, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(churn, 50);
+        // Absent flag leaves churn off.
+        let cmd =
+            parse(&argv("serve-sim --metric hd --store 0,0 --queries 0,0 --open-loop 64")).unwrap();
+        let Command::ServeSim { churn, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(churn, 0);
+    }
+
+    #[test]
+    fn serve_sim_rejects_bad_churn() {
+        let base = "serve-sim --metric hd --store 0,1 --queries 0,1";
+        // Churn needs a load mode's tick clock.
+        let e = parse(&argv(&format!("{base} --churn 50"))).unwrap_err();
+        assert!(e.to_string().contains("requires a load mode"), "got: {e}");
+        // Degenerate and out-of-range rates name themselves.
+        for rate in ["0", "1001", "x"] {
+            let line = format!("{base} --open-loop 64 --churn {rate}");
+            assert!(parse(&argv(&line)).is_err(), "rate '{rate}' should be rejected");
+        }
     }
 
     #[test]

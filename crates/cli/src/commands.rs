@@ -6,8 +6,8 @@ use ferex_analog::montecarlo::MonteCarlo;
 use ferex_core::{
     cosimulate, derive_replica_seed, find_minimal_cell, percentile, sizing_for, Backend,
     BrownoutPolicy, CircuitConfig, CostModel, DistanceMatrix, DistanceMetric, Ferex, FerexArray,
-    FerexError, HedgePolicy, LatencyModel, QuorumPolicy, RepairPolicy, ReplicaPolicy, ReplicaSet,
-    Request, ServeLoop, ServePolicy, ServeSource, ShedReason,
+    FerexError, HedgePolicy, LatencyModel, MutationPolicy, QuorumPolicy, RepairPolicy,
+    ReplicaPolicy, ReplicaSet, Request, ServeLoop, ServePolicy, ServeSource, ShedReason,
 };
 use ferex_datasets::synth::flip_symbol_bits;
 use ferex_fefet::math::splitmix64;
@@ -85,6 +85,7 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             deadline,
             slow_replicas,
             hedge,
+            churn,
         } => render_serve_sim(
             *metric,
             *bits,
@@ -102,6 +103,7 @@ pub fn run(command: &Command) -> Result<String, CommandError> {
             (*tenants, *target_batch, *deadline),
             slow_replicas,
             *hedge,
+            *churn,
         ),
     }
 }
@@ -378,6 +380,7 @@ fn render_serve_sim(
     (tenants, target_batch, deadline): (usize, usize, u64),
     slow_replicas: &[(usize, u64)],
     hedge: Option<(u64, u64)>,
+    churn: u64,
 ) -> Result<String, CommandError> {
     if !(1..=6).contains(&bits) {
         return Err(CommandError("--bits must be in 1..=6".into()));
@@ -401,17 +404,35 @@ fn render_serve_sim(
         let plan = if i == 0 { faults } else { FaultPlan::none() };
         let b = backend_of(backend, derive_replica_seed(seed, i as u64), plan);
         let mut array = FerexArray::new(tech.clone(), encoding.clone(), dim, b);
-        array.store_all(stored.iter().cloned())?;
         if spares > 0 {
             array.set_repair_policy(RepairPolicy { spare_rows: spares, ..Default::default() })?;
+        }
+        if churn > 0 {
+            // Online churn needs the mutation slot table; double capacity
+            // leaves free slots for tombstones and wear rotation.
+            array.enable_mutation(MutationPolicy::with_capacity(stored.len() * 2))?;
+            for (id, v) in stored.iter().enumerate() {
+                array.insert(id as u64, v.clone())?;
+            }
+        } else {
+            array.store_all(stored.iter().cloned())?;
+        }
+        if spares > 0 {
             array.program_verified()?;
         } else {
             array.program();
         }
         pool.push(array);
     }
+    // Under churn the digital mirror is capacity-sized (free slots are
+    // zeros the liveness filter skips), not the raw store list.
+    let mirror = if churn > 0 {
+        pool.first().map(|a| a.stored().to_vec()).unwrap_or_default()
+    } else {
+        stored.to_vec()
+    };
     let policy = ReplicaPolicy { quorum: QuorumPolicy { reads, agree }, ..Default::default() };
-    let mut set = ReplicaSet::new(pool, stored.to_vec(), metric, policy);
+    let mut set = ReplicaSet::new(pool, mirror, metric, policy);
     if let Some(mode) = load {
         return render_serve_loop(
             metric,
@@ -424,6 +445,7 @@ fn render_serve_sim(
             scrub_every,
             slow_replicas,
             hedge,
+            churn,
         );
     }
     let mut out = String::new();
@@ -489,6 +511,7 @@ fn render_serve_loop(
     scrub_every: usize,
     slow_replicas: &[(usize, u64)],
     hedge: Option<(u64, u64)>,
+    churn: u64,
 ) -> Result<String, CommandError> {
     /// Bernoulli sub-slots per tick of the open-loop arrival process
     /// (matches the conformance load simulator).
@@ -540,6 +563,13 @@ fn render_serve_loop(
         }
         LoadMode::Closed { .. } => 0,
     };
+    // Churn events draw from their own seeded Bernoulli stream on the same
+    // sub-slot clock, so arrivals and mutations stay independent.
+    let churn_seed = splitmix64(seed ^ 0xC400_11FE);
+    let churn_threshold =
+        (((churn as u128) << 64) / (1000 * SUBSLOTS as u128)).min(u64::MAX as u128) as u64;
+    let live_ids: Vec<u64> = lp.set().live_ids();
+    let mut mutations_failed = 0u64;
     let mut submitted = 0usize;
     let mut completions = Vec::new();
     let mut sheds = Vec::new();
@@ -570,6 +600,27 @@ fn render_serve_loop(
         if scrub_every > 0 && tick > 0 && tick.is_multiple_of(scrub_every as u64) {
             scrubs += 1;
             scrub_findings += lp.set_mut().scrub_all();
+        }
+        if churn > 0 && !live_ids.is_empty() {
+            for slot in 0..SUBSLOTS {
+                let draw = splitmix64(churn_seed ^ splitmix64(tick * SUBSLOTS + slot));
+                if draw >= churn_threshold {
+                    continue;
+                }
+                // In-place id update: the mutated vector is drawn from the
+                // query list, so churn stays within the validated alphabet.
+                let id = live_ids.get((draw % live_ids.len() as u64) as usize).copied();
+                let q = queries.get((splitmix64(draw) % queries.len().max(1) as u64) as usize);
+                if let (Some(id), Some(v)) = (id, q) {
+                    if lp.update(id, v.clone()).is_err() {
+                        mutations_failed += 1;
+                    }
+                }
+            }
+            // Periodic wear-rotation maintenance rides the virtual clock.
+            if tick > 0 && tick.is_multiple_of(256) {
+                lp.maintenance();
+            }
         }
         let submit = |lp: &mut ServeLoop<FerexArray>, i: usize, tick: u64| {
             lp.submit(Request {
@@ -685,6 +736,19 @@ fn render_serve_loop(
     );
     if scrub_every > 0 {
         let _ = writeln!(out, "maintenance: {scrubs} scheduled scrubs, {scrub_findings} findings");
+    }
+    if churn > 0 {
+        let wear = lp.set().wear();
+        let _ = writeln!(
+            out,
+            "churn: {} mutations applied ({} rejected), wear max {} cycles, \
+             imbalance {} per-mille, {} compactions",
+            stats.mutations,
+            mutations_failed,
+            wear.max_cycles,
+            wear.imbalance_milli(),
+            wear.compactions
+        );
     }
     if latency_armed {
         let _ = writeln!(
@@ -929,6 +993,25 @@ mod tests {
         assert!(out.contains("goodput:"), "{out}");
         // Byte-identical on replay: the virtual clock and the seeded
         // arrival stream leave nothing to wall time.
+        assert_eq!(run_line(line).unwrap(), out);
+    }
+
+    #[test]
+    fn serve_sim_churn_mutates_while_serving() {
+        // A high churn rate against a long closed-loop stream guarantees
+        // mutation events land mid-serve; the loop must keep serving and
+        // report the wear summary.
+        let line = "serve-sim --metric hamming --store 0,0,0,0;3,3,3,3 \
+                    --queries 0,0,0,0;3,3,3,3;0,0,0,0;3,3,3,3;0,0,0,0;3,3,3,3 \
+                    --replicas 2 --quorum 1/1 --closed-loop 1 --target-batch 1 \
+                    --churn 1000 --seed 5";
+        let out = run_line(line).unwrap();
+        assert!(out.contains("served 6/6"), "{out}");
+        assert!(out.contains("churn: "), "{out}");
+        assert!(out.contains("mutations applied (0 rejected)"), "{out}");
+        assert!(!out.contains("churn: 0 mutations"), "churn stream never fired: {out}");
+        // Byte-identical on replay: churn draws ride the same virtual
+        // clock and seeded streams as arrivals.
         assert_eq!(run_line(line).unwrap(), out);
     }
 

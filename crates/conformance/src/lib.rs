@@ -34,6 +34,7 @@
 pub mod chaos;
 pub mod harness;
 pub mod load;
+pub mod mutation;
 pub mod oracle;
 pub mod report;
 
@@ -47,9 +48,12 @@ pub use load::{
     standard_load_specs, standard_load_v2_report, standard_load_v2_specs, ArrivalModel,
     BurstWindow, LoadDetail, LoadSpec,
 };
+pub use mutation::{
+    run_churn_soak, run_mutation, standard_mutation_report, standard_mutation_specs, MutationSpec,
+};
 pub use oracle::Oracle;
 pub use report::{
-    ChaosCurve, ChaosPoint, ChaosReport, ConformanceReport, CurvePoint, DegradationCurve,
-    LoadReport, LoadScenario, LoadV2Replica, LoadV2Report, LoadV2Scenario, RecoveryCurve,
-    RecoveryPoint, RecoveryReport,
+    ChaosCurve, ChaosPoint, ChaosReport, ChurnSoak, ConformanceReport, CurvePoint,
+    DegradationCurve, LoadReport, LoadScenario, LoadV2Replica, LoadV2Report, LoadV2Scenario,
+    MutationReport, MutationScenario, RecoveryCurve, RecoveryPoint, RecoveryReport, WearRow,
 };

@@ -388,6 +388,215 @@ impl ChaosReport {
     }
 }
 
+/// One row of per-slot wear telemetry, the serialized form of
+/// [`ferex_core::WearSummary`] plus the maintenance rotation count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WearRow {
+    /// Hottest slot's program/erase cycle count.
+    pub max_cycles: u64,
+    /// Mean cycles across all slots, in 1/1000 cycles.
+    pub mean_milli: u64,
+    /// `max / mean` per-mille — the wear-leveling figure of merit.
+    pub imbalance_milli: u64,
+    /// Median slot cycles (nearest-rank).
+    pub p50_cycles: u64,
+    /// 90th-percentile slot cycles (nearest-rank).
+    pub p90_cycles: u64,
+    /// Total write attempts absorbed by the array.
+    pub total_writes: u64,
+    /// Compaction passes run.
+    pub compactions: u64,
+    /// Wear rotations applied by maintenance.
+    pub rotated: u64,
+}
+
+impl WearRow {
+    /// Flattens a core wear summary plus the soak's rotation counter.
+    pub fn from_summary(w: &ferex_core::WearSummary, rotated: u64) -> Self {
+        WearRow {
+            max_cycles: w.max_cycles,
+            mean_milli: w.mean_milli,
+            imbalance_milli: w.imbalance_milli(),
+            p50_cycles: w.p50_cycles,
+            p90_cycles: w.p90_cycles,
+            total_writes: w.total_writes,
+            compactions: w.compactions,
+            rotated,
+        }
+    }
+
+    fn to_json_inline(self) -> String {
+        format!(
+            "{{\"max_cycles\": {}, \"mean_milli\": {}, \"imbalance_milli\": {}, \
+             \"p50_cycles\": {}, \"p90_cycles\": {}, \"total_writes\": {}, \
+             \"compactions\": {}, \"rotated\": {}}}",
+            self.max_cycles,
+            self.mean_milli,
+            self.imbalance_milli,
+            self.p50_cycles,
+            self.p90_cycles,
+            self.total_writes,
+            self.compactions,
+            self.rotated,
+        )
+    }
+}
+
+/// One cell of the mutation soak: op counters, rebuild-equivalence
+/// checkpoints, churn-serving recall, and final wear telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationScenario {
+    /// Scenario label, `<metric>-<backend>`.
+    pub name: String,
+    /// Metric label (`hamming`, `manhattan`, `euclidean2`).
+    pub metric: String,
+    /// Backend label (`ideal`, `noisy`, `circuit`).
+    pub backend: String,
+    /// Symbols per vector.
+    pub dim: usize,
+    /// Physical slot capacity.
+    pub capacity: usize,
+    /// Live ids seeded before the churn.
+    pub initial: usize,
+    /// Ops in the interleaved schedule.
+    pub ops: usize,
+    /// Replica count the churn was served through.
+    pub replicas: usize,
+    /// Insert ops applied.
+    pub inserts: u64,
+    /// Update ops applied.
+    pub updates: u64,
+    /// Delete ops applied.
+    pub deletes: u64,
+    /// Rebuild-equivalence checkpoints taken.
+    pub checkpoints: usize,
+    /// Checkpoints whose id-keyed distances byte-matched the rebuild.
+    pub checkpoints_matched: usize,
+    /// Quorum searches served during the churn.
+    pub searches: usize,
+    /// recall@1 against the digital mirror, per-mille.
+    pub recall_milli: u64,
+    /// Digital-oracle fallbacks taken by the supervisor.
+    pub oracle_fallbacks: u64,
+    /// Quorum disagreements observed.
+    pub disagreements: u64,
+    /// Live ids at the end of the schedule.
+    pub live_rows: usize,
+    /// Final wear telemetry of replica 0.
+    pub wear: WearRow,
+}
+
+/// The endurance soak: one hot-id churn with wear leveling and one
+/// without, identical op streams otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnSoak {
+    /// Physical slot capacity.
+    pub capacity: usize,
+    /// Live ids held through the soak.
+    pub live: usize,
+    /// Update rounds.
+    pub rounds: usize,
+    /// Hot ids absorbing every update.
+    pub hot_ids: usize,
+    /// Maintenance cadence, in rounds.
+    pub maintenance_period: usize,
+    /// Wear with the rotation policy on.
+    pub leveled: WearRow,
+    /// Wear with the rotation policy off.
+    pub unleveled: WearRow,
+}
+
+/// The archived online-mutation report: every standard cell plus the
+/// endurance soak, with the three gates as methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationReport {
+    /// Base seed the whole soak derives from.
+    pub seed: u64,
+    /// Symbol bit width of the soak.
+    pub bits: u32,
+    /// One row per mutation cell.
+    pub scenarios: Vec<MutationScenario>,
+    /// The leveled-vs-unleveled endurance soak.
+    pub churn: ChurnSoak,
+}
+
+impl MutationReport {
+    /// Schema tag embedded in every serialized mutation report.
+    pub const SCHEMA: &'static str = "ferex-mutation-v1";
+
+    /// Gate (a): every checkpoint in every cell byte-matched its
+    /// from-scratch rebuild (and at least one checkpoint ran).
+    pub fn rebuild_equivalence_holds(&self) -> bool {
+        !self.scenarios.is_empty()
+            && self
+                .scenarios
+                .iter()
+                .all(|s| s.checkpoints > 0 && s.checkpoints_matched == s.checkpoints)
+    }
+
+    /// Gate (b): churn-serving recall@1 stays at or above the floor in
+    /// every cell (and every cell actually served searches).
+    pub fn meets_recall_floor(&self, floor_milli: u64) -> bool {
+        !self.scenarios.is_empty()
+            && self.scenarios.iter().all(|s| s.searches > 0 && s.recall_milli >= floor_milli)
+    }
+
+    /// Gate (c): leveled wear imbalance stays within 2x the mean while
+    /// the unleveled leg exceeds 5x.
+    pub fn wear_gates_hold(&self) -> bool {
+        self.churn.leveled.imbalance_milli <= 2000 && self.churn.unleveled.imbalance_milli >= 5000
+    }
+
+    /// All three gates at the acceptance floor (perfect recall).
+    pub fn passes(&self) -> bool {
+        self.rebuild_equivalence_holds() && self.meets_recall_floor(1000) && self.wear_gates_hold()
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{}\",", json_escape(Self::SCHEMA));
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"bits\": {},", self.bits);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(&s.name));
+            let _ = writeln!(out, "      \"metric\": \"{}\",", json_escape(&s.metric));
+            let _ = writeln!(out, "      \"backend\": \"{}\",", json_escape(&s.backend));
+            let _ = writeln!(out, "      \"dim\": {},", s.dim);
+            let _ = writeln!(out, "      \"capacity\": {},", s.capacity);
+            let _ = writeln!(out, "      \"initial\": {},", s.initial);
+            let _ = writeln!(out, "      \"ops\": {},", s.ops);
+            let _ = writeln!(out, "      \"replicas\": {},", s.replicas);
+            let _ = writeln!(out, "      \"inserts\": {},", s.inserts);
+            let _ = writeln!(out, "      \"updates\": {},", s.updates);
+            let _ = writeln!(out, "      \"deletes\": {},", s.deletes);
+            let _ = writeln!(out, "      \"checkpoints\": {},", s.checkpoints);
+            let _ = writeln!(out, "      \"checkpoints_matched\": {},", s.checkpoints_matched);
+            let _ = writeln!(out, "      \"searches\": {},", s.searches);
+            let _ = writeln!(out, "      \"recall_milli\": {},", s.recall_milli);
+            let _ = writeln!(out, "      \"oracle_fallbacks\": {},", s.oracle_fallbacks);
+            let _ = writeln!(out, "      \"disagreements\": {},", s.disagreements);
+            let _ = writeln!(out, "      \"live_rows\": {},", s.live_rows);
+            let _ = writeln!(out, "      \"wear\": {}", s.wear.to_json_inline());
+            out.push_str(if i + 1 < self.scenarios.len() { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"churn\": {\n");
+        let _ = writeln!(out, "    \"capacity\": {},", self.churn.capacity);
+        let _ = writeln!(out, "    \"live\": {},", self.churn.live);
+        let _ = writeln!(out, "    \"rounds\": {},", self.churn.rounds);
+        let _ = writeln!(out, "    \"hot_ids\": {},", self.churn.hot_ids);
+        let _ = writeln!(out, "    \"maintenance_period\": {},", self.churn.maintenance_period);
+        let _ = writeln!(out, "    \"leveled\": {},", self.churn.leveled.to_json_inline());
+        let _ = writeln!(out, "    \"unleveled\": {}", self.churn.unleveled.to_json_inline());
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
 /// One scenario row of the serving-loop load report: scenario shape,
 /// serving counters, and the exact virtual-latency distribution.
 #[derive(Debug, Clone, PartialEq)]

@@ -41,6 +41,9 @@ use crate::health::{
     FaultAttribution, HealthCounters, HealthSnapshot, ProgramReport, RepairPolicy, RowHealth,
     ScrubFinding, ScrubReport, SpareState,
 };
+use crate::mutate::{
+    CompactionReport, MutableNode, MutationPolicy, MutationState, SlotState, WearSummary,
+};
 use crate::soa::{self, SoaCodes};
 use ferex_analog::crossbar::{ArrayOptions, ColumnDrive, Crossbar};
 use ferex_analog::delay::DelayModel;
@@ -196,6 +199,9 @@ pub struct FerexArray {
     /// Cached report of the last [`FerexArray::program_verified`] pass,
     /// dropped whenever the physical state is invalidated.
     program_report: Option<ProgramReport>,
+    /// Online-mutation state (`None` keeps the legacy positional-mutator
+    /// behavior byte-identical); see [`FerexArray::enable_mutation`].
+    mutation: Option<MutationState>,
 }
 
 impl Clone for FerexArray {
@@ -219,6 +225,7 @@ impl Clone for FerexArray {
             spare_state: self.spare_state.clone(),
             counters: self.counters,
             program_report: self.program_report.clone(),
+            mutation: self.mutation.clone(),
         }
     }
 }
@@ -254,6 +261,7 @@ impl FerexArray {
             spare_state: Vec::new(),
             counters: HealthCounters::default(),
             program_report: None,
+            mutation: None,
         }
     }
 
@@ -353,8 +361,23 @@ impl FerexArray {
     }
 
     /// The physical row currently serving logical row `r`, or `None` when
-    /// the row is quarantined without a spare (excluded from search).
+    /// the row is excluded from search — quarantined without a spare, or
+    /// (in mutation mode) a free/tombstoned slot. Every distance kernel
+    /// routes exclusions through here, so tombstones are skipped
+    /// bit-identically on the scalar and batched paths.
     fn physical_row(&self, r: usize) -> Option<usize> {
+        if let Some(m) = &self.mutation {
+            if !m.is_live(r) {
+                return None;
+            }
+        }
+        self.phys_for_slot(r)
+    }
+
+    /// The physical row backing slot `r` through the repair map alone,
+    /// ignoring slot liveness — the write target of mutation-path delta
+    /// programs (which fill slots that are not live *yet*).
+    fn phys_for_slot(&self, r: usize) -> Option<usize> {
         match self.row_map.get(r).copied().unwrap_or(RowHealth::Healthy) {
             RowHealth::Healthy => Some(r),
             RowHealth::Remapped { spare } => Some(spare),
@@ -370,9 +393,14 @@ impl FerexArray {
         (0..self.dim).map(|d| ((d + j) % n) as u32).collect()
     }
 
-    /// `true` when every logical row is quarantined — nothing left to
-    /// serve.
+    /// `true` when every logical row is quarantined (or, in mutation mode,
+    /// no slot is live) — nothing left to serve.
     fn all_excluded(&self) -> bool {
+        if let Some(m) = &self.mutation {
+            if m.live_len() == 0 {
+                return true;
+            }
+        }
         !self.row_map.is_empty() && self.row_map.iter().all(|h| matches!(h, RowHealth::Quarantined))
     }
 
@@ -403,8 +431,15 @@ impl FerexArray {
     ///
     /// # Errors
     ///
-    /// Dimension or symbol-range violations.
+    /// Dimension or symbol-range violations;
+    /// [`FerexError::InvalidPolicy`] on a mutation-enabled array (the slot
+    /// table owns row assignment — use [`FerexArray::insert`]).
     pub fn store(&mut self, vector: Vec<u32>) -> Result<(), FerexError> {
+        if self.mutation.is_some() {
+            return Err(FerexError::InvalidPolicy {
+                what: "positional store on a mutation-enabled array; use insert(id, vector)",
+            });
+        }
         self.validate(&vector)?;
         self.codes.push_row(&vector);
         self.stored.push(vector);
@@ -423,10 +458,13 @@ impl FerexArray {
         Ok(())
     }
 
-    /// Clears all stored vectors.
+    /// Clears all stored vectors. On a mutation-enabled array this also
+    /// drops the slot table and wear counters — the array reverts to the
+    /// positional-mutator lifecycle.
     pub fn clear(&mut self) {
         self.stored.clear();
         self.codes.clear();
+        self.mutation = None;
         self.invalidate_physical_state();
     }
 
@@ -436,8 +474,14 @@ impl FerexArray {
     ///
     /// # Panics
     ///
-    /// Panics if `row` is out of range.
+    /// Panics if `row` is out of range, or on a mutation-enabled array
+    /// (row indices shift here, which would corrupt the slot table — use
+    /// [`FerexArray::delete`]).
     pub fn remove(&mut self, row: usize) -> Vec<u32> {
+        assert!(
+            self.mutation.is_none(),
+            "positional remove on a mutation-enabled array; use delete(id)"
+        );
         assert!(row < self.stored.len(), "row {row} out of range");
         let removed = self.stored.remove(row);
         self.codes.remove_row(row);
@@ -449,12 +493,19 @@ impl FerexArray {
     ///
     /// # Errors
     ///
-    /// Validation errors; the array is unchanged on error.
+    /// Validation errors; [`FerexError::InvalidPolicy`] on a
+    /// mutation-enabled array (use [`FerexArray::update_id`]). The array
+    /// is unchanged on error.
     ///
     /// # Panics
     ///
     /// Panics if `row` is out of range.
     pub fn update(&mut self, row: usize, vector: Vec<u32>) -> Result<(), FerexError> {
+        if self.mutation.is_some() {
+            return Err(FerexError::InvalidPolicy {
+                what: "positional update on a mutation-enabled array; use update_id(id, vector)",
+            });
+        }
         assert!(row < self.stored.len(), "row {row} out of range");
         self.validate(&vector)?;
         self.codes.set_row(row, &vector);
@@ -1218,6 +1269,18 @@ impl FerexArray {
             self.row_map.iter().filter(|h| matches!(h, RowHealth::Quarantined)).count();
         let remapped =
             self.row_map.iter().filter(|h| matches!(h, RowHealth::Remapped { .. })).count();
+        // Wear surface: percentiles of the per-slot mutation write counts
+        // plus the endurance headroom left on the hottest slot. Without
+        // mutation no wear is recorded, so the device reads as fresh.
+        let (wear, headroom) = match &self.mutation {
+            Some(m) => {
+                let w = m.wear();
+                let margin = Volt(m.policy.min_margin_volts);
+                let h = m.policy.endurance.headroom_milli(&self.tech, w.max_cycles as f64, margin);
+                (w, h)
+            }
+            None => (WearSummary::default(), 1000),
+        };
         HealthSnapshot {
             counters: self.counters,
             spare_rows: if self.row_map.is_empty() {
@@ -1230,6 +1293,11 @@ impl FerexArray {
             rows_active: self.stored.len() - quarantined,
             rows_quarantined_now: quarantined,
             rows_remapped_now: remapped,
+            wear_max_cycles: wear.max_cycles,
+            wear_mean_milli: wear.mean_milli,
+            wear_p50_cycles: wear.p50_cycles,
+            wear_p90_cycles: wear.p90_cycles,
+            wear_headroom_milli: headroom,
         }
     }
 
@@ -1502,6 +1570,15 @@ impl FerexArray {
             return Ok(report);
         }
         for r in 0..self.stored.len() {
+            // Mutation mode: free and tombstoned slots are excluded from
+            // search and may hold reclaimed (stale) physical content —
+            // there is nothing to verify, they count as trivially clean.
+            if let Some(m) = &self.mutation {
+                if !m.is_live(r) {
+                    report.cells_clean += cols;
+                    continue;
+                }
+            }
             let symbols = self.stored[r].clone();
             let rv = self.verify_row(r, &symbols, &policy)?;
             report.cells_clean += rv.clean;
@@ -1766,6 +1843,482 @@ impl FerexArray {
             Some(phys) => Ok(phys),
             None => Err(FerexError::SparesExhausted { row, spares: self.spare_state.len() }),
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Online mutation: slot table, delta programming, wear leveling. See the
+// `mutate` module docs for the state machine.
+// ----------------------------------------------------------------------
+impl FerexArray {
+    /// Switches the array to online-mutation mode with a fixed physical
+    /// capacity: the currently stored rows become live slots carrying
+    /// their row index as logical id, the remaining slots up to
+    /// `policy.capacity` are pre-expanded with zero vectors and marked
+    /// free. Fixing the geometry up front means churn never changes the
+    /// physical row count — variation-sample and fault-map draws stay
+    /// exactly where a from-scratch `program()` puts them, which is what
+    /// makes mutated arrays byte-comparable to freshly built ones.
+    ///
+    /// Any physical state is invalidated (the layout may have grown);
+    /// re-program before searching a stochastic backend.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::InvalidPolicy`] when the policy is out of range,
+    /// mutation is already enabled, or more rows are stored than
+    /// `policy.capacity`.
+    pub fn enable_mutation(&mut self, policy: MutationPolicy) -> Result<(), FerexError> {
+        policy.validate()?;
+        if self.mutation.is_some() {
+            return Err(FerexError::InvalidPolicy { what: "mutation is already enabled" });
+        }
+        if self.stored.len() > policy.capacity {
+            return Err(FerexError::InvalidPolicy {
+                what: "mutation capacity below the stored row count",
+            });
+        }
+        let state = MutationState::new(policy, self.stored.len());
+        while self.stored.len() < policy.capacity {
+            let zeros = vec![0u32; self.dim];
+            self.codes.push_row(&zeros);
+            self.stored.push(zeros);
+        }
+        self.mutation = Some(state);
+        self.invalidate_physical_state();
+        Ok(())
+    }
+
+    /// `true` once [`FerexArray::enable_mutation`] succeeded.
+    pub fn mutation_enabled(&self) -> bool {
+        self.mutation.is_some()
+    }
+
+    /// The installed mutation policy, if mutation is enabled.
+    pub fn mutation_policy(&self) -> Option<&MutationPolicy> {
+        self.mutation.as_ref().map(|m| &m.policy)
+    }
+
+    /// Occupancy of physical slot `slot` (`None` out of range or when
+    /// mutation is disabled).
+    pub fn slot_state(&self, slot: usize) -> Option<SlotState> {
+        self.mutation.as_ref().and_then(|m| m.slots.get(slot).copied())
+    }
+
+    /// The logical id slot `slot` serves, when live.
+    pub fn id_at(&self, slot: usize) -> Option<u64> {
+        match self.slot_state(slot) {
+            Some(SlotState::Live(id)) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The slot currently serving logical id `id`.
+    pub fn slot_of(&self, id: u64) -> Option<usize> {
+        self.mutation.as_ref().and_then(|m| m.id_to_slot.get(&id).copied())
+    }
+
+    /// The stored vector of a live logical id.
+    pub fn vector_of(&self, id: u64) -> Option<&[u32]> {
+        self.slot_of(id).and_then(|s| self.stored.get(s)).map(|v| v.as_slice())
+    }
+
+    /// Live logical ids, ascending.
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.mutation.as_ref().map(|m| m.id_to_slot.keys().copied().collect()).unwrap_or_default()
+    }
+
+    /// Count of live logical ids.
+    pub fn live_len(&self) -> usize {
+        self.mutation.as_ref().map_or(0, |m| m.live_len())
+    }
+
+    /// Count of tombstoned slots awaiting compaction.
+    pub fn tombstones(&self) -> usize {
+        self.mutation.as_ref().map_or(0, |m| m.tombstones())
+    }
+
+    /// The wear distribution across physical slots (all zero when
+    /// mutation is disabled — bulk programming is not counted).
+    pub fn wear(&self) -> WearSummary {
+        self.mutation.as_ref().map(|m| m.wear()).unwrap_or_default()
+    }
+
+    /// `true` when slot `r` is serving a live id (always `true` when
+    /// mutation is disabled — every row of a legacy array is live).
+    pub fn slot_live(&self, r: usize) -> bool {
+        self.mutation.as_ref().is_none_or(|m| m.is_live(r))
+    }
+
+    fn mutation_required(&self) -> Result<&MutationState, FerexError> {
+        self.mutation
+            .as_ref()
+            .ok_or(FerexError::InvalidPolicy { what: "mutation is not enabled on this array" })
+    }
+
+    /// Replaces slot `slot`'s logical contents (stored vector + SoA code
+    /// mirror) without touching slot state.
+    fn set_slot_contents(&mut self, slot: usize, vector: Vec<u32>) {
+        if let Some(s) = self.stored.get_mut(slot) {
+            self.codes.set_row(slot, &vector);
+            *s = vector;
+        }
+    }
+
+    /// Zeroes slot `slot`'s logical contents in place (stored row and SoA
+    /// mirror) — the reclaim/rollback twin of `set_slot_contents`, with
+    /// no scratch allocation.
+    fn zero_slot_contents(&mut self, slot: usize) {
+        if let Some(s) = self.stored.get_mut(slot) {
+            s.fill(0);
+            self.codes.zero_row(slot);
+        }
+    }
+
+    /// Delta-programs physical slot `slot` with the contents already
+    /// committed to `stored[slot]`, through the same write-verify path as
+    /// [`FerexArray::program_verified`]: program the row, verify every
+    /// cell with bounded retry and trim commits, quarantine-and-remap on
+    /// unrepairable rows (or fail typed in strict mode). Counts one wear
+    /// cycle for the attempt — succeeded or not, the pulse was spent.
+    ///
+    /// On an unprogrammed array this is a pure accounting step: the
+    /// pending bulk `program()` will write the row.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::VerifyFailed`] under a strict repair policy;
+    /// [`FerexError::NotProgrammed`] when the physical state vanished
+    /// mid-write.
+    pub(crate) fn mutation_write_slot(
+        &mut self,
+        slot: usize,
+        vector: &[u32],
+    ) -> Result<(), FerexError> {
+        let Some(m) = self.mutation.as_mut() else {
+            return Err(FerexError::InvalidPolicy {
+                what: "mutation is not enabled on this array",
+            });
+        };
+        m.writes += 1;
+        if let Some(c) = m.row_cycles.get_mut(slot) {
+            *c += 1;
+        }
+        // Whatever verify report was cached describes the pre-mutation
+        // contents.
+        self.program_report = None;
+        if !self.is_programmed() {
+            return Ok(());
+        }
+        let Some(phys) = self.phys_for_slot(slot) else {
+            // The slot's home row is quarantined with no spare: there is
+            // no physical target and the row stays excluded from search.
+            return Ok(());
+        };
+        if let Backend::Circuit(_) = &self.backend {
+            let plan = self.plan();
+            let mut xb = self.crossbar.take().ok_or(FerexError::NotProgrammed)?;
+            program_crossbar_row(
+                &mut xb,
+                &self.tech,
+                &self.encoding,
+                &plan,
+                self.fault_map.as_deref(),
+                self.aged_vth.as_deref(),
+                phys,
+                vector,
+            );
+            self.crossbar = Some(xb);
+        }
+        // The Noisy backend reads stored codes against persistent per-cell
+        // samples, and the Ideal backend has no physical state: for both,
+        // the logical commit *is* the write.
+        if matches!(self.backend, Backend::Ideal) {
+            return Ok(());
+        }
+        if let Some(policy) = self.repair.clone() {
+            if self.row_map.is_empty() {
+                self.row_map = vec![RowHealth::Healthy; self.stored.len()];
+                self.spare_state = vec![SpareState::Free; self.spares()];
+            }
+            let rv = self.verify_row(phys, vector, &policy)?;
+            if rv.bad.len() > policy.max_bad_cells_per_row {
+                if policy.strict {
+                    let cell = rv.bad.first().copied().unwrap_or(0);
+                    return Err(FerexError::VerifyFailed { row: slot, cell });
+                }
+                self.quarantine_internal(slot, &policy)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts a new `(id, vector)` pair: the slot choice is the coldest
+    /// free slot under wear leveling (lowest index otherwise), the write
+    /// goes through the delta write-verify path, and the slot flips live
+    /// only after the write settles — a failed write touches nothing that
+    /// search can see.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::DuplicateId`] when `id` is already live;
+    /// [`FerexError::CapacityExhausted`] when no slot is free even after
+    /// compaction; validation errors; strict-mode write-verify errors.
+    pub fn insert(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.validate(&vector)?;
+        let m = self.mutation_required()?;
+        if m.id_to_slot.contains_key(&id) {
+            return Err(FerexError::DuplicateId { id });
+        }
+        let capacity = m.policy.capacity;
+        let slot = match m.choose_insert_slot() {
+            Some(s) => s,
+            None if m.tombstones() > 0 => {
+                // Every free slot is spoken for but tombstones can be
+                // reclaimed: compact, then retry the choice.
+                self.compact();
+                self.mutation_required()?
+                    .choose_insert_slot()
+                    .ok_or(FerexError::CapacityExhausted { capacity })?
+            }
+            None => return Err(FerexError::CapacityExhausted { capacity }),
+        };
+        self.set_slot_contents(slot, vector.clone());
+        if let Err(e) = self.mutation_write_slot(slot, &vector) {
+            // Never made live: zero the logical contents back out.
+            self.zero_slot_contents(slot);
+            return Err(e);
+        }
+        self.mutation_commit_live(id, slot);
+        Ok(())
+    }
+
+    /// Replaces the vector of live id `id`. Under wear leveling the write
+    /// lands out of place on the coldest free slot and the old slot is
+    /// tombstoned (so repeated updates of a hot id spread across the
+    /// array); without leveling — or with no free slot left — the row is
+    /// re-programmed in place, restoring the old contents logically and
+    /// physically if the write fails.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::UnknownId`]; validation errors; strict-mode
+    /// write-verify errors.
+    pub fn update_id(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.validate(&vector)?;
+        let m = self.mutation_required()?;
+        let Some(&old) = m.id_to_slot.get(&id) else {
+            return Err(FerexError::UnknownId { id });
+        };
+        let target = if m.policy.wear_leveling { m.choose_insert_slot() } else { None };
+        match target {
+            Some(new) if new != old => {
+                self.set_slot_contents(new, vector.clone());
+                if let Err(e) = self.mutation_write_slot(new, &vector) {
+                    self.zero_slot_contents(new);
+                    return Err(e);
+                }
+                self.mutation_commit_move(id, old, new);
+                self.maybe_auto_compact();
+                Ok(())
+            }
+            _ => {
+                let previous = self.stored.get(old).cloned().unwrap_or_default();
+                self.set_slot_contents(old, vector.clone());
+                match self.mutation_write_slot(old, &vector) {
+                    Ok(()) => Ok(()),
+                    Err(e) => {
+                        // Crash consistency: roll the row back to its old
+                        // contents, logically and (best-effort) physically.
+                        self.set_slot_contents(old, previous.clone());
+                        let _ = self.mutation_write_slot(old, &previous);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tombstones live id `id`: a purely logical transition (the kernels
+    /// skip the slot like a quarantined row), no erase pulse, no wear.
+    /// Auto-compacts when the tombstone fraction reaches the policy
+    /// threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`FerexError::UnknownId`].
+    pub fn delete(&mut self, id: u64) -> Result<(), FerexError> {
+        let Some(m) = self.mutation.as_mut() else {
+            return Err(FerexError::InvalidPolicy {
+                what: "mutation is not enabled on this array",
+            });
+        };
+        let Some(slot) = m.id_to_slot.remove(&id) else {
+            return Err(FerexError::UnknownId { id });
+        };
+        if let Some(s) = m.slots.get_mut(slot) {
+            *s = SlotState::Dead;
+        }
+        // The cached verify report counted this row live.
+        self.program_report = None;
+        self.maybe_auto_compact();
+        Ok(())
+    }
+
+    /// Reclaims every tombstoned slot back to free, zeroing its logical
+    /// contents. Deterministic and purely logical — stale physical
+    /// content on a reclaimed slot is unreachable (excluded from search,
+    /// skipped by verify and scrub) until an insert re-programs it, so no
+    /// erase pulses are spent. Logical ids never move: compaction
+    /// reclaims *slots*, the id → slot map is untouched.
+    pub fn compact(&mut self) -> CompactionReport {
+        let Some(m) = self.mutation.as_mut() else {
+            return CompactionReport::default();
+        };
+        m.compactions += 1;
+        let mut reclaimed = Vec::new();
+        for (i, s) in m.slots.iter_mut().enumerate() {
+            if matches!(s, SlotState::Dead) {
+                *s = SlotState::Free;
+                reclaimed.push(i);
+            }
+        }
+        let report = CompactionReport { reclaimed: reclaimed.len(), rotated: 0 };
+        for i in reclaimed {
+            self.zero_slot_contents(i);
+        }
+        if report.reclaimed > 0 {
+            self.program_report = None;
+        }
+        report
+    }
+
+    fn maybe_auto_compact(&mut self) {
+        if self.mutation.as_ref().is_some_and(|m| m.should_auto_compact()) {
+            self.compact();
+        }
+    }
+
+    /// One background maintenance step, meant to run on the scrub
+    /// cadence: compacts when the tombstone fraction has reached the
+    /// policy threshold, then (under wear leveling) re-encodes the
+    /// hottest live row onto the coldest free slot when its wear exceeds
+    /// the target's by more than one cycle. The rotation is abandoned —
+    /// with no logical change — if the delta write fails, so maintenance
+    /// itself never errors.
+    pub fn maintenance(&mut self) -> CompactionReport {
+        let mut report = CompactionReport::default();
+        let Some(m) = self.mutation.as_ref() else {
+            return report;
+        };
+        if m.should_auto_compact() {
+            report = self.compact();
+        }
+        let Some(m) = self.mutation.as_ref() else {
+            return report;
+        };
+        let Some((src, dst)) = m.rotation_candidate() else {
+            return report;
+        };
+        let Some(SlotState::Live(id)) = m.slots.get(src).copied() else {
+            return report;
+        };
+        let vector = self.stored.get(src).cloned().unwrap_or_default();
+        self.set_slot_contents(dst, vector.clone());
+        if self.mutation_write_slot(dst, &vector).is_err() {
+            // Abandon the rotation: the destination stays free (its stale
+            // physical content is excluded from search), no logical change.
+            self.zero_slot_contents(dst);
+            return report;
+        }
+        self.mutation_commit_move(id, src, dst);
+        report.rotated += 1;
+        report
+    }
+
+    /// Crate-internal: the mutation book-keeping, for the tiled array's
+    /// two-phase coordination.
+    pub(crate) fn mutation_state(&self) -> Option<&MutationState> {
+        self.mutation.as_ref()
+    }
+
+    /// Crate-internal: replaces slot contents without touching slot state
+    /// (phase one of a coordinated mutation, or its rollback).
+    pub(crate) fn mutation_set_contents(&mut self, slot: usize, vector: Vec<u32>) {
+        self.set_slot_contents(slot, vector);
+    }
+
+    /// Crate-internal: marks a prepared slot live for `id` (phase two of a
+    /// coordinated insert). Infallible and purely logical.
+    pub(crate) fn mutation_commit_live(&mut self, id: u64, slot: usize) {
+        if let Some(m) = self.mutation.as_mut() {
+            if let Some(s) = m.slots.get_mut(slot) {
+                *s = SlotState::Live(id);
+            }
+            m.id_to_slot.insert(id, slot);
+        }
+    }
+
+    /// Crate-internal: commits a move of `id` from `src` to the prepared
+    /// slot `dst`, tombstoning `src` (phase two of a coordinated
+    /// out-of-place update or wear rotation). Infallible and purely
+    /// logical.
+    pub(crate) fn mutation_commit_move(&mut self, id: u64, src: usize, dst: usize) {
+        if let Some(m) = self.mutation.as_mut() {
+            if let Some(s) = m.slots.get_mut(dst) {
+                *s = SlotState::Live(id);
+            }
+            if let Some(s) = m.slots.get_mut(src) {
+                *s = SlotState::Dead;
+            }
+            m.id_to_slot.insert(id, dst);
+        }
+    }
+}
+
+impl MutableNode for FerexArray {
+    fn insert(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        FerexArray::insert(self, id, vector)
+    }
+
+    fn update(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        FerexArray::update_id(self, id, vector)
+    }
+
+    fn delete(&mut self, id: u64) -> Result<(), FerexError> {
+        FerexArray::delete(self, id)
+    }
+
+    fn compact(&mut self) -> CompactionReport {
+        FerexArray::compact(self)
+    }
+
+    fn maintenance(&mut self) -> CompactionReport {
+        FerexArray::maintenance(self)
+    }
+
+    fn slot_of(&self, id: u64) -> Option<usize> {
+        FerexArray::slot_of(self, id)
+    }
+
+    fn vector_of(&self, id: u64) -> Option<Vec<u32>> {
+        FerexArray::vector_of(self, id).map(<[u32]>::to_vec)
+    }
+
+    fn live_ids(&self) -> Vec<u64> {
+        FerexArray::live_ids(self)
+    }
+
+    fn live_len(&self) -> usize {
+        FerexArray::live_len(self)
+    }
+
+    fn tombstones(&self) -> usize {
+        FerexArray::tombstones(self)
+    }
+
+    fn wear(&self) -> WearSummary {
+        FerexArray::wear(self)
     }
 }
 
@@ -2565,5 +3118,224 @@ mod tests {
         let ra2 = a.scrub().unwrap();
         assert_eq!(ra.latency_seconds, ra2.latency_seconds);
         assert_eq!(a.health().counters.last_scrub_seconds, ra2.latency_seconds);
+    }
+
+    // ------------------------------------------------------------------
+    // Online mutation.
+    // ------------------------------------------------------------------
+
+    fn mutable_ideal(capacity: usize) -> FerexArray {
+        let mut a = hamming_array(4, Backend::Ideal);
+        a.enable_mutation(MutationPolicy::with_capacity(capacity)).unwrap();
+        a
+    }
+
+    #[test]
+    fn insert_then_search_finds_the_vector() {
+        let mut a = mutable_ideal(4);
+        a.insert(10, vec![0, 1, 2, 3]).unwrap();
+        a.insert(20, vec![3, 2, 1, 0]).unwrap();
+        let out = a.search(&[0, 1, 2, 3]).unwrap();
+        let nearest_id = a.id_at(out.nearest).unwrap();
+        assert_eq!(nearest_id, 10);
+        assert_eq!(a.live_len(), 2);
+        // Free slots are excluded, not served as zero vectors.
+        let zero_out = a.search(&[0, 0, 0, 0]).unwrap();
+        assert!(a.id_at(zero_out.nearest).is_some(), "free slot won the search");
+    }
+
+    #[test]
+    fn delete_tombstones_the_slot_bit_identically() {
+        // Capacity 8 keeps one tombstone below the 250-per-mille
+        // auto-compaction threshold, so the Dead state is observable.
+        let mut a = mutable_ideal(8);
+        a.insert(1, vec![0, 0, 0, 0]).unwrap();
+        a.insert(2, vec![3, 3, 3, 3]).unwrap();
+        a.delete(1).unwrap();
+        let out = a.search(&[0, 0, 0, 0]).unwrap();
+        assert_eq!(a.id_at(out.nearest), Some(2), "tombstoned row must not serve");
+        let slot = 0; // id 1 lived in slot 0
+        assert!(out.distances[slot].is_infinite());
+        assert_eq!(a.tombstones(), 1);
+        assert!(matches!(a.delete(1), Err(FerexError::UnknownId { id: 1 })));
+    }
+
+    #[test]
+    fn mutation_misuse_is_typed_not_a_panic() {
+        let mut a = mutable_ideal(2);
+        a.insert(7, vec![0; 4]).unwrap();
+        assert!(matches!(a.insert(7, vec![1; 4]), Err(FerexError::DuplicateId { id: 7 })));
+        assert!(matches!(a.update_id(9, vec![1; 4]), Err(FerexError::UnknownId { id: 9 })));
+        a.insert(8, vec![1; 4]).unwrap();
+        assert!(matches!(
+            a.insert(9, vec![2; 4]),
+            Err(FerexError::CapacityExhausted { capacity: 2 })
+        ));
+        // Positional mutation is rejected in mutation mode.
+        assert!(matches!(a.store(vec![0; 4]), Err(FerexError::InvalidPolicy { .. })));
+        assert!(matches!(a.update(0, vec![0; 4]), Err(FerexError::InvalidPolicy { .. })));
+    }
+
+    #[test]
+    fn insert_reclaims_tombstones_by_compaction() {
+        let mut a = mutable_ideal(2);
+        // Disable auto-compaction so the insert itself must reclaim.
+        let mut policy = MutationPolicy::with_capacity(2);
+        policy.compact_tombstone_milli = 0;
+        let mut a2 = hamming_array(4, Backend::Ideal);
+        a2.enable_mutation(policy).unwrap();
+        std::mem::swap(&mut a, &mut a2);
+        a.insert(1, vec![0; 4]).unwrap();
+        a.insert(2, vec![1; 4]).unwrap();
+        a.delete(1).unwrap();
+        assert_eq!(a.tombstones(), 1);
+        a.insert(3, vec![2; 4]).unwrap();
+        assert_eq!(a.live_len(), 2);
+        assert_eq!(a.tombstones(), 0, "insert must compact to find the slot");
+    }
+
+    #[test]
+    fn update_moves_out_of_place_under_leveling_and_in_place_without() {
+        let mut leveled = mutable_ideal(4);
+        leveled.insert(1, vec![0; 4]).unwrap();
+        let before = leveled.slot_of(1).unwrap();
+        leveled.update_id(1, vec![1; 4]).unwrap();
+        let after = leveled.slot_of(1).unwrap();
+        assert_ne!(before, after, "leveling must move the write to a cold slot");
+        assert_eq!(leveled.vector_of(1).unwrap(), &[1, 1, 1, 1]);
+
+        let mut policy = MutationPolicy::with_capacity(4);
+        policy.wear_leveling = false;
+        let mut flat = hamming_array(4, Backend::Ideal);
+        flat.enable_mutation(policy).unwrap();
+        flat.insert(1, vec![0; 4]).unwrap();
+        let before = flat.slot_of(1).unwrap();
+        flat.update_id(1, vec![1; 4]).unwrap();
+        assert_eq!(flat.slot_of(1).unwrap(), before, "no leveling: update stays in place");
+    }
+
+    #[test]
+    fn maintenance_rotates_hot_rows_onto_cold_slots() {
+        let mut a = mutable_ideal(8);
+        let mut policy = MutationPolicy::with_capacity(8);
+        policy.wear_leveling = false; // make slot 0 hot without moves
+        let mut hot = hamming_array(4, Backend::Ideal);
+        hot.enable_mutation(policy).unwrap();
+        hot.insert(1, vec![0; 4]).unwrap();
+        for i in 0..10 {
+            hot.update_id(1, vec![(i % 4) as u32; 4]).unwrap();
+        }
+        std::mem::swap(&mut a, &mut hot);
+        assert_eq!(a.slot_of(1), Some(0));
+        // Re-enable leveling for the maintenance step.
+        if let Some(m) = a.mutation.as_mut() {
+            m.policy.wear_leveling = true;
+        }
+        let report = a.maintenance();
+        assert_eq!(report.rotated, 1);
+        assert_ne!(a.slot_of(1), Some(0), "hot row must move off its worn slot");
+        let out = a.search(&[0; 4]).unwrap();
+        assert_eq!(a.id_at(out.nearest), Some(1));
+    }
+
+    #[test]
+    fn churn_wear_leveling_bounds_the_imbalance() {
+        let run = |leveling: bool| {
+            let mut policy = MutationPolicy::with_capacity(16);
+            policy.wear_leveling = leveling;
+            let mut a = hamming_array(4, Backend::Ideal);
+            a.enable_mutation(policy).unwrap();
+            for id in 0..12u64 {
+                a.insert(id, vec![(id % 4) as u32; 4]).unwrap();
+            }
+            for round in 0..200u64 {
+                // Hot set: ids 0 and 1 absorb all updates.
+                let id = round % 2;
+                a.update_id(id, vec![(round % 4) as u32; 4]).unwrap();
+                if round % 8 == 0 {
+                    a.maintenance();
+                }
+            }
+            a.wear()
+        };
+        let leveled = run(true);
+        let flat = run(false);
+        assert!(
+            leveled.imbalance_milli() <= 2000,
+            "leveled max/mean {} per-mille",
+            leveled.imbalance_milli()
+        );
+        assert!(
+            flat.imbalance_milli() >= 5000,
+            "unleveled max/mean {} per-mille",
+            flat.imbalance_milli()
+        );
+    }
+
+    #[test]
+    fn mutated_array_matches_from_scratch_rebuild() {
+        // Interleaved schedule on a mutated array vs a fresh array holding
+        // the same logical contents: logical-id-keyed distances byte-match.
+        let mut a = mutable_ideal(8);
+        for id in 0..6u64 {
+            a.insert(id, vec![(id % 4) as u32, 0, 1, 2]).unwrap();
+        }
+        a.delete(2).unwrap();
+        a.update_id(4, vec![3, 3, 3, 3]).unwrap();
+        a.compact();
+        a.insert(9, vec![1, 1, 1, 1]).unwrap();
+
+        let mut fresh = mutable_ideal(8);
+        for id in a.live_ids() {
+            fresh.insert(id, a.vector_of(id).unwrap().to_vec()).unwrap();
+        }
+        let q = [1, 2, 3, 0];
+        let got = a.search(&q).unwrap();
+        let want = fresh.search(&q).unwrap();
+        for id in a.live_ids() {
+            let da = got.distances[a.slot_of(id).unwrap()];
+            let db = want.distances[fresh.slot_of(id).unwrap()];
+            assert_eq!(da.to_bits(), db.to_bits(), "id {id}");
+        }
+    }
+
+    #[test]
+    fn mutation_delta_writes_circuit_backend() {
+        let cfg = CircuitConfig {
+            variation: VariationModel::none(),
+            lta: LtaParams::ideal(),
+            ..Default::default()
+        };
+        let mut a = hamming_array(4, Backend::Circuit(Box::new(cfg)));
+        a.enable_mutation(MutationPolicy::with_capacity(4)).unwrap();
+        a.insert(1, vec![0, 1, 2, 3]).unwrap();
+        a.insert(2, vec![3, 2, 1, 0]).unwrap();
+        a.program();
+        // Delta write against live physical state: no full re-program.
+        a.insert(3, vec![0, 0, 3, 3]).unwrap();
+        assert!(a.is_programmed(), "delta write must not invalidate the crossbar");
+        let out = a.search(&[0, 0, 3, 3]).unwrap();
+        assert_eq!(a.id_at(out.nearest), Some(3));
+        a.delete(1).unwrap();
+        let out = a.search(&[0, 1, 2, 3]).unwrap();
+        assert_ne!(a.id_at(out.nearest), Some(1));
+    }
+
+    #[test]
+    fn mutation_health_reports_wear() {
+        let mut a = mutable_ideal(4);
+        a.insert(1, vec![0; 4]).unwrap();
+        a.insert(2, vec![1; 4]).unwrap();
+        a.update_id(1, vec![2; 4]).unwrap();
+        let h = a.health();
+        assert_eq!(h.wear_max_cycles, 1, "each slot absorbed at most one write");
+        assert!(h.wear_headroom_milli > 900, "three writes must leave headroom");
+        let w = a.wear();
+        assert_eq!(w.total_writes, 3);
+        // A non-mutating array reports zero wear and full headroom.
+        let plain = hamming_array(4, Backend::Ideal);
+        let h = plain.health();
+        assert_eq!(h.wear_max_cycles, 0);
+        assert_eq!(h.wear_headroom_milli, 1000);
     }
 }

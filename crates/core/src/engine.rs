@@ -12,6 +12,7 @@ use crate::dm::DistanceMatrix;
 use crate::encoding::{CellEncoding, EncodingLimits};
 use crate::error::FerexError;
 use crate::health::{HealthSnapshot, ProgramReport, RepairPolicy, ScrubReport};
+use crate::mutate::{CompactionReport, MutationPolicy, WearSummary};
 use crate::replica::{replicate_backend, ReplicaPolicy, ReplicaSet};
 use crate::sizing::{find_minimal_cell, SizingOptions, SizingReport};
 use ferex_analog::delay::{DelayBreakdown, DelayModel};
@@ -356,6 +357,63 @@ impl Ferex {
         self.array.health()
     }
 
+    /// Switches the array to the online-mutation slot-table discipline
+    /// (see [`FerexArray::enable_mutation`]). After this, content changes
+    /// go through [`Ferex::insert`] / [`Ferex::update`] /
+    /// [`Ferex::delete`] and program only their delta rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::enable_mutation`].
+    pub fn enable_mutation(&mut self, policy: MutationPolicy) -> Result<(), FerexError> {
+        self.array.enable_mutation(policy)
+    }
+
+    /// Inserts `(id, vector)`, programming exactly one row (see
+    /// [`FerexArray::insert`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::insert`].
+    pub fn insert(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.array.insert(id, vector)
+    }
+
+    /// Replaces the vector of a live `id` (see [`FerexArray::update_id`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::update_id`].
+    pub fn update(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.array.update_id(id, vector)
+    }
+
+    /// Tombstones a live `id` (see [`FerexArray::delete`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`FerexArray::delete`].
+    pub fn delete(&mut self, id: u64) -> Result<(), FerexError> {
+        self.array.delete(id)
+    }
+
+    /// Reclaims every tombstoned slot (see [`FerexArray::compact`]).
+    pub fn compact(&mut self) -> CompactionReport {
+        self.array.compact()
+    }
+
+    /// One background maintenance step: auto-compaction plus at most one
+    /// wear-leveling rotation (see [`FerexArray::maintenance`]).
+    pub fn maintenance(&mut self) -> CompactionReport {
+        self.array.maintenance()
+    }
+
+    /// The wear distribution across physical slots (see
+    /// [`FerexArray::wear`]).
+    pub fn wear(&self) -> WearSummary {
+        self.array.wear()
+    }
+
     /// Builds a [`ReplicaSet`] of `n` independently seeded copies of this
     /// engine's array, each programmed with the current contents. Replica 0
     /// keeps the engine's backend seed verbatim, so an `n = 1` set with the
@@ -384,16 +442,34 @@ impl Ferex {
                 self.array.dim(),
                 backend,
             );
-            a.store_all(self.array.stored().iter().cloned())?;
             if let Some(p) = self.array.repair_policy() {
                 a.set_repair_policy(p.clone())?;
+            }
+            if let Some(mp) = self.array.mutation_policy().copied() {
+                // Mutation-enabled engine: rebuild each replica by
+                // replaying the live ids in ascending order. Slot choices
+                // are pure functions of the op sequence, so every replica
+                // converges to the same slot table (not necessarily the
+                // engine's own, which reflects its full mutation history —
+                // the set is internally consistent, which is what the
+                // quorum and the digital mirror need).
+                a.enable_mutation(mp)?;
+                for id in self.array.live_ids() {
+                    let v = self.array.vector_of(id).ok_or(FerexError::UnknownId { id })?.to_vec();
+                    a.insert(id, v)?;
+                }
+            } else {
+                a.store_all(self.array.stored().iter().cloned())?;
+            }
+            if self.array.repair_policy().is_some() {
                 a.program_verified()?;
             } else {
                 a.program();
             }
             replicas.push(a);
         }
-        Ok(ReplicaSet::new(replicas, self.array.stored().to_vec(), self.metric, policy))
+        let stored = replicas.first().map(|r| r.stored().to_vec()).unwrap_or_default();
+        Ok(ReplicaSet::new(replicas, stored, self.metric, policy))
     }
 
     /// Reconfigures the engine to a different distance metric, keeping all

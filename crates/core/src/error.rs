@@ -161,6 +161,22 @@ pub enum FerexError {
         /// Admission capacity in queries per batch.
         capacity: usize,
     },
+    /// A mutation named a logical id the array does not hold.
+    UnknownId {
+        /// The offending logical id.
+        id: u64,
+    },
+    /// An insert named a logical id the array already holds.
+    DuplicateId {
+        /// The offending logical id.
+        id: u64,
+    },
+    /// An insert found no free slot: every physical slot is live (or the
+    /// array is not in mutation mode and has no capacity to grow).
+    CapacityExhausted {
+        /// Fixed slot capacity of the mutation-enabled array.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for FerexError {
@@ -205,6 +221,15 @@ impl fmt::Display for FerexError {
                     "query shed by admission control: batch exceeds the \
                      capacity of {capacity} queries ({admitted} admitted)"
                 )
+            }
+            FerexError::UnknownId { id } => {
+                write!(f, "no stored vector carries logical id {id}")
+            }
+            FerexError::DuplicateId { id } => {
+                write!(f, "logical id {id} is already stored; use update() to replace it")
+            }
+            FerexError::CapacityExhausted { capacity } => {
+                write!(f, "all {capacity} slots are live; delete or compact before inserting")
             }
         }
     }
@@ -256,6 +281,13 @@ mod tests {
         assert!(e.to_string().contains("4 admitted"));
         let e = FerexError::ReplicaOutOfRange { replica: 5, replicas: 3 };
         assert_eq!(e.to_string(), "replica 5 outside the 3-replica set");
+        let e = FerexError::UnknownId { id: 17 };
+        assert_eq!(e.to_string(), "no stored vector carries logical id 17");
+        let e = FerexError::DuplicateId { id: 17 };
+        assert!(e.to_string().contains("logical id 17"));
+        assert!(e.to_string().contains("update()"));
+        let e = FerexError::CapacityExhausted { capacity: 8 };
+        assert!(e.to_string().contains("8 slots"));
     }
 
     #[test]

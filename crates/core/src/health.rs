@@ -259,6 +259,21 @@ pub struct HealthSnapshot {
     pub rows_quarantined_now: usize,
     /// Logical rows currently served from a spare.
     pub rows_remapped_now: usize,
+    /// Most write cycles any physical slot has absorbed (0 when online
+    /// mutation is disabled — bulk programming is not wear-accounted).
+    pub wear_max_cycles: u64,
+    /// Mean write cycles per physical slot, in milli-cycles (integer so
+    /// the snapshot stays `Eq`-comparable and serializes exactly).
+    pub wear_mean_milli: u64,
+    /// Median (p50, nearest-rank) write cycles per physical slot.
+    pub wear_p50_cycles: u64,
+    /// p90 (nearest-rank) write cycles per physical slot.
+    pub wear_p90_cycles: u64,
+    /// Remaining endurance headroom of the most-worn slot, in per-mille of
+    /// the policy's cycle budget
+    /// ([`EnduranceModel::headroom_milli`](ferex_fefet::EnduranceModel::headroom_milli)):
+    /// 1000 fresh, 0 exhausted. 1000 when mutation is disabled.
+    pub wear_headroom_milli: u64,
 }
 
 impl HealthSnapshot {

@@ -60,6 +60,7 @@ pub mod error;
 pub mod feasibility;
 pub mod health;
 pub mod latency;
+pub mod mutate;
 pub mod replica;
 pub mod serve;
 pub mod sizing;
@@ -79,6 +80,7 @@ pub use health::{
     ScrubFinding, ScrubReport,
 };
 pub use latency::{qln_quantile_milli, BrownoutPolicy, HedgePolicy, LatencyModel};
+pub use mutate::{CompactionReport, MutableNode, MutationPolicy, SlotState, WearSummary};
 pub use replica::{
     derive_replica_seed, replicate_backend, BreakerPolicy, BreakerState, QuorumPolicy, ReplicaNode,
     ReplicaPolicy, ReplicaSet, ReplicaSetStats, ReplicaStatus, ServeSource, ServedOutcome,

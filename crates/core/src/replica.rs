@@ -35,6 +35,7 @@ use crate::distance::DistanceMetric;
 use crate::error::FerexError;
 use crate::health::HealthSnapshot;
 use crate::latency::LatencyModel;
+use crate::mutate::{CompactionReport, MutableNode, WearSummary};
 use crate::tile::TiledArray;
 use ferex_fefet::math::splitmix64;
 use ferex_fefet::Technology;
@@ -260,6 +261,13 @@ pub trait ReplicaNode {
     fn scrub_now(&mut self) -> Result<usize, FerexError>;
     /// Point-in-time health view.
     fn health(&self) -> HealthSnapshot;
+    /// `true` when row `r` serves a live vector. Always `true` for
+    /// immutable nodes; mutation-enabled nodes report their slot table, so
+    /// the supervisor's digital fallback skips free and tombstoned slots
+    /// exactly like the device kernels do.
+    fn row_live(&self, _r: usize) -> bool {
+        true
+    }
 }
 
 impl ReplicaNode for FerexArray {
@@ -293,6 +301,10 @@ impl ReplicaNode for FerexArray {
 
     fn health(&self) -> HealthSnapshot {
         FerexArray::health(self)
+    }
+
+    fn row_live(&self, r: usize) -> bool {
+        self.slot_live(r)
     }
 }
 
@@ -343,6 +355,11 @@ impl ReplicaNode for TiledArray {
 
     fn health(&self) -> HealthSnapshot {
         TiledArray::health(self)
+    }
+
+    fn row_live(&self, r: usize) -> bool {
+        // Lockstep tiles share one slot table; tile 0 speaks for all.
+        self.tiles().first().is_none_or(|t| t.slot_live(r))
     }
 }
 
@@ -811,8 +828,21 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     ///
     /// [`FerexError::Empty`] when the supervisor tracks no stored vectors.
     fn digital_fallback(&self, query: &[u32]) -> Result<SearchOutcome, FerexError> {
+        // Non-live slots (free or tombstoned under online mutation) read as
+        // +inf, exactly like the device kernels' exclusion of those rows.
+        let live = |r: usize| self.replicas.first().is_none_or(|replica| replica.row_live(r));
         let distances: Vec<f64> =
-            self.stored.iter().map(|s| self.metric.vector_distance(query, s) as f64).collect();
+            self.stored
+                .iter()
+                .enumerate()
+                .map(|(r, s)| {
+                    if live(r) {
+                        self.metric.vector_distance(query, s) as f64
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect();
         let nearest = distances
             .iter()
             .enumerate()
@@ -1204,6 +1234,117 @@ impl<A: ReplicaNode> ReplicaSet<A> {
     }
 }
 
+impl<A: ReplicaNode + MutableNode> ReplicaSet<A> {
+    /// Applies one mutation to every replica and resyncs the digital
+    /// mirror from replica 0. Replicas fed the same operation sequence
+    /// make identical slot decisions (the mutation state machine is a
+    /// pure function of the op history), so the set stays in lockstep —
+    /// provided mutation failures are deterministic too. Strict
+    /// write-verify policies break that (per-replica noise streams can
+    /// fail one replica's delta write but not another's); combine replica
+    /// mutation with the default lenient quarantine-and-remap repair
+    /// instead, under which mutations only fail on validation errors that
+    /// hit every replica alike.
+    fn apply_mutation<T>(
+        &mut self,
+        op: impl Fn(&mut A) -> Result<T, FerexError>,
+    ) -> Result<T, FerexError> {
+        let mut first_ok: Option<T> = None;
+        let mut first_err: Option<FerexError> = None;
+        for replica in &mut self.replicas {
+            match op(replica) {
+                Ok(v) => {
+                    if first_ok.is_none() {
+                        first_ok = Some(v);
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        // Replica 0 is the mirror's source of truth either way: on the
+        // deterministic-failure path no replica changed, and on success
+        // all of them did.
+        self.resync_mirror();
+        match first_err {
+            Some(e) => Err(e),
+            None => first_ok.ok_or(FerexError::Empty),
+        }
+    }
+
+    /// Rebuilds the digital mirror from replica 0's live slot table: live
+    /// slots carry their id's vector, free and tombstoned slots read as
+    /// zeros (the fallback never scores them — see
+    /// [`ReplicaNode::row_live`]).
+    fn resync_mirror(&mut self) {
+        let Some(first) = self.replicas.first() else { return };
+        let dim = self.stored.first().map(Vec::len).unwrap_or(0);
+        let mut mirror = vec![vec![0u32; dim]; self.stored.len()];
+        for id in first.live_ids() {
+            if let (Some(slot), Some(v)) = (first.slot_of(id), first.vector_of(id)) {
+                if let Some(row) = mirror.get_mut(slot) {
+                    *row = v;
+                }
+            }
+        }
+        self.stored = mirror;
+    }
+
+    /// Inserts `(id, vector)` into every replica (lockstep slot choice)
+    /// and resyncs the digital mirror.
+    ///
+    /// # Errors
+    ///
+    /// As [`MutableNode::insert`].
+    pub fn insert(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.apply_mutation(|r| r.insert(id, vector.clone()))
+    }
+
+    /// Replaces `id`'s vector on every replica and resyncs the mirror.
+    ///
+    /// # Errors
+    ///
+    /// As [`MutableNode::update`].
+    pub fn update(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.apply_mutation(|r| r.update(id, vector.clone()))
+    }
+
+    /// Tombstones `id` on every replica and resyncs the mirror.
+    ///
+    /// # Errors
+    ///
+    /// As [`MutableNode::delete`].
+    pub fn delete(&mut self, id: u64) -> Result<(), FerexError> {
+        self.apply_mutation(|r| r.delete(id))
+    }
+
+    /// Compacts every replica (infallible, purely logical) and resyncs
+    /// the mirror; returns replica 0's report.
+    pub fn compact(&mut self) -> CompactionReport {
+        self.apply_mutation(|r| Ok(r.compact())).unwrap_or_default()
+    }
+
+    /// One maintenance step (auto-compaction + wear-leveling rotation) on
+    /// every replica; returns replica 0's report.
+    pub fn maintenance(&mut self) -> CompactionReport {
+        self.apply_mutation(|r| Ok(r.maintenance())).unwrap_or_default()
+    }
+
+    /// Live logical ids, ascending (replica 0's view — lockstep).
+    pub fn live_ids(&self) -> Vec<u64> {
+        self.replicas.first().map(|r| r.live_ids()).unwrap_or_default()
+    }
+
+    /// The wear distribution of replica 0 (lockstep slot decisions keep
+    /// the per-replica write counters identical).
+    pub fn wear(&self) -> WearSummary {
+        self.replicas.first().map(|r| r.wear()).unwrap_or_default()
+    }
+}
+
 impl ReplicaSet<TiledArray> {
     /// Builds a supervisor over `n` independently seeded [`TiledArray`]
     /// replicas of `vectors`, each running the full CSP sizing pipeline
@@ -1516,6 +1657,45 @@ mod tests {
         set.revive(1);
         let served = set.serve(&vs[2]).unwrap();
         assert_eq!(served.source, ServeSource::Replica(0));
+    }
+
+    #[test]
+    fn replica_set_mutates_in_lockstep_and_serves_through_churn() {
+        use crate::mutate::MutationPolicy;
+        let mut engine = Ferex::builder().dim(6).build().expect("builds");
+        engine.enable_mutation(MutationPolicy::with_capacity(8)).unwrap();
+        for (id, v) in vectors(4, 6).into_iter().enumerate() {
+            engine.insert(id as u64, v).unwrap();
+        }
+        let policy =
+            ReplicaPolicy { quorum: QuorumPolicy { reads: 2, agree: 2 }, ..Default::default() };
+        let mut set = engine.replica_set(2, policy).expect("replicates");
+        // Mutate through the supervisor: every replica applies the same
+        // ops, and the digital mirror follows replica 0.
+        set.delete(1).unwrap();
+        set.insert(9, vec![3; 6]).unwrap();
+        set.update(2, vec![1; 6]).unwrap();
+        assert_eq!(set.live_ids(), vec![0, 2, 3, 9]);
+        for i in 0..set.n_replicas() {
+            assert_eq!(set.replica(i).live_ids(), vec![0, 2, 3, 9], "replica {i} diverged");
+            assert_eq!(set.replica(i).wear(), set.wear(), "replica {i} wear diverged");
+        }
+        // The device quorum and the digital oracle agree on the new
+        // contents (Ideal backend: both are exact).
+        let slot9 = set.replica(0).slot_of(9).expect("id 9 is live");
+        let served = set.serve(&[3; 6]).unwrap();
+        assert_eq!(served.outcome.nearest, slot9);
+        assert_eq!(served.source, ServeSource::Replica(0));
+        assert_eq!(set.digital_fallback(&[3; 6]).unwrap().nearest, slot9);
+        // Deleted and never-written slots read +inf on both paths.
+        let dead_or_free: Vec<usize> =
+            (0..set.rows()).filter(|&r| !set.replica(0).slot_live(r)).collect();
+        assert!(!dead_or_free.is_empty());
+        let oracle = set.digital_fallback(&[0; 6]).unwrap();
+        for r in dead_or_free {
+            assert!(served.outcome.distances[r].is_infinite(), "device served slot {r}");
+            assert!(oracle.distances[r].is_infinite(), "oracle scored slot {r}");
+        }
     }
 
     #[test]

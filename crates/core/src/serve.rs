@@ -32,6 +32,7 @@
 
 use crate::error::FerexError;
 use crate::latency::{qln_quantile_milli, BrownoutPolicy, HedgePolicy};
+use crate::mutate::{CompactionReport, MutableNode};
 use crate::replica::{ReplicaNode, ReplicaSet, ServedOutcome};
 use std::collections::VecDeque;
 
@@ -256,6 +257,9 @@ pub struct ServeLoopStats {
     pub brownout_demotions: u64,
     /// Half-open re-probes of a demoted replica.
     pub reprobes: u64,
+    /// Mutations (inserts + updates + deletes) applied through the loop
+    /// while it kept serving.
+    pub mutations: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -884,6 +888,53 @@ impl<A: ReplicaNode> ServeLoop<A> {
     }
 }
 
+impl<A: ReplicaNode + MutableNode> ServeLoop<A> {
+    /// Inserts `(id, vector)` into the wrapped replica set between
+    /// batches. Mutations are instantaneous on the virtual clock — the
+    /// loop's queue, clock, and in-flight batch are untouched, so serving
+    /// continues bit-identically around the mutation (queries already
+    /// submitted race it exactly as their poll order dictates).
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicaSet::insert`].
+    pub fn insert(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.set.insert(id, vector)?;
+        self.stats.mutations += 1;
+        Ok(())
+    }
+
+    /// Replaces `id`'s vector across the replica set; see
+    /// [`ServeLoop::insert`] for the serving semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicaSet::update`].
+    pub fn update(&mut self, id: u64, vector: Vec<u32>) -> Result<(), FerexError> {
+        self.set.update(id, vector)?;
+        self.stats.mutations += 1;
+        Ok(())
+    }
+
+    /// Tombstones `id` across the replica set; see [`ServeLoop::insert`]
+    /// for the serving semantics.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicaSet::delete`].
+    pub fn delete(&mut self, id: u64) -> Result<(), FerexError> {
+        self.set.delete(id)?;
+        self.stats.mutations += 1;
+        Ok(())
+    }
+
+    /// One maintenance step (auto-compaction + wear-leveling rotation) on
+    /// every replica, between batches.
+    pub fn maintenance(&mut self) -> CompactionReport {
+        self.set.maintenance()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1162,6 +1213,46 @@ mod tests {
         assert_eq!(lp.stats().brownout_demotions, 2);
         assert!(lp.browned_out(1));
         assert_eq!(lp.replica_samples(1).len(), 2, "the probe batch read replica 1 again");
+    }
+
+    #[test]
+    fn serving_continues_through_online_mutation() {
+        let mut engine = Ferex::builder().dim(4).build().expect("builds");
+        engine.enable_mutation(crate::MutationPolicy::with_capacity(8)).unwrap();
+        for (id, v) in vectors(4, 4).into_iter().enumerate() {
+            engine.insert(id as u64, v).unwrap();
+        }
+        let set = engine.replica_set(1, ReplicaPolicy::default()).expect("replicates");
+        let policy = ServePolicy { target_batch: 2, cost: cheap(), ..Default::default() };
+        let mut lp = ServeLoop::new(set, 1, policy).expect("valid policy");
+        let ask = |arrival: u64, query: Vec<u32>| Request {
+            tenant: 0,
+            priority: 0,
+            arrival_tick: arrival,
+            deadline_ticks: 1000,
+            query,
+        };
+        lp.submit(ask(0, vec![0, 1, 2, 3])).unwrap();
+        lp.submit(ask(0, vec![1, 2, 3, 0])).unwrap();
+        let (done, _) = lp.poll(0).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].outcome.outcome.nearest, 0, "id 0's self-query answers its slot");
+        // Mutate between batches: the loop keeps its queue, clock, and
+        // query-id stream — only the contents change.
+        lp.update(0, vec![3, 3, 3, 3]).unwrap();
+        lp.delete(1).unwrap();
+        assert_eq!(lp.stats().mutations, 2);
+        lp.submit(ask(100, vec![3, 3, 3, 3])).unwrap();
+        lp.submit(ask(100, vec![1, 2, 3, 0])).unwrap();
+        let (done, _) = lp.poll(100).unwrap();
+        assert_eq!(done.len(), 2);
+        let slot0 = lp.set().replica(0).slot_of(0).expect("id 0 is live");
+        assert_eq!(done[0].outcome.outcome.nearest, slot0, "the update moved id 0's row");
+        assert!(
+            done[1].outcome.outcome.distances[1].is_infinite(),
+            "deleted id 1's old slot still serves"
+        );
+        assert_eq!(lp.stats().served, 4);
     }
 
     #[test]

@@ -74,6 +74,16 @@ impl SoaCodes {
         }
     }
 
+    /// Zeroes row `r` in place — the reclaim path of tombstone
+    /// compaction and the rollback path of a failed delta write, with no
+    /// scratch allocation.
+    pub(crate) fn zero_row(&mut self, r: usize) {
+        let base = r * self.dim;
+        if let Some(row) = self.codes.get_mut(base..base + self.dim) {
+            row.fill(0);
+        }
+    }
+
     /// Removes row `r`, shifting later rows up (mirrors
     /// [`crate::array::FerexArray::remove`]).
     pub(crate) fn remove_row(&mut self, r: usize) {
@@ -221,6 +231,18 @@ mod tests {
         soa.clear();
         assert!(soa.as_slice().is_empty());
         assert_eq!(soa.rows(), 0);
+    }
+
+    #[test]
+    fn zero_row_clears_in_place_and_ignores_out_of_range() {
+        let mut soa = SoaCodes::new(3);
+        soa.push_row(&[1, 2, 3]);
+        soa.push_row(&[4, 5, 6]);
+        soa.zero_row(0);
+        assert_eq!(soa.as_slice(), &[0, 0, 0, 4, 5, 6]);
+        soa.zero_row(7);
+        assert_eq!(soa.as_slice(), &[0, 0, 0, 4, 5, 6]);
+        assert_eq!(soa.rows(), 2);
     }
 
     #[test]

@@ -78,6 +78,29 @@ impl EnduranceModel {
         mid + (vth - mid) * self.window_fraction(cycles)
     }
 
+    /// Remaining cycle headroom of a device that has already seen `cycles`
+    /// program/erase cycles, in per-mille of the [`cycle_budget`] for
+    /// `min_margin`: 1000 means fresh, 0 means the budget is spent (or no
+    /// budget exists at all). Integer per-mille so callers can compare and
+    /// serialize it without floating-point drift.
+    ///
+    /// [`cycle_budget`]: EnduranceModel::cycle_budget
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative (as [`EnduranceModel::window_fraction`]).
+    pub fn headroom_milli(&self, tech: &Technology, cycles: f64, min_margin: Volt) -> u64 {
+        assert!(cycles >= 0.0, "cycle count must be non-negative");
+        let Some(budget) = self.cycle_budget(tech, min_margin) else {
+            return 0;
+        };
+        if budget <= 0.0 || cycles >= budget {
+            return 0;
+        }
+        let frac = 1.0 - cycles / budget;
+        (frac.clamp(0.0, 1.0) * 1000.0).floor() as u64
+    }
+
     /// Maximum cycles while the ON/OFF margin stays above `min_margin`.
     ///
     /// The margin is half the effective step; returns the largest cycle
@@ -155,6 +178,21 @@ mod tests {
         let m = EnduranceModel::default();
         let budget = m.cycle_budget(&tech, Volt(0.1)).expect("fresh device passes");
         assert!(budget > 1.0e6, "budget only {budget} cycles");
+    }
+
+    #[test]
+    fn headroom_tracks_spent_cycles() {
+        let tech = Technology::default();
+        let m = EnduranceModel::default();
+        let margin = Volt(0.1);
+        let budget = m.cycle_budget(&tech, margin).expect("achievable");
+        assert_eq!(m.headroom_milli(&tech, 0.0, margin), 1000);
+        let half = m.headroom_milli(&tech, budget * 0.5, margin);
+        assert_eq!(half, 500);
+        assert_eq!(m.headroom_milli(&tech, budget, margin), 0);
+        assert_eq!(m.headroom_milli(&tech, budget * 2.0, margin), 0);
+        // An unreachable margin has no headroom even when fresh.
+        assert_eq!(m.headroom_milli(&tech, 0.0, Volt(0.5)), 0);
     }
 
     #[test]
