@@ -56,7 +56,7 @@ impl AdcParams {
         assert!(input.value().is_finite() && input.value() >= 0.0, "invalid ADC input");
         let t = input.value() / self.full_scale.value();
         let code = (t * (self.n_codes() - 1) as f64).round();
-        (code as u32).min(self.n_codes() - 1)
+        (code as u32).min(self.n_codes() - 1) // lint:allow(cast-truncation/narrowing, reason = "float-to-int `as` saturates and the code is clamped to n_codes - 1")
     }
 
     /// The analog value a code maps back to (mid-rise reconstruction).

@@ -100,12 +100,14 @@ impl LtaParams {
             .iter()
             .map(|i| Amp(normal(rng, i.value(), self.offset_sigma.value())))
             .collect();
+        // Non-empty by the assert above; the fallback row keeps this
+        // serving path panic-free regardless.
         let winner = perturbed
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| a.value().total_cmp(&b.value()))
             .map(|(i, _)| i)
-            .expect("non-empty");
+            .unwrap_or(0);
         LtaDecision { loser: winner, perturbed }
     }
 
@@ -131,8 +133,12 @@ impl LtaParams {
                     }
                 }
             }
-            let (idx, _) = best.expect("at least one unmasked row");
-            masked[idx] = None;
+            // `k <= currents.len()` (asserted) leaves an unmasked row
+            // every round; stop early instead of panicking if not.
+            let Some((idx, _)) = best else { break };
+            if let Some(slot) = masked.get_mut(idx) {
+                *slot = None;
+            }
             out.push(idx);
         }
         out
@@ -149,12 +155,13 @@ pub struct LtaDecision {
 }
 
 fn argmin(values: &[Amp]) -> usize {
+    // Callers assert non-emptiness; row 0 is the panic-free fallback.
     values
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| a.value().total_cmp(&b.value()))
         .map(|(i, _)| i)
-        .expect("non-empty")
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -100,7 +100,8 @@ pub fn simulate_settle(config: &TransientConfig, accuracy: f64) -> TransientResu
         v += dv;
         trace.push(v);
     }
-    let v_final = *trace.last().expect("non-empty trace");
+    // `trace` holds at least the initial point pushed above.
+    let v_final = trace.last().copied().unwrap_or(v);
 
     // Retrospective settling detection against the DC endpoint.
     let band = accuracy * (config.v_start.value() - v_dc).abs();

@@ -305,7 +305,9 @@ pub fn standard_specs(seed: u64) -> Vec<SweepSpec> {
                         rates: vec![0.0, 0.05, 0.15, 0.3],
                         seed,
                     },
-                    BackendKind::Ideal => unreachable!("fault sweeps are stochastic-only"),
+                    // `STOCHASTIC` never yields `Ideal`; skipping is the
+                    // panic-free form of that guard.
+                    BackendKind::Ideal => continue,
                 };
                 specs.push(spec);
             }
@@ -470,7 +472,9 @@ pub fn standard_recovery_specs(seed: u64) -> Vec<(SweepSpec, RepairPolicy)> {
                         rates: vec![0.01, 0.02, 0.05],
                         seed,
                     },
-                    BackendKind::Ideal => unreachable!("fault sweeps are stochastic-only"),
+                    // `STOCHASTIC` never yields `Ideal`; skipping is the
+                    // panic-free form of that guard.
+                    BackendKind::Ideal => continue,
                 };
                 spec.rates.retain(|&r| r > 0.0);
                 let policy = RepairPolicy {

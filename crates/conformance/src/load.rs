@@ -331,7 +331,7 @@ pub fn run_load_detailed(spec: &LoadSpec) -> (LoadScenario, LoadDetail) {
                   tick: u64,
                   tenant: usize| {
         let pi = (splitmix64(query_seed ^ splitmix64(n as u64)) % QUERY_POOL as u64) as usize;
-        let priority = (splitmix64(prio_seed ^ splitmix64(n as u64)) % 8) as u32;
+        let priority = (splitmix64(prio_seed ^ splitmix64(n as u64)) % 8) as u32; // lint:allow(cast-truncation/narrowing, reason = "value < 8 by the modulo")
         let query = pool.get(pi).cloned().unwrap_or_default();
         pool_of_qid.push(pi);
         let req = Request {

@@ -322,13 +322,13 @@ fn run_churn_soak_inner(seed: u64) -> Result<ChurnSoak, FerexError> {
         );
         a.enable_mutation(policy)?;
         for id in 0..CHURN_LIVE as u64 {
-            a.insert(id, vec![(id % 4) as u32; 4])?;
+            a.insert(id, vec![(id % 4) as u32; 4])?; // lint:allow(cast-truncation/narrowing, reason = "value < 4 by the modulo")
         }
         a.program();
         let mut rotated = 0u64;
         for round in 0..CHURN_ROUNDS as u64 {
             let id = round % CHURN_HOT_IDS as u64;
-            a.update_id(id, vec![(round % 4) as u32; 4])?;
+            a.update_id(id, vec![(round % 4) as u32; 4])?; // lint:allow(cast-truncation/narrowing, reason = "value < 4 by the modulo")
             if (round + 1) % CHURN_MAINTENANCE as u64 == 0 {
                 rotated += a.maintenance().rotated as u64;
             }

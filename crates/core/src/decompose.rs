@@ -86,6 +86,7 @@ fn recurse(
         return;
     }
     // Prune: the remaining slots cannot reach the remaining sum.
+    // lint:allow(cast-truncation/narrowing, reason = "slots_left <= the cell size k, far below u32::MAX")
     if remaining > max_level * slots_left as u32 {
         return;
     }

@@ -44,7 +44,7 @@ impl DistanceMatrix {
             for j in 0..n {
                 // bits ≤ 6, so per-symbol distances top out at 63² and the
                 // u64 → u32 narrowing is lossless.
-                values.push(metric.distance(i as u32, j as u32) as u32);
+                values.push(metric.distance(i as u32, j as u32) as u32); // lint:allow(cast-truncation/narrowing, reason = "bits <= 6 bounds symbols and distances far below u32::MAX")
             }
         }
         DistanceMatrix { n_search: n, n_stored: n, values }

@@ -90,7 +90,7 @@ impl CellEncoding {
         limits: &EncodingLimits,
     ) -> Result<Self, EncodeError> {
         assert!(!solution.is_empty(), "solution must cover at least one search line");
-        let k = solution[0].fets.len();
+        let k = solution[0].fets.len(); // lint:allow(panic-safety/index, reason = "solution asserted non-empty above")
         assert!(solution.iter().all(|r| r.fets.len() == k), "solution rows disagree on cell size");
         let n_search = solution.len();
 
@@ -106,6 +106,7 @@ impl CellEncoding {
         let mut search_levels_used = 0usize;
         let mut max_vds = 0u32;
 
+        // lint:allow(panic-safety/index, reason = "solution is asserted non-ragged with k fets per row; counts and search are sized to n_stored and n_search above")
         for f in 0..k {
             // Conduction counts per stored value (Fig. 5: sort-by-ON-count).
             let counts: Vec<usize> = (0..n_stored)
@@ -202,8 +203,9 @@ impl CellEncoding {
     ///
     /// Panics if either value is out of range.
     pub fn cell_current(&self, search: usize, stored: usize) -> u32 {
-        let se = &self.search[search];
-        let st = &self.stored[stored];
+        let se = &self.search[search]; // lint:allow(panic-safety/index, reason = "documented panics-on-out-of-range contract")
+        let st = &self.stored[stored]; // lint:allow(panic-safety/index, reason = "documented panics-on-out-of-range contract")
+                                       // lint:allow(panic-safety/index, reason = "f < k and every encoding carries exactly k levels")
         (0..self.k)
             .map(|f| if st.vth_levels[f] < se.vgs_levels[f] { se.vds_multiples[f] } else { 0 })
             .sum()
@@ -251,6 +253,7 @@ impl fmt::Display for CellEncoding {
         }
         writeln!(f)?;
         let bits = (usize::BITS - (self.n_stored() - 1).leading_zeros()).max(1) as usize;
+        // lint:allow(panic-safety/index, reason = "v is bounds-checked against n_stored / n_search before each access; fet < k")
         for v in 0..self.n_stored().max(self.n_search()) {
             let label = format!("{v:0bits$b}");
             write!(f, "{label:>5} |")?;

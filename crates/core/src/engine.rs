@@ -141,7 +141,7 @@ pub fn sizing_for(tech: &Technology) -> SizingOptions {
         limits: EncodingLimits {
             max_vth_levels: tech.n_vth_levels,
             max_search_levels: tech.n_vth_levels + 1,
-            max_vds_multiple: tech.max_vds_multiple as u32,
+            max_vds_multiple: tech.max_vds_multiple as u32, // lint:allow(cast-truncation/narrowing, reason = "the drive ladder has a handful of multiples, far below u32::MAX")
         },
         ..Default::default()
     }

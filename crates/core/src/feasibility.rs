@@ -227,6 +227,7 @@ impl RowSearch<'_> {
             return Ok(());
         }
         // Prune: remaining FeFETs cannot cover the remaining sum.
+        // lint:allow(cast-truncation/narrowing, reason = "k - f <= the cell size k, far below u32::MAX")
         if remaining > self.max_level * (self.k - f) as u32 {
             return Ok(());
         }

@@ -61,7 +61,7 @@ impl SoaCodes {
     /// Appends one row.
     pub(crate) fn push_row(&mut self, row: &[u32]) {
         debug_assert_eq!(row.len(), self.dim);
-        self.codes.extend(row.iter().map(|&s| (s & 0xff) as u8));
+        self.codes.extend(row.iter().map(|&s| (s & 0xff) as u8)); // lint:allow(cast-truncation/narrowing, reason = "masked to the low 8 bits; SoA symbols are validated < 256")
     }
 
     /// Overwrites row `r` in place.
@@ -70,7 +70,7 @@ impl SoaCodes {
         let base = r * self.dim;
         // lint:allow(panic-safety/index, reason = "callers pass a row index below rows(); the buffer is rows x dim by construction")
         for (dst, &s) in self.codes[base..base + self.dim].iter_mut().zip(row) {
-            *dst = (s & 0xff) as u8;
+            *dst = (s & 0xff) as u8; // lint:allow(cast-truncation/narrowing, reason = "masked to the low 8 bits; SoA symbols are validated < 256")
         }
     }
 
@@ -152,6 +152,7 @@ pub(crate) fn is_xor_popcount(encoding: &CellEncoding) -> bool {
     }
     for q in 0..n {
         for s in 0..n {
+            // lint:allow(cast-truncation/narrowing, reason = "q and s are below the symbol count n <= 64")
             if encoding.cell_current(q, s) != ((q ^ s) as u32).count_ones() {
                 return false;
             }

@@ -75,14 +75,14 @@ pub fn ac3<V: Clone>(problem: &Problem<V>, domains: &mut [Vec<V>]) -> Ac3Outcome
         let removed = before - domains[var].len();
         if removed > 0 {
             stats.removals += removed;
+            // Queue entries come from constraint endpoints, so `var` is
+            // in range by construction; skip the arc rather than panic.
+            let Some(var_id) = problem.var_at(var) else { continue };
             if domains[var].is_empty() {
-                return Ac3Outcome::WipedOut(
-                    problem.variables().nth(var).expect("var index valid"),
-                    stats,
-                );
+                return Ac3Outcome::WipedOut(var_id, stats);
             }
             // Re-enqueue every other arc pointing at `var`'s neighbors.
-            for &cj in problem.incident(problem.variables().nth(var).expect("valid")) {
+            for &cj in problem.incident(var_id) {
                 if cj == ci {
                     continue;
                 }

@@ -171,16 +171,18 @@ impl Solver {
             .min_by_key(|(i, _)| domains[*i].len())
             .map(|(i, _)| i);
         let Some(var) = next else {
-            let complete: Vec<V> =
-                assignment.iter().map(|a| a.clone().expect("complete")).collect();
+            // `next` is None exactly when every slot is Some, so the
+            // filter_map is total here; the length check guards the
+            // invariant without a panicking path.
+            let complete: Vec<V> = assignment.iter().filter_map(|a| a.clone()).collect();
+            debug_assert_eq!(complete.len(), assignment.len());
             debug_assert!(problem.is_satisfied(&complete));
             return on_solution(&complete);
         };
         let mut candidates = domains[var].clone();
-        if self.value_order_lcv {
+        if let Some(var_id) = problem.var_at(var).filter(|_| self.value_order_lcv) {
             // LCV: sort by how many neighbor-domain values each candidate
             // keeps alive (most first).
-            let var_id = problem.variables().nth(var).expect("valid var");
             let mut scored: Vec<(usize, V)> = candidates
                 .into_iter()
                 .map(|value| {
@@ -254,7 +256,9 @@ impl Solver {
         var: usize,
         value: &V,
     ) -> bool {
-        let var_id = problem.variables().nth(var).expect("valid var");
+        // Out-of-range would mean the assignment vector disagrees with
+        // the problem; treat it as vacuously consistent rather than abort.
+        let Some(var_id) = problem.var_at(var) else { return true };
         for &ci in problem.incident(var_id) {
             let c = &problem.constraints()[ci];
             let (other, var_is_a) =
@@ -280,7 +284,9 @@ impl Solver {
         var: usize,
         value: &V,
     ) -> Option<Vec<(usize, Vec<V>)>> {
-        let var_id = problem.variables().nth(var).expect("valid var");
+        // No such variable → nothing to prune; `None` is reserved for a
+        // genuine domain wipeout, so this must stay `Some`.
+        let Some(var_id) = problem.var_at(var) else { return Some(Vec::new()) };
         let mut saved = Vec::new();
         for &ci in problem.incident(var_id) {
             let c = &problem.constraints()[ci];

@@ -179,6 +179,13 @@ impl<V> Problem<V> {
         (0..self.vars.len()).map(VarId)
     }
 
+    /// The `VarId` at a raw index, when in range. The checked
+    /// counterpart of `variables().nth(i)` — O(1) and panic-free, for
+    /// solver internals that index variables positionally.
+    pub fn var_at(&self, index: usize) -> Option<VarId> {
+        (index < self.vars.len()).then_some(VarId(index))
+    }
+
     /// The name of a variable.
     pub fn var_name(&self, var: VarId) -> &str {
         &self.vars[var.0].name

@@ -14,28 +14,52 @@
 //! analyzer stays dependency-free.
 
 use crate::rules::Diagnostic;
-use std::collections::BTreeMap;
+use crate::taint;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// `file → rule → grandfathered count`, ordered for byte-stable output.
 pub type Counts = BTreeMap<String, BTreeMap<String, usize>>;
 
-/// Aggregates diagnostics into per-(file, rule) counts.
+/// A parsed baseline: per-(file, rule) counts for positional findings
+/// plus the fingerprint set for chain-bearing `taint/*` findings (whose
+/// identity is rule + qualified fn + chain, immune to line churn).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Grandfathered per-file counts.
+    pub counts: Counts,
+    /// Grandfathered taint fingerprints (see [`taint::fingerprint`]).
+    pub fingerprints: BTreeSet<String>,
+}
+
+/// Aggregates diagnostics into per-(file, rule) counts. Chain-bearing
+/// `taint/*` findings are excluded — they ratchet by fingerprint, not
+/// by count (see [`fingerprints_of`]).
 pub fn counts_of(diags: &[Diagnostic]) -> Counts {
     let mut counts = Counts::new();
     for d in diags {
+        if d.rule.starts_with("taint/") {
+            continue;
+        }
         *counts.entry(d.file.clone()).or_default().entry(d.rule.to_string()).or_default() += 1;
     }
     counts
 }
 
-/// Serializes counts in the baseline's canonical form.
-pub fn format(counts: &Counts) -> String {
+/// The fingerprint set of a scan's taint findings.
+pub fn fingerprints_of(diags: &[Diagnostic]) -> BTreeSet<String> {
+    diags.iter().filter_map(taint::fingerprint).collect()
+}
+
+/// Serializes a baseline in its canonical form. The `[fingerprints]`
+/// table (taint chains) comes last; file paths always contain `/`, so
+/// the table name cannot collide with a file entry.
+pub fn format(base: &Baseline) -> String {
     let mut out = String::from(
         "# ferex-lint ratcheted baseline — grandfathered violations per file and rule.\n\
          # Counts may only go down. Regenerate after paying debt with:\n\
          #   cargo run -p ferex-lint -- --update-baseline\n",
     );
-    for (file, rules) in counts {
+    for (file, rules) in &base.counts {
         if rules.values().all(|&n| n == 0) {
             continue;
         }
@@ -46,41 +70,55 @@ pub fn format(counts: &Counts) -> String {
             }
         }
     }
+    if !base.fingerprints.is_empty() {
+        out.push_str("\n[fingerprints]\n");
+        for fp in &base.fingerprints {
+            out.push_str(&format!("\"{fp}\" = 1\n"));
+        }
+    }
     out
 }
 
 /// Parses the canonical baseline form; returns a line-numbered error
 /// for anything outside the subset.
-pub fn parse(text: &str) -> Result<Counts, String> {
-    let mut counts = Counts::new();
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut base = Baseline::default();
     let mut current: Option<String> = None;
+    let mut in_fingerprints = false;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-            let file = header.trim().trim_matches('"').to_string();
-            if file.is_empty() {
+            let name = header.trim().trim_matches('"').to_string();
+            if name.is_empty() {
                 return Err(format!("line {}: empty table header", i + 1));
             }
-            counts.entry(file.clone()).or_default();
-            current = Some(file);
+            in_fingerprints = name == "fingerprints";
+            if !in_fingerprints {
+                base.counts.entry(name.clone()).or_default();
+                current = Some(name);
+            }
         } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim().trim_matches('"').to_string();
+            if in_fingerprints {
+                base.fingerprints.insert(key);
+                continue;
+            }
             let Some(file) = &current else {
                 return Err(format!("line {}: entry before any [\"file\"] table", i + 1));
             };
-            let rule = key.trim().trim_matches('"').to_string();
             let n: usize = value
                 .trim()
                 .parse()
                 .map_err(|_| format!("line {}: count is not an integer", i + 1))?;
-            counts.entry(file.clone()).or_default().insert(rule, n);
+            base.counts.entry(file.clone()).or_default().insert(key, n);
         } else {
             return Err(format!("line {}: unrecognized baseline syntax", i + 1));
         }
     }
-    Ok(counts)
+    Ok(base)
 }
 
 /// One (file, rule) pair where the tree and the baseline disagree.
@@ -104,18 +142,33 @@ pub struct Comparison {
     /// (file, rule) pairs below baseline — paid debt the baseline
     /// still grandfathers; a failure until the ratchet is tightened.
     pub stale: Vec<Drift>,
+    /// Taint fingerprints in the tree but not the baseline — new
+    /// transitive findings, always a failure.
+    pub new_taint: Vec<String>,
+    /// Baseline fingerprints no longer in the tree — paid-off chains;
+    /// a failure until the ratchet is tightened.
+    pub stale_taint: Vec<String>,
 }
 
 impl Comparison {
     /// `true` when the tree matches the baseline exactly.
     pub fn is_clean(&self) -> bool {
-        self.new_violations.is_empty() && self.stale.is_empty()
+        self.new_violations.is_empty()
+            && self.stale.is_empty()
+            && self.new_taint.is_empty()
+            && self.stale_taint.is_empty()
     }
 }
 
-/// Compares actual counts against the baseline (see module docs).
-pub fn compare(actual: &Counts, baseline: &Counts) -> Comparison {
-    let mut cmp = Comparison::default();
+/// Compares actual counts and fingerprints against the baseline (see
+/// module docs).
+pub fn compare(actual: &Counts, actual_fps: &BTreeSet<String>, base: &Baseline) -> Comparison {
+    let baseline = &base.counts;
+    let mut cmp = Comparison {
+        new_taint: actual_fps.difference(&base.fingerprints).cloned().collect(),
+        stale_taint: base.fingerprints.difference(actual_fps).cloned().collect(),
+        ..Comparison::default()
+    };
     let empty = BTreeMap::new();
     for (file, rules) in actual {
         let base_rules = baseline.get(file).unwrap_or(&empty);
@@ -164,10 +217,20 @@ mod tests {
             ("crates/core/src/array.rs", "panic-safety/index", 12),
             ("crates/fefet/src/cell.rs", "determinism/wall-clock", 1),
         ]);
-        let text = format(&c);
-        assert_eq!(parse(&text).unwrap(), c);
+        let fps: BTreeSet<String> = ["taint/panic|core::a::serve|core::a::serve->core::a::deep"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let base = Baseline { counts: c, fingerprints: fps };
+        let text = format(&base);
+        assert_eq!(parse(&text).unwrap(), base);
         // Byte-stable: formatting the parse of the format is identity.
         assert_eq!(format(&parse(&text).unwrap()), text);
+        // Fingerprint-free baselines round-trip without the table.
+        let plain = Baseline { counts: base.counts.clone(), fingerprints: BTreeSet::new() };
+        let text = format(&plain);
+        assert!(!text.contains("[fingerprints]"));
+        assert_eq!(parse(&text).unwrap(), plain);
     }
 
     #[test]
@@ -178,12 +241,35 @@ mod tests {
     }
 
     #[test]
+    fn compare_flags_new_and_stale_taint() {
+        let tree: BTreeSet<String> =
+            ["taint/panic|a|a->b", "taint/entropy|c|c->d"].iter().map(|s| s.to_string()).collect();
+        let base = Baseline {
+            counts: Counts::new(),
+            fingerprints: ["taint/panic|a|a->b", "taint/panic|old|old->gone"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        };
+        let cmp = compare(&Counts::new(), &tree, &base);
+        assert_eq!(cmp.new_taint, vec!["taint/entropy|c|c->d".to_string()]);
+        assert_eq!(cmp.stale_taint, vec!["taint/panic|old|old->gone".to_string()]);
+        assert!(!cmp.is_clean());
+    }
+
+    #[test]
     fn compare_flags_new_and_stale() {
-        let base = counts(&[("a.rs", "panic-safety/unwrap", 2), ("b.rs", "panic-safety/panic", 1)]);
+        let base = Baseline {
+            counts: counts(&[
+                ("a.rs", "panic-safety/unwrap", 2),
+                ("b.rs", "panic-safety/panic", 1),
+            ]),
+            fingerprints: BTreeSet::new(),
+        };
         // One new family in a.rs, b.rs fully paid off.
         let actual =
             counts(&[("a.rs", "panic-safety/unwrap", 2), ("a.rs", "determinism/wall-clock", 1)]);
-        let cmp = compare(&actual, &base);
+        let cmp = compare(&actual, &BTreeSet::new(), &base);
         assert_eq!(
             cmp.new_violations,
             vec![Drift {
@@ -203,6 +289,6 @@ mod tests {
             }]
         );
         assert!(!cmp.is_clean());
-        assert!(compare(&base, &base).is_clean());
+        assert!(compare(&base.counts, &BTreeSet::new(), &base).is_clean());
     }
 }

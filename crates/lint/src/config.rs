@@ -35,17 +35,20 @@ impl LintConfig {
     /// scanned, so `tests/`, `benches/` and `examples/` never get here.
     pub fn scope_for(&self, rel_path: &str) -> Scope {
         let Some(krate) = crate_of(rel_path) else { return Scope::default() };
+        let serving = self.serving_crates.iter().any(|c| c == krate);
         Scope {
-            determinism: self.serving_crates.iter().any(|c| c == krate),
-            panic_safety: self.serving_crates.iter().any(|c| c == krate),
+            determinism: serving,
+            panic_safety: serving,
             error_hygiene: self.error_hygiene_crates.iter().any(|c| c == krate),
+            float_order: serving,
+            cast_truncation: serving,
         }
     }
 }
 
 /// `crates/<name>/src/...` → `Some(name)`; the facade's `src/...` maps
 /// to the pseudo-crate name `.` (never a serving crate).
-fn crate_of(rel_path: &str) -> Option<&str> {
+pub fn crate_of(rel_path: &str) -> Option<&str> {
     let p = Path::new(rel_path);
     let mut parts = p.components().filter_map(|c| c.as_os_str().to_str());
     match parts.next()? {
@@ -55,9 +58,41 @@ fn crate_of(rel_path: &str) -> Option<&str> {
     }
 }
 
+/// Fully-qualified module prefix for items in `rel_path`, used by the
+/// call-graph pass: the crate name plus the module path the file
+/// occupies. `lib.rs`/`main.rs`/`mod.rs` stems contribute no segment;
+/// the facade's `src/` maps to `ferex`.
+///
+/// `crates/core/src/soa/kernel.rs` → `core::soa::kernel`.
+pub fn module_prefix(rel_path: &str) -> String {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let (krate, rest) = match parts.as_slice() {
+        ["crates", name, "src", rest @ ..] => (*name, rest),
+        ["src", rest @ ..] => ("ferex", rest),
+        _ => return rel_path.trim_end_matches(".rs").replace('/', "::"),
+    };
+    let mut segs = vec![krate.to_string()];
+    for (i, p) in rest.iter().enumerate() {
+        let s = if i + 1 == rest.len() { p.trim_end_matches(".rs") } else { p };
+        if !matches!(s, "lib" | "main" | "mod") {
+            segs.push(s.to_string());
+        }
+    }
+    segs.join("::")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn module_prefixes_follow_file_layout() {
+        assert_eq!(module_prefix("crates/core/src/array.rs"), "core::array");
+        assert_eq!(module_prefix("crates/core/src/lib.rs"), "core");
+        assert_eq!(module_prefix("crates/core/src/soa/kernel.rs"), "core::soa::kernel");
+        assert_eq!(module_prefix("crates/core/src/soa/mod.rs"), "core::soa");
+        assert_eq!(module_prefix("src/lib.rs"), "ferex");
+    }
 
     #[test]
     fn serving_crates_get_both_families() {

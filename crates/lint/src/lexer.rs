@@ -153,7 +153,12 @@ impl<'a> Lexer<'a> {
                     self.push(TokKind::Punct, start, line);
                 }
                 _ => {
-                    self.pos += 1;
+                    // Advance a whole char: a non-ASCII byte in code
+                    // position (stray `—` from a comment cut open by a
+                    // mutation, a unicode ident) must not leave `pos`
+                    // mid-char, or the slice below panics.
+                    let width = self.src[start..].chars().next().map(char::len_utf8).unwrap_or(1);
+                    self.pos += width;
                     self.push(TokKind::Punct, start, line);
                 }
             }
@@ -223,7 +228,13 @@ impl<'a> Lexer<'a> {
     fn char_literal(&mut self) {
         self.pos += 1; // opening quote
         if self.bytes.get(self.pos) == Some(&b'\\') {
-            self.pos += 2;
+            // An escaped newline still advances the line counter, and the
+            // escape may sit at EOF — clamp so `push` never slices past
+            // the end of the source.
+            if self.bytes.get(self.pos + 1) == Some(&b'\n') {
+                self.line += 1;
+            }
+            self.pos = (self.pos + 2).min(self.bytes.len());
         } else if self.pos < self.bytes.len() {
             if self.bytes[self.pos] == b'\n' {
                 self.line += 1;
@@ -244,7 +255,16 @@ impl<'a> Lexer<'a> {
     fn string_body(&mut self) {
         while self.pos < self.bytes.len() {
             match self.bytes[self.pos] {
-                b'\\' => self.pos += 2,
+                // Escapes skip the next byte — but a `\` + newline line
+                // continuation must still count the line, and a trailing
+                // `\` at EOF must not push `pos` past the source (the
+                // token slice in `push` would panic).
+                b'\\' => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos = (self.pos + 2).min(self.bytes.len());
+                }
                 b'"' => {
                     self.pos += 1;
                     return;
@@ -415,5 +435,64 @@ mod tests {
     fn unterminated_string_does_not_hang() {
         let toks = lex("let x = \"never closed\nmore");
         assert!(!toks.is_empty());
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // `\` + newline is a line continuation; the token after the
+        // string must still land on the right source line.
+        let toks = lex("let s = \"a\\\nb\";\nafter");
+        let after = toks.iter().rfind(|t| t.kind == TokKind::Ident).unwrap();
+        assert_eq!((after.text, after.line), ("after", 3));
+    }
+
+    #[test]
+    fn trailing_escape_at_eof_does_not_panic() {
+        // A lone `"\` (or `'\`) at EOF previously pushed `pos` past the
+        // source and the token slice panicked.
+        assert!(!lex("let s = \"\\").is_empty());
+        assert!(!lex("let c = '\\").is_empty());
+        assert!(!lex("\"\\").is_empty());
+    }
+
+    #[test]
+    fn raw_string_with_many_hashes_and_inner_terminators() {
+        let toks = kinds(r####"let s = r##"inner "# quote"##; done"####);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(), 1);
+        assert_eq!(toks.last().map(|(_, t)| *t), Some("done"));
+        // Unterminated raw string consumes to EOF without panicking.
+        assert!(!lex(r###"let s = r#"never closed"###).is_empty());
+    }
+
+    #[test]
+    fn deeply_nested_and_unterminated_block_comments() {
+        let toks = kinds("/* a /* b /* c */ */ still */ code");
+        assert_eq!(toks.last(), Some(&(TokKind::Ident, "code")));
+        // Unterminated nesting consumes to EOF, still one token.
+        let toks = lex("/* outer /* inner */ never closed");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn lifetime_label_and_char_disambiguation() {
+        // Loop labels are lifetimes, not char literals.
+        let toks = kinds("'outer: loop { break 'outer; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        // `'_'` is a char literal (underscore), `'_` alone is a lifetime.
+        let toks = kinds("let c = '_'; fn f(x: &'_ str) {}");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Literal).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 1);
+    }
+
+    #[test]
+    fn non_ascii_in_code_position_lexes_whole_chars() {
+        // Multi-byte chars outside comments/strings (an em-dash exposed
+        // by a truncated comment, unicode idents) must advance whole
+        // chars — splitting a char boundary panicked the slice here.
+        let toks = kinds("let x — = 1; λ");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && *t == "—"));
+        assert!(toks.iter().any(|(_, t)| *t == "λ"));
+        assert_eq!(lex("\u{fffd}\u{fffd}").len(), 2);
     }
 }

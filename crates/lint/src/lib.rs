@@ -32,12 +32,15 @@
 //! of the workspace.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 
-pub use baseline::{compare, counts_of, Comparison, Counts, Drift};
+pub use baseline::{compare, counts_of, fingerprints_of, Baseline, Comparison, Counts, Drift};
 pub use config::LintConfig;
 pub use rules::{Diagnostic, Scope};
 pub use scan::{run_scan, ScanReport};
@@ -57,7 +60,8 @@ pub fn check(
 ) -> Result<(ScanReport, Comparison), String> {
     let report = run_scan(root, config)?;
     let base = baseline::parse(baseline_text)?;
-    let cmp = compare(&counts_of(&report.diagnostics), &base);
+    let cmp =
+        compare(&counts_of(&report.diagnostics), &fingerprints_of(&report.diagnostics), &base);
     Ok((report, cmp))
 }
 
@@ -65,23 +69,37 @@ pub fn check(
 /// artifact). Hand-rolled like the conformance reports — same schema
 /// discipline: bump the schema id on any shape change.
 pub fn json_report(report: &ScanReport, cmp: &Comparison) -> String {
-    let mut out = String::from("{\n  \"schema\": \"ferex-lint-v1\",\n");
+    let mut out = String::from("{\n  \"schema\": \"ferex-lint-v2\",\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     out.push_str(&format!(
-        "  \"new_violations\": {},\n  \"stale_baseline_entries\": {},\n",
+        "  \"new_violations\": {},\n  \"stale_baseline_entries\": {},\n\
+         \x20 \"new_taint_findings\": {},\n  \"stale_taint_fingerprints\": {},\n",
         cmp.new_violations.len(),
-        cmp.stale.len()
+        cmp.stale.len(),
+        cmp.new_taint.len(),
+        cmp.stale_taint.len()
     ));
     out.push_str("  \"diagnostics\": [\n");
     for (i, d) in report.diagnostics.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{}\n",
+            "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"",
             json_escape(&d.file),
             d.line,
             json_escape(d.rule),
             json_escape(&d.message),
-            if i + 1 < report.diagnostics.len() { "," } else { "" }
         ));
+        if let Some(q) = &d.qualified_fn {
+            out.push_str(&format!(", \"fn\": \"{}\"", json_escape(q)));
+        }
+        if !d.chain.is_empty() {
+            let links: Vec<String> =
+                d.chain.iter().map(|c| format!("\"{}\"", json_escape(c))).collect();
+            out.push_str(&format!(", \"chain\": [{}]", links.join(", ")));
+        }
+        if let Some(fp) = taint::fingerprint(d) {
+            out.push_str(&format!(", \"fingerprint\": \"{}\"", json_escape(&fp)));
+        }
+        out.push_str(&format!("}}{}\n", if i + 1 < report.diagnostics.len() { "," } else { "" }));
     }
     out.push_str("  ]\n}\n");
     out

@@ -6,8 +6,16 @@
 //! ferex-lint --update-baseline            # tighten/regenerate lint-baseline.toml
 //! ferex-lint --list                       # print every diagnostic, ignore baseline
 //! ferex-lint --check --report lint.json   # also write the CI artifact
+//! ferex-lint --check --changed-only       # gate only files changed vs git HEAD
+//! ferex-lint --check --github             # emit GitHub problem-matcher lines
 //! ferex-lint --root PATH --baseline PATH  # override workspace root / baseline file
 //! ```
+//!
+//! `--changed-only` is the fast local loop: the whole workspace is
+//! still scanned (the call graph needs every crate), but only findings
+//! in files with uncommitted or unpushed-to-HEAD changes gate, and
+//! stale-baseline drift is ignored. `--github` renders new findings as
+//! `::error` workflow commands so they annotate the PR diff.
 //!
 //! Exit codes: `0` clean, `1` new violations or stale baseline
 //! entries, `2` usage or I/O error.
@@ -27,6 +35,8 @@ struct Args {
     root: PathBuf,
     baseline: PathBuf,
     report: Option<PathBuf>,
+    changed_only: bool,
+    github: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,12 +44,16 @@ fn parse_args() -> Result<Args, String> {
     let mut root: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut report = None;
+    let mut changed_only = false;
+    let mut github = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--check" => mode = Mode::Check,
             "--update-baseline" => mode = Mode::UpdateBaseline,
             "--list" => mode = Mode::List,
+            "--changed-only" => changed_only = true,
+            "--github" => github = true,
             "--root" => root = Some(PathBuf::from(next_value(&mut argv, "--root")?)),
             "--baseline" => {
                 baseline = Some(PathBuf::from(next_value(&mut argv, "--baseline")?));
@@ -49,7 +63,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "ferex-lint: determinism & panic-safety analyzer\n\
                      usage: ferex-lint [--check|--update-baseline|--list] [--root PATH]\n\
-                     \x20                 [--baseline PATH] [--report PATH]"
+                     \x20                 [--baseline PATH] [--report PATH]\n\
+                     \x20                 [--changed-only] [--github]"
                 );
                 std::process::exit(0);
             }
@@ -61,7 +76,40 @@ fn parse_args() -> Result<Args, String> {
         None => find_workspace_root()?,
     };
     let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.toml"));
-    Ok(Args { mode, root, baseline, report })
+    Ok(Args { mode, root, baseline, report, changed_only, github })
+}
+
+/// Workspace-relative paths of files changed vs `HEAD` (staged,
+/// unstaged, and untracked), forward slashes — the `--changed-only`
+/// gate set.
+fn changed_files(root: &std::path::Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for args in
+        [&["diff", "--name-only", "HEAD"][..], &["ls-files", "--others", "--exclude-standard"][..]]
+    {
+        let cmd = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(args)
+            .output()
+            .map_err(|e| format!("git {}: {e}", args.join(" ")))?;
+        if !cmd.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&cmd.stderr).trim()
+            ));
+        }
+        out.extend(
+            String::from_utf8_lossy(&cmd.stdout)
+                .lines()
+                .map(|l| l.trim().replace('\\', "/"))
+                .filter(|l| !l.is_empty()),
+        );
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
 }
 
 fn next_value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -85,6 +133,40 @@ fn find_workspace_root() -> Result<PathBuf, String> {
         if !dir.pop() {
             return Err(
                 "no workspace Cargo.toml above the current directory; pass --root".to_string()
+            );
+        }
+    }
+}
+
+/// Renders every gating finding as a GitHub Actions workflow command
+/// (`::error file=..,line=..::..`) so the lint job annotates the PR
+/// diff in place. Newlines are `%0A`-escaped per the protocol.
+fn github_annotations(report: &ferex_lint::ScanReport, cmp: &ferex_lint::Comparison) {
+    let escape = |s: &str| s.replace('%', "%25").replace('\n', "%0A").replace('\r', "%0D");
+    for drift in &cmp.new_violations {
+        for d in report.diagnostics.iter().filter(|d| d.file == drift.file && d.rule == drift.rule)
+        {
+            println!(
+                "::error file={},line={},title=ferex-lint({})::{}",
+                d.file,
+                d.line,
+                d.rule,
+                escape(&d.message)
+            );
+        }
+    }
+    for fp in &cmp.new_taint {
+        for d in report
+            .diagnostics
+            .iter()
+            .filter(|d| ferex_lint::taint::fingerprint(d).as_deref() == Some(fp))
+        {
+            println!(
+                "::error file={},line={},title=ferex-lint({})::{}",
+                d.file,
+                d.line,
+                d.rule,
+                escape(&d.message)
             );
         }
     }
@@ -124,15 +206,19 @@ fn run() -> Result<bool, String> {
         }
         Mode::UpdateBaseline => {
             let report = run_scan(&args.root, &config)?;
-            let counts = ferex_lint::counts_of(&report.diagnostics);
-            let text = baseline::format(&counts);
+            let base = ferex_lint::Baseline {
+                counts: ferex_lint::counts_of(&report.diagnostics),
+                fingerprints: ferex_lint::fingerprints_of(&report.diagnostics),
+            };
+            let text = baseline::format(&base);
             std::fs::write(&args.baseline, &text)
                 .map_err(|e| format!("write {}: {e}", args.baseline.display()))?;
             println!(
-                "ferex-lint: baseline updated ({} grandfathered violation(s) across {} file(s)) \
-                 -> {}",
+                "ferex-lint: baseline updated ({} grandfathered violation(s) across {} file(s), \
+                 {} taint fingerprint(s)) -> {}",
                 report.diagnostics.len(),
-                counts.len(),
+                base.counts.len(),
+                base.fingerprints.len(),
                 args.baseline.display()
             );
             Ok(true)
@@ -143,10 +229,28 @@ fn run() -> Result<bool, String> {
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
                 Err(e) => return Err(format!("read {}: {e}", args.baseline.display())),
             };
-            let (report, cmp) = check(&args.root, &config, &baseline_text)?;
+            let (report, mut cmp) = check(&args.root, &config, &baseline_text)?;
             if let Some(path) = &args.report {
+                // The CI artifact always reflects the full-workspace
+                // comparison, independent of --changed-only.
                 std::fs::write(path, json_report(&report, &cmp))
                     .map_err(|e| format!("write {}: {e}", path.display()))?;
+            }
+            if args.changed_only {
+                let changed = changed_files(&args.root)?;
+                cmp.new_violations.retain(|d| changed.iter().any(|f| f == &d.file));
+                let changed_taint: Vec<String> = report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| changed.iter().any(|f| f == &d.file))
+                    .filter_map(ferex_lint::taint::fingerprint)
+                    .collect();
+                cmp.new_taint.retain(|fp| changed_taint.iter().any(|c| c == fp));
+                // Stale drift is a whole-tree property; the fast local
+                // loop only gates on new debt in touched files.
+                cmp.stale.clear();
+                cmp.stale_taint.clear();
+                println!("ferex-lint: --changed-only gating on {} changed file(s)", changed.len());
             }
             for drift in &cmp.new_violations {
                 eprintln!(
@@ -161,6 +265,16 @@ fn run() -> Result<bool, String> {
                     eprintln!("  {}", d.render());
                 }
             }
+            for fp in &cmp.new_taint {
+                eprintln!("ferex-lint: NEW taint finding (not in baseline): {fp}");
+                for d in report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| ferex_lint::taint::fingerprint(d).as_deref() == Some(fp))
+                {
+                    eprintln!("  {}", d.render());
+                }
+            }
             for drift in &cmp.stale {
                 eprintln!(
                     "ferex-lint: STALE baseline entry {} / {}: allows {} but the tree has {} — \
@@ -168,14 +282,27 @@ fn run() -> Result<bool, String> {
                     drift.file, drift.rule, drift.allowed, drift.actual
                 );
             }
+            for fp in &cmp.stale_taint {
+                eprintln!(
+                    "ferex-lint: STALE taint fingerprint no longer in the tree — run \
+                     `cargo run -p ferex-lint -- --update-baseline` to tighten the ratchet: {fp}"
+                );
+            }
+            if args.github {
+                github_annotations(&report, &cmp);
+            }
             println!(
-                "ferex-lint: {} file(s), {} diagnostic(s) ({} grandfathered), {} new, {} stale",
+                "ferex-lint: {} file(s), {} diagnostic(s) ({} grandfathered), {} new, {} stale, \
+                 {} new taint, {} stale taint",
                 report.files_scanned,
                 report.diagnostics.len(),
                 report.diagnostics.len()
-                    - cmp.new_violations.iter().map(|d| d.actual - d.allowed).sum::<usize>(),
+                    - cmp.new_violations.iter().map(|d| d.actual - d.allowed).sum::<usize>()
+                    - cmp.new_taint.len(),
                 cmp.new_violations.len(),
-                cmp.stale.len()
+                cmp.stale.len(),
+                cmp.new_taint.len(),
+                cmp.stale_taint.len()
             );
             Ok(cmp.is_clean())
         }

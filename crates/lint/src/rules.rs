@@ -23,6 +23,12 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Fully-qualified enclosing function, when the graph pass knows it
+    /// (`taint/*` and `float-order/accumulation` findings).
+    pub qualified_fn: Option<String>,
+    /// Call chain from the flagged function to the sink (`taint/*`
+    /// findings only; empty otherwise).
+    pub chain: Vec<String>,
 }
 
 impl Diagnostic {
@@ -42,6 +48,11 @@ pub struct Scope {
     pub panic_safety: bool,
     /// `error-hygiene/*`: public `Result` error types.
     pub error_hygiene: bool,
+    /// `float-order/parallel-reduce`: order-sensitive float reductions
+    /// inside rayon parallel iterators.
+    pub float_order: bool,
+    /// `cast-truncation/narrowing`: `as u8`/`as u16`/`as u32` casts.
+    pub cast_truncation: bool,
 }
 
 /// Rule ids for the determinism family.
@@ -64,6 +75,21 @@ pub const RULE_RESULT_ERROR: &str = "error-hygiene/result-error-type";
 pub const RULE_UNUSED_ALLOW: &str = "lint/unused-allow";
 /// A malformed `lint:allow` (unknown rule or missing reason).
 pub const RULE_INVALID_ALLOW: &str = "lint/invalid-allow";
+/// Order-sensitive float reduction inside a rayon parallel iterator.
+pub const RULE_FLOAT_PARALLEL: &str = "float-order/parallel-reduce";
+/// Float accumulation reachable from `distances_batch` without the
+/// partial-sums-below-2^53 annotation (graph pass, [`crate::taint`]).
+pub const RULE_FLOAT_ACCUMULATION: &str = "float-order/accumulation";
+/// Narrowing `as u8`/`as u16`/`as u32` cast on a serving path.
+pub const RULE_CAST_NARROWING: &str = "cast-truncation/narrowing";
+/// Transitive wall-clock reach from a public serving fn (graph pass).
+pub const RULE_TAINT_WALL_CLOCK: &str = "taint/wall-clock";
+/// Transitive entropy-source reach (graph pass).
+pub const RULE_TAINT_ENTROPY: &str = "taint/entropy";
+/// Transitive unordered-iteration reach (graph pass).
+pub const RULE_TAINT_MAP_ITERATION: &str = "taint/map-iteration";
+/// Transitive panic reach (graph pass).
+pub const RULE_TAINT_PANIC: &str = "taint/panic";
 
 /// Every rule id an allow annotation may name.
 pub const ALL_RULES: &[&str] = &[
@@ -77,7 +103,21 @@ pub const ALL_RULES: &[&str] = &[
     RULE_RESULT_ERROR,
     RULE_UNUSED_ALLOW,
     RULE_INVALID_ALLOW,
+    RULE_FLOAT_PARALLEL,
+    RULE_FLOAT_ACCUMULATION,
+    RULE_CAST_NARROWING,
+    RULE_TAINT_WALL_CLOCK,
+    RULE_TAINT_ENTROPY,
+    RULE_TAINT_MAP_ITERATION,
+    RULE_TAINT_PANIC,
 ];
+
+/// Rules emitted by the graph pass, not [`analyze_file`]: their allows
+/// are consumed in [`crate::taint`], so the per-file unused-allow check
+/// must not claim them.
+pub(crate) fn is_cross_pass_rule(rule: &str) -> bool {
+    rule.starts_with("taint/") || rule == RULE_FLOAT_ACCUMULATION
+}
 
 const ITER_METHODS: &[&str] = &[
     "iter",
@@ -114,7 +154,12 @@ struct Allow {
 /// `scope` selects which rule families fire. Code under `#[cfg(test)]`
 /// or `#[test]` items is exempt from every rule.
 pub fn analyze_file(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagnostic> {
-    if !(scope.determinism || scope.panic_safety || scope.error_hygiene) {
+    if !(scope.determinism
+        || scope.panic_safety
+        || scope.error_hygiene
+        || scope.float_order
+        || scope.cast_truncation)
+    {
         // No family applies (non-serving crate): nothing can fire, and
         // allow-annotation hygiene is meaningless without rules.
         return Vec::new();
@@ -134,6 +179,12 @@ pub fn analyze_file(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagnostic> 
     }
     if scope.error_hygiene {
         error_hygiene_rule(rel_path, &code, &mut raw);
+    }
+    if scope.float_order {
+        float_order_rule(rel_path, &code, &mut raw);
+    }
+    if scope.cast_truncation {
+        cast_truncation_rule(rel_path, &code, &mut raw);
     }
 
     let mut out: Vec<Diagnostic> = Vec::new();
@@ -155,23 +206,26 @@ pub fn analyze_file(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagnostic> 
             continue;
         }
         if !a.reason_ok {
-            out.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: a.start,
-                rule: RULE_INVALID_ALLOW,
-                message: format!(
+            out.push(diag(
+                rel_path,
+                a.start,
+                RULE_INVALID_ALLOW,
+                format!(
                     "malformed lint:allow for `{}`: needs a known rule and a non-empty \
                      reason = \"...\"",
                     a.rule
                 ),
-            });
-        } else if !a.used {
-            out.push(Diagnostic {
-                file: rel_path.to_string(),
-                line: a.start,
-                rule: RULE_UNUSED_ALLOW,
-                message: format!("lint:allow({}) suppressed nothing; remove it", a.rule),
-            });
+            ));
+        } else if !a.used && !is_cross_pass_rule(&a.rule) {
+            // Cross-pass rules (taint/*, float-order/accumulation) are
+            // consumed by the graph pass; this per-file pass cannot
+            // know whether they fired.
+            out.push(diag(
+                rel_path,
+                a.start,
+                RULE_UNUSED_ALLOW,
+                format!("lint:allow({}) suppressed nothing; remove it", a.rule),
+            ));
         }
     }
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -179,7 +233,40 @@ pub fn analyze_file(rel_path: &str, src: &str, scope: Scope) -> Vec<Diagnostic> 
 }
 
 fn diag(file: &str, line: u32, rule: &'static str, message: String) -> Diagnostic {
-    Diagnostic { file: file.to_string(), line, rule, message }
+    Diagnostic {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+        qualified_fn: None,
+        chain: Vec::new(),
+    }
+}
+
+/// A `lint:allow` annotation's coverage, for cross-pass suppression
+/// queries from [`crate::taint`].
+#[derive(Debug)]
+pub(crate) struct AllowCover {
+    rule: String,
+    start: u32,
+    end: u32,
+    reason_ok: bool,
+}
+
+impl AllowCover {
+    /// `true` when this (valid) annotation names `rule` and spans `line`.
+    pub(crate) fn covers(&self, rule: &str, line: u32) -> bool {
+        self.reason_ok && self.rule == rule && line >= self.start && line <= self.end
+    }
+}
+
+/// Every valid-or-not allow annotation in a token stream, as coverage
+/// spans (see [`collect_allows`] for the range rules).
+pub(crate) fn allow_index(toks: &[Tok]) -> Vec<AllowCover> {
+    collect_allows(toks)
+        .into_iter()
+        .map(|a| AllowCover { rule: a.rule, start: a.start, end: a.end, reason_ok: a.reason_ok })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -384,6 +471,24 @@ fn determinism_rules(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
 /// Purely lexical — it sees `let m = HashMap::new()`, `m: HashMap<..>`
 /// struct fields and annotations, not types that arrive via inference.
 fn map_iteration_rule(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    for (line, name) in map_iteration_hits(code) {
+        out.push(diag(
+            file,
+            line,
+            RULE_MAP_ITERATION,
+            format!(
+                "iteration over unordered HashMap/HashSet `{name}` on a serving path; use a \
+                 Vec/BTreeMap or sort before iterating so order is deterministic"
+            ),
+        ));
+    }
+}
+
+/// The `(line, binding name)` pairs where a HashMap/HashSet binding is
+/// iterated — shared between [`map_iteration_rule`] and the taint
+/// pass's fact extraction.
+pub(crate) fn map_iteration_hits(code: &[&Tok]) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
     let mut names: Vec<&str> = Vec::new();
     for (i, t) in code.iter().enumerate() {
         if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
@@ -407,7 +512,7 @@ fn map_iteration_rule(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
         }
     }
     if names.is_empty() {
-        return;
+        return hits;
     }
     for (i, t) in code.iter().enumerate() {
         if t.kind != TokKind::Ident || !names.contains(&t.text) {
@@ -426,18 +531,10 @@ fn map_iteration_rule(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
         }
         let for_iter = j > 0 && code[j - 1].text == "in";
         if method_iter || for_iter {
-            out.push(diag(
-                file,
-                t.line,
-                RULE_MAP_ITERATION,
-                format!(
-                    "iteration over unordered HashMap/HashSet `{}` on a serving path; use a \
-                     Vec/BTreeMap or sort before iterating so order is deterministic",
-                    t.text
-                ),
-            ));
+            hits.push((t.line, t.text.to_string()));
         }
     }
+    hits
 }
 
 // ---------------------------------------------------------------------
@@ -500,6 +597,128 @@ fn indexes_expression(prev: &Tok) -> bool {
         TokKind::Punct => matches!(prev.text, ")" | "]" | "?"),
         _ => false,
     }
+}
+
+// ---------------------------------------------------------------------
+// float-order/* and cast-truncation/*
+// ---------------------------------------------------------------------
+
+/// Rayon entry points whose item order is nondeterministic under
+/// work-stealing when the downstream reduction is order-sensitive.
+const PAR_METHODS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_chunks_exact",
+    "par_bridge",
+];
+
+const REDUCE_METHODS: &[&str] = &["sum", "fold", "reduce"];
+
+/// Flags statements that combine a rayon parallel iterator with a
+/// float `sum`/`fold`/`reduce`: float addition is not associative, so
+/// work-stealing order changes the result bit-for-bit. Order-preserving
+/// pipelines (`par_iter().map(..).collect()`) and integer reductions
+/// are fine.
+fn float_order_rule(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in code.iter().enumerate() {
+        let par_call = t.kind == TokKind::Ident
+            && PAR_METHODS.contains(&t.text)
+            && i > 0
+            && code[i - 1].text == ".";
+        if !par_call {
+            continue;
+        }
+        let (start, end) = statement_range(code, i);
+        let stmt = &code[start..end];
+        let reduces = stmt.iter().enumerate().any(|(k, s)| {
+            s.kind == TokKind::Ident
+                && REDUCE_METHODS.contains(&s.text)
+                && k > 0
+                && stmt[k - 1].text == "."
+        });
+        if reduces && stmt.iter().any(|s| has_float_marker(s)) {
+            out.push(diag(
+                file,
+                t.line,
+                RULE_FLOAT_PARALLEL,
+                format!(
+                    "float reduction over `.{}()` is order-sensitive under work-stealing; \
+                     reduce into u64/i64 partials or collect first and sum sequentially",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Flags `as u8` / `as u16` / `as u32` narrowing casts: silent
+/// truncation turns an out-of-range level or index into a wrong-but-
+/// plausible value. Use `try_into` with a typed error, or annotate the
+/// range argument with `lint:allow(cast-truncation/narrowing, ...)`.
+/// Literal casts (`0xFF as u8`) are compile-time checked and skipped.
+fn cast_truncation_rule(file: &str, code: &[&Tok], out: &mut Vec<Diagnostic>) {
+    for (i, t) in code.iter().enumerate() {
+        let narrow = t.kind == TokKind::Ident
+            && t.text == "as"
+            && matches!(code.get(i + 1).map(|n| n.text), Some("u8") | Some("u16") | Some("u32"));
+        if !narrow {
+            continue;
+        }
+        if i > 0 && code[i - 1].kind == TokKind::Number {
+            continue;
+        }
+        let target = code[i + 1].text;
+        out.push(diag(
+            file,
+            t.line,
+            RULE_CAST_NARROWING,
+            format!(
+                "narrowing `as {target}` cast silently truncates out-of-range values on a \
+                 serving path; use try_into with a typed error or annotate the range argument"
+            ),
+        ));
+    }
+}
+
+/// Token range of the statement containing index `i`: from the token
+/// after the previous `;`/`{`/`}` to the next `;` (exclusive).
+pub(crate) fn statement_range(code: &[&Tok], i: usize) -> (usize, usize) {
+    let start = code[..i]
+        .iter()
+        .rposition(|t| matches!(t.text, ";" | "{" | "}"))
+        .map(|p| p + 1)
+        .unwrap_or(0);
+    let end = code[i..].iter().position(|t| t.text == ";").map(|p| i + p).unwrap_or(code.len());
+    (start, end)
+}
+
+/// `true` for tokens that mark float arithmetic: the type names and
+/// float literals.
+pub(crate) fn has_float_marker(t: &Tok) -> bool {
+    matches!(t.text, "f64" | "f32")
+        || (t.kind == TokKind::Number
+            && (t.text.contains('.')
+                || t.text.contains("f64")
+                || t.text.contains("f32")
+                || has_float_exponent(t.text)))
+}
+
+/// `1e9`-style exponents only: the `e` must sit between a digit and a
+/// digit or sign, so integer suffixes (`0usize`, `3u16`) don't read as
+/// float exponents.
+fn has_float_exponent(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") {
+        return false;
+    }
+    let b = text.as_bytes();
+    (1..b.len()).any(|i| {
+        (b[i] == b'e' || b[i] == b'E')
+            && b[i - 1].is_ascii_digit()
+            && b.get(i + 1).is_some_and(|&n| n.is_ascii_digit() || n == b'+' || n == b'-')
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -691,7 +910,13 @@ fn result_error_type(ret: &[&Tok]) -> Option<String> {
 mod tests {
     use super::*;
 
-    const ALL: Scope = Scope { determinism: true, panic_safety: true, error_hygiene: true };
+    const ALL: Scope = Scope {
+        determinism: true,
+        panic_safety: true,
+        error_hygiene: true,
+        float_order: true,
+        cast_truncation: true,
+    };
 
     fn rules_at(src: &str) -> Vec<(&'static str, u32)> {
         analyze_file("x.rs", src, ALL).into_iter().map(|d| (d.rule, d.line)).collect()
@@ -859,6 +1084,47 @@ mod tests {
                    // x.unwrap() in prose, Instant too\n\
                    /* thread_rng() */\n\
                    use_it(s);\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![]);
+    }
+
+    #[test]
+    fn float_parallel_reduce_flags_order_sensitive_reductions() {
+        let src = "fn f(rows: &[Vec<f64>]) -> f64 {\n\
+                   let total: f64 = rows.par_iter().map(|r| r.len() as f64).sum();\n\
+                   total\n\
+                   }\n";
+        assert_eq!(rules_at(src), vec![(RULE_FLOAT_PARALLEL, 2)]);
+        // Integer reductions and order-preserving collects are fine.
+        let clean = "fn f(rows: &[Vec<u64>]) -> u64 {\n\
+                     let total: u64 = rows.par_iter().map(|r| r.len() as u64).sum();\n\
+                     let v: Vec<f64> = rows.par_iter().map(|r| score(r)).collect();\n\
+                     total + v.len() as u64\n\
+                     }\n";
+        assert_eq!(rules_at(clean), vec![]);
+        // fold/reduce forms fire too.
+        let src = "fn g(xs: &[f32]) -> f32 { xs.par_chunks(8).map(sub).reduce(|| 0.0f32, add) }\n";
+        assert_eq!(rules_at(src), vec![(RULE_FLOAT_PARALLEL, 1)]);
+    }
+
+    #[test]
+    fn cast_truncation_flags_narrowing_but_not_literals_or_widening() {
+        let src = "fn f(level: usize, d: u64) -> u8 {\n\
+                   let a = level as u8;\n\
+                   let b = d as u32;\n\
+                   let c = 0xFF as u8;\n\
+                   let w = a as u64;\n\
+                   let s = level as u16;\n\
+                   a\n\
+                   }\n";
+        assert_eq!(
+            rules_at(src),
+            vec![(RULE_CAST_NARROWING, 2), (RULE_CAST_NARROWING, 3), (RULE_CAST_NARROWING, 6)]
+        );
+        // Annotated casts are suppressed.
+        let src = "fn f(level: usize) -> u8 {\n\
+                   // lint:allow(cast-truncation/narrowing, reason = \"level < 16 by ctor\")\n\
+                   level as u8\n\
                    }\n";
         assert_eq!(rules_at(src), vec![]);
     }

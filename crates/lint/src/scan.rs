@@ -5,9 +5,19 @@
 //! config's per-crate scope, and returns a deterministic, sorted
 //! report. `tests/`, `benches/`, `examples/`, `target/` and `vendor/`
 //! are never walked — rules apply to serving code only.
+//!
+//! Two passes share one file walk: the per-file token rules
+//! ([`crate::rules`]), then the workspace call-graph taint pass
+//! ([`crate::parse`] → [`crate::callgraph`] → [`crate::taint`]), which
+//! needs *every* crate parsed — a serving-crate public fn can reach a
+//! sink in a non-serving helper crate.
 
-use crate::config::LintConfig;
+use crate::callgraph::{self, FileFns};
+use crate::config::{self, LintConfig};
+use crate::lexer::{lex, Tok};
+use crate::parse::parse_items;
 use crate::rules::{analyze_file, Diagnostic};
+use crate::taint;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -38,6 +48,8 @@ pub fn run_scan(root: &Path, config: &LintConfig) -> Result<ScanReport, String> 
     let mut files = discover_files(root)?;
     files.sort();
     let mut report = ScanReport::default();
+    let mut parsed: Vec<FileFns> = Vec::new();
+    let mut facts: Vec<taint::FileFacts> = Vec::new();
     for rel in files {
         let rel_str = rel
             .to_str()
@@ -47,7 +59,18 @@ pub fn run_scan(root: &Path, config: &LintConfig) -> Result<ScanReport, String> 
             .map_err(|e| format!("read {}: {e}", rel.display()))?;
         report.files_scanned += 1;
         report.diagnostics.extend(analyze_file(&rel_str, &src, config.scope_for(&rel_str)));
+        // Graph-pass inputs: parse items + call sites + facts while the
+        // token stream is alive; everything kept is owned.
+        let toks = lex(&src);
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+        let fns = parse_items(&code, &config::module_prefix(&rel_str));
+        let calls = callgraph::extract_calls(&code, &fns);
+        facts.push(taint::extract_facts(&toks, &fns));
+        let krate = config::crate_of(&rel_str).unwrap_or(".").to_string();
+        parsed.push(FileFns { file: rel_str, krate, fns, calls });
     }
+    let graph = callgraph::build(parsed);
+    report.diagnostics.extend(taint::analyze(&graph, &facts, &config.serving_crates));
     report.diagnostics.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(report)
 }

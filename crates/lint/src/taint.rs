@@ -1,0 +1,556 @@
+//! Transitive taint propagation over the call graph.
+//!
+//! A **fact** is a direct occurrence of a banned API inside one
+//! function: a wall clock, an entropy source, unordered-map iteration,
+//! or a panicking call. The per-file rules already flag facts *in
+//! serving crates*; this pass closes the gap the token scanner cannot
+//! see — a serving-crate **public** function that reaches a fact
+//! *transitively*, through helpers in any workspace crate, gets a
+//! `taint/*` finding carrying the full call chain.
+//!
+//! Policy decisions, deliberate:
+//! - A function carrying the direct fact itself is **not** re-flagged
+//!   by taint (the per-file rule or its baseline entry already owns
+//!   that debt); taint findings always have chain length ≥ 2.
+//! - `panic-safety/index` facts do **not** propagate: indexing is
+//!   tracked per-file by the ratchet, and transitive propagation would
+//!   re-count every grandfathered site once per public caller.
+//! - Test functions neither source findings nor conduct taint.
+//! - A `lint:allow` at the sink line naming either the direct rule
+//!   (`panic-safety/expect`) or the taint rule (`taint/panic`) kills
+//!   the fact for every caller.
+//!
+//! The same graph also powers `float-order/accumulation`: float
+//! accumulation anywhere **reachable from `distances_batch`** must
+//! carry the partial-sums-below-2^53 annotation (see DESIGN.md §13 —
+//! exact u64 tie-break totals are what keep batch results bit-identical
+//! to the scalar path).
+
+use crate::callgraph::Graph;
+use crate::lexer::{Tok, TokKind};
+use crate::parse::FnItem;
+use crate::rules::{
+    self, Diagnostic, RULE_FLOAT_ACCUMULATION, RULE_TAINT_ENTROPY, RULE_TAINT_MAP_ITERATION,
+    RULE_TAINT_PANIC, RULE_TAINT_WALL_CLOCK,
+};
+use std::collections::VecDeque;
+
+/// The four propagating fact kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintKind {
+    /// `Instant` / `SystemTime`.
+    WallClock,
+    /// `thread_rng` / `ThreadRng` / `from_entropy`.
+    Entropy,
+    /// Iteration over a `HashMap`/`HashSet` binding.
+    MapIteration,
+    /// `.unwrap()` / `.expect(..)` / panic-family macros.
+    Panic,
+}
+
+impl TaintKind {
+    /// All kinds, iteration order = reporting order.
+    pub const ALL: [TaintKind; 4] =
+        [TaintKind::WallClock, TaintKind::Entropy, TaintKind::MapIteration, TaintKind::Panic];
+
+    /// The `taint/*` rule id for findings of this kind.
+    pub fn rule(self) -> &'static str {
+        match self {
+            TaintKind::WallClock => RULE_TAINT_WALL_CLOCK,
+            TaintKind::Entropy => RULE_TAINT_ENTROPY,
+            TaintKind::MapIteration => RULE_TAINT_MAP_ITERATION,
+            TaintKind::Panic => RULE_TAINT_PANIC,
+        }
+    }
+}
+
+/// One direct banned-API occurrence inside a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fact {
+    /// What propagates.
+    pub kind: TaintKind,
+    /// 1-based source line of the occurrence.
+    pub line: u32,
+    /// Short human-readable form (`Instant`, `.expect(..)`, ...).
+    pub detail: String,
+}
+
+/// Per-function facts for one file: `facts[i]` belongs to `fns[i]`.
+/// `float_accums[i]` are candidate float-accumulation lines, reported
+/// only when the function is `distances_batch`-reachable.
+#[derive(Debug, Default)]
+pub struct FileFacts {
+    /// Taint facts per function.
+    pub facts: Vec<Vec<Fact>>,
+    /// Float-accumulation candidates per function.
+    pub float_accums: Vec<Vec<u32>>,
+}
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Extracts every function's facts from one file's token stream.
+///
+/// `toks` is the full stream (comments included — `lint:allow`
+/// coverage comes from them); `fns` must be the parse of the same
+/// file. Facts under a covering allow (direct or taint rule id) are
+/// dropped here, so suppression is invisible to every caller.
+pub fn extract_facts(toks: &[Tok], fns: &[FnItem]) -> FileFacts {
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+    let allows = rules::allow_index(toks);
+    let allowed = |rule: &str, line: u32| allows.iter().any(|a| a.covers(rule, line));
+
+    let mut out =
+        FileFacts { facts: vec![Vec::new(); fns.len()], float_accums: vec![Vec::new(); fns.len()] };
+    // `direct` is the per-file rule whose allow also kills the fact
+    // (`.expect` answers to `panic-safety/expect`, not `/panic`).
+    let mut add = |idx: usize, kind: TaintKind, direct: &str, line: u32, detail: &str| {
+        if !allowed(direct, line) && !allowed(kind.rule(), line) {
+            if let Some(fx) = crate::callgraph::enclosing_fn(fns, idx) {
+                out.facts[fx].push(Fact { kind, line, detail: detail.to_string() });
+            }
+        }
+    };
+
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text {
+            "Instant" | "SystemTime" => {
+                add(i, TaintKind::WallClock, rules::RULE_WALL_CLOCK, t.line, t.text)
+            }
+            "thread_rng" | "ThreadRng" | "from_entropy" => {
+                add(i, TaintKind::Entropy, rules::RULE_THREAD_RNG, t.line, t.text)
+            }
+            "unwrap" | "expect"
+                if i > 0
+                    && code[i - 1].text == "."
+                    && code.get(i + 1).map(|n| n.text) == Some("(") =>
+            {
+                let (direct, detail) = if t.text == "unwrap" {
+                    (rules::RULE_UNWRAP, ".unwrap()")
+                } else {
+                    (rules::RULE_EXPECT, ".expect(..)")
+                };
+                add(i, TaintKind::Panic, direct, t.line, detail);
+            }
+            m if PANIC_MACROS.contains(&m) && code.get(i + 1).map(|n| n.text) == Some("!") => {
+                add(i, TaintKind::Panic, rules::RULE_PANIC, t.line, &format!("{m}!"));
+            }
+            _ => {}
+        }
+    }
+    for (line, name) in rules::map_iteration_hits(&code) {
+        // Re-find the token index for fn assignment.
+        if let Some(i) =
+            code.iter().position(|t| t.line == line && t.kind == TokKind::Ident && t.text == name)
+        {
+            add(
+                i,
+                TaintKind::MapIteration,
+                rules::RULE_MAP_ITERATION,
+                line,
+                &format!("iteration over `{name}`"),
+            );
+        }
+    }
+    for (idx, line) in float_accum_candidates(&code, fns) {
+        if !allowed(RULE_FLOAT_ACCUMULATION, line) {
+            out.float_accums[idx].push(line);
+        }
+    }
+    out
+}
+
+/// Candidate float-accumulation sites: `x += ...` where `x` is
+/// float-declared in the same body, and `.sum(`/`.fold(`/`.reduce(`
+/// whose statement carries a float marker. Returns (fn index, line).
+fn float_accum_candidates(code: &[&Tok], fns: &[FnItem]) -> Vec<(usize, u32)> {
+    let mut out = Vec::new();
+    for (fx, f) in fns.iter().enumerate() {
+        let body = &code[f.body.start.min(code.len())..f.body.end.min(code.len())];
+        // Names declared as floats inside this body.
+        let mut float_names: Vec<&str> = Vec::new();
+        for (i, t) in body.iter().enumerate() {
+            let declared = t.text == "let"
+                && body.get(i + 1).map(|n| n.text) == Some("mut")
+                && body.get(i + 2).map(|n| n.kind) == Some(TokKind::Ident);
+            if !declared {
+                continue;
+            }
+            let name = body[i + 2].text;
+            // `let mut x: f64 = ..` or `let mut x = <float literal>`.
+            let is_float = match body.get(i + 3).map(|n| n.text) {
+                Some(":") => matches!(body.get(i + 4).map(|n| n.text), Some("f64") | Some("f32")),
+                Some("=") => body.get(i + 4).is_some_and(|n| rules::has_float_marker(n)),
+                _ => false,
+            };
+            if is_float {
+                float_names.push(name);
+            }
+        }
+        for (i, t) in body.iter().enumerate() {
+            // `x += ...` with x float-declared.
+            if t.kind == TokKind::Ident
+                && float_names.contains(&t.text)
+                && body.get(i + 1).map(|n| n.text) == Some("+")
+                && body.get(i + 2).map(|n| n.text) == Some("=")
+            {
+                out.push((fx, t.line));
+            }
+            // `.sum(` / `.fold(` / `.reduce(` with a float in statement range.
+            if t.kind == TokKind::Ident
+                && matches!(t.text, "sum" | "fold" | "reduce")
+                && i > 0
+                && body[i - 1].text == "."
+            {
+                let (start, end) = rules::statement_range(body, i);
+                if body[start..end].iter().any(|s| rules::has_float_marker(s)) {
+                    out.push((fx, t.line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs taint propagation and the reachability-gated accumulation rule
+/// over the whole graph. `facts[i]` must align with `graph.files[i]`;
+/// `serving` decides which crates' public functions can be flagged.
+pub fn analyze(graph: &Graph, facts: &[FileFacts], serving: &[String]) -> Vec<Diagnostic> {
+    let n = graph.nodes.len();
+    let node_facts = |id: usize| -> &[Fact] {
+        let fnode = &graph.nodes[id];
+        &facts[fnode.file].facts[fnode.item]
+    };
+    // Reverse adjacency once.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, es) in graph.edges.iter().enumerate() {
+        for e in es {
+            rev[e.callee].push(u);
+        }
+    }
+
+    let mut out = Vec::new();
+    for kind in TaintKind::ALL {
+        // Multi-source reverse BFS from every fact-bearing, non-test fn:
+        // next[u] = the callee one hop closer to a sink.
+        let mut next: Vec<Option<usize>> = vec![None; n];
+        let mut seen: Vec<bool> = vec![false; n];
+        let mut queue = VecDeque::new();
+        for (id, s) in seen.iter_mut().enumerate() {
+            if graph.item(id).is_test {
+                continue;
+            }
+            if node_facts(id).iter().any(|f| f.kind == kind) {
+                *s = true;
+                queue.push_back(id);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &u in &rev[v] {
+                if !seen[u] && !graph.item(u).is_test {
+                    seen[u] = true;
+                    next[u] = Some(v);
+                    queue.push_back(u);
+                }
+            }
+        }
+        for id in 0..n {
+            let item = graph.item(id);
+            let eligible = item.is_pub
+                && !item.is_test
+                && serving.iter().any(|c| c == graph.crate_of(id))
+                && next[id].is_some() // reaches a sink, and is not one itself
+                && !node_facts(id).iter().any(|f| f.kind == kind);
+            if !eligible {
+                continue;
+            }
+            // Reconstruct the chain down to the sink.
+            let mut chain = vec![id];
+            let mut cur = id;
+            while let Some(nx) = next[cur] {
+                chain.push(nx);
+                cur = nx;
+            }
+            let sink = cur;
+            let fact = node_facts(sink).iter().find(|f| f.kind == kind).cloned().unwrap_or(Fact {
+                kind,
+                line: graph.item(sink).line,
+                detail: String::new(),
+            });
+            let chain_names: Vec<String> =
+                chain.iter().map(|&c| graph.item(c).qualified.clone()).collect();
+            out.push(Diagnostic {
+                file: graph.file_of(id).to_string(),
+                line: item.line,
+                rule: kind.rule(),
+                message: format!(
+                    "public fn `{}` transitively reaches {} via {}; sink at {}:{}",
+                    item.name,
+                    fact.detail,
+                    chain_names.join(" -> "),
+                    graph.file_of(sink),
+                    fact.line
+                ),
+                qualified_fn: Some(item.qualified.clone()),
+                chain: chain_names,
+            });
+        }
+    }
+
+    // float-order/accumulation: forward reachability from any fn named
+    // `distances_batch` (itself included).
+    let mut reach: Vec<bool> = vec![false; n];
+    let mut queue = VecDeque::new();
+    for (id, r) in reach.iter_mut().enumerate() {
+        if graph.item(id).name == "distances_batch" {
+            *r = true;
+            queue.push_back(id);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        for e in &graph.edges[v] {
+            if !reach[e.callee] {
+                reach[e.callee] = true;
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    for (id, &reachable) in reach.iter().enumerate() {
+        let item = graph.item(id);
+        if !reachable || item.is_test || !serving.iter().any(|c| c == graph.crate_of(id)) {
+            continue;
+        }
+        let fnode = &graph.nodes[id];
+        for &line in &facts[fnode.file].float_accums[fnode.item] {
+            out.push(Diagnostic {
+                file: graph.file_of(id).to_string(),
+                line,
+                rule: RULE_FLOAT_ACCUMULATION,
+                message: format!(
+                    "float accumulation in `{}`, reachable from `distances_batch`; batch \
+                     results must stay bit-identical to the scalar path — accumulate in u64 \
+                     or annotate the partial-sums-below-2^53 argument \
+                     (lint:allow(float-order/accumulation, reason = ...))",
+                    item.qualified
+                ),
+                qualified_fn: Some(item.qualified.clone()),
+                chain: Vec::new(),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.chain).cmp(&(&b.file, b.line, b.rule, &b.chain))
+    });
+    out.dedup();
+    out
+}
+
+/// Stable fingerprint of a chain-bearing finding: survives line churn
+/// because it names functions, not positions.
+pub fn fingerprint(d: &Diagnostic) -> Option<String> {
+    let qualified = d.qualified_fn.as_ref()?;
+    if !d.rule.starts_with("taint/") {
+        return None;
+    }
+    Some(format!("{}|{}|{}", d.rule, qualified, d.chain.join("->")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::{build, extract_calls, FileFns};
+    use crate::lexer::lex;
+    use crate::parse::parse_items;
+
+    fn analyze_src(files: &[(&str, &str, &str, &str)], serving: &[&str]) -> Vec<Diagnostic> {
+        // (file, crate, prefix, src)
+        let mut parsed = Vec::new();
+        let mut all_facts = Vec::new();
+        for (name, krate, prefix, src) in files {
+            let toks = lex(src);
+            let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+            let fns = parse_items(&code, prefix);
+            let calls = extract_calls(&code, &fns);
+            all_facts.push(extract_facts(&toks, &fns));
+            parsed.push(FileFns { file: name.to_string(), krate: krate.to_string(), fns, calls });
+        }
+        let graph = build(parsed);
+        let serving: Vec<String> = serving.iter().map(|s| s.to_string()).collect();
+        analyze(&graph, &all_facts, &serving)
+    }
+
+    #[test]
+    fn transitive_panic_is_flagged_with_chain() {
+        let diags = analyze_src(
+            &[(
+                "crates/core/src/a.rs",
+                "core",
+                "core::a",
+                "pub fn serve() { step(); }\n\
+                 fn step() { deep(); }\n\
+                 fn deep() { x.unwrap(); }\n",
+            )],
+            &["core"],
+        );
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.rule, RULE_TAINT_PANIC);
+        assert_eq!(d.line, 1);
+        assert_eq!(d.chain, vec!["core::a::serve", "core::a::step", "core::a::deep"]);
+        assert!(d.message.contains("core::a::serve -> core::a::step -> core::a::deep"));
+        assert!(d.message.contains("crates/core/src/a.rs:3"));
+        assert_eq!(
+            fingerprint(d).unwrap(),
+            "taint/panic|core::a::serve|core::a::serve->core::a::step->core::a::deep"
+        );
+    }
+
+    #[test]
+    fn direct_fact_holders_and_private_fns_are_not_flagged() {
+        let diags = analyze_src(
+            &[(
+                "crates/core/src/a.rs",
+                "core",
+                "core::a",
+                "pub fn direct() { x.unwrap(); }\n\
+                 fn private_caller() { direct_helper(); }\n\
+                 fn direct_helper() { y.unwrap(); }\n",
+            )],
+            &["core"],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn cross_crate_chain_reaches_nonserving_sink() {
+        let diags = analyze_src(
+            &[
+                (
+                    "crates/core/src/feas.rs",
+                    "core",
+                    "core::feas",
+                    "pub fn solve() { backtrack::search(); }\n",
+                ),
+                (
+                    "crates/csp/src/backtrack.rs",
+                    "csp",
+                    "csp::backtrack",
+                    "pub fn search() { v.expect(\"boom\"); }\n",
+                ),
+            ],
+            &["core"],
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].chain, vec!["core::feas::solve", "csp::backtrack::search"]);
+        // The sink's own crate is not serving, so `search` itself is
+        // never flagged — only the serving-crate entry point is.
+        assert_eq!(diags[0].file, "crates/core/src/feas.rs");
+    }
+
+    #[test]
+    fn allow_at_sink_kills_the_whole_chain() {
+        let diags = analyze_src(
+            &[(
+                "crates/core/src/a.rs",
+                "core",
+                "core::a",
+                "pub fn serve() { deep(); }\n\
+                 fn deep() {\n\
+                 x.expect(\"ok\"); // lint:allow(panic-safety/expect, reason = \"validated\")\n\
+                 }\n",
+            )],
+            &["core"],
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn wall_clock_entropy_and_map_iteration_propagate() {
+        let diags = analyze_src(
+            &[(
+                "crates/core/src/a.rs",
+                "core",
+                "core::a",
+                "pub fn serve() { now_ms(); sample(); order(); }\n\
+                 fn now_ms() { let t = Instant::now(); }\n\
+                 fn sample() { let r = thread_rng(); }\n\
+                 fn order() { let mut m = HashMap::new(); for k in &m {} }\n",
+            )],
+            &["core"],
+        );
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(
+            rules,
+            vec![RULE_TAINT_ENTROPY, RULE_TAINT_MAP_ITERATION, RULE_TAINT_WALL_CLOCK]
+        );
+    }
+
+    #[test]
+    fn test_fns_neither_source_nor_conduct() {
+        let diags = analyze_src(
+            &[(
+                "crates/core/src/a.rs",
+                "core",
+                "core::a",
+                "pub fn serve() { helper(); }\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                 pub fn helper() { x.unwrap(); }\n\
+                 }\n",
+            )],
+            &["core"],
+        );
+        // The only `helper` is test code: no edge survives.
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn float_accumulation_fires_only_when_reachable_from_distances_batch() {
+        let src = "pub fn distances_batch() { accum(); }\n\
+                   fn accum() {\n\
+                   let mut units = 0.0f64;\n\
+                   units += 1.5;\n\
+                   }\n\
+                   pub fn unrelated() {\n\
+                   let mut t = 0.0f64;\n\
+                   t += 2.5;\n\
+                   }\n";
+        let diags = analyze_src(&[("crates/core/src/k.rs", "core", "core::k", src)], &["core"]);
+        let fa: Vec<(u32, &str)> = diags
+            .iter()
+            .filter(|d| d.rule == RULE_FLOAT_ACCUMULATION)
+            .map(|d| (d.line, d.qualified_fn.as_deref().unwrap_or("")))
+            .collect();
+        assert_eq!(fa, vec![(4, "core::k::accum")]);
+    }
+
+    #[test]
+    fn annotated_accumulation_is_suppressed() {
+        let src = "pub fn distances_batch() {\n\
+                   let mut units = 0.0f64;\n\
+                   // lint:allow(float-order/accumulation, reason = \"partials < 2^53\")\n\
+                   units += 1.5;\n\
+                   }\n";
+        let diags = analyze_src(&[("crates/core/src/k.rs", "core", "core::k", src)], &["core"]);
+        assert!(diags.iter().all(|d| d.rule != RULE_FLOAT_ACCUMULATION), "{diags:?}");
+    }
+
+    #[test]
+    fn integer_counters_are_not_float_accumulation() {
+        // `0usize` contains an `e` but is not a float exponent; counter
+        // increments must not read as float accumulation. `1e9` is.
+        let src = "pub fn distances_batch() {\n\
+                   let mut checked = 0usize;\n\
+                   checked += 1;\n\
+                   let mut big = 1e9;\n\
+                   big += 0.5;\n\
+                   }\n";
+        let diags = analyze_src(&[("crates/core/src/k.rs", "core", "core::k", src)], &["core"]);
+        let fa: Vec<u32> =
+            diags.iter().filter(|d| d.rule == RULE_FLOAT_ACCUMULATION).map(|d| d.line).collect();
+        assert_eq!(fa, vec![5]);
+    }
+}

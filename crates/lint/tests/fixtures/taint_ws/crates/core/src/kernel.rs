@@ -1,0 +1,36 @@
+//! Float-order and cast-truncation fixture sites.
+//!
+//! `accumulate` is only a violation because `distances_batch` reaches
+//! it; `par_total` holds an identical accumulation that stays silent
+//! (unreachable), while its parallel reduction fires the per-file rule.
+
+pub fn distances_batch(out: &mut [f32], q: &[f32]) {
+    for o in out.iter_mut() {
+        *o = accumulate(q) + annotated_total(q);
+    }
+}
+
+fn accumulate(q: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for x in q {
+        acc += *x;
+    }
+    acc
+}
+
+fn annotated_total(q: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for x in q {
+        // lint:allow(float-order/accumulation, reason = "partial sums bounded by codebook width < 2^53")
+        acc += *x;
+    }
+    acc
+}
+
+pub fn packed_code(v: u32) -> u8 {
+    (v & 0xff) as u8
+}
+
+pub fn par_total(xs: &[f64]) -> f64 {
+    xs.par_iter().copied().sum::<f64>()
+}

@@ -1,0 +1,30 @@
+//! Known-bad taint fixture: every serving entry point here is clean at
+//! the token level — the sinks live in private helpers and in the
+//! non-serving `csp` helper crate, so only the call-graph pass can see
+//! them. `tests/taint_fixtures.rs` asserts the exact chains.
+
+mod kernel;
+
+pub fn serve_ranked(n: usize) -> usize {
+    rank(n)
+}
+
+fn rank(n: usize) -> usize {
+    csp::solve(n)
+}
+
+pub fn serve_timed() -> u64 {
+    stamp()
+}
+
+fn stamp() -> u64 {
+    csp::now_millis()
+}
+
+pub fn serve_sampled() -> u32 {
+    csp::draw()
+}
+
+pub fn serve_ordered(n: u32) -> u32 {
+    csp::tally(n)
+}

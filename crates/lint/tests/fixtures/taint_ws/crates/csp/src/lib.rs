@@ -1,0 +1,36 @@
+//! Non-serving helper crate holding the actual sinks. None of these
+//! fns are ever flagged themselves — `csp` is off the serving path —
+//! but serving-crate callers that reach them are.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn solve(n: usize) -> usize {
+    backtrack(n)
+}
+
+fn backtrack(n: usize) -> usize {
+    pick(n).unwrap()
+}
+
+fn pick(n: usize) -> Option<usize> {
+    Some(n)
+}
+
+pub fn now_millis() -> u64 {
+    Instant::now().elapsed().as_millis() as u64
+}
+
+pub fn draw() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn tally(n: u32) -> u32 {
+    let counts: HashMap<u32, u32> = HashMap::new();
+    let mut total = n;
+    for (_, v) in &counts {
+        total += v;
+    }
+    total
+}

@@ -16,7 +16,9 @@ pub fn serve(data: &[u32], seed: u64) -> Result<u32, FerexError> {
     let index: HashMap<u32, u32> = build_index(data);
     let hit = index.get(&first).copied().unwrap_or_default();
     let window: &[u32] = data.get(1..).unwrap_or(&[]);
-    Ok(total + hit + window.len() as u32)
+    // Checked narrowing, not `as u32`: saturate instead of truncating.
+    let count = u32::try_from(window.len()).unwrap_or(u32::MAX);
+    Ok(total + hit + count)
 }
 
 pub(crate) fn internal_errors_may_differ() -> Result<(), String> {

@@ -1,0 +1,135 @@
+//! Parser robustness properties: [`ferex_lint::parse::parse_items`]
+//! must accept *any* byte sequence. We mutate real workspace sources —
+//! random byte flips and truncations — and require that the parser
+//! never panics, every recovered body range stays inside the token
+//! stream, and ranges form a proper nesting (the scope stack can only
+//! produce nested-or-disjoint bodies, even on garbage input).
+
+use ferex_lint::lexer::{lex, Tok};
+use ferex_lint::parse::{parse_items, FnItem};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+/// Real sources the properties mutate: the analyzer's own modules (the
+/// densest Rust in the workspace) plus the taint fixture corpus.
+const SOURCES: &[&str] = &[
+    "src/lexer.rs",
+    "src/parse.rs",
+    "src/callgraph.rs",
+    "src/taint.rs",
+    "src/rules.rs",
+    "tests/fixtures/ws/crates/core/src/lib.rs",
+    "tests/fixtures/taint_ws/crates/core/src/kernel.rs",
+    "tests/fixtures/taint_ws/crates/csp/src/lib.rs",
+];
+
+fn source(idx: usize) -> String {
+    let rel = SOURCES[idx % SOURCES.len()];
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Checks every structural invariant the downstream passes rely on.
+fn assert_invariants(src: &str) {
+    let toks = lex(src);
+    let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+    let items: Vec<FnItem> = parse_items(&code, "p");
+    for f in &items {
+        assert!(f.body.start <= f.body.end, "inverted range in {}: {:?}", f.name, f.body);
+        assert!(f.body.end <= code.len(), "out-of-bounds range in {}: {:?}", f.name, f.body);
+        assert!(
+            f.end_line >= f.line,
+            "end_line {} before line {} in {}",
+            f.end_line,
+            f.line,
+            f.name
+        );
+        assert!(
+            f.qualified.starts_with("p::")
+                || f.qualified == format!("p::{}", f.name)
+                || f.qualified.contains("::")
+        );
+    }
+    // Bodies nest or are disjoint — never partially overlapping. The
+    // parser recovers scopes from a stack, so this must survive any
+    // mutation; `enclosing_fn` (innermost-containing lookup) depends
+    // on it.
+    for (i, a) in items.iter().enumerate() {
+        for b in items.iter().skip(i + 1) {
+            let disjoint = a.body.end <= b.body.start || b.body.end <= a.body.start;
+            let a_in_b = b.body.start <= a.body.start && a.body.end <= b.body.end;
+            let b_in_a = a.body.start <= b.body.start && b.body.end <= a.body.end;
+            assert!(
+                disjoint || a_in_b || b_in_a,
+                "partially overlapping bodies: {} {:?} vs {} {:?}",
+                a.name,
+                a.body,
+                b.name,
+                b.body
+            );
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn mutated_sources_parse_with_balanced_scopes(
+        file_idx in 0usize..8,
+        muts in prop::collection::vec((any::<usize>(), any::<u8>()), 0..12),
+        cut_at in any::<usize>(),
+        do_cut in any::<bool>(),
+    ) {
+        let mut bytes = source(file_idx).into_bytes();
+        for (pos, byte) in muts {
+            if !bytes.is_empty() {
+                let at = pos % bytes.len();
+                bytes[at] = byte;
+            }
+        }
+        if do_cut && !bytes.is_empty() {
+            bytes.truncate(cut_at % bytes.len());
+        }
+        // Mutations can break UTF-8; the lexer takes &str, so feed it
+        // what a file reader would after lossy decoding.
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_invariants(&src);
+    }
+
+    #[test]
+    fn spliced_sources_parse_with_balanced_scopes(
+        a in 0usize..8,
+        b in 0usize..8,
+        cut_a in any::<usize>(),
+        cut_b in any::<usize>(),
+    ) {
+        // Concatenating a prefix of one file with a suffix of another
+        // yields plausible-but-wrong Rust: half-open impls, orphaned
+        // attributes, dangling braces.
+        let sa = source(a);
+        let sb = source(b);
+        let head = &sa[..floor_char_boundary(&sa, cut_a % (sa.len() + 1))];
+        let tail = &sb[floor_char_boundary(&sb, cut_b % (sb.len() + 1))..];
+        assert_invariants(&format!("{head}{tail}"));
+    }
+}
+
+fn floor_char_boundary(s: &str, mut i: usize) -> usize {
+    while i > 0 && !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// Unmutated sanity: every seed source actually parses into items, so
+/// the properties above are not vacuously passing on empty parses.
+#[test]
+fn unmutated_sources_yield_items() {
+    for (idx, name) in SOURCES.iter().enumerate() {
+        let src = source(idx);
+        let toks = lex(&src);
+        let code: Vec<&Tok> = toks.iter().filter(|t| t.is_code()).collect();
+        let items = parse_items(&code, "p");
+        assert!(!items.is_empty(), "no fn items recovered from {name}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Exact (rule, fn, chain) assertions over the known-bad taint fixture
+//! workspace in `tests/fixtures/taint_ws`: the call-graph pass must
+//! recover precisely these chains — no more, no fewer — and the
+//! per-file `float-order`/`cast-truncation` families must fire at
+//! exact lines alongside them.
+
+use ferex_lint::taint::fingerprint;
+use ferex_lint::{run_scan, LintConfig, ScanReport};
+use std::path::PathBuf;
+
+fn scan() -> ScanReport {
+    let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint_ws");
+    run_scan(&ws, &LintConfig::default()).expect("taint fixture scan")
+}
+
+#[test]
+fn taint_chains_are_exact() {
+    let report = scan();
+    let taints: Vec<(String, String, String)> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.starts_with("taint/"))
+        .map(|d| {
+            (
+                d.rule.to_string(),
+                d.qualified_fn.clone().expect("taint findings carry the fn"),
+                d.chain.join(" -> "),
+            )
+        })
+        .collect();
+    assert_eq!(
+        taints,
+        vec![
+            (
+                "taint/panic".to_string(),
+                "core::serve_ranked".to_string(),
+                "core::serve_ranked -> core::rank -> csp::solve -> csp::backtrack".to_string(),
+            ),
+            (
+                "taint/wall-clock".to_string(),
+                "core::serve_timed".to_string(),
+                "core::serve_timed -> core::stamp -> csp::now_millis".to_string(),
+            ),
+            (
+                "taint/entropy".to_string(),
+                "core::serve_sampled".to_string(),
+                "core::serve_sampled -> csp::draw".to_string(),
+            ),
+            (
+                "taint/map-iteration".to_string(),
+                "core::serve_ordered".to_string(),
+                "core::serve_ordered -> csp::tally".to_string(),
+            ),
+        ]
+    );
+}
+
+#[test]
+fn taint_findings_report_at_the_entry_point_with_sink_location() {
+    let report = scan();
+    let panic =
+        report.diagnostics.iter().find(|d| d.rule == "taint/panic").expect("panic chain present");
+    // Reported at the serving entry point, not at the sink...
+    assert_eq!(panic.file, "crates/core/src/lib.rs");
+    assert_eq!(panic.line, 8);
+    // ...but the message pins the sink's file:line for the reader.
+    assert!(panic.message.contains("sink at crates/csp/src/lib.rs:13"), "{}", panic.message);
+    assert!(panic.message.contains(".unwrap()"), "{}", panic.message);
+}
+
+#[test]
+fn fingerprints_are_stable_fn_chains_not_positions() {
+    let report = scan();
+    let fps: Vec<String> = report.diagnostics.iter().filter_map(fingerprint).collect();
+    assert_eq!(
+        fps,
+        vec![
+            "taint/panic|core::serve_ranked|\
+             core::serve_ranked->core::rank->csp::solve->csp::backtrack",
+            "taint/wall-clock|core::serve_timed|\
+             core::serve_timed->core::stamp->csp::now_millis",
+            "taint/entropy|core::serve_sampled|core::serve_sampled->csp::draw",
+            "taint/map-iteration|core::serve_ordered|core::serve_ordered->csp::tally",
+        ]
+    );
+}
+
+#[test]
+fn float_and_cast_families_fire_at_exact_lines() {
+    let report = scan();
+    let kernel: Vec<(u32, &str)> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file == "crates/core/src/kernel.rs")
+        .map(|d| (d.line, d.rule))
+        .collect();
+    // `accumulate` fires only because `distances_batch` reaches it; the
+    // annotated twin and the unreachable `par_total` accumulation stay
+    // silent, while `par_total`'s parallel reduction is a per-file hit.
+    assert_eq!(
+        kernel,
+        vec![
+            (16, "float-order/accumulation"),
+            (31, "cast-truncation/narrowing"),
+            (35, "float-order/parallel-reduce"),
+        ]
+    );
+}
+
+#[test]
+fn non_serving_sink_crate_is_never_flagged_itself() {
+    let report = scan();
+    let csp: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.file.starts_with("crates/csp/"))
+        .map(|d| d.rule)
+        .collect();
+    assert_eq!(csp, Vec::<&str>::new(), "csp is off the serving path");
+}
